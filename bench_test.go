@@ -1,0 +1,181 @@
+package quantumjoin_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its table/figure through the same
+// code path as cmd/experiments and reports domain-specific metrics
+// (qubits, depths, valid/optimal fractions) alongside time/op. Sizes are
+// the bench-scale configuration documented in EXPERIMENTS.md; run
+// cmd/experiments -full for paper-scale dimensions.
+
+import (
+	"testing"
+
+	"quantumjoin/internal/experiments"
+)
+
+// benchConfig is small enough for repeated benchmark iterations on one
+// core while exercising every code path of the full experiments.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Seed:                1,
+		TranspileRuns:       5,
+		QAOAShots:           1024,
+		QAOAIterations:      []int{3},
+		MaxQAOAQubits:       18,
+		EmbedRelations:      []int{3, 4, 5, 6},
+		EmbedFixedRelations: 5,
+		EmbedMaxThresholds:  3,
+		PegasusM:            4,
+		EmbedTries:          3,
+		AnnealReads:         150,
+		AnnealInstances:     2,
+		AnnealTimes:         []float64{20, 60, 100},
+		AnnealRelations:     []int{3, 4, 5},
+		BoundMaxRelations:   64,
+		CoDesignRelations:   []int{2, 3, 4},
+		CoDesignDensities:   []float64{0, 0.1, 0.5, 1},
+	}
+}
+
+// BenchmarkTable1ModelPruning regenerates Table 1: variable and
+// constraint counts of the original versus the pruned MILP model.
+func BenchmarkTable1ModelPruning(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.QubitsOriginal), "qubits-orig")
+			b.ReportMetric(float64(res.QubitsPruned), "qubits-pruned")
+		}
+	}
+}
+
+// BenchmarkFigure2CircuitDepth regenerates Figure 2: transpiled QAOA
+// circuit depths across precision/predicate scenarios and the
+// Falcon-vs-Eagle comparison.
+func BenchmarkFigure2CircuitDepth(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if d, ok := res.MedianFor("predicates", "0 predicates"); ok {
+				b.ReportMetric(d, "depth-18q")
+			}
+			if d, ok := res.MedianFor("predicates", "3 predicates"); ok {
+				b.ReportMetric(d, "depth-27q")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2QAOAQuality regenerates Table 2: valid/optimal fractions
+// of noisy QAOA shots on the simulated Auckland QPU (bench scale: the
+// 18-qubit scenario with a reduced optimiser budget).
+func BenchmarkTable2QAOAQuality(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				if !row.Skipped {
+					b.ReportMetric(100*row.Valid, "valid-%")
+					b.ReportMetric(100*row.Optimal, "optimal-%")
+					break
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTimingModel regenerates the §4.2.1 t_s vs t_qpu comparison.
+func BenchmarkTimingModel(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTiming(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Rows[0].SamplingMs, "ts-ms")
+			b.ReportMetric(res.Rows[0].TotalQPUs*1000, "tqpu-ms")
+		}
+	}
+}
+
+// BenchmarkFigure3Embedding regenerates Figure 3: physical qubits needed
+// to minor-embed JO QUBOs onto the Pegasus topology (bench scale: P4).
+func BenchmarkFigure3Embedding(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				if row.Panel == "relations" && row.OK {
+					b.ReportMetric(float64(row.PhysicalQubits), "phys-qubits-first")
+					break
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable3Annealing regenerates Table 3: valid/optimal fractions
+// of annealing reads across relations, graph types and annealing times.
+func BenchmarkTable3Annealing(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*res.ValidFor(3), "valid3rel-%")
+			b.ReportMetric(100*res.ValidFor(5), "valid5rel-%")
+		}
+	}
+}
+
+// BenchmarkFigure4QubitBounds regenerates Figure 4: the Theorem 5.3
+// logical-qubit upper bounds up to 64 relations.
+func BenchmarkFigure4QubitBounds(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if v, ok := res.BoundFor(60, 10, 2); ok {
+				b.ReportMetric(float64(v), "bound-60rel")
+			}
+			b.ReportMetric(float64(res.MaxRelationsWithin(1000, 2, 0)), "rel-at-1000q")
+		}
+	}
+}
+
+// BenchmarkFigure5CoDesign regenerates Figure 5: circuit depths on
+// extrapolated topologies across density, gate set and router choices.
+func BenchmarkFigure5CoDesign(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(res.Rows) > 0 {
+			b.ReportMetric(res.Rows[0].Median, "depth-first-row")
+		}
+	}
+}

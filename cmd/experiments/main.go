@@ -1,0 +1,208 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrates and prints them as text tables.
+//
+// Usage:
+//
+//	experiments [-full] [-seed N] [-run table1,figure2,table2,timing,figure3,table3,figure4,figure5]
+//
+// The default -run=all executes everything with the quick configuration;
+// -full switches to paper-scale dimensions (hours of single-core time —
+// budget accordingly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"quantumjoin/internal/experiments"
+	"quantumjoin/internal/textplot"
+	"quantumjoin/internal/transpile"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale dimensions instead of the quick configuration")
+	seed := flag.Int64("seed", 1, "master random seed")
+	run := flag.String("run", "all", "comma-separated experiments to run")
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.Full()
+	}
+	cfg.Seed = *seed
+
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		selected[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	want := func(name string) bool { return selected["all"] || selected[name] }
+
+	ran := 0
+	step := func(name string, f func() error) {
+		if !want(name) {
+			return
+		}
+		ran++
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	step("table1", func() error {
+		res, err := experiments.RunTable1(cfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	})
+	step("figure2", func() error {
+		res, err := experiments.RunFigure2(cfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		var rows []textplot.Boxplot
+		for _, r := range res.Rows {
+			if r.Panel == "precision" || r.Panel == "predicates" {
+				rows = append(rows, textplot.Boxplot{
+					Label: fmt.Sprintf("%s (%dq)", r.Label, r.Qubits),
+					Min:   r.Depths.Min, Q1: r.Depths.Q1, Median: r.Depths.Median,
+					Q3: r.Depths.Q3, Max: r.Depths.Max,
+				})
+			}
+		}
+		fmt.Println()
+		textplot.RenderBoxplots(os.Stdout, "circuit depth distributions (Falcon 27):", rows, 64)
+		return nil
+	})
+	step("table2", func() error {
+		res, err := experiments.RunTable2(cfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	})
+	step("timing", func() error {
+		res, err := experiments.RunTiming(cfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	})
+	step("figure3", func() error {
+		res, err := experiments.RunFigure3(cfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		bySeries := map[string]*textplot.Series{}
+		var order []string
+		for _, r := range res.Rows {
+			if r.Panel != "relations" || !r.OK {
+				continue
+			}
+			key := r.Graph.String()
+			s, ok := bySeries[key]
+			if !ok {
+				s = &textplot.Series{Label: key}
+				bySeries[key] = s
+				order = append(order, key)
+			}
+			s.X = append(s.X, float64(r.Relations))
+			s.Y = append(s.Y, float64(r.PhysicalQubits))
+		}
+		var series []textplot.Series
+		for _, k := range order {
+			series = append(series, *bySeries[k])
+		}
+		fmt.Println()
+		textplot.RenderLines(os.Stdout, "physical qubits vs relations (Pegasus embedding):", series, 60, 14, false)
+		return nil
+	})
+	step("table3", func() error {
+		res, err := experiments.RunTable3(cfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	})
+	step("figure4", func() error {
+		res, err := experiments.RunFigure4(cfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		var series []textplot.Series
+		for _, r := range []int{1, 5, 20} {
+			s := textplot.Series{Label: fmt.Sprintf("R=%d", r)}
+			for _, row := range res.Rows {
+				if row.Thresholds == r && row.Decimals == 2 {
+					s.X = append(s.X, float64(row.Relations))
+					s.Y = append(s.Y, float64(row.Bound))
+				}
+			}
+			series = append(series, s)
+		}
+		fmt.Println()
+		textplot.RenderLines(os.Stdout, "qubit bound vs relations (ω=0.01, log scale):", series, 60, 14, true)
+		return nil
+	})
+	step("figure5", func() error {
+		res, err := experiments.RunFigure5(cfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		n := cfg.CoDesignRelations[len(cfg.CoDesignRelations)-1]
+		var series []textplot.Series
+		for _, d := range cfg.CoDesignDensities {
+			s := textplot.Series{Label: fmt.Sprintf("d=%.2f", d)}
+			for _, row := range res.Rows {
+				if row.Platform == "ibm" && row.Density == d &&
+					row.GateSet == transpile.IBMNative && row.Router == transpile.RouterLookahead {
+					s.X = append(s.X, float64(row.Relations))
+					s.Y = append(s.Y, row.Median)
+				}
+			}
+			if len(s.X) > 0 {
+				series = append(series, s)
+			}
+		}
+		fmt.Println()
+		textplot.RenderLines(os.Stdout,
+			fmt.Sprintf("IBM heavy-hex: depth vs relations by density (≤%d relations, log scale):", n),
+			series, 60, 14, true)
+		return nil
+	})
+	step("generations", func() error {
+		res, err := experiments.RunGenerations(cfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	})
+	step("ablation", func() error {
+		res, err := experiments.RunAblation(cfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched -run=%q\n", *run)
+		os.Exit(2)
+	}
+}

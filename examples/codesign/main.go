@@ -1,0 +1,131 @@
+// Co-design study: the paper's §6.2 question — which physical QPU
+// improvements help join ordering most? For a fixed JO instance this
+// example transpiles the QAOA circuit onto IBM-, Rigetti- and IonQ-style
+// topologies, sweeps the extended-connectivity density, and compares
+// native against unrestricted gate sets and the two routing heuristics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/qaoa"
+	"quantumjoin/internal/querygen"
+	"quantumjoin/internal/stats"
+	"quantumjoin/internal/topology"
+	"quantumjoin/internal/transpile"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	q, err := querygen.Generate(querygen.Config{
+		Relations: 4, Graph: querygen.Cycle, IntegerLog: true,
+		MinLogCard: 1, MaxLogCard: 3, MinLogSel: 1, MaxLogSel: 2,
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, err := core.Encode(q, core.Options{
+		Thresholds: core.DefaultThresholds(q, 2),
+		Omega:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := qaoa.NewParams(1)
+	params.Gammas[0] = 0.35
+	params.Betas[0] = 0.6
+	logical := qaoa.BuildCircuit(enc.QUBO, params)
+	n := enc.NumQubits()
+	fmt.Printf("instance: 4-relation cycle query, %d logical qubits, %d quadratic terms\n\n",
+		n, enc.QUBO.NumQuadTerms())
+
+	median := func(dev *topology.Graph, set transpile.GateSet, router transpile.Router) float64 {
+		var ds []float64
+		for seed := int64(0); seed < 7; seed++ {
+			tr, err := transpile.Transpile(logical, dev, transpile.Options{
+				GateSet: set, Router: router, Seed: seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ds = append(ds, float64(tr.Circuit.Depth()))
+		}
+		return stats.Quantile(ds, 0.5)
+	}
+
+	fmt.Println("1. Density extrapolation (IBM heavy-hex, native gates, lookahead router):")
+	ibm := topology.ExtendIBM(n)
+	for _, d := range []float64{0, 0.05, 0.1, 0.25, 0.5, 1} {
+		dev := topology.Densify(ibm, d, rand.New(rand.NewSource(int64(d*1000))))
+		fmt.Printf("   density %.2f: median depth %5.0f (%d couplers)\n",
+			d, median(dev, transpile.IBMNative, transpile.RouterLookahead), dev.NumEdges())
+	}
+
+	fmt.Println("\n2. Platform comparison at baseline density (native gates):")
+	rig := topology.ExtendRigetti(n)
+	ion := topology.Complete("ionq-mesh", n)
+	fmt.Printf("   IBM heavy-hex (%3d qubits): %5.0f\n", ibm.N(), median(ibm, transpile.IBMNative, transpile.RouterLookahead))
+	fmt.Printf("   Rigetti Aspen (%3d qubits): %5.0f\n", rig.N(), median(rig, transpile.RigettiNative, transpile.RouterLookahead))
+	fmt.Printf("   IonQ mesh     (%3d qubits): %5.0f\n", ion.N(), median(ion, transpile.IonQNative, transpile.RouterLookahead))
+
+	fmt.Println("\n3. Native vs unrestricted gate sets (lookahead router):")
+	for _, pl := range []struct {
+		name   string
+		dev    *topology.Graph
+		native transpile.GateSet
+	}{
+		{"IBM", ibm, transpile.IBMNative},
+		{"Rigetti", rig, transpile.RigettiNative},
+		{"IonQ", ion, transpile.IonQNative},
+	} {
+		nd := median(pl.dev, pl.native, transpile.RouterLookahead)
+		ud := median(pl.dev, transpile.Unrestricted, transpile.RouterLookahead)
+		fmt.Printf("   %-8s native %5.0f vs unrestricted %5.0f (overhead %.2fx)\n",
+			pl.name, nd, ud, nd/ud)
+	}
+
+	fmt.Println("\n4. Routing heuristics (IBM, native gates):")
+	lb := median(ibm, transpile.IBMNative, transpile.RouterLookahead)
+	bb := median(ibm, transpile.IBMNative, transpile.RouterBasic)
+	fmt.Printf("   lookahead (qiskit-like) %5.0f vs basic (tket-like stand-in) %5.0f (%.2fx)\n",
+		lb, bb, bb/lb)
+
+	// 5. Beyond the paper: targeted instead of semi-stochastic density
+	// extension (the paper's §8 future-work direction). Extract the
+	// workload's interaction demands under a fixed layout and add exactly
+	// the couplers that serve them.
+	fmt.Println("\n5. Targeted vs random density extension (density 0.05, IBM native):")
+	layout := make([]int, n)
+	for i := range layout {
+		layout[i] = i
+	}
+	var pairs [][2]int
+	for _, g := range logical.Gates {
+		if g.Kind.IsTwoQubit() {
+			pairs = append(pairs, [2]int{g.Q0, g.Q1})
+		}
+	}
+	demands := topology.WorkloadDemands(pairs, layout)
+	randomDev := topology.Densify(ibm, 0.05, rand.New(rand.NewSource(99)))
+	targetedDev := topology.DensifyTargeted(ibm, 0.05, demands, rand.New(rand.NewSource(99)))
+	fixed := transpile.Options{GateSet: transpile.IBMNative, Router: transpile.RouterLookahead, Layout: layout}
+	depthOn := func(dev *topology.Graph) int {
+		tr, err := transpile.Transpile(logical, dev, fixed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return tr.Circuit.Depth()
+	}
+	rd, td := depthOn(randomDev), depthOn(targetedDev)
+	fmt.Printf("   random couplers:   depth %d\n", rd)
+	fmt.Printf("   targeted couplers: depth %d\n", td)
+	if td >= rd {
+		fmt.Println("   → a negative result worth knowing: for dense QAOA workloads the")
+		fmt.Println("     demand-greedy edges serve single pairs, while proximity-random")
+		fmt.Println("     chords improve the whole routing fabric; targeted insertion only")
+		fmt.Println("     wins when a few long-range interactions dominate the workload.")
+	}
+}

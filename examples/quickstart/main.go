@@ -1,0 +1,61 @@
+// Quickstart: encode a three-relation join ordering problem as a QUBO and
+// solve it on the simulated quantum annealer, comparing against the
+// classical optimum. This is the paper's running example (Example 3.1–3.3:
+// relations R, S, T with a predicate between R and S).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quantumjoin"
+)
+
+func main() {
+	q := quantumjoin.Query{
+		Relations: []quantumjoin.Relation{
+			{Name: "R", Card: 100},
+			{Name: "S", Card: 100},
+			{Name: "T", Card: 100},
+		},
+		Predicates: []quantumjoin.Predicate{
+			{R1: 0, R2: 1, Sel: 0.1}, // R ⋈ S with selectivity 0.1
+		},
+	}
+
+	// The classical ground truth: (R ⋈ S) ⋈ T with cost 101000.
+	optOrder, optCost, err := quantumjoin.OptimalJoinOrder(&q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classical optimum: %s (cost %.0f)\n", q.Tree(optOrder), optCost)
+
+	// Encode as a QUBO (paper §3): thresholds approximate intermediate
+	// cardinalities; each binary variable needs one qubit.
+	enc, err := quantumjoin.Encode(&q, quantumjoin.EncodeOptions{
+		Thresholds: []float64{1000},
+		Omega:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("QUBO: %d logical qubits, %d quadratic terms\n",
+		enc.NumQubits(), enc.QUBO.NumQuadTerms())
+
+	// Solve on a simulated D-Wave-style annealer.
+	res, err := quantumjoin.SolveAnnealing(enc, quantumjoin.AnnealingOptions{
+		Reads: 500,
+		Seed:  7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("annealer best: %s (cost %.0f), %d physical qubits\n",
+		q.Tree(res.Best.Order), res.Best.Cost, res.PhysicalQubits)
+	fmt.Printf("valid samples: %.1f%%, optimal samples: %.1f%%\n",
+		100*res.ValidFraction, 100*res.OptimalFraction)
+
+	if res.Best.Cost <= optCost {
+		fmt.Println("→ quantum annealing recovered the optimal join order")
+	}
+}

@@ -1,0 +1,3 @@
+module quantumjoin
+
+go 1.22

@@ -1,0 +1,306 @@
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quantumjoin/internal/minorembed"
+	"quantumjoin/internal/qubo"
+	"quantumjoin/internal/topology"
+)
+
+// Device simulates a quantum annealer with a fixed hardware graph and
+// analog control characteristics. The defaults approximate the D-Wave
+// Advantage system used in §4.2.2.
+type Device struct {
+	// Graph is the hardware connectivity (e.g. Pegasus P16).
+	Graph *topology.Graph
+	// HRange and JRange bound programmable fields/couplings after
+	// rescaling (Advantage: |h| <= 4, |J| <= 1).
+	HRange, JRange float64
+	// SigmaH and SigmaJ are the per-read Gaussian control errors (ICE) in
+	// rescaled units.
+	SigmaH, SigmaJ float64
+	// RelativeChainStrength scales the ferromagnetic chain coupling
+	// relative to the largest logical coefficient (D-Wave practice ~1.4;
+	// the paper determines chain strengths empirically per problem size).
+	RelativeChainStrength float64
+	// SweepsPerMicrosecond converts annealing time to the sampler's sweep
+	// budget.
+	SweepsPerMicrosecond float64
+	// BetaMax is the final inverse temperature of the anneal in rescaled
+	// units; finite values model the QPU's operating temperature.
+	BetaMax float64
+	// EmbeddingTries forwards to the minor embedder.
+	EmbeddingTries int
+	// NewSampler constructs the annealing dynamics for a given sweep
+	// budget; nil selects classical simulated annealing. Use
+	// PIMCSamplerFactory for path-integral (transverse-field) dynamics.
+	NewSampler SamplerFactory
+	// GaugeAveraging applies a fresh spin-reversal transform per read
+	// (standard D-Wave practice against systematic analog biases).
+	GaugeAveraging bool
+}
+
+// Annealer produces one spin configuration per read.
+type Annealer interface {
+	Anneal(p *IsingProblem, rng *rand.Rand) []int8
+}
+
+// SamplerFactory builds an Annealer for a sweep budget derived from the
+// requested annealing time.
+type SamplerFactory func(sweeps int) Annealer
+
+// PIMCSamplerFactory returns a factory for path-integral Monte Carlo
+// dynamics with the given Trotter number.
+func PIMCSamplerFactory(slices int) SamplerFactory {
+	return func(sweeps int) Annealer {
+		return PathIntegralAnnealer{Slices: slices, Sweeps: sweeps}
+	}
+}
+
+// NewAdvantage returns a device modelled after the D-Wave Advantage
+// (Pegasus P16, 5640 qubits). Construction generates the Pegasus graph and
+// is somewhat expensive; reuse the device across samples.
+func NewAdvantage() *Device {
+	return NewDevice(topology.Advantage())
+}
+
+// NewDevice wraps an arbitrary hardware graph with Advantage-like analog
+// characteristics.
+func NewDevice(g *topology.Graph) *Device {
+	return &Device{
+		Graph:  g,
+		HRange: 4, JRange: 1,
+		SigmaH: 0.02, SigmaJ: 0.015,
+		RelativeChainStrength: 1.4,
+		SweepsPerMicrosecond:  3,
+		BetaMax:               6,
+		EmbeddingTries:        12,
+	}
+}
+
+// Result is the outcome of sampling one QUBO on the device.
+type Result struct {
+	// Assignments are the unembedded logical samples.
+	Assignments [][]bool
+	// Energies are the logical QUBO values of the samples.
+	Energies []float64
+	// Embedding is the minor embedding used.
+	Embedding *minorembed.Embedding
+	// PhysicalQubits is the embedding footprint (Figure 3's metric).
+	PhysicalQubits int
+	// ChainBreakFraction is the fraction of (read, chain) pairs whose
+	// physical qubits disagreed and were resolved by majority vote.
+	ChainBreakFraction float64
+	// AnnealTimeMicros echoes the requested annealing time.
+	AnnealTimeMicros float64
+}
+
+// EmbedOnly computes the minor embedding of the QUBO's interaction graph
+// without sampling — sufficient for the Figure 3 scaling study.
+func (d *Device) EmbedOnly(q *qubo.QUBO, seed int64) (*minorembed.Embedding, error) {
+	return minorembed.Embed(q.AdjacencyLists(), d.Graph, minorembed.Options{
+		Tries: d.EmbeddingTries,
+		Seed:  seed,
+	})
+}
+
+// Sample embeds the QUBO and draws reads samples at the given annealing
+// time (µs). Chain couplings use the device's relative chain strength;
+// each read sees fresh ICE noise.
+func (d *Device) Sample(q *qubo.QUBO, reads int, annealTimeMicros float64, seed int64) (*Result, error) {
+	if reads <= 0 {
+		return nil, fmt.Errorf("anneal: reads must be positive, got %d", reads)
+	}
+	if annealTimeMicros <= 0 {
+		return nil, fmt.Errorf("anneal: annealing time must be positive, got %v", annealTimeMicros)
+	}
+	emb, err := d.EmbedOnly(q, seed)
+	if err != nil {
+		return nil, err
+	}
+	return d.SampleEmbedded(q, emb, reads, annealTimeMicros, seed)
+}
+
+// SampleEmbedded is Sample with a precomputed embedding (reuse across
+// annealing-time sweeps, as the paper does).
+func (d *Device) SampleEmbedded(q *qubo.QUBO, emb *minorembed.Embedding, reads int, annealTimeMicros float64, seed int64) (*Result, error) {
+	physical, chainOf, err := d.buildPhysical(q, emb)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	sweeps := int(annealTimeMicros * d.SweepsPerMicrosecond)
+	if sweeps < 4 {
+		sweeps = 4
+	}
+	var sampler Annealer = SimulatedAnnealer{Sweeps: sweeps, BetaMin: 0.05, BetaMax: d.BetaMax}
+	if d.NewSampler != nil {
+		sampler = d.NewSampler(sweeps)
+	}
+	res := &Result{
+		Embedding:        emb,
+		PhysicalQubits:   emb.PhysicalQubits(),
+		AnnealTimeMicros: annealTimeMicros,
+	}
+	breaks, total := 0, 0
+	for r := 0; r < reads; r++ {
+		prob := physical
+		if d.SigmaH > 0 || d.SigmaJ > 0 {
+			prob = physical.Copy()
+			prob.Perturb(d.SigmaH, d.SigmaJ, rng)
+		}
+		var gauge GaugeTransform
+		if d.GaugeAveraging {
+			gauge = NewGaugeTransform(prob.N(), rng)
+			prob = gauge.Apply(prob)
+		}
+		spins := sampler.Anneal(prob, rng)
+		if d.GaugeAveraging {
+			spins = gauge.Undo(spins)
+		}
+		x := make([]bool, q.N())
+		for v, chain := range emb.Chains {
+			up := 0
+			for _, pq := range chain {
+				if spins[chainOf[pq].spinIndex] > 0 {
+					up++
+				}
+			}
+			if up*2 > len(chain) {
+				x[v] = true
+			} else if up*2 == len(chain) {
+				x[v] = rng.Intn(2) == 0
+			}
+			if up != 0 && up != len(chain) {
+				breaks++
+			}
+			total++
+		}
+		res.Assignments = append(res.Assignments, x)
+		res.Energies = append(res.Energies, q.Value(x))
+	}
+	if total > 0 {
+		res.ChainBreakFraction = float64(breaks) / float64(total)
+	}
+	return res, nil
+}
+
+type physQubit struct {
+	spinIndex int
+	variable  int
+}
+
+// buildPhysical constructs the embedded, rescaled Ising problem: logical
+// fields are split evenly across chain qubits, logical couplings evenly
+// across all available inter-chain couplers, and chain qubits are tied
+// with a ferromagnetic coupling −chainStrength.
+func (d *Device) buildPhysical(q *qubo.QUBO, emb *minorembed.Embedding) (*IsingProblem, map[int]physQubit, error) {
+	if len(emb.Chains) != q.N() {
+		return nil, nil, fmt.Errorf("anneal: embedding has %d chains for %d variables", len(emb.Chains), q.N())
+	}
+	logical := q.ToIsing()
+	// Index used physical qubits densely.
+	chainOf := make(map[int]physQubit)
+	for v, chain := range emb.Chains {
+		for _, pq := range chain {
+			if _, dup := chainOf[pq]; dup {
+				return nil, nil, fmt.Errorf("anneal: qubit %d appears in multiple chains", pq)
+			}
+			chainOf[pq] = physQubit{spinIndex: len(chainOf), variable: v}
+		}
+	}
+	p := NewIsingProblem(len(chainOf))
+	p.Const = logical.Offset
+
+	maxAbs := 0.0
+	for _, h := range logical.H {
+		if a := math.Abs(h); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for _, j := range logical.J {
+		if a := math.Abs(j); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	chainStrength := d.RelativeChainStrength * maxAbs
+
+	// Fields split across chains.
+	for v, chain := range emb.Chains {
+		share := logical.H[v] / float64(len(chain))
+		for _, pq := range chain {
+			p.H[chainOf[pq].spinIndex] += share
+		}
+	}
+	// Logical couplings split across available physical couplers.
+	for pair, j := range logical.J {
+		var couplers [][2]int
+		inB := make(map[int]bool)
+		for _, pq := range emb.Chains[pair.J] {
+			inB[pq] = true
+		}
+		for _, pa := range emb.Chains[pair.I] {
+			for _, nb := range d.Graph.Neighbors(pa) {
+				if inB[nb] {
+					couplers = append(couplers, [2]int{pa, nb})
+				}
+			}
+		}
+		if len(couplers) == 0 {
+			return nil, nil, fmt.Errorf("anneal: no physical coupler for logical edge (%d,%d)", pair.I, pair.J)
+		}
+		share := j / float64(len(couplers))
+		for _, c := range couplers {
+			p.AddCoupling(chainOf[c[0]].spinIndex, chainOf[c[1]].spinIndex, share)
+		}
+	}
+	// Ferromagnetic chain couplings along a spanning structure of each
+	// chain (every hardware edge internal to the chain).
+	for _, chain := range emb.Chains {
+		inChain := make(map[int]bool, len(chain))
+		for _, pq := range chain {
+			inChain[pq] = true
+		}
+		for _, pa := range chain {
+			for _, nb := range d.Graph.Neighbors(pa) {
+				if inChain[nb] && pa < nb {
+					p.AddCoupling(chainOf[pa].spinIndex, chainOf[nb].spinIndex, -chainStrength)
+				}
+			}
+		}
+	}
+	// Rescale into the programmable range: the limited analog resolution
+	// is what makes wide coefficient ranges (penalty weights vs. costs)
+	// problematic on annealers (§3.4).
+	scale := 1.0
+	if m := p.MaxAbs(); m > d.JRange {
+		scale = d.JRange / m
+	}
+	p.Scale(scale)
+	return p, chainOf, nil
+}
+
+// TimingModel mirrors D-Wave's access-time accounting: programming once
+// per problem, then per read the anneal, readout and a thermalisation
+// delay. Times in microseconds.
+type TimingModel struct {
+	ProgrammingMicros float64
+	ReadoutMicros     float64
+	DelayMicros       float64
+}
+
+// DefaultTimingModel returns Advantage-like constants.
+func DefaultTimingModel() TimingModel {
+	return TimingModel{ProgrammingMicros: 15000, ReadoutMicros: 120, DelayMicros: 20}
+}
+
+// QPUAccessMicros returns the total QPU access time for a sampling job.
+func (t TimingModel) QPUAccessMicros(reads int, annealTimeMicros float64) float64 {
+	return t.ProgrammingMicros + float64(reads)*(annealTimeMicros+t.ReadoutMicros+t.DelayMicros)
+}

@@ -1,0 +1,51 @@
+package anneal
+
+import "math/rand"
+
+// GaugeTransform is a spin-reversal transform: a random sign vector
+// g ∈ {±1}^n applied as h'_i = g_i h_i and J'_ij = g_i g_j J_ij. The
+// transformed problem has an identical energy landscape up to the spin
+// relabelling s_i → g_i s_i, but analog biases of the hardware (or of a
+// sampler) act on different physical configurations — averaging over
+// gauges is standard D-Wave practice to decorrelate systematic control
+// errors from the problem structure.
+type GaugeTransform struct {
+	Signs []int8
+}
+
+// NewGaugeTransform draws a random gauge for n spins.
+func NewGaugeTransform(n int, rng *rand.Rand) GaugeTransform {
+	g := GaugeTransform{Signs: make([]int8, n)}
+	for i := range g.Signs {
+		if rng.Intn(2) == 0 {
+			g.Signs[i] = 1
+		} else {
+			g.Signs[i] = -1
+		}
+	}
+	return g
+}
+
+// Apply returns the gauge-transformed copy of the problem.
+func (g GaugeTransform) Apply(p *IsingProblem) *IsingProblem {
+	out := p.Copy()
+	for i := range out.H {
+		out.H[i] *= float64(g.Signs[i])
+	}
+	for i := range out.Adj {
+		for k := range out.Adj[i] {
+			out.Adj[i][k].J *= float64(g.Signs[i]) * float64(g.Signs[out.Adj[i][k].To])
+		}
+	}
+	return out
+}
+
+// Undo maps a spin configuration of the transformed problem back to the
+// original problem's frame.
+func (g GaugeTransform) Undo(s []int8) []int8 {
+	out := make([]int8, len(s))
+	for i := range s {
+		out[i] = s[i] * g.Signs[i]
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/qubo"
+)
+
+func TestGaugePreservesEnergyLandscape(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	p := NewIsingProblem(6)
+	for i := range p.H {
+		p.H[i] = rng.NormFloat64()
+	}
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if rng.Float64() < 0.6 {
+				p.AddCoupling(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	g := NewGaugeTransform(6, rng)
+	tp := g.Apply(p)
+	// For every configuration s of the transformed problem, the energy
+	// equals the original energy of Undo(s).
+	for bits := 0; bits < 64; bits++ {
+		s := make([]int8, 6)
+		for i := range s {
+			if bits&(1<<i) != 0 {
+				s[i] = 1
+			} else {
+				s[i] = -1
+			}
+		}
+		if math.Abs(tp.Energy(s)-p.Energy(g.Undo(s))) > 1e-9 {
+			t.Fatalf("gauge broke the landscape at %b", bits)
+		}
+	}
+}
+
+func TestGaugeUndoIsInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	g := NewGaugeTransform(5, rng)
+	s := []int8{1, -1, 1, 1, -1}
+	if got := g.Undo(g.Undo(s)); got[0] != 1 || got[1] != -1 || got[4] != -1 {
+		t.Fatal("double undo changed spins")
+	}
+}
+
+func TestDeviceGaugeAveragingStillSolves(t *testing.T) {
+	d := testDevice()
+	d.GaugeAveraging = true
+	q := qubo.New(3)
+	q.AddLinear(0, 2)
+	q.AddLinear(1, -1)
+	q.AddLinear(2, -1)
+	q.AddQuad(0, 1, 1)
+	q.AddQuad(0, 2, 1)
+	res, err := d.Sample(q, 40, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Energies[0]
+	for _, e := range res.Energies {
+		if e < best {
+			best = e
+		}
+	}
+	if best > -2+1e-9 {
+		t.Fatalf("gauge-averaged device best energy %v, want -2", best)
+	}
+}

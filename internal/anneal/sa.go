@@ -1,0 +1,194 @@
+// Package anneal simulates quantum annealing on a D-Wave-style QPU: the
+// logical QUBO is minor-embedded onto the hardware graph, linear and
+// quadratic coefficients are distributed over qubit chains, analog control
+// noise (ICE) perturbs the programmed Hamiltonian per read, and an
+// annealing sampler produces spin configurations that are unembedded by
+// majority vote (§2.2.2, §4.2.2).
+//
+// Substitution note (DESIGN.md): the quantum annealing dynamics themselves
+// are replaced by classical simulated annealing (plus an optional
+// path-integral Monte Carlo mode approximating transverse-field dynamics);
+// the annealing time maps to a sweep budget. The mechanisms driving the
+// paper's Table 3 — chain growth, finite analog precision, thermal noise —
+// are preserved exactly.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// IsingProblem is a sparse Ising Hamiltonian over spins ±1, stored as
+// adjacency lists for fast single-spin-flip dynamics.
+type IsingProblem struct {
+	H     []float64
+	Adj   [][]coupling
+	Const float64
+}
+
+type coupling struct {
+	To int
+	J  float64
+}
+
+// NewIsingProblem allocates an empty problem over n spins.
+func NewIsingProblem(n int) *IsingProblem {
+	return &IsingProblem{H: make([]float64, n), Adj: make([][]coupling, n)}
+}
+
+// AddCoupling adds J·s_a·s_b.
+func (p *IsingProblem) AddCoupling(a, b int, j float64) {
+	if a == b {
+		panic(fmt.Sprintf("anneal: self-coupling on spin %d", a))
+	}
+	p.Adj[a] = append(p.Adj[a], coupling{b, j})
+	p.Adj[b] = append(p.Adj[b], coupling{a, j})
+}
+
+// N returns the spin count.
+func (p *IsingProblem) N() int { return len(p.H) }
+
+// Energy evaluates the Hamiltonian.
+func (p *IsingProblem) Energy(s []int8) float64 {
+	e := p.Const
+	for i, h := range p.H {
+		e += h * float64(s[i])
+	}
+	for i, nbrs := range p.Adj {
+		for _, c := range nbrs {
+			if c.To > i {
+				e += c.J * float64(s[i]) * float64(s[c.To])
+			}
+		}
+	}
+	return e
+}
+
+// MaxAbs returns the largest absolute field or coupling, used for
+// rescaling into the hardware's programmable range.
+func (p *IsingProblem) MaxAbs() float64 {
+	m := 0.0
+	for _, h := range p.H {
+		if a := math.Abs(h); a > m {
+			m = a
+		}
+	}
+	for _, nbrs := range p.Adj {
+		for _, c := range nbrs {
+			if a := math.Abs(c.J); a > m {
+				m = a
+			}
+		}
+	}
+	return m
+}
+
+// Scale multiplies all coefficients by f.
+func (p *IsingProblem) Scale(f float64) {
+	for i := range p.H {
+		p.H[i] *= f
+	}
+	for i := range p.Adj {
+		for k := range p.Adj[i] {
+			p.Adj[i][k].J *= f
+		}
+	}
+	p.Const *= f
+}
+
+// Copy returns a deep copy.
+func (p *IsingProblem) Copy() *IsingProblem {
+	c := NewIsingProblem(p.N())
+	copy(c.H, p.H)
+	c.Const = p.Const
+	for i := range p.Adj {
+		c.Adj[i] = append([]coupling(nil), p.Adj[i]...)
+	}
+	return c
+}
+
+// Perturb adds independent Gaussian noise to every field (sigmaH) and
+// every coupling (sigmaJ) — D-Wave's integrated control errors (ICE).
+// Couplings are stored twice (once per endpoint); both copies receive the
+// same perturbation.
+func (p *IsingProblem) Perturb(sigmaH, sigmaJ float64, rng *rand.Rand) {
+	for i := range p.H {
+		p.H[i] += rng.NormFloat64() * sigmaH
+	}
+	for i := range p.Adj {
+		for k := range p.Adj[i] {
+			c := p.Adj[i][k]
+			if c.To < i {
+				continue
+			}
+			d := rng.NormFloat64() * sigmaJ
+			p.Adj[i][k].J += d
+			// Find the mirrored entry.
+			for k2 := range p.Adj[c.To] {
+				if p.Adj[c.To][k2].To == i {
+					p.Adj[c.To][k2].J += d
+					break
+				}
+			}
+		}
+	}
+}
+
+// SimulatedAnnealer is a Metropolis single-spin-flip annealer with a
+// geometric inverse-temperature schedule.
+type SimulatedAnnealer struct {
+	// Sweeps is the number of full sweeps per read.
+	Sweeps int
+	// BetaMin and BetaMax bound the geometric β schedule (defaults 0.1
+	// and 10, in units of the rescaled Hamiltonian).
+	BetaMin, BetaMax float64
+}
+
+// Anneal runs one read from a random initial state and returns the final
+// spin configuration.
+func (sa SimulatedAnnealer) Anneal(p *IsingProblem, rng *rand.Rand) []int8 {
+	if sa.Sweeps <= 0 {
+		sa.Sweeps = 64
+	}
+	if sa.BetaMin == 0 {
+		sa.BetaMin = 0.1
+	}
+	if sa.BetaMax == 0 {
+		sa.BetaMax = 10
+	}
+	n := p.N()
+	s := make([]int8, n)
+	local := make([]float64, n)
+	for i := range s {
+		if rng.Intn(2) == 0 {
+			s[i] = 1
+		} else {
+			s[i] = -1
+		}
+	}
+	for i := range local {
+		f := p.H[i]
+		for _, c := range p.Adj[i] {
+			f += c.J * float64(s[c.To])
+		}
+		local[i] = f
+	}
+	ratio := math.Pow(sa.BetaMax/sa.BetaMin, 1/math.Max(1, float64(sa.Sweeps-1)))
+	beta := sa.BetaMin
+	for sweep := 0; sweep < sa.Sweeps; sweep++ {
+		for i := 0; i < n; i++ {
+			// ΔE for flipping spin i.
+			dE := -2 * float64(s[i]) * local[i]
+			if dE <= 0 || rng.Float64() < math.Exp(-beta*dE) {
+				old := float64(s[i])
+				s[i] = -s[i]
+				for _, c := range p.Adj[i] {
+					local[c.To] -= 2 * c.J * old
+				}
+			}
+		}
+		beta *= ratio
+	}
+	return s
+}

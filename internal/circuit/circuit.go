@@ -1,0 +1,199 @@
+// Package circuit provides quantum gates and circuits: the intermediate
+// representation shared by the QAOA builder, the transpiler, and the
+// statevector simulator. Circuits are flat gate lists; depth is computed
+// from per-qubit dependency chains (the metric the paper reports in
+// Figures 2 and 5).
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind enumerates the supported gate types. The set covers everything QAOA
+// circuits need plus the native gate sets of the three hardware platforms
+// studied in §6.2 (IBM: CX/RZ/SX/X, Rigetti: CZ/RZ/RX, IonQ: XX/1Q
+// rotations).
+type Kind int
+
+const (
+	// H is the Hadamard gate.
+	H Kind = iota
+	// X is the Pauli-X gate.
+	X
+	// SX is the square root of X (IBM native).
+	SX
+	// RX is a rotation about the X axis by Param.
+	RX
+	// RY is a rotation about the Y axis by Param.
+	RY
+	// RZ is a rotation about the Z axis by Param.
+	RZ
+	// CX is the controlled-X gate (control = Qubits[0]).
+	CX
+	// CZ is the controlled-Z gate (symmetric).
+	CZ
+	// SWAP exchanges two qubits.
+	SWAP
+	// RZZ is exp(-i Param/2 Z⊗Z), the two-qubit interaction QAOA cost
+	// operators are built from.
+	RZZ
+	// XX is the Mølmer–Sørensen interaction exp(-i Param/2 X⊗X), native on
+	// trapped-ion hardware (IonQ).
+	XX
+	numKinds
+)
+
+var kindNames = [...]string{"h", "x", "sx", "rx", "ry", "rz", "cx", "cz", "swap", "rzz", "xx"}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsTwoQubit reports whether the kind acts on two qubits.
+func (k Kind) IsTwoQubit() bool {
+	switch k {
+	case CX, CZ, SWAP, RZZ, XX:
+		return true
+	default:
+		return false
+	}
+}
+
+// HasParam reports whether the kind carries a rotation angle.
+func (k Kind) HasParam() bool {
+	switch k {
+	case RX, RY, RZ, RZZ, XX:
+		return true
+	default:
+		return false
+	}
+}
+
+// Gate is one operation on one or two qubits.
+type Gate struct {
+	Kind   Kind
+	Q0, Q1 int // Q1 = -1 for single-qubit gates
+	Param  float64
+}
+
+// G1 constructs a single-qubit gate.
+func G1(k Kind, q int, param float64) Gate { return Gate{Kind: k, Q0: q, Q1: -1, Param: param} }
+
+// G2 constructs a two-qubit gate.
+func G2(k Kind, a, b int, param float64) Gate { return Gate{Kind: k, Q0: a, Q1: b, Param: param} }
+
+// Circuit is an ordered gate list over a fixed number of qubits.
+type Circuit struct {
+	NumQubits int
+	Gates     []Gate
+}
+
+// New creates an empty circuit.
+func New(n int) *Circuit {
+	if n <= 0 {
+		panic(fmt.Sprintf("circuit: non-positive qubit count %d", n))
+	}
+	return &Circuit{NumQubits: n}
+}
+
+// Append adds gates, validating qubit indices.
+func (c *Circuit) Append(gs ...Gate) {
+	for _, g := range gs {
+		if g.Q0 < 0 || g.Q0 >= c.NumQubits {
+			panic(fmt.Sprintf("circuit: gate %v qubit %d out of range [0,%d)", g.Kind, g.Q0, c.NumQubits))
+		}
+		if g.Kind.IsTwoQubit() {
+			if g.Q1 < 0 || g.Q1 >= c.NumQubits || g.Q1 == g.Q0 {
+				panic(fmt.Sprintf("circuit: gate %v qubits (%d,%d) invalid", g.Kind, g.Q0, g.Q1))
+			}
+		} else if g.Q1 != -1 {
+			panic(fmt.Sprintf("circuit: single-qubit gate %v has second qubit %d", g.Kind, g.Q1))
+		}
+		c.Gates = append(c.Gates, g)
+	}
+}
+
+// Copy returns a deep copy.
+func (c *Circuit) Copy() *Circuit {
+	return &Circuit{NumQubits: c.NumQubits, Gates: append([]Gate(nil), c.Gates...)}
+}
+
+// Depth returns the circuit depth: the length of the longest chain of
+// gates that must execute sequentially because they share qubits. This is
+// the quantity bounded by coherence time (§2.2.1, Figures 2 and 5).
+func (c *Circuit) Depth() int {
+	level := make([]int, c.NumQubits)
+	depth := 0
+	for _, g := range c.Gates {
+		l := level[g.Q0]
+		if g.Kind.IsTwoQubit() && level[g.Q1] > l {
+			l = level[g.Q1]
+		}
+		l++
+		level[g.Q0] = l
+		if g.Kind.IsTwoQubit() {
+			level[g.Q1] = l
+		}
+		if l > depth {
+			depth = l
+		}
+	}
+	return depth
+}
+
+// CountKind returns the number of gates of the given kind.
+func (c *Circuit) CountKind(k Kind) int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// CountTwoQubit returns the number of two-qubit gates — the dominant error
+// source on NISQ hardware.
+func (c *Circuit) CountTwoQubit() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind.IsTwoQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// CountSingleQubit returns the number of single-qubit gates.
+func (c *Circuit) CountSingleQubit() int { return len(c.Gates) - c.CountTwoQubit() }
+
+// Duration estimates the wall-clock execution time given per-gate times
+// for single- and two-qubit operations: the critical-path sum, i.e.
+// depth-weighted by the slowest gate per layer is approximated as
+// depth × the weighted average gate time (the paper's d·g_avg model).
+func (c *Circuit) Duration(t1q, t2q float64) float64 {
+	n1, n2 := c.CountSingleQubit(), c.CountTwoQubit()
+	total := n1 + n2
+	if total == 0 {
+		return 0
+	}
+	avg := (float64(n1)*t1q + float64(n2)*t2q) / float64(total)
+	return float64(c.Depth()) * avg
+}
+
+// NormalizeAngle maps an angle into (-π, π] for stable comparison.
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	if a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	return a
+}

@@ -1,0 +1,125 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDepth(t *testing.T) {
+	c := New(3)
+	if c.Depth() != 0 {
+		t.Fatal("empty circuit depth != 0")
+	}
+	c.Append(G1(H, 0, 0), G1(H, 1, 0), G1(H, 2, 0)) // parallel layer
+	if c.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", c.Depth())
+	}
+	c.Append(G2(CX, 0, 1, 0)) // depends on both
+	if c.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", c.Depth())
+	}
+	c.Append(G1(RZ, 2, 1)) // parallel to the CX chain
+	if c.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", c.Depth())
+	}
+	c.Append(G2(CX, 1, 2, 0))
+	if c.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", c.Depth())
+	}
+}
+
+func TestCounts(t *testing.T) {
+	c := New(2)
+	c.Append(G1(H, 0, 0), G2(CX, 0, 1, 0), G2(RZZ, 0, 1, 0.5), G1(RZ, 1, 0.2))
+	if c.CountTwoQubit() != 2 || c.CountSingleQubit() != 2 {
+		t.Fatalf("counts: 2q=%d 1q=%d", c.CountTwoQubit(), c.CountSingleQubit())
+	}
+	if c.CountKind(CX) != 1 || c.CountKind(H) != 1 || c.CountKind(X) != 0 {
+		t.Fatal("CountKind wrong")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	c := New(2)
+	c.Append(G1(H, 0, 0), G2(CX, 0, 1, 0))
+	// depth 2, avg gate time (50+300)/2 = 175 -> 350.
+	if got := c.Duration(50, 300); math.Abs(got-350) > 1e-9 {
+		t.Fatalf("Duration = %v, want 350", got)
+	}
+	if New(2).Duration(50, 300) != 0 {
+		t.Fatal("empty circuit duration != 0")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	cases := []func(){
+		func() { New(2).Append(G1(H, 2, 0)) },                 // out of range
+		func() { New(2).Append(G2(CX, 0, 0, 0)) },             // same qubit twice
+		func() { New(2).Append(G2(CX, 0, 5, 0)) },             // second out of range
+		func() { New(2).Append(Gate{Kind: H, Q0: 0, Q1: 1}) }, // 1q gate with q1
+		func() { New(0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	c := New(2)
+	c.Append(G1(H, 0, 0))
+	d := c.Copy()
+	d.Append(G1(X, 1, 0))
+	if len(c.Gates) != 1 {
+		t.Fatal("Copy shares gate slice")
+	}
+}
+
+func TestKindProperties(t *testing.T) {
+	for _, k := range []Kind{CX, CZ, SWAP, RZZ, XX} {
+		if !k.IsTwoQubit() {
+			t.Errorf("%v should be two-qubit", k)
+		}
+	}
+	for _, k := range []Kind{H, X, SX, RX, RY, RZ} {
+		if k.IsTwoQubit() {
+			t.Errorf("%v should be single-qubit", k)
+		}
+	}
+	for _, k := range []Kind{RX, RY, RZ, RZZ, XX} {
+		if !k.HasParam() {
+			t.Errorf("%v should carry a parameter", k)
+		}
+	}
+	if H.HasParam() || CX.HasParam() {
+		t.Error("H/CX should not carry parameters")
+	}
+	if H.String() != "h" || RZZ.String() != "rzz" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-0.5, -0.5},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

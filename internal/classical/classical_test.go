@@ -1,0 +1,129 @@
+package classical
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/join"
+)
+
+func paperQuery() *join.Query {
+	return &join.Query{
+		Relations: []join.Relation{
+			{Name: "R", Card: 100}, {Name: "S", Card: 100}, {Name: "T", Card: 100},
+		},
+		Predicates: []join.Predicate{{R1: 0, R2: 1, Sel: 0.1}},
+	}
+}
+
+func randomQuery(rng *rand.Rand, n int) *join.Query {
+	q := &join.Query{}
+	for i := 0; i < n; i++ {
+		q.Relations = append(q.Relations, join.Relation{Card: math.Pow(10, 1+rng.Float64()*3)})
+	}
+	for i := 1; i < n; i++ {
+		q.Predicates = append(q.Predicates, join.Predicate{
+			R1: rng.Intn(i), R2: i, Sel: math.Pow(10, -rng.Float64()*2),
+		})
+	}
+	return q
+}
+
+func TestOptimalPaperExample(t *testing.T) {
+	r, err := Optimal(paperQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Cost-101000) > 1e-6 {
+		t.Fatalf("optimal cost = %v, want 101000", r.Cost)
+	}
+	// The optimum must start with {R, S} in either order, then T.
+	if r.Order[2] != 2 {
+		t.Fatalf("optimal order = %v, want T last", r.Order)
+	}
+}
+
+func TestOptimalMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		q := randomQuery(rng, n)
+		opt, err := Optimal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exh, err := Exhaustive(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(opt.Cost-exh.Cost) > 1e-6*exh.Cost {
+			t.Fatalf("n=%d: DP cost %v != exhaustive cost %v", n, opt.Cost, exh.Cost)
+		}
+		if got := q.Cost(opt.Order); math.Abs(got-opt.Cost) > 1e-6*opt.Cost {
+			t.Fatalf("DP order %v costs %v, reported %v", opt.Order, got, opt.Cost)
+		}
+	}
+}
+
+func TestGreedyIsValidAndNotBetterThanOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		q := randomQuery(rng, 3+rng.Intn(8))
+		g := Greedy(q)
+		if !g.Order.IsPermutation(q.NumRelations()) {
+			t.Fatalf("greedy order %v not a permutation", g.Order)
+		}
+		if got := q.Cost(g.Order); math.Abs(got-g.Cost) > 1e-6*got {
+			t.Fatalf("greedy cost mismatch: %v vs %v", got, g.Cost)
+		}
+		opt, err := OptimalCost(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Cost < opt*(1-1e-9) {
+			t.Fatalf("greedy %v beat optimal %v", g.Cost, opt)
+		}
+	}
+}
+
+func TestIsOptimal(t *testing.T) {
+	q := paperQuery()
+	ok, err := IsOptimal(q, 101000)
+	if err != nil || !ok {
+		t.Fatalf("IsOptimal(101000) = %v, %v", ok, err)
+	}
+	ok, err = IsOptimal(q, 110000)
+	if err != nil || ok {
+		t.Fatalf("IsOptimal(110000) = %v, %v", ok, err)
+	}
+}
+
+func TestErrorsOnDegenerateInput(t *testing.T) {
+	q := &join.Query{Relations: []join.Relation{{Card: 10}}}
+	if _, err := Optimal(q); err == nil {
+		t.Error("Optimal accepted single relation")
+	}
+	if _, err := Exhaustive(q); err == nil {
+		t.Error("Exhaustive accepted single relation")
+	}
+	big := randomQuery(rand.New(rand.NewSource(1)), MaxExhaustiveRelations+1)
+	if _, err := Exhaustive(big); err == nil {
+		t.Error("Exhaustive accepted oversized instance")
+	}
+}
+
+func TestOptimalLargeInstance(t *testing.T) {
+	q := randomQuery(rand.New(rand.NewSource(3)), 15)
+	r, err := Optimal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Order.IsPermutation(15) {
+		t.Fatalf("order %v not a permutation", r.Order)
+	}
+	// Optimum can be no worse than greedy.
+	if g := Greedy(q); r.Cost > g.Cost*(1+1e-9) {
+		t.Fatalf("DP cost %v worse than greedy %v", r.Cost, g.Cost)
+	}
+}

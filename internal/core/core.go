@@ -1,0 +1,428 @@
+// Package core implements the paper's primary contribution: the first QUBO
+// formulation of the join ordering problem (§3), obtained in three steps:
+//
+//  1. a mixed-integer linear program for left-deep join trees with cross
+//     products, after Trummer & Koch, manually pruned of redundant
+//     variables and constraints (§3.1–3.2, Table 1),
+//  2. a binary integer linear program (BILP) obtained by converting
+//     inequalities to equalities with binary-discretised slack variables
+//     at precision ω (§3.3),
+//  3. the penalty-form QUBO H = A·H_constraints + B·H_cost (§3.4).
+//
+// It also implements the solution post-processing of §3.5 (decoding a join
+// order from the tii variables and judging validity/optimality) and the
+// formal qubit-demand analysis of §5 (Lemma 5.1, Lemma 5.2, Theorem 5.3).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/linprog"
+	"quantumjoin/internal/qubo"
+)
+
+// VarKind labels the semantic role of a model variable.
+type VarKind int
+
+const (
+	// TIO marks a "table in outer operand" variable tio[t][j].
+	TIO VarKind = iota
+	// TII marks a "table in inner operand" variable tii[t][j].
+	TII
+	// PAO marks a "predicate applicable in outer operand" variable pao[p][j].
+	PAO
+	// CTO marks a "cardinality threshold reached by outer operand" variable
+	// cto[r][j].
+	CTO
+)
+
+// String implements fmt.Stringer.
+func (k VarKind) String() string {
+	switch k {
+	case TIO:
+		return "tio"
+	case TII:
+		return "tii"
+	case PAO:
+		return "pao"
+	case CTO:
+		return "cto"
+	default:
+		return fmt.Sprintf("VarKind(%d)", int(k))
+	}
+}
+
+// VarInfo describes one decision variable of the MILP/BILP model. Exactly
+// one of T/P/R is meaningful depending on Kind; J is the join index.
+type VarInfo struct {
+	Kind VarKind
+	T    int // relation index (TIO, TII)
+	P    int // predicate index (PAO)
+	R    int // threshold index (CTO)
+	J    int // join index
+}
+
+// Options configure the encoding.
+type Options struct {
+	// Thresholds are the cardinality threshold values θ_r used to
+	// approximate intermediate result cardinalities (§3.2). Must be
+	// positive and non-empty; use DefaultThresholds for a sensible spread.
+	Thresholds []float64
+	// Omega is the discretisation precision ω for continuous slack
+	// variables (1 = integer precision, 0.1 = one decimal digit, ...).
+	// Defaults to 1.
+	Omega float64
+	// Original disables the paper's manual pruning (§3.2, Table 1) and
+	// builds the unpruned Trummer/Koch-style model instead; used for the
+	// Table 1 comparison.
+	Original bool
+	// LogObjective uses log10(θ_r) instead of θ_r as the objective weight
+	// of cto variables. The paper adds the plain threshold value; the log
+	// variant is provided as an ablation because it dramatically shrinks
+	// the coefficient range that annealers must represent.
+	LogObjective bool
+	// PenaltyEps is the ε added to the minimal penalty weight A (§3.4).
+	// Defaults to 0.5.
+	PenaltyEps float64
+	// PenaltyA and PenaltyB override the automatically derived penalty
+	// weights when non-zero.
+	PenaltyA, PenaltyB float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Omega == 0 {
+		o.Omega = 1
+	}
+	if o.PenaltyEps == 0 {
+		o.PenaltyEps = 0.5
+	}
+	return o
+}
+
+// Encoding is a fully built QUBO encoding of a join ordering problem along
+// with the intermediate models and the variable metadata needed to decode
+// QPU samples back into join orders.
+type Encoding struct {
+	Query *join.Query
+	Opts  Options
+
+	// MILP is the (possibly pruned) model with inequality constraints.
+	MILP *linprog.Model
+	// BILP is the equality-only model after slack discretisation.
+	BILP *linprog.Model
+	// QUBO is the final penalty-form objective.
+	QUBO *qubo.QUBO
+
+	// Infos describes the decision variables (indices < len(Infos));
+	// variables beyond are slack bits.
+	Infos []VarInfo
+
+	// PenaltyA and PenaltyB are the weights actually used.
+	PenaltyA, PenaltyB float64
+
+	tii [][]int // tii[t][j] -> variable index
+	tio [][]int // tio[t][j] -> variable index
+}
+
+// NumQubits returns the number of logical qubits the encoding needs (one
+// per binary variable, §3.4).
+func (e *Encoding) NumQubits() int { return e.QUBO.N() }
+
+// NumDecisionVars returns the number of problem-encoding variables
+// (excluding slack bits).
+func (e *Encoding) NumDecisionVars() int { return len(e.Infos) }
+
+// TIIVar returns the BILP variable index of tii[t][j].
+func (e *Encoding) TIIVar(t, j int) int { return e.tii[t][j] }
+
+// TIOVar returns the BILP variable index of tio[t][j].
+func (e *Encoding) TIOVar(t, j int) int { return e.tio[t][j] }
+
+// Encode builds the QUBO encoding for the query under the given options.
+func Encode(q *join.Query, opts Options) (*Encoding, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if len(opts.Thresholds) == 0 {
+		return nil, fmt.Errorf("core: at least one threshold value is required")
+	}
+	for _, th := range opts.Thresholds {
+		if th <= 0 || math.IsNaN(th) || math.IsInf(th, 0) {
+			return nil, fmt.Errorf("core: invalid threshold value %v", th)
+		}
+	}
+	if opts.Omega <= 0 {
+		return nil, fmt.Errorf("core: discretisation precision ω must be positive, got %v", opts.Omega)
+	}
+
+	e := &Encoding{Query: q, Opts: opts}
+	if err := e.buildMILP(); err != nil {
+		return nil, err
+	}
+	eq, err := e.MILP.ToEquality(opts.Omega)
+	if err != nil {
+		return nil, err
+	}
+	e.BILP = eq
+	a, b := opts.PenaltyA, opts.PenaltyB
+	if b == 0 {
+		b = 1
+	}
+	if a == 0 {
+		a = eq.PenaltyWeight(opts.Omega, opts.PenaltyEps) * b
+	}
+	e.PenaltyA, e.PenaltyB = a, b
+	qb, err := eq.ToQUBO(a, b, opts.Omega)
+	if err != nil {
+		return nil, err
+	}
+	e.QUBO = qb
+	return e, nil
+}
+
+// buildMILP constructs the (pruned or original) MILP model of §3.2.
+func (e *Encoding) buildMILP() error {
+	q := e.Query
+	T := q.NumRelations()
+	J := q.NumJoins()
+	P := q.NumPredicates()
+	R := len(e.Opts.Thresholds)
+	m := &linprog.Model{}
+
+	addVar := func(info VarInfo, name string) int {
+		v := m.AddVar(name)
+		e.Infos = append(e.Infos, info)
+		return v
+	}
+
+	e.tio = make([][]int, T)
+	e.tii = make([][]int, T)
+	for t := 0; t < T; t++ {
+		e.tio[t] = make([]int, J)
+		e.tii[t] = make([]int, J)
+		for j := 0; j < J; j++ {
+			e.tio[t][j] = addVar(VarInfo{Kind: TIO, T: t, J: j}, fmt.Sprintf("tio[%d][%d]", t, j))
+			e.tii[t][j] = addVar(VarInfo{Kind: TII, T: t, J: j}, fmt.Sprintf("tii[%d][%d]", t, j))
+		}
+	}
+	// Threshold constraints are discretised at precision ω; snap log10 θ_r
+	// onto the ω grid up front so that valid solutions reach exactly zero
+	// residual (the paper's §3.4 coefficient rounding, applied at model
+	// construction).
+	logTheta := make([]float64, R)
+	for r := 0; r < R; r++ {
+		logTheta[r] = math.Round(math.Log10(e.Opts.Thresholds[r])/e.Opts.Omega) * e.Opts.Omega
+	}
+
+	paoStart := 0
+	if !e.Opts.Original {
+		paoStart = 1 // pao[p][0] pruned: join 0's outer operand is one relation
+	}
+	pao := make([][]int, P)
+	for p := 0; p < P; p++ {
+		pao[p] = make([]int, J)
+		for j := range pao[p] {
+			pao[p][j] = -1
+		}
+		for j := paoStart; j < J; j++ {
+			pao[p][j] = addVar(VarInfo{Kind: PAO, P: p, J: j}, fmt.Sprintf("pao[%d][%d]", p, j))
+		}
+	}
+	ctoStart := 0
+	if !e.Opts.Original {
+		ctoStart = 1 // cto[r][0] pruned: cost counts intermediate results only
+	}
+	cto := make([][]int, R)
+	for r := 0; r < R; r++ {
+		cto[r] = make([]int, J)
+		for j := range cto[r] {
+			cto[r][j] = -1
+		}
+		for j := ctoStart; j < J; j++ {
+			if !e.Opts.Original && CJMax(q, j) <= logTheta[r]+1e-12 {
+				continue // prunable: the threshold can never be exceeded (§3.2)
+			}
+			cto[r][j] = addVar(VarInfo{Kind: CTO, R: r, J: j}, fmt.Sprintf("cto[%d][%d]", r, j))
+		}
+	}
+
+	// One relation per inner leaf: Σ_t tii[t][j] = 1 for every join.
+	for j := 0; j < J; j++ {
+		c := linprog.Constraint{Name: fmt.Sprintf("one-inner[%d]", j), Sense: linprog.EQ, RHS: 1}
+		for t := 0; t < T; t++ {
+			c.Terms = append(c.Terms, linprog.Term{Var: e.tii[t][j], Coef: 1})
+		}
+		m.AddConstraint(c)
+	}
+	// Exactly one relation is the first outer leaf: Σ_t tio[t][0] = 1.
+	{
+		c := linprog.Constraint{Name: "one-outer[0]", Sense: linprog.EQ, RHS: 1}
+		for t := 0; t < T; t++ {
+			c.Terms = append(c.Terms, linprog.Term{Var: e.tio[t][0], Coef: 1})
+		}
+		m.AddConstraint(c)
+	}
+	// Outer operand recursion (Eq. 3): tio[t][j] = tii[t][j-1] + tio[t][j-1].
+	for j := 1; j < J; j++ {
+		for t := 0; t < T; t++ {
+			m.AddConstraint(linprog.Constraint{
+				Name:  fmt.Sprintf("recur[%d][%d]", t, j),
+				Sense: linprog.EQ, RHS: 0,
+				Terms: []linprog.Term{
+					{Var: e.tio[t][j], Coef: 1},
+					{Var: e.tii[t][j-1], Coef: -1},
+					{Var: e.tio[t][j-1], Coef: -1},
+				},
+			})
+		}
+	}
+	// Operand disjointness (Eq. 4): pruned model needs it only for the final
+	// join; the original model carries it for every join.
+	disjointJoins := []int{J - 1}
+	if e.Opts.Original {
+		disjointJoins = disjointJoins[:0]
+		for j := 0; j < J; j++ {
+			disjointJoins = append(disjointJoins, j)
+		}
+	}
+	for _, j := range disjointJoins {
+		for t := 0; t < T; t++ {
+			m.AddConstraint(linprog.Constraint{
+				Name:  fmt.Sprintf("disjoint[%d][%d]", t, j),
+				Sense: linprog.LE, RHS: 1, SlackBound: 1, Integral: true,
+				Terms: []linprog.Term{
+					{Var: e.tio[t][j], Coef: 1},
+					{Var: e.tii[t][j], Coef: 1},
+				},
+			})
+		}
+	}
+	// Predicate applicability (Eq. 5): pao[p][j] <= tio of both endpoints.
+	for p := 0; p < P; p++ {
+		for j := paoStart; j < J; j++ {
+			for _, endpoint := range []int{q.Predicates[p].R1, q.Predicates[p].R2} {
+				m.AddConstraint(linprog.Constraint{
+					Name:  fmt.Sprintf("pao[%d][%d]<=tio[%d]", p, j, endpoint),
+					Sense: linprog.LE, RHS: 0, SlackBound: 1, Integral: true,
+					Terms: []linprog.Term{
+						{Var: pao[p][j], Coef: 1},
+						{Var: e.tio[endpoint][j], Coef: -1},
+					},
+				})
+			}
+		}
+	}
+	// Cardinality threshold activation (Eq. 7):
+	// c_j − cto[r][j]·∞_rj <= log10 θ_r, with
+	// c_j = Σ_t log10(Card t)·tio[t][j] + Σ_p log10(Sel p)·pao[p][j],
+	// ∞_rj at its lower bound c_jmax − log10 θ_r, and the slack bounded by
+	// c_jmax (Lemma 5.1).
+	for r := 0; r < R; r++ {
+		lt := logTheta[r]
+		for j := ctoStart; j < J; j++ {
+			if cto[r][j] < 0 {
+				continue
+			}
+			cjmax := CJMax(q, j)
+			inf := cjmax - lt
+			slackBound := cjmax
+			if inf < 0 { // only possible in the unpruned model
+				inf = 0
+				slackBound = lt
+			}
+			c := linprog.Constraint{
+				Name:  fmt.Sprintf("threshold[%d][%d]", r, j),
+				Sense: linprog.LE, RHS: lt, SlackBound: slackBound,
+			}
+			for t := 0; t < T; t++ {
+				if lc := q.LogCard(t); lc != 0 {
+					c.Terms = append(c.Terms, linprog.Term{Var: e.tio[t][j], Coef: lc})
+				}
+			}
+			for p := 0; p < P; p++ {
+				if pao[p][j] < 0 {
+					continue
+				}
+				if ls := q.LogSel(p); ls != 0 {
+					c.Terms = append(c.Terms, linprog.Term{Var: pao[p][j], Coef: ls})
+				}
+			}
+			c.Terms = append(c.Terms, linprog.Term{Var: cto[r][j], Coef: -inf})
+			m.AddConstraint(c)
+			// Objective: pay θ_r whenever the threshold is exceeded.
+			w := e.Opts.Thresholds[r]
+			if e.Opts.LogObjective {
+				w = lt
+			}
+			m.AddObjectiveTerm(cto[r][j], w)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	e.MILP = m
+	return nil
+}
+
+// snappedLogThreshold returns log10 θ_r rounded to the ω grid, matching
+// the value used when the constraints were built.
+func (e *Encoding) snappedLogThreshold(r int) float64 {
+	return math.Round(math.Log10(e.Opts.Thresholds[r])/e.Opts.Omega) * e.Opts.Omega
+}
+
+// DefaultThresholds returns R threshold values spread geometrically (evenly
+// in log10 space) between the smallest base-relation cardinality and the
+// largest possible intermediate cardinality of the query. The choice of
+// thresholds governs the cost-approximation accuracy (§3.2, Example 3.3).
+func DefaultThresholds(q *join.Query, r int) []float64 {
+	if r <= 0 {
+		return nil
+	}
+	maxLog := CJMax(q, q.NumJoins()-1)
+	minLog := math.Inf(1)
+	for t := 0; t < q.NumRelations(); t++ {
+		if lc := q.LogCard(t); lc < minLog {
+			minLog = lc
+		}
+	}
+	if minLog >= maxLog {
+		minLog = maxLog / 2
+	}
+	out := make([]float64, r)
+	for i := 0; i < r; i++ {
+		frac := float64(i+1) / float64(r+1)
+		out[i] = math.Pow(10, minLog+frac*(maxLog-minLog))
+	}
+	return out
+}
+
+// sortedLogCards returns log10 cardinalities in descending order.
+func sortedLogCards(q *join.Query) []float64 {
+	ls := make([]float64, q.NumRelations())
+	for t := range ls {
+		ls[t] = q.LogCard(t)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ls)))
+	return ls
+}
+
+// CJMax returns the maximum logarithmic (base 10) cardinality of the outer
+// operand of join j (Lemma 5.2): the sum of the j+1 largest logarithmic
+// relation cardinalities, since the outer operand of join j contains
+// exactly j+1 relations and predicates can only shrink it.
+func CJMax(q *join.Query, j int) float64 {
+	ls := sortedLogCards(q)
+	n := j + 1
+	if n > len(ls) {
+		n = len(ls)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += ls[i]
+	}
+	return s
+}

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/classical"
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/querygen"
+)
+
+func paperOptions() Options {
+	return Options{Thresholds: []float64{10}, Omega: 1}
+}
+
+func mustEncodePaper(t *testing.T, predicates int, omega float64) *Encoding {
+	t.Helper()
+	q, err := querygen.PaperInstance(predicates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Encode(q, Options{Thresholds: []float64{10}, Omega: omega})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// The paper's §4.1 qubit ladder: 3 relations, one threshold. Varying the
+// number of predicates 0..3 at ω=1 gives 18, 21, 24, 27 qubits; varying
+// the discretisation precision over 0..3 decimal digits at 0 predicates
+// gives the same ladder.
+func TestPaperQubitLadder(t *testing.T) {
+	for p, want := range []int{18, 21, 24, 27} {
+		e := mustEncodePaper(t, p, 1)
+		if got := e.NumQubits(); got != want {
+			t.Errorf("predicates=%d: %d qubits, want %d", p, got, want)
+		}
+	}
+	for d, want := range []int{18, 21, 24, 27} {
+		omega := math.Pow(10, -float64(d))
+		e := mustEncodePaper(t, 0, omega)
+		if got := e.NumQubits(); got != want {
+			t.Errorf("ω=%v: %d qubits, want %d", omega, got, want)
+		}
+	}
+}
+
+func TestEncodeOrderRoundTrip(t *testing.T) {
+	for p := 0; p <= 3; p++ {
+		e := mustEncodePaper(t, p, 1)
+		orders := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+		for _, o := range orders {
+			x, err := e.EncodeOrder(join.Order(o))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !e.FeasibleMILP(x, 1e-9) {
+				t.Fatalf("p=%d: EncodeOrder(%v) infeasible in MILP", p, o)
+			}
+			d := e.Decode(x)
+			if !d.Valid {
+				t.Fatalf("p=%d: Decode(EncodeOrder(%v)) invalid", p, o)
+			}
+			for i := range o {
+				if d.Order[i] != o[i] {
+					t.Fatalf("p=%d: round trip %v -> %v", p, o, d.Order)
+				}
+			}
+		}
+	}
+}
+
+func TestCompleteSlacksZeroPenalty(t *testing.T) {
+	for p := 0; p <= 3; p++ {
+		e := mustEncodePaper(t, p, 1)
+		x, err := e.EncodeOrder(join.Order{0, 1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := e.CompleteSlacks(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range e.Residuals(full) {
+			if r > 1e-9 {
+				t.Errorf("p=%d: constraint %d (%s) residual %v after slack completion",
+					p, i, e.BILP.Cons[i].Name, r)
+			}
+		}
+		// Energy must equal B times the approximated cost (penalty part 0).
+		approx, err := e.ApproxCost(join.Order{0, 1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.QUBO.Value(full); math.Abs(got-e.PenaltyB*approx) > 1e-6 {
+			t.Errorf("p=%d: energy %v, want %v", p, got, e.PenaltyB*approx)
+		}
+	}
+}
+
+// The QUBO global minimum must decode to a valid join order that is
+// optimal with respect to the threshold-approximated cost, and for the
+// paper instance (where the approximation separates the optimum) also
+// optimal in exact cost.
+func TestQUBOMinimumIsOptimalOrder(t *testing.T) {
+	for _, p := range []int{0, 1} { // 18 and 21 qubits: brute-forceable
+		e := mustEncodePaper(t, p, 1)
+		sol, err := e.QUBO.BruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := e.Decode(sol.Assignment)
+		if !d.Valid {
+			t.Fatalf("p=%d: QUBO argmin decodes invalid", p)
+		}
+		opt, err := e.IsOptimal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opt {
+			t.Fatalf("p=%d: QUBO argmin decodes to %v (cost %v), not optimal", p, d.Order, d.Cost)
+		}
+		// The minimum energy must equal B·(optimal approximated cost).
+		exact, err := e.SolveExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantApprox, err := e.ApproxCost(exact.Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sol.Value-e.PenaltyB*wantApprox) > 1e-6 {
+			t.Errorf("p=%d: min energy %v, want %v", p, sol.Value, e.PenaltyB*wantApprox)
+		}
+	}
+}
+
+func TestInvalidAssignmentsHaveHigherEnergy(t *testing.T) {
+	e := mustEncodePaper(t, 1, 1)
+	sol, err := e.QUBO.BruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flipping any single tii bit of the optimum must strictly raise energy.
+	for tt := 0; tt < 3; tt++ {
+		for j := 0; j < 2; j++ {
+			x := append([]bool(nil), sol.Assignment...)
+			x[e.TIIVar(tt, j)] = !x[e.TIIVar(tt, j)]
+			if e.QUBO.Value(x) <= sol.Value+1e-9 {
+				t.Errorf("flipping tii[%d][%d] did not raise energy", tt, j)
+			}
+		}
+	}
+}
+
+func TestTable1Counts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{3, 5, 8} {
+		q, err := querygen.Generate(querygen.Config{Relations: n, Graph: querygen.Cycle, IntegerLog: true}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		thresholds := DefaultThresholds(q, 2)
+		for _, original := range []bool{false, true} {
+			e, err := Encode(q, Options{Thresholds: thresholds, Omega: 1, Original: original})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := e.Counts()
+			want := ExpectedCounts(q.NumRelations(), q.NumJoins(), q.NumPredicates(), 2, original)
+			if got.DisjointCons != want.DisjointCons {
+				t.Errorf("n=%d original=%v: disjoint cons %d, want %d", n, original, got.DisjointCons, want.DisjointCons)
+			}
+			if got.PAOCons != want.PAOCons {
+				t.Errorf("n=%d original=%v: pao cons %d, want %d", n, original, got.PAOCons, want.PAOCons)
+			}
+			if got.PAOVars != want.PAOVars {
+				t.Errorf("n=%d original=%v: pao vars %d, want %d", n, original, got.PAOVars, want.PAOVars)
+			}
+			// Threshold rows are upper bounds for the pruned model.
+			if original && got.ThresholdCons != want.ThresholdCons {
+				t.Errorf("n=%d original: threshold cons %d, want %d", n, got.ThresholdCons, want.ThresholdCons)
+			}
+			if !original && (got.ThresholdCons > want.ThresholdCons || got.CTOVars > want.CTOVars) {
+				t.Errorf("n=%d pruned: threshold cons %d vars %d exceed bounds %d/%d",
+					n, got.ThresholdCons, got.CTOVars, want.ThresholdCons, want.CTOVars)
+			}
+		}
+	}
+}
+
+func TestPrunedNeverLargerThanOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(6)
+		g := querygen.GraphType(rng.Intn(4))
+		if g == querygen.Cycle && n < 3 {
+			n = 3
+		}
+		q, err := querygen.Generate(querygen.Config{Relations: n, Graph: g, IntegerLog: true}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := DefaultThresholds(q, 1+rng.Intn(3))
+		pruned, err := Encode(q, Options{Thresholds: th, Omega: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := Encode(q, Options{Thresholds: th, Omega: 1, Original: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pruned.NumQubits() > orig.NumQubits() {
+			t.Errorf("pruned model larger than original: %d > %d", pruned.NumQubits(), orig.NumQubits())
+		}
+	}
+}
+
+func TestUpperBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(8)
+		q, err := querygen.Generate(querygen.Config{Relations: n, Graph: querygen.GraphType(rng.Intn(4)), IntegerLog: true}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := 1 + rng.Intn(3)
+		omega := math.Pow(10, -float64(rng.Intn(3)))
+		th := DefaultThresholds(q, r)
+		e, err := Encode(q, Options{Thresholds: th, Omega: omega})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := UpperBound(q, r, omega).Total()
+		if e.NumQubits() > bound {
+			t.Errorf("n=%d r=%d ω=%v: %d qubits exceed Theorem 5.3 bound %d",
+				n, r, omega, e.NumQubits(), bound)
+		}
+	}
+}
+
+func TestCJMax(t *testing.T) {
+	q := &join.Query{Relations: []join.Relation{
+		{Card: 1000}, {Card: 10}, {Card: 100},
+	}}
+	// join 0: outer has 1 relation, max log card = 3.
+	if got := CJMax(q, 0); got != 3 {
+		t.Errorf("CJMax(0) = %v, want 3", got)
+	}
+	// join 1: outer has 2 relations, max = 3 + 2.
+	if got := CJMax(q, 1); got != 5 {
+		t.Errorf("CJMax(1) = %v, want 5", got)
+	}
+	// Clamp beyond all relations.
+	if got := CJMax(q, 10); got != 6 {
+		t.Errorf("CJMax(10) = %v, want 6", got)
+	}
+}
+
+func TestDefaultThresholds(t *testing.T) {
+	q, _ := querygen.PaperInstance(2)
+	th := DefaultThresholds(q, 3)
+	if len(th) != 3 {
+		t.Fatalf("got %d thresholds", len(th))
+	}
+	for i := 1; i < len(th); i++ {
+		if th[i] <= th[i-1] {
+			t.Errorf("thresholds not increasing: %v", th)
+		}
+	}
+	if th[0] <= 1 {
+		t.Errorf("first threshold %v not > 1", th[0])
+	}
+	if DefaultThresholds(q, 0) != nil {
+		t.Error("R=0 should return nil")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	q, _ := querygen.PaperInstance(0)
+	if _, err := Encode(q, Options{}); err == nil {
+		t.Error("accepted empty thresholds")
+	}
+	if _, err := Encode(q, Options{Thresholds: []float64{-1}}); err == nil {
+		t.Error("accepted negative threshold")
+	}
+	if _, err := Encode(q, Options{Thresholds: []float64{10}, Omega: -2}); err == nil {
+		t.Error("accepted negative ω")
+	}
+	bad := &join.Query{Relations: []join.Relation{{Card: 10}}}
+	if _, err := Encode(bad, paperOptions()); err == nil {
+		t.Error("accepted invalid query")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	e := mustEncodePaper(t, 0, 1)
+	// All zeros: no inner relation anywhere.
+	if d := e.Decode(make([]bool, e.NumQubits())); d.Valid {
+		t.Error("all-zero assignment decoded as valid")
+	}
+	// Two inner relations for join 0.
+	x := make([]bool, e.NumQubits())
+	x[e.TIIVar(0, 0)] = true
+	x[e.TIIVar(1, 0)] = true
+	x[e.TIIVar(2, 1)] = true
+	if d := e.Decode(x); d.Valid {
+		t.Error("ambiguous assignment decoded as valid")
+	}
+	// Same relation inner in both joins.
+	y := make([]bool, e.NumQubits())
+	y[e.TIIVar(1, 0)] = true
+	y[e.TIIVar(1, 1)] = true
+	if d := e.Decode(y); d.Valid {
+		t.Error("repeated inner relation decoded as valid")
+	}
+}
+
+func TestBestValid(t *testing.T) {
+	e := mustEncodePaper(t, 2, 1) // chain query: R-S, S-T
+	good, err := e.EncodeOrder(join.Order{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodFull, _ := e.CompleteSlacks(good)
+	bad := make([]bool, e.NumQubits())
+	worse, _ := e.EncodeOrder(join.Order{0, 2, 1})
+	worseFull, _ := e.CompleteSlacks(worse)
+	best, valid, ok := e.BestValid([][]bool{bad, worseFull, goodFull})
+	if !ok || valid != 2 {
+		t.Fatalf("BestValid: ok=%v valid=%d", ok, valid)
+	}
+	if best.Order[0] != 0 || best.Order[1] != 1 {
+		t.Fatalf("BestValid picked %v", best.Order)
+	}
+}
+
+// The decoded optimum of the QUBO with fine enough thresholds must agree
+// with the classical DP optimum on random instances.
+func TestSolveExactMatchesClassicalWithFineThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		q, err := querygen.Generate(querygen.Config{Relations: 4, Graph: querygen.Chain, IntegerLog: true}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Many thresholds: the step approximation orders costs correctly.
+		e, err := Encode(q, Options{Thresholds: DefaultThresholds(q, 12), Omega: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.SolveExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := classical.OptimalCost(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The approximation cannot do better than the true optimum, and
+		// with 12 thresholds it should be within a factor ~10 of it.
+		if got.Cost < opt*(1-1e-9) {
+			t.Fatalf("approximate optimum %v beats true optimum %v", got.Cost, opt)
+		}
+		if got.Cost > opt*100 {
+			t.Errorf("approximate optimum %v far from true optimum %v", got.Cost, opt)
+		}
+	}
+}
+
+func TestLogObjectiveShrinksCoefficients(t *testing.T) {
+	q, _ := querygen.PaperInstance(2)
+	th := []float64{10} // kept (c_jmax = 2 > log10 θ = 1), objective weight 10 vs 1
+	lin, err := Encode(q, Options{Thresholds: th, Omega: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logE, err := Encode(q, Options{Thresholds: th, Omega: 1, LogObjective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logE.QUBO.MaxAbsCoefficient() >= lin.QUBO.MaxAbsCoefficient() {
+		t.Errorf("log objective did not shrink coefficient range: %v vs %v",
+			logE.QUBO.MaxAbsCoefficient(), lin.QUBO.MaxAbsCoefficient())
+	}
+}
+
+func TestVarKindString(t *testing.T) {
+	for k, want := range map[VarKind]string{TIO: "tio", TII: "tii", PAO: "pao", CTO: "cto"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if VarKind(9).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}

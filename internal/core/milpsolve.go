@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fmt"
+
+	"quantumjoin/internal/linprog"
+)
+
+// SolveMILP solves the (pruned) join-ordering MILP model exactly with the
+// LP-relaxation branch-and-bound solver — the classical solution pathway
+// of Trummer and Koch that the paper's formulation derives from (§3.1).
+// Unlike SolveExact (which enumerates permutations), this scales with the
+// strength of the LP relaxation rather than T! and works directly on the
+// inequality model, before any slack discretisation.
+func (e *Encoding) SolveMILP() (Decoded, error) {
+	res, err := e.MILP.SolveBnB(linprog.BnBOptions{})
+	if err != nil {
+		return Decoded{}, err
+	}
+	if !res.Feasible {
+		return Decoded{}, fmt.Errorf("core: MILP model infeasible (%d nodes)", res.Nodes)
+	}
+	d := e.Decode(res.X)
+	if !d.Valid {
+		return Decoded{}, fmt.Errorf("core: MILP optimum decoded to an invalid join order")
+	}
+	return d, nil
+}

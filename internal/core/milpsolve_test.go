@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/querygen"
+)
+
+// The MILP branch-and-bound optimum must achieve the same approximated
+// cost as exhaustive enumeration over join orders.
+func TestSolveMILPMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		n := 3 + rng.Intn(2)
+		g := querygen.GraphType(trial % 3)
+		q, err := querygen.Generate(querygen.Config{
+			Relations: n, Graph: g, IntegerLog: true,
+			MinLogCard: 1, MaxLogCard: 3, MinLogSel: 1, MaxLogSel: 2,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := Encode(q, Options{Thresholds: DefaultThresholds(q, 2), Omega: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		milp, err := enc.SolveMILP()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		exact, err := enc.SolveExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		am, err := enc.ApproxCost(milp.Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ae, err := enc.ApproxCost(exact.Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(am-ae) > 1e-6*(1+math.Abs(ae)) {
+			t.Fatalf("trial %d (%v, n=%d): MILP approx cost %v != exhaustive %v (orders %v vs %v)",
+				trial, g, n, am, ae, milp.Order, exact.Order)
+		}
+	}
+}
+
+func TestSolveMILPPaperInstance(t *testing.T) {
+	q, err := querygen.PaperInstance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := Encode(q, Options{Thresholds: []float64{10}, Omega: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := enc.SolveMILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := enc.IsOptimal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt {
+		t.Fatalf("MILP solution %v (cost %v) not optimal", d.Order, d.Cost)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/querygen"
+)
+
+// Property: for any random integer-log query and any join order, the
+// canonical encoding of the order is MILP-feasible and its
+// slack-completed QUBO energy equals B times the approximated cost
+// (constraint penalty exactly zero).
+func TestQuickEncodeOrderZeroPenalty(t *testing.T) {
+	f := func(seed int64, nRaw, gRaw, rRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(nRaw%4) // 3..6 relations
+		g := querygen.GraphType(gRaw % 4)
+		r := 1 + int(rRaw%3)
+		q, err := querygen.Generate(querygen.Config{
+			Relations: n, Graph: g, IntegerLog: true,
+			MinLogCard: 1, MaxLogCard: 3, MinLogSel: 1, MaxLogSel: 2,
+		}, rng)
+		if err != nil {
+			return true // cycle with n<3 cannot occur (n>=3)
+		}
+		enc, err := Encode(q, Options{Thresholds: DefaultThresholds(q, r), Omega: 1})
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		order := join.Order(rng.Perm(n))
+		x, err := enc.EncodeOrder(order)
+		if err != nil {
+			t.Logf("encode order: %v", err)
+			return false
+		}
+		if !enc.FeasibleMILP(x, 1e-9) {
+			t.Logf("order %v infeasible", order)
+			return false
+		}
+		full, err := enc.CompleteSlacks(x)
+		if err != nil {
+			return false
+		}
+		for _, res := range enc.Residuals(full) {
+			if res > 1e-9 {
+				t.Logf("residual %v", res)
+				return false
+			}
+		}
+		approx, err := enc.ApproxCost(order)
+		if err != nil {
+			return false
+		}
+		// Tolerance scales with the penalty weight A: the zero-residual
+		// cancellation happens between terms of magnitude ~A.
+		tol := 1e-9*enc.PenaltyA*float64(enc.QUBO.N()) + 1e-6*(1+math.Abs(approx))
+		if math.Abs(enc.QUBO.Value(full)-enc.PenaltyB*approx) > tol {
+			t.Logf("energy %v != B*approx %v", enc.QUBO.Value(full), enc.PenaltyB*approx)
+			return false
+		}
+		// Round trip.
+		d := enc.Decode(x)
+		if !d.Valid {
+			return false
+		}
+		for i := range order {
+			if d.Order[i] != order[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decode never panics on arbitrary bit patterns, and whenever it
+// reports Valid the order is a permutation whose cost matches the query.
+func TestQuickDecodeTotal(t *testing.T) {
+	q, err := querygen.PaperInstance(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := Encode(q, Options{Thresholds: []float64{10}, Omega: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]bool, enc.QUBO.N())
+		for i := range x {
+			x[i] = rng.Intn(2) == 0
+		}
+		d := enc.Decode(x)
+		if !d.Valid {
+			return true
+		}
+		if !d.Order.IsPermutation(3) {
+			return false
+		}
+		return math.Abs(d.Cost-q.Cost(d.Order)) <= 1e-9*d.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Theorem 5.3 bound is monotone — more thresholds or finer
+// precision never lower it, and it always dominates the built encoding.
+func TestQuickBoundMonotone(t *testing.T) {
+	f := func(seed int64, nRaw, rRaw, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(nRaw%6)
+		r := 1 + int(rRaw%4)
+		d := int(dRaw % 4)
+		q, err := querygen.Generate(querygen.Config{
+			Relations: n, Graph: querygen.Cycle, IntegerLog: true,
+			MinLogCard: 1, MaxLogCard: 4, MinLogSel: 1, MaxLogSel: 2,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		omega := math.Pow(10, -float64(d))
+		b := UpperBound(q, r, omega).Total()
+		if UpperBound(q, r+1, omega).Total() < b {
+			return false
+		}
+		if UpperBound(q, r, omega/10).Total() < b {
+			return false
+		}
+		enc, err := Encode(q, Options{Thresholds: DefaultThresholds(q, r), Omega: omega})
+		if err != nil {
+			return false
+		}
+		return enc.NumQubits() <= b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pruning preserves the feasible set of join orders — any order
+// feasible in the original model is feasible in the pruned one and vice
+// versa (both encode exactly the valid left-deep trees).
+func TestQuickPruningPreservesOrders(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(nRaw%3)
+		q, err := querygen.Generate(querygen.Config{
+			Relations: n, Graph: querygen.Chain, IntegerLog: true,
+			MinLogCard: 1, MaxLogCard: 3, MinLogSel: 1, MaxLogSel: 2,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		th := DefaultThresholds(q, 1)
+		pruned, err := Encode(q, Options{Thresholds: th, Omega: 1})
+		if err != nil {
+			return false
+		}
+		orig, err := Encode(q, Options{Thresholds: th, Omega: 1, Original: true})
+		if err != nil {
+			return false
+		}
+		order := join.Order(rng.Perm(n))
+		xp, err := pruned.EncodeOrder(order)
+		if err != nil {
+			return false
+		}
+		xo, err := orig.EncodeOrder(order)
+		if err != nil {
+			return false
+		}
+		return pruned.FeasibleMILP(xp, 1e-9) && orig.FeasibleMILP(xo, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"quantumjoin/internal/noise"
+	"quantumjoin/internal/qaoa"
+	"quantumjoin/internal/stats"
+	"quantumjoin/internal/topology"
+	"quantumjoin/internal/transpile"
+)
+
+// Figure2Row is one boxplot of Figure 2: transpiled QAOA circuit depths
+// over repeated heuristic transpilations for one scenario.
+type Figure2Row struct {
+	Panel    string // "precision", "predicates", "device"
+	Label    string // e.g. "ω=0.01", "3 predicates", "washington/3 pred"
+	Device   string
+	Qubits   int
+	Depths   stats.Boxplot
+	Runs     int
+	Budget   int  // coherence depth budget d = min(T1,T2)/g_avg
+	Feasible bool // median depth within budget
+}
+
+// Figure2Result covers both panels of Figure 2 plus the coherence budgets.
+type Figure2Result struct {
+	Rows []Figure2Row
+}
+
+// RunFigure2 reproduces Figure 2: the left panel varies discretisation
+// precision (0–3 decimals, 0 predicates) and predicate count (0–3, ω = 1)
+// on the 27-qubit Falcon topology; the right panel compares predicate
+// scenarios between Falcon (Auckland) and Eagle (Washington).
+func RunFigure2(cfg Config) (*Figure2Result, error) {
+	falcon := topology.Falcon27()
+	eagle := topology.Eagle127()
+	auckland := noise.Auckland()
+	washington := noise.Washington()
+	res := &Figure2Result{}
+
+	measure := func(predicates, decimals int, dev *topology.Graph, cal noise.Calibration, panel, label string) error {
+		enc, err := paperEncoding(predicates, decimals)
+		if err != nil {
+			return err
+		}
+		params := qaoa.NewParams(1)
+		params.Gammas[0] = 0.35
+		params.Betas[0] = 0.6
+		logical := qaoa.BuildCircuit(enc.QUBO, params)
+		var ds []float64
+		for run := 0; run < cfg.TranspileRuns; run++ {
+			tr, err := transpile.Transpile(logical, dev, transpile.Options{
+				GateSet: transpile.IBMNative,
+				Router:  transpile.RouterLookahead,
+				Seed:    cfg.Seed + int64(run)*7919,
+			})
+			if err != nil {
+				return err
+			}
+			ds = append(ds, float64(tr.Circuit.Depth()))
+		}
+		box := stats.Summarize(ds)
+		res.Rows = append(res.Rows, Figure2Row{
+			Panel: panel, Label: label, Device: dev.Name,
+			Qubits: enc.NumQubits(), Depths: box, Runs: cfg.TranspileRuns,
+			Budget: cal.MaxDepth(), Feasible: box.Median <= float64(cal.MaxDepth()),
+		})
+		return nil
+	}
+
+	// Left panel, precision series (0 predicates, 0–3 decimals).
+	for d := 0; d <= 3; d++ {
+		if err := measure(0, d, falcon, auckland, "precision", fmt.Sprintf("ω=1e-%d", d)); err != nil {
+			return nil, err
+		}
+	}
+	// Left panel, predicate series (ω = 1, 0–3 predicates).
+	for p := 0; p <= 3; p++ {
+		if err := measure(p, 0, falcon, auckland, "predicates", fmt.Sprintf("%d predicates", p)); err != nil {
+			return nil, err
+		}
+	}
+	// Right panel: Falcon vs Eagle across predicate scenarios.
+	for p := 0; p <= 3; p++ {
+		if err := measure(p, 0, falcon, auckland, "device", fmt.Sprintf("auckland/%dp", p)); err != nil {
+			return nil, err
+		}
+		if err := measure(p, 0, eagle, washington, "device", fmt.Sprintf("washington/%dp", p)); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Write renders the depth distributions.
+func (r *Figure2Result) Write(w io.Writer) {
+	fmt.Fprintln(w, "Figure 2: QAOA circuit depths after transpilation (boxplots over repeated runs)")
+	fmt.Fprintf(w, "%-12s %-16s %-18s %7s %8s %8s %8s %8s %8s %7s %s\n",
+		"panel", "scenario", "device", "qubits", "min", "q1", "median", "q3", "max", "budget", "fits")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %-16s %-18s %7d %8.0f %8.0f %8.0f %8.0f %8.0f %7d %v\n",
+			row.Panel, row.Label, row.Device, row.Qubits,
+			row.Depths.Min, row.Depths.Q1, row.Depths.Median, row.Depths.Q3, row.Depths.Max,
+			row.Budget, row.Feasible)
+	}
+}
+
+// MedianFor returns the median depth of the first row matching panel and
+// label (helper for tests and EXPERIMENTS.md assertions).
+func (r *Figure2Result) MedianFor(panel, label string) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Panel == panel && row.Label == label {
+			return row.Depths.Median, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"math/rand"
+
+	"quantumjoin/internal/querygen"
+)
+
+// Figure3Row records one embedding attempt onto the Pegasus hardware
+// graph.
+type Figure3Row struct {
+	Panel          string // "relations" or "precision"
+	Graph          querygen.GraphType
+	Relations      int
+	Thresholds     int
+	Omega          float64
+	LogicalQubits  int
+	PhysicalQubits int // 0 when embedding failed
+	MaxChain       int
+	OK             bool
+}
+
+// Figure3Result covers both panels of Figure 3.
+type Figure3Result struct {
+	Rows []Figure3Row
+}
+
+// RunFigure3 reproduces Figure 3: physical qubits needed to embed JO
+// QUBOs onto the Pegasus topology. The top panel sweeps relations for
+// chain/star/cycle graphs at minimum precision (one threshold, ω = 1);
+// the bottom panel fixes the relations and sweeps the threshold count for
+// ω ∈ {1, 0.01, 0.0001}, locating the feasibility frontier.
+func RunFigure3(cfg Config) (*Figure3Result, error) {
+	dev := cfg.AnnealDevice()
+	res := &Figure3Result{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	embed := func(panel string, g querygen.GraphType, relations, thresholds int, omega float64) (bool, error) {
+		_, enc, err := randomInstance(relations, g, thresholds, omega, rng)
+		if err != nil {
+			return false, err
+		}
+		row := Figure3Row{
+			Panel: panel, Graph: g, Relations: relations,
+			Thresholds: thresholds, Omega: omega,
+			LogicalQubits: enc.NumQubits(),
+		}
+		emb, err := dev.EmbedOnly(enc.QUBO, cfg.Seed+int64(relations*100+thresholds))
+		if err == nil {
+			row.OK = true
+			row.PhysicalQubits = emb.PhysicalQubits()
+			row.MaxChain = emb.MaxChainLength()
+		}
+		res.Rows = append(res.Rows, row)
+		return row.OK, nil
+	}
+
+	// Each sweep stops at its first failure: that failure is the
+	// feasibility frontier the figure locates, and anything beyond it is
+	// equally infeasible on the hardware.
+	for _, g := range []querygen.GraphType{querygen.Chain, querygen.Star, querygen.Cycle} {
+		for _, n := range cfg.EmbedRelations {
+			if g == querygen.Cycle && n < 3 {
+				continue
+			}
+			ok, err := embed("relations", g, n, 1, 1)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	for _, omega := range []float64{1, 0.01, 0.0001} {
+		for r := 1; r <= cfg.EmbedMaxThresholds; r++ {
+			ok, err := embed("precision", querygen.Chain, cfg.EmbedFixedRelations, r, omega)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// Write renders both panels.
+func (r *Figure3Result) Write(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3: physical qubits to embed JO onto Pegasus")
+	fmt.Fprintf(w, "%-10s %-7s %9s %10s %8s %8s %9s %9s\n",
+		"panel", "graph", "relations", "thresholds", "omega", "logical", "physical", "maxchain")
+	for _, row := range r.Rows {
+		phys := "-"
+		chain := "-"
+		if row.OK {
+			phys = fmt.Sprintf("%d", row.PhysicalQubits)
+			chain = fmt.Sprintf("%d", row.MaxChain)
+		}
+		fmt.Fprintf(w, "%-10s %-7s %9d %10d %8g %8d %9s %9s\n",
+			row.Panel, row.Graph, row.Relations, row.Thresholds, row.Omega,
+			row.LogicalQubits, phys, chain)
+	}
+}
+
+// OverheadFactor returns physical/logical qubit ratios of successful
+// top-panel rows — the paper's "merely a linear qubit overhead" check.
+func (r *Figure3Result) OverheadFactor() []float64 {
+	var out []float64
+	for _, row := range r.Rows {
+		if row.Panel == "relations" && row.OK && row.LogicalQubits > 0 {
+			out = append(out, float64(row.PhysicalQubits)/float64(row.LogicalQubits))
+		}
+	}
+	return out
+}
+
+// MaxFeasibleThresholds returns, per ω of the bottom panel, the largest
+// threshold count that still embedded.
+func (r *Figure3Result) MaxFeasibleThresholds() map[float64]int {
+	out := map[float64]int{}
+	for _, row := range r.Rows {
+		if row.Panel == "precision" && row.OK && row.Thresholds > out[row.Omega] {
+			out[row.Omega] = row.Thresholds
+		}
+	}
+	return out
+}

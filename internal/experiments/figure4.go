@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/querygen"
+)
+
+// Figure4Row is one point of the logical-qubit bound sweep.
+type Figure4Row struct {
+	Relations  int
+	Thresholds int
+	Decimals   int
+	Bound      int
+}
+
+// Figure4Result is the full sweep.
+type Figure4Result struct {
+	Rows []Figure4Row
+}
+
+// RunFigure4 reproduces Figure 4: the Theorem 5.3 upper bound on logical
+// qubits for cycle queries (the most demanding graph type) with up to
+// cfg.BoundMaxRelations relations, for threshold counts {1, 2, 5, 10, 20}
+// and discretisation precisions of 0–4 decimal digits.
+func RunFigure4(cfg Config) (*Figure4Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Figure4Result{}
+	for n := 3; n <= cfg.BoundMaxRelations; n++ {
+		q, err := querygen.Generate(querygen.Config{
+			Relations: n, Graph: querygen.Cycle, IntegerLog: true,
+			MinLogCard: 1, MaxLogCard: 5, MinLogSel: 1, MaxLogSel: 2,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range []int{1, 2, 5, 10, 20} {
+			for _, d := range []int{0, 1, 2, 3, 4} {
+				bound := core.UpperBound(q, r, math.Pow(10, -float64(d))).Total()
+				res.Rows = append(res.Rows, Figure4Row{
+					Relations: n, Thresholds: r, Decimals: d, Bound: bound,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Write renders a condensed view (full resolution is in Rows).
+func (r *Figure4Result) Write(w io.Writer) {
+	fmt.Fprintln(w, "Figure 4: Theorem 5.3 upper bound on logical qubits (cycle queries)")
+	fmt.Fprintf(w, "%-9s %10s %8s %10s\n", "relations", "thresholds", "decimals", "bound")
+	for _, row := range r.Rows {
+		if row.Relations%8 != 0 && row.Relations != 3 && row.Relations != 13 {
+			continue // condensed output; full data in Rows
+		}
+		fmt.Fprintf(w, "%-9d %10d %8d %10d\n", row.Relations, row.Thresholds, row.Decimals, row.Bound)
+	}
+}
+
+// BoundFor returns the bound for a specific configuration.
+func (r *Figure4Result) BoundFor(relations, thresholds, decimals int) (int, bool) {
+	for _, row := range r.Rows {
+		if row.Relations == relations && row.Thresholds == thresholds && row.Decimals == decimals {
+			return row.Bound, true
+		}
+	}
+	return 0, false
+}
+
+// MaxRelationsWithin returns the largest relation count whose bound fits
+// the given qubit budget at the given precision — the paper's "a QPU with
+// 1000 logical qubits can solve problems with up to 13 relations".
+func (r *Figure4Result) MaxRelationsWithin(budget, thresholds, decimals int) int {
+	best := 0
+	for _, row := range r.Rows {
+		if row.Thresholds == thresholds && row.Decimals == decimals &&
+			row.Bound <= budget && row.Relations > best {
+			best = row.Relations
+		}
+	}
+	return best
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"quantumjoin/internal/qaoa"
+	"quantumjoin/internal/querygen"
+	"quantumjoin/internal/stats"
+	"quantumjoin/internal/topology"
+	"quantumjoin/internal/transpile"
+)
+
+// Figure5Row is one depth measurement of the co-design study.
+type Figure5Row struct {
+	Platform  string // "ibm", "rigetti", "ionq"
+	Relations int
+	Qubits    int
+	Density   float64
+	GateSet   transpile.GateSet
+	Router    transpile.Router
+	Median    float64
+	Box       stats.Boxplot
+}
+
+// Figure5Result is the full sweep.
+type Figure5Result struct {
+	Rows []Figure5Row
+}
+
+// RunFigure5 reproduces Figure 5: transpiled QAOA circuit depths on
+// hypothetical future QPUs, combining (a) size-extrapolated IBM heavy-hex
+// and Rigetti Aspen lattices plus the IonQ complete mesh, (b) extended
+// connectivity densities, (c) native versus unrestricted gate sets, and
+// (d) the two routing heuristics. Instances use two threshold values and
+// ω = 1 as in §6.2.
+func RunFigure5(cfg Config) (*Figure5Result, error) {
+	res := &Figure5Result{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range cfg.CoDesignRelations {
+		g := querygen.Chain
+		if n >= 3 {
+			g = querygen.Cycle
+		}
+		_, enc, err := randomInstance(n, g, 2, 1, rng)
+		if err != nil {
+			return nil, err
+		}
+		params := qaoa.NewParams(1)
+		params.Gammas[0] = 0.35
+		params.Betas[0] = 0.6
+		logical := qaoa.BuildCircuit(enc.QUBO, params)
+		qubits := enc.NumQubits()
+
+		type platform struct {
+			name   string
+			base   *topology.Graph
+			native transpile.GateSet
+			dense  bool // density sweep applies (superconducting only)
+		}
+		platforms := []platform{
+			{"ibm", topology.ExtendIBM(qubits), transpile.IBMNative, true},
+			{"rigetti", topology.ExtendRigetti(qubits), transpile.RigettiNative, true},
+			{"ionq", topology.Complete("ionq-mesh", qubits), transpile.IonQNative, false},
+		}
+		for _, pl := range platforms {
+			densities := cfg.CoDesignDensities
+			if !pl.dense {
+				densities = []float64{0}
+			}
+			for _, d := range densities {
+				dev := pl.base
+				if d > 0 {
+					dev = topology.Densify(pl.base, d, rand.New(rand.NewSource(cfg.Seed+int64(d*1000))))
+				}
+				for _, set := range []transpile.GateSet{pl.native, transpile.Unrestricted} {
+					for _, router := range []transpile.Router{transpile.RouterLookahead, transpile.RouterBasic} {
+						var ds []float64
+						for run := 0; run < cfg.TranspileRuns; run++ {
+							tr, err := transpile.Transpile(logical, dev, transpile.Options{
+								GateSet: set,
+								Router:  router,
+								Seed:    cfg.Seed + int64(run)*6007,
+							})
+							if err != nil {
+								return nil, err
+							}
+							ds = append(ds, float64(tr.Circuit.Depth()))
+						}
+						box := stats.Summarize(ds)
+						res.Rows = append(res.Rows, Figure5Row{
+							Platform: pl.name, Relations: n, Qubits: qubits,
+							Density: d, GateSet: set, Router: router,
+							Median: box.Median, Box: box,
+						})
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Write renders the sweep.
+func (r *Figure5Result) Write(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5: circuit depths on hypothetical future QPUs (2 thresholds, ω=1)")
+	fmt.Fprintf(w, "%-8s %9s %7s %8s %-13s %-10s %9s %9s %9s\n",
+		"platform", "relations", "qubits", "density", "gateset", "router", "q1", "median", "q3")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8s %9d %7d %8.2f %-13s %-10s %9.0f %9.0f %9.0f\n",
+			row.Platform, row.Relations, row.Qubits, row.Density,
+			row.GateSet, row.Router, row.Box.Q1, row.Median, row.Box.Q3)
+	}
+}
+
+// MedianFor returns the median depth for an exact configuration.
+func (r *Figure5Result) MedianFor(platform string, relations int, density float64, set transpile.GateSet, router transpile.Router) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Platform == platform && row.Relations == relations &&
+			row.Density == density && row.GateSet == set && row.Router == router {
+			return row.Median, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"quantumjoin/internal/minorembed"
+	"quantumjoin/internal/querygen"
+	"quantumjoin/internal/topology"
+)
+
+// GenerationsRow compares the embedding footprint of one JO instance on
+// two annealer hardware generations.
+type GenerationsRow struct {
+	Relations     int
+	LogicalQubits int
+	ChimeraQubits int // 0 = failed
+	ChimeraChain  int
+	PegasusQubits int // 0 = failed
+	PegasusChain  int
+	ChimeraOK     bool
+	PegasusOK     bool
+}
+
+// GenerationsResult is the full comparison.
+type GenerationsResult struct {
+	ChimeraName, PegasusName string
+	Rows                     []GenerationsRow
+}
+
+// RunGenerations extends Figure 3 across annealer hardware generations:
+// the same JO QUBOs are embedded into a Chimera graph (the D-Wave 2000Q
+// topology used by the prior multi-query-optimisation study, degree 6)
+// and into a Pegasus graph of comparable size (degree 15). Pegasus'
+// richer connectivity yields shorter chains and a smaller footprint —
+// quantifying the §7 observation that hardware generations matter as
+// much as algorithms.
+func RunGenerations(cfg Config) (*GenerationsResult, error) {
+	// Size-match the two graphs: Chimera C(m,m,4) has 8m² qubits,
+	// Pegasus P(m') has ~24m'(m'-1); pick shapes near the configured
+	// Pegasus size.
+	pegasus := cfg.Pegasus()
+	side := 1
+	for 8*side*side < pegasus.N() {
+		side++
+	}
+	chimera := topology.Chimera(side, side, 4)
+	res := &GenerationsResult{ChimeraName: chimera.Name, PegasusName: pegasus.Name}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range cfg.EmbedRelations {
+		_, enc, err := randomInstance(n, querygen.Chain, 1, 1, rng)
+		if err != nil {
+			return nil, err
+		}
+		row := GenerationsRow{Relations: n, LogicalQubits: enc.NumQubits()}
+		adj := enc.QUBO.AdjacencyLists()
+		if emb, err := minorembed.Embed(adj, chimera, minorembed.Options{Tries: 8, Seed: cfg.Seed}); err == nil {
+			row.ChimeraOK = true
+			row.ChimeraQubits = emb.PhysicalQubits()
+			row.ChimeraChain = emb.MaxChainLength()
+		}
+		if emb, err := minorembed.Embed(adj, pegasus, minorembed.Options{Tries: 8, Seed: cfg.Seed}); err == nil {
+			row.PegasusOK = true
+			row.PegasusQubits = emb.PhysicalQubits()
+			row.PegasusChain = emb.MaxChainLength()
+		}
+		res.Rows = append(res.Rows, row)
+		if !row.ChimeraOK && !row.PegasusOK {
+			break // both generations hit their frontier
+		}
+	}
+	return res, nil
+}
+
+// Write renders the comparison.
+func (r *GenerationsResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "Hardware generations: %s (degree 6) vs %s (degree 15)\n", r.ChimeraName, r.PegasusName)
+	fmt.Fprintf(w, "%-9s %8s %16s %16s\n", "relations", "logical", "chimera (chain)", "pegasus (chain)")
+	cell := func(ok bool, qubits, chain int) string {
+		if !ok {
+			return "-"
+		}
+		return fmt.Sprintf("%d (%d)", qubits, chain)
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-9d %8d %16s %16s\n", row.Relations, row.LogicalQubits,
+			cell(row.ChimeraOK, row.ChimeraQubits, row.ChimeraChain),
+			cell(row.PegasusOK, row.PegasusQubits, row.PegasusChain))
+	}
+}

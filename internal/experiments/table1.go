@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/querygen"
+)
+
+// Table1Row compares one variable or constraint type between the original
+// Trummer/Koch-style model and the paper's pruned model (§3.2, Table 1).
+type Table1Row struct {
+	Kind     string // "constraint" or "variable"
+	Type     string
+	FormulaO string // closed form, original
+	FormulaP string // closed form, pruned
+	CountO   int    // measured on the built model
+	CountP   int
+	QubitsO  int // total qubits of the full encodings (context columns)
+	QubitsP  int
+}
+
+// Table1Result is the full comparison for one concrete instance.
+type Table1Result struct {
+	Relations, Joins, Predicates, Thresholds int
+	Rows                                     []Table1Row
+	QubitsOriginal, QubitsPruned             int
+}
+
+// RunTable1 builds both models for a representative cycle query and
+// tallies per-type counts against the closed forms of Table 1.
+func RunTable1(cfg Config) (*Table1Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	q, err := querygen.Generate(querygen.Config{
+		Relations: 6, Graph: querygen.Cycle, IntegerLog: true,
+		MinLogCard: 1, MaxLogCard: 3, MinLogSel: 1, MaxLogSel: 2,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	const r = 2
+	th := core.DefaultThresholds(q, r)
+	orig, err := core.Encode(q, core.Options{Thresholds: th, Omega: 1, Original: true})
+	if err != nil {
+		return nil, err
+	}
+	pruned, err := core.Encode(q, core.Options{Thresholds: th, Omega: 1})
+	if err != nil {
+		return nil, err
+	}
+	co, cp := orig.Counts(), pruned.Counts()
+	t, j, p := q.NumRelations(), q.NumJoins(), q.NumPredicates()
+	res := &Table1Result{
+		Relations: t, Joins: j, Predicates: p, Thresholds: r,
+		QubitsOriginal: orig.NumQubits(), QubitsPruned: pruned.NumQubits(),
+	}
+	res.Rows = []Table1Row{
+		{"constraint", "tio+tii<=1", "TJ", "T", co.DisjointCons, cp.DisjointCons, 0, 0},
+		{"constraint", "pao<=tio (x2)", "2PJ", "2P(J-1)", co.PAOCons, cp.PAOCons, 0, 0},
+		{"constraint", "threshold (Eq.7)", "RJ", "<=R(J-1)", co.ThresholdCons, cp.ThresholdCons, 0, 0},
+		{"variable", "pao", "PJ", "P(J-1)", co.PAOVars, cp.PAOVars, 0, 0},
+		{"variable", "cto", "RJ", "<=R(J-1)", co.CTOVars, cp.CTOVars, 0, 0},
+	}
+	return res, nil
+}
+
+// Write renders the comparison as the paper's Table 1 layout.
+func (r *Table1Result) Write(w io.Writer) {
+	fmt.Fprintf(w, "Table 1: original vs pruned model (T=%d, J=%d, P=%d, R=%d)\n",
+		r.Relations, r.Joins, r.Predicates, r.Thresholds)
+	fmt.Fprintf(w, "%-12s %-18s %10s %10s %10s %10s\n",
+		"kind", "type", "orig.form", "pruned", "orig.n", "pruned.n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %-18s %10s %10s %10d %10d\n",
+			row.Kind, row.Type, row.FormulaO, row.FormulaP, row.CountO, row.CountP)
+	}
+	fmt.Fprintf(w, "total qubits: original %d, pruned %d (saving %.0f%%)\n",
+		r.QubitsOriginal, r.QubitsPruned,
+		100*(1-float64(r.QubitsPruned)/float64(r.QubitsOriginal)))
+}

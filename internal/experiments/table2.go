@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"quantumjoin/internal/noise"
+	"quantumjoin/internal/qaoa"
+	"quantumjoin/internal/qsim"
+	"quantumjoin/internal/topology"
+	"quantumjoin/internal/transpile"
+)
+
+// Table2Row reports solution quality for one (predicates, iterations)
+// cell of Table 2: fractions of QAOA shots that decode to valid and to
+// optimal join orders on the noisy simulated Auckland QPU.
+type Table2Row struct {
+	Predicates int
+	Qubits     int
+	Iterations int
+	Shots      int
+	Valid      float64
+	Optimal    float64
+	Lambda     float64 // depolarising weight of the transpiled circuit
+	Skipped    bool    // true when the size exceeded cfg.MaxQAOAQubits
+}
+
+// Table2Result is the full table.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// RunTable2 reproduces Table 2: the §4.1 three-relation instances with
+// 0–3 predicates (18–27 qubits) run through the hybrid QAOA loop (p = 1,
+// AQGD) with the configured iteration counts, sampling cfg.QAOAShots
+// noisy shots on the simulated Auckland device, post-processed per §3.5.
+func RunTable2(cfg Config) (*Table2Result, error) {
+	falcon := topology.Falcon27()
+	cal := noise.Auckland()
+	res := &Table2Result{}
+	for p := 0; p <= 3; p++ {
+		enc, err := paperEncoding(p, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, iters := range cfg.QAOAIterations {
+			row := Table2Row{Predicates: p, Qubits: enc.NumQubits(), Iterations: iters, Shots: cfg.QAOAShots}
+			if enc.NumQubits() > cfg.MaxQAOAQubits {
+				row.Skipped = true
+				res.Rows = append(res.Rows, row)
+				continue
+			}
+			// Transpile once to size the hardware noise.
+			params := qaoa.NewParams(1)
+			params.Gammas[0] = 0.35
+			params.Betas[0] = 0.6
+			logical := qaoa.BuildCircuit(enc.QUBO, params)
+			tr, err := transpile.Transpile(logical, falcon, transpile.Options{
+				GateSet: transpile.IBMNative,
+				Router:  transpile.RouterLookahead,
+				Seed:    cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Lambda = cal.Lambda(tr.Circuit)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*101 + int64(iters)))
+			out, err := qaoa.Run(enc.QUBO, 1, qaoa.AQGD{Iterations: iters}, cfg.QAOAShots, &cal, tr.Circuit, rng)
+			if err != nil {
+				return nil, err
+			}
+			valid, optimal := 0, 0
+			for _, b := range out.Samples {
+				d := enc.Decode(qsim.BitsOf(b, enc.QUBO.N()))
+				if !d.Valid {
+					continue
+				}
+				valid++
+				ok, err := enc.IsOptimal(d)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					optimal++
+				}
+			}
+			row.Valid = float64(valid) / float64(len(out.Samples))
+			row.Optimal = float64(optimal) / float64(len(out.Samples))
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Write renders the table in the paper's layout.
+func (r *Table2Result) Write(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: QAOA solution quality on simulated IBM Q Auckland (p=1, AQGD)")
+	fmt.Fprintf(w, "%-11s %7s %6s %7s %9s %9s %9s\n",
+		"predicates", "qubits", "iter", "shots", "valid", "optimal", "lambda")
+	for _, row := range r.Rows {
+		if row.Skipped {
+			fmt.Fprintf(w, "%-11d %7d %6d %7s %9s %9s %9s  (skipped: exceeds simulator cap)\n",
+				row.Predicates, row.Qubits, row.Iterations, "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-11d %7d %6d %7d %9s %9s %9.4f\n",
+			row.Predicates, row.Qubits, row.Iterations, row.Shots,
+			percent(row.Valid), percent(row.Optimal), row.Lambda)
+	}
+}
+
+// TimingRow reports the §4.2.1 timing observation for one scenario, plus
+// the §8 cloud-vs-local access comparison.
+type TimingRow struct {
+	Predicates int
+	Qubits     int
+	SamplingMs float64
+	TotalQPUs  float64 // seconds
+	Ratio      float64
+	CloudJobS  float64 // end-to-end seconds via cloud access
+	LocalJobS  float64 // end-to-end seconds as a local co-processor
+}
+
+// TimingResult covers the sampling-vs-total QPU time comparison.
+type TimingResult struct {
+	Rows []TimingRow
+}
+
+// RunTiming reproduces the §4.2.1 numbers: t_s (pure sampling) versus
+// t_qpu (total QPU time) for the smallest and largest Table 2 scenarios.
+func RunTiming(cfg Config) (*TimingResult, error) {
+	falcon := topology.Falcon27()
+	cal := noise.Auckland()
+	tm := noise.DefaultTimingModel()
+	res := &TimingResult{}
+	for _, p := range []int{0, 3} {
+		enc, err := paperEncoding(p, 0)
+		if err != nil {
+			return nil, err
+		}
+		params := qaoa.NewParams(1)
+		params.Gammas[0] = 0.35
+		params.Betas[0] = 0.6
+		logical := qaoa.BuildCircuit(enc.QUBO, params)
+		tr, err := transpile.Transpile(logical, falcon, transpile.Options{
+			GateSet: transpile.IBMNative,
+			Router:  transpile.RouterLookahead,
+			Seed:    cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ts := tm.SamplingTimeNs(tr.Circuit, cal, cfg.QAOAShots)
+		tq := tm.TotalQPUTimeNs(tr.Circuit, cal, cfg.QAOAShots)
+		res.Rows = append(res.Rows, TimingRow{
+			Predicates: p, Qubits: enc.NumQubits(),
+			SamplingMs: ts / 1e6, TotalQPUs: tq / 1e9, Ratio: tq / ts,
+			CloudJobS: noise.CloudAccess().JobTimeNs(tq) / 1e9,
+			LocalJobS: noise.LocalCoprocessor().JobTimeNs(ts) / 1e9,
+		})
+	}
+	return res, nil
+}
+
+// Write renders the timing rows.
+func (r *TimingResult) Write(w io.Writer) {
+	fmt.Fprintln(w, "Timing (§4.2.1): sampling time t_s vs total QPU time t_qpu, 1024 shots;")
+	fmt.Fprintln(w, "plus §8 deployment comparison (cloud job includes queue + network; local")
+	fmt.Fprintln(w, "co-processor pays only t_s + bus dispatch)")
+	fmt.Fprintf(w, "%-11s %7s %12s %12s %8s %12s %12s\n",
+		"predicates", "qubits", "t_s [ms]", "t_qpu [s]", "ratio", "cloud [s]", "local [s]")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-11d %7d %12.1f %12.2f %8.0fx %12.2f %12.3f\n",
+			row.Predicates, row.Qubits, row.SamplingMs, row.TotalQPUs, row.Ratio,
+			row.CloudJobS, row.LocalJobS)
+	}
+}

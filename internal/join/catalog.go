@@ -1,0 +1,95 @@
+package join
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// catalogJSON is the on-disk format for user-supplied query instances:
+//
+//	{
+//	  "relations": [
+//	    {"name": "orders", "cardinality": 1500000},
+//	    {"name": "customers", "cardinality": 100000}
+//	  ],
+//	  "predicates": [
+//	    {"left": "orders", "right": "customers", "selectivity": 1e-5}
+//	  ]
+//	}
+type catalogJSON struct {
+	Relations  []catalogRelation  `json:"relations"`
+	Predicates []catalogPredicate `json:"predicates,omitempty"`
+}
+
+type catalogRelation struct {
+	Name        string  `json:"name"`
+	Cardinality float64 `json:"cardinality"`
+}
+
+type catalogPredicate struct {
+	Left        string  `json:"left"`
+	Right       string  `json:"right"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+// ReadCatalog parses a query instance from its JSON catalog form,
+// resolving predicate endpoints by relation name, and validates it.
+func ReadCatalog(r io.Reader) (*Query, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cat catalogJSON
+	if err := dec.Decode(&cat); err != nil {
+		return nil, fmt.Errorf("join: parsing catalog: %w", err)
+	}
+	q := &Query{}
+	byName := make(map[string]int, len(cat.Relations))
+	for i, rel := range cat.Relations {
+		if rel.Name == "" {
+			return nil, fmt.Errorf("join: relation %d has no name", i)
+		}
+		if _, dup := byName[rel.Name]; dup {
+			return nil, fmt.Errorf("join: duplicate relation name %q", rel.Name)
+		}
+		byName[rel.Name] = i
+		q.Relations = append(q.Relations, Relation{Name: rel.Name, Card: rel.Cardinality})
+	}
+	for i, p := range cat.Predicates {
+		l, ok := byName[p.Left]
+		if !ok {
+			return nil, fmt.Errorf("join: predicate %d references unknown relation %q", i, p.Left)
+		}
+		r2, ok := byName[p.Right]
+		if !ok {
+			return nil, fmt.Errorf("join: predicate %d references unknown relation %q", i, p.Right)
+		}
+		q.Predicates = append(q.Predicates, Predicate{R1: l, R2: r2, Sel: p.Selectivity})
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// WriteCatalog serialises the query in the JSON catalog form. Relations
+// without names receive positional names (R0, R1, ...).
+func (q *Query) WriteCatalog(w io.Writer) error {
+	cat := catalogJSON{}
+	name := func(t int) string {
+		if n := q.Relations[t].Name; n != "" {
+			return n
+		}
+		return fmt.Sprintf("R%d", t)
+	}
+	for t, rel := range q.Relations {
+		cat.Relations = append(cat.Relations, catalogRelation{Name: name(t), Cardinality: rel.Card})
+	}
+	for _, p := range q.Predicates {
+		cat.Predicates = append(cat.Predicates, catalogPredicate{
+			Left: name(p.R1), Right: name(p.R2), Selectivity: p.Sel,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cat)
+}

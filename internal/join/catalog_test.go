@@ -1,0 +1,88 @@
+package join
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCatalog = `{
+  "relations": [
+    {"name": "orders", "cardinality": 1500000},
+    {"name": "customers", "cardinality": 100000},
+    {"name": "items", "cardinality": 6000000}
+  ],
+  "predicates": [
+    {"left": "orders", "right": "customers", "selectivity": 1e-5},
+    {"left": "orders", "right": "items", "selectivity": 6.7e-7}
+  ]
+}`
+
+func TestReadCatalog(t *testing.T) {
+	q, err := ReadCatalog(strings.NewReader(sampleCatalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumRelations() != 3 || q.NumPredicates() != 2 {
+		t.Fatalf("parsed %d relations, %d predicates", q.NumRelations(), q.NumPredicates())
+	}
+	if q.Relations[0].Name != "orders" || q.Relations[0].Card != 1500000 {
+		t.Fatalf("relation 0: %+v", q.Relations[0])
+	}
+	if q.Predicates[1].R1 != 0 || q.Predicates[1].R2 != 2 {
+		t.Fatalf("predicate 1: %+v", q.Predicates[1])
+	}
+}
+
+func TestReadCatalogErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":         `{`,
+		"unknown field":    `{"relations": [{"name": "a", "cardinality": 10, "rows": 5}]}`,
+		"missing name":     `{"relations": [{"cardinality": 10}, {"name": "b", "cardinality": 10}]}`,
+		"duplicate name":   `{"relations": [{"name": "a", "cardinality": 10}, {"name": "a", "cardinality": 10}]}`,
+		"unknown left":     `{"relations": [{"name": "a", "cardinality": 10}, {"name": "b", "cardinality": 10}], "predicates": [{"left": "x", "right": "b", "selectivity": 0.5}]}`,
+		"unknown right":    `{"relations": [{"name": "a", "cardinality": 10}, {"name": "b", "cardinality": 10}], "predicates": [{"left": "a", "right": "x", "selectivity": 0.5}]}`,
+		"invalid sel":      `{"relations": [{"name": "a", "cardinality": 10}, {"name": "b", "cardinality": 10}], "predicates": [{"left": "a", "right": "b", "selectivity": 2}]}`,
+		"zero cardinality": `{"relations": [{"name": "a", "cardinality": 0}, {"name": "b", "cardinality": 10}]}`,
+		"single relation":  `{"relations": [{"name": "a", "cardinality": 10}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadCatalog(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCatalogRoundTrip(t *testing.T) {
+	q, err := ReadCatalog(strings.NewReader(sampleCatalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := q.WriteCatalog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := ReadCatalog(&buf)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, buf.String())
+	}
+	if q2.NumRelations() != q.NumRelations() || q2.NumPredicates() != q.NumPredicates() {
+		t.Fatal("round trip changed structure")
+	}
+	for i := range q.Relations {
+		if q2.Relations[i] != q.Relations[i] {
+			t.Fatalf("relation %d changed: %+v vs %+v", i, q2.Relations[i], q.Relations[i])
+		}
+	}
+}
+
+func TestWriteCatalogNamesAnonymous(t *testing.T) {
+	q := &Query{Relations: []Relation{{Card: 10}, {Card: 20}}}
+	var buf bytes.Buffer
+	if err := q.WriteCatalog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"R0"`) || !strings.Contains(buf.String(), `"R1"`) {
+		t.Fatalf("anonymous relations not named: %s", buf.String())
+	}
+}

@@ -1,0 +1,181 @@
+package join
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func exampleQuery() *Query {
+	// The running example of the paper (§3, Example 3.3): R, S, T with
+	// cardinality 100 each and one predicate p_RS with selectivity 0.1.
+	return &Query{
+		Relations: []Relation{
+			{Name: "R", Card: 100},
+			{Name: "S", Card: 100},
+			{Name: "T", Card: 100},
+		},
+		Predicates: []Predicate{{R1: 0, R2: 1, Sel: 0.1}},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	q := exampleQuery()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	bad := []*Query{
+		{Relations: []Relation{{Card: 10}}},
+		{Relations: []Relation{{Card: 0}, {Card: 10}}},
+		{Relations: []Relation{{Card: 10}, {Card: 10}}, Predicates: []Predicate{{R1: 0, R2: 2, Sel: 0.5}}},
+		{Relations: []Relation{{Card: 10}, {Card: 10}}, Predicates: []Predicate{{R1: 0, R2: 0, Sel: 0.5}}},
+		{Relations: []Relation{{Card: 10}, {Card: 10}}, Predicates: []Predicate{{R1: 0, R2: 1, Sel: 0}}},
+		{Relations: []Relation{{Card: 10}, {Card: 10}}, Predicates: []Predicate{{R1: 0, R2: 1, Sel: 1.5}}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+}
+
+func TestSetCard(t *testing.T) {
+	q := exampleQuery()
+	cases := []struct {
+		mask uint64
+		want float64
+	}{
+		{0, 1},
+		{1 << 0, 100},
+		{1 << 1, 100},
+		{1<<0 | 1<<1, 1000},  // 100*100*0.1: predicate applies
+		{1<<0 | 1<<2, 10000}, // cross product
+		{1<<0 | 1<<1 | 1<<2, 100000},
+	}
+	for _, c := range cases {
+		if got := q.SetCard(c.mask); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("SetCard(%b) = %v, want %v", c.mask, got, c.want)
+		}
+		if got := q.LogSetCard(c.mask); math.Abs(got-math.Log10(c.want)) > 1e-9 {
+			t.Errorf("LogSetCard(%b) = %v, want %v", c.mask, got, math.Log10(c.want))
+		}
+	}
+}
+
+func TestCostMatchesPaperExample(t *testing.T) {
+	q := exampleQuery()
+	// (R ⋈ S) ⋈ T: intermediate 1000, final 100000 -> 101000.
+	got := q.Cost(Order{0, 1, 2})
+	if math.Abs(got-101000) > 1e-6 {
+		t.Fatalf("Cost(R,S,T) = %v, want 101000", got)
+	}
+	// (R ⋈ T) ⋈ S needs a cross product: 10000 + 100000 = 110000.
+	if got := q.Cost(Order{0, 2, 1}); math.Abs(got-110000) > 1e-6 {
+		t.Fatalf("Cost(R,T,S) = %v, want 110000", got)
+	}
+	// Optimal orders are (R ⋈ S) ⋈ T and (S ⋈ R) ⋈ T.
+	if q.Cost(Order{0, 1, 2}) != q.Cost(Order{1, 0, 2}) {
+		t.Fatal("first-two-commutation should not change cost")
+	}
+}
+
+func TestLogCostMatchesCost(t *testing.T) {
+	q := exampleQuery()
+	for _, o := range [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}} {
+		c, lc := q.Cost(Order(o)), q.LogCost(Order(o))
+		if math.Abs(c-lc)/c > 1e-9 {
+			t.Errorf("Cost and LogCost disagree for %v: %v vs %v", o, c, lc)
+		}
+	}
+}
+
+func TestTree(t *testing.T) {
+	q := exampleQuery()
+	if got, want := q.Tree(Order{0, 1, 2}), "((R ⋈ S) ⋈ T)"; got != want {
+		t.Errorf("Tree = %q, want %q", got, want)
+	}
+	anon := &Query{Relations: []Relation{{Card: 1}, {Card: 1}}}
+	if got, want := anon.Tree(Order{1, 0}), "(R1 ⋈ R0)"; got != want {
+		t.Errorf("Tree = %q, want %q", got, want)
+	}
+}
+
+func TestRequiresCrossProduct(t *testing.T) {
+	q := exampleQuery()
+	// Any order involving T requires a cross product since only p_RS exists.
+	for _, o := range [][]int{{0, 1, 2}, {0, 2, 1}, {2, 0, 1}} {
+		if !q.RequiresCrossProduct(Order(o)) {
+			t.Errorf("order %v must require a cross product", o)
+		}
+	}
+	chain := &Query{
+		Relations:  []Relation{{Card: 10}, {Card: 10}, {Card: 10}},
+		Predicates: []Predicate{{R1: 0, R2: 1, Sel: 0.1}, {R1: 1, R2: 2, Sel: 0.1}},
+	}
+	if chain.RequiresCrossProduct(Order{0, 1, 2}) {
+		t.Error("chain order 0,1,2 should not require a cross product")
+	}
+	if !chain.RequiresCrossProduct(Order{0, 2, 1}) {
+		t.Error("chain order 0,2,1 must require a cross product")
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	if !(Order{2, 0, 1}).IsPermutation(3) {
+		t.Error("valid permutation rejected")
+	}
+	for _, o := range []Order{{0, 1}, {0, 0, 1}, {0, 1, 3}, {-1, 0, 1}} {
+		if o.IsPermutation(3) {
+			t.Errorf("invalid permutation %v accepted", o)
+		}
+	}
+}
+
+func TestCostPanicsOnBadOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cost on non-permutation should panic")
+		}
+	}()
+	exampleQuery().Cost(Order{0, 0, 1})
+}
+
+// Property: cost is invariant under swapping the first two relations
+// (the first join is symmetric in its operands under C_out).
+func TestQuickFirstJoinSymmetry(t *testing.T) {
+	f := func(cards [4]uint8, sel uint8) bool {
+		q := &Query{}
+		for _, c := range cards {
+			q.Relations = append(q.Relations, Relation{Card: float64(c%100) + 1})
+		}
+		s := float64(sel%100+1) / 100
+		q.Predicates = []Predicate{{R1: 0, R2: 1, Sel: s}, {R1: 2, R2: 3, Sel: s}}
+		a := q.Cost(Order{0, 1, 2, 3})
+		b := q.Cost(Order{1, 0, 2, 3})
+		return math.Abs(a-b) <= 1e-9*math.Abs(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a predicate never increases the cost of any order.
+func TestQuickPredicatesReduceCost(t *testing.T) {
+	f := func(cards [3]uint8, sel uint8) bool {
+		base := &Query{}
+		for _, c := range cards {
+			base.Relations = append(base.Relations, Relation{Card: float64(c)*4 + 1})
+		}
+		with := &Query{Relations: base.Relations,
+			Predicates: []Predicate{{R1: 0, R2: 1, Sel: float64(sel%99+1) / 100}}}
+		for _, o := range [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}} {
+			if with.Cost(Order(o)) > base.Cost(Order(o))+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,321 @@
+// Package linprog provides the binary (integer) linear programming
+// machinery used as the intermediate representation between the paper's
+// MILP join-ordering model and the final QUBO (paper §3.1–§3.4):
+//
+//   - Model: binary variables, a linear objective, and linear constraints
+//     with either = or <= sense,
+//   - ToEquality: conversion of inequality constraints to equalities by
+//     introducing slack variables discretised into binary bits at a chosen
+//     precision ω (Eq. 8/9: an integer bounded by C needs
+//     ⌊log2(C/ω)⌋ + 1 bits),
+//   - ToQUBO: the Lucas penalty transformation
+//     H = A·Σ_j (b_j − S_j·x)² + B·Σ_i c_i x_i (Eq. 10), with coefficient
+//     rounding to the discretisation grid.
+//
+// All decision variables are binary; continuous quantities enter only as
+// bounded slacks, exactly as in the paper's pruned JO model.
+package linprog
+
+import (
+	"fmt"
+	"math"
+
+	"quantumjoin/internal/qubo"
+)
+
+// Sense is the comparison sense of a constraint.
+type Sense int
+
+const (
+	// EQ is an equality constraint Σ a_i x_i = b.
+	EQ Sense = iota
+	// LE is an inequality constraint Σ a_i x_i <= b.
+	LE
+)
+
+// Term is one coefficient of a linear expression.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is a linear constraint over binary variables.
+type Constraint struct {
+	Name  string
+	Terms []Term
+	Sense Sense
+	RHS   float64
+	// SlackBound is an upper bound on RHS − LHS over assignments that
+	// satisfy the constraint; it determines how many binary slack bits the
+	// equality conversion needs (Lemma 5.1 supplies this bound for the
+	// cardinality-threshold constraints). Required for LE constraints.
+	SlackBound float64
+	// Integral marks constraints whose slack is integer-valued; their
+	// slack is discretised at precision 1 regardless of the global ω.
+	Integral bool
+}
+
+// VarClass tags the semantic role of a variable; the join-ordering encoder
+// assigns meaningful classes, slack bits are tagged by the converter.
+type VarClass int
+
+const (
+	// ClassDecision is an original problem variable.
+	ClassDecision VarClass = iota
+	// ClassSlack is a binary slack bit introduced by ToEquality.
+	ClassSlack
+)
+
+// Model is a binary linear program: minimise Obj subject to Cons, with all
+// variables in {0, 1}.
+type Model struct {
+	Names   []string
+	Classes []VarClass
+	Cons    []Constraint
+	Obj     []Term
+}
+
+// NumVars returns the number of binary variables.
+func (m *Model) NumVars() int { return len(m.Names) }
+
+// AddVar appends a binary decision variable and returns its index.
+func (m *Model) AddVar(name string) int {
+	m.Names = append(m.Names, name)
+	m.Classes = append(m.Classes, ClassDecision)
+	return len(m.Names) - 1
+}
+
+func (m *Model) addSlackVar(name string) int {
+	m.Names = append(m.Names, name)
+	m.Classes = append(m.Classes, ClassSlack)
+	return len(m.Names) - 1
+}
+
+// AddConstraint appends a constraint.
+func (m *Model) AddConstraint(c Constraint) {
+	m.Cons = append(m.Cons, c)
+}
+
+// AddObjectiveTerm adds coef·x_v to the minimisation objective.
+func (m *Model) AddObjectiveTerm(v int, coef float64) {
+	m.Obj = append(m.Obj, Term{Var: v, Coef: coef})
+}
+
+// Validate checks that all variable references are in range and that LE
+// constraints carry a usable slack bound.
+func (m *Model) Validate() error {
+	n := m.NumVars()
+	check := func(ts []Term, where string) error {
+		for _, t := range ts {
+			if t.Var < 0 || t.Var >= n {
+				return fmt.Errorf("linprog: %s references variable %d outside [0,%d)", where, t.Var, n)
+			}
+		}
+		return nil
+	}
+	if err := check(m.Obj, "objective"); err != nil {
+		return err
+	}
+	for i, c := range m.Cons {
+		if err := check(c.Terms, fmt.Sprintf("constraint %d (%s)", i, c.Name)); err != nil {
+			return err
+		}
+		if c.Sense == LE && (c.SlackBound < 0 || math.IsNaN(c.SlackBound)) {
+			return fmt.Errorf("linprog: constraint %d (%s) is <= but has invalid slack bound %v", i, c.Name, c.SlackBound)
+		}
+	}
+	return nil
+}
+
+// LHS evaluates a constraint's left-hand side under an assignment.
+func (c *Constraint) LHS(x []bool) float64 {
+	v := 0.0
+	for _, t := range c.Terms {
+		if x[t.Var] {
+			v += t.Coef
+		}
+	}
+	return v
+}
+
+// Satisfied reports whether the constraint holds under x within tol.
+func (c *Constraint) Satisfied(x []bool, tol float64) bool {
+	lhs := c.LHS(x)
+	switch c.Sense {
+	case EQ:
+		return math.Abs(lhs-c.RHS) <= tol
+	case LE:
+		return lhs <= c.RHS+tol
+	default:
+		return false
+	}
+}
+
+// Feasible reports whether x satisfies every constraint within tol.
+func (m *Model) Feasible(x []bool, tol float64) bool {
+	for i := range m.Cons {
+		if !m.Cons[i].Satisfied(x, tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// Objective evaluates the objective under x.
+func (m *Model) Objective(x []bool) float64 {
+	v := 0.0
+	for _, t := range m.Obj {
+		if x[t.Var] {
+			v += t.Coef
+		}
+	}
+	return v
+}
+
+// SlackBits returns the number of binary slack bits needed to represent a
+// slack bounded by c at precision omega: ⌊log2(c/ω)⌋ + 1 (Eq. 9). A
+// non-positive bound needs no bits.
+func SlackBits(bound, omega float64) int {
+	if bound <= 0 {
+		return 0
+	}
+	if omega <= 0 {
+		panic(fmt.Sprintf("linprog: non-positive precision %v", omega))
+	}
+	r := bound / omega
+	if r < 1 {
+		return 1
+	}
+	return int(math.Floor(math.Log2(r))) + 1
+}
+
+// ToEquality returns a copy of the model in which every LE constraint has
+// been converted to an equality by adding binary slack bits:
+//
+//	Σ a_i x_i + ω Σ_k 2^(k-1) b_k = RHS    (Eq. 8 with discretised slack)
+//
+// Integral constraints use precision 1; others use omega. The original
+// decision variables keep their indices; slack bits are appended.
+func (m *Model) ToEquality(omega float64) (*Model, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if omega <= 0 {
+		return nil, fmt.Errorf("linprog: precision ω must be positive, got %v", omega)
+	}
+	out := &Model{
+		Names:   append([]string(nil), m.Names...),
+		Classes: append([]VarClass(nil), m.Classes...),
+		Obj:     append([]Term(nil), m.Obj...),
+	}
+	for ci, c := range m.Cons {
+		nc := Constraint{
+			Name:  c.Name,
+			Terms: append([]Term(nil), c.Terms...),
+			Sense: EQ,
+			RHS:   c.RHS,
+		}
+		if c.Sense == LE {
+			prec := omega
+			if c.Integral {
+				prec = 1
+			}
+			bits := SlackBits(c.SlackBound, prec)
+			for k := 0; k < bits; k++ {
+				v := out.addSlackVar(fmt.Sprintf("slack[%d,%s][%d]", ci, c.Name, k))
+				nc.Terms = append(nc.Terms, Term{Var: v, Coef: prec * math.Pow(2, float64(k))})
+			}
+		}
+		out.Cons = append(out.Cons, nc)
+	}
+	return out, nil
+}
+
+// PenaltyWeight returns the constraint penalty A for B = 1 following §3.4:
+// the smallest violation of any constraint is ω (for discretised
+// constraints), contributing A·ω² to H_A, which must exceed the largest
+// possible objective saving C = Σ_i |c_i|; hence A = C/ω² + ε.
+func (m *Model) PenaltyWeight(omega, eps float64) float64 {
+	c := 0.0
+	for _, t := range m.Obj {
+		c += math.Abs(t.Coef)
+	}
+	if c == 0 {
+		c = 1
+	}
+	return c/(omega*omega) + eps
+}
+
+// ToQUBO converts an equality-only model into the penalty QUBO of Eq. 10:
+//
+//	H = A Σ_j (b_j − Σ_i S_ji x_i)² + B Σ_i c_i x_i.
+//
+// Coefficients S_ji and b_j are rounded to the discretisation grid `round`
+// when round > 0 (the paper rounds to precision ω so that valid solutions
+// reach exactly zero residual despite discretised slacks). Returns an
+// error if any constraint is not an equality.
+func (m *Model) ToQUBO(penaltyA, penaltyB, round float64) (*qubo.QUBO, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	snap := func(v float64) float64 {
+		if round <= 0 {
+			return v
+		}
+		return math.Round(v/round) * round
+	}
+	q := qubo.New(m.NumVars())
+	for i, c := range m.Cons {
+		if c.Sense != EQ {
+			return nil, fmt.Errorf("linprog: constraint %d (%s) is not an equality; call ToEquality first", i, c.Name)
+		}
+		b := snap(c.RHS)
+		q.Offset += penaltyA * b * b
+		for ai, ta := range c.Terms {
+			sa := snap(ta.Coef)
+			// Diagonal: s_a² x_a − 2 b s_a x_a.
+			q.AddLinear(ta.Var, penaltyA*(sa*sa-2*b*sa))
+			for bi := ai + 1; bi < len(c.Terms); bi++ {
+				tb := c.Terms[bi]
+				sb := snap(tb.Coef)
+				if ta.Var == tb.Var {
+					// Duplicate variable in one constraint: x² = x.
+					q.AddLinear(ta.Var, penaltyA*2*sa*sb)
+					continue
+				}
+				q.AddQuad(ta.Var, tb.Var, penaltyA*2*sa*sb)
+			}
+		}
+	}
+	for _, t := range m.Obj {
+		q.AddLinear(t.Var, penaltyB*t.Coef)
+	}
+	return q, nil
+}
+
+// Solve enumerates all assignments of the model's variables and returns a
+// feasible minimiser of the objective (for validation; limited to 24
+// variables). The boolean result reports whether any feasible assignment
+// exists.
+func (m *Model) Solve(tol float64) ([]bool, float64, bool, error) {
+	n := m.NumVars()
+	if n > 24 {
+		return nil, 0, false, fmt.Errorf("linprog: %d variables exceeds enumeration limit 24", n)
+	}
+	best := math.Inf(1)
+	var bestX []bool
+	x := make([]bool, n)
+	for bits := uint64(0); bits < 1<<uint(n); bits++ {
+		for i := 0; i < n; i++ {
+			x[i] = bits&(1<<uint(i)) != 0
+		}
+		if !m.Feasible(x, tol) {
+			continue
+		}
+		if v := m.Objective(x); v < best {
+			best = v
+			bestX = append([]bool(nil), x...)
+		}
+	}
+	return bestX, best, bestX != nil, nil
+}

@@ -1,0 +1,228 @@
+package linprog
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// knapsackModel: minimise -3x0 - 4x1 - 5x2 subject to x0 + x1 + x2 <= 2.
+func knapsackModel() *Model {
+	m := &Model{}
+	a := m.AddVar("x0")
+	b := m.AddVar("x1")
+	c := m.AddVar("x2")
+	m.AddObjectiveTerm(a, -3)
+	m.AddObjectiveTerm(b, -4)
+	m.AddObjectiveTerm(c, -5)
+	m.AddConstraint(Constraint{
+		Name:  "cap",
+		Terms: []Term{{a, 1}, {b, 1}, {c, 1}},
+		Sense: LE, RHS: 2, SlackBound: 2, Integral: true,
+	})
+	return m
+}
+
+func TestSolveKnapsack(t *testing.T) {
+	x, v, ok, err := knapsackModel().Solve(1e-9)
+	if err != nil || !ok {
+		t.Fatalf("Solve: %v ok=%v", err, ok)
+	}
+	if v != -9 {
+		t.Fatalf("optimal = %v, want -9", v)
+	}
+	if x[0] || !x[1] || !x[2] {
+		t.Fatalf("optimal x = %v, want (0,1,1)", x)
+	}
+}
+
+func TestSlackBits(t *testing.T) {
+	cases := []struct {
+		bound, omega float64
+		want         int
+	}{
+		{1, 1, 1},      // binary slack
+		{2, 1, 2},      // the paper's 3-relation example: c_jmax = 2 -> 2 bits
+		{2, 0.1, 5},    // one decimal -> +3 bits
+		{2, 0.01, 8},   // two decimals
+		{2, 0.001, 11}, // three decimals
+		{3, 1, 2},
+		{4, 1, 3},
+		{0, 1, 0},
+		{-1, 1, 0},
+		{0.5, 1, 1},
+	}
+	for _, c := range cases {
+		if got := SlackBits(c.bound, c.omega); got != c.want {
+			t.Errorf("SlackBits(%v, %v) = %d, want %d", c.bound, c.omega, got, c.want)
+		}
+	}
+}
+
+func TestToEqualityPreservesFeasibleSet(t *testing.T) {
+	m := knapsackModel()
+	eq, err := m.ToEquality(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slack bound 2 -> 2 bits appended.
+	if eq.NumVars() != 5 {
+		t.Fatalf("NumVars = %d, want 5", eq.NumVars())
+	}
+	if eq.Classes[3] != ClassSlack || eq.Classes[4] != ClassSlack {
+		t.Fatal("slack bits not tagged")
+	}
+	// Every original feasible point must extend to a feasible point of the
+	// equality model with some slack assignment, and vice versa.
+	for bits := 0; bits < 8; bits++ {
+		x := []bool{bits&1 != 0, bits&2 != 0, bits&4 != 0}
+		origFeasible := m.Feasible(x, 1e-9)
+		extends := false
+		for s := 0; s < 4; s++ {
+			full := append(append([]bool(nil), x...), s&1 != 0, s&2 != 0)
+			if eq.Feasible(full, 1e-9) {
+				extends = true
+				break
+			}
+		}
+		if origFeasible != extends {
+			t.Errorf("x=%v: original feasible=%v, equality extension=%v", x, origFeasible, extends)
+		}
+	}
+}
+
+func TestToEqualityRejectsBadOmega(t *testing.T) {
+	if _, err := knapsackModel().ToEquality(0); err == nil {
+		t.Error("accepted ω=0")
+	}
+}
+
+func TestToQUBOMinimumMatchesBILP(t *testing.T) {
+	m := knapsackModel()
+	eq, err := m.ToEquality(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := eq.PenaltyWeight(1, 0.5)
+	q, err := eq.ToQUBO(a, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := q.BruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The QUBO minimum must equal the BILP optimum (valid solution, zero
+	// penalty) and the decision-variable part must be a BILP optimum.
+	if math.Abs(sol.Value-(-9)) > 1e-6 {
+		t.Fatalf("QUBO minimum %v, want -9", sol.Value)
+	}
+	if !m.Feasible(sol.Assignment[:3], 1e-9) {
+		t.Fatalf("QUBO argmin %v infeasible for original model", sol.Assignment[:3])
+	}
+	if v := m.Objective(sol.Assignment[:3]); math.Abs(v-(-9)) > 1e-9 {
+		t.Fatalf("QUBO argmin objective %v, want -9", v)
+	}
+}
+
+func TestToQUBORejectsInequalities(t *testing.T) {
+	if _, err := knapsackModel().ToQUBO(10, 1, 0); err == nil {
+		t.Error("ToQUBO accepted inequality constraints")
+	}
+}
+
+func TestToQUBOInvalidPenalised(t *testing.T) {
+	// x0 + x1 = 1; objective x0. Invalid assignments must exceed any valid.
+	m := &Model{}
+	a := m.AddVar("a")
+	b := m.AddVar("b")
+	m.AddObjectiveTerm(a, 1)
+	m.AddConstraint(Constraint{Terms: []Term{{a, 1}, {b, 1}}, Sense: EQ, RHS: 1})
+	q, err := m.ToQUBO(10, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{
+		"00": q.Value([]bool{false, false}),
+		"10": q.Value([]bool{true, false}),
+		"01": q.Value([]bool{false, true}),
+		"11": q.Value([]bool{true, true}),
+	}
+	if vals["01"] != 0 {
+		t.Errorf("valid zero-cost solution has energy %v", vals["01"])
+	}
+	if vals["10"] != 1 {
+		t.Errorf("valid cost-1 solution has energy %v", vals["10"])
+	}
+	if vals["00"] < 10 || vals["11"] < 10 {
+		t.Errorf("invalid solutions not penalised: %v", vals)
+	}
+}
+
+func TestCoefficientRounding(t *testing.T) {
+	m := &Model{}
+	a := m.AddVar("a")
+	m.AddConstraint(Constraint{Terms: []Term{{a, 0.999999}}, Sense: EQ, RHS: 1.000001})
+	q, err := m.ToQUBO(1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After rounding both sides to 0.1 grid: (1 - x)², so x=1 has zero energy.
+	if v := q.Value([]bool{true}); math.Abs(v) > 1e-12 {
+		t.Errorf("rounded residual = %v, want 0", v)
+	}
+}
+
+func TestPenaltyWeight(t *testing.T) {
+	m := knapsackModel()
+	if got := m.PenaltyWeight(1, 0.5); got != 12.5 {
+		t.Errorf("PenaltyWeight = %v, want 12.5 (=3+4+5+0.5)", got)
+	}
+	// ω = 0.1 divides by ω².
+	if got := m.PenaltyWeight(0.1, 0); math.Abs(got-1200) > 1e-9 {
+		t.Errorf("PenaltyWeight(0.1) = %v, want 1200", got)
+	}
+	empty := &Model{}
+	empty.AddVar("x")
+	if got := empty.PenaltyWeight(1, 0); got != 1 {
+		t.Errorf("PenaltyWeight with empty objective = %v, want 1", got)
+	}
+}
+
+func TestValidateCatchesBadReferences(t *testing.T) {
+	m := &Model{}
+	m.AddVar("a")
+	m.AddConstraint(Constraint{Terms: []Term{{5, 1}}, Sense: EQ, RHS: 0})
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "variable 5") {
+		t.Errorf("Validate = %v", err)
+	}
+	m2 := &Model{}
+	m2.AddVar("a")
+	m2.AddConstraint(Constraint{Terms: []Term{{0, 1}}, Sense: LE, RHS: 1, SlackBound: -1})
+	if err := m2.Validate(); err == nil {
+		t.Error("Validate accepted negative slack bound on LE")
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	m := &Model{}
+	a := m.AddVar("a")
+	m.AddConstraint(Constraint{Terms: []Term{{a, 1}}, Sense: EQ, RHS: 0.5})
+	_, _, ok, err := m.Solve(1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("infeasible model reported feasible")
+	}
+}
+
+func TestSolveLimit(t *testing.T) {
+	m := &Model{}
+	for i := 0; i < 25; i++ {
+		m.AddVar("x")
+	}
+	if _, _, _, err := m.Solve(1e-9); err == nil {
+		t.Error("oversized Solve accepted")
+	}
+}

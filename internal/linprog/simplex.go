@@ -1,0 +1,318 @@
+package linprog
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements a dense two-phase primal simplex solver for linear
+// programming relaxations of the package's binary models, plus the
+// branch-and-bound solver built on it (bnb.go). Together they stand in
+// for the commercial MILP solver (Gurobi) the original study used to
+// solve the Trummer/Koch join-ordering model classically (§3.1, §6.1).
+
+// LPStatus reports the outcome of an LP solve.
+type LPStatus int
+
+const (
+	// LPOptimal means an optimal basic feasible solution was found.
+	LPOptimal LPStatus = iota
+	// LPInfeasible means the constraints admit no solution.
+	LPInfeasible
+	// LPUnbounded means the objective is unbounded below.
+	LPUnbounded
+)
+
+// String implements fmt.Stringer.
+func (s LPStatus) String() string {
+	switch s {
+	case LPOptimal:
+		return "optimal"
+	case LPInfeasible:
+		return "infeasible"
+	case LPUnbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("LPStatus(%d)", int(s))
+	}
+}
+
+// LPSolution is the result of an LP relaxation solve.
+type LPSolution struct {
+	Status LPStatus
+	// X contains the variable values (original model variables only).
+	X []float64
+	// Objective is the optimal objective value (minimisation).
+	Objective float64
+}
+
+// lp is the internal standard form: minimise c·x subject to rows with
+// sense LE/EQ, x >= 0. Variable upper bounds are emitted as explicit LE
+// rows by the builder.
+type lp struct {
+	nVars int
+	rows  []lpRow
+	c     []float64
+}
+
+type lpRow struct {
+	coef  []float64
+	sense Sense
+	rhs   float64
+}
+
+const lpEps = 1e-9
+
+// SolveLP solves the LP relaxation of the model: all variables continuous
+// in [0, 1] (plus non-negative slack bits introduced earlier, also bounded
+// by 1 since they are binary in the integral model), constraints as
+// given. Fixed assigns variables to constants (used by branch and bound);
+// entries outside [0, 1] mean free.
+func (m *Model) SolveLP(fixed []float64) (LPSolution, error) {
+	if err := m.Validate(); err != nil {
+		return LPSolution{}, err
+	}
+	n := m.NumVars()
+	p := lp{nVars: n, c: make([]float64, n)}
+	for _, t := range m.Obj {
+		p.c[t.Var] += t.Coef
+	}
+	for i := range m.Cons {
+		c := &m.Cons[i]
+		row := lpRow{coef: make([]float64, n), sense: c.Sense, rhs: c.RHS}
+		for _, t := range c.Terms {
+			row.coef[t.Var] += t.Coef
+		}
+		p.rows = append(p.rows, row)
+	}
+	// Variable bounds x_i <= 1, and fixing for branch and bound.
+	for i := 0; i < n; i++ {
+		if fixed != nil && fixed[i] >= 0 && fixed[i] <= 1 {
+			row := lpRow{coef: make([]float64, n), sense: EQ, rhs: fixed[i]}
+			row.coef[i] = 1
+			p.rows = append(p.rows, row)
+			continue
+		}
+		row := lpRow{coef: make([]float64, n), sense: LE, rhs: 1}
+		row.coef[i] = 1
+		p.rows = append(p.rows, row)
+	}
+	return p.solve()
+}
+
+// solve runs two-phase simplex on the standard form.
+func (p *lp) solve() (LPSolution, error) {
+	m := len(p.rows)
+	n := p.nVars
+
+	// Normalise RHS >= 0. LE with negative RHS becomes GE after negation;
+	// GE rows get a surplus variable (negative slack) plus an artificial.
+	type rowKind int
+	const (
+		kindLE rowKind = iota
+		kindGE
+		kindEQ
+	)
+	kinds := make([]rowKind, m)
+	A := make([][]float64, m)
+	b := make([]float64, m)
+	for i, r := range p.rows {
+		A[i] = append([]float64(nil), r.coef...)
+		b[i] = r.rhs
+		switch r.sense {
+		case LE:
+			kinds[i] = kindLE
+		case EQ:
+			kinds[i] = kindEQ
+		default:
+			return LPSolution{}, errors.New("linprog: unsupported constraint sense")
+		}
+		if b[i] < 0 {
+			for j := range A[i] {
+				A[i][j] = -A[i][j]
+			}
+			b[i] = -b[i]
+			if kinds[i] == kindLE {
+				kinds[i] = kindGE
+			}
+		}
+	}
+
+	// Column layout: [original n | slacks/surplus | artificials].
+	nSlack := 0
+	for _, k := range kinds {
+		if k == kindLE || k == kindGE {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for _, k := range kinds {
+		if k == kindGE || k == kindEQ {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := n
+	artCol := n + nSlack
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, total+1)
+		copy(tab[i], A[i])
+		tab[i][total] = b[i]
+		switch kinds[i] {
+		case kindLE:
+			tab[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case kindGE:
+			tab[i][slackCol] = -1
+			slackCol++
+			tab[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		case kindEQ:
+			tab[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+	}
+
+	// Phase 1: minimise the sum of artificial variables.
+	if nArt > 0 {
+		phase1 := make([]float64, total)
+		for j := n + nSlack; j < total; j++ {
+			phase1[j] = 1
+		}
+		val, status := p.runSimplex(tab, basis, phase1, total)
+		if status != LPOptimal {
+			return LPSolution{Status: LPInfeasible}, nil
+		}
+		if val > 1e-6 {
+			return LPSolution{Status: LPInfeasible}, nil
+		}
+		// Drive any remaining artificial variables out of the basis.
+		for i := 0; i < m; i++ {
+			if basis[i] < n+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(tab[i][j]) > lpEps {
+					p.pivot(tab, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; harmless.
+				continue
+			}
+		}
+	}
+
+	// Phase 2: the real objective (artificial columns frozen at zero).
+	obj := make([]float64, total)
+	copy(obj, p.c)
+	for i := 0; i < m; i++ {
+		if basis[i] >= n+nSlack {
+			// A basic artificial at value ~0 in a redundant row: ensure it
+			// cannot re-enter with weight.
+			continue
+		}
+	}
+	val, status := p.runSimplexRestricted(tab, basis, obj, total, n+nSlack)
+	if status == LPUnbounded {
+		return LPSolution{Status: LPUnbounded}, nil
+	}
+	x := make([]float64, p.nVars)
+	for i, bv := range basis {
+		if bv < p.nVars {
+			x[bv] = tab[i][total]
+		}
+	}
+	return LPSolution{Status: LPOptimal, X: x, Objective: val}, nil
+}
+
+// runSimplex minimises obj over all columns.
+func (p *lp) runSimplex(tab [][]float64, basis []int, obj []float64, total int) (float64, LPStatus) {
+	return p.runSimplexRestricted(tab, basis, obj, total, total)
+}
+
+// runSimplexRestricted minimises obj allowing only columns < allowed to
+// enter the basis (used in phase 2 to keep artificials out).
+func (p *lp) runSimplexRestricted(tab [][]float64, basis []int, obj []float64, total, allowed int) (float64, LPStatus) {
+	m := len(tab)
+	// Reduced costs are computed directly: r_j = c_j - c_B · B^{-1} A_j,
+	// with the tableau kept in B^{-1}-applied form, so r_j = c_j - Σ_i
+	// c_{basis[i]} tab[i][j].
+	maxIter := 200 * (total + m)
+	for iter := 0; iter < maxIter; iter++ {
+		// Compute reduced costs; Bland's rule (smallest index) prevents
+		// cycling.
+		enter := -1
+		for j := 0; j < allowed; j++ {
+			r := obj[j]
+			for i := 0; i < m; i++ {
+				if c := obj[basis[i]]; c != 0 {
+					r -= c * tab[i][j]
+				}
+			}
+			if r < -1e-7 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			val := 0.0
+			for i := 0; i < m; i++ {
+				val += obj[basis[i]] * tab[i][total]
+			}
+			return val, LPOptimal
+		}
+		// Ratio test.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > lpEps {
+				ratio := tab[i][total] / tab[i][enter]
+				if ratio < best-lpEps || (math.Abs(ratio-best) <= lpEps && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, LPUnbounded
+		}
+		p.pivot(tab, basis, leave, enter, total)
+	}
+	// Iteration limit: treat as optimal-so-far (degenerate stalling).
+	val := 0.0
+	for i := 0; i < m; i++ {
+		val += obj[basis[i]] * tab[i][total]
+	}
+	return val, LPOptimal
+}
+
+func (p *lp) pivot(tab [][]float64, basis []int, row, col, total int) {
+	pv := tab[row][col]
+	inv := 1 / pv
+	for j := 0; j <= total; j++ {
+		tab[row][j] *= inv
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,180 @@
+package linprog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveLPSimple(t *testing.T) {
+	// min -x0 - x1 s.t. x0 + x1 <= 1.5, x in [0,1]: optimum -1.5.
+	m := &Model{}
+	a := m.AddVar("a")
+	b := m.AddVar("b")
+	m.AddObjectiveTerm(a, -1)
+	m.AddObjectiveTerm(b, -1)
+	m.AddConstraint(Constraint{Terms: []Term{{a, 1}, {b, 1}}, Sense: LE, RHS: 1.5, SlackBound: 1.5, Integral: false})
+	sol, err := m.SolveLP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != LPOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-(-1.5)) > 1e-6 {
+		t.Fatalf("objective %v, want -1.5", sol.Objective)
+	}
+	if math.Abs(sol.X[0]+sol.X[1]-1.5) > 1e-6 {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestSolveLPRespectsUpperBounds(t *testing.T) {
+	// min -x0 with no constraints: bounded at x0 = 1 by the [0,1] box.
+	m := &Model{}
+	a := m.AddVar("a")
+	m.AddObjectiveTerm(a, -1)
+	sol, err := m.SolveLP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != LPOptimal || math.Abs(sol.X[0]-1) > 1e-6 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolveLPEquality(t *testing.T) {
+	// min x0 s.t. x0 + x1 = 1: optimum 0 with x1 = 1.
+	m := &Model{}
+	a := m.AddVar("a")
+	b := m.AddVar("b")
+	m.AddObjectiveTerm(a, 1)
+	m.AddConstraint(Constraint{Terms: []Term{{a, 1}, {b, 1}}, Sense: EQ, RHS: 1})
+	sol, err := m.SolveLP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != LPOptimal || math.Abs(sol.Objective) > 1e-6 || math.Abs(sol.X[1]-1) > 1e-6 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	// x0 + x1 = 3 cannot hold with x in [0,1].
+	m := &Model{}
+	a := m.AddVar("a")
+	b := m.AddVar("b")
+	m.AddConstraint(Constraint{Terms: []Term{{a, 1}, {b, 1}}, Sense: EQ, RHS: 3})
+	sol, err := m.SolveLP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != LPInfeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveLPNegativeRHS(t *testing.T) {
+	// -x0 <= -0.5 means x0 >= 0.5; minimising x0 gives 0.5.
+	m := &Model{}
+	a := m.AddVar("a")
+	m.AddObjectiveTerm(a, 1)
+	m.AddConstraint(Constraint{Terms: []Term{{a, -1}}, Sense: LE, RHS: -0.5, SlackBound: 1})
+	sol, err := m.SolveLP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != LPOptimal || math.Abs(sol.X[0]-0.5) > 1e-6 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolveLPWithFixedVariables(t *testing.T) {
+	m := &Model{}
+	a := m.AddVar("a")
+	b := m.AddVar("b")
+	m.AddObjectiveTerm(a, -2)
+	m.AddObjectiveTerm(b, -1)
+	m.AddConstraint(Constraint{Terms: []Term{{a, 1}, {b, 1}}, Sense: LE, RHS: 1, SlackBound: 1, Integral: true})
+	fixed := []float64{0, -1} // force a = 0
+	sol, err := m.SolveLP(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.X[0]) > 1e-6 || math.Abs(sol.X[1]-1) > 1e-6 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestBnBMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(6)
+		m := &Model{}
+		for i := 0; i < n; i++ {
+			m.AddVar("x")
+			m.AddObjectiveTerm(i, math.Round(rng.NormFloat64()*10)/2)
+		}
+		// A couple of random knapsack constraints.
+		for k := 0; k < 2; k++ {
+			c := Constraint{Sense: LE, RHS: float64(1 + rng.Intn(n)), Integral: true}
+			for i := 0; i < n; i++ {
+				if rng.Float64() < 0.7 {
+					c.Terms = append(c.Terms, Term{i, 1})
+				}
+			}
+			c.SlackBound = c.RHS
+			if len(c.Terms) == 0 {
+				continue
+			}
+			m.AddConstraint(c)
+		}
+		// And one equality pinning the parity structure.
+		eq := Constraint{Sense: EQ, RHS: 1, Terms: []Term{{0, 1}, {n - 1, 1}}}
+		m.AddConstraint(eq)
+
+		bx, bObj, bFeas, err := m.Solve(1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.SolveBnB(BnBOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Feasible != bFeas {
+			t.Fatalf("trial %d: feasibility mismatch: bnb=%v enum=%v", trial, got.Feasible, bFeas)
+		}
+		if !bFeas {
+			continue
+		}
+		if math.Abs(got.Objective-bObj) > 1e-6 {
+			t.Fatalf("trial %d: bnb %v != enumeration %v (enum x=%v)", trial, got.Objective, bObj, bx)
+		}
+		if !m.Feasible(got.X, 1e-6) {
+			t.Fatalf("trial %d: bnb solution infeasible", trial)
+		}
+		if !got.Proven {
+			t.Fatalf("trial %d: optimality not proven", trial)
+		}
+	}
+}
+
+func TestBnBInfeasibleModel(t *testing.T) {
+	m := &Model{}
+	a := m.AddVar("a")
+	m.AddConstraint(Constraint{Terms: []Term{{a, 1}}, Sense: EQ, RHS: 0.5})
+	res, err := m.SolveBnB(BnBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("infeasible model reported feasible")
+	}
+}
+
+func TestLPStatusString(t *testing.T) {
+	if LPOptimal.String() != "optimal" || LPInfeasible.String() != "infeasible" ||
+		LPUnbounded.String() != "unbounded" || LPStatus(9).String() == "" {
+		t.Fatal("status strings wrong")
+	}
+}

@@ -1,0 +1,491 @@
+// Package minorembed finds minor embeddings of logical problem graphs into
+// QPU hardware graphs: each logical variable is mapped to a connected
+// chain of physical qubits so that every logical interaction is realised
+// by at least one physical coupler (§2.2.2 "QPU Embedding"). The problem
+// is NP-complete; this package implements the randomized heuristic of
+// Cai, Macready and Roy — the algorithm behind D-Wave's minorminer tool
+// that the paper uses to embed join-ordering QUBOs onto the Advantage
+// system (Figure 3).
+//
+// The heuristic first embeds variables one by one, temporarily allowing
+// qubits to be shared between chains but charging an exponentially
+// growing cost for over-use; it then iteratively rips out and re-embeds
+// variables until no qubit is shared, and finally shrinks chains.
+package minorembed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quantumjoin/internal/topology"
+)
+
+// Embedding maps each logical variable to its chain of physical qubits.
+type Embedding struct {
+	// Chains[v] lists the physical qubits representing variable v.
+	Chains [][]int
+}
+
+// PhysicalQubits returns the total number of physical qubits used — the
+// quantity Figure 3 reports.
+func (e *Embedding) PhysicalQubits() int {
+	n := 0
+	for _, c := range e.Chains {
+		n += len(c)
+	}
+	return n
+}
+
+// MaxChainLength returns the longest chain.
+func (e *Embedding) MaxChainLength() int {
+	m := 0
+	for _, c := range e.Chains {
+		if len(c) > m {
+			m = len(c)
+		}
+	}
+	return m
+}
+
+// MeanChainLength returns the average chain length.
+func (e *Embedding) MeanChainLength() float64 {
+	if len(e.Chains) == 0 {
+		return 0
+	}
+	return float64(e.PhysicalQubits()) / float64(len(e.Chains))
+}
+
+// Validate checks that the embedding is a proper minor embedding of the
+// source adjacency into the target graph: chains non-empty, disjoint,
+// connected, and every source edge realised by a physical coupler.
+func (e *Embedding) Validate(source [][]int, target *topology.Graph) error {
+	owner := make([]int, target.N())
+	for i := range owner {
+		owner[i] = -1
+	}
+	for v, chain := range e.Chains {
+		if len(chain) == 0 {
+			return fmt.Errorf("minorembed: variable %d has empty chain", v)
+		}
+		inChain := make(map[int]bool, len(chain))
+		for _, q := range chain {
+			if q < 0 || q >= target.N() {
+				return fmt.Errorf("minorembed: variable %d uses invalid qubit %d", v, q)
+			}
+			if owner[q] != -1 {
+				return fmt.Errorf("minorembed: qubit %d shared by variables %d and %d", q, owner[q], v)
+			}
+			owner[q] = v
+			inChain[q] = true
+		}
+		// Chain connectivity via BFS restricted to the chain.
+		seen := map[int]bool{chain[0]: true}
+		queue := []int{chain[0]}
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			for _, u := range target.Neighbors(q) {
+				if inChain[u] && !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		if len(seen) != len(chain) {
+			return fmt.Errorf("minorembed: chain of variable %d is disconnected", v)
+		}
+	}
+	for v, nbrs := range source {
+		for _, u := range nbrs {
+			if u <= v {
+				continue
+			}
+			if !chainsCoupled(e.Chains[v], e.Chains[u], target) {
+				return fmt.Errorf("minorembed: source edge (%d,%d) not realised", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+func chainsCoupled(a, b []int, g *topology.Graph) bool {
+	inB := make(map[int]bool, len(b))
+	for _, q := range b {
+		inB[q] = true
+	}
+	for _, q := range a {
+		for _, u := range g.Neighbors(q) {
+			if inB[u] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Options tune the heuristic.
+type Options struct {
+	// Tries is the number of independent restarts (default 8).
+	Tries int
+	// InnerRounds is the number of rip-up/re-embed passes per try
+	// (default 16).
+	InnerRounds int
+	// ImproveTries is the number of additional attempts spent looking for
+	// a smaller embedding after the first success (default 1).
+	ImproveTries int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Embed finds a minor embedding of the source adjacency structure (as
+// produced by qubo.AdjacencyLists) into the target hardware graph. It
+// returns an error when no valid embedding is found within the configured
+// tries — on real hardware this is the point where a problem stops being
+// solvable at all (Figure 3's size frontier).
+func Embed(source [][]int, target *topology.Graph, opts Options) (*Embedding, error) {
+	if opts.Tries <= 0 {
+		opts.Tries = 8
+	}
+	if opts.InnerRounds <= 0 {
+		opts.InnerRounds = 16
+	}
+	n := len(source)
+	if n == 0 {
+		return &Embedding{}, nil
+	}
+	if n > target.N() {
+		return nil, fmt.Errorf("minorembed: %d variables cannot fit in %d qubits", n, target.N())
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var best *Embedding
+	improve := opts.ImproveTries
+	if improve == 0 {
+		improve = 1
+	}
+	for try := 0; try < opts.Tries; try++ {
+		emb := attempt(source, target, opts.InnerRounds, rng)
+		if emb != nil && emb.Validate(source, target) == nil {
+			if best == nil || emb.PhysicalQubits() < best.PhysicalQubits() {
+				best = emb
+			}
+		}
+		// Once an embedding exists, spend only a bounded number of extra
+		// attempts polishing it (minorminer-style early return).
+		if best != nil {
+			if improve <= 0 {
+				break
+			}
+			improve--
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("minorembed: no embedding found for %d variables into %q (%d qubits) after %d tries",
+			n, target.Name, target.N(), opts.Tries)
+	}
+	return best, nil
+}
+
+type state struct {
+	source [][]int
+	target *topology.Graph
+	chains [][]int
+	usage  []int // number of chains covering each qubit
+	rng    *rand.Rand
+	// penalty is the base of the exponential over-use cost; the CMR
+	// schedule raises it every refinement round so congestion is first
+	// tolerated, then squeezed out.
+	penalty float64
+}
+
+// attempt runs one randomized embedding construction followed by
+// refinement; returns nil on failure.
+func (s *state) clearChain(v int) {
+	for _, q := range s.chains[v] {
+		s.usage[q]--
+	}
+	s.chains[v] = nil
+}
+
+func attempt(source [][]int, target *topology.Graph, rounds int, rng *rand.Rand) *Embedding {
+	n := len(source)
+	s := &state{
+		source:  source,
+		target:  target,
+		chains:  make([][]int, n),
+		usage:   make([]int, target.N()),
+		rng:     rng,
+		penalty: 16,
+	}
+	// Construction order matters and no single choice wins everywhere:
+	// hubs-first packs chains densely (good on sparse targets such as
+	// Chimera) but leaves the hub as a short chain that its neighbours'
+	// chains can enclose, walling it off from later connections;
+	// hubs-last avoids the enclosure but scatters leaf placements (bad on
+	// sparse targets). Restarts therefore alternate randomly between the
+	// two orders.
+	order := rng.Perm(n)
+	ascending := rng.Intn(2) == 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			di, dj := len(source[order[i]]), len(source[order[j]])
+			if (ascending && dj < di) || (!ascending && dj > di) {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, v := range order {
+		if !s.embedVariable(v) {
+			return nil
+		}
+	}
+	// Refinement: rip out and re-embed while any qubit is overused. Abort
+	// early when congestion stagnates — the instance is (practically)
+	// infeasible and further rounds just burn time at the frontier.
+	overuse := func() int {
+		o := 0
+		for _, u := range s.usage {
+			if u > 1 {
+				o += u - 1
+			}
+		}
+		return o
+	}
+	bestOver := overuse()
+	stagnant := 0
+	for round := 0; round < rounds; round++ {
+		if bestOver == 0 {
+			break
+		}
+		// A mild penalty ramp squeezes congestion out over the rounds
+		// without forcing huge detour chains early.
+		if s.penalty < 4096 {
+			s.penalty *= 1.5
+		}
+		// Re-embed the variables implicated in congestion (their chains
+		// touch an over-used qubit) plus a random share of all variables.
+		// The random share matters: a congestion-free chain can still be
+		// the *cause* of a conflict elsewhere — e.g. a hub variable whose
+		// single-qubit chain has been enclosed by its neighbours' chains,
+		// forcing every further connection to tunnel through occupied
+		// qubits — and only a re-embed of that variable resolves it.
+		congested := make([]bool, n)
+		for v, chain := range s.chains {
+			for _, q := range chain {
+				if s.usage[q] > 1 {
+					congested[v] = true
+					break
+				}
+			}
+		}
+		perm := rng.Perm(n)
+		for _, v := range perm {
+			if !congested[v] && rng.Float64() > 0.35 {
+				continue
+			}
+			s.clearChain(v)
+			if !s.embedVariable(v) {
+				return nil
+			}
+		}
+		if o := overuse(); o < bestOver {
+			bestOver = o
+			stagnant = 0
+		} else {
+			stagnant++
+			if stagnant >= 6 && round >= 8 {
+				return nil
+			}
+		}
+	}
+	if overuse() > 0 {
+		return nil
+	}
+	// Chain shrinking: one more pass of re-embedding typically shortens
+	// chains now that congestion is resolved.
+	for _, v := range rng.Perm(n) {
+		old := append([]int(nil), s.chains[v]...)
+		s.clearChain(v)
+		ok := s.embedVariable(v) && len(s.chains[v]) <= len(old)
+		if ok {
+			// The shrunk chain must not reintroduce qubit sharing.
+			for _, q := range s.chains[v] {
+				if s.usage[q] > 1 {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			s.clearChain(v)
+			s.chains[v] = old
+			for _, q := range old {
+				s.usage[q]++
+			}
+		}
+	}
+	return &Embedding{Chains: s.chains}
+}
+
+// embedVariable (re)builds the chain for v: it finds the qubit minimising
+// the summed weighted distance to all embedded neighbours' chains, then
+// joins it to each neighbour chain along the corresponding shortest path.
+func (s *state) embedVariable(v int) bool {
+	var embedded []int
+	for _, u := range s.source[v] {
+		if len(s.chains[u]) > 0 {
+			embedded = append(embedded, u)
+		}
+	}
+	if len(embedded) == 0 {
+		// Free placement: prefer an unused qubit.
+		for attempt := 0; attempt < 64; attempt++ {
+			q := s.rng.Intn(s.target.N())
+			if s.usage[q] == 0 {
+				s.chains[v] = []int{q}
+				s.usage[q]++
+				return true
+			}
+		}
+		q := s.rng.Intn(s.target.N())
+		s.chains[v] = []int{q}
+		s.usage[q]++
+		return true
+	}
+	type pathInfo struct {
+		dist []float64
+		prev []int
+	}
+	infos := make([]pathInfo, len(embedded))
+	total := make([]float64, s.target.N())
+	for i, u := range embedded {
+		d, p := s.dijkstraFromChain(s.chains[u])
+		infos[i] = pathInfo{d, p}
+		for q := range total {
+			total[q] += d[q]
+		}
+	}
+	// Root choice: minimal total distance, qubit cost included.
+	root := -1
+	best := math.Inf(1)
+	for q := 0; q < s.target.N(); q++ {
+		c := total[q] + s.qubitCost(q)
+		if c < best {
+			best = c
+			root = q
+		}
+	}
+	if root < 0 || math.IsInf(best, 1) {
+		return false
+	}
+	inChain := map[int]bool{root: true}
+	chain := []int{root}
+	for i := range embedded {
+		// Walk back from root towards the neighbour chain.
+		q := root
+		for infos[i].prev[q] != -1 {
+			q = infos[i].prev[q]
+			if infos[i].prev[q] == -1 {
+				break // reached the chain itself; do not absorb it
+			}
+			if !inChain[q] {
+				inChain[q] = true
+				chain = append(chain, q)
+			}
+		}
+	}
+	s.chains[v] = chain
+	for _, q := range chain {
+		s.usage[q]++
+	}
+	return true
+}
+
+// qubitCost charges exponentially for qubits already used by other chains
+// (the CMR trick that lets intermediate solutions overlap); the exponent
+// base follows the per-round penalty schedule.
+func (s *state) qubitCost(q int) float64 {
+	if s.usage[q] == 0 {
+		return 1
+	}
+	return math.Pow(s.penalty, float64(s.usage[q]))
+}
+
+// dijkstraFromChain computes weighted shortest distances from the set of
+// chain qubits; entering a qubit costs qubitCost(q). Uses a hand-rolled
+// binary heap of concrete items (this function dominates embedding time).
+func (s *state) dijkstraFromChain(chain []int) (dist []float64, prev []int) {
+	n := s.target.N()
+	dist = make([]float64, n)
+	prev = make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	pq := make(pqHeap, 0, len(chain)+64)
+	for _, q := range chain {
+		dist[q] = 0
+		pq.push(pqItem{q, 0})
+	}
+	for len(pq) > 0 {
+		it := pq.pop()
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, u := range s.target.Neighbors(it.node) {
+			nd := it.dist + s.qubitCost(u)
+			if nd < dist[u] {
+				dist[u] = nd
+				prev[u] = it.node
+				pq.push(pqItem{u, nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+// pqHeap is a minimal binary min-heap specialised to pqItem.
+type pqHeap []pqItem
+
+func (h *pqHeap) push(it pqItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *pqHeap) pop() pqItem {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && old[l].dist < old[smallest].dist {
+			smallest = l
+		}
+		if r < last && old[r].dist < old[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		old[i], old[smallest] = old[smallest], old[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,222 @@
+package minorembed
+
+import (
+	"testing"
+
+	"quantumjoin/internal/qubo"
+	"quantumjoin/internal/topology"
+)
+
+func pathGraphAdj(n int) [][]int {
+	adj := make([][]int, n)
+	for i := 0; i < n-1; i++ {
+		adj[i] = append(adj[i], i+1)
+		adj[i+1] = append(adj[i+1], i)
+	}
+	return adj
+}
+
+func completeAdj(n int) [][]int {
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return adj
+}
+
+func TestEmbedIdentityOnSameGraph(t *testing.T) {
+	// A path into a larger path: chains of length 1 suffice.
+	target := topology.NewGraph("path", 10)
+	for i := 0; i < 9; i++ {
+		target.AddEdge(i, i+1)
+	}
+	emb, err := Embed(pathGraphAdj(5), target, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emb.Validate(pathGraphAdj(5), target); err != nil {
+		t.Fatal(err)
+	}
+	if emb.PhysicalQubits() > 10 {
+		t.Errorf("path-in-path used %d qubits, target only has 10", emb.PhysicalQubits())
+	}
+}
+
+func TestEmbedTriangleInSquare(t *testing.T) {
+	// K3 into C4 requires one chain of length 2: 4 physical qubits.
+	square := topology.NewGraph("c4", 4)
+	square.AddEdge(0, 1)
+	square.AddEdge(1, 2)
+	square.AddEdge(2, 3)
+	square.AddEdge(3, 0)
+	emb, err := Embed(completeAdj(3), square, Options{Seed: 3, Tries: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emb.Validate(completeAdj(3), square); err != nil {
+		t.Fatal(err)
+	}
+	if emb.PhysicalQubits() != 4 {
+		t.Errorf("K3 in C4 used %d qubits, want 4", emb.PhysicalQubits())
+	}
+	if emb.MaxChainLength() != 2 {
+		t.Errorf("max chain %d, want 2", emb.MaxChainLength())
+	}
+}
+
+func TestEmbedCompleteGraphIntoPegasus(t *testing.T) {
+	g, _ := topology.Pegasus(3)
+	// K8 needs chains on Pegasus (degree 15 but K8 has treewidth 7).
+	emb, err := Embed(completeAdj(8), g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emb.Validate(completeAdj(8), g); err != nil {
+		t.Fatal(err)
+	}
+	if emb.PhysicalQubits() < 8 {
+		t.Error("impossible physical qubit count")
+	}
+}
+
+func TestEmbedQUBOInterationGraph(t *testing.T) {
+	// Build a small QUBO and embed its interaction graph.
+	q := qubo.New(6)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if (i+j)%2 == 0 {
+				q.AddQuad(i, j, 1)
+			}
+		}
+	}
+	g, _ := topology.Pegasus(2)
+	emb, err := Embed(q.AdjacencyLists(), g, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emb.Validate(q.AdjacencyLists(), g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbedFailsWhenTooLarge(t *testing.T) {
+	target := topology.NewGraph("tiny", 3)
+	target.AddEdge(0, 1)
+	target.AddEdge(1, 2)
+	if _, err := Embed(completeAdj(5), target, Options{Seed: 1, Tries: 2}); err == nil {
+		t.Error("embedded K5 into a 3-qubit path")
+	}
+}
+
+func TestEmbedEmptySource(t *testing.T) {
+	target := topology.Complete("k", 4)
+	emb, err := Embed(nil, target, Options{})
+	if err != nil || emb.PhysicalQubits() != 0 {
+		t.Fatalf("empty source: %v, %d qubits", err, emb.PhysicalQubits())
+	}
+}
+
+func TestEmbedDisconnectedVariables(t *testing.T) {
+	// Variables with no interactions at all still get a qubit each.
+	target := topology.Complete("k", 6)
+	adj := make([][]int, 4)
+	emb, err := Embed(adj, target, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emb.Validate(adj, target); err != nil {
+		t.Fatal(err)
+	}
+	if emb.PhysicalQubits() != 4 {
+		t.Errorf("4 isolated variables used %d qubits", emb.PhysicalQubits())
+	}
+}
+
+func TestValidateCatchesBrokenEmbeddings(t *testing.T) {
+	target := topology.NewGraph("path", 4)
+	target.AddEdge(0, 1)
+	target.AddEdge(1, 2)
+	target.AddEdge(2, 3)
+	src := pathGraphAdj(2)
+	cases := []Embedding{
+		{Chains: [][]int{{0}, {}}},     // empty chain
+		{Chains: [][]int{{0}, {0}}},    // shared qubit
+		{Chains: [][]int{{0, 2}, {1}}}, // disconnected chain
+		{Chains: [][]int{{0}, {3}}},    // edge not realised
+		{Chains: [][]int{{0}, {9}}},    // invalid qubit
+	}
+	for i, emb := range cases {
+		if err := emb.Validate(src, target); err == nil {
+			t.Errorf("case %d: broken embedding validated", i)
+		}
+	}
+	good := Embedding{Chains: [][]int{{0}, {1}}}
+	if err := good.Validate(src, target); err != nil {
+		t.Errorf("good embedding rejected: %v", err)
+	}
+}
+
+func TestChainStats(t *testing.T) {
+	emb := Embedding{Chains: [][]int{{0}, {1, 2, 3}}}
+	if emb.PhysicalQubits() != 4 || emb.MaxChainLength() != 3 {
+		t.Fatal("stats wrong")
+	}
+	if emb.MeanChainLength() != 2 {
+		t.Fatalf("mean chain length %v", emb.MeanChainLength())
+	}
+	empty := Embedding{}
+	if empty.MeanChainLength() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestEmbeddingGrowsWithCliqueSize(t *testing.T) {
+	g, _ := topology.Pegasus(4)
+	prev := 0
+	for _, k := range []int{4, 8, 12} {
+		emb, err := Embed(completeAdj(k), g, Options{Seed: 11})
+		if err != nil {
+			t.Fatalf("K%d: %v", k, err)
+		}
+		if err := emb.Validate(completeAdj(k), g); err != nil {
+			t.Fatalf("K%d: %v", k, err)
+		}
+		if emb.PhysicalQubits() <= prev {
+			t.Errorf("K%d used %d qubits, not more than K%d's %d",
+				k, emb.PhysicalQubits(), k-4, prev)
+		}
+		prev = emb.PhysicalQubits()
+	}
+}
+
+// Pegasus (degree 15) embeds cliques with shorter chains than the older
+// Chimera generation (degree 6) of comparable size — the hardware
+// advance between the prior MQO study's 2000Q and the Advantage system
+// the paper targets.
+func TestPegasusBeatsChimeraOnCliques(t *testing.T) {
+	pegasus, _ := topology.Pegasus(4)    // 264 qubits
+	chimera := topology.Chimera(6, 6, 4) // 288 qubits
+	src := completeAdj(10)
+	pe, err := Embed(src, pegasus, Options{Seed: 3, Tries: 12})
+	if err != nil {
+		t.Fatalf("pegasus: %v", err)
+	}
+	ch, err := Embed(src, chimera, Options{Seed: 3, Tries: 12})
+	if err != nil {
+		t.Fatalf("chimera: %v", err)
+	}
+	if err := pe.Validate(src, pegasus); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Validate(src, chimera); err != nil {
+		t.Fatal(err)
+	}
+	if pe.PhysicalQubits() >= ch.PhysicalQubits() {
+		t.Errorf("Pegasus used %d qubits, Chimera %d; expected Pegasus smaller",
+			pe.PhysicalQubits(), ch.PhysicalQubits())
+	}
+}

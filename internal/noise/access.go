@@ -1,0 +1,59 @@
+package noise
+
+// AccessModel captures how a QPU is reached from the query optimiser —
+// the paper's closing argument (§8, Figure 1): QPUs accessed via cloud
+// services pay network round trips and queueing that can eliminate any
+// quantum speedup, which motivates LOCAL co-processor deployment. All
+// durations in nanoseconds.
+type AccessModel struct {
+	Name string
+	// RoundTripNs is the network round-trip latency per job submission.
+	RoundTripNs float64
+	// QueueWaitNs is the expected time-sharing queue wait per job.
+	QueueWaitNs float64
+	// DispatchNs is the local software stack overhead (driver, encoding).
+	DispatchNs float64
+}
+
+// CloudAccess models typical shared cloud QPU access: tens of ms network
+// RTT and seconds of queueing (a deliberately optimistic lower bound —
+// public queues often run to minutes).
+func CloudAccess() AccessModel {
+	return AccessModel{
+		Name:        "cloud",
+		RoundTripNs: 40e6, // 40 ms
+		QueueWaitNs: 2e9,  // 2 s
+		DispatchNs:  1e6,
+	}
+}
+
+// LocalCoprocessor models the paper's envisioned deployment: the QPU on a
+// local interconnect next to the database server.
+func LocalCoprocessor() AccessModel {
+	return AccessModel{
+		Name:        "local",
+		RoundTripNs: 5e3, // 5 µs bus/driver round trip
+		QueueWaitNs: 0,
+		DispatchNs:  50e3,
+	}
+}
+
+// JobTimeNs is the end-to-end latency of one optimisation job whose pure
+// on-QPU compute time is computeNs.
+func (m AccessModel) JobTimeNs(computeNs float64) float64 {
+	return m.RoundTripNs + m.QueueWaitNs + m.DispatchNs + computeNs
+}
+
+// BreakEvenComputeNs returns the classical optimisation time above which
+// this access path can win at all: below it, access overhead alone
+// exceeds the classical solver, and no amount of quantum speedup helps.
+func (m AccessModel) BreakEvenComputeNs() float64 {
+	return m.RoundTripNs + m.QueueWaitNs + m.DispatchNs
+}
+
+// EffectiveSpeedup compares a classical optimiser that needs classicalNs
+// against quantum hardware with pure compute time quantumNs behind this
+// access path; values below 1 mean the quantum path loses end to end.
+func (m AccessModel) EffectiveSpeedup(classicalNs, quantumNs float64) float64 {
+	return classicalNs / m.JobTimeNs(quantumNs)
+}

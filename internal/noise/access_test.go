@@ -1,0 +1,38 @@
+package noise
+
+import "testing"
+
+func TestAccessModels(t *testing.T) {
+	cloud := CloudAccess()
+	local := LocalCoprocessor()
+	// Same quantum compute, wildly different end-to-end latency.
+	compute := 100e6 // 100 ms of sampling
+	if cloud.JobTimeNs(compute) <= local.JobTimeNs(compute) {
+		t.Fatal("cloud access should dominate local")
+	}
+	// A classical optimiser finishing in 10 ms beats cloud-attached
+	// quantum hardware even with zero quantum compute time...
+	classical := 10e6
+	if cloud.EffectiveSpeedup(classical, 0) >= 1 {
+		t.Fatalf("cloud speedup %v should be < 1 for fast classical solvers",
+			cloud.EffectiveSpeedup(classical, 0))
+	}
+	// ...while a local co-processor with 1 ms compute can win.
+	if local.EffectiveSpeedup(classical, 1e6) <= 1 {
+		t.Fatalf("local speedup %v should be > 1", local.EffectiveSpeedup(classical, 1e6))
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	cloud := CloudAccess()
+	if cloud.BreakEvenComputeNs() < 2e9 {
+		t.Fatal("cloud break-even should include the queue wait")
+	}
+	local := LocalCoprocessor()
+	// The paper's point quantified: the break-even classical time drops
+	// by orders of magnitude with local deployment.
+	if cloud.BreakEvenComputeNs()/local.BreakEvenComputeNs() < 1000 {
+		t.Fatalf("cloud/local break-even ratio %v too small",
+			cloud.BreakEvenComputeNs()/local.BreakEvenComputeNs())
+	}
+}

@@ -1,0 +1,158 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/circuit"
+)
+
+func TestCalibrationsMatchPaper(t *testing.T) {
+	a := Auckland()
+	if a.T1 != 151130 || a.T2 != 138720 {
+		t.Errorf("Auckland T1/T2 = %v/%v", a.T1, a.T2)
+	}
+	if math.Abs(a.GAvg()-472.51) > 1e-9 {
+		t.Errorf("Auckland g_avg = %v", a.GAvg())
+	}
+	w := Washington()
+	if w.T1 != 92810 || w.T2 != 93360 || math.Abs(w.GAvg()-550.41) > 1e-9 {
+		t.Errorf("Washington calibration wrong: %+v", w)
+	}
+	// The paper's observation: more qubits do not mean better coherence.
+	if w.MaxDepth() >= a.MaxDepth() {
+		t.Errorf("Washington depth budget %d should be below Auckland's %d",
+			w.MaxDepth(), a.MaxDepth())
+	}
+}
+
+func TestMaxDepthFormula(t *testing.T) {
+	a := Auckland()
+	want := int(math.Floor(math.Min(a.T1, a.T2) / a.GAvg()))
+	if a.MaxDepth() != want {
+		t.Errorf("MaxDepth = %d, want %d", a.MaxDepth(), want)
+	}
+	// Auckland: 138720/472.51 ≈ 293.
+	if a.MaxDepth() != 293 {
+		t.Errorf("Auckland MaxDepth = %d, want 293", a.MaxDepth())
+	}
+}
+
+func deepCircuit(n, layers int) *circuit.Circuit {
+	c := circuit.New(n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q+1 < n; q++ {
+			c.Append(circuit.G2(circuit.CX, q, q+1, 0))
+		}
+	}
+	return c
+}
+
+func TestLambdaMonotoneInDepth(t *testing.T) {
+	a := Auckland()
+	prev := -1.0
+	for _, layers := range []int{1, 5, 20, 100, 400} {
+		l := a.Lambda(deepCircuit(5, layers))
+		if l < 0 || l > 1 {
+			t.Fatalf("λ = %v outside [0,1]", l)
+		}
+		if l <= prev {
+			t.Fatalf("λ not increasing with depth: %v after %v", l, prev)
+		}
+		prev = l
+	}
+	// A very deep circuit must be essentially fully depolarised.
+	if l := a.Lambda(deepCircuit(5, 2000)); l < 0.99 {
+		t.Errorf("λ for 2000 layers = %v, want ~1", l)
+	}
+}
+
+func TestWithinCoherence(t *testing.T) {
+	a := Auckland()
+	if !a.WithinCoherence(deepCircuit(3, 10)) {
+		t.Error("shallow circuit should fit the coherence budget")
+	}
+	if a.WithinCoherence(deepCircuit(3, 500)) {
+		t.Error("deep circuit should exceed the coherence budget")
+	}
+}
+
+func TestMixedExpectation(t *testing.T) {
+	if MixedExpectation(0, 2, 10) != 2 {
+		t.Error("λ=0 should return ideal")
+	}
+	if MixedExpectation(1, 2, 10) != 10 {
+		t.Error("λ=1 should return uniform")
+	}
+	if got := MixedExpectation(0.5, 2, 10); got != 6 {
+		t.Errorf("λ=0.5 = %v, want 6", got)
+	}
+}
+
+func TestSamplerFullyDepolarised(t *testing.T) {
+	s := Sampler{Lambda: 1, NumQubits: 3}
+	rng := rand.New(rand.NewSource(1))
+	out := s.Sample(rng, 8000, func() uint64 { return 0 })
+	counts := make([]int, 8)
+	for _, b := range out {
+		if b > 7 {
+			t.Fatalf("sample %d outside 3-qubit range", b)
+		}
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("state %d count %d far from uniform 1000", b, c)
+		}
+	}
+}
+
+func TestSamplerNoNoisePassesThrough(t *testing.T) {
+	s := Sampler{Lambda: 0, NumQubits: 3}
+	rng := rand.New(rand.NewSource(2))
+	out := s.Sample(rng, 100, func() uint64 { return 5 })
+	for _, b := range out {
+		if b != 5 {
+			t.Fatalf("λ=0 sampler altered outcome: %d", b)
+		}
+	}
+}
+
+func TestSamplerReadoutFlips(t *testing.T) {
+	s := Sampler{Lambda: 0, ReadoutError: 0.5, NumQubits: 8}
+	rng := rand.New(rand.NewSource(3))
+	out := s.Sample(rng, 2000, func() uint64 { return 0 })
+	ones := 0
+	for _, b := range out {
+		for q := 0; q < 8; q++ {
+			if b&(1<<uint(q)) != 0 {
+				ones++
+			}
+		}
+	}
+	frac := float64(ones) / (2000 * 8)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("readout error 0.5 flipped %v of bits, want ~0.5", frac)
+	}
+}
+
+func TestTimingModelMagnitudes(t *testing.T) {
+	m := DefaultTimingModel()
+	a := Auckland()
+	// A 27-qubit QAOA-scale circuit (~depth 500, mixed gates).
+	c := deepCircuit(27, 20)
+	ts := m.SamplingTimeNs(c, a, 1024)
+	tq := m.TotalQPUTimeNs(c, a, 1024)
+	// t_s should be tens of ms; t_qpu ~ 10 s (paper: 77.9 ms / 9.74 s).
+	if ts < 50e6 || ts > 500e6 {
+		t.Errorf("t_s = %v ms outside expected tens-of-ms range", ts/1e6)
+	}
+	if tq < 9e9 || tq > 11e9 {
+		t.Errorf("t_qpu = %v s outside ~10 s range", tq/1e9)
+	}
+	// The paper's headline: t_qpu is orders of magnitude above t_s.
+	if tq < 20*ts {
+		t.Errorf("t_qpu %v not ≫ t_s %v", tq, ts)
+	}
+}

@@ -1,0 +1,39 @@
+package noise
+
+import "quantumjoin/internal/circuit"
+
+// TimingModel reproduces the paper's §4.2.1 timing observation: the pure
+// circuit sampling time t_s is tens of milliseconds, while the overall QPU
+// time t_qpu — including initialisation and communication overhead, but
+// not queueing — is orders of magnitude larger and nearly independent of
+// problem size. All durations are in nanoseconds.
+type TimingModel struct {
+	// RepetitionDelayNs is the reset/delay between successive shots.
+	RepetitionDelayNs float64
+	// ReadoutNs is the measurement duration per shot.
+	ReadoutNs float64
+	// JobOverheadNs covers per-job initialisation, loading, calibration
+	// checks and communication (the dominant term).
+	JobOverheadNs float64
+}
+
+// DefaultTimingModel matches the magnitudes reported for IBM Q Auckland:
+// t_s ≈ 78–114 ms for 1024 shots and t_qpu ≈ 9.7–10.4 s.
+func DefaultTimingModel() TimingModel {
+	return TimingModel{
+		RepetitionDelayNs: 70_000,
+		ReadoutNs:         5_000,
+		JobOverheadNs:     9.66e9,
+	}
+}
+
+// SamplingTimeNs returns t_s: shots × (circuit duration + readout + reset).
+func (m TimingModel) SamplingTimeNs(c *circuit.Circuit, cal Calibration, shots int) float64 {
+	per := c.Duration(cal.GateTime1Q, cal.GateTime2Q) + m.ReadoutNs + m.RepetitionDelayNs
+	return float64(shots) * per
+}
+
+// TotalQPUTimeNs returns t_qpu = t_s + job overhead.
+func (m TimingModel) TotalQPUTimeNs(c *circuit.Circuit, cal Calibration, shots int) float64 {
+	return m.SamplingTimeNs(c, cal, shots) + m.JobOverheadNs
+}

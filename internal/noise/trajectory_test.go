@@ -1,0 +1,101 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/circuit"
+)
+
+func bellCircuit() *circuit.Circuit {
+	c := circuit.New(2)
+	c.Append(circuit.G1(circuit.H, 0, 0), circuit.G2(circuit.CX, 0, 1, 0))
+	return c
+}
+
+func TestTrajectoryNoiselessMatchesIdeal(t *testing.T) {
+	cal := Calibration{T1: 1e12, T2: 1e12, GateTime1Q: 1, GateTime2Q: 1}
+	ts := TrajectorySampler{Calibration: cal}
+	rng := rand.New(rand.NewSource(1))
+	out, err := ts.Sample(bellCircuit(), 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	for _, b := range out {
+		counts[b]++
+	}
+	if counts[1] != 0 || counts[2] != 0 {
+		t.Fatalf("noiseless trajectories produced odd-parity Bell outcomes: %v", counts)
+	}
+	frac := float64(counts[0]) / 4000
+	if frac < 0.42 || frac > 0.58 {
+		t.Fatalf("|00> fraction %v", frac)
+	}
+}
+
+func TestTrajectoryStrongNoiseDecoheres(t *testing.T) {
+	cal := Calibration{T1: 1e12, T2: 1e12, GateTime1Q: 1, GateTime2Q: 1,
+		Error1Q: 0.5, Error2Q: 0.5}
+	// Deep circuit so errors accumulate.
+	c := circuit.New(2)
+	for i := 0; i < 20; i++ {
+		c.Append(circuit.G1(circuit.H, 0, 0), circuit.G2(circuit.CX, 0, 1, 0))
+	}
+	ts := TrajectorySampler{Calibration: cal, MaxTrajectories: 200}
+	rng := rand.New(rand.NewSource(2))
+	out, err := ts.Sample(c, 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, 4)
+	for _, b := range out {
+		counts[b]++
+	}
+	// All four outcomes must appear with substantial probability.
+	for b, n := range counts {
+		if n/4000 < 0.08 {
+			t.Fatalf("outcome %d frequency %v: not decohered", b, n/4000)
+		}
+	}
+}
+
+// The trajectory model and the analytic λ mixing must agree on the
+// magnitude of signal loss for a mid-depth circuit: compare the
+// probability retained on the ideal Bell support.
+func TestTrajectoryAgreesWithAnalyticLambda(t *testing.T) {
+	cal := Auckland()
+	cal.Error2Q = 0.02 // accelerate decoherence for a short test circuit
+	c := circuit.New(2)
+	for i := 0; i < 15; i++ {
+		c.Append(circuit.G2(circuit.CX, 0, 1, 0), circuit.G2(circuit.CX, 0, 1, 0))
+	}
+	c.Append(circuit.G1(circuit.H, 0, 0), circuit.G2(circuit.CX, 0, 1, 0))
+	lambda := cal.Lambda(c)
+	ts := TrajectorySampler{Calibration: cal, MaxTrajectories: 400}
+	rng := rand.New(rand.NewSource(3))
+	out, err := ts.Sample(c, 8000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onSupport := 0
+	for _, b := range out {
+		if b == 0 || b == 3 {
+			onSupport++
+		}
+	}
+	got := float64(onSupport) / 8000
+	// Analytic prediction: (1−λ)·1 + λ·0.5 on the Bell support.
+	want := (1-lambda)*1 + lambda*0.5
+	if math.Abs(got-want) > 0.12 {
+		t.Fatalf("support probability %v vs analytic %v (λ=%v)", got, want, lambda)
+	}
+}
+
+func TestTrajectoryRejectsBadShots(t *testing.T) {
+	ts := TrajectorySampler{Calibration: Auckland()}
+	if _, err := ts.Sample(bellCircuit(), 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("accepted zero shots")
+	}
+}

@@ -1,0 +1,220 @@
+package qaoa
+
+import (
+	"math"
+)
+
+// AQGD is a gradient-descent optimiser with momentum in the style of
+// Qiskit's Analytic Quantum Gradient Descent, the optimiser the paper uses
+// (§4.1). Gradients are estimated by symmetric central differences, which
+// for the smooth trigonometric QAOA landscape is equivalent to the
+// parameter-shift estimate up to O(ε²).
+type AQGD struct {
+	// Iterations is the number of gradient steps (the paper compares 20
+	// and 50).
+	Iterations int
+	// LearningRate is the step size η (default 0.1).
+	LearningRate float64
+	// Momentum is the momentum coefficient (default 0.25, Qiskit default).
+	Momentum float64
+	// Epsilon is the finite-difference step (default 0.2).
+	Epsilon float64
+}
+
+// Name implements Optimizer.
+func (a AQGD) Name() string { return "aqgd" }
+
+// Optimize implements Optimizer.
+func (a AQGD) Optimize(start Params, eval func(Params) (float64, error)) (Params, float64, error) {
+	if a.Iterations <= 0 {
+		a.Iterations = 20
+	}
+	if a.LearningRate == 0 {
+		a.LearningRate = 0.1
+	}
+	if a.Momentum == 0 {
+		a.Momentum = 0.25
+	}
+	if a.Epsilon == 0 {
+		a.Epsilon = 0.2
+	}
+	x := start.flat()
+	vel := make([]float64, len(x))
+	best := append([]float64(nil), x...)
+	bestVal, err := eval(paramsFromFlat(x))
+	if err != nil {
+		return start, 0, err
+	}
+	// Normalise step size to the objective scale so that penalty-heavy
+	// QUBOs (huge energies) do not blow up the parameter updates.
+	scale := math.Abs(bestVal)
+	if scale < 1 {
+		scale = 1
+	}
+	for it := 0; it < a.Iterations; it++ {
+		grad := make([]float64, len(x))
+		for i := range x {
+			xp := append([]float64(nil), x...)
+			xm := append([]float64(nil), x...)
+			xp[i] += a.Epsilon
+			xm[i] -= a.Epsilon
+			fp, err := eval(paramsFromFlat(xp))
+			if err != nil {
+				return start, 0, err
+			}
+			fm, err := eval(paramsFromFlat(xm))
+			if err != nil {
+				return start, 0, err
+			}
+			grad[i] = (fp - fm) / (2 * a.Epsilon)
+		}
+		for i := range x {
+			vel[i] = a.Momentum*vel[i] - a.LearningRate*grad[i]/scale
+			x[i] += vel[i]
+		}
+		val, err := eval(paramsFromFlat(x))
+		if err != nil {
+			return start, 0, err
+		}
+		if val < bestVal {
+			bestVal = val
+			copy(best, x)
+		}
+	}
+	return paramsFromFlat(best), bestVal, nil
+}
+
+// GridSearch scans an evenly spaced (γ, β) grid; only available for p = 1
+// where the landscape is two-dimensional. It is the deterministic
+// reference optimiser used in tests and ablations.
+type GridSearch struct {
+	// Points per axis (default 16).
+	Points int
+	// GammaMax bounds the γ axis (default π); β spans [0, π).
+	GammaMax float64
+}
+
+// Name implements Optimizer.
+func (g GridSearch) Name() string { return "grid" }
+
+// Optimize implements Optimizer.
+func (g GridSearch) Optimize(start Params, eval func(Params) (float64, error)) (Params, float64, error) {
+	if start.P() != 1 {
+		// Fall back to keeping the start point for p > 1.
+		v, err := eval(start)
+		return start, v, err
+	}
+	if g.Points <= 0 {
+		g.Points = 16
+	}
+	if g.GammaMax == 0 {
+		g.GammaMax = math.Pi
+	}
+	best := start.Clone()
+	bestVal := math.Inf(1)
+	for i := 0; i < g.Points; i++ {
+		for j := 0; j < g.Points; j++ {
+			p := NewParams(1)
+			p.Gammas[0] = g.GammaMax * float64(i) / float64(g.Points)
+			p.Betas[0] = math.Pi * float64(j) / float64(g.Points)
+			v, err := eval(p)
+			if err != nil {
+				return start, 0, err
+			}
+			if v < bestVal {
+				bestVal = v
+				best = p
+			}
+		}
+	}
+	return best, bestVal, nil
+}
+
+// SPSA is the simultaneous-perturbation stochastic approximation
+// optimiser: two evaluations per iteration regardless of dimension, the
+// standard choice when evaluations are expensive or noisy (provided as an
+// alternative to AQGD for ablations).
+type SPSA struct {
+	Iterations int
+	// A and C are the standard SPSA gain parameters (defaults 0.2, 0.15).
+	A, C float64
+	// Seed drives the perturbation signs deterministically.
+	Seed int64
+}
+
+// Name implements Optimizer.
+func (s SPSA) Name() string { return "spsa" }
+
+// Optimize implements Optimizer.
+func (s SPSA) Optimize(start Params, eval func(Params) (float64, error)) (Params, float64, error) {
+	if s.Iterations <= 0 {
+		s.Iterations = 50
+	}
+	if s.A == 0 {
+		s.A = 0.2
+	}
+	if s.C == 0 {
+		s.C = 0.15
+	}
+	rng := splitMix(uint64(s.Seed) ^ 0x9e3779b97f4a7c15)
+	x := start.flat()
+	best := append([]float64(nil), x...)
+	bestVal, err := eval(paramsFromFlat(x))
+	if err != nil {
+		return start, 0, err
+	}
+	scale := math.Abs(bestVal)
+	if scale < 1 {
+		scale = 1
+	}
+	for k := 1; k <= s.Iterations; k++ {
+		ak := s.A / math.Pow(float64(k), 0.602)
+		ck := s.C / math.Pow(float64(k), 0.101)
+		delta := make([]float64, len(x))
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		for i := range delta {
+			if rng()&1 == 0 {
+				delta[i] = 1
+			} else {
+				delta[i] = -1
+			}
+			xp[i] += ck * delta[i]
+			xm[i] -= ck * delta[i]
+		}
+		fp, err := eval(paramsFromFlat(xp))
+		if err != nil {
+			return start, 0, err
+		}
+		fm, err := eval(paramsFromFlat(xm))
+		if err != nil {
+			return start, 0, err
+		}
+		g := (fp - fm) / (2 * ck * scale)
+		for i := range x {
+			x[i] -= ak * g * delta[i]
+		}
+		val, err := eval(paramsFromFlat(x))
+		if err != nil {
+			return start, 0, err
+		}
+		if val < bestVal {
+			bestVal = val
+			copy(best, x)
+		}
+	}
+	return paramsFromFlat(best), bestVal, nil
+}
+
+// splitMix returns a tiny deterministic PRNG (SplitMix64) so SPSA does not
+// depend on math/rand ordering.
+func splitMix(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

@@ -1,0 +1,241 @@
+// Package qaoa implements the Quantum Approximate Optimisation Algorithm
+// (Farhi et al.) for QUBO problems, as used by the paper for gate-based
+// join ordering (§2.2.1, §4.1): a depth-p alternation of a cost operator
+// exp(-iγH_C) built from the problem's Ising form and a transverse-field
+// mixer exp(-iβΣX), wrapped in a hybrid loop where a classical gradient
+// optimiser tunes (γ, β) from measured expectations.
+package qaoa
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quantumjoin/internal/circuit"
+	"quantumjoin/internal/noise"
+	"quantumjoin/internal/qsim"
+	"quantumjoin/internal/qubo"
+)
+
+// Params are the 2p variational parameters of a depth-p QAOA circuit.
+type Params struct {
+	Gammas []float64 // cost-operator angles, one per layer
+	Betas  []float64 // mixer angles, one per layer
+}
+
+// NewParams allocates zeroed parameters for p layers.
+func NewParams(p int) Params {
+	return Params{Gammas: make([]float64, p), Betas: make([]float64, p)}
+}
+
+// P returns the layer count.
+func (p Params) P() int { return len(p.Gammas) }
+
+// Clone returns a deep copy.
+func (p Params) Clone() Params {
+	return Params{
+		Gammas: append([]float64(nil), p.Gammas...),
+		Betas:  append([]float64(nil), p.Betas...),
+	}
+}
+
+// flat returns the parameters as a single vector (γ_1..γ_p, β_1..β_p).
+func (p Params) flat() []float64 {
+	return append(append([]float64(nil), p.Gammas...), p.Betas...)
+}
+
+func paramsFromFlat(v []float64) Params {
+	p := len(v) / 2
+	return Params{
+		Gammas: append([]float64(nil), v[:p]...),
+		Betas:  append([]float64(nil), v[p:]...),
+	}
+}
+
+// BuildCircuit constructs the QAOA circuit for a QUBO: Hadamards on all
+// qubits, then per layer an RZ per linear Ising field, an RZZ per coupling
+// (these are the quadratic contributions whose count drives depth, §3.4),
+// and an RX mixer on every qubit.
+func BuildCircuit(q *qubo.QUBO, params Params) *circuit.Circuit {
+	is := q.ToIsing()
+	c := circuit.New(q.N())
+	for i := 0; i < q.N(); i++ {
+		c.Append(circuit.G1(circuit.H, i, 0))
+	}
+	for layer := 0; layer < params.P(); layer++ {
+		gamma := params.Gammas[layer]
+		for i, h := range is.H {
+			if h != 0 {
+				c.Append(circuit.G1(circuit.RZ, i, 2*gamma*h))
+			}
+		}
+		for _, p := range sortedPairs(is) {
+			c.Append(circuit.G2(circuit.RZZ, p.I, p.J, 2*gamma*is.J[p]))
+		}
+		beta := params.Betas[layer]
+		for i := 0; i < q.N(); i++ {
+			c.Append(circuit.G1(circuit.RX, i, 2*beta))
+		}
+	}
+	return c
+}
+
+func sortedPairs(is *qubo.Ising) []qubo.Pair {
+	tmp := qubo.New(is.N)
+	for p, w := range is.J {
+		tmp.AddQuad(p.I, p.J, w)
+	}
+	return tmp.QuadTerms()
+}
+
+// Executor evaluates QAOA circuits on the statevector simulator, with an
+// optional noise calibration that degrades both the optimiser's signal and
+// the final samples exactly as the paper's hardware runs experienced.
+type Executor struct {
+	QUBO *qubo.QUBO
+	// Noise, when non-nil, applies the depolarising output model with λ
+	// computed from the transpiled circuit handed to SetTranspiled (or,
+	// if none was provided, from the logical circuit itself).
+	Noise *noise.Calibration
+
+	transpiled *circuit.Circuit
+	uniformE   float64
+	haveUnifE  bool
+}
+
+// SetTranspiled registers the hardware-level circuit whose gate counts and
+// duration determine the noise strength; the logical circuit is still what
+// the simulator executes (the transpiled one is unitarily equivalent).
+func (ex *Executor) SetTranspiled(c *circuit.Circuit) { ex.transpiled = c }
+
+// run executes the circuit for the given parameters and returns the state.
+func (ex *Executor) run(params Params) (*qsim.State, error) {
+	c := BuildCircuit(ex.QUBO, params)
+	s, err := qsim.NewState(ex.QUBO.N())
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Run(c); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// lambda returns the depolarising weight for the current noise setting.
+func (ex *Executor) lambda(params Params) float64 {
+	if ex.Noise == nil {
+		return 0
+	}
+	c := ex.transpiled
+	if c == nil {
+		c = BuildCircuit(ex.QUBO, params)
+	}
+	return ex.Noise.Lambda(c)
+}
+
+// uniformExpectation returns the QUBO mean over all assignments, the
+// expectation of a fully depolarised state. For a QUBO this is
+// Offset + Σc_i/2 + Σc_ij/4.
+func (ex *Executor) uniformExpectation() float64 {
+	if ex.haveUnifE {
+		return ex.uniformE
+	}
+	e := ex.QUBO.Offset
+	for i := 0; i < ex.QUBO.N(); i++ {
+		e += ex.QUBO.Linear(i) / 2
+	}
+	for _, p := range ex.QUBO.QuadTerms() {
+		e += ex.QUBO.Quad(p.I, p.J) / 4
+	}
+	ex.uniformE = e
+	ex.haveUnifE = true
+	return e
+}
+
+// Expectation returns ⟨H_C⟩ for the given parameters, degraded by the
+// noise model when one is configured.
+func (ex *Executor) Expectation(params Params) (float64, error) {
+	s, err := ex.run(params)
+	if err != nil {
+		return 0, err
+	}
+	ideal := s.ExpectationDiag(func(b uint64) float64 { return ex.QUBO.ValueBits(b) })
+	if l := ex.lambda(params); l > 0 {
+		return noise.MixedExpectation(l, ideal, ex.uniformExpectation()), nil
+	}
+	return ideal, nil
+}
+
+// Sample measures the optimised circuit: shots outcomes from the (noisy)
+// output distribution.
+func (ex *Executor) Sample(params Params, shots int, rng *rand.Rand) ([]uint64, error) {
+	s, err := ex.run(params)
+	if err != nil {
+		return nil, err
+	}
+	ideal := s.Sample(rng, shots)
+	l := ex.lambda(params)
+	if l == 0 && (ex.Noise == nil || ex.Noise.ReadoutError == 0) {
+		return ideal, nil
+	}
+	k := 0
+	ro := 0.0
+	if ex.Noise != nil {
+		ro = ex.Noise.ReadoutError
+	}
+	sampler := noise.Sampler{Lambda: l, ReadoutError: ro, NumQubits: ex.QUBO.N()}
+	return sampler.Sample(rng, shots, func() uint64 {
+		b := ideal[k%len(ideal)]
+		k++
+		return b
+	}), nil
+}
+
+// Result summarises a full hybrid optimisation run.
+type Result struct {
+	Params      Params
+	Expectation float64
+	Evaluations int
+	Samples     []uint64
+}
+
+// Optimizer tunes QAOA parameters from expectation evaluations.
+type Optimizer interface {
+	// Optimize minimises eval starting from the given parameters and
+	// returns the best parameters found together with their value.
+	Optimize(start Params, eval func(Params) (float64, error)) (Params, float64, error)
+	Name() string
+}
+
+// Run performs the full hybrid loop of §4.1: optimise (γ, β) with the
+// given classical optimiser, then draw the requested number of shots at
+// the optimum.
+func Run(q *qubo.QUBO, p int, opt Optimizer, shots int, cal *noise.Calibration, transpiled *circuit.Circuit, rng *rand.Rand) (Result, error) {
+	if p < 1 {
+		return Result{}, fmt.Errorf("qaoa: layer count p must be >= 1, got %d", p)
+	}
+	ex := &Executor{QUBO: q, Noise: cal}
+	if transpiled != nil {
+		ex.SetTranspiled(transpiled)
+	}
+	evals := 0
+	eval := func(par Params) (float64, error) {
+		evals++
+		return ex.Expectation(par)
+	}
+	start := NewParams(p)
+	for i := 0; i < p; i++ {
+		// Small symmetric starting angles; the landscape at 0 is flat.
+		start.Gammas[i] = 0.01
+		start.Betas[i] = math.Pi / 8
+	}
+	best, val, err := opt.Optimize(start, eval)
+	if err != nil {
+		return Result{}, err
+	}
+	samples, err := ex.Sample(best, shots, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Params: best, Expectation: val, Evaluations: evals, Samples: samples}, nil
+}

@@ -1,0 +1,244 @@
+package qaoa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/noise"
+	"quantumjoin/internal/qsim"
+	"quantumjoin/internal/qubo"
+)
+
+// smallQUBO has its unique minimum -2 at x = (0, 1, 1).
+func smallQUBO() *qubo.QUBO {
+	q := qubo.New(3)
+	q.AddLinear(0, 2)
+	q.AddLinear(1, -1)
+	q.AddLinear(2, -1)
+	q.AddQuad(0, 1, 1)
+	q.AddQuad(1, 2, 0)
+	q.AddQuad(0, 2, 1)
+	return q
+}
+
+func TestBuildCircuitStructure(t *testing.T) {
+	q := smallQUBO()
+	c := BuildCircuit(q, NewParams(1))
+	// n Hadamards + RZ per nonzero field + RZZ per coupling + n RX.
+	is := q.ToIsing()
+	nonzeroH := 0
+	for _, h := range is.H {
+		if h != 0 {
+			nonzeroH++
+		}
+	}
+	want := q.N() + nonzeroH + len(is.J) + q.N()
+	if len(c.Gates) != want {
+		t.Fatalf("gate count %d, want %d", len(c.Gates), want)
+	}
+	// p layers scale the layered part.
+	c2 := BuildCircuit(q, NewParams(2))
+	if len(c2.Gates) != q.N()+2*(nonzeroH+len(is.J)+q.N()) {
+		t.Fatalf("p=2 gate count %d", len(c2.Gates))
+	}
+}
+
+func TestZeroParamsGiveUniform(t *testing.T) {
+	q := smallQUBO()
+	ex := &Executor{QUBO: q}
+	e, err := ex.Expectation(NewParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// γ = β = 0 leaves the uniform superposition: E = mean of f.
+	mean := 0.0
+	for b := uint64(0); b < 8; b++ {
+		mean += q.ValueBits(b)
+	}
+	mean /= 8
+	if math.Abs(e-mean) > 1e-9 {
+		t.Fatalf("E at zero params = %v, want uniform mean %v", e, mean)
+	}
+	if u := ex.uniformExpectation(); math.Abs(u-mean) > 1e-9 {
+		t.Fatalf("uniformExpectation = %v, want %v", u, mean)
+	}
+}
+
+func TestQAOABeatsRandomGuessing(t *testing.T) {
+	q := smallQUBO()
+	ex := &Executor{QUBO: q}
+	opt := GridSearch{Points: 12}
+	best, val, err := opt.Optimize(NewParams(1), func(p Params) (float64, error) {
+		return ex.Expectation(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := ex.uniformExpectation()
+	if val >= uniform {
+		t.Fatalf("optimised expectation %v not below uniform %v", val, uniform)
+	}
+	// The optimal state must over-sample the minimiser relative to uniform.
+	s, err := ex.run(best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOpt := s.Probability(0b110) // x = (0,1,1)
+	if pOpt <= 1.0/8 {
+		t.Fatalf("P(optimum) = %v, not amplified above uniform 1/8", pOpt)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	q := smallQUBO()
+	rng := rand.New(rand.NewSource(1))
+	res, err := Run(q, 1, AQGD{Iterations: 15}, 2048, nil, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations < 15 {
+		t.Fatalf("too few evaluations: %d", res.Evaluations)
+	}
+	if len(res.Samples) != 2048 {
+		t.Fatalf("sample count %d", len(res.Samples))
+	}
+	hits := 0
+	for _, b := range res.Samples {
+		if b == 0b110 {
+			hits++
+		}
+	}
+	if frac := float64(hits) / 2048; frac <= 1.0/8 {
+		t.Fatalf("optimum sampled with frequency %v, want > uniform 0.125", frac)
+	}
+}
+
+func TestRunRejectsBadP(t *testing.T) {
+	if _, err := Run(smallQUBO(), 0, AQGD{}, 16, nil, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("accepted p=0")
+	}
+}
+
+func TestNoiseDegradesExpectation(t *testing.T) {
+	q := smallQUBO()
+	clean := &Executor{QUBO: q}
+	cal := noise.Auckland()
+	noisy := &Executor{QUBO: q, Noise: &cal}
+	p := NewParams(1)
+	p.Gammas[0] = 0.4
+	p.Betas[0] = 0.5
+	ec, err := clean.Expectation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := noisy.Expectation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := clean.uniformExpectation()
+	// Noisy expectation must lie between the clean value and the uniform
+	// mean (when clean < uniform).
+	if ec < u && !(en >= ec-1e-9 && en <= u+1e-9) {
+		t.Fatalf("noisy E=%v outside [clean %v, uniform %v]", en, ec, u)
+	}
+}
+
+func TestFullyDepolarisedSamplingIsUniformish(t *testing.T) {
+	q := smallQUBO()
+	cal := noise.Auckland()
+	cal.Error2Q = 0.8 // drive λ to ~1
+	ex := &Executor{QUBO: q, Noise: &cal}
+	p := NewParams(1)
+	rng := rand.New(rand.NewSource(2))
+	samples, err := ex.Sample(p, 8000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 8)
+	for _, b := range samples {
+		counts[b]++
+	}
+	for b, c := range counts {
+		frac := float64(c) / 8000
+		if frac < 0.05 || frac > 0.22 {
+			t.Fatalf("state %d frequency %v too far from uniform", b, frac)
+		}
+	}
+}
+
+func TestAQGDImprovesOverStart(t *testing.T) {
+	q := smallQUBO()
+	ex := &Executor{QUBO: q}
+	start := NewParams(1)
+	start.Gammas[0] = 0.01
+	start.Betas[0] = math.Pi / 8
+	sv, err := ex.Expectation(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, val, err := AQGD{Iterations: 25}.Optimize(start, func(p Params) (float64, error) {
+		return ex.Expectation(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val > sv+1e-9 {
+		t.Fatalf("AQGD worsened: %v -> %v", sv, val)
+	}
+}
+
+func TestSPSAImprovesOverStart(t *testing.T) {
+	q := smallQUBO()
+	ex := &Executor{QUBO: q}
+	start := NewParams(1)
+	start.Gammas[0] = 0.01
+	start.Betas[0] = math.Pi / 8
+	sv, _ := ex.Expectation(start)
+	_, val, err := SPSA{Iterations: 60, Seed: 7}.Optimize(start, func(p Params) (float64, error) {
+		return ex.Expectation(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val > sv+1e-9 {
+		t.Fatalf("SPSA worsened: %v -> %v", sv, val)
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	if (AQGD{}).Name() != "aqgd" || (GridSearch{}).Name() != "grid" || (SPSA{}).Name() != "spsa" {
+		t.Error("optimizer names wrong")
+	}
+}
+
+func TestGridSearchFallsBackForP2(t *testing.T) {
+	q := smallQUBO()
+	ex := &Executor{QUBO: q}
+	start := NewParams(2)
+	p, _, err := GridSearch{}.Optimize(start, func(p Params) (float64, error) {
+		return ex.Expectation(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.P() != 2 {
+		t.Fatal("grid fallback changed p")
+	}
+}
+
+func TestSamplesDecodeViaBits(t *testing.T) {
+	// Cross-check qsim.BitsOf against QUBO evaluation on samples.
+	q := smallQUBO()
+	rng := rand.New(rand.NewSource(3))
+	res, err := Run(q, 1, GridSearch{Points: 8}, 64, nil, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Samples {
+		x := qsim.BitsOf(b, q.N())
+		if math.Abs(q.Value(x)-q.ValueBits(b)) > 1e-12 {
+			t.Fatal("BitsOf and ValueBits disagree")
+		}
+	}
+}

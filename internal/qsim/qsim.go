@@ -1,0 +1,230 @@
+// Package qsim is a dense statevector simulator for the gate set defined
+// in package circuit. It substitutes for the real IBM Q devices used in
+// the paper's §4.2.1 experiments: circuits up to ~27 qubits (the size of
+// IBM Q Auckland) can be executed exactly; hardware noise is modelled on
+// top of the ideal output distribution by package noise.
+package qsim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+
+	"quantumjoin/internal/circuit"
+)
+
+// MaxQubits caps simulator size; 2^27 amplitudes of complex128 are ~2 GiB.
+const MaxQubits = 27
+
+// State is an n-qubit statevector. Basis state indices use qubit 0 as the
+// least significant bit.
+type State struct {
+	n    int
+	amps []complex128
+}
+
+// NewState allocates |0...0⟩ over n qubits.
+func NewState(n int) (*State, error) {
+	if n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("qsim: qubit count %d outside [1, %d]", n, MaxQubits)
+	}
+	s := &State{n: n, amps: make([]complex128, 1<<uint(n))}
+	s.amps[0] = 1
+	return s, nil
+}
+
+// NumQubits returns the number of qubits.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitude returns the amplitude of a basis state.
+func (s *State) Amplitude(basis uint64) complex128 { return s.amps[basis] }
+
+// apply1Q applies a 2x2 unitary to qubit q.
+func (s *State) apply1Q(q int, u [2][2]complex128) {
+	bit := uint64(1) << uint(q)
+	for i := uint64(0); i < uint64(len(s.amps)); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		a0, a1 := s.amps[i], s.amps[j]
+		s.amps[i] = u[0][0]*a0 + u[0][1]*a1
+		s.amps[j] = u[1][0]*a0 + u[1][1]*a1
+	}
+}
+
+// phase2Q multiplies amplitudes by basis-dependent phases for a diagonal
+// two-qubit gate: d[b] where b = (bit of q1)<<1 | (bit of q0).
+func (s *State) phase2Q(q0, q1 int, d [4]complex128) {
+	b0 := uint64(1) << uint(q0)
+	b1 := uint64(1) << uint(q1)
+	for i := uint64(0); i < uint64(len(s.amps)); i++ {
+		idx := 0
+		if i&b0 != 0 {
+			idx |= 1
+		}
+		if i&b1 != 0 {
+			idx |= 2
+		}
+		if d[idx] != 1 {
+			s.amps[i] *= d[idx]
+		}
+	}
+}
+
+// ApplyGate applies one gate.
+func (s *State) ApplyGate(g circuit.Gate) error {
+	switch g.Kind {
+	case circuit.H:
+		h := complex(1/math.Sqrt2, 0)
+		s.apply1Q(g.Q0, [2][2]complex128{{h, h}, {h, -h}})
+	case circuit.X:
+		s.apply1Q(g.Q0, [2][2]complex128{{0, 1}, {1, 0}})
+	case circuit.SX:
+		// sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]]
+		p := complex(0.5, 0.5)
+		m := complex(0.5, -0.5)
+		s.apply1Q(g.Q0, [2][2]complex128{{p, m}, {m, p}})
+	case circuit.RX:
+		c := complex(math.Cos(g.Param/2), 0)
+		si := complex(0, -math.Sin(g.Param/2))
+		s.apply1Q(g.Q0, [2][2]complex128{{c, si}, {si, c}})
+	case circuit.RY:
+		c := complex(math.Cos(g.Param/2), 0)
+		si := complex(math.Sin(g.Param/2), 0)
+		s.apply1Q(g.Q0, [2][2]complex128{{c, -si}, {si, c}})
+	case circuit.RZ:
+		em := cmplx.Exp(complex(0, -g.Param/2))
+		ep := cmplx.Exp(complex(0, g.Param/2))
+		s.apply1Q(g.Q0, [2][2]complex128{{em, 0}, {0, ep}})
+	case circuit.CX:
+		ctrl := uint64(1) << uint(g.Q0)
+		tgt := uint64(1) << uint(g.Q1)
+		for i := uint64(0); i < uint64(len(s.amps)); i++ {
+			if i&ctrl != 0 && i&tgt == 0 {
+				j := i | tgt
+				s.amps[i], s.amps[j] = s.amps[j], s.amps[i]
+			}
+		}
+	case circuit.CZ:
+		s.phase2Q(g.Q0, g.Q1, [4]complex128{1, 1, 1, -1})
+	case circuit.SWAP:
+		a := uint64(1) << uint(g.Q0)
+		b := uint64(1) << uint(g.Q1)
+		for i := uint64(0); i < uint64(len(s.amps)); i++ {
+			if i&a != 0 && i&b == 0 {
+				j := (i &^ a) | b
+				s.amps[i], s.amps[j] = s.amps[j], s.amps[i]
+			}
+		}
+	case circuit.RZZ:
+		em := cmplx.Exp(complex(0, -g.Param/2))
+		ep := cmplx.Exp(complex(0, g.Param/2))
+		s.phase2Q(g.Q0, g.Q1, [4]complex128{em, ep, ep, em})
+	case circuit.XX:
+		// exp(-i θ/2 X⊗X): mixes |00⟩↔|11⟩ and |01⟩↔|10⟩.
+		c := complex(math.Cos(g.Param/2), 0)
+		si := complex(0, -math.Sin(g.Param/2))
+		b0 := uint64(1) << uint(g.Q0)
+		b1 := uint64(1) << uint(g.Q1)
+		for i := uint64(0); i < uint64(len(s.amps)); i++ {
+			if i&b0 != 0 || i&b1 != 0 {
+				continue
+			}
+			i00, i01, i10, i11 := i, i|b0, i|b1, i|b0|b1
+			a00, a01, a10, a11 := s.amps[i00], s.amps[i01], s.amps[i10], s.amps[i11]
+			s.amps[i00] = c*a00 + si*a11
+			s.amps[i11] = c*a11 + si*a00
+			s.amps[i01] = c*a01 + si*a10
+			s.amps[i10] = c*a10 + si*a01
+		}
+	default:
+		return fmt.Errorf("qsim: unsupported gate kind %v", g.Kind)
+	}
+	return nil
+}
+
+// Run executes all gates of a circuit in order.
+func (s *State) Run(c *circuit.Circuit) error {
+	if c.NumQubits != s.n {
+		return fmt.Errorf("qsim: circuit has %d qubits, state has %d", c.NumQubits, s.n)
+	}
+	for _, g := range c.Gates {
+		if err := s.ApplyGate(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Norm returns the state norm (should remain 1 up to rounding).
+func (s *State) Norm() float64 {
+	t := 0.0
+	for _, a := range s.amps {
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(t)
+}
+
+// Probability returns |⟨basis|ψ⟩|².
+func (s *State) Probability(basis uint64) float64 {
+	a := s.amps[basis]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// ExpectationDiag computes ⟨ψ| f |ψ⟩ for a diagonal observable given as a
+// function of the basis state — exactly what QAOA needs for QUBO cost
+// Hamiltonians.
+func (s *State) ExpectationDiag(f func(basis uint64) float64) float64 {
+	e := 0.0
+	for i, a := range s.amps {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p > 0 {
+			e += p * f(uint64(i))
+		}
+	}
+	return e
+}
+
+// Sample draws shots basis states from the measurement distribution using
+// sorted uniforms and a single pass over the amplitudes, avoiding a
+// cumulative array (important at 2^27 amplitudes).
+func (s *State) Sample(rng *rand.Rand, shots int) []uint64 {
+	us := make([]float64, shots)
+	for i := range us {
+		us[i] = rng.Float64()
+	}
+	sort.Float64s(us)
+	out := make([]uint64, 0, shots)
+	acc := 0.0
+	k := 0
+	for i, a := range s.amps {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		for k < shots && us[k] <= acc {
+			out = append(out, uint64(i))
+			k++
+		}
+		if k == shots {
+			break
+		}
+	}
+	// Rounding may leave a few shots unassigned; give them the last state.
+	for len(out) < shots {
+		out = append(out, uint64(len(s.amps)-1))
+	}
+	// Restore randomness of order (callers may subsample).
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// BitsOf unpacks a sampled basis state into a boolean assignment of n
+// variables (bit i → variable i).
+func BitsOf(basis uint64, n int) []bool {
+	x := make([]bool, n)
+	for i := 0; i < n; i++ {
+		x[i] = basis&(1<<uint(i)) != 0
+	}
+	return x
+}

@@ -1,0 +1,246 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/circuit"
+)
+
+func almostEq(a, b complex128) bool {
+	return math.Abs(real(a)-real(b)) < 1e-9 && math.Abs(imag(a)-imag(b)) < 1e-9
+}
+
+func TestHadamardSuperposition(t *testing.T) {
+	s, err := NewState(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyGate(circuit.G1(circuit.H, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	h := complex(1/math.Sqrt2, 0)
+	if !almostEq(s.Amplitude(0), h) || !almostEq(s.Amplitude(1), h) {
+		t.Fatalf("H|0> = (%v, %v)", s.Amplitude(0), s.Amplitude(1))
+	}
+	// H is self-inverse.
+	s.ApplyGate(circuit.G1(circuit.H, 0, 0))
+	if !almostEq(s.Amplitude(0), 1) {
+		t.Fatalf("HH|0> = %v", s.Amplitude(0))
+	}
+}
+
+func TestXAndCX(t *testing.T) {
+	s, _ := NewState(2)
+	s.ApplyGate(circuit.G1(circuit.X, 0, 0))
+	s.ApplyGate(circuit.G2(circuit.CX, 0, 1, 0))
+	// |11⟩ expected (qubit 0 LSB).
+	if !almostEq(s.Amplitude(3), 1) {
+		t.Fatalf("X,CX|00> amplitude(3) = %v", s.Amplitude(3))
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s, _ := NewState(2)
+	s.ApplyGate(circuit.G1(circuit.H, 0, 0))
+	s.ApplyGate(circuit.G2(circuit.CX, 0, 1, 0))
+	h := complex(1/math.Sqrt2, 0)
+	if !almostEq(s.Amplitude(0), h) || !almostEq(s.Amplitude(3), h) ||
+		!almostEq(s.Amplitude(1), 0) || !almostEq(s.Amplitude(2), 0) {
+		t.Fatalf("Bell state wrong: %v %v %v %v",
+			s.Amplitude(0), s.Amplitude(1), s.Amplitude(2), s.Amplitude(3))
+	}
+}
+
+func TestSXSquaredIsX(t *testing.T) {
+	s, _ := NewState(1)
+	s.ApplyGate(circuit.G1(circuit.SX, 0, 0))
+	s.ApplyGate(circuit.G1(circuit.SX, 0, 0))
+	if !almostEq(s.Amplitude(1), 1) {
+		t.Fatalf("SX²|0> = (%v, %v), want |1>", s.Amplitude(0), s.Amplitude(1))
+	}
+}
+
+func TestRXPi(t *testing.T) {
+	s, _ := NewState(1)
+	s.ApplyGate(circuit.G1(circuit.RX, 0, math.Pi))
+	// RX(π)|0> = -i|1>.
+	if !almostEq(s.Amplitude(1), complex(0, -1)) {
+		t.Fatalf("RX(π)|0> amp1 = %v", s.Amplitude(1))
+	}
+}
+
+func TestRYPiHalf(t *testing.T) {
+	s, _ := NewState(1)
+	s.ApplyGate(circuit.G1(circuit.RY, 0, math.Pi/2))
+	h := complex(1/math.Sqrt2, 0)
+	if !almostEq(s.Amplitude(0), h) || !almostEq(s.Amplitude(1), h) {
+		t.Fatalf("RY(π/2)|0> = (%v, %v)", s.Amplitude(0), s.Amplitude(1))
+	}
+}
+
+func TestRZPhases(t *testing.T) {
+	s, _ := NewState(1)
+	s.ApplyGate(circuit.G1(circuit.H, 0, 0))
+	s.ApplyGate(circuit.G1(circuit.RZ, 0, math.Pi))
+	s.ApplyGate(circuit.G1(circuit.H, 0, 0))
+	// HZH = X up to global phase: probability of |1> must be 1.
+	if p := s.Probability(1); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("H RZ(π) H |0>: P(1) = %v", p)
+	}
+}
+
+func TestSWAP(t *testing.T) {
+	s, _ := NewState(2)
+	s.ApplyGate(circuit.G1(circuit.X, 0, 0))
+	s.ApplyGate(circuit.G2(circuit.SWAP, 0, 1, 0))
+	if !almostEq(s.Amplitude(2), 1) {
+		t.Fatalf("SWAP moved excitation wrong: amp(2) = %v", s.Amplitude(2))
+	}
+}
+
+func TestSWAPEqualsThreeCX(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, _ := NewState(3)
+	b, _ := NewState(3)
+	// Prepare the same random product state on both.
+	for q := 0; q < 3; q++ {
+		th := rng.Float64() * math.Pi
+		a.ApplyGate(circuit.G1(circuit.RY, q, th))
+		b.ApplyGate(circuit.G1(circuit.RY, q, th))
+	}
+	a.ApplyGate(circuit.G2(circuit.SWAP, 0, 2, 0))
+	b.ApplyGate(circuit.G2(circuit.CX, 0, 2, 0))
+	b.ApplyGate(circuit.G2(circuit.CX, 2, 0, 0))
+	b.ApplyGate(circuit.G2(circuit.CX, 0, 2, 0))
+	for i := range a.amps {
+		if !almostEq(a.amps[i], b.amps[i]) {
+			t.Fatalf("SWAP != CX³ at %d: %v vs %v", i, a.amps[i], b.amps[i])
+		}
+	}
+}
+
+func TestRZZEqualsCXRZCX(t *testing.T) {
+	theta := 0.7
+	a, _ := NewState(2)
+	b, _ := NewState(2)
+	for q := 0; q < 2; q++ {
+		a.ApplyGate(circuit.G1(circuit.H, q, 0))
+		b.ApplyGate(circuit.G1(circuit.H, q, 0))
+	}
+	a.ApplyGate(circuit.G2(circuit.RZZ, 0, 1, theta))
+	b.ApplyGate(circuit.G2(circuit.CX, 0, 1, 0))
+	b.ApplyGate(circuit.G1(circuit.RZ, 1, theta))
+	b.ApplyGate(circuit.G2(circuit.CX, 0, 1, 0))
+	for i := range a.amps {
+		if !almostEq(a.amps[i], b.amps[i]) {
+			t.Fatalf("RZZ != CX·RZ·CX at %d: %v vs %v", i, a.amps[i], b.amps[i])
+		}
+	}
+}
+
+func TestCZSymmetric(t *testing.T) {
+	a, _ := NewState(2)
+	b, _ := NewState(2)
+	for q := 0; q < 2; q++ {
+		a.ApplyGate(circuit.G1(circuit.H, q, 0))
+		b.ApplyGate(circuit.G1(circuit.H, q, 0))
+	}
+	a.ApplyGate(circuit.G2(circuit.CZ, 0, 1, 0))
+	b.ApplyGate(circuit.G2(circuit.CZ, 1, 0, 0))
+	for i := range a.amps {
+		if !almostEq(a.amps[i], b.amps[i]) {
+			t.Fatal("CZ not symmetric")
+		}
+	}
+}
+
+func TestXXPiIsIsingFlip(t *testing.T) {
+	s, _ := NewState(2)
+	s.ApplyGate(circuit.G2(circuit.XX, 0, 1, math.Pi))
+	// XX(π)|00> = -i|11>.
+	if !almostEq(s.Amplitude(3), complex(0, -1)) {
+		t.Fatalf("XX(π)|00> amp(3) = %v", s.Amplitude(3))
+	}
+}
+
+func TestNormPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := circuit.New(5)
+	kinds := []circuit.Kind{circuit.H, circuit.X, circuit.SX, circuit.RX, circuit.RY, circuit.RZ}
+	for i := 0; i < 60; i++ {
+		if rng.Float64() < 0.6 {
+			c.Append(circuit.G1(kinds[rng.Intn(len(kinds))], rng.Intn(5), rng.Float64()*2*math.Pi))
+		} else {
+			a, b := rng.Intn(5), rng.Intn(5)
+			if a == b {
+				b = (b + 1) % 5
+			}
+			two := []circuit.Kind{circuit.CX, circuit.CZ, circuit.SWAP, circuit.RZZ, circuit.XX}
+			c.Append(circuit.G2(two[rng.Intn(len(two))], a, b, rng.Float64()*2*math.Pi))
+		}
+	}
+	s, _ := NewState(5)
+	if err := s.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Norm(); math.Abs(n-1) > 1e-9 {
+		t.Fatalf("norm = %v after random circuit", n)
+	}
+}
+
+func TestExpectationDiag(t *testing.T) {
+	s, _ := NewState(2)
+	s.ApplyGate(circuit.G1(circuit.H, 0, 0))
+	// State (|00> + |01>)/√2: E[f] with f = basis index should be 0.5.
+	got := s.ExpectationDiag(func(b uint64) float64 { return float64(b) })
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("ExpectationDiag = %v, want 0.5", got)
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	s, _ := NewState(2)
+	s.ApplyGate(circuit.G1(circuit.H, 0, 0))
+	s.ApplyGate(circuit.G2(circuit.CX, 0, 1, 0))
+	rng := rand.New(rand.NewSource(3))
+	shots := s.Sample(rng, 10000)
+	if len(shots) != 10000 {
+		t.Fatalf("got %d shots", len(shots))
+	}
+	counts := map[uint64]int{}
+	for _, b := range shots {
+		counts[b]++
+	}
+	if counts[1] != 0 || counts[2] != 0 {
+		t.Fatalf("Bell state sampled odd-parity outcomes: %v", counts)
+	}
+	frac := float64(counts[0]) / 10000
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("Bell |00> fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestBitsOf(t *testing.T) {
+	x := BitsOf(0b101, 3)
+	if !x[0] || x[1] || !x[2] {
+		t.Fatalf("BitsOf = %v", x)
+	}
+}
+
+func TestStateSizeLimits(t *testing.T) {
+	if _, err := NewState(0); err == nil {
+		t.Error("accepted 0 qubits")
+	}
+	if _, err := NewState(MaxQubits + 1); err == nil {
+		t.Error("accepted oversized state")
+	}
+}
+
+func TestRunRejectsSizeMismatch(t *testing.T) {
+	s, _ := NewState(2)
+	if err := s.Run(circuit.New(3)); err == nil {
+		t.Error("accepted mismatched circuit")
+	}
+}

@@ -1,0 +1,253 @@
+// Package qubo implements quadratic unconstrained binary optimisation
+// (QUBO) problems — the problem encoding required by both QAOA on
+// gate-based QPUs and by quantum annealers (paper §2.2, Eq. 1):
+//
+//	f(x) = Σ_i c_ii x_i + Σ_{i<j} c_ij x_i x_j,  x_i ∈ {0,1}
+//
+// plus the equivalent Ising form (spin variables s_i ∈ {−1,+1}) used by
+// annealing hardware, exact solvers for validation, and the structural
+// statistics (quadratic term count, variable interaction graph) that drive
+// embedding and circuit-depth behaviour.
+package qubo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pair identifies a quadratic term between two distinct variables, stored
+// with I < J.
+type Pair struct{ I, J int }
+
+// QUBO is a quadratic pseudo-boolean function to be minimised. The zero
+// value is unusable; create instances with New.
+type QUBO struct {
+	n      int
+	Offset float64 // constant term (does not affect argmin)
+	linear []float64
+	quad   map[Pair]float64
+}
+
+// New creates a QUBO over n binary variables.
+func New(n int) *QUBO {
+	if n < 0 {
+		panic(fmt.Sprintf("qubo: negative size %d", n))
+	}
+	return &QUBO{n: n, linear: make([]float64, n), quad: make(map[Pair]float64)}
+}
+
+// N returns the number of variables.
+func (q *QUBO) N() int { return q.n }
+
+// AddLinear adds w to the linear coefficient of variable i.
+func (q *QUBO) AddLinear(i int, w float64) {
+	q.linear[i] += w
+}
+
+// Linear returns the linear coefficient of variable i.
+func (q *QUBO) Linear(i int) float64 { return q.linear[i] }
+
+// AddQuad adds w to the quadratic coefficient of the pair (i, j), i != j.
+// Since x² = x for binaries, callers must use AddLinear for i == j.
+func (q *QUBO) AddQuad(i, j int, w float64) {
+	if i == j {
+		panic(fmt.Sprintf("qubo: AddQuad(%d, %d): use AddLinear for diagonal terms", i, j))
+	}
+	if w == 0 {
+		return
+	}
+	p := orderPair(i, j)
+	q.quad[p] += w
+	if q.quad[p] == 0 {
+		delete(q.quad, p)
+	}
+}
+
+// Quad returns the quadratic coefficient of the pair (i, j).
+func (q *QUBO) Quad(i, j int) float64 { return q.quad[orderPair(i, j)] }
+
+func orderPair(i, j int) Pair {
+	if i > j {
+		i, j = j, i
+	}
+	return Pair{i, j}
+}
+
+// NumQuadTerms returns the number of nonzero quadratic coefficients — the
+// quantity that dominates QAOA circuit depth and embedding difficulty
+// (paper §3.4 "Quadratic Contributions").
+func (q *QUBO) NumQuadTerms() int { return len(q.quad) }
+
+// QuadTerms returns the nonzero quadratic terms in deterministic order.
+func (q *QUBO) QuadTerms() []Pair {
+	ps := make([]Pair, 0, len(q.quad))
+	for p := range q.quad {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].I != ps[b].I {
+			return ps[a].I < ps[b].I
+		}
+		return ps[a].J < ps[b].J
+	})
+	return ps
+}
+
+// Value evaluates f(x) + Offset for the given assignment.
+func (q *QUBO) Value(x []bool) float64 {
+	if len(x) != q.n {
+		panic(fmt.Sprintf("qubo: assignment length %d != %d variables", len(x), q.n))
+	}
+	v := q.Offset
+	for i, b := range x {
+		if b {
+			v += q.linear[i]
+		}
+	}
+	for p, w := range q.quad {
+		if x[p.I] && x[p.J] {
+			v += w
+		}
+	}
+	return v
+}
+
+// ValueBits evaluates f for an assignment packed into a uint64 (bit i =
+// variable i); valid for n <= 64.
+func (q *QUBO) ValueBits(bits uint64) float64 {
+	v := q.Offset
+	for i := 0; i < q.n; i++ {
+		if bits&(1<<uint(i)) != 0 {
+			v += q.linear[i]
+		}
+	}
+	for p, w := range q.quad {
+		if bits&(1<<uint(p.I)) != 0 && bits&(1<<uint(p.J)) != 0 {
+			v += w
+		}
+	}
+	return v
+}
+
+// AdjacencyLists returns, for each variable, the sorted list of variables
+// it shares a quadratic term with (the QUBO interaction graph of Eq. 1,
+// interpreted as a weighted undirected graph).
+func (q *QUBO) AdjacencyLists() [][]int {
+	adj := make([][]int, q.n)
+	for p := range q.quad {
+		adj[p.I] = append(adj[p.I], p.J)
+		adj[p.J] = append(adj[p.J], p.I)
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+	}
+	return adj
+}
+
+// MaxDegree returns the maximum number of distinct interaction partners of
+// any variable.
+func (q *QUBO) MaxDegree() int {
+	deg := make([]int, q.n)
+	for p := range q.quad {
+		deg[p.I]++
+		deg[p.J]++
+	}
+	m := 0
+	for _, d := range deg {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MaxAbsCoefficient returns the largest absolute linear or quadratic
+// coefficient; annealers rescale all couplings by this (limited analog
+// resolution, §3.4).
+func (q *QUBO) MaxAbsCoefficient() float64 {
+	m := 0.0
+	for _, w := range q.linear {
+		if a := math.Abs(w); a > m {
+			m = a
+		}
+	}
+	for _, w := range q.quad {
+		if a := math.Abs(w); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Copy returns a deep copy.
+func (q *QUBO) Copy() *QUBO {
+	c := New(q.n)
+	c.Offset = q.Offset
+	copy(c.linear, q.linear)
+	for p, w := range q.quad {
+		c.quad[p] = w
+	}
+	return c
+}
+
+// Ising is the spin form H(s) = Σ h_i s_i + Σ_{i<j} J_ij s_i s_j + Offset
+// with s_i ∈ {−1, +1}. The convention maps QUBO x_i = (1+s_i)/2, so spin
+// +1 corresponds to x = 1.
+type Ising struct {
+	N      int
+	H      []float64
+	J      map[Pair]float64
+	Offset float64
+}
+
+// ToIsing converts the QUBO into its equivalent Ising Hamiltonian.
+func (q *QUBO) ToIsing() *Ising {
+	is := &Ising{N: q.n, H: make([]float64, q.n), J: make(map[Pair]float64), Offset: q.Offset}
+	for i, c := range q.linear {
+		is.H[i] += c / 2
+		is.Offset += c / 2
+	}
+	for p, w := range q.quad {
+		is.J[p] += w / 4
+		is.H[p.I] += w / 4
+		is.H[p.J] += w / 4
+		is.Offset += w / 4
+	}
+	return is
+}
+
+// Value evaluates the Ising energy for spins (+1/−1).
+func (is *Ising) Value(s []int8) float64 {
+	v := is.Offset
+	for i, h := range is.H {
+		v += h * float64(s[i])
+	}
+	for p, w := range is.J {
+		v += w * float64(s[p.I]) * float64(s[p.J])
+	}
+	return v
+}
+
+// SpinsToBits converts an Ising spin assignment to QUBO booleans
+// (spin +1 → true).
+func SpinsToBits(s []int8) []bool {
+	x := make([]bool, len(s))
+	for i, v := range s {
+		x[i] = v > 0
+	}
+	return x
+}
+
+// BitsToSpins converts a QUBO assignment to Ising spins.
+func BitsToSpins(x []bool) []int8 {
+	s := make([]int8, len(x))
+	for i, b := range x {
+		if b {
+			s[i] = 1
+		} else {
+			s[i] = -1
+		}
+	}
+	return s
+}

@@ -1,0 +1,227 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomQUBO(rng *rand.Rand, n int, density float64) *QUBO {
+	q := New(n)
+	for i := 0; i < n; i++ {
+		q.AddLinear(i, rng.NormFloat64())
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				q.AddQuad(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	q.Offset = rng.NormFloat64()
+	return q
+}
+
+func TestValueAgainstManual(t *testing.T) {
+	q := New(3)
+	q.AddLinear(0, 1)
+	q.AddLinear(2, -2)
+	q.AddQuad(0, 1, 3)
+	q.AddQuad(2, 1, 0.5) // unordered pair must normalise
+	q.Offset = 10
+	// x = (1,1,1): 10 + 1 - 2 + 3 + 0.5 = 12.5
+	if got := q.Value([]bool{true, true, true}); got != 12.5 {
+		t.Errorf("Value = %v, want 12.5", got)
+	}
+	if got := q.ValueBits(0b111); got != 12.5 {
+		t.Errorf("ValueBits = %v, want 12.5", got)
+	}
+	if got := q.Value([]bool{false, false, false}); got != 10 {
+		t.Errorf("Value(0) = %v, want 10", got)
+	}
+	if q.Quad(1, 2) != 0.5 || q.Quad(2, 1) != 0.5 {
+		t.Error("Quad not symmetric in argument order")
+	}
+}
+
+func TestAddQuadCancelsToZero(t *testing.T) {
+	q := New(2)
+	q.AddQuad(0, 1, 2)
+	q.AddQuad(1, 0, -2)
+	if q.NumQuadTerms() != 0 {
+		t.Errorf("cancelled term still stored: %d terms", q.NumQuadTerms())
+	}
+}
+
+func TestAddQuadDiagonalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddQuad(i,i) should panic")
+		}
+	}()
+	New(2).AddQuad(1, 1, 1)
+}
+
+func TestValueBitsMatchesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := randomQUBO(rng, 10, 0.4)
+	for trial := 0; trial < 100; trial++ {
+		bits := rng.Uint64() & ((1 << 10) - 1)
+		x := make([]bool, 10)
+		for i := range x {
+			x[i] = bits&(1<<uint(i)) != 0
+		}
+		if a, b := q.Value(x), q.ValueBits(bits); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("Value %v != ValueBits %v", a, b)
+		}
+	}
+}
+
+func TestIsingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		q := randomQUBO(rng, 8, 0.5)
+		is := q.ToIsing()
+		for bits := uint64(0); bits < 1<<8; bits++ {
+			x := make([]bool, 8)
+			for i := range x {
+				x[i] = bits&(1<<uint(i)) != 0
+			}
+			qv := q.Value(x)
+			iv := is.Value(BitsToSpins(x))
+			if math.Abs(qv-iv) > 1e-9 {
+				t.Fatalf("QUBO %v != Ising %v at %b", qv, iv, bits)
+			}
+		}
+	}
+}
+
+func TestSpinConversionRoundTrip(t *testing.T) {
+	x := []bool{true, false, true}
+	if got := SpinsToBits(BitsToSpins(x)); got[0] != true || got[1] != false || got[2] != true {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestBruteForce(t *testing.T) {
+	// min of x0 - 2 x1 + 3 x0 x1 is x0=0, x1=1 -> -2.
+	q := New(2)
+	q.AddLinear(0, 1)
+	q.AddLinear(1, -2)
+	q.AddQuad(0, 1, 3)
+	s, err := q.BruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != -2 || s.Assignment[0] || !s.Assignment[1] {
+		t.Fatalf("BruteForce = %+v", s)
+	}
+}
+
+func TestBruteForceLimit(t *testing.T) {
+	if _, err := New(MaxBruteForceVars + 1).BruteForce(); err == nil {
+		t.Error("oversized brute force accepted")
+	}
+}
+
+func TestBranchAndBoundMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(10)
+		q := randomQUBO(rng, n, 0.5)
+		bf, err := q.BruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := q.BranchAndBound(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(bf.Value-bb.Value) > 1e-9 {
+			t.Fatalf("n=%d: B&B %v != brute force %v", n, bb.Value, bf.Value)
+		}
+		if got := q.Value(bb.Assignment); math.Abs(got-bb.Value) > 1e-9 {
+			t.Fatalf("B&B assignment evaluates to %v, reported %v", got, bb.Value)
+		}
+	}
+}
+
+func TestAdjacencyAndDegree(t *testing.T) {
+	q := New(4)
+	q.AddQuad(0, 1, 1)
+	q.AddQuad(0, 2, 1)
+	q.AddQuad(0, 3, 1)
+	q.AddQuad(2, 3, 1)
+	adj := q.AdjacencyLists()
+	if len(adj[0]) != 3 || adj[0][0] != 1 {
+		t.Errorf("adj[0] = %v", adj[0])
+	}
+	if q.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d, want 3", q.MaxDegree())
+	}
+	if q.NumQuadTerms() != 4 {
+		t.Errorf("NumQuadTerms = %d, want 4", q.NumQuadTerms())
+	}
+}
+
+func TestMaxAbsCoefficient(t *testing.T) {
+	q := New(2)
+	q.AddLinear(0, -5)
+	q.AddQuad(0, 1, 3)
+	if q.MaxAbsCoefficient() != 5 {
+		t.Errorf("MaxAbsCoefficient = %v", q.MaxAbsCoefficient())
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	q := New(2)
+	q.AddLinear(0, 1)
+	q.AddQuad(0, 1, 2)
+	c := q.Copy()
+	c.AddLinear(0, 10)
+	c.AddQuad(0, 1, 10)
+	if q.Linear(0) != 1 || q.Quad(0, 1) != 2 {
+		t.Error("Copy shares state with original")
+	}
+}
+
+func TestQuadTermsDeterministic(t *testing.T) {
+	q := New(5)
+	q.AddQuad(3, 1, 1)
+	q.AddQuad(0, 4, 1)
+	q.AddQuad(0, 2, 1)
+	ps := q.QuadTerms()
+	want := []Pair{{0, 2}, {0, 4}, {1, 3}}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("QuadTerms = %v, want %v", ps, want)
+		}
+	}
+}
+
+// Property: the Ising conversion preserves the argmin value.
+func TestQuickIsingPreservesMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomQUBO(r, 6, 0.6)
+		is := q.ToIsing()
+		minQ, minI := math.Inf(1), math.Inf(1)
+		for bits := uint64(0); bits < 1<<6; bits++ {
+			x := make([]bool, 6)
+			for i := range x {
+				x[i] = bits&(1<<uint(i)) != 0
+			}
+			if v := q.Value(x); v < minQ {
+				minQ = v
+			}
+			if v := is.Value(BitsToSpins(x)); v < minI {
+				minI = v
+			}
+		}
+		return math.Abs(minQ-minI) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

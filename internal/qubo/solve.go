@@ -1,0 +1,128 @@
+package qubo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MaxBruteForceVars bounds BruteForce: 2^26 evaluations is the practical
+// single-core limit.
+const MaxBruteForceVars = 26
+
+// Solution is an assignment together with its objective value.
+type Solution struct {
+	Assignment []bool
+	Value      float64
+}
+
+// BruteForce enumerates all 2^n assignments and returns a global minimum.
+// Intended for validating encodings and heuristic samplers in tests.
+func (q *QUBO) BruteForce() (Solution, error) {
+	if q.n > MaxBruteForceVars {
+		return Solution{}, fmt.Errorf("qubo: %d variables exceeds brute-force limit %d", q.n, MaxBruteForceVars)
+	}
+	best := Solution{Value: math.Inf(1)}
+	var bestBits uint64
+	for bits := uint64(0); bits < 1<<uint(q.n); bits++ {
+		if v := q.ValueBits(bits); v < best.Value {
+			best.Value = v
+			bestBits = bits
+		}
+	}
+	best.Assignment = make([]bool, q.n)
+	for i := 0; i < q.n; i++ {
+		best.Assignment[i] = bestBits&(1<<uint(i)) != 0
+	}
+	return best, nil
+}
+
+// BranchAndBound finds a global minimum by depth-first search with a lower
+// bound: after fixing a prefix of variables, the remaining objective is
+// bounded below by adding, for each free variable, the most favourable
+// contribution it could possibly make. Handles somewhat larger instances
+// than BruteForce when coefficients are informative.
+func (q *QUBO) BranchAndBound(maxVars int) (Solution, error) {
+	if maxVars == 0 {
+		maxVars = 40
+	}
+	if q.n > maxVars {
+		return Solution{}, fmt.Errorf("qubo: %d variables exceeds branch-and-bound limit %d", q.n, maxVars)
+	}
+	adj := q.AdjacencyLists()
+	// Order variables by decreasing connectivity so bounds tighten early.
+	order := make([]int, q.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(adj[order[a]]) > len(adj[order[b]]) })
+	pos := make([]int, q.n) // variable -> decision depth
+	for d, v := range order {
+		pos[v] = d
+	}
+
+	x := make([]bool, q.n)
+	best := Solution{Value: math.Inf(1), Assignment: make([]bool, q.n)}
+
+	// minGain[v]: most negative contribution variable v can add when set,
+	// assuming all its undecided neighbours choose in its favour.
+	lowerTail := func(depth int, partial float64) float64 {
+		lb := partial
+		for d := depth; d < q.n; d++ {
+			v := order[d]
+			gain := q.linear[v]
+			for _, u := range adj[v] {
+				w := q.Quad(v, u)
+				if pos[u] < depth { // decided: contribution is fixed if x[u]
+					if x[u] {
+						gain += w
+					}
+				} else if pos[u] > d && w < 0 { // count each undecided pair once
+					gain += w
+				}
+			}
+			if gain < 0 {
+				lb += gain
+			}
+		}
+		return lb
+	}
+
+	var rec func(depth int, val float64)
+	rec = func(depth int, val float64) {
+		if depth == q.n {
+			if val < best.Value {
+				best.Value = val
+				copy(best.Assignment, x)
+			}
+			return
+		}
+		if lowerTail(depth, val) >= best.Value {
+			return
+		}
+		v := order[depth]
+		// Contribution of setting v given decided neighbours.
+		delta := q.linear[v]
+		for _, u := range adj[v] {
+			if pos[u] < depth && x[u] {
+				delta += q.Quad(v, u)
+			}
+		}
+		// Explore the more promising branch first.
+		branches := []bool{false, true}
+		if delta < 0 {
+			branches = []bool{true, false}
+		}
+		for _, b := range branches {
+			x[v] = b
+			if b {
+				rec(depth+1, val+delta)
+			} else {
+				rec(depth+1, val)
+			}
+		}
+		x[v] = false
+	}
+	rec(0, q.Offset)
+	return best, nil
+}

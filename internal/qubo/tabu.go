@@ -1,0 +1,107 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TabuSearch is a single-flip tabu-search heuristic for QUBO minimisation
+// — the classical reference heuristic commonly paired with annealers
+// (D-Wave's hybrid tooling uses a multistart tabu solver). It provides a
+// scalable classical baseline for instances beyond BruteForce and
+// BranchAndBound reach.
+type TabuSearch struct {
+	// Tenure is the number of iterations a flipped variable stays tabu
+	// (default: n/4 + 1).
+	Tenure int
+	// MaxIters bounds the total number of flips (default 64·n).
+	MaxIters int
+	// Restarts is the number of random restarts (default 4).
+	Restarts int
+}
+
+// Solve runs the search and returns the best assignment found.
+func (ts TabuSearch) Solve(q *QUBO, rng *rand.Rand) Solution {
+	n := q.N()
+	if n == 0 {
+		return Solution{Assignment: nil, Value: q.Offset}
+	}
+	tenure := ts.Tenure
+	if tenure <= 0 {
+		tenure = n/4 + 1
+	}
+	maxIters := ts.MaxIters
+	if maxIters <= 0 {
+		maxIters = 64 * n
+	}
+	restarts := ts.Restarts
+	if restarts <= 0 {
+		restarts = 4
+	}
+
+	adj := q.AdjacencyLists()
+	best := Solution{Value: math.Inf(1)}
+	for r := 0; r < restarts; r++ {
+		x := make([]bool, n)
+		for i := range x {
+			x[i] = rng.Intn(2) == 0
+		}
+		// delta[i] = change in objective when flipping variable i.
+		delta := make([]float64, n)
+		val := q.Value(x)
+		recompute := func(i int) {
+			d := q.Linear(i)
+			for _, j := range adj[i] {
+				if x[j] {
+					d += q.Quad(i, j)
+				}
+			}
+			if x[i] {
+				d = -d
+			}
+			delta[i] = d
+		}
+		for i := 0; i < n; i++ {
+			recompute(i)
+		}
+		tabuUntil := make([]int, n)
+		localBest := val
+		localBestX := append([]bool(nil), x...)
+		for it := 0; it < maxIters; it++ {
+			pick := -1
+			pickDelta := math.Inf(1)
+			for i := 0; i < n; i++ {
+				if tabuUntil[i] > it {
+					// Aspiration: a tabu move is allowed if it yields a
+					// new overall best.
+					if val+delta[i] >= localBest-1e-12 {
+						continue
+					}
+				}
+				if delta[i] < pickDelta {
+					pickDelta = delta[i]
+					pick = i
+				}
+			}
+			if pick < 0 {
+				break
+			}
+			x[pick] = !x[pick]
+			val += delta[pick]
+			tabuUntil[pick] = it + tenure
+			recompute(pick)
+			for _, j := range adj[pick] {
+				recompute(j)
+			}
+			if val < localBest {
+				localBest = val
+				copy(localBestX, x)
+			}
+		}
+		if localBest < best.Value {
+			best.Value = localBest
+			best.Assignment = append([]bool(nil), localBestX...)
+		}
+	}
+	return best
+}

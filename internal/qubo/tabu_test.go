@@ -1,0 +1,67 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTabuMatchesBruteForceOnSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		q := randomQUBO(rng, 10, 0.5)
+		bf, err := q.BruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := (TabuSearch{Restarts: 6}).Solve(q, rng)
+		if tb.Value > bf.Value+1e-9 && tb.Value-bf.Value > 0.05*math.Abs(bf.Value) {
+			t.Fatalf("trial %d: tabu %v far from optimum %v", trial, tb.Value, bf.Value)
+		}
+		if got := q.Value(tb.Assignment); math.Abs(got-tb.Value) > 1e-9 {
+			t.Fatalf("reported value %v != evaluated %v", tb.Value, got)
+		}
+	}
+}
+
+func TestTabuFindsExactOptimumUsually(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	hits := 0
+	for trial := 0; trial < 10; trial++ {
+		q := randomQUBO(rng, 12, 0.4)
+		bf, err := q.BruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := (TabuSearch{Restarts: 8}).Solve(q, rng)
+		if math.Abs(tb.Value-bf.Value) < 1e-9 {
+			hits++
+		}
+	}
+	if hits < 7 {
+		t.Fatalf("tabu found the exact optimum only %d/10 times", hits)
+	}
+}
+
+func TestTabuScalesBeyondBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	q := randomQUBO(rng, 200, 0.05)
+	tb := (TabuSearch{}).Solve(q, rng)
+	if len(tb.Assignment) != 200 {
+		t.Fatal("wrong assignment size")
+	}
+	// Must beat the all-zero and a random assignment.
+	zero := q.Value(make([]bool, 200))
+	if tb.Value > zero {
+		t.Fatalf("tabu %v worse than the zero assignment %v", tb.Value, zero)
+	}
+}
+
+func TestTabuEmptyQUBO(t *testing.T) {
+	q := New(0)
+	q.Offset = 5
+	tb := (TabuSearch{}).Solve(q, rand.New(rand.NewSource(1)))
+	if tb.Value != 5 {
+		t.Fatalf("empty QUBO value %v", tb.Value)
+	}
+}

@@ -1,0 +1,173 @@
+// Package querygen generates random join ordering instances following the
+// methodology of Steinbrunn et al. (as used via Trummer's query optimizer
+// library in the paper's §4.1): queries with a chosen query-graph type
+// (chain, star, cycle, clique), cardinalities drawn log-uniformly, and
+// selectivities drawn log-uniformly from (0, 1].
+//
+// The paper's QPU experiments use the IntegerLog option: integer base-10
+// logarithmic cardinalities and selectivities, which avoids discretisation
+// issues for continuous slack variables and makes qubit counts exactly
+// reproducible (§4.1).
+package querygen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quantumjoin/internal/join"
+)
+
+// GraphType selects the shape of the query graph.
+type GraphType int
+
+const (
+	// Chain connects relation i to i+1.
+	Chain GraphType = iota
+	// Star connects relation 0 to every other relation.
+	Star
+	// Cycle is a chain plus an edge closing the loop; it has one more
+	// predicate than chain/star and hence the largest qubit demand (§6.1).
+	Cycle
+	// Clique connects every pair of relations.
+	Clique
+)
+
+// String implements fmt.Stringer.
+func (g GraphType) String() string {
+	switch g {
+	case Chain:
+		return "chain"
+	case Star:
+		return "star"
+	case Cycle:
+		return "cycle"
+	case Clique:
+		return "clique"
+	default:
+		return fmt.Sprintf("GraphType(%d)", int(g))
+	}
+}
+
+// NumPredicates returns the number of predicates a graph of this type has
+// for n relations.
+func (g GraphType) NumPredicates(n int) int {
+	switch g {
+	case Chain, Star:
+		return n - 1
+	case Cycle:
+		return n
+	case Clique:
+		return n * (n - 1) / 2
+	default:
+		return 0
+	}
+}
+
+// Config controls instance generation.
+type Config struct {
+	Relations int
+	Graph     GraphType
+	// IntegerLog forces integer log10 cardinalities and selectivities
+	// (cards in {10^MinLogCard .. 10^MaxLogCard}, sels in
+	// {10^-MaxLogSel .. 10^-MinLogSel}).
+	IntegerLog bool
+	// MinLogCard/MaxLogCard bound log10 of relation cardinalities.
+	// Defaults: 1 and 5 (10 .. 100000, as in Steinbrunn et al.).
+	MinLogCard, MaxLogCard float64
+	// MinLogSel/MaxLogSel bound -log10 of selectivities.
+	// Defaults: 0 and 2 (1 .. 0.01).
+	MinLogSel, MaxLogSel float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxLogCard == 0 {
+		c.MinLogCard, c.MaxLogCard = 1, 5
+	}
+	if c.MaxLogSel == 0 {
+		c.MinLogSel, c.MaxLogSel = 0, 2
+	}
+	return c
+}
+
+// Generate creates a random query instance.
+func Generate(cfg Config, rng *rand.Rand) (*join.Query, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.Relations
+	if n < 2 {
+		return nil, fmt.Errorf("querygen: need at least 2 relations, got %d", n)
+	}
+	if cfg.Graph == Cycle && n < 3 {
+		return nil, fmt.Errorf("querygen: cycle query needs at least 3 relations, got %d", n)
+	}
+	q := &join.Query{}
+	for i := 0; i < n; i++ {
+		lc := cfg.MinLogCard + rng.Float64()*(cfg.MaxLogCard-cfg.MinLogCard)
+		if cfg.IntegerLog {
+			lc = math.Round(lc)
+		}
+		q.Relations = append(q.Relations, join.Relation{
+			Name: fmt.Sprintf("R%d", i),
+			Card: math.Pow(10, lc),
+		})
+	}
+	sel := func() float64 {
+		ls := cfg.MinLogSel + rng.Float64()*(cfg.MaxLogSel-cfg.MinLogSel)
+		if cfg.IntegerLog {
+			ls = math.Round(ls)
+		}
+		return math.Pow(10, -ls)
+	}
+	addPred := func(a, b int) {
+		q.Predicates = append(q.Predicates, join.Predicate{R1: a, R2: b, Sel: sel()})
+	}
+	switch cfg.Graph {
+	case Chain:
+		for i := 0; i < n-1; i++ {
+			addPred(i, i+1)
+		}
+	case Star:
+		for i := 1; i < n; i++ {
+			addPred(0, i)
+		}
+	case Cycle:
+		for i := 0; i < n-1; i++ {
+			addPred(i, i+1)
+		}
+		addPred(n-1, 0)
+	case Clique:
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				addPred(i, j)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("querygen: unknown graph type %v", cfg.Graph)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("querygen: generated invalid query: %w", err)
+	}
+	return q, nil
+}
+
+// PaperInstance returns the canonical three-relation instance matching the
+// qubit counts reported in §4.1 (18 qubits for zero predicates, +3 per
+// predicate, +3 per decimal digit of discretisation precision): three
+// relations of cardinality 10 and the requested number of predicates with
+// selectivity 0.1 arranged as in the paper's scenarios (0/1 predicates:
+// cross products needed; 2: chain; 3: cycle).
+func PaperInstance(predicates int) (*join.Query, error) {
+	if predicates < 0 || predicates > 3 {
+		return nil, fmt.Errorf("querygen: paper instance supports 0..3 predicates, got %d", predicates)
+	}
+	q := &join.Query{
+		Relations: []join.Relation{
+			{Name: "R", Card: 10}, {Name: "S", Card: 10}, {Name: "T", Card: 10},
+		},
+	}
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 0}}
+	for i := 0; i < predicates; i++ {
+		q.Predicates = append(q.Predicates, join.Predicate{R1: edges[i][0], R2: edges[i][1], Sel: 0.1})
+	}
+	return q, nil
+}

@@ -1,0 +1,145 @@
+package querygen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGraphShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range []GraphType{Chain, Star, Cycle, Clique} {
+		for n := 3; n <= 8; n++ {
+			q, err := Generate(Config{Relations: n, Graph: g}, rng)
+			if err != nil {
+				t.Fatalf("%v n=%d: %v", g, n, err)
+			}
+			if got, want := q.NumPredicates(), g.NumPredicates(n); got != want {
+				t.Errorf("%v n=%d: %d predicates, want %d", g, n, got, want)
+			}
+			if q.NumRelations() != n {
+				t.Errorf("%v n=%d: got %d relations", g, n, q.NumRelations())
+			}
+		}
+	}
+}
+
+func TestStarCentre(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q, err := Generate(Config{Relations: 6, Graph: Star}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range q.Predicates {
+		if p.R1 != 0 {
+			t.Errorf("star predicate %d does not touch the centre: %+v", i, p)
+		}
+	}
+}
+
+func TestCycleClosesLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q, err := Generate(Config{Relations: 5, Graph: Cycle}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := make([]int, 5)
+	for _, p := range q.Predicates {
+		deg[p.R1]++
+		deg[p.R2]++
+	}
+	for i, d := range deg {
+		if d != 2 {
+			t.Errorf("cycle relation %d has degree %d, want 2", i, d)
+		}
+	}
+}
+
+func TestIntegerLog(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q, err := Generate(Config{Relations: 10, Graph: Clique, IntegerLog: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q.Relations {
+		lc := q.LogCard(i)
+		if math.Abs(lc-math.Round(lc)) > 1e-9 {
+			t.Errorf("relation %d: log card %v not integer", i, lc)
+		}
+		if lc < 1 || lc > 5 {
+			t.Errorf("relation %d: log card %v outside [1,5]", i, lc)
+		}
+	}
+	for i := range q.Predicates {
+		ls := q.LogSel(i)
+		if math.Abs(ls-math.Round(ls)) > 1e-9 {
+			t.Errorf("predicate %d: log sel %v not integer", i, ls)
+		}
+		if ls > 0 || ls < -2 {
+			t.Errorf("predicate %d: log sel %v outside [-2,0]", i, ls)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := Generate(Config{Relations: 1, Graph: Chain}, rng); err == nil {
+		t.Error("accepted 1 relation")
+	}
+	if _, err := Generate(Config{Relations: 2, Graph: Cycle}, rng); err == nil {
+		t.Error("accepted 2-relation cycle")
+	}
+	if _, err := Generate(Config{Relations: 3, Graph: GraphType(99)}, rng); err == nil {
+		t.Error("accepted unknown graph type")
+	}
+}
+
+func TestPaperInstanceQubitLadderPreconditions(t *testing.T) {
+	for p := 0; p <= 3; p++ {
+		q, err := PaperInstance(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.NumPredicates() != p {
+			t.Fatalf("PaperInstance(%d) has %d predicates", p, q.NumPredicates())
+		}
+		for i := range q.Relations {
+			if q.Relations[i].Card != 10 {
+				t.Fatalf("PaperInstance(%d): card %v, want 10", p, q.Relations[i].Card)
+			}
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("PaperInstance(%d) invalid: %v", p, err)
+		}
+	}
+	if _, err := PaperInstance(4); err == nil {
+		t.Error("PaperInstance(4) should fail")
+	}
+}
+
+func TestGraphTypeString(t *testing.T) {
+	cases := map[GraphType]string{Chain: "chain", Star: "star", Cycle: "cycle", Clique: "clique"}
+	for g, want := range cases {
+		if g.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(g), g.String(), want)
+		}
+	}
+	if GraphType(42).String() == "" {
+		t.Error("unknown graph type should still render")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a, _ := Generate(Config{Relations: 6, Graph: Chain}, rand.New(rand.NewSource(9)))
+	b, _ := Generate(Config{Relations: 6, Graph: Chain}, rand.New(rand.NewSource(9)))
+	for i := range a.Relations {
+		if a.Relations[i].Card != b.Relations[i].Card {
+			t.Fatal("same seed produced different cardinalities")
+		}
+	}
+	for i := range a.Predicates {
+		if a.Predicates[i].Sel != b.Predicates[i].Sel {
+			t.Fatal("same seed produced different selectivities")
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package sqlfront
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Catalog holds the statistics the optimiser needs: per-table
+// cardinalities and per-column distinct-value counts.
+type Catalog struct {
+	Tables []Table `json:"tables"`
+}
+
+// Table describes one base relation.
+type Table struct {
+	Name        string   `json:"name"`
+	Cardinality float64  `json:"cardinality"`
+	Columns     []Column `json:"columns,omitempty"`
+}
+
+// Column carries the distinct-value count V(col) used by the System-R
+// selectivity rules.
+type Column struct {
+	Name     string  `json:"name"`
+	Distinct float64 `json:"distinct"`
+}
+
+// ReadCatalog parses a statistics catalog from JSON.
+func ReadCatalog(r io.Reader) (*Catalog, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Catalog
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("sqlfront: parsing catalog: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Validate checks structural soundness.
+func (c *Catalog) Validate() error {
+	seen := map[string]bool{}
+	for i, t := range c.Tables {
+		name := strings.ToLower(t.Name)
+		if name == "" {
+			return fmt.Errorf("sqlfront: table %d has no name", i)
+		}
+		if seen[name] {
+			return fmt.Errorf("sqlfront: duplicate table %q", t.Name)
+		}
+		seen[name] = true
+		if t.Cardinality < 1 {
+			return fmt.Errorf("sqlfront: table %q has cardinality %v < 1", t.Name, t.Cardinality)
+		}
+		cols := map[string]bool{}
+		for _, col := range t.Columns {
+			cn := strings.ToLower(col.Name)
+			if cn == "" {
+				return fmt.Errorf("sqlfront: table %q has an unnamed column", t.Name)
+			}
+			if cols[cn] {
+				return fmt.Errorf("sqlfront: table %q: duplicate column %q", t.Name, col.Name)
+			}
+			cols[cn] = true
+			if col.Distinct < 1 {
+				return fmt.Errorf("sqlfront: column %s.%s has distinct count %v < 1", t.Name, col.Name, col.Distinct)
+			}
+			if col.Distinct > t.Cardinality {
+				return fmt.Errorf("sqlfront: column %s.%s has more distinct values (%v) than rows (%v)",
+					t.Name, col.Name, col.Distinct, t.Cardinality)
+			}
+		}
+	}
+	return nil
+}
+
+// lookup finds a table by (case-insensitive) name.
+func (c *Catalog) lookup(name string) (*Table, bool) {
+	for i := range c.Tables {
+		if strings.EqualFold(c.Tables[i].Name, name) {
+			return &c.Tables[i], true
+		}
+	}
+	return nil, false
+}
+
+// distinct returns V(col) for a table column, defaulting to the table
+// cardinality (unique values) when the column is not catalogued — the
+// conservative System-R fallback for keys.
+func (t *Table) distinct(col string) float64 {
+	for _, c := range t.Columns {
+		if strings.EqualFold(c.Name, col) {
+			return c.Distinct
+		}
+	}
+	return t.Cardinality
+}

@@ -1,0 +1,153 @@
+// Package sqlfront is a minimal SQL front end for the join ordering
+// pipeline, realising the paper's Figure 1 architecture: a parser feeds
+// the (quantum) join order optimiser. It supports the SELECT-FROM-WHERE
+// fragment relevant to join ordering — implicit join lists, explicit
+// INNER JOIN ... ON, equality join predicates, and literal filter
+// predicates — and resolves cardinalities and selectivities against a
+// catalog using the classic System-R estimation rules (1/V(col) for
+// equality, containment of value sets for joins).
+package sqlfront
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // single-character punctuation: , . ( ) ; *
+	tokCompare // = < > <= >= <>
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenises a SQL string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits the input into tokens, or reports the offending position.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		case unicode.IsDigit(rune(c)):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune(",.();*", rune(c)):
+			l.toks = append(l.toks, token{tokSymbol, string(c), l.pos})
+			l.pos++
+		case c == '=' || c == '<' || c == '>':
+			l.lexCompare()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return nil, fmt.Errorf("sqlfront: unexpected character %q at position %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				return fmt.Errorf("sqlfront: malformed number at position %d", start)
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c == 'e' || c == 'E' {
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsDigit(rune(c)) {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("sqlfront: unterminated string starting at position %d", start)
+	}
+	l.pos++ // closing quote
+	l.toks = append(l.toks, token{tokString, l.src[start+1 : l.pos-1], start})
+	return nil
+}
+
+func (l *lexer) lexCompare() {
+	start := l.pos
+	c := l.src[l.pos]
+	l.pos++
+	if l.pos < len(l.src) {
+		two := string(c) + string(l.src[l.pos])
+		switch two {
+		case "<=", ">=", "<>":
+			l.pos++
+			l.toks = append(l.toks, token{tokCompare, two, start})
+			return
+		}
+	}
+	l.toks = append(l.toks, token{tokCompare, string(c), start})
+}
+
+// keyword reports whether the token is the given (case-insensitive)
+// keyword.
+func (t token) keyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,353 @@
+package sqlfront
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"quantumjoin/internal/join"
+)
+
+// ParsedQuery is the optimiser-ready result of parsing a SQL statement:
+// the join ordering instance plus the alias bookkeeping needed to render
+// plans back in the user's vocabulary.
+type ParsedQuery struct {
+	// Query has one relation per FROM item; cardinalities reflect the
+	// catalog cardinality scaled by the selectivity of local filter
+	// predicates (pushed-down selections), and one predicate per
+	// join-column pair.
+	Query *join.Query
+	// Aliases holds the FROM-clause alias (or table name) per relation.
+	Aliases []string
+	// Tables holds the underlying catalog table per relation.
+	Tables []string
+}
+
+// Parse parses the SELECT-FROM-WHERE join-ordering fragment of SQL and
+// estimates cardinalities/selectivities against the catalog.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//	SELECT (* | col {, col}) FROM item {, item | [INNER] JOIN item [ON conj]}
+//	  [WHERE conj] [;]
+//	item := table [[AS] alias]
+//	conj := pred {AND pred}
+//	pred := operand (= | <> | < | > | <= | >=) operand
+//	operand := alias.column | number | 'string'
+//
+// Equality predicates between columns of two relations become join
+// predicates with selectivity 1/max(V(a), V(b)); predicates against
+// literals are pushed down into the relation's effective cardinality
+// (equality: 1/V(col); ranges: 1/3; inequality: (V−1)/V — the classic
+// System-R estimates).
+func Parse(sql string, cat *Catalog) (*ParsedQuery, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, cat: cat}
+	res, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Query.Validate(); err != nil {
+		return nil, fmt.Errorf("sqlfront: estimated instance invalid: %w", err)
+	}
+	return res, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	cat  *Catalog
+
+	aliases []string
+	tables  []*Table
+	// filterSel accumulates pushed-down filter selectivity per relation.
+	filterSel []float64
+	preds     []join.Predicate
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expectSymbol(s string) error {
+	if t := p.cur(); t.kind == tokSymbol && t.text == s {
+		p.pos++
+		return nil
+	}
+	return fmt.Errorf("sqlfront: expected %q at position %d, found %q", s, p.cur().pos, p.cur().text)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.cur().keyword(kw) {
+		p.pos++
+		return nil
+	}
+	return fmt.Errorf("sqlfront: expected %s at position %d, found %q", strings.ToUpper(kw), p.cur().pos, p.cur().text)
+}
+
+func (p *parser) parseQuery() (*ParsedQuery, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelectList(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	if err := p.parseFromItem(); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokSymbol && t.text == ",":
+			p.pos++
+			if err := p.parseFromItem(); err != nil {
+				return nil, err
+			}
+		case t.keyword("inner"):
+			p.pos++
+			if err := p.expectKeyword("join"); err != nil {
+				return nil, err
+			}
+			if err := p.parseJoinItem(); err != nil {
+				return nil, err
+			}
+		case t.keyword("join"):
+			p.pos++
+			if err := p.parseJoinItem(); err != nil {
+				return nil, err
+			}
+		default:
+			goto fromDone
+		}
+	}
+fromDone:
+	if p.cur().keyword("where") {
+		p.pos++
+		if err := p.parseConjunction(); err != nil {
+			return nil, err
+		}
+	}
+	if t := p.cur(); t.kind == tokSymbol && t.text == ";" {
+		p.pos++
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sqlfront: trailing input at position %d: %q", t.pos, t.text)
+	}
+	return p.finish()
+}
+
+func (p *parser) parseSelectList() error {
+	if t := p.cur(); t.kind == tokSymbol && t.text == "*" {
+		p.pos++
+		return nil
+	}
+	for {
+		if t := p.cur(); t.kind != tokIdent {
+			return fmt.Errorf("sqlfront: expected column at position %d", t.pos)
+		}
+		p.pos++
+		// Optional qualified form alias.column.
+		if t := p.cur(); t.kind == tokSymbol && t.text == "." {
+			p.pos++
+			if t := p.cur(); t.kind != tokIdent {
+				return fmt.Errorf("sqlfront: expected column after '.' at position %d", t.pos)
+			}
+			p.pos++
+		}
+		if t := p.cur(); t.kind == tokSymbol && t.text == "," {
+			p.pos++
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseFromItem() error {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return fmt.Errorf("sqlfront: expected table name at position %d", t.pos)
+	}
+	p.pos++
+	tableName := t.text
+	alias := tableName
+	if p.cur().keyword("as") {
+		p.pos++
+		a := p.cur()
+		if a.kind != tokIdent {
+			return fmt.Errorf("sqlfront: expected alias after AS at position %d", a.pos)
+		}
+		alias = a.text
+		p.pos++
+	} else if a := p.cur(); a.kind == tokIdent && !isReserved(a.text) {
+		alias = a.text
+		p.pos++
+	}
+	tbl, ok := p.cat.lookup(tableName)
+	if !ok {
+		return fmt.Errorf("sqlfront: unknown table %q", tableName)
+	}
+	for _, existing := range p.aliases {
+		if strings.EqualFold(existing, alias) {
+			return fmt.Errorf("sqlfront: duplicate alias %q", alias)
+		}
+	}
+	p.aliases = append(p.aliases, alias)
+	p.tables = append(p.tables, tbl)
+	p.filterSel = append(p.filterSel, 1)
+	return nil
+}
+
+// parseJoinItem handles JOIN item [ON conj].
+func (p *parser) parseJoinItem() error {
+	if err := p.parseFromItem(); err != nil {
+		return err
+	}
+	if p.cur().keyword("on") {
+		p.pos++
+		return p.parseConjunction()
+	}
+	return nil
+}
+
+func (p *parser) parseConjunction() error {
+	for {
+		if err := p.parsePredicate(); err != nil {
+			return err
+		}
+		if p.cur().keyword("and") {
+			p.pos++
+			continue
+		}
+		return nil
+	}
+}
+
+type operand struct {
+	isColumn bool
+	rel      int // relation index for columns
+	column   string
+	pos      int
+}
+
+func (p *parser) parseOperand() (operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber, tokString:
+		p.pos++
+		return operand{pos: t.pos}, nil
+	case tokIdent:
+		p.pos++
+		if dot := p.cur(); !(dot.kind == tokSymbol && dot.text == ".") {
+			return operand{}, fmt.Errorf("sqlfront: expected qualified column (alias.column) at position %d", t.pos)
+		}
+		p.pos++
+		col := p.cur()
+		if col.kind != tokIdent {
+			return operand{}, fmt.Errorf("sqlfront: expected column after '.' at position %d", col.pos)
+		}
+		p.pos++
+		rel := -1
+		for i, a := range p.aliases {
+			if strings.EqualFold(a, t.text) {
+				rel = i
+				break
+			}
+		}
+		if rel < 0 {
+			return operand{}, fmt.Errorf("sqlfront: unknown alias %q at position %d", t.text, t.pos)
+		}
+		return operand{isColumn: true, rel: rel, column: col.text, pos: t.pos}, nil
+	default:
+		return operand{}, fmt.Errorf("sqlfront: expected operand at position %d, found %q", t.pos, t.text)
+	}
+}
+
+func (p *parser) parsePredicate() error {
+	left, err := p.parseOperand()
+	if err != nil {
+		return err
+	}
+	op := p.cur()
+	if op.kind != tokCompare {
+		return fmt.Errorf("sqlfront: expected comparison at position %d, found %q", op.pos, op.text)
+	}
+	p.pos++
+	right, err := p.parseOperand()
+	if err != nil {
+		return err
+	}
+	switch {
+	case left.isColumn && right.isColumn && left.rel != right.rel:
+		// Join predicate.
+		sel := 1.0 / 3 // non-equality column comparison (System-R default)
+		if op.text == "=" {
+			v1 := p.tables[left.rel].distinct(left.column)
+			v2 := p.tables[right.rel].distinct(right.column)
+			sel = 1 / math.Max(v1, v2)
+		}
+		p.preds = append(p.preds, join.Predicate{R1: left.rel, R2: right.rel, Sel: clampSel(sel)})
+	case left.isColumn != right.isColumn:
+		// Filter against a literal: push down.
+		col := left
+		if right.isColumn {
+			col = right
+		}
+		v := p.tables[col.rel].distinct(col.column)
+		var sel float64
+		switch op.text {
+		case "=":
+			sel = 1 / v
+		case "<>":
+			sel = (v - 1) / v
+		default:
+			sel = 1.0 / 3
+		}
+		p.filterSel[col.rel] *= clampSel(sel)
+	case left.isColumn && right.isColumn && left.rel == right.rel:
+		// Same-relation column comparison: a local filter (use 1/3).
+		p.filterSel[left.rel] *= 1.0 / 3
+	default:
+		return fmt.Errorf("sqlfront: predicate between two literals at position %d", op.pos)
+	}
+	return nil
+}
+
+func clampSel(s float64) float64 {
+	if s <= 0 {
+		return 1e-12
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func (p *parser) finish() (*ParsedQuery, error) {
+	if len(p.tables) < 2 {
+		return nil, fmt.Errorf("sqlfront: join ordering needs at least two relations, got %d", len(p.tables))
+	}
+	q := &join.Query{}
+	res := &ParsedQuery{Query: q}
+	for i, tbl := range p.tables {
+		card := math.Max(1, tbl.Cardinality*p.filterSel[i])
+		q.Relations = append(q.Relations, join.Relation{Name: p.aliases[i], Card: card})
+		res.Aliases = append(res.Aliases, p.aliases[i])
+		res.Tables = append(res.Tables, tbl.Name)
+	}
+	q.Predicates = append(q.Predicates, p.preds...)
+	return res, nil
+}
+
+func isReserved(word string) bool {
+	switch strings.ToLower(word) {
+	case "where", "join", "inner", "on", "and", "as", "select", "from":
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,216 @@
+package sqlfront
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func testCatalog() *Catalog {
+	return &Catalog{Tables: []Table{
+		{Name: "orders", Cardinality: 1500000, Columns: []Column{
+			{Name: "o_custkey", Distinct: 100000},
+			{Name: "o_status", Distinct: 3},
+		}},
+		{Name: "customers", Cardinality: 100000, Columns: []Column{
+			{Name: "c_custkey", Distinct: 100000},
+			{Name: "c_nation", Distinct: 25},
+		}},
+		{Name: "lineitem", Cardinality: 6000000, Columns: []Column{
+			{Name: "l_orderkey", Distinct: 1500000},
+		}},
+	}}
+}
+
+func TestParseImplicitJoins(t *testing.T) {
+	sql := `SELECT * FROM orders o, customers c, lineitem l
+	        WHERE o.o_custkey = c.c_custkey AND l.l_orderkey = o.o_custkey;`
+	res, err := Parse(sql, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.Query
+	if q.NumRelations() != 3 || q.NumPredicates() != 2 {
+		t.Fatalf("got %d relations, %d predicates", q.NumRelations(), q.NumPredicates())
+	}
+	if res.Aliases[0] != "o" || res.Tables[0] != "orders" {
+		t.Fatalf("alias mapping wrong: %v / %v", res.Aliases, res.Tables)
+	}
+	// Join selectivity = 1/max(V(o_custkey), V(c_custkey)) = 1e-5.
+	if math.Abs(q.Predicates[0].Sel-1e-5) > 1e-12 {
+		t.Fatalf("join selectivity %v, want 1e-5", q.Predicates[0].Sel)
+	}
+	// No filters: cardinalities match the catalog.
+	if q.Relations[0].Card != 1500000 {
+		t.Fatalf("orders cardinality %v", q.Relations[0].Card)
+	}
+}
+
+func TestParseExplicitJoin(t *testing.T) {
+	sql := `SELECT o.o_custkey FROM orders AS o
+	        INNER JOIN customers AS c ON o.o_custkey = c.c_custkey`
+	res, err := Parse(sql, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query.NumPredicates() != 1 {
+		t.Fatalf("predicates: %d", res.Query.NumPredicates())
+	}
+}
+
+func TestParseFilterPushdown(t *testing.T) {
+	sql := `SELECT * FROM orders o, customers c
+	        WHERE o.o_custkey = c.c_custkey AND o.o_status = 'shipped' AND c.c_nation = 'DE'`
+	res, err := Parse(sql, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.Query
+	// orders: 1.5e6 / V(o_status)=3 → 5e5; customers: 1e5 / 25 → 4000.
+	if math.Abs(q.Relations[0].Card-500000) > 1e-6 {
+		t.Fatalf("orders filtered cardinality %v, want 500000", q.Relations[0].Card)
+	}
+	if math.Abs(q.Relations[1].Card-4000) > 1e-6 {
+		t.Fatalf("customers filtered cardinality %v, want 4000", q.Relations[1].Card)
+	}
+	// The literal filters must not create join predicates.
+	if q.NumPredicates() != 1 {
+		t.Fatalf("predicates: %d", q.NumPredicates())
+	}
+}
+
+func TestParseRangeAndInequality(t *testing.T) {
+	sql := `SELECT * FROM orders o, customers c
+	        WHERE o.o_custkey = c.c_custkey AND o.o_custkey > 42 AND c.c_nation <> 'DE'`
+	res, err := Parse(sql, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.Query
+	if math.Abs(q.Relations[0].Card-1500000.0/3) > 1 {
+		t.Fatalf("range filter: %v", q.Relations[0].Card)
+	}
+	if math.Abs(q.Relations[1].Card-100000*24.0/25) > 1 {
+		t.Fatalf("inequality filter: %v", q.Relations[1].Card)
+	}
+}
+
+func TestParseNonEquiJoin(t *testing.T) {
+	sql := `SELECT * FROM orders o, customers c WHERE o.o_custkey < c.c_custkey`
+	res, err := Parse(sql, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Query.Predicates[0].Sel-1.0/3) > 1e-12 {
+		t.Fatalf("non-equi selectivity %v, want 1/3", res.Query.Predicates[0].Sel)
+	}
+}
+
+func TestParseUncataloguedColumnDefaultsToKey(t *testing.T) {
+	sql := `SELECT * FROM orders o, lineitem l WHERE o.unknown_col = l.l_orderkey`
+	res, err := Parse(sql, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// V defaults to the table cardinality: max(1.5e6, 1.5e6) → 1/1.5e6...
+	// V(unknown) = card(orders) = 1.5e6, V(l_orderkey) = 1.5e6.
+	want := 1 / 1500000.0
+	if math.Abs(res.Query.Predicates[0].Sel-want) > 1e-15 {
+		t.Fatalf("selectivity %v, want %v", res.Query.Predicates[0].Sel, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not select":        `UPDATE x SET y = 1`,
+		"unknown table":     `SELECT * FROM nosuch n, orders o WHERE n.a = o.b`,
+		"duplicate alias":   `SELECT * FROM orders o, customers o`,
+		"unknown alias":     `SELECT * FROM orders o, customers c WHERE x.a = c.c_custkey`,
+		"single relation":   `SELECT * FROM orders`,
+		"bare column":       `SELECT * FROM orders o, customers c WHERE o_custkey = c.c_custkey`,
+		"literal = literal": `SELECT * FROM orders o, customers c WHERE 1 = 1`,
+		"trailing garbage":  `SELECT * FROM orders o, customers c WHERE o.a = c.b GROUP`,
+		"unterminated str":  `SELECT * FROM orders o, customers c WHERE o.a = 'x`,
+		"bad char":          `SELECT * FROM orders o ? customers c`,
+	}
+	for name, sql := range cases {
+		if _, err := Parse(sql, testCatalog()); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseCaseInsensitive(t *testing.T) {
+	sql := `select * from ORDERS o join CUSTOMERS c on o.O_CUSTKEY = c.C_CUSTKEY`
+	res, err := Parse(sql, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Query.Predicates[0].Sel-1e-5) > 1e-12 {
+		t.Fatal("case-insensitive column lookup failed")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	sql := "SELECT * -- projection\nFROM orders o, customers c -- tables\nWHERE o.o_custkey = c.c_custkey"
+	if _, err := Parse(sql, testCatalog()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCatalog(t *testing.T) {
+	doc := `{"tables": [
+	  {"name": "t1", "cardinality": 100, "columns": [{"name": "a", "distinct": 10}]},
+	  {"name": "t2", "cardinality": 50}
+	]}`
+	c, err := ReadCatalog(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tables) != 2 {
+		t.Fatal("table count wrong")
+	}
+	tbl, ok := c.lookup("T1")
+	if !ok || tbl.distinct("A") != 10 || tbl.distinct("nope") != 100 {
+		t.Fatal("lookup/distinct wrong")
+	}
+}
+
+func TestReadCatalogErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":        `{`,
+		"unknown field":   `{"tables": [{"name": "a", "cardinality": 10, "rows": 1}]}`,
+		"no name":         `{"tables": [{"cardinality": 10}]}`,
+		"dup table":       `{"tables": [{"name": "a", "cardinality": 10}, {"name": "A", "cardinality": 10}]}`,
+		"zero card":       `{"tables": [{"name": "a", "cardinality": 0}]}`,
+		"unnamed column":  `{"tables": [{"name": "a", "cardinality": 10, "columns": [{"distinct": 5}]}]}`,
+		"dup column":      `{"tables": [{"name": "a", "cardinality": 10, "columns": [{"name": "x", "distinct": 5}, {"name": "X", "distinct": 5}]}]}`,
+		"distinct > card": `{"tables": [{"name": "a", "cardinality": 10, "columns": [{"name": "x", "distinct": 50}]}]}`,
+		"zero distinct":   `{"tables": [{"name": "a", "cardinality": 10, "columns": [{"name": "x", "distinct": 0}]}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadCatalog(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// End to end: the parsed instance is directly optimisable.
+func TestParsedQueryIsOptimisable(t *testing.T) {
+	sql := `SELECT * FROM orders o, customers c, lineitem l
+	        WHERE o.o_custkey = c.c_custkey AND l.l_orderkey = o.o_custkey
+	          AND c.c_nation = 'DE'`
+	res, err := Parse(sql, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Query.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The cheapest first join must involve the filtered customers table.
+	cost01 := res.Query.Cost([]int{0, 1, 2})
+	cost12 := res.Query.Cost([]int{1, 0, 2})
+	if math.IsNaN(cost01) || math.IsNaN(cost12) {
+		t.Fatal("cost model returned NaN")
+	}
+}

@@ -1,0 +1,95 @@
+// Package stats provides the small set of descriptive statistics used by
+// the experiment harness: means, quantiles, and five-number boxplot
+// summaries (the paper reports circuit depths as boxplots over 20
+// transpilation runs).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0 for
+// fewer than two values.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
+// between order statistics (type-7, the R/NumPy default). It returns NaN
+// for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Boxplot is a five-number summary.
+type Boxplot struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Summarize computes the five-number summary of xs.
+func Summarize(xs []float64) Boxplot {
+	return Boxplot{
+		Min:    Quantile(xs, 0),
+		Q1:     Quantile(xs, 0.25),
+		Median: Quantile(xs, 0.5),
+		Q3:     Quantile(xs, 0.75),
+		Max:    Quantile(xs, 1),
+	}
+}
+
+// IQR returns the interquartile range.
+func (b Boxplot) IQR() float64 { return b.Q3 - b.Q1 }
+
+// String renders the summary compactly.
+func (b Boxplot) String() string {
+	return fmt.Sprintf("min=%.0f q1=%.0f med=%.0f q3=%.0f max=%.0f", b.Min, b.Q1, b.Median, b.Q3, b.Max)
+}
+
+// Ints converts an int slice to float64 for use with the other helpers.
+func Ints(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

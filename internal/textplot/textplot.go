@@ -1,0 +1,169 @@
+// Package textplot renders the experiment harness's figures as plain-text
+// charts, so cmd/experiments can emit actual figures (boxplots for
+// Figure 2, scaling curves for Figures 3–5) next to the raw tables.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Boxplot is one row of a horizontal boxplot chart.
+type Boxplot struct {
+	Label                    string
+	Min, Q1, Median, Q3, Max float64
+}
+
+// RenderBoxplots draws horizontal boxplots on a shared linear axis:
+//
+//	label |    ├──[██M██]──┤
+func RenderBoxplots(w io.Writer, title string, rows []Boxplot, width int) {
+	if width < 20 {
+		width = 60
+	}
+	if len(rows) == 0 {
+		return
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for _, r := range rows {
+		lo = math.Min(lo, r.Min)
+		hi = math.Max(hi, r.Max)
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	scale := func(v float64) int {
+		p := int(float64(width-1) * (v - lo) / span)
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	fmt.Fprintln(w, title)
+	for _, r := range rows {
+		line := make([]rune, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for i := scale(r.Min); i <= scale(r.Max); i++ {
+			line[i] = '─'
+		}
+		for i := scale(r.Q1); i <= scale(r.Q3); i++ {
+			line[i] = '█'
+		}
+		line[scale(r.Min)] = '├'
+		line[scale(r.Max)] = '┤'
+		line[scale(r.Median)] = 'M'
+		fmt.Fprintf(w, "%-*s │%s│\n", labelW, r.Label, string(line))
+	}
+	fmt.Fprintf(w, "%-*s  %-*.4g%*.4g\n", labelW, "", width/2, lo, width-width/2, hi)
+}
+
+// Series is one labelled curve for a line chart.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// RenderLines draws multiple series as a character-grid line chart; with
+// logY the y axis is logarithmic (the paper's Figure 5 uses log scale).
+func RenderLines(w io.Writer, title string, series []Series, width, height int, logY bool) {
+	if width < 20 {
+		width = 64
+	}
+	if height < 5 {
+		height = 16
+	}
+	if len(series) == 0 {
+		return
+	}
+	tr := func(y float64) float64 {
+		if logY {
+			if y <= 0 {
+				return math.Inf(-1)
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xlo = math.Min(xlo, s.X[i])
+			xhi = math.Max(xhi, s.X[i])
+			ty := tr(s.Y[i])
+			if !math.IsInf(ty, -1) {
+				ylo = math.Min(ylo, ty)
+				yhi = math.Max(yhi, ty)
+			}
+		}
+	}
+	if xhi <= xlo {
+		xhi = xlo + 1
+	}
+	if yhi <= ylo {
+		yhi = ylo + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	marks := []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			ty := tr(s.Y[i])
+			if math.IsInf(ty, -1) {
+				continue
+			}
+			col := int(float64(width-1) * (s.X[i] - xlo) / (xhi - xlo))
+			row := height - 1 - int(float64(height-1)*(ty-ylo)/(yhi-ylo))
+			if grid[row][col] != ' ' && grid[row][col] != mark {
+				grid[row][col] = '▒' // overlap marker
+			} else {
+				grid[row][col] = mark
+			}
+		}
+	}
+	fmt.Fprintln(w, title)
+	yLabel := func(frac float64) string {
+		v := ylo + frac*(yhi-ylo)
+		if logY {
+			return fmt.Sprintf("%.4g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	for r := 0; r < height; r++ {
+		prefix := strings.Repeat(" ", 9)
+		switch r {
+		case 0:
+			prefix = fmt.Sprintf("%8s ", yLabel(1))
+		case height - 1:
+			prefix = fmt.Sprintf("%8s ", yLabel(0))
+		case height / 2:
+			prefix = fmt.Sprintf("%8s ", yLabel(0.5))
+		}
+		fmt.Fprintf(w, "%s│%s\n", prefix, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%9s└%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(w, "%10s%-*.4g%*.4g\n", "", width/2, xlo, width-width/2, xhi)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", marks[si%len(marks)], s.Label))
+	}
+	fmt.Fprintf(w, "%10s%s\n", "", strings.Join(legend, "   "))
+}

@@ -1,0 +1,84 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBoxplots(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []Boxplot{
+		{Label: "a", Min: 0, Q1: 2, Median: 5, Q3: 8, Max: 10},
+		{Label: "longer-label", Min: 5, Q1: 6, Median: 7, Q3: 8, Max: 9},
+	}
+	RenderBoxplots(&buf, "depths", rows, 40)
+	out := buf.String()
+	if !strings.Contains(out, "depths") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "M") || !strings.Contains(out, "█") {
+		t.Fatal("missing box glyphs")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + 2 rows + axis
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Labels aligned.
+	if !strings.HasPrefix(lines[1], "a           ") {
+		t.Fatalf("label misaligned: %q", lines[1])
+	}
+}
+
+func TestRenderBoxplotsDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	RenderBoxplots(&buf, "t", []Boxplot{{Label: "x", Min: 3, Q1: 3, Median: 3, Q3: 3, Max: 3}}, 30)
+	if !strings.Contains(buf.String(), "M") {
+		t.Fatal("degenerate box not rendered")
+	}
+	// Empty input renders nothing and must not panic.
+	var empty bytes.Buffer
+	RenderBoxplots(&empty, "t", nil, 30)
+	if empty.Len() != 0 {
+		t.Fatal("empty input rendered output")
+	}
+}
+
+func TestRenderLinesLinear(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{
+		{Label: "up", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}},
+		{Label: "down", X: []float64{1, 2, 3, 4}, Y: []float64{4, 3, 2, 1}},
+	}
+	RenderLines(&buf, "curves", s, 40, 10, false)
+	out := buf.String()
+	if !strings.Contains(out, "curves") || !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatalf("missing parts:\n%s", out)
+	}
+	// Both marks present in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("marks missing")
+	}
+}
+
+func TestRenderLinesLog(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{{Label: "exp", X: []float64{1, 2, 3}, Y: []float64{10, 100, 1000}}}
+	RenderLines(&buf, "log", s, 40, 8, true)
+	out := buf.String()
+	// Log axis labels show the raw values.
+	if !strings.Contains(out, "1000") {
+		t.Fatalf("log axis label missing:\n%s", out)
+	}
+	// Non-positive values are skipped, not crashed on.
+	var buf2 bytes.Buffer
+	RenderLines(&buf2, "log", []Series{{Label: "z", X: []float64{1, 2}, Y: []float64{0, 10}}}, 40, 8, true)
+}
+
+func TestRenderLinesEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	RenderLines(&buf, "t", nil, 40, 8, false)
+	if buf.Len() != 0 {
+		t.Fatal("empty series rendered output")
+	}
+}

@@ -1,0 +1,49 @@
+package topology
+
+import "fmt"
+
+// Chimera generates the Chimera C(rows, cols, t) graph of earlier D-Wave
+// systems (the 2000Q used by Trummer & Koch's multi-query optimisation
+// study is C(16,16,4)): a grid of K_{t,t} bipartite unit cells, with the
+// "vertical" shore of each cell coupled to the cells above/below and the
+// "horizontal" shore to the cells left/right. Maximum degree is t+2 —
+// less than half of Pegasus' 15, which is why Advantage embeds the same
+// QUBOs with much shorter chains.
+func Chimera(rows, cols, t int) *Graph {
+	if rows < 1 || cols < 1 || t < 1 {
+		panic(fmt.Sprintf("topology: invalid Chimera dimensions (%d,%d,%d)", rows, cols, t))
+	}
+	n := rows * cols * 2 * t
+	g := NewGraph(fmt.Sprintf("dwave-chimera-%dx%dx%d", rows, cols, t), n)
+	// Index: cell (r,c), shore u in {0 vertical, 1 horizontal}, offset k.
+	idx := func(r, c, u, k int) int { return ((r*cols+c)*2+u)*t + k }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Intra-cell bipartite coupling.
+			for a := 0; a < t; a++ {
+				for b := 0; b < t; b++ {
+					g.AddEdge(idx(r, c, 0, a), idx(r, c, 1, b))
+				}
+			}
+			// Inter-cell couplers.
+			if r+1 < rows {
+				for k := 0; k < t; k++ {
+					g.AddEdge(idx(r, c, 0, k), idx(r+1, c, 0, k))
+				}
+			}
+			if c+1 < cols {
+				for k := 0; k < t; k++ {
+					g.AddEdge(idx(r, c, 1, k), idx(r, c+1, 1, k))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// DWave2000Q returns the C(16,16,4) Chimera graph of the D-Wave 2000Q
+// (2048 qubits), the system generation used by the prior VLDB work on
+// multi-query optimisation.
+func DWave2000Q() *Graph {
+	return Chimera(16, 16, 4)
+}

@@ -1,0 +1,45 @@
+package topology
+
+import "testing"
+
+func TestChimeraStructure(t *testing.T) {
+	g := Chimera(2, 3, 4)
+	if g.N() != 2*3*8 {
+		t.Fatalf("C(2,3,4) has %d qubits, want 48", g.N())
+	}
+	// Edges: cells 6 × 16 intra + vertical 1*3*4 + horizontal 2*2*4.
+	want := 6*16 + 3*4 + 4*4
+	if g.NumEdges() != want {
+		t.Fatalf("C(2,3,4) has %d couplers, want %d", g.NumEdges(), want)
+	}
+	if g.MaxDegree() > 6 {
+		t.Fatalf("Chimera degree %d > t+2", g.MaxDegree())
+	}
+	if !g.Connected() {
+		t.Fatal("Chimera disconnected")
+	}
+}
+
+func TestDWave2000Q(t *testing.T) {
+	g := DWave2000Q()
+	if g.N() != 2048 {
+		t.Fatalf("2000Q has %d qubits, want 2048", g.N())
+	}
+	// Published ideal coupler count for C(16,16,4): 16*16*16 + 2*15*16*4.
+	want := 16*16*16 + 2*15*16*4
+	if g.NumEdges() != want {
+		t.Fatalf("2000Q has %d couplers, want %d", g.NumEdges(), want)
+	}
+	if g.MaxDegree() != 6 {
+		t.Fatalf("2000Q max degree %d, want 6", g.MaxDegree())
+	}
+}
+
+func TestChimeraPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Chimera(0, 1, 4)
+}

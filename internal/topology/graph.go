@@ -1,0 +1,212 @@
+// Package topology models QPU hardware connectivity graphs: the IBM
+// heavy-hex lattices (Falcon 27q, Eagle 127q), Rigetti's Aspen octagon
+// lattice, IonQ's complete mesh, and D-Wave's Pegasus graph, plus the two
+// co-design extrapolations the paper studies in §6.2 — size extension of
+// the repeating lattice patterns and density extension by adding couplers
+// between topologically close qubits.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a simple undirected graph over vertices 0..N-1.
+type Graph struct {
+	Name string
+	n    int
+	adj  [][]int
+	set  map[[2]int]bool
+}
+
+// NewGraph creates an empty graph with n vertices.
+func NewGraph(name string, n int) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("topology: non-positive vertex count %d", n))
+	}
+	return &Graph{Name: name, n: n, adj: make([][]int, n), set: make(map[[2]int]bool)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// AddEdge inserts an undirected edge; duplicate and self edges are ignored.
+func (g *Graph) AddEdge(a, b int) {
+	if a == b || a < 0 || b < 0 || a >= g.n || b >= g.n {
+		panic(fmt.Sprintf("topology: invalid edge (%d,%d) for %d vertices", a, b, g.n))
+	}
+	k := edgeKey(a, b)
+	if g.set[k] {
+		return
+	}
+	g.set[k] = true
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+// HasEdge reports whether the edge exists.
+func (g *Graph) HasEdge(a, b int) bool { return g.set[edgeKey(a, b)] }
+
+// Neighbors returns the adjacency list of v (not to be mutated).
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.set) }
+
+// Edges returns all edges in deterministic order.
+func (g *Graph) Edges() [][2]int {
+	es := make([][2]int, 0, len(g.set))
+	for k := range g.set {
+		es = append(es, k)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	return es
+}
+
+// Copy returns a deep copy, optionally renamed.
+func (g *Graph) Copy(name string) *Graph {
+	c := NewGraph(name, g.n)
+	for k := range g.set {
+		c.AddEdge(k[0], k[1])
+	}
+	return c
+}
+
+// BFSDistances returns hop distances from src (-1 for unreachable).
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[v] {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairsDistances returns the full hop-distance matrix (BFS per vertex);
+// intended for the gate-model devices (tens to a few hundred qubits).
+func (g *Graph) AllPairsDistances() [][]int {
+	d := make([][]int, g.n)
+	for v := 0; v < g.n; v++ {
+		d[v] = g.BFSDistances(v)
+	}
+	return d
+}
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool {
+	for _, d := range g.BFSDistances(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Complete returns the complete graph K_n — the connectivity of trapped-ion
+// QPUs such as IonQ's (§6.2).
+func Complete(name string, n int) *Graph {
+	g := NewGraph(name, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Densify adds edges between previously non-adjacent vertices until the
+// extended-connectivity parameter d = added/(possible−existing) reaches
+// the target (§6.2 "Density Extrapolation"). Following the paper, edges
+// between topologically close vertices are preferred: candidates at hop
+// distance δ = 2 are exhausted (in random order) before δ = 3, and so on.
+// d = 0 returns a copy of the baseline; d = 1 the complete mesh.
+func Densify(g *Graph, density float64, rng *rand.Rand) *Graph {
+	if density < 0 || density > 1 {
+		panic(fmt.Sprintf("topology: density %v outside [0,1]", density))
+	}
+	out := g.Copy(fmt.Sprintf("%s+d%.2f", g.Name, density))
+	full := g.n * (g.n - 1) / 2
+	missing := full - g.NumEdges()
+	target := int(density*float64(missing) + 0.5)
+	if target <= 0 {
+		return out
+	}
+	added := 0
+	dist := g.AllPairsDistances()
+	maxDelta := 2
+	for v := 0; v < g.n; v++ {
+		for u := 0; u < g.n; u++ {
+			if dist[v][u] > maxDelta {
+				maxDelta = dist[v][u]
+			}
+		}
+	}
+	for delta := 2; delta <= maxDelta && added < target; delta++ {
+		var cands [][2]int
+		for v := 0; v < g.n; v++ {
+			for u := v + 1; u < g.n; u++ {
+				if dist[v][u] == delta && !out.HasEdge(v, u) {
+					cands = append(cands, [2]int{v, u})
+				}
+			}
+		}
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		for _, e := range cands {
+			if added >= target {
+				break
+			}
+			out.AddEdge(e[0], e[1])
+			added++
+		}
+	}
+	return out
+}
+
+// Density returns the extended-connectivity parameter of h relative to the
+// baseline g: the fraction of originally missing edges that h adds.
+func Density(baseline, extended *Graph) float64 {
+	full := baseline.n * (baseline.n - 1) / 2
+	missing := full - baseline.NumEdges()
+	if missing == 0 {
+		return 0
+	}
+	return float64(extended.NumEdges()-baseline.NumEdges()) / float64(missing)
+}

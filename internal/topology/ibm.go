@@ -1,0 +1,111 @@
+package topology
+
+// Falcon27 returns the coupling map of the 27-qubit IBM Falcon r5.11
+// processors (ibm_auckland and siblings): the standard 27-qubit heavy-hex
+// graph with 28 couplers and maximum degree 3.
+func Falcon27() *Graph {
+	g := NewGraph("ibm-falcon-27", 27)
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 5}, {1, 4}, {4, 7}, {5, 8}, {6, 7},
+		{7, 10}, {8, 9}, {8, 11}, {10, 12}, {11, 14}, {12, 13}, {13, 14},
+		{12, 15}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21}, {19, 20},
+		{19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26},
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// HeavyHex generates an IBM heavy-hex style lattice with the given number
+// of long rows and row length: rows of chained qubits separated by
+// connector qubits at alternating column offsets {0,4,8,...} and
+// {2,6,10,...}. The first and last long rows are shortened by one qubit on
+// opposite ends, matching IBM's Eagle layout; HeavyHex(7, 15) yields
+// exactly the 127-qubit, 144-coupler Eagle r1 graph shape.
+func HeavyHex(rows, rowLen int) *Graph {
+	if rows < 2 || rowLen < 5 {
+		panic("topology: heavy-hex needs rows >= 2 and rowLen >= 5")
+	}
+	type span struct{ start, end int }
+	spans := make([]span, rows)
+	for r := range spans {
+		spans[r] = span{0, rowLen - 1}
+	}
+	spans[0].end = rowLen - 2
+	spans[rows-1].start = 1
+
+	connCols := make([][]int, rows-1)
+	for r := 0; r < rows-1; r++ {
+		offset := 0
+		if r%2 == 1 {
+			offset = 2
+		}
+		for c := offset; c < rowLen; c += 4 {
+			if c >= spans[r].start && c <= spans[r].end &&
+				c >= spans[r+1].start && c <= spans[r+1].end {
+				connCols[r] = append(connCols[r], c)
+			}
+		}
+	}
+
+	// Pass 1: assign indices — long row r, then its connector row.
+	id := 0
+	rowIdx := make([][]int, rows)
+	connIdx := make([][]int, rows-1)
+	for r := 0; r < rows; r++ {
+		rowIdx[r] = make([]int, rowLen)
+		for c := range rowIdx[r] {
+			rowIdx[r][c] = -1
+		}
+		for c := spans[r].start; c <= spans[r].end; c++ {
+			rowIdx[r][c] = id
+			id++
+		}
+		if r < rows-1 {
+			connIdx[r] = make([]int, len(connCols[r]))
+			for i := range connCols[r] {
+				connIdx[r][i] = id
+				id++
+			}
+		}
+	}
+
+	// Pass 2: edges.
+	g := NewGraph("ibm-heavy-hex", id)
+	for r := 0; r < rows; r++ {
+		for c := spans[r].start; c < spans[r].end; c++ {
+			g.AddEdge(rowIdx[r][c], rowIdx[r][c+1])
+		}
+	}
+	for r := 0; r < rows-1; r++ {
+		for i, c := range connCols[r] {
+			g.AddEdge(connIdx[r][i], rowIdx[r][c])
+			g.AddEdge(connIdx[r][i], rowIdx[r+1][c])
+		}
+	}
+	return g
+}
+
+// Eagle127 returns a 127-qubit heavy-hex lattice in the shape of IBM's
+// Eagle r1 (ibm_washington): 7 long rows of 15 qubits (first and last
+// shortened to 14) plus 24 connector qubits, 144 couplers.
+func Eagle127() *Graph {
+	g := HeavyHex(7, 15)
+	g.Name = "ibm-eagle-127"
+	return g
+}
+
+// ExtendIBM returns a heavy-hex lattice with at least minQubits qubits by
+// growing the Eagle pattern row by row — the paper's §6.2 "size
+// extrapolation" for the IBM platform.
+func ExtendIBM(minQubits int) *Graph {
+	for rows := 3; rows <= 400; rows++ {
+		g := HeavyHex(rows, 15)
+		if g.N() >= minQubits {
+			g.Name = "ibm-heavy-hex-ext"
+			return g
+		}
+	}
+	panic("topology: ExtendIBM target too large")
+}

@@ -1,0 +1,138 @@
+package topology
+
+import "fmt"
+
+// pegasusVerticalOffsets and pegasusHorizontalOffsets are D-Wave's default
+// offset lists: qubit k within a tile is shifted by S[k] fragment units
+// along its own orientation.
+var (
+	pegasusVerticalOffsets   = [12]int{2, 2, 2, 2, 6, 6, 6, 6, 10, 10, 10, 10}
+	pegasusHorizontalOffsets = [12]int{6, 6, 6, 6, 2, 2, 2, 2, 10, 10, 10, 10}
+)
+
+// PegasusCoord is a qubit coordinate (u, w, k, z) in D-Wave's Pegasus
+// scheme: u ∈ {0,1} is the orientation (0 vertical, 1 horizontal), w the
+// perpendicular tile offset, k ∈ [0,12) the track within the tile, and z
+// the position along the qubit's orientation.
+type PegasusCoord struct {
+	U, W, K, Z int
+}
+
+// Pegasus generates the Pegasus P_m graph of D-Wave Advantage systems
+// using the fragment construction: a vertical qubit (0,w,k,z) occupies
+// fragment column x = 12w+k, rows [12z+S0[k], 12z+S0[k]+12); a horizontal
+// qubit (1,w,k,z) occupies row y = 12w+k, columns [12z+S1[k], 12z+S1[k]+12).
+// Couplers:
+//
+//   - external: same track, consecutive z,
+//   - odd:      same tile, paired tracks 2j and 2j+1,
+//   - internal: a vertical and a horizontal qubit whose fragment paths
+//     cross (each qubit crosses exactly 12 others in the bulk).
+//
+// Bulk qubits therefore reach degree 15 (§2.2.2). Boundary qubits without
+// any internal coupler are dropped, which reproduces D-Wave's node counts
+// (P16 → 5640 qubits, the Advantage topology).
+func Pegasus(m int) (*Graph, []PegasusCoord) {
+	if m < 2 {
+		panic(fmt.Sprintf("topology: Pegasus size m must be >= 2, got %d", m))
+	}
+	type q struct {
+		c        PegasusCoord
+		internal bool
+	}
+	span := m - 1 // z takes m-1 values
+	index := func(u, w, k, z int) int {
+		return ((u*m+w)*12+k)*span + z
+	}
+	total := 2 * m * 12 * span
+	qubits := make([]q, total)
+	for u := 0; u < 2; u++ {
+		for w := 0; w < m; w++ {
+			for k := 0; k < 12; k++ {
+				for z := 0; z < span; z++ {
+					qubits[index(u, w, k, z)] = q{c: PegasusCoord{u, w, k, z}}
+				}
+			}
+		}
+	}
+	// Internal couplers: vertical (0,wv,kv,zv) × horizontal (1,wh,kh,zh)
+	// cross iff each lies within the other's 12-fragment span.
+	type edge struct{ a, b int }
+	var edges []edge
+	for wv := 0; wv < m; wv++ {
+		for kv := 0; kv < 12; kv++ {
+			x := 12*wv + kv
+			for zv := 0; zv < span; zv++ {
+				ylo := 12*zv + pegasusVerticalOffsets[kv]
+				for wh := 0; wh < m; wh++ {
+					for kh := 0; kh < 12; kh++ {
+						y := 12*wh + kh
+						if y < ylo || y >= ylo+12 {
+							continue
+						}
+						// x must lie in the horizontal qubit's column span:
+						// 12zh + S1[kh] <= x < 12zh + S1[kh] + 12.
+						num := x - pegasusHorizontalOffsets[kh]
+						zh := num / 12
+						if num < 0 || zh >= span {
+							continue
+						}
+						va := index(0, wv, kv, zv)
+						hb := index(1, wh, kh, zh)
+						edges = append(edges, edge{va, hb})
+						qubits[va].internal = true
+						qubits[hb].internal = true
+					}
+				}
+			}
+		}
+	}
+	// Relabel, dropping qubits without internal couplers.
+	relabel := make([]int, total)
+	coords := make([]PegasusCoord, 0, total)
+	for i := range relabel {
+		relabel[i] = -1
+	}
+	for i, qu := range qubits {
+		if qu.internal {
+			relabel[i] = len(coords)
+			coords = append(coords, qu.c)
+		}
+	}
+	g := NewGraph(fmt.Sprintf("dwave-pegasus-%d", m), len(coords))
+	for _, e := range edges {
+		g.AddEdge(relabel[e.a], relabel[e.b])
+	}
+	// External and odd couplers among retained qubits.
+	for u := 0; u < 2; u++ {
+		for w := 0; w < m; w++ {
+			for k := 0; k < 12; k++ {
+				for z := 0; z < span; z++ {
+					a := relabel[index(u, w, k, z)]
+					if a < 0 {
+						continue
+					}
+					if z+1 < span {
+						if b := relabel[index(u, w, k, z+1)]; b >= 0 {
+							g.AddEdge(a, b)
+						}
+					}
+					if k%2 == 0 {
+						if b := relabel[index(u, w, k+1, z)]; b >= 0 {
+							g.AddEdge(a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+	return g, coords
+}
+
+// Advantage returns the Pegasus P16 graph of the D-Wave Advantage system
+// the paper's annealing experiments target (5640 qubits, degree ≤ 15).
+func Advantage() *Graph {
+	g, _ := Pegasus(16)
+	g.Name = "dwave-advantage"
+	return g
+}

@@ -1,0 +1,64 @@
+package topology
+
+// Aspen generates a Rigetti Aspen-class lattice: a grid of 8-qubit
+// octagon rings, with neighbouring octagons joined by two couplers both
+// horizontally and vertically. Aspen(2, 5) is the 80-qubit Aspen-M shape
+// the paper uses as the Rigetti baseline (§6.2).
+//
+// Octagon-local numbering runs clockwise from the top-left position:
+//
+//	   0   1
+//	7         2
+//	6         3
+//	   5   4
+//
+// Horizontal neighbours connect (2,3) ↔ (7,6); vertical neighbours
+// connect (4,5) ↔ (1,0).
+func Aspen(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic("topology: Aspen needs positive grid dimensions")
+	}
+	n := rows * cols * 8
+	g := NewGraph("rigetti-aspen", n)
+	idx := func(r, c, k int) int { return (r*cols+c)*8 + k }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			for k := 0; k < 8; k++ {
+				g.AddEdge(idx(r, c, k), idx(r, c, (k+1)%8))
+			}
+			if c+1 < cols {
+				g.AddEdge(idx(r, c, 2), idx(r, c+1, 7))
+				g.AddEdge(idx(r, c, 3), idx(r, c+1, 6))
+			}
+			if r+1 < rows {
+				g.AddEdge(idx(r, c, 4), idx(r+1, c, 1))
+				g.AddEdge(idx(r, c, 5), idx(r+1, c, 0))
+			}
+		}
+	}
+	return g
+}
+
+// AspenM returns the 80-qubit Aspen-M baseline (2×5 octagons).
+func AspenM() *Graph {
+	g := Aspen(2, 5)
+	g.Name = "rigetti-aspen-m"
+	return g
+}
+
+// ExtendRigetti returns an Aspen-class lattice with at least minQubits
+// qubits, grown by enlarging the octagon grid while keeping it roughly
+// square — the §6.2 size extrapolation for the Rigetti platform.
+func ExtendRigetti(minQubits int) *Graph {
+	rows, cols := 2, 5
+	for rows*cols*8 < minQubits {
+		if cols <= 2*rows {
+			cols++
+		} else {
+			rows++
+		}
+	}
+	g := Aspen(rows, cols)
+	g.Name = "rigetti-aspen-ext"
+	return g
+}

@@ -1,0 +1,136 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Demand is a weighted interaction requirement between two physical
+// qubits, extracted from a workload (e.g. the two-qubit gates of a QAOA
+// circuit under a chosen layout).
+type Demand struct {
+	A, B   int
+	Weight float64
+}
+
+// DensifyTargeted adds the same number of couplers as Densify would at
+// the given density, but chooses them greedily to maximise the weighted
+// reduction of hop distances between the workload's interacting qubit
+// pairs, instead of sampling proximity-biased random edges. This
+// implements the paper's §8 future-work direction of "more targeted
+// extensions of topologies that transcend our semi-stochastic approach".
+//
+// The gain of a candidate edge (u,v) is estimated from the current
+// all-pairs distances as Σ_d w_d · (dist(a_d,b_d) − dist'(a_d,b_d)) with
+// dist'(a,b) = min(dist(a,b), dist(a,u)+1+dist(v,b), dist(a,v)+1+dist(u,b));
+// distances are refreshed periodically as edges accumulate.
+func DensifyTargeted(g *Graph, density float64, demands []Demand, rng *rand.Rand) *Graph {
+	if density < 0 || density > 1 {
+		panic(fmt.Sprintf("topology: density %v outside [0,1]", density))
+	}
+	out := g.Copy(fmt.Sprintf("%s+t%.2f", g.Name, density))
+	full := g.n * (g.n - 1) / 2
+	missing := full - g.NumEdges()
+	target := int(density*float64(missing) + 0.5)
+	if target <= 0 || len(demands) == 0 {
+		if target > 0 {
+			return Densify(g, density, rng)
+		}
+		return out
+	}
+	// Candidate endpoints: qubits involved in demands (plus their
+	// neighbourhood would also be viable; endpoints suffice in practice).
+	involved := map[int]bool{}
+	for _, d := range demands {
+		involved[d.A] = true
+		involved[d.B] = true
+	}
+	var nodes []int
+	for v := range involved {
+		nodes = append(nodes, v)
+	}
+	dist := out.AllPairsDistances()
+	added := 0
+	sinceRefresh := 0
+	for added < target {
+		bestGain := 0.0
+		bestU, bestV := -1, -1
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				u, v := nodes[i], nodes[j]
+				if out.HasEdge(u, v) {
+					continue
+				}
+				gain := 0.0
+				for _, d := range demands {
+					cur := dist[d.A][d.B]
+					via1 := dist[d.A][u] + 1 + dist[v][d.B]
+					via2 := dist[d.A][v] + 1 + dist[u][d.B]
+					nd := cur
+					if via1 < nd {
+						nd = via1
+					}
+					if via2 < nd {
+						nd = via2
+					}
+					if nd < cur {
+						gain += d.Weight * float64(cur-nd)
+					}
+				}
+				if gain > bestGain {
+					bestGain = gain
+					bestU, bestV = u, v
+				}
+			}
+		}
+		if bestU < 0 {
+			// No demand-improving edge left: fall back to proximity-biased
+			// random additions for the remaining budget.
+			rest := Densify(out, float64(target-added)/float64(full-out.NumEdges()), rng)
+			rest.Name = out.Name
+			return rest
+		}
+		out.AddEdge(bestU, bestV)
+		added++
+		sinceRefresh++
+		if sinceRefresh >= 8 {
+			dist = out.AllPairsDistances()
+			sinceRefresh = 0
+		} else {
+			// Cheap incremental update for the new edge only.
+			du, dv := dist[bestU], dist[bestV]
+			for a := 0; a < out.n; a++ {
+				for b := 0; b < out.n; b++ {
+					via1 := du[a] + 1 + dv[b]
+					via2 := dv[a] + 1 + du[b]
+					if via1 < dist[a][b] {
+						dist[a][b] = via1
+					}
+					if via2 < dist[a][b] {
+						dist[a][b] = via2
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WorkloadDemands extracts weighted physical-qubit interaction demands
+// from logical two-qubit interaction pairs under a layout (logical →
+// physical). Duplicate pairs accumulate weight.
+func WorkloadDemands(pairs [][2]int, layout []int) []Demand {
+	acc := map[[2]int]float64{}
+	for _, p := range pairs {
+		a, b := layout[p[0]], layout[p[1]]
+		if a > b {
+			a, b = b, a
+		}
+		acc[[2]int{a, b}]++
+	}
+	out := make([]Demand, 0, len(acc))
+	for k, w := range acc {
+		out = append(out, Demand{A: k[0], B: k[1], Weight: w})
+	}
+	return out
+}

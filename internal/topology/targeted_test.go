@@ -1,0 +1,95 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func ringDemands(n int, stride int) []Demand {
+	var ds []Demand
+	for i := 0; i < n; i++ {
+		ds = append(ds, Demand{A: i, B: (i + stride) % n, Weight: 1})
+	}
+	return ds
+}
+
+func weightedDistance(g *Graph, demands []Demand) float64 {
+	dist := g.AllPairsDistances()
+	s := 0.0
+	for _, d := range demands {
+		s += d.Weight * float64(dist[d.A][d.B])
+	}
+	return s
+}
+
+func TestDensifyTargetedBeatsRandomOnDemands(t *testing.T) {
+	// A 24-node ring with long-range demands: targeted edges should serve
+	// the demands far better than proximity-random ones.
+	n := 24
+	ring := NewGraph("ring", n)
+	for i := 0; i < n; i++ {
+		ring.AddEdge(i, (i+1)%n)
+	}
+	demands := ringDemands(n, n/2) // antipodal interactions
+	rng := rand.New(rand.NewSource(7))
+	density := 0.05
+	random := Densify(ring, density, rand.New(rand.NewSource(7)))
+	targeted := DensifyTargeted(ring, density, demands, rng)
+	if targeted.NumEdges() != random.NumEdges() {
+		t.Fatalf("edge budgets differ: %d vs %d", targeted.NumEdges(), random.NumEdges())
+	}
+	wr := weightedDistance(random, demands)
+	wt := weightedDistance(targeted, demands)
+	if wt >= wr {
+		t.Fatalf("targeted demand distance %v not below random %v", wt, wr)
+	}
+}
+
+func TestDensifyTargetedPreservesBaseline(t *testing.T) {
+	base := Falcon27()
+	demands := []Demand{{A: 0, B: 26, Weight: 3}}
+	out := DensifyTargeted(base, 0.02, demands, rand.New(rand.NewSource(1)))
+	for _, e := range base.Edges() {
+		if !out.HasEdge(e[0], e[1]) {
+			t.Fatal("baseline edge dropped")
+		}
+	}
+	// The single dominant demand should now be (nearly) direct.
+	d := out.BFSDistances(0)[26]
+	if d > 3 {
+		t.Fatalf("demand pair still at distance %d", d)
+	}
+}
+
+func TestDensifyTargetedZeroBudget(t *testing.T) {
+	base := Falcon27()
+	out := DensifyTargeted(base, 0, ringDemands(10, 2), rand.New(rand.NewSource(1)))
+	if out.NumEdges() != base.NumEdges() {
+		t.Fatal("density 0 changed the graph")
+	}
+}
+
+func TestDensifyTargetedNoDemandsFallsBack(t *testing.T) {
+	base := Falcon27()
+	out := DensifyTargeted(base, 0.1, nil, rand.New(rand.NewSource(2)))
+	want := Densify(base, 0.1, rand.New(rand.NewSource(2)))
+	if out.NumEdges() != want.NumEdges() {
+		t.Fatalf("fallback budget mismatch: %d vs %d", out.NumEdges(), want.NumEdges())
+	}
+}
+
+func TestWorkloadDemands(t *testing.T) {
+	pairs := [][2]int{{0, 1}, {1, 0}, {1, 2}}
+	layout := []int{5, 3, 8}
+	ds := WorkloadDemands(pairs, layout)
+	if len(ds) != 2 {
+		t.Fatalf("%d demands, want 2 (duplicates accumulated)", len(ds))
+	}
+	for _, d := range ds {
+		if d.A == 3 && d.B == 5 {
+			if d.Weight != 2 {
+				t.Fatalf("duplicate pair weight %v, want 2", d.Weight)
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph("t", 4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate ignored
+	g.AddEdge(1, 2)
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.Degree(1) != 2 || g.MaxDegree() != 2 {
+		t.Fatal("degree wrong")
+	}
+	es := g.Edges()
+	if len(es) != 2 || es[0] != [2]int{0, 1} {
+		t.Fatalf("Edges = %v", es)
+	}
+	if g.Connected() {
+		t.Fatal("graph with isolated vertex reported connected")
+	}
+	g.AddEdge(2, 3)
+	if !g.Connected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewGraph("x", 0) },
+		func() { NewGraph("x", 2).AddEdge(0, 0) },
+		func() { NewGraph("x", 2).AddEdge(0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := NewGraph("path", 4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	d := g.BFSDistances(0)
+	for i, want := range []int{0, 1, 2, 3} {
+		if d[i] != want {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	ap := g.AllPairsDistances()
+	if ap[3][0] != 3 || ap[1][2] != 1 {
+		t.Fatal("AllPairsDistances wrong")
+	}
+}
+
+func TestFalcon27(t *testing.T) {
+	g := Falcon27()
+	if g.N() != 27 || g.NumEdges() != 28 {
+		t.Fatalf("Falcon27: %d qubits, %d couplers; want 27/28", g.N(), g.NumEdges())
+	}
+	if g.MaxDegree() > 3 {
+		t.Fatalf("heavy-hex degree %d > 3", g.MaxDegree())
+	}
+	if !g.Connected() {
+		t.Fatal("Falcon27 disconnected")
+	}
+}
+
+func TestEagle127(t *testing.T) {
+	g := Eagle127()
+	if g.N() != 127 {
+		t.Fatalf("Eagle127 has %d qubits, want 127", g.N())
+	}
+	if g.NumEdges() != 144 {
+		t.Fatalf("Eagle127 has %d couplers, want 144", g.NumEdges())
+	}
+	if g.MaxDegree() > 3 {
+		t.Fatalf("heavy-hex degree %d > 3", g.MaxDegree())
+	}
+	if !g.Connected() {
+		t.Fatal("Eagle127 disconnected")
+	}
+}
+
+func TestExtendIBM(t *testing.T) {
+	for _, target := range []int{127, 200, 500} {
+		g := ExtendIBM(target)
+		if g.N() < target {
+			t.Fatalf("ExtendIBM(%d) gave %d qubits", target, g.N())
+		}
+		if g.MaxDegree() > 3 || !g.Connected() {
+			t.Fatalf("ExtendIBM(%d) structure broken", target)
+		}
+	}
+}
+
+func TestAspenM(t *testing.T) {
+	g := AspenM()
+	if g.N() != 80 {
+		t.Fatalf("AspenM has %d qubits, want 80", g.N())
+	}
+	// 10 octagons × 8 ring edges + (horizontal 2·(rows·(cols-1)=8)=16?) —
+	// structural checks instead of exact constants:
+	if g.MaxDegree() > 4 {
+		t.Fatalf("Aspen degree %d > 4", g.MaxDegree())
+	}
+	if !g.Connected() {
+		t.Fatal("AspenM disconnected")
+	}
+	// Every qubit participates in its octagon ring: degree >= 2.
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) < 2 {
+			t.Fatalf("qubit %d degree %d < 2", v, g.Degree(v))
+		}
+	}
+}
+
+func TestExtendRigetti(t *testing.T) {
+	g := ExtendRigetti(300)
+	if g.N() < 300 || g.N()%8 != 0 {
+		t.Fatalf("ExtendRigetti(300) gave %d qubits", g.N())
+	}
+	if !g.Connected() || g.MaxDegree() > 4 {
+		t.Fatal("extended Aspen structure broken")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete("ionq", 11)
+	if g.NumEdges() != 55 || g.MaxDegree() != 10 {
+		t.Fatalf("K11: %d edges, max degree %d", g.NumEdges(), g.MaxDegree())
+	}
+}
+
+func TestPegasusSmall(t *testing.T) {
+	g, coords := Pegasus(4)
+	if g.N() != len(coords) {
+		t.Fatal("coordinate list length mismatch")
+	}
+	// dwave_networkx pegasus_graph(4): 264 nodes.
+	if g.N() != 264 {
+		t.Fatalf("P4 has %d qubits, want 264", g.N())
+	}
+	if g.MaxDegree() > 15 {
+		t.Fatalf("Pegasus degree %d > 15", g.MaxDegree())
+	}
+	if !g.Connected() {
+		t.Fatal("P4 disconnected")
+	}
+}
+
+func TestPegasusAdvantageShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("P16 generation skipped in -short")
+	}
+	g := Advantage()
+	if g.N() != 5640 {
+		t.Fatalf("Advantage has %d qubits, want 5640", g.N())
+	}
+	if g.MaxDegree() != 15 {
+		t.Fatalf("Advantage max degree %d, want 15", g.MaxDegree())
+	}
+	// Published coupler count for ideal P16 is 40484.
+	if g.NumEdges() != 40484 {
+		t.Fatalf("Advantage has %d couplers, want 40484", g.NumEdges())
+	}
+}
+
+func TestDensify(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := Falcon27()
+	d0 := Densify(base, 0, rng)
+	if d0.NumEdges() != base.NumEdges() {
+		t.Fatal("density 0 changed the graph")
+	}
+	d1 := Densify(base, 1, rng)
+	if d1.NumEdges() != 27*26/2 {
+		t.Fatalf("density 1 gave %d edges, want complete %d", d1.NumEdges(), 27*26/2)
+	}
+	half := Densify(base, 0.5, rng)
+	got := Density(base, half)
+	if got < 0.45 || got > 0.55 {
+		t.Fatalf("requested density 0.5, measured %v", got)
+	}
+	// Baseline edges must all be preserved.
+	for _, e := range base.Edges() {
+		if !half.HasEdge(e[0], e[1]) {
+			t.Fatal("densify dropped a baseline edge")
+		}
+	}
+}
+
+func TestDensifyPrefersCloseQubits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// On a long path, a small density target must add only distance-2
+	// chords before any longer ones.
+	path := NewGraph("path", 20)
+	for i := 0; i+1 < 20; i++ {
+		path.AddEdge(i, i+1)
+	}
+	dist := path.AllPairsDistances()
+	dense := Densify(path, 0.05, rng)
+	for _, e := range dense.Edges() {
+		if !path.HasEdge(e[0], e[1]) && dist[e[0]][e[1]] > 2 {
+			t.Fatalf("added edge %v at distance %d before exhausting distance 2",
+				e, dist[e[0]][e[1]])
+		}
+	}
+}
+
+func TestDensityOfCompleteBaseline(t *testing.T) {
+	g := Complete("k", 5)
+	if Density(g, g) != 0 {
+		t.Fatal("complete baseline density should be 0")
+	}
+}
+
+func TestCopyIndependent(t *testing.T) {
+	g := Falcon27()
+	c := g.Copy("copy")
+	c.AddEdge(0, 26)
+	if g.HasEdge(0, 26) {
+		t.Fatal("Copy shares edge set")
+	}
+}

@@ -1,0 +1,117 @@
+package transpile
+
+import (
+	"math"
+
+	"quantumjoin/internal/circuit"
+)
+
+// FuseSingleQubitGates is a peephole optimisation pass in the spirit of
+// Qiskit's optimisation level 1: consecutive RZ rotations on the same
+// qubit are merged, rotations that reduce to the identity are dropped,
+// and adjacent self-inverse gate pairs (H·H, X·X, CX·CX, CZ·CZ,
+// SWAP·SWAP) cancel. The pass only inspects directly adjacent operations
+// per qubit, so it is linear in circuit size and strictly
+// unitary-preserving (up to global phase).
+func FuseSingleQubitGates(c *circuit.Circuit) *circuit.Circuit {
+	gates := append([]circuit.Gate(nil), c.Gates...)
+	changed := true
+	for changed {
+		changed = false
+		out := make([]circuit.Gate, 0, len(gates))
+		// lastOn[q] = index in out of the most recent gate touching q.
+		lastOn := make([]int, c.NumQubits)
+		for i := range lastOn {
+			lastOn[i] = -1
+		}
+		push := func(g circuit.Gate) {
+			out = append(out, g)
+			idx := len(out) - 1
+			lastOn[g.Q0] = idx
+			if g.Kind.IsTwoQubit() {
+				lastOn[g.Q1] = idx
+			}
+		}
+		for _, g := range gates {
+			// Drop identity rotations.
+			if g.Kind.HasParam() && math.Abs(circuit.NormalizeAngle(g.Param)) < 1e-12 {
+				changed = true
+				continue
+			}
+			li := -1
+			if !g.Kind.IsTwoQubit() {
+				li = lastOn[g.Q0]
+			} else if lastOn[g.Q0] >= 0 && lastOn[g.Q0] == lastOn[g.Q1] {
+				li = lastOn[g.Q0]
+			}
+			if li >= 0 {
+				prev := out[li]
+				switch {
+				// Merge same-axis rotations on the same qubit(s).
+				case mergeable(prev, g):
+					out[li].Param = circuit.NormalizeAngle(prev.Param + g.Param)
+					changed = true
+					if math.Abs(out[li].Param) < 1e-12 {
+						// Became identity: remove (rebuild lastOn next pass).
+						out = append(out[:li], out[li+1:]...)
+						rebuild(out, lastOn)
+					}
+					continue
+				// Cancel self-inverse pairs.
+				case selfInversePair(prev, g):
+					out = append(out[:li], out[li+1:]...)
+					rebuild(out, lastOn)
+					changed = true
+					continue
+				}
+			}
+			push(g)
+		}
+		gates = out
+	}
+	res := circuit.New(c.NumQubits)
+	res.Gates = gates
+	return res
+}
+
+func mergeable(a, b circuit.Gate) bool {
+	if a.Kind != b.Kind || !a.Kind.HasParam() {
+		return false
+	}
+	switch a.Kind {
+	case circuit.RX, circuit.RY, circuit.RZ:
+		return a.Q0 == b.Q0
+	case circuit.RZZ, circuit.XX:
+		return (a.Q0 == b.Q0 && a.Q1 == b.Q1) || (a.Q0 == b.Q1 && a.Q1 == b.Q0)
+	default:
+		return false
+	}
+}
+
+func selfInversePair(a, b circuit.Gate) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case circuit.H, circuit.X:
+		return a.Q0 == b.Q0
+	case circuit.CX:
+		return a.Q0 == b.Q0 && a.Q1 == b.Q1
+	case circuit.CZ, circuit.SWAP:
+		return (a.Q0 == b.Q0 && a.Q1 == b.Q1) || (a.Q0 == b.Q1 && a.Q1 == b.Q0)
+	default:
+		return false
+	}
+}
+
+func rebuild(out []circuit.Gate, lastOn []int) {
+	for i := range lastOn {
+		lastOn[i] = -1
+	}
+	for idx, g := range out {
+		lastOn[g.Q0] = idx
+		if g.Kind.IsTwoQubit() {
+			lastOn[g.Q1] = idx
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package transpile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/circuit"
+	"quantumjoin/internal/qsim"
+)
+
+func TestFuseMergesRotations(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(
+		circuit.G1(circuit.RZ, 0, 0.3),
+		circuit.G1(circuit.RZ, 0, 0.4),
+	)
+	f := FuseSingleQubitGates(c)
+	if len(f.Gates) != 1 {
+		t.Fatalf("fused to %d gates, want 1", len(f.Gates))
+	}
+	if math.Abs(f.Gates[0].Param-0.7) > 1e-12 {
+		t.Fatalf("merged angle %v", f.Gates[0].Param)
+	}
+}
+
+func TestFuseCancelsInverses(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(
+		circuit.G1(circuit.H, 0, 0),
+		circuit.G1(circuit.H, 0, 0),
+		circuit.G2(circuit.CX, 0, 1, 0),
+		circuit.G2(circuit.CX, 0, 1, 0),
+		circuit.G1(circuit.RZ, 1, 0.5),
+		circuit.G1(circuit.RZ, 1, -0.5),
+	)
+	f := FuseSingleQubitGates(c)
+	if len(f.Gates) != 0 {
+		t.Fatalf("expected full cancellation, got %d gates: %v", len(f.Gates), f.Gates)
+	}
+}
+
+func TestFuseDropsIdentityRotations(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(circuit.G1(circuit.RX, 0, 0), circuit.G1(circuit.RZ, 0, 2*math.Pi))
+	f := FuseSingleQubitGates(c)
+	if len(f.Gates) != 0 {
+		t.Fatalf("identity rotations survived: %v", f.Gates)
+	}
+}
+
+func TestFuseRespectsInterveningGates(t *testing.T) {
+	// RZ(0)·CX·RZ(0) on different dependencies: the two RZs on qubit 1
+	// are separated by a CX touching qubit 1 and must not merge.
+	c := circuit.New(2)
+	c.Append(
+		circuit.G1(circuit.RZ, 1, 0.3),
+		circuit.G2(circuit.CX, 0, 1, 0),
+		circuit.G1(circuit.RZ, 1, 0.4),
+	)
+	f := FuseSingleQubitGates(c)
+	if len(f.Gates) != 3 {
+		t.Fatalf("gates across dependencies merged: %v", f.Gates)
+	}
+}
+
+func TestFuseSWAPSymmetricCancellation(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(
+		circuit.G2(circuit.SWAP, 0, 1, 0),
+		circuit.G2(circuit.SWAP, 1, 0, 0),
+	)
+	if f := FuseSingleQubitGates(c); len(f.Gates) != 0 {
+		t.Fatalf("swapped-operand SWAP pair not cancelled: %v", f.Gates)
+	}
+	// CX with swapped operands must NOT cancel.
+	c2 := circuit.New(2)
+	c2.Append(
+		circuit.G2(circuit.CX, 0, 1, 0),
+		circuit.G2(circuit.CX, 1, 0, 0),
+	)
+	if f := FuseSingleQubitGates(c2); len(f.Gates) != 2 {
+		t.Fatalf("direction-sensitive CX pair wrongly cancelled: %v", f.Gates)
+	}
+}
+
+func TestFusePreservesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		n := 3
+		c := circuit.New(n)
+		k1 := []circuit.Kind{circuit.H, circuit.X, circuit.RX, circuit.RY, circuit.RZ}
+		k2 := []circuit.Kind{circuit.CX, circuit.CZ, circuit.RZZ, circuit.SWAP}
+		for i := 0; i < 40; i++ {
+			if rng.Float64() < 0.6 {
+				// Bias towards repeats so merging actually happens.
+				q := rng.Intn(n)
+				kind := k1[rng.Intn(len(k1))]
+				angle := [4]float64{0.3, -0.3, 0, math.Pi}[rng.Intn(4)]
+				c.Append(circuit.G1(kind, q, angle))
+				if rng.Float64() < 0.5 {
+					c.Append(circuit.G1(kind, q, angle))
+				}
+			} else {
+				a := rng.Intn(n)
+				b := (a + 1 + rng.Intn(n-1)) % n
+				c.Append(circuit.G2(k2[rng.Intn(len(k2))], a, b, 0.7))
+			}
+		}
+		f := FuseSingleQubitGates(c)
+		if len(f.Gates) >= len(c.Gates) {
+			t.Logf("trial %d: no reduction (%d gates)", trial, len(f.Gates))
+		}
+		a := runGates(t, n, c.Gates)
+		var bState *qsim.State
+		if len(f.Gates) == 0 {
+			bState = runGates(t, n, nil)
+		} else {
+			bState = runGates(t, n, f.Gates)
+		}
+		if !statesEqualUpToPhase(a, bState, n) {
+			t.Fatalf("trial %d: fusion changed the unitary", trial)
+		}
+	}
+}
+
+func TestFuseReducesRebasedDepth(t *testing.T) {
+	// Rebasing introduces adjacent RZ gates; fusion must shrink them.
+	// The QAOA prologue: H then a field rotation RZ on each qubit. The
+	// IBM rebase turns H into RZ·SX·RZ whose trailing RZ merges with the
+	// field RZ.
+	c := circuit.New(3)
+	for q := 0; q < 3; q++ {
+		c.Append(circuit.G1(circuit.H, q, 0), circuit.G1(circuit.RZ, q, 0.4))
+	}
+	c.Append(circuit.G2(circuit.RZZ, 0, 1, 0.5), circuit.G2(circuit.RZZ, 1, 2, 0.5))
+	for q := 0; q < 3; q++ {
+		c.Append(circuit.G1(circuit.RX, q, 0.8), circuit.G1(circuit.RX, q, 0.8))
+	}
+	rb, err := Rebase(c, IBMNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := FuseSingleQubitGates(rb)
+	if len(fused.Gates) >= len(rb.Gates) {
+		t.Fatalf("fusion did not reduce gate count: %d vs %d", len(fused.Gates), len(rb.Gates))
+	}
+	a := runGates(t, 3, rb.Gates)
+	b := runGates(t, 3, fused.Gates)
+	if !statesEqualUpToPhase(a, b, 3) {
+		t.Fatal("fusion after rebase changed the unitary")
+	}
+}

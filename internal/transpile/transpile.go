@@ -1,0 +1,271 @@
+// Package transpile maps logical quantum circuits onto hardware: it
+// chooses an initial qubit layout, inserts SWAP gates so that every
+// two-qubit gate acts on coupled qubits (routing), and rewrites gates into
+// a device's native gate set (§2.2.1 "QPU Embedding/Transpilation").
+//
+// Two routing heuristics of different strength are provided, standing in
+// for the two production transpilers the paper compares (Qiskit and tket,
+// §6.2): a SABRE-style lookahead router and a plain shortest-path router.
+// Like the originals, they are randomized heuristics — repeated runs with
+// different seeds spread out over a range of depths (Figure 2).
+package transpile
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quantumjoin/internal/circuit"
+	"quantumjoin/internal/topology"
+)
+
+// Router selects the SWAP-insertion heuristic.
+type Router int
+
+const (
+	// RouterLookahead is a SABRE-style heuristic scoring candidate swaps
+	// against a window of upcoming two-qubit gates ("qiskit-like").
+	RouterLookahead Router = iota
+	// RouterBasic inserts swaps along a shortest path for each gate
+	// independently — a weaker heuristic ("tket-like" stand-in, typically
+	// ~2x the lookahead depth on sparse topologies, matching §6.2).
+	RouterBasic
+)
+
+// String implements fmt.Stringer.
+func (r Router) String() string {
+	switch r {
+	case RouterLookahead:
+		return "lookahead"
+	case RouterBasic:
+		return "basic"
+	default:
+		return fmt.Sprintf("Router(%d)", int(r))
+	}
+}
+
+// Options configure a transpilation run.
+type Options struct {
+	GateSet GateSet
+	Router  Router
+	// Seed drives layout choice and routing tie-breaks; different seeds
+	// model the run-to-run variance of heuristic transpilers.
+	Seed int64
+	// Layout optionally fixes the initial logical→physical mapping.
+	Layout []int
+}
+
+// Result is a transpiled circuit with its qubit mappings.
+type Result struct {
+	// Circuit acts on physical qubit indices of the device graph.
+	Circuit *circuit.Circuit
+	// InitialLayout maps logical qubit -> physical qubit.
+	InitialLayout []int
+	// FinalLayout maps logical qubit -> physical qubit after all routing
+	// swaps.
+	FinalLayout []int
+	// Swaps is the number of SWAP operations the router inserted.
+	Swaps int
+}
+
+// Transpile maps the circuit onto the device graph.
+func Transpile(c *circuit.Circuit, g *topology.Graph, opts Options) (*Result, error) {
+	if c.NumQubits > g.N() {
+		return nil, fmt.Errorf("transpile: circuit needs %d qubits, device has %d", c.NumQubits, g.N())
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("transpile: device graph %q is disconnected", g.Name)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	layout := opts.Layout
+	if layout == nil {
+		layout = bfsLayout(g, c.NumQubits, rng)
+	}
+	if err := checkLayout(layout, c.NumQubits, g.N()); err != nil {
+		return nil, err
+	}
+	dist := g.AllPairsDistances()
+
+	routed, final, swaps := route(c, g, dist, layout, opts.Router, rng)
+	rebased, err := Rebase(routed, opts.GateSet)
+	if err != nil {
+		return nil, err
+	}
+	rebased = FuseSingleQubitGates(rebased)
+	return &Result{
+		Circuit:       rebased,
+		InitialLayout: layout,
+		FinalLayout:   final,
+		Swaps:         swaps,
+	}, nil
+}
+
+func checkLayout(layout []int, n, devN int) error {
+	if len(layout) != n {
+		return fmt.Errorf("transpile: layout has %d entries, circuit has %d qubits", len(layout), n)
+	}
+	seen := make(map[int]bool, n)
+	for _, p := range layout {
+		if p < 0 || p >= devN || seen[p] {
+			return fmt.Errorf("transpile: invalid layout %v", layout)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// bfsLayout picks a compact connected region of n physical qubits by
+// breadth-first search from a random start — an approximation of a dense
+// initial placement whose randomness models layout-stage variance.
+func bfsLayout(g *topology.Graph, n int, rng *rand.Rand) []int {
+	start := rng.Intn(g.N())
+	layout := make([]int, 0, n)
+	visited := make([]bool, g.N())
+	queue := []int{start}
+	visited[start] = true
+	for len(queue) > 0 && len(layout) < n {
+		v := queue[0]
+		queue = queue[1:]
+		layout = append(layout, v)
+		nbrs := append([]int(nil), g.Neighbors(v)...)
+		rng.Shuffle(len(nbrs), func(i, j int) { nbrs[i], nbrs[j] = nbrs[j], nbrs[i] })
+		for _, u := range nbrs {
+			if !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	// The graph is connected, so BFS always reaches n qubits.
+	perm := rng.Perm(len(layout))
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = layout[perm[i]]
+	}
+	return out
+}
+
+// route inserts SWAPs so every two-qubit gate acts on adjacent physical
+// qubits. Returns the routed circuit over physical indices, the final
+// layout, and the number of swaps inserted.
+func route(c *circuit.Circuit, g *topology.Graph, dist [][]int, initial []int, r Router, rng *rand.Rand) (*circuit.Circuit, []int, int) {
+	l2p := append([]int(nil), initial...)
+	p2l := make(map[int]int, len(l2p))
+	for l, p := range l2p {
+		p2l[p] = l
+	}
+	out := circuit.New(g.N())
+	swaps := 0
+
+	applySwap := func(pa, pb int) {
+		out.Append(circuit.G2(circuit.SWAP, pa, pb, 0))
+		swaps++
+		la, haveA := p2l[pa]
+		lb, haveB := p2l[pb]
+		if haveA {
+			l2p[la] = pb
+			p2l[pb] = la
+		} else {
+			delete(p2l, pb)
+		}
+		if haveB {
+			l2p[lb] = pa
+			p2l[pa] = lb
+		} else {
+			delete(p2l, pa)
+		}
+	}
+
+	// Pending two-qubit gates for the lookahead window.
+	var future [][2]int
+	if r == RouterLookahead {
+		for _, gate := range c.Gates {
+			if gate.Kind.IsTwoQubit() {
+				future = append(future, [2]int{gate.Q0, gate.Q1})
+			}
+		}
+	}
+	fi := 0 // index of the current gate within future
+
+	basicStep := func(la, lb int) {
+		// Move la one step along a shortest path towards lb.
+		pa, pb := l2p[la], l2p[lb]
+		for _, u := range g.Neighbors(pa) {
+			if dist[u][pb] == dist[pa][pb]-1 {
+				applySwap(pa, u)
+				return
+			}
+		}
+	}
+
+	for _, gate := range c.Gates {
+		if !gate.Kind.IsTwoQubit() {
+			out.Append(circuit.G1(gate.Kind, l2p[gate.Q0], gate.Param))
+			continue
+		}
+		stall := 0
+		bestDist := dist[l2p[gate.Q0]][l2p[gate.Q1]]
+		for dist[l2p[gate.Q0]][l2p[gate.Q1]] > 1 {
+			switch {
+			case r == RouterBasic || stall >= 2:
+				basicStep(gate.Q0, gate.Q1)
+			default:
+				pa, pb := l2p[gate.Q0], l2p[gate.Q1]
+				best := [2]int{-1, -1}
+				bestScore := 1e18
+				score := func(qa, qb int) float64 {
+					// Swap qa<->qb virtually and score the window.
+					s := 0.0
+					w := 1.0
+					count := 0
+					for k := fi; k < len(future) && count < 20; k++ {
+						la, lb := future[k][0], future[k][1]
+						p0, p1 := l2p[la], l2p[lb]
+						if p0 == qa {
+							p0 = qb
+						} else if p0 == qb {
+							p0 = qa
+						}
+						if p1 == qa {
+							p1 = qb
+						} else if p1 == qb {
+							p1 = qa
+						}
+						s += w * float64(dist[p0][p1])
+						w *= 0.7
+						count++
+					}
+					return s
+				}
+				candidates := make([][2]int, 0, 8)
+				for _, u := range g.Neighbors(pa) {
+					candidates = append(candidates, [2]int{pa, u})
+				}
+				for _, u := range g.Neighbors(pb) {
+					candidates = append(candidates, [2]int{pb, u})
+				}
+				rng.Shuffle(len(candidates), func(i, j int) {
+					candidates[i], candidates[j] = candidates[j], candidates[i]
+				})
+				for _, cand := range candidates {
+					if s := score(cand[0], cand[1]); s < bestScore {
+						bestScore = s
+						best = cand
+					}
+				}
+				// Stall detection: if the front gate's distance does not
+				// reach a new minimum, fall back to deterministic
+				// shortest-path steps (prevents oscillation).
+				applySwap(best[0], best[1])
+				if d := dist[l2p[gate.Q0]][l2p[gate.Q1]]; d < bestDist {
+					bestDist = d
+					stall = 0
+				} else {
+					stall++
+				}
+			}
+		}
+		out.Append(circuit.G2(gate.Kind, l2p[gate.Q0], l2p[gate.Q1], gate.Param))
+		fi++
+	}
+	return out, l2p, swaps
+}

@@ -1,0 +1,304 @@
+package transpile
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/circuit"
+	"quantumjoin/internal/qsim"
+	"quantumjoin/internal/topology"
+)
+
+// randomState prepares a random product state on n qubits (same for both
+// circuits under comparison).
+func randomPrep(n int, rng *rand.Rand) []circuit.Gate {
+	var gs []circuit.Gate
+	for q := 0; q < n; q++ {
+		gs = append(gs,
+			circuit.G1(circuit.RY, q, rng.Float64()*math.Pi),
+			circuit.G1(circuit.RZ, q, rng.Float64()*2*math.Pi))
+	}
+	return gs
+}
+
+// statesEqualUpToPhase compares two states up to a global phase.
+func statesEqualUpToPhase(a, b *qsim.State, n int) bool {
+	var phase complex128
+	found := false
+	for i := uint64(0); i < 1<<uint(n); i++ {
+		aa, bb := a.Amplitude(i), b.Amplitude(i)
+		if cmplx.Abs(aa) < 1e-9 && cmplx.Abs(bb) < 1e-9 {
+			continue
+		}
+		if cmplx.Abs(aa) < 1e-9 || cmplx.Abs(bb) < 1e-9 {
+			return false
+		}
+		if !found {
+			phase = bb / aa
+			found = true
+			continue
+		}
+		if cmplx.Abs(bb/aa-phase) > 1e-7 {
+			return false
+		}
+	}
+	return true
+}
+
+// runGates executes a gate list on a fresh n-qubit state.
+func runGates(t *testing.T, n int, gs []circuit.Gate) *qsim.State {
+	t.Helper()
+	s, err := qsim.NewState(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New(n)
+	c.Append(gs...)
+	if err := s.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRebaseUnitaryEquivalence verifies every decomposition rule by
+// comparing the rebased circuit's action on random states against the
+// original, up to global phase.
+func TestRebaseUnitaryEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	gates := []circuit.Gate{
+		circuit.G1(circuit.H, 0, 0),
+		circuit.G1(circuit.X, 1, 0),
+		circuit.G1(circuit.SX, 0, 0),
+		circuit.G1(circuit.RX, 1, 0.73),
+		circuit.G1(circuit.RY, 0, 1.21),
+		circuit.G1(circuit.RZ, 1, 2.5),
+		circuit.G2(circuit.CX, 0, 1, 0),
+		circuit.G2(circuit.CX, 1, 0, 0),
+		circuit.G2(circuit.CZ, 0, 1, 0),
+		circuit.G2(circuit.SWAP, 0, 1, 0),
+		circuit.G2(circuit.RZZ, 0, 1, 0.9),
+		circuit.G2(circuit.XX, 0, 1, 1.3),
+	}
+	for _, set := range []GateSet{IBMNative, RigettiNative, IonQNative, Unrestricted} {
+		for _, g := range gates {
+			prep := randomPrep(2, rng)
+			orig := circuit.New(2)
+			orig.Append(g)
+			rebased, err := Rebase(orig, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rg := range rebased.Gates {
+				if !set.Native(rg) {
+					t.Fatalf("%v: rebase of %v emitted non-native %v(%v)", set, g.Kind, rg.Kind, rg.Param)
+				}
+			}
+			a := runGates(t, 2, append(append([]circuit.Gate(nil), prep...), g))
+			b := runGates(t, 2, append(append([]circuit.Gate(nil), prep...), rebased.Gates...))
+			if !statesEqualUpToPhase(a, b, 2) {
+				t.Fatalf("%v: decomposition of %v(%v) not equivalent", set, g.Kind, g.Param)
+			}
+		}
+	}
+}
+
+func TestRebaseRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		n := 3
+		c := circuit.New(n)
+		kinds1 := []circuit.Kind{circuit.H, circuit.X, circuit.SX, circuit.RX, circuit.RY, circuit.RZ}
+		kinds2 := []circuit.Kind{circuit.CX, circuit.CZ, circuit.SWAP, circuit.RZZ, circuit.XX}
+		for i := 0; i < 25; i++ {
+			if rng.Float64() < 0.5 {
+				c.Append(circuit.G1(kinds1[rng.Intn(len(kinds1))], rng.Intn(n), rng.Float64()*2*math.Pi))
+			} else {
+				a := rng.Intn(n)
+				b := (a + 1 + rng.Intn(n-1)) % n
+				c.Append(circuit.G2(kinds2[rng.Intn(len(kinds2))], a, b, rng.Float64()*2*math.Pi))
+			}
+		}
+		for _, set := range []GateSet{IBMNative, RigettiNative, IonQNative} {
+			rb, err := Rebase(c, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := runGates(t, n, c.Gates)
+			b := runGates(t, n, rb.Gates)
+			if !statesEqualUpToPhase(a, b, n) {
+				t.Fatalf("trial %d: %v rebase changed the unitary", trial, set)
+			}
+		}
+	}
+}
+
+func TestRebaseRejectsUnknownSet(t *testing.T) {
+	if _, err := Rebase(circuit.New(1), GateSet(77)); err == nil {
+		t.Error("accepted unknown gate set")
+	}
+}
+
+// linearCircuit entangles qubit 0 with every other: needs heavy routing on
+// sparse devices.
+func linearCircuit(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.Append(circuit.G1(circuit.H, q, 0))
+	}
+	for q := 1; q < n; q++ {
+		c.Append(circuit.G2(circuit.RZZ, 0, q, 0.5))
+	}
+	return c
+}
+
+func TestRoutingRespectsCoupling(t *testing.T) {
+	g := topology.Falcon27()
+	for _, r := range []Router{RouterBasic, RouterLookahead} {
+		res, err := Transpile(linearCircuit(10), g, Options{Router: r, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, gate := range res.Circuit.Gates {
+			if gate.Kind.IsTwoQubit() && !g.HasEdge(gate.Q0, gate.Q1) {
+				t.Fatalf("%v: routed gate on uncoupled pair (%d,%d)", r, gate.Q0, gate.Q1)
+			}
+		}
+		if res.Swaps == 0 {
+			t.Errorf("%v: expected swaps on sparse topology", r)
+		}
+	}
+}
+
+func TestRoutingPreservesSemantics(t *testing.T) {
+	// On a 5-qubit path graph, compare the routed circuit (undoing the
+	// final layout with explicit swaps is unnecessary: we evaluate a
+	// diagonal observable invariant under relabeling).
+	path := topology.NewGraph("path5", 5)
+	for i := 0; i+1 < 5; i++ {
+		path.AddEdge(i, i+1)
+	}
+	logical := linearCircuit(5)
+	sLog, _ := qsim.NewState(5)
+	if err := sLog.Run(logical); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Router{RouterBasic, RouterLookahead} {
+		res, err := Transpile(logical, path, Options{Router: r, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sPhys, _ := qsim.NewState(5)
+		if err := sPhys.Run(res.Circuit); err != nil {
+			t.Fatal(err)
+		}
+		// Compare amplitudes after undoing the final layout permutation.
+		perm := res.FinalLayout // logical -> physical
+		for basis := uint64(0); basis < 32; basis++ {
+			var phys uint64
+			for l := 0; l < 5; l++ {
+				if basis&(1<<uint(l)) != 0 {
+					phys |= 1 << uint(perm[l])
+				}
+			}
+			pa := sLog.Probability(basis)
+			pb := sPhys.Probability(phys)
+			if math.Abs(pa-pb) > 1e-9 {
+				t.Fatalf("%v: probability mismatch at basis %b: %v vs %v", r, basis, pa, pb)
+			}
+		}
+	}
+}
+
+func TestCompleteMeshNeedsNoSwaps(t *testing.T) {
+	g := topology.Complete("ionq", 12)
+	res, err := Transpile(linearCircuit(12), g, Options{Router: RouterLookahead, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swaps != 0 {
+		t.Fatalf("complete mesh required %d swaps", res.Swaps)
+	}
+}
+
+func TestLookaheadBeatsBasicOnAverage(t *testing.T) {
+	g := topology.Eagle127()
+	c := linearCircuit(18)
+	sumBasic, sumLook := 0, 0
+	for seed := int64(0); seed < 6; seed++ {
+		rb, err := Transpile(c, g, Options{Router: RouterBasic, Seed: seed, GateSet: IBMNative})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := Transpile(c, g, Options{Router: RouterLookahead, Seed: seed, GateSet: IBMNative})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumBasic += rb.Circuit.Depth()
+		sumLook += rl.Circuit.Depth()
+	}
+	if sumLook >= sumBasic {
+		t.Fatalf("lookahead avg depth %d not better than basic %d", sumLook/6, sumBasic/6)
+	}
+}
+
+func TestTranspileErrors(t *testing.T) {
+	g := topology.Falcon27()
+	if _, err := Transpile(linearCircuit(28), g, Options{}); err == nil {
+		t.Error("accepted circuit larger than device")
+	}
+	disc := topology.NewGraph("disc", 4)
+	disc.AddEdge(0, 1)
+	if _, err := Transpile(linearCircuit(2), disc, Options{}); err == nil {
+		t.Error("accepted disconnected device")
+	}
+	if _, err := Transpile(linearCircuit(3), g, Options{Layout: []int{0, 0, 1}}); err == nil {
+		t.Error("accepted duplicate layout")
+	}
+	if _, err := Transpile(linearCircuit(3), g, Options{Layout: []int{0, 1}}); err == nil {
+		t.Error("accepted short layout")
+	}
+}
+
+func TestSeedsProduceVariance(t *testing.T) {
+	g := topology.Falcon27()
+	c := linearCircuit(12)
+	depths := map[int]bool{}
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := Transpile(c, g, Options{Router: RouterLookahead, Seed: seed, GateSet: IBMNative})
+		if err != nil {
+			t.Fatal(err)
+		}
+		depths[res.Circuit.Depth()] = true
+	}
+	if len(depths) < 2 {
+		t.Error("transpilation depth shows no seed variance")
+	}
+}
+
+func TestFixedLayoutIsHonoured(t *testing.T) {
+	g := topology.Falcon27()
+	layout := []int{5, 8, 11}
+	res, err := Transpile(linearCircuit(3), g, Options{Layout: layout, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.InitialLayout {
+		if p != layout[i] {
+			t.Fatalf("layout not honoured: %v", res.InitialLayout)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if RouterLookahead.String() != "lookahead" || RouterBasic.String() != "basic" {
+		t.Error("router names wrong")
+	}
+	if IBMNative.String() != "ibm" || Unrestricted.String() != "unrestricted" {
+		t.Error("gate set names wrong")
+	}
+	if Router(9).String() == "" || GateSet(9).String() == "" {
+		t.Error("unknown enum renders empty")
+	}
+}

@@ -1,0 +1,140 @@
+// Package workloads provides a canned, named query workload over an
+// IMDB-like schema in the spirit of the Join Order Benchmark (JOB) of
+// Leis et al. — the benchmark the paper uses to size future QPUs ("a QPU
+// offering 1,000 logical qubits can optimise queries roughly equal in
+// size to those considered in the join order benchmark", §6.1). The
+// statistics are synthetic but shaped like the real dataset; queries
+// range from 3 to 10 relations with chains, stars and cycles.
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/sqlfront"
+)
+
+// JOBLiteCatalog returns the statistics catalog of the IMDB-like schema.
+func JOBLiteCatalog() *sqlfront.Catalog {
+	return &sqlfront.Catalog{Tables: []sqlfront.Table{
+		{Name: "title", Cardinality: 2528312, Columns: []sqlfront.Column{
+			{Name: "id", Distinct: 2528312},
+			{Name: "kind_id", Distinct: 7},
+			{Name: "production_year", Distinct: 133},
+		}},
+		{Name: "movie_companies", Cardinality: 2609129, Columns: []sqlfront.Column{
+			{Name: "movie_id", Distinct: 1087236},
+			{Name: "company_id", Distinct: 234997},
+			{Name: "company_type_id", Distinct: 2},
+		}},
+		{Name: "company_name", Cardinality: 234997, Columns: []sqlfront.Column{
+			{Name: "id", Distinct: 234997},
+			{Name: "country_code", Distinct: 235},
+		}},
+		{Name: "cast_info", Cardinality: 36244344, Columns: []sqlfront.Column{
+			{Name: "movie_id", Distinct: 2331601},
+			{Name: "person_id", Distinct: 4051810},
+			{Name: "role_id", Distinct: 11},
+		}},
+		{Name: "name", Cardinality: 4167491, Columns: []sqlfront.Column{
+			{Name: "id", Distinct: 4167491},
+			{Name: "gender", Distinct: 3},
+		}},
+		{Name: "movie_info", Cardinality: 14835720, Columns: []sqlfront.Column{
+			{Name: "movie_id", Distinct: 2468825},
+			{Name: "info_type_id", Distinct: 71},
+		}},
+		{Name: "info_type", Cardinality: 113, Columns: []sqlfront.Column{
+			{Name: "id", Distinct: 113},
+		}},
+		{Name: "movie_keyword", Cardinality: 4523930, Columns: []sqlfront.Column{
+			{Name: "movie_id", Distinct: 476794},
+			{Name: "keyword_id", Distinct: 134170},
+		}},
+		{Name: "keyword", Cardinality: 134170, Columns: []sqlfront.Column{
+			{Name: "id", Distinct: 134170},
+		}},
+		{Name: "kind_type", Cardinality: 7, Columns: []sqlfront.Column{
+			{Name: "id", Distinct: 7},
+		}},
+	}}
+}
+
+// NamedQuery is one workload entry.
+type NamedQuery struct {
+	Name      string
+	Relations int // number of joined relations
+	SQL       string
+}
+
+// Queries returns the named workload, ordered by relation count.
+func Queries() []NamedQuery {
+	return []NamedQuery{
+		{"q3a-company-movies", 3, `
+			SELECT t.id FROM title t, movie_companies mc, company_name cn
+			WHERE t.id = mc.movie_id AND mc.company_id = cn.id
+			  AND cn.country_code = 'de'`},
+		{"q3b-cast-by-year", 3, `
+			SELECT t.id FROM title t, cast_info ci, name n
+			WHERE t.id = ci.movie_id AND ci.person_id = n.id
+			  AND t.production_year = 2004`},
+		{"q4a-keyworded-info", 4, `
+			SELECT t.id FROM title t, movie_keyword mk, keyword k, movie_info mi
+			WHERE t.id = mk.movie_id AND mk.keyword_id = k.id
+			  AND t.id = mi.movie_id`},
+		{"q5a-company-cast", 5, `
+			SELECT t.id FROM title t, movie_companies mc, company_name cn, cast_info ci, name n
+			WHERE t.id = mc.movie_id AND mc.company_id = cn.id
+			  AND t.id = ci.movie_id AND ci.person_id = n.id
+			  AND n.gender = 'f'`},
+		{"q6a-info-keywords", 6, `
+			SELECT t.id FROM title t, movie_info mi, info_type it, movie_keyword mk, keyword k, kind_type kt
+			WHERE t.id = mi.movie_id AND mi.info_type_id = it.id
+			  AND t.id = mk.movie_id AND mk.keyword_id = k.id
+			  AND t.kind_id = kt.id`},
+		{"q8a-full-star", 8, `
+			SELECT t.id FROM title t, movie_companies mc, company_name cn, cast_info ci,
+			              name n, movie_info mi, movie_keyword mk, keyword k
+			WHERE t.id = mc.movie_id AND mc.company_id = cn.id
+			  AND t.id = ci.movie_id AND ci.person_id = n.id
+			  AND t.id = mi.movie_id
+			  AND t.id = mk.movie_id AND mk.keyword_id = k.id
+			  AND cn.country_code = 'us'`},
+		{"q10a-everything", 10, `
+			SELECT t.id FROM title t, movie_companies mc, company_name cn, cast_info ci,
+			              name n, movie_info mi, info_type it, movie_keyword mk, keyword k, kind_type kt
+			WHERE t.id = mc.movie_id AND mc.company_id = cn.id
+			  AND t.id = ci.movie_id AND ci.person_id = n.id
+			  AND t.id = mi.movie_id AND mi.info_type_id = it.id
+			  AND t.id = mk.movie_id AND mk.keyword_id = k.id
+			  AND t.kind_id = kt.id AND t.production_year = 1994`},
+	}
+}
+
+// Load parses a named workload query into a join ordering instance.
+func Load(name string) (*join.Query, error) {
+	for _, q := range Queries() {
+		if strings.EqualFold(q.Name, name) {
+			parsed, err := sqlfront.Parse(q.SQL, JOBLiteCatalog())
+			if err != nil {
+				return nil, fmt.Errorf("workloads: %s: %w", q.Name, err)
+			}
+			return parsed.Query, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown query %q", name)
+}
+
+// LoadAll parses every workload query.
+func LoadAll() (map[string]*join.Query, error) {
+	out := make(map[string]*join.Query)
+	for _, q := range Queries() {
+		parsed, err := Load(q.Name)
+		if err != nil {
+			return nil, err
+		}
+		out[q.Name] = parsed
+	}
+	return out, nil
+}

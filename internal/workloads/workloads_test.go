@@ -1,0 +1,85 @@
+package workloads
+
+import (
+	"testing"
+
+	"quantumjoin/internal/classical"
+	"quantumjoin/internal/core"
+)
+
+func TestCatalogValid(t *testing.T) {
+	if err := JOBLiteCatalog().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllQueriesParse(t *testing.T) {
+	all, err := LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Queries()) {
+		t.Fatalf("loaded %d of %d queries", len(all), len(Queries()))
+	}
+	for _, nq := range Queries() {
+		q := all[nq.Name]
+		if q.NumRelations() != nq.Relations {
+			t.Errorf("%s: %d relations, declared %d", nq.Name, q.NumRelations(), nq.Relations)
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s: %v", nq.Name, err)
+		}
+		if q.NumPredicates() < q.NumRelations()-1 {
+			t.Errorf("%s: query graph disconnected (%d predicates for %d relations)",
+				nq.Name, q.NumPredicates(), q.NumRelations())
+		}
+	}
+}
+
+func TestWorkloadOptimisable(t *testing.T) {
+	q, err := Load("q5a-company-cast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := classical.Optimal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Order.IsPermutation(5) {
+		t.Fatalf("order %v", res.Order)
+	}
+	greedy := classical.Greedy(q)
+	if res.Cost > greedy.Cost*(1+1e-9) {
+		t.Fatal("DP worse than greedy")
+	}
+}
+
+func TestWorkloadQubitDemand(t *testing.T) {
+	// The headline sanity check: the 10-relation JOB-scale query needs
+	// hundreds of qubits (around the 1000-qubit roadmap scale with
+	// realistic thresholds), far beyond the 27-qubit NISQ device.
+	q, err := Load("q10a-everything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := core.UpperBound(q, 5, 1).Total()
+	if bound < 200 || bound > 3000 {
+		t.Fatalf("10-relation bound %d outside the expected few-hundred..few-thousand band", bound)
+	}
+	enc, err := core.Encode(q, core.Options{Thresholds: core.DefaultThresholds(q, 5), Omega: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.NumQubits() > bound {
+		t.Fatalf("encoding %d exceeds bound %d", enc.NumQubits(), bound)
+	}
+	if enc.NumQubits() <= 27 {
+		t.Fatalf("JOB-scale query fits a 27-qubit NISQ device (%d qubits); statistics implausible", enc.NumQubits())
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("nope"); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+}

@@ -1,0 +1,317 @@
+// Package quantumjoin solves database join ordering problems on simulated
+// quantum hardware, reproducing "Ready to Leap (by Co-Design)? Join Order
+// Optimisation on Quantum Hardware" (Schönberger, Scherzinger, Mauerer):
+// the paper's QUBO formulation of join ordering, a gate-based QPU stack
+// (QAOA + transpilation onto IBM/Rigetti/IonQ topologies with noise), a
+// quantum annealer stack (Pegasus topology, minor embedding, analog
+// noise), classical baselines, the formal qubit bounds, and the full
+// experiment suite behind every table and figure of the paper.
+//
+// This package is the stable public facade; the implementation lives in
+// internal/ subpackages (see DESIGN.md for the map).
+//
+// Basic usage:
+//
+//	q := quantumjoin.Query{
+//		Relations: []quantumjoin.Relation{{Name: "R", Card: 100}, ...},
+//		Predicates: []quantumjoin.Predicate{{R1: 0, R2: 1, Sel: 0.1}},
+//	}
+//	enc, err := quantumjoin.Encode(&q, quantumjoin.EncodeOptions{
+//		Thresholds: quantumjoin.DefaultThresholds(&q, 3),
+//	})
+//	res, err := quantumjoin.SolveAnnealing(enc, quantumjoin.AnnealingOptions{})
+package quantumjoin
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"quantumjoin/internal/anneal"
+	"quantumjoin/internal/circuit"
+	"quantumjoin/internal/classical"
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/noise"
+	"quantumjoin/internal/qaoa"
+	"quantumjoin/internal/qsim"
+	"quantumjoin/internal/querygen"
+	"quantumjoin/internal/sqlfront"
+	"quantumjoin/internal/topology"
+	"quantumjoin/internal/transpile"
+	"quantumjoin/internal/workloads"
+)
+
+// Re-exported domain types.
+type (
+	// Query is a join ordering problem instance.
+	Query = join.Query
+	// Relation is a base relation with a cardinality.
+	Relation = join.Relation
+	// Predicate is a binary join predicate with a selectivity.
+	Predicate = join.Predicate
+	// Order is a left-deep join order (permutation of relation indices).
+	Order = join.Order
+	// Encoding is a QUBO encoding of a join ordering problem.
+	Encoding = core.Encoding
+	// EncodeOptions configure the MILP→BILP→QUBO pipeline.
+	EncodeOptions = core.Options
+	// Decoded is a post-processed sample (§3.5 of the paper).
+	Decoded = core.Decoded
+	// GraphType selects a query graph shape for the generator.
+	GraphType = querygen.GraphType
+	// GeneratorConfig configures the Steinbrunn-style query generator.
+	GeneratorConfig = querygen.Config
+)
+
+// Query graph shapes.
+const (
+	Chain  = querygen.Chain
+	Star   = querygen.Star
+	Cycle  = querygen.Cycle
+	Clique = querygen.Clique
+)
+
+// GenerateQuery draws a random join ordering instance.
+func GenerateQuery(cfg GeneratorConfig, seed int64) (*Query, error) {
+	return querygen.Generate(cfg, rand.New(rand.NewSource(seed)))
+}
+
+// ReadCatalog parses a query instance from its JSON catalog form (see
+// Query.WriteCatalog for the schema).
+func ReadCatalog(r io.Reader) (*Query, error) {
+	return join.ReadCatalog(r)
+}
+
+// SQLCatalog holds table/column statistics for ParseSQL.
+type SQLCatalog = sqlfront.Catalog
+
+// ParsedSQL is a SQL statement turned into an optimisable instance.
+type ParsedSQL = sqlfront.ParsedQuery
+
+// ReadSQLCatalog parses a statistics catalog (tables, cardinalities,
+// column distinct counts) from JSON.
+func ReadSQLCatalog(r io.Reader) (*SQLCatalog, error) {
+	return sqlfront.ReadCatalog(r)
+}
+
+// ParseSQL turns a SELECT-FROM-WHERE statement into a join ordering
+// instance, estimating cardinalities and selectivities against the
+// catalog with the classic System-R rules. This realises the paper's
+// Figure 1 pipeline: parser → (quantum) join order optimiser.
+func ParseSQL(sql string, cat *SQLCatalog) (*ParsedSQL, error) {
+	return sqlfront.Parse(sql, cat)
+}
+
+// WorkloadNames lists the built-in JOB-style benchmark queries.
+func WorkloadNames() []string {
+	var names []string
+	for _, q := range workloads.Queries() {
+		names = append(names, q.Name)
+	}
+	return names
+}
+
+// LoadWorkloadQuery parses one of the built-in JOB-style benchmark
+// queries (see WorkloadNames) into a join ordering instance.
+func LoadWorkloadQuery(name string) (*Query, error) {
+	return workloads.Load(name)
+}
+
+// Encode builds the QUBO encoding of a query (paper §3). The number of
+// binary variables equals the number of logical qubits required.
+func Encode(q *Query, opts EncodeOptions) (*Encoding, error) {
+	return core.Encode(q, opts)
+}
+
+// DefaultThresholds spreads r cardinality thresholds geometrically over
+// the query's intermediate-result range.
+func DefaultThresholds(q *Query, r int) []float64 {
+	return core.DefaultThresholds(q, r)
+}
+
+// QubitUpperBound evaluates the Theorem 5.3 bound on logical qubits for a
+// query with r thresholds at discretisation precision omega.
+func QubitUpperBound(q *Query, r int, omega float64) int {
+	return core.UpperBound(q, r, omega).Total()
+}
+
+// OptimalJoinOrder computes the exact optimum classically (DP over
+// subsets, left-deep trees with cross products) — the ground truth the
+// quantum results are judged against.
+func OptimalJoinOrder(q *Query) (Order, float64, error) {
+	res, err := classical.Optimal(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Order, res.Cost, nil
+}
+
+// GreedyJoinOrder returns the min-intermediate-cardinality greedy order.
+func GreedyJoinOrder(q *Query) (Order, float64) {
+	res := classical.Greedy(q)
+	return res.Order, res.Cost
+}
+
+// SolveMILP solves the encoding's join-ordering MILP model exactly with
+// the built-in LP-relaxation branch-and-bound solver — the classical
+// Trummer/Koch pathway the quantum formulation derives from. The result
+// is optimal with respect to the threshold-approximated cost.
+func SolveMILP(enc *Encoding) (Decoded, error) {
+	return enc.SolveMILP()
+}
+
+// Result is the outcome of a quantum optimisation run.
+type Result struct {
+	// Best is the best valid decoded solution.
+	Best Decoded
+	// ValidFraction is the share of samples decoding to valid join trees.
+	ValidFraction float64
+	// OptimalFraction is the share decoding to cost-optimal join trees.
+	OptimalFraction float64
+	// Samples is the number of samples drawn.
+	Samples int
+	// PhysicalQubits is the annealer embedding footprint (0 for QAOA).
+	PhysicalQubits int
+}
+
+func summarize(enc *Encoding, assignments [][]bool) (Result, error) {
+	res := Result{Samples: len(assignments)}
+	valid, optimal := 0, 0
+	haveBest := false
+	for _, x := range assignments {
+		d := enc.Decode(x)
+		if !d.Valid {
+			continue
+		}
+		valid++
+		ok, err := enc.IsOptimal(d)
+		if err != nil {
+			return res, err
+		}
+		if ok {
+			optimal++
+		}
+		if !haveBest || d.Cost < res.Best.Cost {
+			res.Best = d
+			haveBest = true
+		}
+	}
+	if len(assignments) > 0 {
+		res.ValidFraction = float64(valid) / float64(len(assignments))
+		res.OptimalFraction = float64(optimal) / float64(len(assignments))
+	}
+	if !haveBest {
+		return res, fmt.Errorf("quantumjoin: no valid solution among %d samples", len(assignments))
+	}
+	return res, nil
+}
+
+// AnnealingOptions configure SolveAnnealing.
+type AnnealingOptions struct {
+	// Reads is the number of annealing reads (default 1000).
+	Reads int
+	// AnnealTimeMicros is the annealing time per read (default 20 µs).
+	AnnealTimeMicros float64
+	// PegasusM sets the hardware graph size (default 6; 16 = the full
+	// Advantage system, expensive to construct).
+	PegasusM int
+	// Noiseless disables analog control noise.
+	Noiseless bool
+	// Seed drives embedding and sampling.
+	Seed int64
+}
+
+// SolveAnnealing samples the encoding on a simulated D-Wave-style
+// annealer and post-processes the reads.
+func SolveAnnealing(enc *Encoding, opts AnnealingOptions) (Result, error) {
+	if opts.Reads == 0 {
+		opts.Reads = 1000
+	}
+	if opts.AnnealTimeMicros == 0 {
+		opts.AnnealTimeMicros = 20
+	}
+	if opts.PegasusM == 0 {
+		opts.PegasusM = 6
+	}
+	g, _ := topology.Pegasus(opts.PegasusM)
+	dev := anneal.NewDevice(g)
+	if opts.Noiseless {
+		dev.SigmaH, dev.SigmaJ = 0, 0
+	}
+	out, err := dev.Sample(enc.QUBO, opts.Reads, opts.AnnealTimeMicros, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := summarize(enc, out.Assignments)
+	res.PhysicalQubits = out.PhysicalQubits
+	return res, err
+}
+
+// QAOAOptions configure SolveQAOA.
+type QAOAOptions struct {
+	// Layers is the QAOA depth p (default 1, as in the paper).
+	Layers int
+	// Iterations is the classical optimiser's iteration count (default 20).
+	Iterations int
+	// Shots is the number of measurement samples (default 1024).
+	Shots int
+	// Noisy applies the IBM Q Auckland noise model after transpiling onto
+	// the Falcon topology.
+	Noisy bool
+	// Seed drives sampling.
+	Seed int64
+}
+
+// SolveQAOA runs the hybrid QAOA loop on the statevector simulator
+// (bounded by the simulator's qubit cap) and post-processes the shots.
+func SolveQAOA(enc *Encoding, opts QAOAOptions) (Result, error) {
+	if opts.Layers == 0 {
+		opts.Layers = 1
+	}
+	if opts.Iterations == 0 {
+		opts.Iterations = 20
+	}
+	if opts.Shots == 0 {
+		opts.Shots = 1024
+	}
+	var cal *noise.Calibration
+	var hw *transpile.Result
+	if opts.Noisy {
+		c := noise.Auckland()
+		cal = &c
+		params := qaoa.NewParams(opts.Layers)
+		for i := range params.Gammas {
+			params.Gammas[i] = 0.35
+			params.Betas[i] = 0.6
+		}
+		logical := qaoa.BuildCircuit(enc.QUBO, params)
+		dev := topology.Falcon27()
+		if enc.QUBO.N() > dev.N() {
+			dev = topology.ExtendIBM(enc.QUBO.N())
+		}
+		tr, err := transpile.Transpile(logical, dev, transpile.Options{
+			GateSet: transpile.IBMNative,
+			Router:  transpile.RouterLookahead,
+			Seed:    opts.Seed,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		hw = tr
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var hwCircuit *circuit.Circuit
+	if hw != nil {
+		hwCircuit = hw.Circuit
+	}
+	out, err := qaoa.Run(enc.QUBO, opts.Layers, qaoa.AQGD{Iterations: opts.Iterations}, opts.Shots, cal, hwCircuit, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	assignments := make([][]bool, len(out.Samples))
+	for i, b := range out.Samples {
+		assignments[i] = qsim.BitsOf(b, enc.QUBO.N())
+	}
+	return summarize(enc, assignments)
+}

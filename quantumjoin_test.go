@@ -1,0 +1,139 @@
+package quantumjoin_test
+
+import (
+	"math"
+	"testing"
+
+	"quantumjoin"
+)
+
+func paperQuery() *quantumjoin.Query {
+	return &quantumjoin.Query{
+		Relations: []quantumjoin.Relation{
+			{Name: "R", Card: 100}, {Name: "S", Card: 100}, {Name: "T", Card: 100},
+		},
+		Predicates: []quantumjoin.Predicate{{R1: 0, R2: 1, Sel: 0.1}},
+	}
+}
+
+func TestFacadeEndToEndAnnealing(t *testing.T) {
+	q := paperQuery()
+	order, cost, err := quantumjoin.OptimalJoinOrder(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-101000) > 1e-6 {
+		t.Fatalf("optimal cost %v", cost)
+	}
+	if order[2] != 2 {
+		t.Fatalf("optimal order %v should join T last", order)
+	}
+	enc, err := quantumjoin.Encode(q, quantumjoin.EncodeOptions{
+		Thresholds: []float64{1000},
+		Omega:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := quantumjoin.SolveAnnealing(enc, quantumjoin.AnnealingOptions{
+		Reads: 400, Seed: 7, PegasusM: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost > cost*(1+1e-9) {
+		t.Fatalf("annealer best %v worse than optimum %v", res.Best.Cost, cost)
+	}
+	if res.PhysicalQubits < enc.NumQubits() {
+		t.Fatalf("physical %d < logical %d", res.PhysicalQubits, enc.NumQubits())
+	}
+	if res.ValidFraction <= 0 || res.OptimalFraction > res.ValidFraction {
+		t.Fatalf("fractions implausible: %+v", res)
+	}
+}
+
+func TestFacadeEndToEndQAOA(t *testing.T) {
+	// Two relations: a 6-qubit encoding QAOA handles instantly.
+	q := &quantumjoin.Query{
+		Relations: []quantumjoin.Relation{
+			{Name: "A", Card: 10}, {Name: "B", Card: 1000},
+		},
+	}
+	enc, err := quantumjoin.Encode(q, quantumjoin.EncodeOptions{
+		Thresholds: []float64{100},
+		Omega:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := quantumjoin.SolveQAOA(enc, quantumjoin.QAOAOptions{
+		Iterations: 8, Shots: 512, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cost, err := quantumjoin.OptimalJoinOrder(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost > cost*(1+1e-9) {
+		t.Fatalf("QAOA best %v worse than optimum %v", res.Best.Cost, cost)
+	}
+}
+
+func TestFacadeGeneratorAndBounds(t *testing.T) {
+	q, err := quantumjoin.GenerateQuery(quantumjoin.GeneratorConfig{
+		Relations: 5, Graph: quantumjoin.Cycle, IntegerLog: true,
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := quantumjoin.Encode(q, quantumjoin.EncodeOptions{
+		Thresholds: quantumjoin.DefaultThresholds(q, 2),
+		Omega:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := quantumjoin.QubitUpperBound(q, 2, 1)
+	if enc.NumQubits() > bound {
+		t.Fatalf("encoding %d qubits exceeds bound %d", enc.NumQubits(), bound)
+	}
+	gOrder, gCost := quantumjoin.GreedyJoinOrder(q)
+	if !gOrder.IsPermutation(5) {
+		t.Fatal("greedy order invalid")
+	}
+	_, opt, err := quantumjoin.OptimalJoinOrder(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gCost < opt*(1-1e-9) {
+		t.Fatal("greedy beat the optimum")
+	}
+}
+
+func TestFacadeNoisyQAOA(t *testing.T) {
+	q := &quantumjoin.Query{
+		Relations: []quantumjoin.Relation{
+			{Name: "A", Card: 10}, {Name: "B", Card: 100},
+		},
+	}
+	enc, err := quantumjoin.Encode(q, quantumjoin.EncodeOptions{
+		Thresholds: []float64{10},
+		Omega:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := quantumjoin.SolveQAOA(enc, quantumjoin.QAOAOptions{
+		Iterations: 3, Shots: 512, Seed: 5, Noisy: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With noise the valid fraction drops towards the combinatorial floor
+	// but valid solutions still appear for this tiny instance.
+	if res.ValidFraction <= 0 {
+		t.Fatal("no valid samples at all")
+	}
+}
