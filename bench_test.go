@@ -8,9 +8,13 @@ package quantumjoin_test
 // cmd/experiments -full for paper-scale dimensions.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"quantumjoin/internal/experiments"
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/service"
 )
 
 // benchConfig is small enough for repeated benchmark iterations on one
@@ -40,6 +44,9 @@ func benchConfig() experiments.Config {
 // BenchmarkTable1ModelPruning regenerates Table 1: variable and
 // constraint counts of the original versus the pruned MILP model.
 func BenchmarkTable1ModelPruning(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping paper-scale experiment benchmark in -short mode")
+	}
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunTable1(cfg)
@@ -57,6 +64,9 @@ func BenchmarkTable1ModelPruning(b *testing.B) {
 // circuit depths across precision/predicate scenarios and the
 // Falcon-vs-Eagle comparison.
 func BenchmarkFigure2CircuitDepth(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping paper-scale experiment benchmark in -short mode")
+	}
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFigure2(cfg)
@@ -78,6 +88,9 @@ func BenchmarkFigure2CircuitDepth(b *testing.B) {
 // of noisy QAOA shots on the simulated Auckland QPU (bench scale: the
 // 18-qubit scenario with a reduced optimiser budget).
 func BenchmarkTable2QAOAQuality(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping paper-scale experiment benchmark in -short mode")
+	}
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunTable2(cfg)
@@ -98,6 +111,9 @@ func BenchmarkTable2QAOAQuality(b *testing.B) {
 
 // BenchmarkTimingModel regenerates the §4.2.1 t_s vs t_qpu comparison.
 func BenchmarkTimingModel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping paper-scale experiment benchmark in -short mode")
+	}
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunTiming(cfg)
@@ -114,6 +130,9 @@ func BenchmarkTimingModel(b *testing.B) {
 // BenchmarkFigure3Embedding regenerates Figure 3: physical qubits needed
 // to minor-embed JO QUBOs onto the Pegasus topology (bench scale: P4).
 func BenchmarkFigure3Embedding(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping paper-scale experiment benchmark in -short mode")
+	}
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFigure3(cfg)
@@ -134,6 +153,9 @@ func BenchmarkFigure3Embedding(b *testing.B) {
 // BenchmarkTable3Annealing regenerates Table 3: valid/optimal fractions
 // of annealing reads across relations, graph types and annealing times.
 func BenchmarkTable3Annealing(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping paper-scale experiment benchmark in -short mode")
+	}
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunTable3(cfg)
@@ -150,6 +172,9 @@ func BenchmarkTable3Annealing(b *testing.B) {
 // BenchmarkFigure4QubitBounds regenerates Figure 4: the Theorem 5.3
 // logical-qubit upper bounds up to 64 relations.
 func BenchmarkFigure4QubitBounds(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping paper-scale experiment benchmark in -short mode")
+	}
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFigure4(cfg)
@@ -168,6 +193,9 @@ func BenchmarkFigure4QubitBounds(b *testing.B) {
 // BenchmarkFigure5CoDesign regenerates Figure 5: circuit depths on
 // extrapolated topologies across density, gate set and router choices.
 func BenchmarkFigure5CoDesign(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping paper-scale experiment benchmark in -short mode")
+	}
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFigure5(cfg)
@@ -178,4 +206,53 @@ func BenchmarkFigure5CoDesign(b *testing.B) {
 			b.ReportMetric(res.Rows[0].Median, "depth-first-row")
 		}
 	}
+}
+
+// BenchmarkServiceOptimize measures a qjoind optimize round-trip through
+// the service layer with a cheap (greedy) backend, so the encoding path
+// dominates. The cold variant purges the encoding cache every iteration;
+// the warm variant reuses the cached QUBO encoding.
+func BenchmarkServiceOptimize(b *testing.B) {
+	reg := service.NewRegistry()
+	if err := reg.Register(service.NewGreedyBackend()); err != nil {
+		b.Fatal(err)
+	}
+	svc := service.New(reg, service.Config{Workers: 2, DefaultBackend: "greedy"})
+	defer svc.Close(context.Background())
+
+	const n = 7
+	q := &join.Query{Relations: make([]join.Relation, n)}
+	for i := range q.Relations {
+		q.Relations[i] = join.Relation{Name: fmt.Sprintf("r%d", i), Card: float64(10 * (i + 1))}
+		if i > 0 {
+			q.Predicates = append(q.Predicates, join.Predicate{R1: i - 1, R2: i, Sel: 0.1})
+		}
+	}
+	req := func() *service.Request {
+		return &service.Request{Query: q, Spec: service.EncodeSpec{Thresholds: 3}}
+	}
+
+	b.Run("cold-cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc.PurgeCache()
+			if _, err := svc.Optimize(context.Background(), req()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		if _, err := svc.Optimize(context.Background(), req()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := svc.Optimize(context.Background(), req())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.CacheHit {
+				b.Fatal("warm request missed the encoding cache")
+			}
+		}
+	})
 }

@@ -1,0 +1,99 @@
+// Command qjoind serves join order optimisation over HTTP/JSON: queries
+// are QUBO-encoded (with an LRU encoding cache keyed by a canonical hash
+// of the query graph) and solved on a registered backend — the simulated
+// quantum annealer, tabu search, QAOA simulation, the exact MILP solver,
+// or the classical DP/greedy baselines — under bounded concurrency and
+// per-request deadlines.
+//
+// Endpoints:
+//
+//	POST /v1/optimize  — optimise one query (see README for the schema)
+//	GET  /v1/backends  — list registered backends
+//	GET  /metrics      — JSON counters, per-backend latency percentiles,
+//	                     and encoding-cache hit rate
+//	GET  /healthz      — liveness probe
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops,
+// queued requests drain, and in-flight solves finish (bounded by the
+// shutdown grace period).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"quantumjoin/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "request queue depth (0 = 2x workers)")
+	cacheSize := flag.Int("cache", 256, "encoding cache capacity (entries)")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+	defaultBackend := flag.String("default-backend", "anneal", "backend used when a request names none")
+	pegasusM := flag.Int("pegasus-m", 6, "annealer hardware graph size (16 = full Advantage)")
+	qaoaQubits := flag.Int("qaoa-qubits", 16, "statevector budget of the qaoa backend")
+	grace := flag.Duration("grace", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	reg := service.DefaultRegistry(service.RegistryConfig{
+		PegasusM:      *pegasusM,
+		MaxQAOAQubits: *qaoaQubits,
+	})
+	svc := service.New(reg, service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DefaultBackend: *defaultBackend,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("qjoind: listening on %s (backends: %s)", *addr, strings.Join(svc.Backends(), ", "))
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("qjoind: signal received, draining (grace %s)", *grace)
+	case err := <-errc:
+		fail(fmt.Errorf("qjoind: serve: %w", err))
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("qjoind: http shutdown: %v", err)
+	}
+	if err := svc.Close(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("qjoind: service shutdown: %v", err)
+	}
+	log.Printf("qjoind: bye")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+package anneal
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"quantumjoin/internal/qubo"
+	"quantumjoin/internal/topology"
+)
+
+func ringProblem(n int) *IsingProblem {
+	p := NewIsingProblem(n)
+	for i := 0; i < n; i++ {
+		p.H[i] = 0.5
+		p.AddCoupling(i, (i+1)%n, -1)
+	}
+	return p
+}
+
+func TestAnnealContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sa := SimulatedAnnealer{Sweeps: 1 << 20} // would take far too long uncancelled
+	start := time.Now()
+	spins, err := sa.AnnealContext(ctx, ringProblem(64), rand.New(rand.NewSource(1)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(spins) != 64 {
+		t.Errorf("partial state has %d spins, want 64", len(spins))
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled anneal still ran for %v", elapsed)
+	}
+}
+
+func TestPIMCAnnealContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pa := PathIntegralAnnealer{Sweeps: 1 << 20}
+	spins, err := pa.AnnealContext(ctx, ringProblem(32), rand.New(rand.NewSource(1)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(spins) != 32 {
+		t.Errorf("partial state has %d spins, want 32", len(spins))
+	}
+}
+
+func TestAnnealContextUncancelledMatchesAnneal(t *testing.T) {
+	sa := SimulatedAnnealer{Sweeps: 48}
+	p := ringProblem(16)
+	a := sa.Anneal(p, rand.New(rand.NewSource(7)))
+	b, err := sa.AnnealContext(context.Background(), p, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spin %d differs between Anneal and AnnealContext", i)
+		}
+	}
+}
+
+func TestDeviceSampleContextDeadline(t *testing.T) {
+	dev := NewDevice(topology.Chimera(2, 2, 4))
+	q := qubo.New(4)
+	q.AddLinear(0, -1)
+	q.AddQuad(0, 1, 2)
+	q.AddQuad(1, 2, -1)
+	q.AddQuad(2, 3, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := dev.SampleContext(ctx, q, 100, 20, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled SampleContext err = %v, want context.Canceled", err)
+	}
+
+	// A deadline mid-run returns the reads collected so far.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	out, err := dev.SampleContext(ctx2, q, 1<<20, 20, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if out == nil {
+		t.Fatal("no partial result returned")
+	}
+	if len(out.Assignments) >= 1<<20 {
+		t.Error("deadline did not interrupt sampling")
+	}
+}

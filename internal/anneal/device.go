@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -46,6 +47,12 @@ type Device struct {
 // Annealer produces one spin configuration per read.
 type Annealer interface {
 	Anneal(p *IsingProblem, rng *rand.Rand) []int8
+}
+
+// ContextAnnealer is an Annealer whose reads honour context cancellation
+// mid-read; SimulatedAnnealer and PathIntegralAnnealer both implement it.
+type ContextAnnealer interface {
+	AnnealContext(ctx context.Context, p *IsingProblem, rng *rand.Rand) ([]int8, error)
 }
 
 // SamplerFactory builds an Annealer for a sweep budget derived from the
@@ -111,22 +118,40 @@ func (d *Device) EmbedOnly(q *qubo.QUBO, seed int64) (*minorembed.Embedding, err
 // time (µs). Chain couplings use the device's relative chain strength;
 // each read sees fresh ICE noise.
 func (d *Device) Sample(q *qubo.QUBO, reads int, annealTimeMicros float64, seed int64) (*Result, error) {
+	return d.SampleContext(context.Background(), q, reads, annealTimeMicros, seed)
+}
+
+// SampleContext is Sample with cancellation: the context is checked before
+// the embedding and between reads, and is forwarded into each read when the
+// sampler supports mid-read cancellation (ContextAnnealer). On expiry it
+// returns the reads collected so far together with the context error
+// wrapped in partial-progress information.
+func (d *Device) SampleContext(ctx context.Context, q *qubo.QUBO, reads int, annealTimeMicros float64, seed int64) (*Result, error) {
 	if reads <= 0 {
 		return nil, fmt.Errorf("anneal: reads must be positive, got %d", reads)
 	}
 	if annealTimeMicros <= 0 {
 		return nil, fmt.Errorf("anneal: annealing time must be positive, got %v", annealTimeMicros)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("anneal: cancelled before embedding: %w", err)
+	}
 	emb, err := d.EmbedOnly(q, seed)
 	if err != nil {
 		return nil, err
 	}
-	return d.SampleEmbedded(q, emb, reads, annealTimeMicros, seed)
+	return d.SampleEmbeddedContext(ctx, q, emb, reads, annealTimeMicros, seed)
 }
 
 // SampleEmbedded is Sample with a precomputed embedding (reuse across
 // annealing-time sweeps, as the paper does).
 func (d *Device) SampleEmbedded(q *qubo.QUBO, emb *minorembed.Embedding, reads int, annealTimeMicros float64, seed int64) (*Result, error) {
+	return d.SampleEmbeddedContext(context.Background(), q, emb, reads, annealTimeMicros, seed)
+}
+
+// SampleEmbeddedContext is SampleEmbedded with cancellation (see
+// SampleContext for the semantics).
+func (d *Device) SampleEmbeddedContext(ctx context.Context, q *qubo.QUBO, emb *minorembed.Embedding, reads int, annealTimeMicros float64, seed int64) (*Result, error) {
 	physical, chainOf, err := d.buildPhysical(q, emb)
 	if err != nil {
 		return nil, err
@@ -145,8 +170,12 @@ func (d *Device) SampleEmbedded(q *qubo.QUBO, emb *minorembed.Embedding, reads i
 		PhysicalQubits:   emb.PhysicalQubits(),
 		AnnealTimeMicros: annealTimeMicros,
 	}
+	ctxSampler, samplerHonoursCtx := sampler.(ContextAnnealer)
 	breaks, total := 0, 0
 	for r := 0; r < reads; r++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("anneal: sampling interrupted after %d/%d reads: %w", r, reads, err)
+		}
 		prob := physical
 		if d.SigmaH > 0 || d.SigmaJ > 0 {
 			prob = physical.Copy()
@@ -157,7 +186,16 @@ func (d *Device) SampleEmbedded(q *qubo.QUBO, emb *minorembed.Embedding, reads i
 			gauge = NewGaugeTransform(prob.N(), rng)
 			prob = gauge.Apply(prob)
 		}
-		spins := sampler.Anneal(prob, rng)
+		var spins []int8
+		if samplerHonoursCtx {
+			var readErr error
+			spins, readErr = ctxSampler.AnnealContext(ctx, prob, rng)
+			if readErr != nil {
+				return res, fmt.Errorf("anneal: sampling interrupted after %d/%d reads: %w", r, reads, readErr)
+			}
+		} else {
+			spins = sampler.Anneal(prob, rng)
+		}
 		if d.GaugeAveraging {
 			spins = gauge.Undo(spins)
 		}

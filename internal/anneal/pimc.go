@@ -1,6 +1,8 @@
 package anneal
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -30,6 +32,15 @@ type PathIntegralAnnealer struct {
 // Anneal runs one read and returns the spin configuration of the replica
 // with the lowest classical energy.
 func (pa PathIntegralAnnealer) Anneal(p *IsingProblem, rng *rand.Rand) []int8 {
+	s, _ := pa.AnnealContext(context.Background(), p, rng)
+	return s
+}
+
+// AnnealContext is Anneal with cancellation: the context is polled every
+// ctxCheckSweeps sweeps, and on expiry the read stops early, returning the
+// best replica reached so far together with the context error wrapped in
+// partial-progress information.
+func (pa PathIntegralAnnealer) AnnealContext(ctx context.Context, p *IsingProblem, rng *rand.Rand) ([]int8, error) {
 	if pa.Slices <= 0 {
 		pa.Slices = 8
 	}
@@ -70,7 +81,24 @@ func (pa PathIntegralAnnealer) Anneal(p *IsingProblem, rng *rand.Rand) []int8 {
 		}
 	}
 
+	bestReplica := func() []int8 {
+		best := spins[0]
+		bestE := p.Energy(spins[0])
+		for k := 1; k < P; k++ {
+			if e := p.Energy(spins[k]); e < bestE {
+				bestE = e
+				best = spins[k]
+			}
+		}
+		return best
+	}
+
 	for sweep := 0; sweep < pa.Sweeps; sweep++ {
+		if sweep%ctxCheckSweeps == 0 {
+			if err := ctx.Err(); err != nil {
+				return bestReplica(), fmt.Errorf("anneal: PIMC read interrupted after %d/%d sweeps: %w", sweep, pa.Sweeps, err)
+			}
+		}
 		// Linear Γ schedule down to a small residual field.
 		frac := float64(sweep) / math.Max(1, float64(pa.Sweeps-1))
 		gamma := pa.Gamma0 * (1 - frac)
@@ -95,13 +123,5 @@ func (pa PathIntegralAnnealer) Anneal(p *IsingProblem, rng *rand.Rand) []int8 {
 			}
 		}
 	}
-	best := spins[0]
-	bestE := p.Energy(spins[0])
-	for k := 1; k < P; k++ {
-		if e := p.Energy(spins[k]); e < bestE {
-			bestE = e
-			best = spins[k]
-		}
-	}
-	return best
+	return bestReplica(), nil
 }

@@ -14,10 +14,16 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 )
+
+// ctxCheckSweeps is the sweep interval at which annealing loops poll the
+// context: frequent enough that deadlines bite within milliseconds on
+// realistic problem sizes, rare enough to stay off the hot path.
+const ctxCheckSweeps = 16
 
 // IsingProblem is a sparse Ising Hamiltonian over spins ±1, stored as
 // adjacency lists for fast single-spin-flip dynamics.
@@ -148,6 +154,15 @@ type SimulatedAnnealer struct {
 // Anneal runs one read from a random initial state and returns the final
 // spin configuration.
 func (sa SimulatedAnnealer) Anneal(p *IsingProblem, rng *rand.Rand) []int8 {
+	s, _ := sa.AnnealContext(context.Background(), p, rng)
+	return s
+}
+
+// AnnealContext is Anneal with cancellation: the context is polled every
+// ctxCheckSweeps sweeps, and on expiry the read stops early, returning the
+// spin configuration reached so far together with the context error
+// wrapped in partial-progress information.
+func (sa SimulatedAnnealer) AnnealContext(ctx context.Context, p *IsingProblem, rng *rand.Rand) ([]int8, error) {
 	if sa.Sweeps <= 0 {
 		sa.Sweeps = 64
 	}
@@ -177,6 +192,11 @@ func (sa SimulatedAnnealer) Anneal(p *IsingProblem, rng *rand.Rand) []int8 {
 	ratio := math.Pow(sa.BetaMax/sa.BetaMin, 1/math.Max(1, float64(sa.Sweeps-1)))
 	beta := sa.BetaMin
 	for sweep := 0; sweep < sa.Sweeps; sweep++ {
+		if sweep%ctxCheckSweeps == 0 {
+			if err := ctx.Err(); err != nil {
+				return s, fmt.Errorf("anneal: read interrupted after %d/%d sweeps: %w", sweep, sa.Sweeps, err)
+			}
+		}
 		for i := 0; i < n; i++ {
 			// ΔE for flipping spin i.
 			dE := -2 * float64(s[i]) * local[i]
@@ -190,5 +210,5 @@ func (sa SimulatedAnnealer) Anneal(p *IsingProblem, rng *rand.Rand) []int8 {
 		}
 		beta *= ratio
 	}
-	return s
+	return s, nil
 }

@@ -142,9 +142,15 @@ func (e *Encoding) TIIVar(t, j int) int { return e.tii[t][j] }
 func (e *Encoding) TIOVar(t, j int) int { return e.tio[t][j] }
 
 // Encode builds the QUBO encoding for the query under the given options.
+// Invalid instances — selectivities outside (0, 1], cardinalities below 1,
+// NaN/Inf statistics — are rejected with a descriptive error rather than
+// silently producing degenerate or NaN QUBO coefficients.
 func Encode(q *join.Query, opts Options) (*Encoding, error) {
+	if q == nil {
+		return nil, fmt.Errorf("core: cannot encode nil query")
+	}
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: cannot encode invalid query: %w", err)
 	}
 	opts = opts.withDefaults()
 	if len(opts.Thresholds) == 0 {

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"quantumjoin/internal/join"
+)
+
+// TestEncodeRejectsInvalidStatistics is the regression suite for the
+// input-validation contract: Encode must reject selectivities outside
+// (0, 1] and cardinalities below 1 (including NaN/Inf) with a descriptive
+// error instead of silently producing degenerate or NaN QUBO coefficients.
+func TestEncodeRejectsInvalidStatistics(t *testing.T) {
+	build := func(card1, card2, sel float64) *join.Query {
+		return &join.Query{
+			Relations:  []join.Relation{{Name: "a", Card: card1}, {Name: "b", Card: card2}},
+			Predicates: []join.Predicate{{R1: 0, R2: 1, Sel: sel}},
+		}
+	}
+	cases := []struct {
+		name string
+		q    *join.Query
+		want string // substring the error must mention
+	}{
+		{"zero selectivity", build(10, 20, 0), "selectivity"},
+		{"negative selectivity", build(10, 20, -0.5), "selectivity"},
+		{"selectivity above one", build(10, 20, 1.5), "selectivity"},
+		{"NaN selectivity", build(10, 20, math.NaN()), "selectivity"},
+		{"zero cardinality", build(0, 20, 0.5), "cardinality"},
+		{"negative cardinality", build(-3, 20, 0.5), "cardinality"},
+		{"NaN cardinality", build(math.NaN(), 20, 0.5), "cardinality"},
+		{"infinite cardinality", build(math.Inf(1), 20, 0.5), "cardinality"},
+	}
+	opts := Options{Thresholds: []float64{100}}
+	for _, tc := range cases {
+		enc, err := Encode(tc.q, opts)
+		if err == nil {
+			t.Errorf("%s: Encode accepted the query (qubits=%d)", tc.name, enc.NumQubits())
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestEncodeRejectsNilQuery(t *testing.T) {
+	if _, err := Encode(nil, Options{Thresholds: []float64{10}}); err == nil {
+		t.Fatal("Encode accepted a nil query")
+	}
+}
+
+// TestEncodeCoefficientsFinite pins the positive side of the contract:
+// valid statistics never yield NaN/Inf coefficients.
+func TestEncodeCoefficientsFinite(t *testing.T) {
+	q := &join.Query{
+		Relations: []join.Relation{
+			{Name: "a", Card: 10}, {Name: "b", Card: 1e6}, {Name: "c", Card: 3},
+		},
+		Predicates: []join.Predicate{
+			{R1: 0, R2: 1, Sel: 1e-6},
+			{R1: 1, R2: 2, Sel: 1}, // boundary selectivity is legal
+		},
+	}
+	enc, err := Encode(q, Options{Thresholds: DefaultThresholds(q, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < enc.QUBO.N(); i++ {
+		if v := enc.QUBO.Linear(i); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("linear coefficient %d is %v", i, v)
+		}
+	}
+	for _, p := range enc.QUBO.QuadTerms() {
+		if v := enc.QUBO.Quad(p.I, p.J); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("quadratic coefficient (%d,%d) is %v", p.I, p.J, v)
+		}
+	}
+}

@@ -1,9 +1,15 @@
 package qubo
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 )
+
+// tabuCtxCheckIters is the flip interval at which SolveContext polls the
+// context — cheap relative to the per-flip neighbourhood scan.
+const tabuCtxCheckIters = 64
 
 // TabuSearch is a single-flip tabu-search heuristic for QUBO minimisation
 // — the classical reference heuristic commonly paired with annealers
@@ -22,9 +28,18 @@ type TabuSearch struct {
 
 // Solve runs the search and returns the best assignment found.
 func (ts TabuSearch) Solve(q *QUBO, rng *rand.Rand) Solution {
+	sol, _ := ts.SolveContext(context.Background(), q, rng)
+	return sol
+}
+
+// SolveContext is Solve with cancellation: the context is polled every
+// tabuCtxCheckIters flips and at every restart boundary. On expiry the
+// search stops early and returns the best assignment found so far together
+// with the context error wrapped in partial-progress information.
+func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) (Solution, error) {
 	n := q.N()
 	if n == 0 {
-		return Solution{Assignment: nil, Value: q.Offset}
+		return Solution{Assignment: nil, Value: q.Offset}, nil
 	}
 	tenure := ts.Tenure
 	if tenure <= 0 {
@@ -41,7 +56,18 @@ func (ts TabuSearch) Solve(q *QUBO, rng *rand.Rand) Solution {
 
 	adj := q.AdjacencyLists()
 	best := Solution{Value: math.Inf(1)}
+	// fold merges a restart's local optimum into the global best; also used
+	// to preserve partial progress when the context expires mid-restart.
+	fold := func(localBest float64, localBestX []bool) {
+		if localBest < best.Value {
+			best.Value = localBest
+			best.Assignment = append([]bool(nil), localBestX...)
+		}
+	}
 	for r := 0; r < restarts; r++ {
+		if err := ctx.Err(); err != nil {
+			return best, fmt.Errorf("qubo: tabu search interrupted after %d/%d restarts: %w", r, restarts, err)
+		}
 		x := make([]bool, n)
 		for i := range x {
 			x[i] = rng.Intn(2) == 0
@@ -68,6 +94,12 @@ func (ts TabuSearch) Solve(q *QUBO, rng *rand.Rand) Solution {
 		localBest := val
 		localBestX := append([]bool(nil), x...)
 		for it := 0; it < maxIters; it++ {
+			if it%tabuCtxCheckIters == 0 {
+				if err := ctx.Err(); err != nil {
+					fold(localBest, localBestX)
+					return best, fmt.Errorf("qubo: tabu search interrupted at restart %d/%d, flip %d/%d: %w", r, restarts, it, maxIters, err)
+				}
+			}
 			pick := -1
 			pickDelta := math.Inf(1)
 			for i := 0; i < n; i++ {
@@ -98,10 +130,7 @@ func (ts TabuSearch) Solve(q *QUBO, rng *rand.Rand) Solution {
 				copy(localBestX, x)
 			}
 		}
-		if localBest < best.Value {
-			best.Value = localBest
-			best.Assignment = append([]bool(nil), localBestX...)
-		}
+		fold(localBest, localBestX)
 	}
-	return best
+	return best, nil
 }

@@ -1,0 +1,81 @@
+package qubo
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTabuSolveContextCancelled(t *testing.T) {
+	q := New(48)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < q.N(); i++ {
+		q.AddLinear(i, rng.NormFloat64())
+		for j := i + 1; j < q.N(); j++ {
+			q.AddQuad(i, j, rng.NormFloat64())
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ts := TabuSearch{MaxIters: 1 << 20, Restarts: 1 << 10}
+	start := time.Now()
+	_, err := ts.SolveContext(ctx, q, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "interrupted") {
+		t.Errorf("error lacks partial-progress info: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled search still ran for %v", elapsed)
+	}
+}
+
+func TestTabuSolveContextDeadlineKeepsPartialBest(t *testing.T) {
+	q := New(64)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < q.N(); i++ {
+		q.AddLinear(i, rng.NormFloat64())
+		for j := i + 1; j < q.N(); j++ {
+			q.AddQuad(i, j, 0.2*rng.NormFloat64())
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	ts := TabuSearch{MaxIters: 1 << 22, Restarts: 1 << 12}
+	sol, err := ts.SolveContext(ctx, q, rand.New(rand.NewSource(2)))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if sol.Assignment == nil || math.IsInf(sol.Value, 1) {
+		t.Fatal("no partial best solution preserved")
+	}
+	// Values are tracked incrementally during search, so allow for
+	// floating-point accumulation error against the direct evaluation.
+	if got := q.Value(sol.Assignment); math.Abs(got-sol.Value) > 1e-9*math.Abs(got) {
+		t.Errorf("partial best value %v does not match its assignment (%v)", sol.Value, got)
+	}
+}
+
+func TestTabuSolveContextUncancelledMatchesSolve(t *testing.T) {
+	q := New(20)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < q.N(); i++ {
+		q.AddLinear(i, rng.NormFloat64())
+		if i > 0 {
+			q.AddQuad(i-1, i, rng.NormFloat64())
+		}
+	}
+	a := TabuSearch{}.Solve(q, rand.New(rand.NewSource(4)))
+	b, err := TabuSearch{}.SolveContext(context.Background(), q, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value {
+		t.Errorf("Solve (%v) and SolveContext (%v) diverge on the same seed", a.Value, b.Value)
+	}
+}

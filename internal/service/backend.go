@@ -1,0 +1,92 @@
+// Package service turns the quantumjoin library into a long-running join
+// order optimisation service: a registry of solver backends behind one
+// context-aware interface, a bounded worker pool enforcing per-request
+// deadlines, an LRU cache of QUBO encodings keyed by a canonical hash of
+// the query graph, and an observability layer (request counters,
+// per-backend latency histograms, cache hit/miss statistics).
+//
+// This follows the real-time framing of the related work on hybrid
+// quantum-classical database optimisation: the encode→solve→decode
+// pipeline runs inside a daemon (cmd/qjoind) under bounded concurrency,
+// and repeated query shapes skip the encoding step entirely via the
+// cache — for the small instances NISQ hardware admits, building the
+// MILP→BILP→QUBO encoding dominates request latency, so caching it is the
+// headline performance win.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"quantumjoin/internal/core"
+)
+
+// Params are the per-request solver knobs common to all backends.
+type Params struct {
+	// Reads is the sampling budget: annealing reads, QAOA shots, or tabu
+	// restarts depending on the backend. Zero selects a backend default.
+	Reads int
+	// Seed drives embedding and sampling; equal seeds give reproducible
+	// results on every backend.
+	Seed int64
+}
+
+// Backend solves one QUBO-encoded join ordering problem. Implementations
+// must honour context cancellation in their long-running loops and must be
+// safe for concurrent use: the worker pool calls Solve from many
+// goroutines against shared backend values.
+type Backend interface {
+	// Name is the stable identifier clients select the backend by.
+	Name() string
+	// Solve returns the best valid decoded join order the backend found,
+	// or an error (wrapping ctx.Err() on expiry) when none was found.
+	Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error)
+}
+
+// Registry is a thread-safe name → Backend map.
+type Registry struct {
+	mu       sync.RWMutex
+	backends map[string]Backend
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{backends: make(map[string]Backend)}
+}
+
+// Register adds a backend, rejecting empty and duplicate names.
+func (r *Registry) Register(b Backend) error {
+	name := b.Name()
+	if name == "" {
+		return fmt.Errorf("service: backend has empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.backends[name]; dup {
+		return fmt.Errorf("service: backend %q already registered", name)
+	}
+	r.backends[name] = b
+	return nil
+}
+
+// Get looks a backend up by name.
+func (r *Registry) Get(name string) (Backend, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	b, ok := r.backends[name]
+	return b, ok
+}
+
+// Names returns the registered backend names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.backends))
+	for n := range r.backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,240 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"quantumjoin/internal/anneal"
+	"quantumjoin/internal/classical"
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/qaoa"
+	"quantumjoin/internal/qsim"
+	"quantumjoin/internal/qubo"
+	"quantumjoin/internal/topology"
+)
+
+// RegistryConfig tunes the built-in backends of DefaultRegistry.
+type RegistryConfig struct {
+	// PegasusM sets the annealer hardware graph size (default 6; 16 = the
+	// full Advantage system, expensive to construct).
+	PegasusM int
+	// MaxQAOAQubits caps the statevector simulation of the qaoa backend
+	// (default 16 — 2^16 amplitudes keep request latency service-grade).
+	MaxQAOAQubits int
+	// QAOALayers is the QAOA depth p (default 1, as in the paper).
+	QAOALayers int
+	// QAOAIterations is the classical optimiser budget (default 8).
+	QAOAIterations int
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.PegasusM == 0 {
+		c.PegasusM = 6
+	}
+	if c.MaxQAOAQubits == 0 {
+		c.MaxQAOAQubits = 16
+	}
+	if c.QAOALayers == 0 {
+		c.QAOALayers = 1
+	}
+	if c.QAOAIterations == 0 {
+		c.QAOAIterations = 8
+	}
+	return c
+}
+
+// DefaultRegistry registers every built-in solver behind the Backend
+// interface: the simulated quantum annealer, tabu search, QAOA simulation,
+// the exact MILP solver, and the classical DP/greedy reference baselines.
+func DefaultRegistry(cfg RegistryConfig) *Registry {
+	cfg = cfg.withDefaults()
+	r := NewRegistry()
+	for _, b := range []Backend{
+		NewAnnealBackend(cfg.PegasusM),
+		NewTabuBackend(),
+		NewQAOABackend(cfg.MaxQAOAQubits, cfg.QAOALayers, cfg.QAOAIterations),
+		NewMILPBackend(),
+		NewDPBackend(),
+		NewGreedyBackend(),
+	} {
+		if err := r.Register(b); err != nil {
+			// Built-in names are distinct by construction.
+			panic(err)
+		}
+	}
+	return r
+}
+
+// bestValid decodes every sample and returns the cheapest valid join
+// order, mirroring the §3.5 post-processing.
+func bestValid(enc *core.Encoding, assignments [][]bool) (*core.Decoded, error) {
+	var best *core.Decoded
+	for _, x := range assignments {
+		d := enc.Decode(x)
+		if !d.Valid {
+			continue
+		}
+		if best == nil || d.Cost < best.Cost {
+			dd := d
+			best = &dd
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("service: no valid join order among %d samples", len(assignments))
+	}
+	return best, nil
+}
+
+// annealBackend samples the encoding on the simulated D-Wave-style
+// annealer. The device (including its Pegasus hardware graph) is built
+// once and shared across requests; Sample does not mutate it.
+type annealBackend struct {
+	dev *anneal.Device
+}
+
+// NewAnnealBackend builds the quantum-annealing backend on a Pegasus graph
+// of the given size (0 selects the default 6).
+func NewAnnealBackend(pegasusM int) Backend {
+	if pegasusM <= 0 {
+		pegasusM = 6
+	}
+	g, _ := topology.Pegasus(pegasusM)
+	return &annealBackend{dev: anneal.NewDevice(g)}
+}
+
+func (b *annealBackend) Name() string { return "anneal" }
+
+func (b *annealBackend) Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error) {
+	reads := p.Reads
+	if reads <= 0 {
+		reads = 500
+	}
+	out, err := b.dev.SampleContext(ctx, enc.QUBO, reads, 20, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return bestValid(enc, out.Assignments)
+}
+
+// tabuBackend runs the multistart tabu-search heuristic on the QUBO — the
+// classical reference heuristic commonly paired with annealers.
+type tabuBackend struct{}
+
+// NewTabuBackend builds the tabu-search backend.
+func NewTabuBackend() Backend { return tabuBackend{} }
+
+func (tabuBackend) Name() string { return "tabu" }
+
+func (tabuBackend) Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error) {
+	restarts := p.Reads
+	if restarts <= 0 {
+		restarts = 8
+	}
+	ts := qubo.TabuSearch{Restarts: restarts}
+	sol, err := ts.SolveContext(ctx, enc.QUBO, rand.New(rand.NewSource(p.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	return bestValid(enc, [][]bool{sol.Assignment})
+}
+
+// qaoaBackend runs the hybrid QAOA loop on the statevector simulator.
+type qaoaBackend struct {
+	maxQubits  int
+	layers     int
+	iterations int
+}
+
+// NewQAOABackend builds the QAOA backend with the given statevector cap,
+// circuit depth p, and classical optimiser budget.
+func NewQAOABackend(maxQubits, layers, iterations int) Backend {
+	return qaoaBackend{maxQubits: maxQubits, layers: layers, iterations: iterations}
+}
+
+func (qaoaBackend) Name() string { return "qaoa" }
+
+func (b qaoaBackend) Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error) {
+	if n := enc.NumQubits(); n > b.maxQubits {
+		return nil, fmt.Errorf("service: qaoa backend: %d logical qubits exceed the statevector budget of %d: %w", n, b.maxQubits, ErrBadRequest)
+	}
+	// The optimiser loop itself is bounded by iterations × shots and runs
+	// well under a second below the qubit cap; check the deadline at the
+	// boundaries only.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("service: qaoa backend cancelled before simulation: %w", err)
+	}
+	shots := p.Reads
+	if shots <= 0 {
+		shots = 256
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	out, err := qaoa.Run(enc.QUBO, b.layers, qaoa.AQGD{Iterations: b.iterations}, shots, nil, nil, rng)
+	if err != nil {
+		return nil, err
+	}
+	assignments := make([][]bool, len(out.Samples))
+	for i, basis := range out.Samples {
+		assignments[i] = qsim.BitsOf(basis, enc.QUBO.N())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("service: qaoa backend cancelled: %w", err)
+	}
+	return bestValid(enc, assignments)
+}
+
+// milpBackend solves the BILP model exactly with the built-in
+// LP-relaxation branch-and-bound — optimal w.r.t. the
+// threshold-approximated cost.
+type milpBackend struct{}
+
+// NewMILPBackend builds the exact MILP backend.
+func NewMILPBackend() Backend { return milpBackend{} }
+
+func (milpBackend) Name() string { return "milp" }
+
+func (milpBackend) Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("service: milp backend cancelled: %w", err)
+	}
+	d, err := enc.SolveMILP()
+	if err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// dpBackend is the exact classical baseline: DP over relation subsets.
+type dpBackend struct{}
+
+// NewDPBackend builds the exact dynamic-programming backend.
+func NewDPBackend() Backend { return dpBackend{} }
+
+func (dpBackend) Name() string { return "dp" }
+
+func (dpBackend) Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("service: dp backend cancelled: %w", err)
+	}
+	res, err := classical.Optimal(enc.Query)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Decoded{Valid: true, Order: res.Order, Cost: res.Cost}, nil
+}
+
+// greedyBackend is the min-intermediate-cardinality greedy baseline.
+type greedyBackend struct{}
+
+// NewGreedyBackend builds the greedy baseline backend.
+func NewGreedyBackend() Backend { return greedyBackend{} }
+
+func (greedyBackend) Name() string { return "greedy" }
+
+func (greedyBackend) Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("service: greedy backend cancelled: %w", err)
+	}
+	res := classical.Greedy(enc.Query)
+	return &core.Decoded{Valid: true, Order: res.Order, Cost: res.Cost}, nil
+}

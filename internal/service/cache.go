@@ -1,0 +1,305 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/join"
+)
+
+// EncodeSpec pins down every encoding-relevant request option; together
+// with the canonical query form it determines the cache key.
+type EncodeSpec struct {
+	// Thresholds is the number of cardinality thresholds (DefaultThresholds
+	// spread); default 3.
+	Thresholds int
+	// Omega is the slack discretisation precision ω; default 1.
+	Omega float64
+	// LogObjective selects the log-cost ablation of the objective.
+	LogObjective bool
+}
+
+func (s EncodeSpec) withDefaults() EncodeSpec {
+	if s.Thresholds <= 0 {
+		s.Thresholds = 3
+	}
+	if s.Omega == 0 {
+		s.Omega = 1
+	}
+	return s
+}
+
+// mix64 combines two words with a splitmix64-style finaliser; used for the
+// order-insensitive colour refinement below (not cryptographic — the cache
+// key itself is a SHA-256 over the full canonical serialisation, so colour
+// collisions can only cause cache misses, never wrong results).
+func mix64(a, b uint64) uint64 {
+	x := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// canonicalPerm computes a relabelling of the query's relations that is
+// invariant under permutations of the relation list, via Weisfeiler-Leman
+// colour refinement: a relation's colour starts from its cardinality and
+// is repeatedly refined with the sorted multiset of (selectivity,
+// neighbour colour) pairs. Relations left indistinguishable after n rounds
+// (automorphic twins) are tie-broken by original index, which still
+// serialises to the same canonical form. perm[original] = canonical index.
+func canonicalPerm(q *join.Query) []int {
+	n := q.NumRelations()
+	type edge struct {
+		sel uint64
+		to  int
+	}
+	adj := make([][]edge, n)
+	for _, p := range q.Predicates {
+		sb := math.Float64bits(p.Sel)
+		adj[p.R1] = append(adj[p.R1], edge{sb, p.R2})
+		adj[p.R2] = append(adj[p.R2], edge{sb, p.R1})
+	}
+	colors := make([]uint64, n)
+	for i := range colors {
+		colors[i] = mix64(0x517cc1b727220a95, math.Float64bits(q.Relations[i].Card))
+	}
+	next := make([]uint64, n)
+	var sig []uint64
+	for round := 0; round < n; round++ {
+		for i := range colors {
+			sig = sig[:0]
+			for _, e := range adj[i] {
+				sig = append(sig, mix64(e.sel, colors[e.to]))
+			}
+			sort.Slice(sig, func(a, b int) bool { return sig[a] < sig[b] })
+			h := colors[i]
+			for _, v := range sig {
+				h = mix64(h, v)
+			}
+			next[i] = h
+		}
+		copy(colors, next)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if colors[ia] != colors[ib] {
+			return colors[ia] < colors[ib]
+		}
+		ca, cb := math.Float64bits(q.Relations[ia].Card), math.Float64bits(q.Relations[ib].Card)
+		if ca != cb {
+			return ca < cb
+		}
+		return ia < ib
+	})
+	perm := make([]int, n)
+	for rank, orig := range idx {
+		perm[orig] = rank
+	}
+	return perm
+}
+
+// canonicalize relabels the query so that original relation i sits at
+// canonical position perm[i], with positional names and a sorted predicate
+// list — a fully deterministic instance to encode and hash.
+func canonicalize(q *join.Query, perm []int) *join.Query {
+	cq := &join.Query{Relations: make([]join.Relation, len(perm))}
+	for i, r := range q.Relations {
+		cq.Relations[perm[i]] = join.Relation{Name: fmt.Sprintf("R%d", perm[i]), Card: r.Card}
+	}
+	preds := make([]join.Predicate, len(q.Predicates))
+	for k, p := range q.Predicates {
+		a, b := perm[p.R1], perm[p.R2]
+		if a > b {
+			a, b = b, a
+		}
+		preds[k] = join.Predicate{R1: a, R2: b, Sel: p.Sel}
+	}
+	sort.Slice(preds, func(i, j int) bool {
+		if preds[i].R1 != preds[j].R1 {
+			return preds[i].R1 < preds[j].R1
+		}
+		if preds[i].R2 != preds[j].R2 {
+			return preds[i].R2 < preds[j].R2
+		}
+		return math.Float64bits(preds[i].Sel) < math.Float64bits(preds[j].Sel)
+	})
+	cq.Predicates = preds
+	return cq
+}
+
+// Fingerprint returns the cache key for (query shape, encoding options)
+// and the canonicalising relation permutation. Queries differing only by a
+// permutation of their relation list map to the same key; equal keys imply
+// (up to SHA-256 collisions) identical canonical instances, so a cached
+// encoding is always valid for every query that hits it.
+func Fingerprint(q *join.Query, spec EncodeSpec) (key string, perm []int) {
+	spec = spec.withDefaults()
+	perm = canonicalPerm(q)
+	cq := canonicalize(q, perm)
+	h := sha256.New()
+	buf := make([]byte, 8)
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	w(uint64(len(cq.Relations)))
+	for _, r := range cq.Relations {
+		w(math.Float64bits(r.Card))
+	}
+	w(uint64(len(cq.Predicates)))
+	for _, p := range cq.Predicates {
+		w(uint64(p.R1))
+		w(uint64(p.R2))
+		w(math.Float64bits(p.Sel))
+	}
+	w(uint64(spec.Thresholds))
+	w(math.Float64bits(spec.Omega))
+	if spec.LogObjective {
+		w(1)
+	} else {
+		w(0)
+	}
+	return hex.EncodeToString(h.Sum(nil)), perm
+}
+
+// EncodingCache is a thread-safe LRU cache of QUBO encodings keyed by
+// Fingerprint. Encoding dominates request latency for the classical and
+// sampling backends, so repeated query shapes — the common case for
+// parameterised production queries — skip it entirely.
+type EncodingCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	enc *core.Encoding
+}
+
+// NewEncodingCache returns a cache holding up to capacity encodings
+// (default 256 when capacity <= 0).
+func NewEncodingCache(capacity int) *EncodingCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &EncodingCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Encoding returns the encoding of the canonical form of q under spec,
+// building and inserting it on a miss, along with the relation permutation
+// (perm[original] = canonical) needed to map decoded orders back, and
+// whether the call was a cache hit. Concurrent misses on the same key may
+// encode twice; the last insert wins, which is harmless because all
+// canonical encodings for a key are identical.
+func (c *EncodingCache) Encoding(q *join.Query, spec EncodeSpec) (enc *core.Encoding, perm []int, hit bool, err error) {
+	spec = spec.withDefaults()
+	key, perm := Fingerprint(q, spec)
+	if enc, ok := c.get(key); ok {
+		c.hits.Add(1)
+		return enc, perm, true, nil
+	}
+	c.misses.Add(1)
+	cq := canonicalize(q, perm)
+	enc, err = core.Encode(cq, core.Options{
+		Thresholds:   core.DefaultThresholds(cq, spec.Thresholds),
+		Omega:        spec.Omega,
+		LogObjective: spec.LogObjective,
+	})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	c.put(key, enc)
+	return enc, perm, false, nil
+}
+
+func (c *EncodingCache) get(key string) (*core.Encoding, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).enc, true
+}
+
+func (c *EncodingCache) put(key string, enc *core.Encoding) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).enc = enc
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, enc: enc})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached encodings.
+func (c *EncodingCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a point-in-time view of the cache counters.
+type CacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Size     int   `json:"size"`
+	Capacity int   `json:"capacity"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// Stats returns the current cache counters.
+func (c *EncodingCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Size:     c.Len(),
+		Capacity: c.capacity,
+	}
+}
+
+// Purge drops every cached encoding (counters are kept).
+func (c *EncodingCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+}

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"testing"
+
+	"quantumjoin/internal/join"
+)
+
+// chainQuery builds a 4-relation chain with distinct cardinalities.
+func chainQuery() *join.Query {
+	return &join.Query{
+		Relations: []join.Relation{
+			{Name: "A", Card: 10},
+			{Name: "B", Card: 100},
+			{Name: "C", Card: 1000},
+			{Name: "D", Card: 10000},
+		},
+		Predicates: []join.Predicate{
+			{R1: 0, R2: 1, Sel: 0.1},
+			{R1: 1, R2: 2, Sel: 0.01},
+			{R1: 2, R2: 3, Sel: 0.1},
+		},
+	}
+}
+
+// permuted returns the same instance with the relation list reordered by
+// perm (new index i holds old relation perm[i]) and predicates remapped.
+func permuted(q *join.Query, perm []int) *join.Query {
+	inv := make([]int, len(perm))
+	for i, old := range perm {
+		inv[old] = i
+	}
+	out := &join.Query{Relations: make([]join.Relation, len(perm))}
+	for i, old := range perm {
+		out.Relations[i] = q.Relations[old]
+	}
+	for _, p := range q.Predicates {
+		out.Predicates = append(out.Predicates, join.Predicate{R1: inv[p.R1], R2: inv[p.R2], Sel: p.Sel})
+	}
+	return out
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	q := chainQuery()
+	k1, _ := Fingerprint(q, EncodeSpec{Thresholds: 2})
+	k2, _ := Fingerprint(q, EncodeSpec{Thresholds: 2})
+	if k1 != k2 {
+		t.Errorf("same query hashed differently: %s vs %s", k1, k2)
+	}
+}
+
+func TestFingerprintPermutationInvariant(t *testing.T) {
+	q := chainQuery()
+	base, _ := Fingerprint(q, EncodeSpec{})
+	for _, perm := range [][]int{
+		{3, 2, 1, 0},
+		{1, 0, 3, 2},
+		{2, 3, 0, 1},
+		{0, 2, 1, 3},
+	} {
+		qp := permuted(q, perm)
+		if err := qp.Validate(); err != nil {
+			t.Fatalf("permuted query invalid: %v", err)
+		}
+		key, _ := Fingerprint(qp, EncodeSpec{})
+		if key != base {
+			t.Errorf("permutation %v changed the fingerprint", perm)
+		}
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	q := chainQuery()
+	base, _ := Fingerprint(q, EncodeSpec{})
+
+	sel := chainQuery()
+	sel.Predicates[0].Sel = 0.5
+	if k, _ := Fingerprint(sel, EncodeSpec{}); k == base {
+		t.Error("different selectivity produced the same fingerprint")
+	}
+
+	card := chainQuery()
+	card.Relations[2].Card = 7
+	if k, _ := Fingerprint(card, EncodeSpec{}); k == base {
+		t.Error("different cardinality produced the same fingerprint")
+	}
+
+	if k, _ := Fingerprint(q, EncodeSpec{Thresholds: 5}); k == base {
+		t.Error("different threshold count produced the same fingerprint")
+	}
+	if k, _ := Fingerprint(q, EncodeSpec{Omega: 0.5}); k == base {
+		t.Error("different omega produced the same fingerprint")
+	}
+}
+
+func TestEncodingCacheHitMissAndPermutation(t *testing.T) {
+	c := NewEncodingCache(8)
+	q := chainQuery()
+	enc1, _, hit, err := c.Encoding(q, EncodeSpec{Thresholds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first lookup reported a cache hit")
+	}
+	enc2, perm, hit, err := c.Encoding(permuted(q, []int{3, 1, 0, 2}), EncodeSpec{Thresholds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("permuted lookup missed the cache")
+	}
+	if enc1 != enc2 {
+		t.Error("permuted lookup returned a different encoding object")
+	}
+	// The permutation must relabel the permuted query onto the canonical
+	// instance the encoding was built for.
+	qp := permuted(q, []int{3, 1, 0, 2})
+	for i, canon := range perm {
+		if got, want := qp.Relations[i].Card, enc2.Query.Relations[canon].Card; got != want {
+			t.Errorf("perm[%d]=%d maps card %v onto %v", i, canon, got, want)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / size 1", st)
+	}
+}
+
+func TestEncodingCacheLRUEviction(t *testing.T) {
+	c := NewEncodingCache(2)
+	queries := []*join.Query{chainQuery(), chainQuery(), chainQuery()}
+	queries[1].Relations[0].Card = 20
+	queries[2].Relations[0].Card = 30
+	for _, q := range queries {
+		if _, _, _, err := c.Encoding(q, EncodeSpec{Thresholds: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("cache size = %d after 3 inserts into capacity 2", got)
+	}
+	// The oldest entry (queries[0]) must have been evicted.
+	if _, _, hit, _ := c.Encoding(queries[0], EncodeSpec{Thresholds: 1}); hit {
+		t.Error("evicted entry reported a cache hit")
+	}
+	if _, _, hit, _ := c.Encoding(queries[2], EncodeSpec{Thresholds: 1}); !hit {
+		t.Error("recently used entry was evicted")
+	}
+}

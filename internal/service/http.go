@@ -1,0 +1,156 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"quantumjoin/internal/join"
+)
+
+// OptimizeRequest is the POST /v1/optimize body. Query uses the join
+// catalog schema: {"relations":[{"name":...,"cardinality":...}],
+// "predicates":[{"left":...,"right":...,"selectivity":...}]}.
+type OptimizeRequest struct {
+	Backend      string          `json:"backend,omitempty"`
+	Query        json.RawMessage `json:"query"`
+	Thresholds   int             `json:"thresholds,omitempty"`
+	Omega        float64         `json:"omega,omitempty"`
+	LogObjective bool            `json:"log_objective,omitempty"`
+	Reads        int             `json:"reads,omitempty"`
+	Seed         int64           `json:"seed,omitempty"`
+	TimeoutMs    int             `json:"timeout_ms,omitempty"`
+}
+
+// OptimizeResponse is the POST /v1/optimize result.
+type OptimizeResponse struct {
+	Backend       string   `json:"backend"`
+	Order         []string `json:"order"`
+	Tree          string   `json:"tree"`
+	Cost          float64  `json:"cost"`
+	OptimalCost   float64  `json:"optimal_cost,omitempty"`
+	Optimal       bool     `json:"optimal"`
+	LogicalQubits int      `json:"logical_qubits"`
+	CacheHit      bool     `json:"cache_hit"`
+	ElapsedMs     float64  `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler exposes the service as an HTTP/JSON API:
+//
+//	POST /v1/optimize  — run one optimisation job
+//	GET  /v1/backends  — list registered backends
+//	GET  /metrics      — JSON observability snapshot
+//	GET  /healthz      — liveness probe
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	mux.HandleFunc("/v1/backends", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"backends": s.Backends()})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"backends": len(s.Backends()),
+		})
+	})
+	return mux
+}
+
+func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var body OptimizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	if len(body.Query) == 0 {
+		writeError(w, http.StatusBadRequest, `missing "query"`)
+		return
+	}
+	q, err := join.ReadCatalog(bytes.NewReader(body.Query))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid query: "+err.Error())
+		return
+	}
+	req := &Request{
+		Query:   q,
+		Backend: body.Backend,
+		Spec: EncodeSpec{
+			Thresholds:   body.Thresholds,
+			Omega:        body.Omega,
+			LogObjective: body.LogObjective,
+		},
+		Params:  Params{Reads: body.Reads, Seed: body.Seed},
+		Timeout: time.Duration(body.TimeoutMs) * time.Millisecond,
+	}
+	resp, err := s.Optimize(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	names := make([]string, len(resp.Order))
+	for i, t := range resp.Order {
+		names[i] = q.Relations[t].Name
+	}
+	writeJSON(w, http.StatusOK, OptimizeResponse{
+		Backend:       resp.Backend,
+		Order:         names,
+		Tree:          resp.Tree,
+		Cost:          resp.Cost,
+		OptimalCost:   resp.OptimalCost,
+		Optimal:       resp.Optimal,
+		LogicalQubits: resp.LogicalQubits,
+		CacheHit:      resp.CacheHit,
+		ElapsedMs:     float64(resp.Elapsed) / float64(time.Millisecond),
+	})
+}
+
+// statusFor maps service errors onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrShutdown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 is the de-facto convention.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

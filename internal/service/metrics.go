@@ -1,0 +1,182 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketMs are the histogram upper bounds in milliseconds; an
+// implicit overflow bucket catches everything beyond the last bound.
+var latencyBucketMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket latency histogram with lock-free recording.
+type histogram struct {
+	counts    []atomic.Int64 // len(latencyBucketMs)+1, last = overflow
+	sumMicros atomic.Int64
+	count     atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBucketMs)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketMs) && ms > latencyBucketMs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumMicros.Add(d.Microseconds())
+	h.count.Add(1)
+}
+
+// quantile estimates the q-quantile (0 < q < 1) in milliseconds by linear
+// interpolation within the containing bucket; observations in the overflow
+// bucket report the last bound (a lower bound on the truth).
+func (h *histogram) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	cum := 0.0
+	lower := 0.0
+	for i, bound := range latencyBucketMs {
+		n := float64(h.counts[i].Load())
+		if cum+n >= target && n > 0 {
+			frac := (target - cum) / n
+			return lower + frac*(bound-lower)
+		}
+		cum += n
+		lower = bound
+	}
+	return latencyBucketMs[len(latencyBucketMs)-1]
+}
+
+// LatencySnapshot summarises one histogram.
+type LatencySnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+func (h *histogram) snapshot() LatencySnapshot {
+	s := LatencySnapshot{Count: h.count.Load()}
+	if s.Count > 0 {
+		s.MeanMs = float64(h.sumMicros.Load()) / float64(s.Count) / 1000
+		s.P50Ms = h.quantile(0.50)
+		s.P90Ms = h.quantile(0.90)
+		s.P99Ms = h.quantile(0.99)
+	}
+	return s
+}
+
+// BackendMetrics tracks one backend's requests, errors, and latency.
+type BackendMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	lat      *histogram
+}
+
+// Observe records one solve.
+func (b *BackendMetrics) Observe(d time.Duration, err error) {
+	b.requests.Add(1)
+	if err != nil {
+		b.errors.Add(1)
+	}
+	b.lat.observe(d)
+}
+
+// Metrics is the service-wide observability state. All recording paths are
+// atomic; Snapshot is safe to call concurrently with traffic.
+type Metrics struct {
+	start time.Time
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	inFlight atomic.Int64
+
+	mu       sync.RWMutex
+	backends map[string]*BackendMetrics
+}
+
+// NewMetrics returns zeroed metrics with the clock started.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), backends: make(map[string]*BackendMetrics)}
+}
+
+// Backend returns (lazily creating) the per-backend metrics for name.
+func (m *Metrics) Backend(name string) *BackendMetrics {
+	m.mu.RLock()
+	b, ok := m.backends[name]
+	m.mu.RUnlock()
+	if ok {
+		return b
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b, ok = m.backends[name]; !ok {
+		b = &BackendMetrics{lat: newHistogram()}
+		m.backends[name] = b
+	}
+	return b
+}
+
+// BackendSnapshot summarises one backend.
+type BackendSnapshot struct {
+	Requests int64           `json:"requests"`
+	Errors   int64           `json:"errors"`
+	Latency  LatencySnapshot `json:"latency"`
+}
+
+// RequestsSnapshot summarises service-wide request counters.
+type RequestsSnapshot struct {
+	Total    int64 `json:"total"`
+	Errors   int64 `json:"errors"`
+	InFlight int64 `json:"in_flight"`
+}
+
+// Snapshot is the full /metrics payload.
+type Snapshot struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Requests      RequestsSnapshot           `json:"requests"`
+	Cache         CacheSnapshot              `json:"cache"`
+	Backends      map[string]BackendSnapshot `json:"backends"`
+}
+
+// CacheSnapshot is CacheStats plus the derived hit rate.
+type CacheSnapshot struct {
+	CacheStats
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Snapshot captures the current counters; cache may be nil.
+func (m *Metrics) Snapshot(cache *EncodingCache) Snapshot {
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests: RequestsSnapshot{
+			Total:    m.requests.Load(),
+			Errors:   m.errors.Load(),
+			InFlight: m.inFlight.Load(),
+		},
+		Backends: make(map[string]BackendSnapshot),
+	}
+	if cache != nil {
+		st := cache.Stats()
+		s.Cache = CacheSnapshot{CacheStats: st, HitRate: st.HitRate()}
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for name, b := range m.backends {
+		s.Backends[name] = BackendSnapshot{
+			Requests: b.requests.Load(),
+			Errors:   b.errors.Load(),
+			Latency:  b.lat.snapshot(),
+		}
+	}
+	return s
+}

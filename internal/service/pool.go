@@ -1,0 +1,133 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ErrShutdown is returned by Pool.Run (and Service.Optimize) once graceful
+// shutdown has begun.
+var ErrShutdown = errors.New("service: shutting down")
+
+// Pool is a bounded worker pool: a fixed number of workers consume a
+// bounded job queue, so at most `workers` solves run concurrently and at
+// most `queue` requests wait; everything beyond that blocks in Run until
+// the caller's deadline expires. Shutdown stops admission, drains queued
+// jobs, and waits for the workers to exit.
+type Pool struct {
+	jobs chan *poolJob
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu   sync.RWMutex // guards shut; held (shared) across enqueue
+	shut bool
+}
+
+type poolJob struct {
+	ctx     context.Context
+	run     func(context.Context)
+	done    chan struct{}
+	skipped bool // job expired in the queue and never ran
+}
+
+// NewPool starts a pool with the given worker count (default: GOMAXPROCS)
+// and queue depth (default: 2× workers).
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	p := &Pool{
+		jobs: make(chan *poolJob, queue),
+		quit: make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		// Prefer draining the queue; only exit when it is momentarily
+		// empty AND shutdown has been requested. Admission stops before
+		// quit closes, so the queue cannot grow behind an exiting worker.
+		select {
+		case j := <-p.jobs:
+			j.handle()
+		default:
+			select {
+			case j := <-p.jobs:
+				j.handle()
+			case <-p.quit:
+				return
+			}
+		}
+	}
+}
+
+func (j *poolJob) handle() {
+	defer close(j.done)
+	if j.ctx.Err() != nil {
+		j.skipped = true
+		return
+	}
+	j.run(j.ctx)
+}
+
+// Run enqueues f and blocks until it has finished (or was skipped because
+// the context expired while queued). f must honour its context so that
+// deadlines bound the wait here.
+func (p *Pool) Run(ctx context.Context, f func(context.Context)) error {
+	p.mu.RLock()
+	if p.shut {
+		p.mu.RUnlock()
+		return ErrShutdown
+	}
+	j := &poolJob{ctx: ctx, run: f, done: make(chan struct{})}
+	var enqueueErr error
+	select {
+	case p.jobs <- j:
+	case <-ctx.Done():
+		enqueueErr = fmt.Errorf("service: request expired before a worker was available: %w", ctx.Err())
+	}
+	p.mu.RUnlock()
+	if enqueueErr != nil {
+		return enqueueErr
+	}
+	<-j.done
+	if j.skipped {
+		return fmt.Errorf("service: request expired in queue: %w", j.ctx.Err())
+	}
+	return nil
+}
+
+// Shutdown stops admitting jobs, lets the workers drain the queue, and
+// waits for them to exit; ctx bounds the wait. Safe to call repeatedly.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	first := !p.shut
+	p.shut = true
+	p.mu.Unlock()
+	if first {
+		close(p.quit)
+	}
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: pool shutdown incomplete: %w", ctx.Err())
+	}
+}

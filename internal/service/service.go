@@ -1,0 +1,229 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"quantumjoin/internal/classical"
+	"quantumjoin/internal/join"
+)
+
+// ErrBadRequest marks client errors (invalid query, unknown backend,
+// oversized instance); the HTTP layer maps it to 400.
+var ErrBadRequest = errors.New("service: bad request")
+
+// Config tunes a Service.
+type Config struct {
+	// Workers bounds concurrent solves (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds waiting requests (default: 2× workers).
+	QueueDepth int
+	// CacheSize bounds the encoding cache (default 256 entries).
+	CacheSize int
+	// DefaultTimeout is applied when a request carries no deadline of its
+	// own (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 60s).
+	MaxTimeout time.Duration
+	// DefaultBackend serves requests that name no backend (default
+	// "anneal").
+	DefaultBackend string
+	// CompareRelations is the largest relation count for which responses
+	// include the classically computed optimal cost (default 16; 0 keeps
+	// the default, negative disables the comparison).
+	CompareRelations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.DefaultBackend == "" {
+		c.DefaultBackend = "anneal"
+	}
+	if c.CompareRelations == 0 {
+		c.CompareRelations = 16
+	}
+	return c
+}
+
+// Service is the concurrent join order optimisation engine behind
+// cmd/qjoind: registry + cache + pool + metrics.
+type Service struct {
+	cfg     Config
+	reg     *Registry
+	cache   *EncodingCache
+	pool    *Pool
+	metrics *Metrics
+}
+
+// New assembles a service over the given backend registry.
+func New(reg *Registry, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:     cfg,
+		reg:     reg,
+		cache:   NewEncodingCache(cfg.CacheSize),
+		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
+		metrics: NewMetrics(),
+	}
+}
+
+// Request is one optimisation job.
+type Request struct {
+	// Query is the join ordering instance (validated here).
+	Query *join.Query
+	// Backend names the registered solver; empty selects the default.
+	Backend string
+	// Spec selects the QUBO encoding options (and the cache key).
+	Spec EncodeSpec
+	// Params are the solver knobs.
+	Params Params
+	// Timeout is the per-request deadline; 0 selects the default, and
+	// values above Config.MaxTimeout are clamped to it.
+	Timeout time.Duration
+}
+
+// Response is the outcome of one optimisation job.
+type Response struct {
+	// Backend is the solver that produced the result.
+	Backend string
+	// Order is the join order in the request's own relation indexing.
+	Order join.Order
+	// Tree renders Order over the request's relation names.
+	Tree string
+	// Cost is the exact C_out cost of Order.
+	Cost float64
+	// OptimalCost is the classical DP optimum (0 when the comparison was
+	// skipped, see Config.CompareRelations); Optimal reports Cost ≈
+	// OptimalCost.
+	OptimalCost float64
+	Optimal     bool
+	// LogicalQubits is the QUBO encoding size.
+	LogicalQubits int
+	// CacheHit reports whether the encoding came from the cache.
+	CacheHit bool
+	// Elapsed is the end-to-end service time including queueing.
+	Elapsed time.Duration
+}
+
+// Backends lists the registered backend names.
+func (s *Service) Backends() []string { return s.reg.Names() }
+
+// MetricsSnapshot captures the current observability counters.
+func (s *Service) MetricsSnapshot() Snapshot { return s.metrics.Snapshot(s.cache) }
+
+// PurgeCache drops all cached encodings (used by benchmarks and tests).
+func (s *Service) PurgeCache() { s.cache.Purge() }
+
+// Close gracefully shuts the service down: no new requests are admitted,
+// queued work drains, and in-flight solves finish; ctx bounds the wait.
+func (s *Service) Close(ctx context.Context) error {
+	return s.pool.Shutdown(ctx)
+}
+
+// Optimize runs one request through the pool under its deadline.
+func (s *Service) Optimize(ctx context.Context, req *Request) (*Response, error) {
+	start := time.Now()
+	s.metrics.requests.Add(1)
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	resp, err := s.optimize(ctx, req, start)
+	if err != nil {
+		s.metrics.errors.Add(1)
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (s *Service) optimize(ctx context.Context, req *Request, start time.Time) (*Response, error) {
+	if req.Query == nil {
+		return nil, fmt.Errorf("service: request has no query: %w", ErrBadRequest)
+	}
+	if err := req.Query.Validate(); err != nil {
+		return nil, fmt.Errorf("service: invalid query: %v: %w", err, ErrBadRequest)
+	}
+	name := req.Backend
+	if name == "" {
+		name = s.cfg.DefaultBackend
+	}
+	backend, ok := s.reg.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown backend %q (have: %s): %w",
+			name, strings.Join(s.reg.Names(), ", "), ErrBadRequest)
+	}
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	var resp *Response
+	var solveErr error
+	if err := s.pool.Run(ctx, func(ctx context.Context) {
+		resp, solveErr = s.solve(ctx, backend, req)
+	}); err != nil {
+		return nil, err
+	}
+	if solveErr != nil {
+		return nil, solveErr
+	}
+	resp.Elapsed = time.Since(start)
+	return resp, nil
+}
+
+// solve runs on a pool worker: encoding (cached), backend solve, and
+// mapping the canonical-labelled result back into the request's indexing.
+func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Response, error) {
+	enc, perm, hit, err := s.cache.Encoding(req.Query, req.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding failed: %v: %w", err, ErrBadRequest)
+	}
+
+	bm := s.metrics.Backend(backend.Name())
+	solveStart := time.Now()
+	d, err := backend.Solve(ctx, enc, req.Params)
+	bm.Observe(time.Since(solveStart), err)
+	if err != nil {
+		return nil, err
+	}
+
+	// The backend solved the canonical instance; translate the order back
+	// into the request's relation indexing (costs are label-invariant).
+	inv := make([]int, len(perm))
+	for orig, canon := range perm {
+		inv[canon] = orig
+	}
+	order := make(join.Order, len(d.Order))
+	for i, canon := range d.Order {
+		order[i] = inv[canon]
+	}
+
+	resp := &Response{
+		Backend:       backend.Name(),
+		Order:         order,
+		Tree:          req.Query.Tree(order),
+		Cost:          d.Cost,
+		LogicalQubits: enc.NumQubits(),
+		CacheHit:      hit,
+	}
+	if n := req.Query.NumRelations(); s.cfg.CompareRelations > 0 && n <= s.cfg.CompareRelations {
+		if opt, err := classical.Optimal(req.Query); err == nil {
+			resp.OptimalCost = opt.Cost
+			resp.Optimal = resp.Cost <= opt.Cost*(1+1e-9)+1e-12
+		}
+	}
+	return resp, nil
+}

@@ -23,6 +23,7 @@
 package quantumjoin
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -35,6 +36,7 @@ import (
 	"quantumjoin/internal/noise"
 	"quantumjoin/internal/qaoa"
 	"quantumjoin/internal/qsim"
+	"quantumjoin/internal/qubo"
 	"quantumjoin/internal/querygen"
 	"quantumjoin/internal/sqlfront"
 	"quantumjoin/internal/topology"
@@ -225,6 +227,14 @@ type AnnealingOptions struct {
 // SolveAnnealing samples the encoding on a simulated D-Wave-style
 // annealer and post-processes the reads.
 func SolveAnnealing(enc *Encoding, opts AnnealingOptions) (Result, error) {
+	return SolveAnnealingContext(context.Background(), enc, opts)
+}
+
+// SolveAnnealingContext is SolveAnnealing with cancellation: long sampling
+// runs honour the context's deadline, checking it between (and within)
+// reads, and return the context error wrapped with partial-progress
+// information.
+func SolveAnnealingContext(ctx context.Context, enc *Encoding, opts AnnealingOptions) (Result, error) {
 	if opts.Reads == 0 {
 		opts.Reads = 1000
 	}
@@ -239,13 +249,38 @@ func SolveAnnealing(enc *Encoding, opts AnnealingOptions) (Result, error) {
 	if opts.Noiseless {
 		dev.SigmaH, dev.SigmaJ = 0, 0
 	}
-	out, err := dev.Sample(enc.QUBO, opts.Reads, opts.AnnealTimeMicros, opts.Seed)
+	out, err := dev.SampleContext(ctx, enc.QUBO, opts.Reads, opts.AnnealTimeMicros, opts.Seed)
 	if err != nil {
 		return Result{}, err
 	}
 	res, err := summarize(enc, out.Assignments)
 	res.PhysicalQubits = out.PhysicalQubits
 	return res, err
+}
+
+// TabuOptions configure SolveTabu.
+type TabuOptions struct {
+	// Tenure is the tabu tenure (default n/4 + 1).
+	Tenure int
+	// MaxIters bounds flips per restart (default 64·n).
+	MaxIters int
+	// Restarts is the number of random restarts (default 4).
+	Restarts int
+	// Seed drives the restarts.
+	Seed int64
+}
+
+// SolveTabu runs the classical multistart tabu-search heuristic on the
+// encoding — the reference heuristic commonly paired with annealers — and
+// post-processes the single best assignment. The search honours the
+// context's deadline.
+func SolveTabu(ctx context.Context, enc *Encoding, opts TabuOptions) (Result, error) {
+	ts := qubo.TabuSearch{Tenure: opts.Tenure, MaxIters: opts.MaxIters, Restarts: opts.Restarts}
+	sol, err := ts.SolveContext(ctx, enc.QUBO, rand.New(rand.NewSource(opts.Seed)))
+	if err != nil {
+		return Result{}, err
+	}
+	return summarize(enc, [][]bool{sol.Assignment})
 }
 
 // QAOAOptions configure SolveQAOA.

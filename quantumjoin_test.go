@@ -1,6 +1,8 @@
 package quantumjoin_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -135,5 +137,57 @@ func TestFacadeNoisyQAOA(t *testing.T) {
 	// but valid solutions still appear for this tiny instance.
 	if res.ValidFraction <= 0 {
 		t.Fatal("no valid samples at all")
+	}
+}
+
+func TestFacadeSolveTabu(t *testing.T) {
+	q := paperQuery()
+	_, optCost, err := quantumjoin.OptimalJoinOrder(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := quantumjoin.Encode(q, quantumjoin.EncodeOptions{
+		Thresholds: []float64{1000},
+		Omega:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := quantumjoin.SolveTabu(context.Background(), enc, quantumjoin.TabuOptions{
+		Restarts: 8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best.Valid {
+		t.Fatal("tabu search found no valid join order")
+	}
+	if res.Best.Cost > optCost*(1+1e-9) {
+		t.Fatalf("tabu best %v worse than optimum %v", res.Best.Cost, optCost)
+	}
+
+	// Cancellation surfaces the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := quantumjoin.SolveTabu(ctx, enc, quantumjoin.TabuOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SolveTabu err = %v", err)
+	}
+}
+
+func TestFacadeSolveAnnealingContextCancelled(t *testing.T) {
+	enc, err := quantumjoin.Encode(paperQuery(), quantumjoin.EncodeOptions{
+		Thresholds: []float64{1000},
+		Omega:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = quantumjoin.SolveAnnealingContext(ctx, enc, quantumjoin.AnnealingOptions{
+		Reads: 100, PegasusM: 4,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
