@@ -21,7 +21,11 @@ import (
 // core while exercising every code path of the full experiments.
 func benchConfig() experiments.Config {
 	return experiments.Config{
-		Seed:                1,
+		Seed: 1,
+		// Workers: 0 fans repetitions and sweep cells over GOMAXPROCS
+		// goroutines; results are identical for any worker count, so the
+		// reported metrics are comparable across machines.
+		Workers:             0,
 		TranspileRuns:       5,
 		QAOAShots:           1024,
 		QAOAIterations:      []int{3},
@@ -67,20 +71,32 @@ func BenchmarkFigure2CircuitDepth(b *testing.B) {
 	if testing.Short() {
 		b.Skip("skipping paper-scale experiment benchmark in -short mode")
 	}
-	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFigure2(cfg)
-		if err != nil {
-			b.Fatal(err)
+	// Serial vs worker-pool fan-out of the transpile repetitions: the rows
+	// are identical by construction, so the sub-benchmarks measure pure
+	// harness scaling (equal on a single-core host).
+	for _, workers := range []int{1, 0} {
+		name := "workers=1"
+		if workers == 0 {
+			name = "workers=auto"
 		}
-		if i == 0 {
-			if d, ok := res.MedianFor("predicates", "0 predicates"); ok {
-				b.ReportMetric(d, "depth-18q")
+		b.Run(name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunFigure2(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					if d, ok := res.MedianFor("predicates", "0 predicates"); ok {
+						b.ReportMetric(d, "depth-18q")
+					}
+					if d, ok := res.MedianFor("predicates", "3 predicates"); ok {
+						b.ReportMetric(d, "depth-27q")
+					}
+				}
 			}
-			if d, ok := res.MedianFor("predicates", "3 predicates"); ok {
-				b.ReportMetric(d, "depth-27q")
-			}
-		}
+		})
 	}
 }
 

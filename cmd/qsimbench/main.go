@@ -1,0 +1,223 @@
+// Command qsimbench measures the simulator stack's fast path: strided
+// versus reference statevector kernels, serial versus worker-pool
+// execution, fused versus gate-by-gate diagonal layers, and the
+// cost-table versus per-basis-state QAOA expectation. Results go to a
+// JSON file (default BENCH_qsim.json) with the host's CPU budget
+// recorded, since kernel-level parallel speedup is only visible when
+// GOMAXPROCS > 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"quantumjoin/internal/circuit"
+	"quantumjoin/internal/qaoa"
+	"quantumjoin/internal/qsim"
+	"quantumjoin/internal/qubo"
+)
+
+// Measurement is one benchmark case.
+type Measurement struct {
+	Name    string  `json:"name"`
+	Qubits  int     `json:"qubits"`
+	Workers int     `json:"workers"` // 0 = GOMAXPROCS
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GoMaxProcs   int           `json:"go_max_procs"`
+	NumCPU       int           `json:"num_cpu"`
+	GoVersion    string        `json:"go_version"`
+	Measurements []Measurement `json:"measurements"`
+}
+
+// timeIt runs fn repeatedly for at least minDuration and returns ns/op.
+func timeIt(minDuration time.Duration, fn func()) (int, float64) {
+	fn() // warm up
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < minDuration {
+		fn()
+		iters++
+	}
+	return iters, float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+func randomize(s *qsim.State, rng *rand.Rand, n int) {
+	// Scramble via a cheap circuit so amplitudes are dense; exact values
+	// don't matter for timing.
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.Append(circuit.G1(circuit.H, q, 0))
+		c.Append(circuit.G1(circuit.RY, q, rng.Float64()))
+	}
+	if err := s.Run(c); err != nil {
+		panic(err)
+	}
+}
+
+func diagLayer(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.Append(circuit.G1(circuit.RZ, q, 0.3+float64(q)*0.01))
+	}
+	for q := 0; q < n; q++ {
+		c.Append(circuit.G2(circuit.RZZ, q, (q+1)%n, 0.7+float64(q)*0.01))
+	}
+	return c
+}
+
+func denseQUBO(rng *rand.Rand, n int) *qubo.QUBO {
+	q := qubo.New(n)
+	for i := 0; i < n; i++ {
+		q.AddLinear(i, rng.NormFloat64())
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				q.AddQuad(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return q
+}
+
+func main() {
+	out := flag.String("o", "BENCH_qsim.json", "output JSON path")
+	budget := flag.Duration("t", 2*time.Second, "minimum measurement time per case")
+	maxQubits := flag.Int("max-qubits", 24, "largest statevector size (2^n amplitudes)")
+	flag.Parse()
+
+	rep := &Report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	add := func(name string, qubits, workers, iters int, nsPerOp float64) {
+		rep.Measurements = append(rep.Measurements, Measurement{
+			Name: name, Qubits: qubits, Workers: workers, Iters: iters, NsPerOp: nsPerOp,
+		})
+		fmt.Printf("%-28s n=%-3d workers=%-2d %12.0f ns/op  (%d iters)\n", name, qubits, workers, nsPerOp, iters)
+	}
+
+	sizes := []int{16, 20, 24}
+	workerSettings := []int{1, 0} // serial, then full GOMAXPROCS fan-out
+	for _, n := range sizes {
+		if n > *maxQubits {
+			continue
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		s, err := qsim.NewState(n)
+		if err != nil {
+			panic(err)
+		}
+		randomize(s, rng, n)
+		layer := diagLayer(n)
+
+		// Reference full-sweep serial kernel: one Hadamard.
+		iters, ns := timeIt(*budget, func() {
+			if err := s.ApplyGateRef(circuit.G1(circuit.H, 0, 0)); err != nil {
+				panic(err)
+			}
+		})
+		add("h/reference", n, 1, iters, ns)
+
+		for _, w := range workerSettings {
+			prev := qsim.SetWorkers(w)
+			iters, ns := timeIt(*budget, func() {
+				if err := s.ApplyGate(circuit.G1(circuit.H, 0, 0)); err != nil {
+					panic(err)
+				}
+			})
+			add("h/strided", n, w, iters, ns)
+
+			iters, ns = timeIt(*budget, func() {
+				if err := s.ApplyGate(circuit.G2(circuit.CX, 0, n-1, 0)); err != nil {
+					panic(err)
+				}
+			})
+			add("cx/strided", n, w, iters, ns)
+
+			iters, ns = timeIt(*budget, func() {
+				if err := s.Run(layer); err != nil {
+					panic(err)
+				}
+			})
+			add("diag-layer/fused", n, w, iters, ns)
+			qsim.SetWorkers(prev)
+		}
+
+		// Gate-by-gate diagonal layer through the reference kernels.
+		iters, ns = timeIt(*budget, func() {
+			for _, g := range layer.Gates {
+				if err := s.ApplyGateRef(g); err != nil {
+					panic(err)
+				}
+			}
+		})
+		add("diag-layer/gate-by-gate", n, 1, iters, ns)
+	}
+
+	// QAOA expectation: per-basis-state QUBO evaluation vs the dense cost
+	// table, on the post-circuit state of a p=1 QAOA evaluation.
+	for _, n := range []int{16, 20} {
+		if n > *maxQubits {
+			continue
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		q := denseQUBO(rng, n)
+		params := qaoa.NewParams(1)
+		params.Gammas[0] = 0.37
+		params.Betas[0] = 0.41
+		ex := &qaoa.Executor{QUBO: q}
+		s, err := qsim.NewState(n)
+		if err != nil {
+			panic(err)
+		}
+		randomize(s, rng, n)
+
+		iters, ns := timeIt(*budget, func() {
+			_ = s.ExpectationDiag(func(b uint64) float64 { return q.ValueBits(b) })
+		})
+		add("qaoa-expectation/valuebits", n, 1, iters, ns)
+
+		table := q.CostTable()
+		for _, w := range workerSettings {
+			prev := qsim.SetWorkers(w)
+			iters, ns = timeIt(*budget, func() {
+				_ = s.ExpectationTable(table)
+			})
+			add("qaoa-expectation/table", n, w, iters, ns)
+			qsim.SetWorkers(prev)
+		}
+
+		// Full evaluation (circuit + expectation) through the Executor.
+		iters, ns = timeIt(*budget, func() {
+			if _, err := ex.Expectation(params); err != nil {
+				panic(err)
+			}
+		})
+		add("qaoa-eval/table", n, 0, iters, ns)
+		ex.Close()
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		panic(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

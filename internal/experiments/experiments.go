@@ -27,6 +27,12 @@ import (
 type Config struct {
 	Seed int64
 
+	// Workers bounds the harnesses' fan-out over independent repetitions
+	// and sweep cells (0 = GOMAXPROCS). Every task derives its RNG from
+	// Seed and the task index alone, so results are identical for any
+	// worker count.
+	Workers int
+
 	// Figure 2 / Figure 5: transpilation repetitions per scenario.
 	TranspileRuns int
 

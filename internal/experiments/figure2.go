@@ -49,8 +49,11 @@ func RunFigure2(cfg Config) (*Figure2Result, error) {
 		params.Gammas[0] = 0.35
 		params.Betas[0] = 0.6
 		logical := qaoa.BuildCircuit(enc.QUBO, params)
-		var ds []float64
-		for run := 0; run < cfg.TranspileRuns; run++ {
+		// Repetitions are independent (per-run seed) and fan out over the
+		// worker pool; each writes its own slot, keeping results identical
+		// to the serial order.
+		ds := make([]float64, cfg.TranspileRuns)
+		if err := cfg.forEach(cfg.TranspileRuns, func(run int) error {
 			tr, err := transpile.Transpile(logical, dev, transpile.Options{
 				GateSet: transpile.IBMNative,
 				Router:  transpile.RouterLookahead,
@@ -59,7 +62,10 @@ func RunFigure2(cfg Config) (*Figure2Result, error) {
 			if err != nil {
 				return err
 			}
-			ds = append(ds, float64(tr.Circuit.Depth()))
+			ds[run] = float64(tr.Circuit.Depth())
+			return nil
+		}); err != nil {
+			return err
 		}
 		box := stats.Summarize(ds)
 		res.Rows = append(res.Rows, Figure2Row{

@@ -35,13 +35,11 @@ type Figure3Result struct {
 // ω ∈ {1, 0.01, 0.0001}, locating the feasibility frontier.
 func RunFigure3(cfg Config) (*Figure3Result, error) {
 	dev := cfg.AnnealDevice()
-	res := &Figure3Result{}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	embed := func(panel string, g querygen.GraphType, relations, thresholds int, omega float64) (bool, error) {
+	embed := func(rng *rand.Rand, panel string, g querygen.GraphType, relations, thresholds int, omega float64) (Figure3Row, error) {
 		_, enc, err := randomInstance(relations, g, thresholds, omega, rng)
 		if err != nil {
-			return false, err
+			return Figure3Row{}, err
 		}
 		row := Figure3Row{
 			Panel: panel, Graph: g, Relations: relations,
@@ -54,37 +52,56 @@ func RunFigure3(cfg Config) (*Figure3Result, error) {
 			row.PhysicalQubits = emb.PhysicalQubits()
 			row.MaxChain = emb.MaxChainLength()
 		}
-		res.Rows = append(res.Rows, row)
-		return row.OK, nil
+		return row, nil
 	}
 
-	// Each sweep stops at its first failure: that failure is the
-	// feasibility frontier the figure locates, and anything beyond it is
-	// equally infeasible on the hardware.
-	for _, g := range []querygen.GraphType{querygen.Chain, querygen.Star, querygen.Cycle} {
-		for _, n := range cfg.EmbedRelations {
-			if g == querygen.Cycle && n < 3 {
-				continue
+	// The figure is six independent sweeps — three graph types for the
+	// relations panel and three precisions for the thresholds panel. Each
+	// sweep is sequential inside (it stops at its first failure: that
+	// failure is the feasibility frontier the figure locates, and anything
+	// beyond it is equally infeasible on the hardware), draws instances
+	// from its own derived RNG stream, and fans out over the worker pool.
+	graphs := []querygen.GraphType{querygen.Chain, querygen.Star, querygen.Cycle}
+	omegas := []float64{1, 0.01, 0.0001}
+	sweeps := make([][]Figure3Row, len(graphs)+len(omegas))
+	err := cfg.forEach(len(sweeps), func(i int) error {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*9973))
+		if i < len(graphs) {
+			g := graphs[i]
+			for _, n := range cfg.EmbedRelations {
+				if g == querygen.Cycle && n < 3 {
+					continue
+				}
+				row, err := embed(rng, "relations", g, n, 1, 1)
+				if err != nil {
+					return err
+				}
+				sweeps[i] = append(sweeps[i], row)
+				if !row.OK {
+					break
+				}
 			}
-			ok, err := embed("relations", g, n, 1, 1)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				break
-			}
+			return nil
 		}
-	}
-	for _, omega := range []float64{1, 0.01, 0.0001} {
+		omega := omegas[i-len(graphs)]
 		for r := 1; r <= cfg.EmbedMaxThresholds; r++ {
-			ok, err := embed("precision", querygen.Chain, cfg.EmbedFixedRelations, r, omega)
+			row, err := embed(rng, "precision", querygen.Chain, cfg.EmbedFixedRelations, r, omega)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if !ok {
+			sweeps[i] = append(sweeps[i], row)
+			if !row.OK {
 				break
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure3Result{}
+	for _, rows := range sweeps {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }

@@ -76,17 +76,22 @@ func RunFigure5(cfg Config) (*Figure5Result, error) {
 				}
 				for _, set := range []transpile.GateSet{pl.native, transpile.Unrestricted} {
 					for _, router := range []transpile.Router{transpile.RouterLookahead, transpile.RouterBasic} {
-						var ds []float64
-						for run := 0; run < cfg.TranspileRuns; run++ {
+						// Per-run seeds make the repetitions independent;
+						// fan them out and collect by index.
+						ds := make([]float64, cfg.TranspileRuns)
+						if err := cfg.forEach(cfg.TranspileRuns, func(run int) error {
 							tr, err := transpile.Transpile(logical, dev, transpile.Options{
 								GateSet: set,
 								Router:  router,
 								Seed:    cfg.Seed + int64(run)*6007,
 							})
 							if err != nil {
-								return nil, err
+								return err
 							}
-							ds = append(ds, float64(tr.Circuit.Depth()))
+							ds[run] = float64(tr.Circuit.Depth())
+							return nil
+						}); err != nil {
+							return nil, err
 						}
 						box := stats.Summarize(ds)
 						res.Rows = append(res.Rows, Figure5Row{

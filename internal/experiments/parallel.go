@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(0)..fn(n-1) over a bounded worker pool of cfg.Workers
+// goroutines (0 selects GOMAXPROCS) and returns the lowest-index error.
+// Tasks must be independent: every harness below gives each task its own
+// derived RNG seed and writes results into its own slot of a pre-sized
+// slice, so the output is bit-identical to the serial order regardless of
+// the worker count or scheduling.
+func (c Config) forEach(n int, fn func(i int) error) error {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

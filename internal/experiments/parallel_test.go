@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		cfg := Config{Workers: workers}
+		var hits [50]atomic.Int32
+		if err := cfg.forEach(len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	e3, e7 := errors.New("task 3"), errors.New("task 7")
+	cfg := Config{Workers: 4}
+	err := cfg.forEach(10, func(i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if !errors.Is(err, e3) {
+		t.Fatalf("got %v, want the lowest-index error %v", err, e3)
+	}
+}
+
+// TestHarnessesDeterministicAcrossWorkerCounts pins the parallelism
+// guarantee: every fanned-out harness produces identical rows for any
+// worker count, because each task's RNG is derived from the seed and task
+// index alone.
+func TestHarnessesDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-config experiment reruns skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("double harness run too slow under the race detector; parallel paths are raced by the regular harness tests")
+	}
+	micro := Config{
+		Seed:                3,
+		TranspileRuns:       2,
+		QAOAShots:           64,
+		QAOAIterations:      []int{1},
+		MaxQAOAQubits:       18,
+		EmbedRelations:      []int{3, 4},
+		EmbedFixedRelations: 3,
+		EmbedMaxThresholds:  2,
+		PegasusM:            4,
+		EmbedTries:          2,
+		CoDesignRelations:   []int{2},
+		CoDesignDensities:   []float64{0, 0.5},
+	}
+	serial := micro
+	serial.Workers = 1
+	parallel := micro
+	parallel.Workers = 4
+
+	f2a, err := RunFigure2(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2b, err := RunFigure2(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f2a.Rows, f2b.Rows) {
+		t.Fatal("Figure 2 rows differ between worker counts")
+	}
+
+	f3a, err := RunFigure3(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3b, err := RunFigure3(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f3a.Rows, f3b.Rows) {
+		t.Fatal("Figure 3 rows differ between worker counts")
+	}
+
+	f5a, err := RunFigure5(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5b, err := RunFigure5(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f5a.Rows, f5b.Rows) {
+		t.Fatal("Figure 5 rows differ between worker counts")
+	}
+
+	t2a, err := RunTable2(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2b, err := RunTable2(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t2a.Rows, t2b.Rows) {
+		t.Fatal("Table 2 rows differ between worker counts")
+	}
+}

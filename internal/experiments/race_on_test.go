@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the
+// worker-count determinism test skips itself under race (it reruns four
+// harnesses twice, which blows the package test budget with the detector's
+// overhead) — the parallel paths still get race coverage from the regular
+// harness tests, which fan out whenever GOMAXPROCS > 1.
+const raceEnabled = true

@@ -38,59 +38,72 @@ type Table2Result struct {
 func RunTable2(cfg Config) (*Table2Result, error) {
 	falcon := topology.Falcon27()
 	cal := noise.Auckland()
-	res := &Table2Result{}
+	// Each (predicates, iterations) cell is independent: its RNG is seeded
+	// from (p, iters) alone and it builds its own encoding, so the cells
+	// fan out over the worker pool and land in their fixed row slots.
+	type cell struct{ p, iters int }
+	var cells []cell
 	for p := 0; p <= 3; p++ {
-		enc, err := paperEncoding(p, 0)
-		if err != nil {
-			return nil, err
-		}
 		for _, iters := range cfg.QAOAIterations {
-			row := Table2Row{Predicates: p, Qubits: enc.NumQubits(), Iterations: iters, Shots: cfg.QAOAShots}
-			if enc.NumQubits() > cfg.MaxQAOAQubits {
-				row.Skipped = true
-				res.Rows = append(res.Rows, row)
-				continue
-			}
-			// Transpile once to size the hardware noise.
-			params := qaoa.NewParams(1)
-			params.Gammas[0] = 0.35
-			params.Betas[0] = 0.6
-			logical := qaoa.BuildCircuit(enc.QUBO, params)
-			tr, err := transpile.Transpile(logical, falcon, transpile.Options{
-				GateSet: transpile.IBMNative,
-				Router:  transpile.RouterLookahead,
-				Seed:    cfg.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row.Lambda = cal.Lambda(tr.Circuit)
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*101 + int64(iters)))
-			out, err := qaoa.Run(enc.QUBO, 1, qaoa.AQGD{Iterations: iters}, cfg.QAOAShots, &cal, tr.Circuit, rng)
-			if err != nil {
-				return nil, err
-			}
-			valid, optimal := 0, 0
-			for _, b := range out.Samples {
-				d := enc.Decode(qsim.BitsOf(b, enc.QUBO.N()))
-				if !d.Valid {
-					continue
-				}
-				valid++
-				ok, err := enc.IsOptimal(d)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					optimal++
-				}
-			}
-			row.Valid = float64(valid) / float64(len(out.Samples))
-			row.Optimal = float64(optimal) / float64(len(out.Samples))
-			res.Rows = append(res.Rows, row)
+			cells = append(cells, cell{p, iters})
 		}
 	}
-	return res, nil
+	rows := make([]Table2Row, len(cells))
+	err := cfg.forEach(len(cells), func(i int) error {
+		p, iters := cells[i].p, cells[i].iters
+		enc, err := paperEncoding(p, 0)
+		if err != nil {
+			return err
+		}
+		row := Table2Row{Predicates: p, Qubits: enc.NumQubits(), Iterations: iters, Shots: cfg.QAOAShots}
+		if enc.NumQubits() > cfg.MaxQAOAQubits {
+			row.Skipped = true
+			rows[i] = row
+			return nil
+		}
+		// Transpile once to size the hardware noise.
+		params := qaoa.NewParams(1)
+		params.Gammas[0] = 0.35
+		params.Betas[0] = 0.6
+		logical := qaoa.BuildCircuit(enc.QUBO, params)
+		tr, err := transpile.Transpile(logical, falcon, transpile.Options{
+			GateSet: transpile.IBMNative,
+			Router:  transpile.RouterLookahead,
+			Seed:    cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		row.Lambda = cal.Lambda(tr.Circuit)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*101 + int64(iters)))
+		out, err := qaoa.Run(enc.QUBO, 1, qaoa.AQGD{Iterations: iters}, cfg.QAOAShots, &cal, tr.Circuit, rng)
+		if err != nil {
+			return err
+		}
+		valid, optimal := 0, 0
+		for _, b := range out.Samples {
+			d := enc.Decode(qsim.BitsOf(b, enc.QUBO.N()))
+			if !d.Valid {
+				continue
+			}
+			valid++
+			ok, err := enc.IsOptimal(d)
+			if err != nil {
+				return err
+			}
+			if ok {
+				optimal++
+			}
+		}
+		row.Valid = float64(valid) / float64(len(out.Samples))
+		row.Optimal = float64(optimal) / float64(len(out.Samples))
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table2Result{Rows: rows}, nil
 }
 
 // Write renders the table in the paper's layout.

@@ -1,0 +1,136 @@
+package qaoa
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/qubo"
+)
+
+func denseQUBO(rng *rand.Rand, n int) *qubo.QUBO {
+	q := qubo.New(n)
+	for i := 0; i < n; i++ {
+		q.AddLinear(i, rng.NormFloat64())
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				q.AddQuad(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return q
+}
+
+// TestExpectationTablePathMatchesValueBits checks that the cost-table fast
+// path of Executor.Expectation agrees with the per-basis-state ValueBits
+// fallback across random QUBOs and parameters.
+func TestExpectationTablePathMatchesValueBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 4; trial++ {
+		n := 4 + rng.Intn(6)
+		q := denseQUBO(rng, n)
+		params := NewParams(1)
+		params.Gammas[0] = rng.Float64()
+		params.Betas[0] = rng.Float64()
+
+		fast := &Executor{QUBO: q}
+		defer fast.Close()
+		slow := &Executor{QUBO: q}
+		slow.haveTable = true // nil table forces the ValueBits fallback
+		defer slow.Close()
+
+		got, err := fast.Expectation(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.table() == nil {
+			t.Fatal("fast executor did not build a cost table")
+		}
+		want, err := slow.Expectation(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d n=%d: table path %v != ValueBits path %v", trial, n, got, want)
+		}
+	}
+}
+
+// TestExecutorStateReuse checks that repeated evaluations reuse the pooled
+// statevector and still give identical results.
+func TestExecutorStateReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	q := denseQUBO(rng, 6)
+	ex := &Executor{QUBO: q}
+	defer ex.Close()
+	params := NewParams(1)
+	params.Gammas[0] = 0.4
+	params.Betas[0] = 0.3
+	e1, err := ex.Expectation(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := ex.state
+	e2, err := ex.Expectation(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.state != s1 {
+		t.Fatal("executor allocated a fresh state on the second evaluation")
+	}
+	if e1 != e2 {
+		t.Fatalf("state reuse changed the expectation: %v != %v", e1, e2)
+	}
+}
+
+// TestScoreSamplesMatchesValueBits checks sample scoring through the table
+// against direct evaluation.
+func TestScoreSamplesMatchesValueBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	q := denseQUBO(rng, 8)
+	ex := &Executor{QUBO: q}
+	samples := make([]uint64, 50)
+	for i := range samples {
+		samples[i] = uint64(rng.Intn(1 << 8))
+	}
+	energies := ex.ScoreSamples(samples)
+	for i, b := range samples {
+		if want := q.ValueBits(b); math.Abs(energies[i]-want) > 1e-9 {
+			t.Fatalf("sample %d (basis %d): energy %v != ValueBits %v", i, b, energies[i], want)
+		}
+	}
+}
+
+// TestRunContextCancellation checks that a cancelled context aborts the
+// hybrid loop with a context error.
+func TestRunContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	q := denseQUBO(rng, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, q, 1, AQGD{Iterations: 5}, 32, nil, nil, rng)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunContext returned %v, want context.Canceled", err)
+	}
+}
+
+// TestRunPopulatesEnergies checks the end-to-end result carries per-sample
+// energies consistent with the samples.
+func TestRunPopulatesEnergies(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	q := denseQUBO(rng, 5)
+	res, err := Run(q, 1, AQGD{Iterations: 3}, 64, nil, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Energies) != len(res.Samples) {
+		t.Fatalf("got %d energies for %d samples", len(res.Energies), len(res.Samples))
+	}
+	for i, b := range res.Samples {
+		if want := q.ValueBits(b); math.Abs(res.Energies[i]-want) > 1e-9 {
+			t.Fatalf("sample %d: energy %v != ValueBits %v", i, res.Energies[i], want)
+		}
+	}
+}

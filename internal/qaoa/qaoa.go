@@ -7,6 +7,7 @@
 package qaoa
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -97,10 +98,47 @@ type Executor struct {
 	// computed from the transpiled circuit handed to SetTranspiled (or,
 	// if none was provided, from the logical circuit itself).
 	Noise *noise.Calibration
+	// CostTableMaxQubits caps the problem size for which a dense cost
+	// table (8·2^n bytes) is precomputed and cached across optimiser
+	// iterations; above the cap Expectation falls back to evaluating the
+	// QUBO per basis state. 0 selects qsim.MaxQubits.
+	CostTableMaxQubits int
 
 	transpiled *circuit.Circuit
 	uniformE   float64
 	haveUnifE  bool
+
+	// state is the pooled statevector reused across the optimiser's energy
+	// evaluations (Reset between runs); costTable caches the dense QUBO
+	// diagonal. An Executor is not safe for concurrent use.
+	state     *qsim.State
+	costTable []float64
+	haveTable bool
+}
+
+// Close releases the executor's pooled statevector buffer. The executor
+// remains usable; the next run re-acquires a buffer.
+func (ex *Executor) Close() {
+	if ex.state != nil {
+		ex.state.Release()
+		ex.state = nil
+	}
+}
+
+// table returns the cached dense cost table, building it on first use, or
+// nil when the problem exceeds CostTableMaxQubits.
+func (ex *Executor) table() []float64 {
+	if !ex.haveTable {
+		max := ex.CostTableMaxQubits
+		if max <= 0 || max > qsim.MaxQubits {
+			max = qsim.MaxQubits
+		}
+		if ex.QUBO.N() <= max {
+			ex.costTable = ex.QUBO.CostTable()
+		}
+		ex.haveTable = true
+	}
+	return ex.costTable
 }
 
 // SetTranspiled registers the hardware-level circuit whose gate counts and
@@ -108,17 +146,23 @@ type Executor struct {
 // the simulator executes (the transpiled one is unitarily equivalent).
 func (ex *Executor) SetTranspiled(c *circuit.Circuit) { ex.transpiled = c }
 
-// run executes the circuit for the given parameters and returns the state.
+// run executes the circuit for the given parameters and returns the
+// executor's pooled state (valid until the next run or Close).
 func (ex *Executor) run(params Params) (*qsim.State, error) {
 	c := BuildCircuit(ex.QUBO, params)
-	s, err := qsim.NewState(ex.QUBO.N())
-	if err != nil {
+	if ex.state == nil {
+		s, err := qsim.Acquire(ex.QUBO.N())
+		if err != nil {
+			return nil, err
+		}
+		ex.state = s
+	} else {
+		ex.state.Reset()
+	}
+	if err := ex.state.Run(c); err != nil {
 		return nil, err
 	}
-	if err := s.Run(c); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return ex.state, nil
 }
 
 // lambda returns the depolarising weight for the current noise setting.
@@ -159,7 +203,12 @@ func (ex *Executor) Expectation(params Params) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	ideal := s.ExpectationDiag(func(b uint64) float64 { return ex.QUBO.ValueBits(b) })
+	var ideal float64
+	if tab := ex.table(); tab != nil {
+		ideal = s.ExpectationTable(tab)
+	} else {
+		ideal = s.ExpectationDiag(func(b uint64) float64 { return ex.QUBO.ValueBits(b) })
+	}
 	if l := ex.lambda(params); l > 0 {
 		return noise.MixedExpectation(l, ideal, ex.uniformExpectation()), nil
 	}
@@ -191,12 +240,31 @@ func (ex *Executor) Sample(params Params, shots int, rng *rand.Rand) ([]uint64, 
 	}), nil
 }
 
+// ScoreSamples returns the QUBO cost of each sampled basis state, reusing
+// the cached dense cost table when one is available.
+func (ex *Executor) ScoreSamples(samples []uint64) []float64 {
+	energies := make([]float64, len(samples))
+	if tab := ex.table(); tab != nil {
+		for i, b := range samples {
+			energies[i] = tab[b]
+		}
+		return energies
+	}
+	for i, b := range samples {
+		energies[i] = ex.QUBO.ValueBits(b)
+	}
+	return energies
+}
+
 // Result summarises a full hybrid optimisation run.
 type Result struct {
 	Params      Params
 	Expectation float64
 	Evaluations int
 	Samples     []uint64
+	// Energies holds the QUBO cost of each sample (same order), scored
+	// through the executor's cost table.
+	Energies []float64
 }
 
 // Optimizer tunes QAOA parameters from expectation evaluations.
@@ -211,15 +279,25 @@ type Optimizer interface {
 // given classical optimiser, then draw the requested number of shots at
 // the optimum.
 func Run(q *qubo.QUBO, p int, opt Optimizer, shots int, cal *noise.Calibration, transpiled *circuit.Circuit, rng *rand.Rand) (Result, error) {
+	return RunContext(context.Background(), q, p, opt, shots, cal, transpiled, rng)
+}
+
+// RunContext is Run with cancellation checked before every optimiser
+// energy evaluation, so long hybrid loops respect request deadlines.
+func RunContext(ctx context.Context, q *qubo.QUBO, p int, opt Optimizer, shots int, cal *noise.Calibration, transpiled *circuit.Circuit, rng *rand.Rand) (Result, error) {
 	if p < 1 {
 		return Result{}, fmt.Errorf("qaoa: layer count p must be >= 1, got %d", p)
 	}
 	ex := &Executor{QUBO: q, Noise: cal}
+	defer ex.Close()
 	if transpiled != nil {
 		ex.SetTranspiled(transpiled)
 	}
 	evals := 0
 	eval := func(par Params) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("qaoa: cancelled after %d evaluations: %w", evals, err)
+		}
 		evals++
 		return ex.Expectation(par)
 	}
@@ -233,9 +311,18 @@ func Run(q *qubo.QUBO, p int, opt Optimizer, shots int, cal *noise.Calibration, 
 	if err != nil {
 		return Result{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("qaoa: cancelled before sampling: %w", err)
+	}
 	samples, err := ex.Sample(best, shots, rng)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Params: best, Expectation: val, Evaluations: evals, Samples: samples}, nil
+	return Result{
+		Params:      best,
+		Expectation: val,
+		Evaluations: evals,
+		Samples:     samples,
+		Energies:    ex.ScoreSamples(samples),
+	}, nil
 }

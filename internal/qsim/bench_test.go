@@ -1,0 +1,140 @@
+package qsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/circuit"
+)
+
+// benchQubits are the statevector sizes the kernel benchmarks sweep. 24
+// qubits is 256 MiB of amplitudes — skipped under -short.
+func benchQubits(b *testing.B) []int {
+	if testing.Short() {
+		return []int{16}
+	}
+	return []int{16, 20, 24}
+}
+
+func benchState(b *testing.B, n int) *State {
+	s, err := NewState(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	norm := 0.0
+	for i := range s.amps {
+		s.amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		norm += real(s.amps[i])*real(s.amps[i]) + imag(s.amps[i])*imag(s.amps[i])
+	}
+	// Leave unnormalised: kernels don't care and the fill dominates setup.
+	_ = norm
+	return s
+}
+
+// BenchmarkQsimH measures a Hadamard sweep over every qubit, comparing the
+// reference full-sweep kernel against the strided kernel serial and with
+// full fan-out.
+func BenchmarkQsimH(b *testing.B) {
+	h := complex(0.7071067811865476, 0)
+	u := [2][2]complex128{{h, h}, {h, -h}}
+	for _, n := range benchQubits(b) {
+		s := benchState(b, n)
+		b.Run(fmt.Sprintf("n=%d/ref", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.apply1QRef(i%n, u)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/serial", n), func(b *testing.B) {
+			prev := SetWorkers(1)
+			defer SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				s.apply1Q(i%n, u)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/parallel", n), func(b *testing.B) {
+			prev := SetWorkers(0)
+			defer SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				s.apply1Q(i%n, u)
+			}
+		})
+	}
+}
+
+// BenchmarkQsimCXChain measures a chain of CXs across adjacent qubits.
+func BenchmarkQsimCXChain(b *testing.B) {
+	for _, n := range benchQubits(b) {
+		s := benchState(b, n)
+		chain := circuit.New(n)
+		for q := 0; q+1 < n; q++ {
+			chain.Append(circuit.G2(circuit.CX, q, q+1, 0))
+		}
+		b.Run(fmt.Sprintf("n=%d/ref", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := s.runRef(chain); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/serial", n), func(b *testing.B) {
+			prev := SetWorkers(1)
+			defer SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				if err := s.Run(chain); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/parallel", n), func(b *testing.B) {
+			prev := SetWorkers(0)
+			defer SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				if err := s.Run(chain); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQsimDiagLayer measures a QAOA-style cost layer (RZ on every
+// qubit + RZZ ring), gate-by-gate versus fused into one pass.
+func BenchmarkQsimDiagLayer(b *testing.B) {
+	for _, n := range benchQubits(b) {
+		s := benchState(b, n)
+		layer := circuit.New(n)
+		for q := 0; q < n; q++ {
+			layer.Append(circuit.G1(circuit.RZ, q, 0.3+float64(q)*0.01))
+		}
+		for q := 0; q < n; q++ {
+			layer.Append(circuit.G2(circuit.RZZ, q, (q+1)%n, 0.7+float64(q)*0.01))
+		}
+		b.Run(fmt.Sprintf("n=%d/gate-by-gate", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := s.runRef(layer); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/fused-serial", n), func(b *testing.B) {
+			prev := SetWorkers(1)
+			defer SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				if err := s.Run(layer); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/fused-parallel", n), func(b *testing.B) {
+			prev := SetWorkers(0)
+			defer SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				if err := s.Run(layer); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

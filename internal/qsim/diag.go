@@ -1,0 +1,102 @@
+package qsim
+
+import (
+	"math"
+	"math/bits"
+
+	"quantumjoin/internal/circuit"
+)
+
+// Diagonal-gate fusion: QAOA cost layers are long runs of RZ/CZ/RZZ gates,
+// all diagonal in the computational basis. Applying them one at a time
+// costs one full memory sweep over 2^n amplitudes per gate; fusing a run
+// costs a single sweep. Every diagonal gate here multiplies basis state i
+// by exp(i·θ·(-1)^parity(i&mask)/2) for some bit mask, so a fused run
+// accumulates one angle per amplitude (a popcount, a table lookup and an
+// add per gate) and pays a single Sincos + complex multiply at the end:
+//
+//   RZ(θ) on q:  mask = 1<<q,          angle ∓θ/2 by the bit
+//   RZZ(θ):      mask = b0|b1,         angle ∓θ/2 by the XOR of the bits
+//   CZ:          phase -1 iff both bits set; since b0·b1 =
+//                (b0 + b1 - (b0 XOR b1))/2, it splits into three parity
+//                terms with angles π/2, π/2, -π/2 — no global phase
+//
+// Runs of length >= 2 are fused by State.Run; isolated diagonal gates go
+// through the plain kernels.
+
+// isDiagonal reports whether a gate only multiplies basis states by
+// phases.
+func isDiagonal(g circuit.Gate) bool {
+	switch g.Kind {
+	case circuit.RZ, circuit.CZ, circuit.RZZ:
+		return true
+	default:
+		return false
+	}
+}
+
+// diagOp is one parity term of a compiled diagonal run: basis state i
+// picks up angle th[popcount(i&mask)&1].
+type diagOp struct {
+	mask uint64
+	th   [2]float64
+}
+
+// compileDiag lowers a diagonal gate run to parity terms.
+func compileDiag(gs []circuit.Gate) []diagOp {
+	ops := make([]diagOp, 0, len(gs))
+	for _, g := range gs {
+		b0 := uint64(1) << uint(g.Q0)
+		switch g.Kind {
+		case circuit.RZ:
+			ops = append(ops, diagOp{mask: b0, th: [2]float64{-g.Param / 2, g.Param / 2}})
+		case circuit.RZZ:
+			b1 := uint64(1) << uint(g.Q1)
+			// Equal bits (even parity of the pair) get -θ/2.
+			ops = append(ops, diagOp{mask: b0 | b1, th: [2]float64{-g.Param / 2, g.Param / 2}})
+		case circuit.CZ:
+			b1 := uint64(1) << uint(g.Q1)
+			ops = append(ops,
+				diagOp{mask: b0, th: [2]float64{0, math.Pi / 2}},
+				diagOp{mask: b1, th: [2]float64{0, math.Pi / 2}},
+				diagOp{mask: b0 | b1, th: [2]float64{0, -math.Pi / 2}},
+			)
+		default:
+			panic("qsim: compileDiag on non-diagonal gate " + g.Kind.String())
+		}
+	}
+	return mergeDiag(ops)
+}
+
+// mergeDiag sums the angle pairs of terms sharing a mask (repeated RZ on a
+// qubit, RZZ over the same pair, the RZ-like pieces of CZs).
+func mergeDiag(ops []diagOp) []diagOp {
+	byMask := make(map[uint64]int, len(ops))
+	out := ops[:0]
+	for _, op := range ops {
+		if k, ok := byMask[op.mask]; ok {
+			out[k].th[0] += op.th[0]
+			out[k].th[1] += op.th[1]
+			continue
+		}
+		byMask[op.mask] = len(out)
+		out = append(out, op)
+	}
+	return out
+}
+
+// applyDiagFused multiplies every amplitude by the accumulated phase of a
+// compiled diagonal run in one (sharded) sweep.
+func (s *State) applyDiagFused(ops []diagOp) {
+	amps := s.amps
+	parRange(uint64(len(amps)), func(lo, hi uint64) {
+		for i := lo; i < hi; i++ {
+			ang := 0.0
+			for _, op := range ops {
+				ang += op.th[bits.OnesCount64(i&op.mask)&1]
+			}
+			sin, cos := math.Sincos(ang)
+			amps[i] *= complex(cos, sin)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package qsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// numWorkers is the number of goroutines statevector kernels shard across.
+// 0 (the default) selects runtime.GOMAXPROCS at each call, so the
+// simulator tracks the process's CPU budget without per-State plumbing.
+var numWorkers atomic.Int32
+
+// SetWorkers fixes the kernel fan-out to n goroutines and returns the
+// previous setting; n <= 0 restores the GOMAXPROCS default. It exists for
+// benchmarks (serial vs parallel kernels) and for tests that want to force
+// sharded execution on machines where GOMAXPROCS is 1.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(numWorkers.Swap(int32(n)))
+}
+
+// Workers reports the current kernel fan-out.
+func Workers() int {
+	if w := int(numWorkers.Load()); w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parMinWork is the smallest per-kernel index count worth sharding; below
+// it goroutine start/stop overhead dominates the O(2^n) sweep.
+const parMinWork = 1 << 13
+
+// parRange splits [0, total) into one contiguous chunk per worker and runs
+// fn on each chunk, blocking until all complete. Chunks are disjoint, so
+// fn may write freely inside its range. Small ranges run on the calling
+// goroutine.
+func parRange(total uint64, fn func(lo, hi uint64)) {
+	parRangeMin(total, parMinWork, fn)
+}
+
+// parRangeMin is parRange with an explicit serial-fallback threshold, for
+// callers whose range units represent more than one index of work each
+// (e.g. ExpectationTable iterates over fixed-size blocks).
+func parRangeMin(total, minWork uint64, fn func(lo, hi uint64)) {
+	w := uint64(Workers())
+	if w <= 1 || total < minWork {
+		fn(0, total)
+		return
+	}
+	if w > total {
+		w = total
+	}
+	chunk := (total + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := uint64(0); lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// expandBit widens k by inserting a 0 at the bit position given by mask
+// (mask = 1<<q): the result iterates exactly the indices whose q-th bit is
+// clear as k sweeps [0, 2^(n-1)). This is the standard stride trick that
+// lets kernels visit only the bit-clear half of the index space.
+func expandBit(k, mask uint64) uint64 {
+	low := mask - 1
+	return ((k &^ low) << 1) | (k & low)
+}
+
+// expandBits2 inserts 0s at two bit positions, loMask < hiMask, mapping
+// k ∈ [0, 2^(n-2)) onto the quarter of the index space where both bits are
+// clear.
+func expandBits2(k, loMask, hiMask uint64) uint64 {
+	return expandBit(expandBit(k, loMask), hiMask)
+}
+
+// sortMasks returns the two single-bit masks in ascending order.
+func sortMasks(a, b uint64) (uint64, uint64) {
+	if a < b {
+		return a, b
+	}
+	return b, a
+}

@@ -1,0 +1,321 @@
+package qsim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/circuit"
+)
+
+// randomCircuit builds a circuit of depth gates drawn uniformly from the
+// full gate set, with random qubits and angles.
+func randomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	kinds := []circuit.Kind{
+		circuit.H, circuit.X, circuit.SX, circuit.RX, circuit.RY, circuit.RZ,
+		circuit.CX, circuit.CZ, circuit.SWAP, circuit.RZZ, circuit.XX,
+	}
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		theta := rng.Float64() * 2 * math.Pi
+		if k.IsTwoQubit() {
+			a := rng.Intn(n)
+			b := rng.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			c.Append(circuit.G2(k, a, b, theta))
+		} else {
+			c.Append(circuit.G1(k, rng.Intn(n), theta))
+		}
+	}
+	return c
+}
+
+// diagonalLayer builds a QAOA-like cost layer: a run of RZ/RZZ/CZ gates.
+func diagonalLayer(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		theta := rng.Float64() * 2 * math.Pi
+		switch rng.Intn(3) {
+		case 0:
+			c.Append(circuit.G1(circuit.RZ, rng.Intn(n), theta))
+		case 1:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.Append(circuit.G2(circuit.RZZ, a, b, theta))
+		default:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.Append(circuit.G2(circuit.CZ, a, b, 0))
+		}
+	}
+	return c
+}
+
+// randomizeState overwrites both states with the same normalised random
+// amplitudes, so kernels are compared on dense input.
+func randomizeState(rng *rand.Rand, states ...*State) {
+	n := len(states[0].amps)
+	norm := 0.0
+	raw := make([]complex128, n)
+	for i := range raw {
+		raw[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		norm += real(raw[i])*real(raw[i]) + imag(raw[i])*imag(raw[i])
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	for i := range raw {
+		raw[i] *= scale
+	}
+	for _, s := range states {
+		copy(s.amps, raw)
+	}
+}
+
+func maxDelta(a, b *State) float64 {
+	d := 0.0
+	for i := range a.amps {
+		if e := cmplx.Abs(a.amps[i] - b.amps[i]); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// TestKernelsMatchReference checks that the strided (and, when forced,
+// sharded) kernels agree with the original full-sweep serial kernels to
+// 1e-12 on randomized circuits over randomized states.
+func TestKernelsMatchReference(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		prev := SetWorkers(workers)
+		rng := rand.New(rand.NewSource(int64(101 + workers)))
+		for trial := 0; trial < 8; trial++ {
+			n := 2 + rng.Intn(9) // 2..10 qubits
+			c := randomCircuit(rng, n, 40)
+			got, _ := NewState(n)
+			want, _ := NewState(n)
+			randomizeState(rng, got, want)
+			for _, g := range c.Gates {
+				if err := got.ApplyGate(g); err != nil {
+					t.Fatal(err)
+				}
+				if err := want.ApplyGateRef(g); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d := maxDelta(got, want); d > 1e-12 {
+				t.Fatalf("workers=%d trial=%d n=%d: kernels diverge from reference by %g", workers, trial, n, d)
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+// TestKernelsMatchReferenceSharded forces sharding even below parMinWork
+// is impossible (threshold is fixed), so use enough qubits that parRange
+// actually fans out, and run under -race to catch data races.
+func TestKernelsMatchReferenceSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-qubit equivalence sweep skipped in -short mode")
+	}
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	rng := rand.New(rand.NewSource(202))
+	n := 16 // 2^15 pair-indices > parMinWork: kernels genuinely shard
+	c := randomCircuit(rng, n, 30)
+	got, _ := NewState(n)
+	want, _ := NewState(n)
+	randomizeState(rng, got, want)
+	if err := got.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.runRef(c); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDelta(got, want); d > 1e-12 {
+		t.Fatalf("sharded kernels diverge from reference by %g", d)
+	}
+}
+
+// TestDiagonalFusionMatchesReference checks the fused diagonal pass against
+// gate-by-gate reference execution on pure cost layers and on circuits
+// mixing diagonal runs with entangling gates.
+func TestDiagonalFusionMatchesReference(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		prev := SetWorkers(workers)
+		rng := rand.New(rand.NewSource(int64(303 + workers)))
+		for trial := 0; trial < 6; trial++ {
+			n := 3 + rng.Intn(8)
+			// Interleave: H layer, diagonal run, CX, diagonal run.
+			c := circuit.New(n)
+			for q := 0; q < n; q++ {
+				c.Append(circuit.G1(circuit.H, q, 0))
+			}
+			c.Gates = append(c.Gates, diagonalLayer(rng, n, 25).Gates...)
+			c.Append(circuit.G2(circuit.CX, 0, n-1, 0))
+			c.Gates = append(c.Gates, diagonalLayer(rng, n, 25).Gates...)
+			got, _ := NewState(n)
+			want, _ := NewState(n)
+			if err := got.Run(c); err != nil {
+				t.Fatal(err)
+			}
+			if err := want.runRef(c); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxDelta(got, want); d > 1e-12 {
+				t.Fatalf("workers=%d trial=%d n=%d: fused diagonal pass diverges by %g", workers, trial, n, d)
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+// TestExpectationTableMatchesDiag checks the table fast path against the
+// closure-based expectation, including under forced sharding.
+func TestExpectationTableMatchesDiag(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for _, workers := range []int{1, 4} {
+		prev := SetWorkers(workers)
+		n := 15
+		s, _ := NewState(n)
+		randomizeState(rng, s)
+		table := make([]float64, 1<<uint(n))
+		for i := range table {
+			table[i] = rng.NormFloat64()
+		}
+		want := s.ExpectationDiag(func(b uint64) float64 { return table[b] })
+		got := s.ExpectationTable(table)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("workers=%d: ExpectationTable %v != ExpectationDiag %v", workers, got, want)
+		}
+		SetWorkers(prev)
+	}
+}
+
+// TestExpectationTableDeterministic checks the fixed-chunk reduction gives
+// bit-identical results regardless of the worker count.
+func TestExpectationTableDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	n := 15
+	s, _ := NewState(n)
+	randomizeState(rng, s)
+	table := make([]float64, 1<<uint(n))
+	for i := range table {
+		table[i] = rng.NormFloat64()
+	}
+	var ref float64
+	for i, workers := range []int{1, 2, 3, 8} {
+		prev := SetWorkers(workers)
+		got := s.ExpectationTable(table)
+		SetWorkers(prev)
+		if i == 0 {
+			ref = got
+		} else if got != ref {
+			t.Fatalf("workers=%d: expectation %v != workers=1 result %v (must be bit-identical)", workers, got, ref)
+		}
+	}
+}
+
+// TestSampleTailGoesToArgmax pins the rounding-tail fix: when accumulated
+// probability falls short of the last uniform draw, leftover shots must go
+// to the most probable state, not the arbitrary final basis index.
+func TestSampleTailGoesToArgmax(t *testing.T) {
+	n := 3
+	s, _ := NewState(n)
+	// Deliberately unnormalised state: total probability 0.5, peak at
+	// basis 2. Draws above 0.5 cannot be assigned in the sweep.
+	for i := range s.amps {
+		s.amps[i] = 0
+	}
+	s.amps[1] = complex(math.Sqrt(0.1), 0)
+	s.amps[2] = complex(math.Sqrt(0.3), 0)
+	s.amps[5] = complex(math.Sqrt(0.1), 0)
+	rng := rand.New(rand.NewSource(606))
+	shots := 2000
+	out := s.Sample(rng, shots)
+	if len(out) != shots {
+		t.Fatalf("got %d shots, want %d", len(out), shots)
+	}
+	last := uint64(len(s.amps) - 1)
+	counts := map[uint64]int{}
+	for _, b := range out {
+		counts[b]++
+	}
+	if counts[last] != 0 {
+		t.Fatalf("%d leftover shots assigned to last basis index %d", counts[last], last)
+	}
+	// Roughly half the draws exceed total probability 0.5 and must land on
+	// the argmax state 2 on top of its own ~0.3 share.
+	if counts[2] < shots/2 {
+		t.Fatalf("argmax state got %d/%d shots, want > %d", counts[2], shots, shots/2)
+	}
+	if counts[1]+counts[2]+counts[5] != shots {
+		t.Fatalf("shots landed outside support: %v", counts)
+	}
+}
+
+// TestAcquireRelease exercises the pooled-state API.
+func TestAcquireRelease(t *testing.T) {
+	s, err := Acquire(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Probability(0) != 1 {
+		t.Fatal("acquired state not |0...0⟩")
+	}
+	c := circuit.New(6)
+	c.Append(circuit.G1(circuit.H, 0, 0), circuit.G2(circuit.CX, 0, 3, 0))
+	if err := s.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+	s2, err := Acquire(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Release()
+	if s2.Probability(0) != 1 || s2.Probability(1<<3|1) != 0 {
+		t.Fatal("recycled state not reset to |0...0⟩")
+	}
+	if _, err := Acquire(0); err == nil {
+		t.Fatal("Acquire(0) must fail")
+	}
+	if _, err := Acquire(MaxQubits + 1); err == nil {
+		t.Fatal("Acquire above MaxQubits must fail")
+	}
+}
+
+// TestExpandBit pins the index-expansion helpers.
+func TestExpandBit(t *testing.T) {
+	for _, q := range []uint{0, 1, 3, 7} {
+		mask := uint64(1) << q
+		seen := map[uint64]bool{}
+		for k := uint64(0); k < 64; k++ {
+			i := expandBit(k, mask)
+			if i&mask != 0 {
+				t.Fatalf("expandBit(%d, 1<<%d) = %d has bit set", k, q, i)
+			}
+			if seen[i] {
+				t.Fatalf("expandBit(%d, 1<<%d) duplicates index %d", k, q, i)
+			}
+			seen[i] = true
+		}
+	}
+	lo, hi := sortMasks(1<<4, 1<<2)
+	if lo != 1<<2 || hi != 1<<4 {
+		t.Fatal("sortMasks order wrong")
+	}
+	seen := map[uint64]bool{}
+	for k := uint64(0); k < 64; k++ {
+		i := expandBits2(k, lo, hi)
+		if i&lo != 0 || i&hi != 0 {
+			t.Fatalf("expandBits2(%d) = %d has an inserted bit set", k, i)
+		}
+		if seen[i] {
+			t.Fatalf("expandBits2(%d) duplicates index %d", k, i)
+		}
+		seen[i] = true
+	}
+}

@@ -25,10 +25,14 @@ type State struct {
 	amps []complex128
 }
 
+func errQubitCount(n int) error {
+	return fmt.Errorf("qsim: qubit count %d outside [1, %d]", n, MaxQubits)
+}
+
 // NewState allocates |0...0⟩ over n qubits.
 func NewState(n int) (*State, error) {
 	if n < 1 || n > MaxQubits {
-		return nil, fmt.Errorf("qsim: qubit count %d outside [1, %d]", n, MaxQubits)
+		return nil, errQubitCount(n)
 	}
 	s := &State{n: n, amps: make([]complex128, 1<<uint(n))}
 	s.amps[0] = 1
@@ -41,37 +45,42 @@ func (s *State) NumQubits() int { return s.n }
 // Amplitude returns the amplitude of a basis state.
 func (s *State) Amplitude(basis uint64) complex128 { return s.amps[basis] }
 
-// apply1Q applies a 2x2 unitary to qubit q.
+// apply1Q applies a 2x2 unitary to qubit q. The sweep enumerates only the
+// 2^(n-1) indices whose q-th bit is clear (each visit updates the |0⟩/|1⟩
+// amplitude pair at once) and shards the range across worker goroutines;
+// chunks touch disjoint pairs, so no synchronisation is needed inside.
 func (s *State) apply1Q(q int, u [2][2]complex128) {
 	bit := uint64(1) << uint(q)
-	for i := uint64(0); i < uint64(len(s.amps)); i++ {
-		if i&bit != 0 {
-			continue
+	amps := s.amps
+	parRange(uint64(len(amps))>>1, func(lo, hi uint64) {
+		for k := lo; k < hi; k++ {
+			i := expandBit(k, bit)
+			j := i | bit
+			a0, a1 := amps[i], amps[j]
+			amps[i] = u[0][0]*a0 + u[0][1]*a1
+			amps[j] = u[1][0]*a0 + u[1][1]*a1
 		}
-		j := i | bit
-		a0, a1 := s.amps[i], s.amps[j]
-		s.amps[i] = u[0][0]*a0 + u[0][1]*a1
-		s.amps[j] = u[1][0]*a0 + u[1][1]*a1
-	}
+	})
 }
 
 // phase2Q multiplies amplitudes by basis-dependent phases for a diagonal
-// two-qubit gate: d[b] where b = (bit of q1)<<1 | (bit of q0).
+// two-qubit gate: d[b] where b = (bit of q1)<<1 | (bit of q0). The sweep
+// enumerates the quarter of the index space with both bits clear and
+// updates all four bit combinations per visit, branch-free.
 func (s *State) phase2Q(q0, q1 int, d [4]complex128) {
 	b0 := uint64(1) << uint(q0)
 	b1 := uint64(1) << uint(q1)
-	for i := uint64(0); i < uint64(len(s.amps)); i++ {
-		idx := 0
-		if i&b0 != 0 {
-			idx |= 1
+	loM, hiM := sortMasks(b0, b1)
+	amps := s.amps
+	parRange(uint64(len(amps))>>2, func(lo, hi uint64) {
+		for k := lo; k < hi; k++ {
+			i00 := expandBits2(k, loM, hiM)
+			amps[i00] *= d[0]
+			amps[i00|b0] *= d[1]
+			amps[i00|b1] *= d[2]
+			amps[i00|b0|b1] *= d[3]
 		}
-		if i&b1 != 0 {
-			idx |= 2
-		}
-		if d[idx] != 1 {
-			s.amps[i] *= d[idx]
-		}
-	}
+	})
 }
 
 // ApplyGate applies one gate.
@@ -100,61 +109,95 @@ func (s *State) ApplyGate(g circuit.Gate) error {
 		ep := cmplx.Exp(complex(0, g.Param/2))
 		s.apply1Q(g.Q0, [2][2]complex128{{em, 0}, {0, ep}})
 	case circuit.CX:
+		// Enumerate the quarter with {ctrl set, tgt clear}: exactly the
+		// index pairs the gate exchanges.
 		ctrl := uint64(1) << uint(g.Q0)
 		tgt := uint64(1) << uint(g.Q1)
-		for i := uint64(0); i < uint64(len(s.amps)); i++ {
-			if i&ctrl != 0 && i&tgt == 0 {
+		loM, hiM := sortMasks(ctrl, tgt)
+		amps := s.amps
+		parRange(uint64(len(amps))>>2, func(lo, hi uint64) {
+			for k := lo; k < hi; k++ {
+				i := expandBits2(k, loM, hiM) | ctrl
 				j := i | tgt
-				s.amps[i], s.amps[j] = s.amps[j], s.amps[i]
+				amps[i], amps[j] = amps[j], amps[i]
 			}
-		}
+		})
 	case circuit.CZ:
 		s.phase2Q(g.Q0, g.Q1, [4]complex128{1, 1, 1, -1})
 	case circuit.SWAP:
+		// Enumerate the quarter with both bits clear; each visit exchanges
+		// the |01⟩/|10⟩ pair above it.
 		a := uint64(1) << uint(g.Q0)
 		b := uint64(1) << uint(g.Q1)
-		for i := uint64(0); i < uint64(len(s.amps)); i++ {
-			if i&a != 0 && i&b == 0 {
-				j := (i &^ a) | b
-				s.amps[i], s.amps[j] = s.amps[j], s.amps[i]
+		loM, hiM := sortMasks(a, b)
+		amps := s.amps
+		parRange(uint64(len(amps))>>2, func(lo, hi uint64) {
+			for k := lo; k < hi; k++ {
+				base := expandBits2(k, loM, hiM)
+				i := base | a
+				j := base | b
+				amps[i], amps[j] = amps[j], amps[i]
 			}
-		}
+		})
 	case circuit.RZZ:
 		em := cmplx.Exp(complex(0, -g.Param/2))
 		ep := cmplx.Exp(complex(0, g.Param/2))
 		s.phase2Q(g.Q0, g.Q1, [4]complex128{em, ep, ep, em})
 	case circuit.XX:
-		// exp(-i θ/2 X⊗X): mixes |00⟩↔|11⟩ and |01⟩↔|10⟩.
+		// exp(-i θ/2 X⊗X): mixes |00⟩↔|11⟩ and |01⟩↔|10⟩; enumerate the
+		// both-clear quarter and update all four amplitudes per visit.
 		c := complex(math.Cos(g.Param/2), 0)
 		si := complex(0, -math.Sin(g.Param/2))
 		b0 := uint64(1) << uint(g.Q0)
 		b1 := uint64(1) << uint(g.Q1)
-		for i := uint64(0); i < uint64(len(s.amps)); i++ {
-			if i&b0 != 0 || i&b1 != 0 {
-				continue
+		loM, hiM := sortMasks(b0, b1)
+		amps := s.amps
+		parRange(uint64(len(amps))>>2, func(lo, hi uint64) {
+			for k := lo; k < hi; k++ {
+				i00 := expandBits2(k, loM, hiM)
+				i01, i10, i11 := i00|b0, i00|b1, i00|b0|b1
+				a00, a01, a10, a11 := amps[i00], amps[i01], amps[i10], amps[i11]
+				amps[i00] = c*a00 + si*a11
+				amps[i11] = c*a11 + si*a00
+				amps[i01] = c*a01 + si*a10
+				amps[i10] = c*a10 + si*a01
 			}
-			i00, i01, i10, i11 := i, i|b0, i|b1, i|b0|b1
-			a00, a01, a10, a11 := s.amps[i00], s.amps[i01], s.amps[i10], s.amps[i11]
-			s.amps[i00] = c*a00 + si*a11
-			s.amps[i11] = c*a11 + si*a00
-			s.amps[i01] = c*a01 + si*a10
-			s.amps[i10] = c*a10 + si*a01
-		}
+		})
 	default:
-		return fmt.Errorf("qsim: unsupported gate kind %v", g.Kind)
+		return errUnsupported(g)
 	}
 	return nil
 }
 
-// Run executes all gates of a circuit in order.
+// errUnsupported reports a gate kind the simulator cannot execute.
+func errUnsupported(g circuit.Gate) error {
+	return fmt.Errorf("qsim: unsupported gate kind %v", g.Kind)
+}
+
+// Run executes all gates of a circuit in order. Runs of two or more
+// consecutive diagonal gates (RZ/CZ/RZZ — the bulk of a QAOA cost layer)
+// are fused into a single sweep over the amplitudes.
 func (s *State) Run(c *circuit.Circuit) error {
 	if c.NumQubits != s.n {
 		return fmt.Errorf("qsim: circuit has %d qubits, state has %d", c.NumQubits, s.n)
 	}
-	for _, g := range c.Gates {
-		if err := s.ApplyGate(g); err != nil {
+	gs := c.Gates
+	for i := 0; i < len(gs); {
+		if isDiagonal(gs[i]) {
+			j := i + 1
+			for j < len(gs) && isDiagonal(gs[j]) {
+				j++
+			}
+			if j-i >= 2 {
+				s.applyDiagFused(compileDiag(gs[i:j]))
+				i = j
+				continue
+			}
+		}
+		if err := s.ApplyGate(gs[i]); err != nil {
 			return err
 		}
+		i++
 	}
 	return nil
 }
@@ -188,6 +231,48 @@ func (s *State) ExpectationDiag(f func(basis uint64) float64) float64 {
 	return e
 }
 
+// expectationChunkBits fixes the reduction granularity of ExpectationTable
+// so its result does not depend on the worker count: partial sums are
+// always taken over the same aligned 2^expectationChunkBits blocks and
+// combined in index order.
+const expectationChunkBits = 14
+
+// ExpectationTable computes ⟨ψ| diag(table) |ψ⟩ with table indexed by basis
+// state. It is the fast path for QAOA energy evaluation: the cost of every
+// basis state is a precomputed table lookup (qubo.CostTable) instead of a
+// per-amplitude Hamiltonian evaluation. Deterministic regardless of the
+// kernel worker setting.
+func (s *State) ExpectationTable(table []float64) float64 {
+	if len(table) != len(s.amps) {
+		panic(fmt.Sprintf("qsim: table length %d != state size %d", len(table), len(s.amps)))
+	}
+	amps := s.amps
+	total := uint64(len(amps))
+	nChunks := (total + (1 << expectationChunkBits) - 1) >> expectationChunkBits
+	partial := make([]float64, nChunks)
+	parRangeMin(nChunks, 2, func(clo, chi uint64) {
+		for c := clo; c < chi; c++ {
+			lo := c << expectationChunkBits
+			hi := lo + (1 << expectationChunkBits)
+			if hi > total {
+				hi = total
+			}
+			e := 0.0
+			for i := lo; i < hi; i++ {
+				a := amps[i]
+				p := real(a)*real(a) + imag(a)*imag(a)
+				e += p * table[i]
+			}
+			partial[c] = e
+		}
+	})
+	e := 0.0
+	for _, p := range partial {
+		e += p
+	}
+	return e
+}
+
 // Sample draws shots basis states from the measurement distribution using
 // sorted uniforms and a single pass over the amplitudes, avoiding a
 // cumulative array (important at 2^27 amplitudes).
@@ -200,8 +285,13 @@ func (s *State) Sample(rng *rand.Rand, shots int) []uint64 {
 	out := make([]uint64, 0, shots)
 	acc := 0.0
 	k := 0
+	maxI, maxP := uint64(0), -1.0
 	for i, a := range s.amps {
-		acc += real(a)*real(a) + imag(a)*imag(a)
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p > maxP {
+			maxI, maxP = uint64(i), p
+		}
+		acc += p
 		for k < shots && us[k] <= acc {
 			out = append(out, uint64(i))
 			k++
@@ -210,9 +300,10 @@ func (s *State) Sample(rng *rand.Rand, shots int) []uint64 {
 			break
 		}
 	}
-	// Rounding may leave a few shots unassigned; give them the last state.
+	// Rounding may leave a few shots unassigned; give them the most likely
+	// state seen so far rather than the arbitrary last basis index.
 	for len(out) < shots {
-		out = append(out, uint64(len(s.amps)-1))
+		out = append(out, maxI)
 	}
 	// Restore randomness of order (callers may subsample).
 	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })

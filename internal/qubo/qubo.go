@@ -13,7 +13,8 @@ package qubo
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Pair identifies a quadratic term between two distinct variables, stored
@@ -27,6 +28,13 @@ type QUBO struct {
 	Offset float64 // constant term (does not affect argmin)
 	linear []float64
 	quad   map[Pair]float64
+
+	// Lazily built read-side views of quad (Terms slice + CSR adjacency,
+	// see terms.go), published atomically so concurrent readers never see
+	// a half-built view. The map remains the mutation-side source of
+	// truth; AddQuad invalidates the views.
+	viewsMu  sync.Mutex
+	viewsPtr atomic.Pointer[quadViews]
 }
 
 // New creates a QUBO over n binary variables.
@@ -62,6 +70,7 @@ func (q *QUBO) AddQuad(i, j int, w float64) {
 	if q.quad[p] == 0 {
 		delete(q.quad, p)
 	}
+	q.invalidateViews()
 }
 
 // Quad returns the quadratic coefficient of the pair (i, j).
@@ -81,16 +90,11 @@ func (q *QUBO) NumQuadTerms() int { return len(q.quad) }
 
 // QuadTerms returns the nonzero quadratic terms in deterministic order.
 func (q *QUBO) QuadTerms() []Pair {
-	ps := make([]Pair, 0, len(q.quad))
-	for p := range q.quad {
-		ps = append(ps, p)
+	ts := q.Terms()
+	ps := make([]Pair, len(ts))
+	for i, t := range ts {
+		ps[i] = Pair{t.I, t.J}
 	}
-	sort.Slice(ps, func(a, b int) bool {
-		if ps[a].I != ps[b].I {
-			return ps[a].I < ps[b].I
-		}
-		return ps[a].J < ps[b].J
-	})
 	return ps
 }
 
@@ -105,9 +109,9 @@ func (q *QUBO) Value(x []bool) float64 {
 			v += q.linear[i]
 		}
 	}
-	for p, w := range q.quad {
-		if x[p.I] && x[p.J] {
-			v += w
+	for _, t := range q.Terms() {
+		if x[t.I] && x[t.J] {
+			v += t.W
 		}
 	}
 	return v
@@ -122,9 +126,9 @@ func (q *QUBO) ValueBits(bits uint64) float64 {
 			v += q.linear[i]
 		}
 	}
-	for p, w := range q.quad {
-		if bits&(1<<uint(p.I)) != 0 && bits&(1<<uint(p.J)) != 0 {
-			v += w
+	for _, t := range q.Terms() {
+		if bits&(1<<uint(t.I)) != 0 && bits&(1<<uint(t.J)) != 0 {
+			v += t.W
 		}
 	}
 	return v
@@ -134,13 +138,15 @@ func (q *QUBO) ValueBits(bits uint64) float64 {
 // it shares a quadratic term with (the QUBO interaction graph of Eq. 1,
 // interpreted as a weighted undirected graph).
 func (q *QUBO) AdjacencyLists() [][]int {
+	csr := q.CSR()
 	adj := make([][]int, q.n)
-	for p := range q.quad {
-		adj[p.I] = append(adj[p.I], p.J)
-		adj[p.J] = append(adj[p.J], p.I)
-	}
-	for i := range adj {
-		sort.Ints(adj[i])
+	for i := 0; i < q.n; i++ {
+		cols, _ := csr.Row(i)
+		row := make([]int, len(cols))
+		for k, c := range cols {
+			row[k] = int(c)
+		}
+		adj[i] = row
 	}
 	return adj
 }
@@ -208,11 +214,11 @@ func (q *QUBO) ToIsing() *Ising {
 		is.H[i] += c / 2
 		is.Offset += c / 2
 	}
-	for p, w := range q.quad {
-		is.J[p] += w / 4
-		is.H[p.I] += w / 4
-		is.H[p.J] += w / 4
-		is.Offset += w / 4
+	for _, t := range q.Terms() {
+		is.J[Pair{t.I, t.J}] += t.W / 4
+		is.H[t.I] += t.W / 4
+		is.H[t.J] += t.W / 4
+		is.Offset += t.W / 4
 	}
 	return is
 }

@@ -54,7 +54,9 @@ func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) 
 		restarts = 4
 	}
 
-	adj := q.AdjacencyLists()
+	// The CSR view makes the per-flip neighbourhood scans (delta init and
+	// incremental updates) map-free.
+	csr := q.CSR()
 	best := Solution{Value: math.Inf(1)}
 	// fold merges a restart's local optimum into the global best; also used
 	// to preserve partial progress when the context expires mid-restart.
@@ -77,9 +79,10 @@ func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) 
 		val := q.Value(x)
 		recompute := func(i int) {
 			d := q.Linear(i)
-			for _, j := range adj[i] {
+			cols, w := csr.Row(i)
+			for k, j := range cols {
 				if x[j] {
-					d += q.Quad(i, j)
+					d += w[k]
 				}
 			}
 			if x[i] {
@@ -122,8 +125,9 @@ func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) 
 			val += delta[pick]
 			tabuUntil[pick] = it + tenure
 			recompute(pick)
-			for _, j := range adj[pick] {
-				recompute(j)
+			cols, _ := csr.Row(pick)
+			for _, j := range cols {
+				recompute(int(j))
 			}
 			if val < localBest {
 				localBest = val

@@ -1,0 +1,207 @@
+package qubo
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Term is one nonzero quadratic coefficient, stored with I < J.
+type Term struct {
+	I, J int
+	W    float64
+}
+
+// CSR is a compressed-sparse-row view of the QUBO interaction graph: the
+// interaction partners of variable i are Cols[RowPtr[i]:RowPtr[i+1]]
+// (sorted ascending) with coefficients W at the same offsets. Every
+// quadratic term appears twice, once per endpoint, so hot loops can scan a
+// variable's neighbourhood without map lookups. The view is read-only.
+type CSR struct {
+	RowPtr []int32
+	Cols   []int32
+	W      []float64
+}
+
+// Row returns the neighbour and coefficient slices of variable i.
+func (c *CSR) Row(i int) ([]int32, []float64) {
+	lo, hi := c.RowPtr[i], c.RowPtr[i+1]
+	return c.Cols[lo:hi], c.W[lo:hi]
+}
+
+// quadViews bundles the lazily built read-side views of the quad map so
+// they can be published (and invalidated) atomically.
+type quadViews struct {
+	terms []Term
+	csr   *CSR
+}
+
+// views returns the current read-side views, building them on first use.
+// The coefficient map stays the mutation-side source of truth; AddQuad
+// invalidates the views. Concurrent readers are safe; mutation requires
+// external exclusion, as with any QUBO method.
+func (q *QUBO) views() *quadViews {
+	if v := q.viewsPtr.Load(); v != nil {
+		return v
+	}
+	q.viewsMu.Lock()
+	defer q.viewsMu.Unlock()
+	if v := q.viewsPtr.Load(); v != nil {
+		return v
+	}
+	v := &quadViews{terms: q.buildTerms()}
+	v.csr = buildCSR(q.n, v.terms)
+	q.viewsPtr.Store(v)
+	return v
+}
+
+func (q *QUBO) buildTerms() []Term {
+	ts := make([]Term, 0, len(q.quad))
+	for p, w := range q.quad {
+		ts = append(ts, Term{I: p.I, J: p.J, W: w})
+	}
+	sort.Slice(ts, func(a, b int) bool {
+		if ts[a].I != ts[b].I {
+			return ts[a].I < ts[b].I
+		}
+		return ts[a].J < ts[b].J
+	})
+	return ts
+}
+
+func buildCSR(n int, terms []Term) *CSR {
+	deg := make([]int32, n+1)
+	for _, t := range terms {
+		deg[t.I+1]++
+		deg[t.J+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	c := &CSR{
+		RowPtr: deg,
+		Cols:   make([]int32, deg[n]),
+		W:      make([]float64, deg[n]),
+	}
+	next := make([]int32, n)
+	copy(next, c.RowPtr[:n])
+	// Terms are sorted by (I, J), so filling both endpoint rows in term
+	// order leaves every row's Cols sorted ascending.
+	for _, t := range terms {
+		k := next[t.I]
+		c.Cols[k], c.W[k] = int32(t.J), t.W
+		next[t.I]++
+	}
+	for _, t := range terms {
+		k := next[t.J]
+		c.Cols[k], c.W[k] = int32(t.I), t.W
+		next[t.J]++
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := c.RowPtr[i], c.RowPtr[i+1]
+		sort.Sort(csrRow{c.Cols[lo:hi], c.W[lo:hi]})
+	}
+	return c
+}
+
+type csrRow struct {
+	cols []int32
+	w    []float64
+}
+
+func (r csrRow) Len() int           { return len(r.cols) }
+func (r csrRow) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
+func (r csrRow) Swap(i, j int) {
+	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
+	r.w[i], r.w[j] = r.w[j], r.w[i]
+}
+
+// Terms returns the nonzero quadratic terms sorted by (I, J). The slice is
+// cached and shared; callers must not modify it.
+func (q *QUBO) Terms() []Term { return q.views().terms }
+
+// CSR returns the cached compressed-sparse-row neighbourhood view.
+func (q *QUBO) CSR() *CSR { return q.views().csr }
+
+// invalidateViews drops the cached read-side views after a mutation.
+func (q *QUBO) invalidateViews() { q.viewsPtr.Store(nil) }
+
+// costTableChunkBits sizes the aligned blocks the dense cost table is
+// filled in; each block is seeded with one direct evaluation and extended
+// by single-bit-flip deltas, and blocks are independent, so the fill
+// parallelises across them.
+const costTableChunkBits = 12
+
+// CostTable returns the dense diagonal t with t[b] = ValueBits(b) for
+// every assignment b in [0, 2^n) — the cost Hamiltonian's diagonal, which
+// QAOA expectation loops index instead of re-evaluating the QUBO per basis
+// state. The table is built incrementally: within an aligned block, entry
+// i derives from the entry with i's lowest set bit cleared by adding that
+// variable's linear coefficient plus its couplings to the bits that remain
+// set, read from the CSR view. Memory is 8·2^n bytes (20 qubits → 8 MiB).
+func (q *QUBO) CostTable() []float64 {
+	n := q.n
+	if n > 63 {
+		panic(fmt.Sprintf("qubo: CostTable needs n <= 63, got %d", n))
+	}
+	size := uint64(1) << uint(n)
+	t := make([]float64, size)
+	csr := q.CSR()
+	fill := func(lo, hi uint64) {
+		t[lo] = q.ValueBits(lo)
+		for i := lo + 1; i < hi; i++ {
+			b := bits.TrailingZeros64(i)
+			j := i &^ (uint64(1) << uint(b))
+			v := t[j] + q.linear[b]
+			// Bits below b are zero in j by construction, so only
+			// neighbours above b can contribute.
+			cols, w := csr.Row(b)
+			for k := len(cols) - 1; k >= 0; k-- {
+				c := cols[k]
+				if int(c) < b {
+					break
+				}
+				if j&(uint64(1)<<uint(c)) != 0 {
+					v += w[k]
+				}
+			}
+			t[i] = v
+		}
+	}
+	if n <= costTableChunkBits+1 {
+		fill(0, size)
+		return t
+	}
+	chunk := uint64(1) << costTableChunkBits
+	nchunks := size / chunk
+	workers := uint64(runtime.GOMAXPROCS(0))
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		for c := uint64(0); c < nchunks; c++ {
+			fill(c*chunk, (c+1)*chunk)
+		}
+		return t
+	}
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for w := uint64(0); w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := next.Add(1) - 1
+				if c >= nchunks {
+					return
+				}
+				fill(c*chunk, (c+1)*chunk)
+			}
+		}()
+	}
+	wg.Wait()
+	return t
+}

@@ -1,0 +1,104 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTermsMatchesQuadTerms(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := randomQUBO(rng, 9, 0.4)
+	ts := q.Terms()
+	ps := q.QuadTerms()
+	if len(ts) != len(ps) || len(ts) != q.NumQuadTerms() {
+		t.Fatalf("lengths differ: terms %d, pairs %d, map %d", len(ts), len(ps), q.NumQuadTerms())
+	}
+	for k, tm := range ts {
+		if tm.I != ps[k].I || tm.J != ps[k].J {
+			t.Fatalf("order mismatch at %d: %+v vs %+v", k, tm, ps[k])
+		}
+		if tm.I >= tm.J {
+			t.Fatalf("term %d not ordered: %+v", k, tm)
+		}
+		if got := q.Quad(tm.I, tm.J); got != tm.W {
+			t.Fatalf("term weight %v != map %v", tm.W, got)
+		}
+	}
+}
+
+func TestCSRMatchesAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	q := randomQUBO(rng, 10, 0.3)
+	csr := q.CSR()
+	adj := q.AdjacencyLists()
+	for i := 0; i < q.N(); i++ {
+		cols, w := csr.Row(i)
+		if len(cols) != len(adj[i]) {
+			t.Fatalf("row %d length %d != adjacency %d", i, len(cols), len(adj[i]))
+		}
+		for k, c := range cols {
+			if int(c) != adj[i][k] {
+				t.Fatalf("row %d col %d: %d != %d", i, k, c, adj[i][k])
+			}
+			if k > 0 && cols[k-1] >= c {
+				t.Fatalf("row %d not sorted: %v", i, cols)
+			}
+			if got := q.Quad(i, int(c)); got != w[k] {
+				t.Fatalf("row %d weight %v != map %v", i, w[k], got)
+			}
+		}
+	}
+}
+
+func TestViewsInvalidatedByAddQuad(t *testing.T) {
+	q := New(4)
+	q.AddQuad(0, 1, 1)
+	if len(q.Terms()) != 1 {
+		t.Fatal("initial view wrong")
+	}
+	q.AddQuad(2, 3, 2)
+	if len(q.Terms()) != 2 {
+		t.Fatal("view not invalidated by AddQuad")
+	}
+	// Cancelling a term must drop it from the views too.
+	q.AddQuad(2, 3, -2)
+	if len(q.Terms()) != 1 || len(q.CSR().Cols) != 2 {
+		t.Fatal("cancelled term still visible in views")
+	}
+}
+
+func TestCostTableMatchesValueBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 3, 7, 13} {
+		q := randomQUBO(rng, n, 0.35)
+		tab := q.CostTable()
+		if len(tab) != 1<<uint(n) {
+			t.Fatalf("n=%d: table length %d", n, len(tab))
+		}
+		for b := uint64(0); b < uint64(len(tab)); b++ {
+			if want := q.ValueBits(b); math.Abs(tab[b]-want) > 1e-9 {
+				t.Fatalf("n=%d b=%b: table %v != ValueBits %v", n, b, tab[b], want)
+			}
+		}
+	}
+}
+
+// TestCostTableCrossesChunks covers sizes above the parallel chunking
+// threshold so the per-chunk seeding path is exercised.
+func TestCostTableCrossesChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	q := randomQUBO(rng, costTableChunkBits+3, 0.15)
+	tab := q.CostTable()
+	for _, b := range []uint64{0, 1, 1 << costTableChunkBits, (1 << costTableChunkBits) | 5, uint64(len(tab) - 1)} {
+		if want := q.ValueBits(b); math.Abs(tab[b]-want) > 1e-9 {
+			t.Fatalf("b=%d: table %v != ValueBits %v", b, tab[b], want)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		b := uint64(rng.Intn(len(tab)))
+		if want := q.ValueBits(b); math.Abs(tab[b]-want) > 1e-9 {
+			t.Fatalf("b=%d: table %v != ValueBits %v", b, tab[b], want)
+		}
+	}
+}

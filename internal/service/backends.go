@@ -158,27 +158,20 @@ func (b qaoaBackend) Solve(ctx context.Context, enc *core.Encoding, p Params) (*
 	if n := enc.NumQubits(); n > b.maxQubits {
 		return nil, fmt.Errorf("service: qaoa backend: %d logical qubits exceed the statevector budget of %d: %w", n, b.maxQubits, ErrBadRequest)
 	}
-	// The optimiser loop itself is bounded by iterations × shots and runs
-	// well under a second below the qubit cap; check the deadline at the
-	// boundaries only.
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("service: qaoa backend cancelled before simulation: %w", err)
-	}
 	shots := p.Reads
 	if shots <= 0 {
 		shots = 256
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
-	out, err := qaoa.Run(enc.QUBO, b.layers, qaoa.AQGD{Iterations: b.iterations}, shots, nil, nil, rng)
+	// RunContext checks the deadline before every optimiser energy
+	// evaluation and reuses a pooled statevector buffer across them.
+	out, err := qaoa.RunContext(ctx, enc.QUBO, b.layers, qaoa.AQGD{Iterations: b.iterations}, shots, nil, nil, rng)
 	if err != nil {
 		return nil, err
 	}
 	assignments := make([][]bool, len(out.Samples))
 	for i, basis := range out.Samples {
 		assignments[i] = qsim.BitsOf(basis, enc.QUBO.N())
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("service: qaoa backend cancelled: %w", err)
 	}
 	return bestValid(enc, assignments)
 }

@@ -90,10 +90,13 @@ func (g *Graph) Edges() [][2]int {
 	return es
 }
 
-// Copy returns a deep copy, optionally renamed.
+// Copy returns a deep copy, optionally renamed. Edges are inserted in
+// sorted order so the copy's adjacency lists — and everything downstream
+// that tie-breaks on neighbour order, like the basic router — do not
+// depend on map iteration order.
 func (g *Graph) Copy(name string) *Graph {
 	c := NewGraph(name, g.n)
-	for k := range g.set {
+	for _, k := range g.Edges() {
 		c.AddEdge(k[0], k[1])
 	}
 	return c
