@@ -1,11 +1,13 @@
 // Command qjoin optimises a join ordering problem end to end on a chosen
-// backend: the classical DP baseline, the simulated quantum annealer, or
-// the simulated gate-based QPU running QAOA.
+// backend: the classical DP baseline, the simulated quantum annealer, the
+// simulated gate-based QPU running QAOA, or the deadline-aware hybrid
+// orchestrator that races/stages them all.
 //
 // Usage:
 //
 //	qjoin [-relations N] [-graph chain|star|cycle|clique] [-seed N]
-//	      [-backend classical|anneal|qaoa] [-thresholds R] [-reads N]
+//	      [-backend classical|milp|anneal|qaoa|hybrid] [-thresholds R]
+//	      [-reads N] [-deadline D] [-strategy race|staged] [-hedge D]
 //
 // It generates a random Steinbrunn-style query, reports the QUBO encoding
 // size (logical qubits), runs the backend, and prints the resulting join
@@ -13,21 +15,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"quantumjoin"
+	"quantumjoin/internal/hybrid"
+	"quantumjoin/internal/service"
 )
 
 func main() {
 	relations := flag.Int("relations", 4, "number of relations")
 	graph := flag.String("graph", "chain", "query graph type: chain, star, cycle, clique")
 	seed := flag.Int64("seed", 1, "random seed")
-	backend := flag.String("backend", "anneal", "backend: classical, milp, anneal, qaoa")
+	backend := flag.String("backend", "anneal", "backend: classical, milp, anneal, qaoa, hybrid")
 	thresholds := flag.Int("thresholds", 3, "number of cardinality thresholds")
 	reads := flag.Int("reads", 500, "annealing reads / QAOA shots")
+	deadline := flag.Duration("deadline", 5*time.Second, "hybrid backend: end-to-end deadline")
+	strategy := flag.String("strategy", "staged", "hybrid backend: race or staged")
+	hedge := flag.Duration("hedge", 25*time.Millisecond, "hybrid backend: hedge delay before the quantum stage")
 	queryFile := flag.String("query", "", "JSON catalog file with a user-defined query (overrides -relations/-graph)")
 	workload := flag.String("workload", "", "built-in JOB-style benchmark query name, or 'list'")
 	flag.Parse()
@@ -114,6 +123,40 @@ func main() {
 		}
 		fmt.Printf("milp result: %s  cost %.4g (optimal w.r.t. the threshold-approximated cost)\n",
 			q.Tree(d.Order), d.Cost)
+		return
+	}
+
+	if *backend == "hybrid" {
+		reg := service.DefaultRegistry(service.RegistryConfig{PegasusM: 4})
+		hb, err := hybrid.New(hybrid.Config{
+			Registry:   reg,
+			Strategy:   *strategy,
+			HedgeDelay: *hedge,
+		})
+		if err != nil {
+			fail(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+		defer cancel()
+		start := time.Now()
+		out, err := hb.Orchestrate(ctx, enc, service.Params{Reads: *reads, Seed: *seed})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("hybrid result (%s, %v deadline): %s  cost %.4g  winner=%s  elapsed=%v\n",
+			out.Strategy, *deadline, q.Tree(out.Best.Order), q.Cost(out.Best.Order), out.Winner, time.Since(start).Round(time.Millisecond))
+		for _, c := range out.Candidates {
+			if c.Err != nil {
+				fmt.Printf("  %-8s %-10v no result: %v\n", c.Backend, c.Elapsed.Round(time.Millisecond), c.Err)
+			} else {
+				fmt.Printf("  %-8s %-10v cost %.4g\n", c.Backend, c.Elapsed.Round(time.Millisecond), c.Cost)
+			}
+		}
+		if cost := q.Cost(out.Best.Order); cost <= optCost*(1+1e-9) {
+			fmt.Println("  → the hybrid orchestrator found the optimal join order")
+		} else {
+			fmt.Printf("  → best hybrid solution is %.2fx the optimum\n", cost/optCost)
+		}
 		return
 	}
 

@@ -2,7 +2,9 @@
 // are QUBO-encoded (with an LRU encoding cache keyed by a canonical hash
 // of the query graph) and solved on a registered backend — the simulated
 // quantum annealer, tabu search, QAOA simulation, the exact MILP solver,
-// or the classical DP/greedy baselines — under bounded concurrency and
+// the classical DP/greedy baselines, or the hybrid orchestrator (which
+// races or stages the other backends under the request deadline and
+// arbitrates by true plan cost) — under bounded concurrency and
 // per-request deadlines.
 //
 // Endpoints:
@@ -31,8 +33,20 @@ import (
 	"syscall"
 	"time"
 
+	"quantumjoin/internal/hybrid"
 	"quantumjoin/internal/service"
 )
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
 
 func main() {
 	addr := flag.String("addr", ":8077", "listen address")
@@ -44,6 +58,9 @@ func main() {
 	defaultBackend := flag.String("default-backend", "anneal", "backend used when a request names none")
 	pegasusM := flag.Int("pegasus-m", 6, "annealer hardware graph size (16 = full Advantage)")
 	qaoaQubits := flag.Int("qaoa-qubits", 16, "statevector budget of the qaoa backend")
+	hybridStrategy := flag.String("hybrid-strategy", "staged", "default hybrid strategy: race or staged")
+	hybridPortfolio := flag.String("hybrid-portfolio", "anneal,tabu,qaoa", "default hybrid portfolio (comma-separated backend names)")
+	hybridHedge := flag.Duration("hybrid-hedge", 25*time.Millisecond, "default hedge delay before the hybrid quantum stage")
 	grace := flag.Duration("grace", 30*time.Second, "graceful shutdown budget")
 	flag.Parse()
 
@@ -59,6 +76,22 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		DefaultBackend: *defaultBackend,
 	})
+
+	// The hybrid orchestrator sits on top of the registry it races, so it
+	// registers after the service wires up metrics.
+	hb, err := hybrid.New(hybrid.Config{
+		Registry:   reg,
+		Metrics:    svc.Metrics(),
+		Strategy:   *hybridStrategy,
+		Portfolio:  splitList(*hybridPortfolio),
+		HedgeDelay: *hybridHedge,
+	})
+	if err != nil {
+		fail(fmt.Errorf("qjoind: %w", err))
+	}
+	if err := reg.Register(hb); err != nil {
+		fail(fmt.Errorf("qjoind: %w", err))
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -42,6 +42,15 @@ type Device struct {
 	// GaugeAveraging applies a fresh spin-reversal transform per read
 	// (standard D-Wave practice against systematic analog biases).
 	GaugeAveraging bool
+	// InitialState, when non-nil, is a logical warm-start assignment (one
+	// bool per QUBO variable): every read starts from this configuration
+	// expanded onto the embedding's chains — the reverse-annealing pattern
+	// D-Wave exposes for refining a classical incumbent. The default
+	// sampler then starts its schedule colder (BetaMin 1 instead of 0.05)
+	// so thermal fluctuations perturb the incumbent instead of erasing it.
+	// Devices are shared across requests; callers warm-starting a single
+	// solve should set this on a shallow copy of the device.
+	InitialState []bool
 }
 
 // Annealer produces one spin configuration per read.
@@ -53,6 +62,14 @@ type Annealer interface {
 // mid-read; SimulatedAnnealer and PathIntegralAnnealer both implement it.
 type ContextAnnealer interface {
 	AnnealContext(ctx context.Context, p *IsingProblem, rng *rand.Rand) ([]int8, error)
+}
+
+// WarmStarter is implemented by samplers whose reads can start from a
+// given spin configuration instead of a random one (SimulatedAnnealer and
+// PathIntegralAnnealer both do). WarmStart returns a seeded copy and must
+// not retain or mutate s beyond the returned sampler's reads.
+type WarmStarter interface {
+	WarmStart(s []int8) Annealer
 }
 
 // SamplerFactory builds an Annealer for a sweep budget derived from the
@@ -161,16 +178,41 @@ func (d *Device) SampleEmbeddedContext(ctx context.Context, q *qubo.QUBO, emb *m
 	if sweeps < 4 {
 		sweeps = 4
 	}
-	var sampler Annealer = SimulatedAnnealer{Sweeps: sweeps, BetaMin: 0.05, BetaMax: d.BetaMax}
+	var sampler Annealer
 	if d.NewSampler != nil {
 		sampler = d.NewSampler(sweeps)
+	} else {
+		sa := SimulatedAnnealer{Sweeps: sweeps, BetaMin: 0.05, BetaMax: d.BetaMax}
+		if d.InitialState != nil {
+			// Reverse-annealing style: start cold enough that the warm
+			// start survives the early sweeps.
+			sa.BetaMin = 1
+		}
+		sampler = sa
+	}
+	// Expand the logical warm start onto the chains: every physical qubit
+	// of a chain starts at its variable's value.
+	var physInit []int8
+	if d.InitialState != nil {
+		if len(d.InitialState) != q.N() {
+			return nil, fmt.Errorf("anneal: warm start has %d variables, QUBO has %d", len(d.InitialState), q.N())
+		}
+		physInit = make([]int8, len(chainOf))
+		for v, chain := range emb.Chains {
+			spin := int8(-1)
+			if d.InitialState[v] {
+				spin = 1
+			}
+			for _, pq := range chain {
+				physInit[chainOf[pq].spinIndex] = spin
+			}
+		}
 	}
 	res := &Result{
 		Embedding:        emb,
 		PhysicalQubits:   emb.PhysicalQubits(),
 		AnnealTimeMicros: annealTimeMicros,
 	}
-	ctxSampler, samplerHonoursCtx := sampler.(ContextAnnealer)
 	breaks, total := 0, 0
 	for r := 0; r < reads; r++ {
 		if err := ctx.Err(); err != nil {
@@ -186,15 +228,27 @@ func (d *Device) SampleEmbeddedContext(ctx context.Context, q *qubo.QUBO, emb *m
 			gauge = NewGaugeTransform(prob.N(), rng)
 			prob = gauge.Apply(prob)
 		}
+		readSampler := sampler
+		if physInit != nil {
+			if ws, ok := sampler.(WarmStarter); ok {
+				init := physInit
+				if d.GaugeAveraging {
+					// The gauge relabels spins s → g·s; seed the read in
+					// the transformed frame (Undo is its own inverse).
+					init = gauge.Undo(physInit)
+				}
+				readSampler = ws.WarmStart(init)
+			}
+		}
 		var spins []int8
-		if samplerHonoursCtx {
+		if ctxReadSampler, ok := readSampler.(ContextAnnealer); ok {
 			var readErr error
-			spins, readErr = ctxSampler.AnnealContext(ctx, prob, rng)
+			spins, readErr = ctxReadSampler.AnnealContext(ctx, prob, rng)
 			if readErr != nil {
 				return res, fmt.Errorf("anneal: sampling interrupted after %d/%d reads: %w", r, reads, readErr)
 			}
 		} else {
-			spins = sampler.Anneal(prob, rng)
+			spins = readSampler.Anneal(prob, rng)
 		}
 		if d.GaugeAveraging {
 			spins = gauge.Undo(spins)

@@ -149,6 +149,19 @@ type SimulatedAnnealer struct {
 	// BetaMin and BetaMax bound the geometric β schedule (defaults 0.1
 	// and 10, in units of the rescaled Hamiltonian).
 	BetaMin, BetaMax float64
+	// InitialState, when non-nil and of length N, seeds the read with the
+	// given spin configuration instead of a random one (the reverse-
+	// annealing warm start used by the hybrid orchestrator). Callers
+	// warm-starting from a good incumbent should also raise BetaMin so the
+	// early hot sweeps refine the state rather than scramble it.
+	InitialState []int8
+}
+
+// WarmStart returns a copy of the annealer seeded with the given spin
+// configuration; it implements WarmStarter.
+func (sa SimulatedAnnealer) WarmStart(s []int8) Annealer {
+	sa.InitialState = s
+	return sa
 }
 
 // Anneal runs one read from a random initial state and returns the final
@@ -175,11 +188,15 @@ func (sa SimulatedAnnealer) AnnealContext(ctx context.Context, p *IsingProblem, 
 	n := p.N()
 	s := make([]int8, n)
 	local := make([]float64, n)
-	for i := range s {
-		if rng.Intn(2) == 0 {
-			s[i] = 1
-		} else {
-			s[i] = -1
+	if len(sa.InitialState) == n {
+		copy(s, sa.InitialState)
+	} else {
+		for i := range s {
+			if rng.Intn(2) == 0 {
+				s[i] = 1
+			} else {
+				s[i] = -1
+			}
 		}
 	}
 	for i := range local {

@@ -1,0 +1,147 @@
+package anneal
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// warmTestProblem builds a moderately frustrated Ising instance with a
+// rough landscape so that short cold anneals land above good incumbents.
+func warmTestProblem(seed int64) *IsingProblem {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewIsingProblem(40)
+	for i := range p.H {
+		p.H[i] = rng.NormFloat64()
+	}
+	for i := 0; i < p.N(); i++ {
+		for j := i + 1; j < p.N(); j++ {
+			if rng.Float64() < 0.15 {
+				p.AddCoupling(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return p
+}
+
+// incumbentFor produces a decent (not optimal) configuration the way the
+// hybrid orchestrator does: a cheap classical pass, here a short anneal.
+func incumbentFor(p *IsingProblem, seed int64) []int8 {
+	s, _ := SimulatedAnnealer{Sweeps: 24}.AnnealContext(context.Background(), p, rand.New(rand.NewSource(seed)))
+	return s
+}
+
+// minSweepsToReach scans sweep budgets and returns the smallest budget for
+// which the (deterministically seeded) annealer ends at or below target.
+func minSweepsToReach(p *IsingProblem, target float64, seed int64, init []int8) int {
+	for _, sweeps := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		sa := SimulatedAnnealer{Sweeps: sweeps}
+		if init != nil {
+			sa.InitialState = init
+			sa.BetaMin = 2 // reverse-annealing style: do not scramble the start
+		}
+		s, err := sa.AnnealContext(context.Background(), p, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			panic(err)
+		}
+		if p.Energy(s) <= target+1e-9 {
+			return sweeps
+		}
+	}
+	return math.MaxInt
+}
+
+func TestSAWarmStartReachesIncumbentInFewerSweeps(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		p := warmTestProblem(seed)
+		inc := incumbentFor(p, seed+100)
+		target := p.Energy(inc)
+		cold := minSweepsToReach(p, target, seed+200, nil)
+		warm := minSweepsToReach(p, target, seed+200, inc)
+		if warm > cold {
+			t.Errorf("seed %d: warm start needed %d sweeps, cold start %d", seed, warm, cold)
+		}
+		if warm > 16 {
+			t.Errorf("seed %d: warm start needed %d sweeps to match its own incumbent", seed, warm)
+		}
+		if cold <= 1 {
+			t.Errorf("seed %d: incumbent too weak to discriminate (cold start matched it in %d sweeps)", seed, cold)
+		}
+	}
+}
+
+func TestPIMCWarmStartBeatsColdAtSmallBudget(t *testing.T) {
+	for _, seed := range []int64{7, 8, 9} {
+		p := warmTestProblem(seed)
+		inc := incumbentFor(p, seed+70)
+		target := p.Energy(inc)
+		cold := PathIntegralAnnealer{Slices: 4, Sweeps: 4}
+		warm := PathIntegralAnnealer{Slices: 4, Sweeps: 4, InitialState: inc}
+		sc, err := cold.AnnealContext(context.Background(), p, rand.New(rand.NewSource(seed+9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := warm.AnnealContext(context.Background(), p, rand.New(rand.NewSource(seed+9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eCold, eWarm := p.Energy(sc), p.Energy(sw)
+		// Four sweeps from random spins cannot reach what four sweeps of
+		// refinement from a good incumbent reach.
+		if eWarm >= eCold {
+			t.Errorf("seed %d: warm PIMC %v not better than cold %v (incumbent %v)", seed, eWarm, eCold, target)
+		}
+	}
+}
+
+func TestDeviceWarmStartRefines(t *testing.T) {
+	d := testDevice()
+	q := smallQUBO()
+	// Warm-start from the known optimum x = (0,1,1): with a noiseless
+	// device and a cold (BetaMin-raised) schedule every read should stay
+	// at (or re-find) the optimum even at a tiny sweep budget.
+	warm := *d
+	warm.InitialState = []bool{false, true, true}
+	res, err := warm.Sample(q, 8, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for _, e := range res.Energies {
+		if e < best {
+			best = e
+		}
+	}
+	if best > -2+1e-9 {
+		t.Errorf("warm-started device best energy %v, want -2", best)
+	}
+}
+
+func TestDeviceWarmStartWithGaugeAveraging(t *testing.T) {
+	d := testDevice()
+	d.GaugeAveraging = true
+	d.InitialState = []bool{false, true, true}
+	q := smallQUBO()
+	res, err := d.Sample(q, 8, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for _, e := range res.Energies {
+		if e < best {
+			best = e
+		}
+	}
+	if best > -2+1e-9 {
+		t.Errorf("gauge-averaged warm start best energy %v, want -2", best)
+	}
+}
+
+func TestDeviceWarmStartRejectsWrongLength(t *testing.T) {
+	d := testDevice()
+	d.InitialState = []bool{true}
+	if _, err := d.Sample(smallQUBO(), 2, 2, 1); err == nil {
+		t.Fatal("wrong-length warm start accepted")
+	}
+}

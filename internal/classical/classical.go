@@ -8,6 +8,7 @@
 package classical
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -31,6 +32,17 @@ type Result struct {
 // C_out charges each intermediate result cardinality exactly once,
 // dp[S] = min over r in S of dp[S \ {r}] + card(S).
 func Optimal(q *join.Query) (Result, error) {
+	return OptimalContext(context.Background(), q)
+}
+
+// dpPollMask gates the context check in OptimalContext to once every 8192
+// subsets, keeping the poll off the inner loop's hot path.
+const dpPollMask = 8192 - 1
+
+// OptimalContext is Optimal with cancellation: the subset sweep polls the
+// context periodically, so a request deadline interrupts the table fill on
+// instances where 2^T iterations take longer than the caller can wait.
+func OptimalContext(ctx context.Context, q *join.Query) (Result, error) {
 	n := q.NumRelations()
 	if n < 2 {
 		return Result{}, fmt.Errorf("classical: need at least two relations, got %d", n)
@@ -42,6 +54,11 @@ func Optimal(q *join.Query) (Result, error) {
 	dp := make([]float64, size)
 	last := make([]int8, size)
 	for s := uint64(1); s < size; s++ {
+		if s&dpPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("classical: DP interrupted after %d of %d subsets: %w", s, size, err)
+			}
+		}
 		if bits.OnesCount64(s) == 1 { // singleton
 			dp[s] = 0
 			last[s] = -1

@@ -1,6 +1,8 @@
 package classical
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -125,5 +127,28 @@ func TestOptimalLargeInstance(t *testing.T) {
 	// Optimum can be no worse than greedy.
 	if g := Greedy(q); r.Cost > g.Cost*(1+1e-9) {
 		t.Fatalf("DP cost %v worse than greedy %v", r.Cost, g.Cost)
+	}
+}
+
+func TestOptimalContextCancellation(t *testing.T) {
+	q := randomQuery(rand.New(rand.NewSource(4)), 16)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OptimalContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled DP returned %v, want context.Canceled", err)
+	}
+
+	// A live context must give the same answer as the plain entry point.
+	got, err := OptimalContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Optimal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost || !got.Order.IsPermutation(16) {
+		t.Fatalf("OptimalContext = %+v, Optimal = %+v", got, want)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"quantumjoin/internal/linprog"
@@ -13,7 +14,14 @@ import (
 // strength of the LP relaxation rather than T! and works directly on the
 // inequality model, before any slack discretisation.
 func (e *Encoding) SolveMILP() (Decoded, error) {
-	res, err := e.MILP.SolveBnB(linprog.BnBOptions{})
+	return e.SolveMILPContext(context.Background())
+}
+
+// SolveMILPContext is SolveMILP with cancellation: the branch-and-bound
+// search checks the context at every node, so a request deadline cuts deep
+// searches short with ErrDeadlineExceeded instead of running to completion.
+func (e *Encoding) SolveMILPContext(ctx context.Context) (Decoded, error) {
+	res, err := e.MILP.SolveBnBContext(ctx, linprog.BnBOptions{})
 	if err != nil {
 		return Decoded{}, err
 	}

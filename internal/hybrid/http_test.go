@@ -1,0 +1,128 @@
+package hybrid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"quantumjoin/internal/service"
+)
+
+const chainCatalog = `{
+	"relations": [
+		{"name": "a", "cardinality": 100},
+		{"name": "b", "cardinality": 1000},
+		{"name": "c", "cardinality": 5000},
+		{"name": "d", "cardinality": 200}
+	],
+	"predicates": [
+		{"left": "a", "right": "b", "selectivity": 0.01},
+		{"left": "b", "right": "c", "selectivity": 0.001},
+		{"left": "c", "right": "d", "selectivity": 0.05}
+	]
+}`
+
+// TestHTTPHybridEndToEnd drives the hybrid backend through the full
+// qjoind stack — registry, service, HTTP handler — exactly as cmd/qjoind
+// wires it, including the per-request strategy/portfolio/hedge knobs and
+// the win/loss counters on /metrics.
+func TestHTTPHybridEndToEnd(t *testing.T) {
+	reg := testRegistry(t)
+	svc := service.New(reg, service.Config{Workers: 2, DefaultBackend: "dp"})
+	hb, err := New(Config{
+		Registry:   reg,
+		Metrics:    svc.Metrics(),
+		Portfolio:  []string{"tabu"},
+		HedgeDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(hb); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer func() {
+		ts.Close()
+		svc.Close(context.Background())
+	}()
+
+	for _, tc := range []struct {
+		name string
+		body map[string]any
+	}{
+		{"staged defaults", map[string]any{
+			"backend": "hybrid", "query": json.RawMessage(chainCatalog),
+			"thresholds": 2, "reads": 4, "seed": 5, "timeout_ms": 10000,
+		}},
+		{"race with portfolio", map[string]any{
+			"backend": "hybrid", "query": json.RawMessage(chainCatalog),
+			"strategy": "race", "portfolio": []string{"greedy", "tabu"},
+			"thresholds": 2, "reads": 4, "seed": 5, "timeout_ms": 10000,
+		}},
+		{"staged with hedge", map[string]any{
+			"backend": "hybrid", "query": json.RawMessage(chainCatalog),
+			"strategy": "staged", "portfolio": []string{"tabu"}, "hedge_ms": 1,
+			"thresholds": 2, "reads": 4, "seed": 5, "timeout_ms": 10000,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			raw, _ := json.Marshal(tc.body)
+			resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var out service.OptimizeResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %+v", resp.StatusCode, out)
+			}
+			if out.Backend != "hybrid" || len(out.Order) != 4 || out.Cost <= 0 {
+				t.Errorf("bad response: %+v", out)
+			}
+		})
+	}
+
+	// An invalid strategy must surface as 400 through the whole stack.
+	raw, _ := json.Marshal(map[string]any{
+		"backend": "hybrid", "query": json.RawMessage(chainCatalog),
+		"strategy": "tournament",
+	})
+	resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid strategy: status %d, want 400", resp.StatusCode)
+	}
+
+	// /metrics must expose hybrid requests and arbitration outcomes.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap service.Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	// 3 successful orchestrations plus the rejected-strategy attempt.
+	if hb, ok := snap.Backends["hybrid"]; !ok || hb.Requests != 4 || hb.Errors != 1 {
+		t.Errorf("hybrid backend metrics = %+v, want 4 requests / 1 error", snap.Backends["hybrid"])
+	}
+	var wins int64
+	for _, bs := range snap.Backends {
+		wins += bs.Wins
+	}
+	if wins != 3 {
+		t.Errorf("total arbitration wins = %d, want one per hybrid request (3)", wins)
+	}
+}

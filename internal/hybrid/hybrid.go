@@ -1,0 +1,195 @@
+// Package hybrid orchestrates the registered solver backends into a single
+// deadline-aware meta-backend, following the hybrid quantum-classical
+// framing of the paper's co-design discussion: near-term quantum solvers
+// are unreliable per-shot, so production use races them against (or hedges
+// them behind) classical baselines and lets an arbiter pick the best valid
+// plan produced before the deadline.
+//
+// Two strategies are provided:
+//
+//   - "race": fan the encoded instance across a portfolio of backends
+//     concurrently; the first valid join order wins and the rest are
+//     cancelled. Latency-optimal when any single backend may stall.
+//   - "staged": run the classical stage (greedy, then DP when the instance
+//     is small enough) for an instant feasible incumbent, then — after a
+//     hedge delay — launch the quantum-simulated portfolio warm-started
+//     from that incumbent, improving the answer anytime until the deadline.
+//     Quality-optimal: the final plan is never worse than the classical
+//     incumbent.
+//
+// Every candidate is validated and re-scored by true plan cost (Query.Cost
+// of the decoded order), never by QUBO energy, and per-backend win/loss
+// and latency outcomes are recorded into the service metrics registry.
+package hybrid
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/service"
+)
+
+// Strategy names accepted by Config.Strategy and Params.Hybrid.Strategy.
+const (
+	StrategyRace   = "race"
+	StrategyStaged = "staged"
+)
+
+// Name is the registry name of the hybrid backend.
+const Name = "hybrid"
+
+// Config assembles a hybrid Backend over an existing registry.
+type Config struct {
+	// Registry resolves portfolio backend names (required).
+	Registry *service.Registry
+	// Metrics, when non-nil, receives per-backend win/loss and latency
+	// outcomes from the arbiter.
+	Metrics *service.Metrics
+	// Strategy is the default strategy when a request names none
+	// (default "staged").
+	Strategy string
+	// Portfolio is the default backend portfolio: the racers for "race",
+	// the quantum stage for "staged" (the classical stage is always
+	// greedy+DP). Default: anneal, tabu, qaoa — filtered to what the
+	// registry actually has.
+	Portfolio []string
+	// HedgeDelay is the default pause between the classical incumbent and
+	// the quantum launch in the staged strategy (default 25ms). The pause
+	// lets cheap requests return without ever spinning up samplers.
+	HedgeDelay time.Duration
+	// MinBudget is the minimum remaining deadline worth launching a
+	// quantum stage for (default 10ms); below it the staged strategy
+	// returns the classical incumbent immediately.
+	MinBudget time.Duration
+	// MaxDPRelations caps the instance size for the DP pass of the staged
+	// classical stage, which does not poll the context (default 18).
+	MaxDPRelations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Strategy == "" {
+		c.Strategy = StrategyStaged
+	}
+	if c.Portfolio == nil {
+		c.Portfolio = []string{"anneal", "tabu", "qaoa"}
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 25 * time.Millisecond
+	}
+	if c.MinBudget == 0 {
+		c.MinBudget = 10 * time.Millisecond
+	}
+	if c.MaxDPRelations == 0 {
+		c.MaxDPRelations = 18
+	}
+	return c
+}
+
+// Backend is the hybrid orchestrator; it implements service.Backend and is
+// safe for concurrent use.
+type Backend struct {
+	cfg Config
+}
+
+// New builds the hybrid backend. It returns an error when the registry is
+// missing or the default strategy is unknown.
+func New(cfg Config) (*Backend, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("hybrid: config needs a backend registry")
+	}
+	if cfg.Strategy != StrategyRace && cfg.Strategy != StrategyStaged {
+		return nil, fmt.Errorf("hybrid: unknown default strategy %q", cfg.Strategy)
+	}
+	return &Backend{cfg: cfg}, nil
+}
+
+// Name implements service.Backend.
+func (b *Backend) Name() string { return Name }
+
+// Solve implements service.Backend: it dispatches on the request's
+// strategy and returns the arbiter's pick.
+func (b *Backend) Solve(ctx context.Context, enc *core.Encoding, p service.Params) (*core.Decoded, error) {
+	out, err := b.Orchestrate(ctx, enc, p)
+	if err != nil {
+		return nil, err
+	}
+	return out.Best, nil
+}
+
+// Outcome is the full orchestration result, exposing what Solve discards.
+type Outcome struct {
+	// Strategy is the strategy that ran.
+	Strategy string
+	// Winner is the backend whose candidate the arbiter selected.
+	Winner string
+	// Best is the selected decoded join order.
+	Best *core.Decoded
+	// Candidates are all finished attempts, including losers and errors.
+	Candidates []Candidate
+}
+
+// Orchestrate runs the selected strategy and returns the arbitrated
+// outcome. It is the programmatic entry point for callers that want the
+// losing candidates too (benchmarks, tests).
+func (b *Backend) Orchestrate(ctx context.Context, enc *core.Encoding, p service.Params) (*Outcome, error) {
+	strategy := p.Hybrid.Strategy
+	if strategy == "" {
+		strategy = b.cfg.Strategy
+	}
+	portfolio, err := b.portfolio(p)
+	if err != nil {
+		return nil, err
+	}
+	switch strategy {
+	case StrategyRace:
+		return b.race(ctx, enc, p, portfolio)
+	case StrategyStaged:
+		return b.staged(ctx, enc, p, portfolio)
+	default:
+		return nil, fmt.Errorf("hybrid: unknown strategy %q (have: race, staged): %w",
+			strategy, service.ErrBadRequest)
+	}
+}
+
+// portfolio resolves the request's (or the default) portfolio against the
+// registry. Unknown names are client errors; the hybrid backend itself is
+// rejected to keep orchestration non-recursive. A default portfolio is
+// silently filtered to registered backends so a slim registry still works.
+func (b *Backend) portfolio(p service.Params) ([]string, error) {
+	names := p.Hybrid.Portfolio
+	explicit := len(names) > 0
+	if !explicit {
+		names = b.cfg.Portfolio
+	}
+	var out []string
+	for _, name := range names {
+		if name == Name {
+			return nil, fmt.Errorf("hybrid: portfolio must not include %q itself: %w",
+				Name, service.ErrBadRequest)
+		}
+		if _, ok := b.cfg.Registry.Get(name); !ok {
+			if explicit {
+				return nil, fmt.Errorf("hybrid: unknown portfolio backend %q: %w",
+					name, service.ErrBadRequest)
+			}
+			continue
+		}
+		out = append(out, name)
+	}
+	if explicit && len(out) == 0 {
+		return nil, fmt.Errorf("hybrid: empty portfolio: %w", service.ErrBadRequest)
+	}
+	return out, nil
+}
+
+// subParams derives the parameters passed to a portfolio backend: the
+// hybrid knobs are stripped (they are meaningless one level down) and the
+// warm-start state is attached when the strategy produced one.
+func subParams(p service.Params, warm []bool) service.Params {
+	p.Hybrid = service.HybridParams{}
+	p.InitialState = warm
+	return p
+}

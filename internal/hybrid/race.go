@@ -1,0 +1,66 @@
+package hybrid
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/service"
+)
+
+// raceDrainGrace bounds how long the racer waits, after cancelling the
+// losers, for them to observe the cancellation and report back (so their
+// loss/latency outcomes can be recorded). Stragglers past the grace are
+// abandoned: their goroutines still exit on their own — the results
+// channel is buffered for the whole portfolio, so a late send never
+// blocks — but they go unrecorded.
+const raceDrainGrace = 250 * time.Millisecond
+
+// race fans the encoded instance across the portfolio concurrently and
+// returns as soon as any backend produces a valid join order, cancelling
+// the rest. Per-backend budgets are the full remaining deadline: racing
+// trades compute for latency, so every racer gets the whole window and the
+// first valid answer ends it.
+func (b *Backend) race(ctx context.Context, enc *core.Encoding, p service.Params, portfolio []string) (*Outcome, error) {
+	if len(portfolio) == 0 {
+		return nil, fmt.Errorf("hybrid: race strategy needs a non-empty portfolio: %w", service.ErrBadRequest)
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan Candidate, len(portfolio))
+	for _, name := range portfolio {
+		be, _ := b.cfg.Registry.Get(name) // presence checked by portfolio()
+		go func(name string, be service.Backend) {
+			start := time.Now()
+			d, err := be.Solve(raceCtx, enc, subParams(p, nil))
+			results <- vet(enc, name, d, err, time.Since(start))
+		}(name, be)
+	}
+
+	var candidates []Candidate
+	won := false
+	for len(candidates) < len(portfolio) {
+		c := <-results
+		candidates = append(candidates, c)
+		if c.Decoded != nil && !won {
+			won = true
+			cancel()
+			// Collect the cancelled losers for their outcome records, but
+			// only within the grace window — a loser stuck in a non-
+			// interruptible section must not delay the winning answer.
+			grace := time.NewTimer(raceDrainGrace)
+			for len(candidates) < len(portfolio) {
+				select {
+				case c := <-results:
+					candidates = append(candidates, c)
+				case <-grace.C:
+					return b.arbitrate(ctx, StrategyRace, candidates)
+				}
+			}
+			grace.Stop()
+		}
+	}
+	return b.arbitrate(ctx, StrategyRace, candidates)
+}

@@ -1,0 +1,143 @@
+package hybrid
+
+import (
+	"context"
+	"time"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/service"
+)
+
+// classicalStage names the backends of the staged strategy's first stage,
+// in launch order. Greedy is O(T²) and never fails; DP is exact, polls the
+// context (so a tight deadline degrades the stage to greedy quality rather
+// than blowing the budget), and is additionally gated on instance size
+// (Config.MaxDPRelations) to bound the 2^T table memory.
+var classicalStage = []string{"greedy", "dp"}
+
+// staged runs the hedged two-stage strategy: the classical stage produces
+// an instant feasible incumbent, then — after the hedge delay, and only if
+// enough deadline remains — the quantum-simulated portfolio launches warm-
+// started from that incumbent, improving the answer anytime until the
+// deadline. The final plan is never worse than the classical incumbent.
+func (b *Backend) staged(ctx context.Context, enc *core.Encoding, p service.Params, portfolio []string) (*Outcome, error) {
+	var candidates []Candidate
+	var incumbent *Candidate
+
+	// Stage 1: classical, synchronous, microseconds-to-milliseconds. Both
+	// backends are optional registry members; a slim registry degrades to
+	// a pure quantum portfolio.
+	n := enc.Query.NumRelations()
+	for _, name := range classicalStage {
+		be, ok := b.cfg.Registry.Get(name)
+		if !ok {
+			continue
+		}
+		if name == "dp" && n > b.cfg.MaxDPRelations {
+			continue
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		start := time.Now()
+		d, err := be.Solve(ctx, enc, subParams(p, nil))
+		c := vet(enc, name, d, err, time.Since(start))
+		candidates = append(candidates, c)
+		if c.Decoded != nil && (incumbent == nil || c.Cost < incumbent.Cost) {
+			cc := c
+			incumbent = &cc
+		}
+	}
+
+	// Stage 2: hedge, then launch the quantum portfolio. The hedge delay
+	// gives cheap requests a chance to return without ever spinning up
+	// samplers; a negative request value disables it.
+	if len(portfolio) > 0 && b.hedge(ctx, p) && b.budgetLeft(ctx) {
+		warm := warmState(enc, incumbent)
+		results := make(chan Candidate, len(portfolio))
+		for _, name := range portfolio {
+			be, _ := b.cfg.Registry.Get(name)
+			go func(name string, be service.Backend) {
+				start := time.Now()
+				d, err := be.Solve(ctx, enc, subParams(p, warm))
+				results <- vet(enc, name, d, err, time.Since(start))
+			}(name, be)
+		}
+		// Anytime collection: candidates are folded in as they finish,
+		// and the deadline ends the wait even if a backend is stuck in a
+		// non-interruptible section (the buffered channel lets stragglers
+		// finish their send and exit on their own).
+	collect:
+		for collected := 0; collected < len(portfolio); collected++ {
+			select {
+			case c := <-results:
+				candidates = append(candidates, c)
+			case <-ctx.Done():
+				break collect
+			}
+		}
+	}
+	return b.arbitrate(ctx, StrategyStaged, candidates)
+}
+
+// hedge sleeps for the hedge delay (bounded by the context) and reports
+// whether the quantum stage should still launch.
+func (b *Backend) hedge(ctx context.Context, p service.Params) bool {
+	delay := p.Hybrid.HedgeDelay
+	if delay == 0 {
+		delay = b.cfg.HedgeDelay
+	}
+	if delay <= 0 {
+		return ctx.Err() == nil
+	}
+	// Launching right at the deadline is useless: cap the wait so at
+	// least MinBudget of solving time remains afterwards.
+	if deadline, ok := ctx.Deadline(); ok {
+		if room := time.Until(deadline) - b.cfg.MinBudget; room < delay {
+			delay = room
+		}
+		if delay <= 0 {
+			return ctx.Err() == nil
+		}
+	}
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+// budgetLeft reports whether enough deadline remains to be worth starting
+// a quantum-simulated solve.
+func (b *Backend) budgetLeft(ctx context.Context) bool {
+	if err := ctx.Err(); err != nil {
+		return false
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		return time.Until(deadline) >= b.cfg.MinBudget
+	}
+	return true
+}
+
+// warmState embeds the classical incumbent into the full QUBO variable
+// space (decision variables via EncodeOrder, slacks via CompleteSlacks) so
+// samplers refine a good solution instead of starting from noise. Any
+// failure degrades to a cold start — warm-starting is an optimisation,
+// never a correctness requirement.
+func warmState(enc *core.Encoding, incumbent *Candidate) []bool {
+	if incumbent == nil {
+		return nil
+	}
+	decision, err := enc.EncodeOrder(incumbent.Decoded.Order)
+	if err != nil {
+		return nil
+	}
+	full, err := enc.CompleteSlacks(decision)
+	if err != nil {
+		return nil
+	}
+	return full
+}

@@ -1,6 +1,7 @@
 package linprog
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -35,6 +36,15 @@ type BnBResult struct {
 // scale, what the original study delegated to Gurobi for the classical
 // MILP pathway.
 func (m *Model) SolveBnB(opts BnBOptions) (BnBResult, error) {
+	return m.SolveBnBContext(context.Background(), opts)
+}
+
+// SolveBnBContext is SolveBnB with cancellation: the context is checked
+// before every node's simplex solve and at every branch, so deep searches
+// respect request deadlines. On expiry it returns the incumbent found so
+// far (Feasible reports whether one exists, Proven is false) together with
+// the context error wrapped in partial-progress information.
+func (m *Model) SolveBnBContext(ctx context.Context, opts BnBOptions) (BnBResult, error) {
 	if opts.MaxNodes <= 0 {
 		opts.MaxNodes = 200000
 	}
@@ -71,6 +81,9 @@ func (m *Model) SolveBnB(opts BnBOptions) (BnBResult, error) {
 	stack := []node{root}
 
 	for len(stack) > 0 && res.Nodes < opts.MaxNodes {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("linprog: branch and bound interrupted after %d nodes: %w", res.Nodes, err)
+		}
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		res.Nodes++

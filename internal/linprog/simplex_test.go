@@ -1,6 +1,8 @@
 package linprog
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -169,6 +171,44 @@ func TestBnBInfeasibleModel(t *testing.T) {
 	}
 	if res.Feasible {
 		t.Fatal("infeasible model reported feasible")
+	}
+}
+
+func TestBnBContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	m := &Model{}
+	n := 10
+	for i := 0; i < n; i++ {
+		m.AddVar("x")
+		m.AddObjectiveTerm(i, rng.NormFloat64())
+	}
+	c := Constraint{Sense: LE, RHS: 4, Integral: true, SlackBound: 4}
+	for i := 0; i < n; i++ {
+		c.Terms = append(c.Terms, Term{i, 1})
+	}
+	m.AddConstraint(c)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := m.SolveBnBContext(ctx, BnBOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Proven {
+		t.Fatal("cancelled search claims a proven optimum")
+	}
+
+	// A live context must leave the result identical to SolveBnB.
+	got, err := m.SolveBnBContext(context.Background(), BnBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.SolveBnB(BnBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Feasible != want.Feasible || math.Abs(got.Objective-want.Objective) > 1e-9 {
+		t.Fatalf("context solve %+v differs from plain solve %+v", got, want)
 	}
 }
 

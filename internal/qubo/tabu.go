@@ -24,6 +24,10 @@ type TabuSearch struct {
 	MaxIters int
 	// Restarts is the number of random restarts (default 4).
 	Restarts int
+	// InitialState, when non-nil and of length N, seeds the first restart
+	// with the given assignment instead of a random one (warm start from a
+	// classical incumbent); subsequent restarts stay random for diversity.
+	InitialState []bool
 }
 
 // Solve runs the search and returns the best assignment found.
@@ -71,8 +75,12 @@ func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) 
 			return best, fmt.Errorf("qubo: tabu search interrupted after %d/%d restarts: %w", r, restarts, err)
 		}
 		x := make([]bool, n)
-		for i := range x {
-			x[i] = rng.Intn(2) == 0
+		if r == 0 && len(ts.InitialState) == n {
+			copy(x, ts.InitialState)
+		} else {
+			for i := range x {
+				x[i] = rng.Intn(2) == 0
+			}
 		}
 		// delta[i] = change in objective when flipping variable i.
 		delta := make([]float64, n)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"quantumjoin/internal/core"
 )
@@ -31,6 +32,32 @@ type Params struct {
 	// Seed drives embedding and sampling; equal seeds give reproducible
 	// results on every backend.
 	Seed int64
+	// InitialState, when non-nil, warm-starts the solver from a full QUBO
+	// assignment (length Encoding.NumQubits(); build one from a join order
+	// with EncodeOrder + CompleteSlacks). Backends without a warm-start
+	// notion ignore it. The hybrid orchestrator threads its classical
+	// incumbent through here so quantum stages refine rather than restart.
+	InitialState []bool
+	// Hybrid tunes the hybrid orchestration backend; other backends
+	// ignore it.
+	Hybrid HybridParams
+}
+
+// HybridParams select and tune a hybrid orchestration strategy. The zero
+// value picks the backend's defaults.
+type HybridParams struct {
+	// Strategy is "race" (portfolio racing: first valid result wins) or
+	// "staged" (classical first, hedged quantum launch, anytime
+	// improvement until the deadline). Empty selects the backend default.
+	Strategy string
+	// Portfolio lists the backend names to race or stage; empty selects
+	// the backend default portfolio.
+	Portfolio []string
+	// HedgeDelay is how long the staged strategy waits after launching the
+	// classical stage before hedging with the quantum-simulated solvers;
+	// zero selects the backend default, negative disables hedging (quantum
+	// stages launch immediately).
+	HedgeDelay time.Duration
 }
 
 // Backend solves one QUBO-encoded join ordering problem. Implementations

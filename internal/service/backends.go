@@ -110,7 +110,18 @@ func (b *annealBackend) Solve(ctx context.Context, enc *core.Encoding, p Params)
 	if reads <= 0 {
 		reads = 500
 	}
-	out, err := b.dev.SampleContext(ctx, enc.QUBO, reads, 20, p.Seed)
+	dev := b.dev
+	if len(p.InitialState) > 0 {
+		// Warm start: Device is shared across requests, so set the initial
+		// state on a shallow copy (the hardware graph stays shared,
+		// read-only). SampleEmbeddedContext expands the logical assignment
+		// onto chains and switches the sampler to a reverse-annealing
+		// schedule.
+		warm := *b.dev
+		warm.InitialState = p.InitialState
+		dev = &warm
+	}
+	out, err := dev.SampleContext(ctx, enc.QUBO, reads, 20, p.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +142,7 @@ func (tabuBackend) Solve(ctx context.Context, enc *core.Encoding, p Params) (*co
 	if restarts <= 0 {
 		restarts = 8
 	}
-	ts := qubo.TabuSearch{Restarts: restarts}
+	ts := qubo.TabuSearch{Restarts: restarts, InitialState: p.InitialState}
 	sol, err := ts.SolveContext(ctx, enc.QUBO, rand.New(rand.NewSource(p.Seed)))
 	if err != nil {
 		return nil, err
@@ -187,10 +198,9 @@ func NewMILPBackend() Backend { return milpBackend{} }
 func (milpBackend) Name() string { return "milp" }
 
 func (milpBackend) Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("service: milp backend cancelled: %w", err)
-	}
-	d, err := enc.SolveMILP()
+	// The branch-and-bound search checks the context at every node, so a
+	// request deadline interrupts deep searches mid-proof.
+	d, err := enc.SolveMILPContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -206,10 +216,9 @@ func NewDPBackend() Backend { return dpBackend{} }
 func (dpBackend) Name() string { return "dp" }
 
 func (dpBackend) Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("service: dp backend cancelled: %w", err)
-	}
-	res, err := classical.Optimal(enc.Query)
+	// The subset sweep polls the context, so a request deadline interrupts
+	// the table fill on large instances instead of blowing the budget.
+	res, err := classical.OptimalContext(ctx, enc.Query)
 	if err != nil {
 		return nil, err
 	}

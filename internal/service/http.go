@@ -14,6 +14,16 @@ import (
 // OptimizeRequest is the POST /v1/optimize body. Query uses the join
 // catalog schema: {"relations":[{"name":...,"cardinality":...}],
 // "predicates":[{"left":...,"right":...,"selectivity":...}]}.
+//
+// TimeoutMs is the per-request deadline in milliseconds: absent or 0
+// selects the server-side default (Config.DefaultTimeout, 10s unless
+// reconfigured), values above Config.MaxTimeout are clamped to it, and
+// negative values are rejected with 400.
+//
+// Strategy, Portfolio, and HedgeMs tune the hybrid backend only: Strategy
+// is "race" or "staged", Portfolio lists backend names to orchestrate, and
+// HedgeMs is the staged strategy's hedge delay in milliseconds (0 default,
+// negative launches quantum stages immediately).
 type OptimizeRequest struct {
 	Backend      string          `json:"backend,omitempty"`
 	Query        json.RawMessage `json:"query"`
@@ -23,6 +33,9 @@ type OptimizeRequest struct {
 	Reads        int             `json:"reads,omitempty"`
 	Seed         int64           `json:"seed,omitempty"`
 	TimeoutMs    int             `json:"timeout_ms,omitempty"`
+	Strategy     string          `json:"strategy,omitempty"`
+	Portfolio    []string        `json:"portfolio,omitempty"`
+	HedgeMs      int             `json:"hedge_ms,omitempty"`
 }
 
 // OptimizeResponse is the POST /v1/optimize result.
@@ -95,6 +108,10 @@ func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid query: "+err.Error())
 		return
 	}
+	if body.TimeoutMs < 0 {
+		writeError(w, http.StatusBadRequest, `"timeout_ms" must be >= 0 (0 or absent selects the server default)`)
+		return
+	}
 	req := &Request{
 		Query:   q,
 		Backend: body.Backend,
@@ -103,7 +120,15 @@ func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			Omega:        body.Omega,
 			LogObjective: body.LogObjective,
 		},
-		Params:  Params{Reads: body.Reads, Seed: body.Seed},
+		Params: Params{
+			Reads: body.Reads,
+			Seed:  body.Seed,
+			Hybrid: HybridParams{
+				Strategy:   body.Strategy,
+				Portfolio:  body.Portfolio,
+				HedgeDelay: time.Duration(body.HedgeMs) * time.Millisecond,
+			},
+		},
 		Timeout: time.Duration(body.TimeoutMs) * time.Millisecond,
 	}
 	resp, err := s.Optimize(r.Context(), req)

@@ -155,6 +155,45 @@ func TestHTTPDeadline(t *testing.T) {
 	}
 }
 
+// TestHTTPTimeoutHandling pins the documented timeout_ms contract: negative
+// values are client errors, while 0/absent fall back to the server default.
+func TestHTTPTimeoutHandling(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, body := postOptimize(t, ts.URL, map[string]any{
+		"backend":    "dp",
+		"query":      json.RawMessage(pairCatalog),
+		"timeout_ms": -1,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative timeout_ms: status %d (%s), want 400", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Errorf("negative timeout_ms: missing error message in %s", body)
+	}
+
+	// Absent timeout_ms must select the server default, not an immediate
+	// deadline: the request succeeds.
+	resp, body = postOptimize(t, ts.URL, map[string]any{
+		"backend": "dp",
+		"query":   json.RawMessage(pairCatalog),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("absent timeout_ms: status %d (%s), want 200", resp.StatusCode, body)
+	}
+
+	// Explicit 0 is the documented alias for the default.
+	resp, body = postOptimize(t, ts.URL, map[string]any{
+		"backend":    "dp",
+		"query":      json.RawMessage(pairCatalog),
+		"timeout_ms": 0,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("timeout_ms=0: status %d (%s), want 200", resp.StatusCode, body)
+	}
+}
+
 func TestHTTPHealthAndBackends(t *testing.T) {
 	_, ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/healthz")

@@ -75,10 +75,13 @@ func (h *histogram) snapshot() LatencySnapshot {
 	return s
 }
 
-// BackendMetrics tracks one backend's requests, errors, and latency.
+// BackendMetrics tracks one backend's requests, errors, latency, and — for
+// backends competing inside the hybrid orchestrator — arbitration outcomes.
 type BackendMetrics struct {
 	requests atomic.Int64
 	errors   atomic.Int64
+	wins     atomic.Int64
+	losses   atomic.Int64
 	lat      *histogram
 }
 
@@ -90,6 +93,14 @@ func (b *BackendMetrics) Observe(d time.Duration, err error) {
 	}
 	b.lat.observe(d)
 }
+
+// RecordWin counts an arbitration win: the hybrid orchestrator selected
+// this backend's candidate as the final answer.
+func (b *BackendMetrics) RecordWin() { b.wins.Add(1) }
+
+// RecordLoss counts an arbitration loss: the backend produced a candidate
+// (or failed to) but another backend's answer was selected.
+func (b *BackendMetrics) RecordLoss() { b.losses.Add(1) }
 
 // Metrics is the service-wide observability state. All recording paths are
 // atomic; Snapshot is safe to call concurrently with traffic.
@@ -126,10 +137,13 @@ func (m *Metrics) Backend(name string) *BackendMetrics {
 	return b
 }
 
-// BackendSnapshot summarises one backend.
+// BackendSnapshot summarises one backend. Wins and Losses count hybrid
+// arbitration outcomes and stay zero for backends never raced.
 type BackendSnapshot struct {
 	Requests int64           `json:"requests"`
 	Errors   int64           `json:"errors"`
+	Wins     int64           `json:"wins,omitempty"`
+	Losses   int64           `json:"losses,omitempty"`
 	Latency  LatencySnapshot `json:"latency"`
 }
 
@@ -175,6 +189,8 @@ func (m *Metrics) Snapshot(cache *EncodingCache) Snapshot {
 		s.Backends[name] = BackendSnapshot{
 			Requests: b.requests.Load(),
 			Errors:   b.errors.Load(),
+			Wins:     b.wins.Load(),
+			Losses:   b.losses.Load(),
 			Latency:  b.lat.snapshot(),
 		}
 	}

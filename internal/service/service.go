@@ -119,6 +119,10 @@ func (s *Service) Backends() []string { return s.reg.Names() }
 // MetricsSnapshot captures the current observability counters.
 func (s *Service) MetricsSnapshot() Snapshot { return s.metrics.Snapshot(s.cache) }
 
+// Metrics exposes the live metrics registry so out-of-package backends
+// (the hybrid orchestrator) can record per-backend arbitration outcomes.
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
 // PurgeCache drops all cached encodings (used by benchmarks and tests).
 func (s *Service) PurgeCache() { s.cache.Purge() }
 

@@ -287,3 +287,50 @@ func TestConcurrentOptimize(t *testing.T) {
 		t.Errorf("backend solves = %d, want %d", solves, goroutines*perG)
 	}
 }
+
+func TestMetricsWinLossCounters(t *testing.T) {
+	m := NewMetrics()
+	m.Backend("tabu").RecordWin()
+	m.Backend("tabu").RecordWin()
+	m.Backend("anneal").RecordLoss()
+	snap := m.Snapshot(nil)
+	if got := snap.Backends["tabu"]; got.Wins != 2 || got.Losses != 0 {
+		t.Errorf("tabu wins/losses = %d/%d, want 2/0", got.Wins, got.Losses)
+	}
+	if got := snap.Backends["anneal"]; got.Wins != 0 || got.Losses != 1 {
+		t.Errorf("anneal wins/losses = %d/%d, want 0/1", got.Wins, got.Losses)
+	}
+}
+
+// TestBackendsAcceptInitialState pins the warm-start plumbing: a full QUBO
+// assignment built from a known join order must pass through Params into
+// the tabu and anneal backends without breaking the solve.
+func TestBackendsAcceptInitialState(t *testing.T) {
+	q := pairQuery()
+	enc, err := core.Encode(q, core.Options{Thresholds: core.DefaultThresholds(q, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := enc.EncodeOrder(join.Order{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := enc.CompleteSlacks(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != enc.NumQubits() {
+		t.Fatalf("warm state has %d vars, encoding %d", len(full), enc.NumQubits())
+	}
+	ctx := context.Background()
+	p := Params{Reads: 50, Seed: 5, InitialState: full}
+	for _, b := range []Backend{NewTabuBackend(), NewAnnealBackend(3)} {
+		d, err := b.Solve(ctx, enc, p)
+		if err != nil {
+			t.Fatalf("%s warm solve: %v", b.Name(), err)
+		}
+		if !d.Valid || len(d.Order) != 2 {
+			t.Fatalf("%s warm solve returned %+v", b.Name(), d)
+		}
+	}
+}

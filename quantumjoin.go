@@ -163,6 +163,13 @@ func SolveMILP(enc *Encoding) (Decoded, error) {
 	return enc.SolveMILP()
 }
 
+// SolveMILPContext is SolveMILP with cancellation: the branch-and-bound
+// search checks the context at every node, so request deadlines interrupt
+// deep searches instead of waiting for the full proof of optimality.
+func SolveMILPContext(ctx context.Context, enc *Encoding) (Decoded, error) {
+	return enc.SolveMILPContext(ctx)
+}
+
 // Result is the outcome of a quantum optimisation run.
 type Result struct {
 	// Best is the best valid decoded solution.
@@ -301,6 +308,13 @@ type QAOAOptions struct {
 // SolveQAOA runs the hybrid QAOA loop on the statevector simulator
 // (bounded by the simulator's qubit cap) and post-processes the shots.
 func SolveQAOA(enc *Encoding, opts QAOAOptions) (Result, error) {
+	return SolveQAOAContext(context.Background(), enc, opts)
+}
+
+// SolveQAOAContext is SolveQAOA with cancellation: the variational loop
+// checks the context between optimiser iterations (and within statevector
+// evolutions), returning the context error once the deadline passes.
+func SolveQAOAContext(ctx context.Context, enc *Encoding, opts QAOAOptions) (Result, error) {
 	if opts.Layers == 0 {
 		opts.Layers = 1
 	}
@@ -340,7 +354,7 @@ func SolveQAOA(enc *Encoding, opts QAOAOptions) (Result, error) {
 	if hw != nil {
 		hwCircuit = hw.Circuit
 	}
-	out, err := qaoa.Run(enc.QUBO, opts.Layers, qaoa.AQGD{Iterations: opts.Iterations}, opts.Shots, cal, hwCircuit, rng)
+	out, err := qaoa.RunContext(ctx, enc.QUBO, opts.Layers, qaoa.AQGD{Iterations: opts.Iterations}, opts.Shots, cal, hwCircuit, rng)
 	if err != nil {
 		return Result{}, err
 	}
