@@ -12,8 +12,18 @@
 //	POST /v1/optimize  — optimise one query (see README for the schema)
 //	GET  /v1/backends  — list registered backends
 //	GET  /metrics      — JSON counters, per-backend latency percentiles,
-//	                     and encoding-cache hit rate
-//	GET  /healthz      — liveness probe
+//	                     encoding-cache hit rate, and breaker states
+//	GET  /healthz      — liveness probe with per-backend breaker health
+//
+// The daemon treats solver backends as unreliable co-processors (the
+// paper's §8 co-design argument): each backend named by -resilient-backends
+// is wrapped with deadline-budgeted retries and a circuit breaker, the
+// bounded request queue sheds load with 503 + Retry-After when saturated
+// (-shed), and a failed solve degrades to the classical planner instead of
+// erroring (-degrade), so /v1/optimize always answers with a valid join
+// order. The -chaos-* flags inject a deterministic unreliable-QPU model
+// (rejections, aborts, result corruption, queue waits, calibration
+// blackouts) underneath the resilience stack for drills and benchmarks.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops,
 // queued requests drain, and in-flight solves finish (bounded by the
@@ -33,7 +43,9 @@ import (
 	"syscall"
 	"time"
 
+	"quantumjoin/internal/faults"
 	"quantumjoin/internal/hybrid"
+	"quantumjoin/internal/noise"
 	"quantumjoin/internal/service"
 )
 
@@ -62,6 +74,17 @@ func main() {
 	hybridPortfolio := flag.String("hybrid-portfolio", "anneal,tabu,qaoa", "default hybrid portfolio (comma-separated backend names)")
 	hybridHedge := flag.Duration("hybrid-hedge", 25*time.Millisecond, "default hedge delay before the hybrid quantum stage")
 	grace := flag.Duration("grace", 30*time.Second, "graceful shutdown budget")
+	shed := flag.Bool("shed", true, "reject with 503 + Retry-After when the request queue is full (false = block until deadline)")
+	degrade := flag.Bool("degrade", true, "answer with the classical planner (degraded: true) when the selected backend fails")
+	resilient := flag.String("resilient-backends", "anneal,qaoa,tabu,milp", "backends wrapped with retries and a circuit breaker (comma-separated, empty disables)")
+	retries := flag.Int("retries", 4, "max solve attempts per request on transient backend faults")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive failures that trip a backend's circuit breaker")
+	breakerOpen := flag.Duration("breaker-open", 2*time.Second, "how long a tripped breaker fast-fails before probing the backend")
+	chaosRate := flag.Float64("chaos-rate", 0, "inject faults: total per-attempt fault probability, split across rejections, aborts, and corruption (0 disables)")
+	chaosQueue := flag.Duration("chaos-queue", 0, "inject faults: mean simulated QPU queue wait per job")
+	chaosCalibPeriod := flag.Duration("chaos-calib-period", 0, "inject faults: recalibration blackout period (0 disables)")
+	chaosCalibWindow := flag.Duration("chaos-calib-window", 0, "inject faults: blackout length at the start of each period")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault model")
 	flag.Parse()
 
 	reg := service.DefaultRegistry(service.RegistryConfig{
@@ -75,7 +98,50 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		DefaultBackend: *defaultBackend,
+		Shed:           *shed,
+		Degrade:        *degrade,
 	})
+
+	// Resilience stack, inner to outer: fault injection (chaos drills
+	// only) → deadline-budgeted retries → circuit breaker. The breaker is
+	// outermost so it judges post-retry outcomes, and the wrapped backend
+	// keeps its registry name — clients and the hybrid portfolio are none
+	// the wiser.
+	chaos := *chaosRate > 0 || *chaosQueue > 0 || (*chaosCalibPeriod > 0 && *chaosCalibWindow > 0)
+	for _, name := range splitList(*resilient) {
+		be, ok := reg.Get(name)
+		if !ok {
+			fail(fmt.Errorf("qjoind: -resilient-backends names unknown backend %q", name))
+		}
+		if chaos {
+			be = faults.Inject(be, faults.InjectorConfig{
+				RejectProb:        *chaosRate / 3,
+				AbortProb:         *chaosRate / 3,
+				CorruptProb:       *chaosRate / 3,
+				Access:            noise.AccessModel{QueueWaitNs: float64(chaosQueue.Nanoseconds())},
+				CalibrationPeriod: *chaosCalibPeriod,
+				CalibrationWindow: *chaosCalibWindow,
+				Seed:              *chaosSeed,
+				Metrics:           svc.Metrics(),
+			})
+		}
+		be = faults.WithRetry(be, faults.RetryPolicy{
+			MaxAttempts: *retries,
+			Seed:        *chaosSeed,
+			Metrics:     svc.Metrics(),
+		})
+		be = faults.WithBreaker(be, faults.BreakerConfig{
+			ConsecutiveFailures: *breakerFailures,
+			OpenFor:             *breakerOpen,
+		})
+		if err := reg.Replace(be); err != nil {
+			fail(fmt.Errorf("qjoind: %w", err))
+		}
+	}
+	if chaos {
+		log.Printf("qjoind: CHAOS MODE: injecting faults (rate %.2f, queue %s, seed %d) into %s",
+			*chaosRate, *chaosQueue, *chaosSeed, *resilient)
+	}
 
 	// The hybrid orchestrator sits on top of the registry it races, so it
 	// registers after the service wires up metrics.

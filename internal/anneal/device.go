@@ -125,7 +125,13 @@ type Result struct {
 // EmbedOnly computes the minor embedding of the QUBO's interaction graph
 // without sampling — sufficient for the Figure 3 scaling study.
 func (d *Device) EmbedOnly(q *qubo.QUBO, seed int64) (*minorembed.Embedding, error) {
-	return minorembed.Embed(q.AdjacencyLists(), d.Graph, minorembed.Options{
+	return d.EmbedOnlyContext(context.Background(), q, seed)
+}
+
+// EmbedOnlyContext is EmbedOnly with cancellation threaded into the
+// embedding heuristic's restart and refinement loops.
+func (d *Device) EmbedOnlyContext(ctx context.Context, q *qubo.QUBO, seed int64) (*minorembed.Embedding, error) {
+	return minorembed.EmbedContext(ctx, q.AdjacencyLists(), d.Graph, minorembed.Options{
 		Tries: d.EmbeddingTries,
 		Seed:  seed,
 	})
@@ -153,7 +159,7 @@ func (d *Device) SampleContext(ctx context.Context, q *qubo.QUBO, reads int, ann
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("anneal: cancelled before embedding: %w", err)
 	}
-	emb, err := d.EmbedOnly(q, seed)
+	emb, err := d.EmbedOnlyContext(ctx, q, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -152,7 +152,9 @@ func Greedy(q *join.Query) Result {
 	bestI, bestJ, bestCard := -1, -1, math.Inf(1)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if c := q.SetCard(1<<uint(i) | 1<<uint(j)); c < bestCard {
+			// bestI == -1 guards degenerate cost arithmetic (all
+			// candidates Inf): some pair must be picked regardless.
+			if c := q.SetCard(1<<uint(i) | 1<<uint(j)); bestI == -1 || c < bestCard {
 				bestI, bestJ, bestCard = i, j, c
 			}
 		}
@@ -166,7 +168,7 @@ func Greedy(q *join.Query) Result {
 			if mask&(1<<uint(t)) != 0 {
 				continue
 			}
-			if c := q.SetCard(mask | 1<<uint(t)); c < bestC {
+			if c := q.SetCard(mask | 1<<uint(t)); bestT == -1 || c < bestC {
 				bestT, bestC = t, c
 			}
 		}

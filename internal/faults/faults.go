@@ -1,0 +1,267 @@
+// Package faults models the QPU as an unreliable co-processor and makes
+// qjoind correct in spite of it. The paper's closing co-design argument
+// (§8) is that cloud-accessed quantum hardware pays network round trips,
+// time-shared queueing, and recalibration windows; internal/noise encodes
+// the latency side of that story, and this package encodes the failure
+// side: rejected jobs, queue timeouts, calibration blackouts, mid-run
+// aborts, and silently corrupted results — the failure modes real IBM Q
+// and D-Wave access exhibits.
+//
+// Three composable service.Backend wrappers are provided:
+//
+//   - Inject: a deterministic, seed-driven fault injector that turns any
+//     backend into an unreliable one (for chaos tests, cmd/chaosbench, and
+//     the qjoind -chaos-* flags).
+//   - WithRetry: retries retryable faults with jittered exponential
+//     backoff drawn strictly from the request's remaining deadline budget.
+//   - WithBreaker: a three-state circuit breaker (closed/open/half-open)
+//     that fast-fails requests to a backend that keeps failing and probes
+//     it back to health.
+//
+// Stack them inner→outer as Inject → WithRetry → WithBreaker: retries sit
+// next to the flaky backend, and the breaker sees post-retry outcomes.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/minorembed"
+	"quantumjoin/internal/noise"
+	"quantumjoin/internal/service"
+)
+
+// Kind classifies an injected (or observed) fault, mirroring the failure
+// taxonomy of real cloud QPU access (see DESIGN.md "Fault model").
+type Kind int
+
+const (
+	// KindRejected: the submission API refused the job (malformed by the
+	// device's standards of the hour, over quota, embedding rejected).
+	KindRejected Kind = iota
+	// KindQueueTimeout: the time-shared queue wait exceeded the request's
+	// remaining deadline budget; the job was never started.
+	KindQueueTimeout
+	// KindCalibration: the device is inside a recalibration window and
+	// rejects all submissions until it reopens.
+	KindCalibration
+	// KindAborted: the job started and was killed mid-run (preemption,
+	// control error, chain break storm).
+	KindAborted
+	// KindCorrupted: the job "succeeded" but the returned solution failed
+	// structural validation downstream (readout bit flips).
+	KindCorrupted
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRejected:
+		return "rejected"
+	case KindQueueTimeout:
+		return "queue-timeout"
+	case KindCalibration:
+		return "calibration"
+	case KindAborted:
+		return "aborted"
+	case KindCorrupted:
+		return "corrupted"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Error is a classified backend fault. All kinds are transient: a retry
+// with a fresh seed (and, for calibration, a little patience) may succeed.
+type Error struct {
+	Kind    Kind
+	Backend string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("faults: backend %q: %s", e.Backend, e.Kind)
+}
+
+// Unwrap maps every fault onto service.ErrUnavailable: a fault that
+// survives the retry layer is transient unavailability, so the HTTP layer
+// answers 503 + Retry-After (never 500) even with degradation disabled.
+func (e *Error) Unwrap() error { return service.ErrUnavailable }
+
+// Retryable reports whether err is worth retrying against the same
+// backend: classified faults, failed minor-embedding attempts (a different
+// seed may embed — the anneal backend surfaces minorembed.ErrNoEmbedding),
+// and nothing else. Context errors are explicitly not retryable: the
+// deadline budget is gone or the caller walked away.
+func Retryable(err error) bool {
+	var fe *Error
+	if errors.As(err, &fe) {
+		return true
+	}
+	if errors.Is(err, minorembed.ErrNoEmbedding) {
+		return true
+	}
+	return false
+}
+
+// InjectorConfig tunes the unreliable-QPU model. All probabilities are per
+// solve attempt in [0,1]; the zero value injects nothing.
+type InjectorConfig struct {
+	// RejectProb is the probability the job is refused on submission.
+	RejectProb float64
+	// AbortProb is the probability the job is killed mid-run: the inner
+	// solve is started and cancelled partway through its budget.
+	AbortProb float64
+	// CorruptProb is the probability a successful result is corrupted
+	// before being returned: either the order is damaged into a
+	// non-permutation (caught by structural vetting downstream) or the
+	// reported cost is silently halved (caught by true-cost re-scoring).
+	CorruptProb float64
+	// Access models the submission path; queue waits are sampled from it
+	// (exponential with mean Access.QueueWaitNs) and slept before the
+	// inner solve, or converted into a queue-timeout fault when the wait
+	// exceeds the remaining deadline. The zero model waits nothing.
+	Access noise.AccessModel
+	// CalibrationPeriod and CalibrationWindow define periodic blackout
+	// intervals: submissions inside the first CalibrationWindow of every
+	// CalibrationPeriod (measured from the injector's epoch) are refused.
+	// A zero period disables blackouts.
+	CalibrationPeriod time.Duration
+	CalibrationWindow time.Duration
+	// Seed drives every fault decision. Fault fates are derived from
+	// mix(Seed, request seed), so a request's fate is a pure function of
+	// the two seeds — deterministic under any concurrency interleaving.
+	Seed int64
+	// Now is the clock for calibration windows (default time.Now); tests
+	// inject a fake.
+	Now func() time.Time
+	// Metrics, when non-nil, receives a RecordFault per injected fault
+	// under the wrapped backend's name.
+	Metrics *service.Metrics
+}
+
+// injector wraps a backend with the unreliable-QPU model.
+type injector struct {
+	inner service.Backend
+	cfg   InjectorConfig
+	epoch time.Time
+}
+
+// Inject wraps backend with a deterministic seed-driven fault model.
+func Inject(backend service.Backend, cfg InjectorConfig) service.Backend {
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+		cfg.Now = now
+	}
+	return &injector{inner: backend, cfg: cfg, epoch: now()}
+}
+
+// Name implements service.Backend (the injector impersonates its inner
+// backend — callers select it under the original name).
+func (in *injector) Name() string { return in.inner.Name() }
+
+// mix combines the injector and request seeds into an rng seed
+// (splitmix64-style finalizer, so adjacent seeds diverge).
+func mix(a, b int64) int64 {
+	z := uint64(a) ^ (uint64(b) * 0x9e3779b97f4a7c15)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+func (in *injector) fault(k Kind) error {
+	if in.cfg.Metrics != nil {
+		in.cfg.Metrics.Backend(in.Name()).RecordFault()
+	}
+	return &Error{Kind: k, Backend: in.Name()}
+}
+
+// Solve implements service.Backend: it rolls the fault dice (deterministic
+// for the request seed), then delegates to the inner backend with whatever
+// damage the model prescribes.
+func (in *injector) Solve(ctx context.Context, enc *core.Encoding, p service.Params) (*core.Decoded, error) {
+	rng := rand.New(rand.NewSource(mix(in.cfg.Seed, p.Seed)))
+
+	// Calibration blackout: wall-clock periodic, checked first — the real
+	// submission APIs bounce jobs before queueing them.
+	if in.cfg.CalibrationPeriod > 0 && in.cfg.CalibrationWindow > 0 {
+		phase := in.cfg.Now().Sub(in.epoch) % in.cfg.CalibrationPeriod
+		if phase < in.cfg.CalibrationWindow {
+			return nil, in.fault(KindCalibration)
+		}
+	}
+	if rng.Float64() < in.cfg.RejectProb {
+		return nil, in.fault(KindRejected)
+	}
+
+	// Queue wait: sampled from the access model. A wait longer than the
+	// remaining budget is a queue timeout without burning the budget (the
+	// cloud queue estimators bounce such jobs up front); otherwise the
+	// wait is really slept so latency observability sees it.
+	if wait := time.Duration(in.cfg.Access.SampleOverheadNs(rng)); wait > 0 {
+		if deadline, ok := ctx.Deadline(); ok && wait > time.Until(deadline) {
+			return nil, in.fault(KindQueueTimeout)
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("faults: backend %q cancelled in queue: %w", in.Name(), ctx.Err())
+		case <-timer.C:
+		}
+	}
+
+	// Mid-run abort: start the job, kill it partway through its remaining
+	// budget. A solve that finishes before the axe falls survives.
+	abort := rng.Float64() < in.cfg.AbortProb
+	corrupt := rng.Float64() < in.cfg.CorruptProb
+	corruptHard := rng.Intn(2) == 0
+	solveCtx := ctx
+	if abort {
+		budget := 5 * time.Millisecond
+		if deadline, ok := ctx.Deadline(); ok {
+			if rem := time.Until(deadline); rem > 0 {
+				budget = time.Duration(rng.Int63n(int64(rem)/2 + 1))
+			}
+		}
+		var cancel context.CancelFunc
+		solveCtx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+
+	d, err := in.inner.Solve(solveCtx, enc, p)
+	if err != nil {
+		if abort && solveCtx.Err() != nil && ctx.Err() == nil {
+			// The abort axe, not the caller's deadline, killed it.
+			return nil, in.fault(KindAborted)
+		}
+		return nil, err
+	}
+
+	if corrupt && d != nil && d.Valid && len(d.Order) > 1 {
+		dd := *d
+		dd.Order = append(dd.Order[:0:0], dd.Order...)
+		if corruptHard {
+			// Readout bit flip: duplicate one relation — no longer a
+			// permutation, caught by structural vetting.
+			dd.Order[0] = dd.Order[len(dd.Order)-1]
+		} else {
+			// Soft lie: claim half the true cost — caught by true-cost
+			// re-scoring, which silently repairs the number.
+			dd.Cost /= 2
+		}
+		if in.cfg.Metrics != nil {
+			in.cfg.Metrics.Backend(in.Name()).RecordFault()
+		}
+		return &dd, nil
+	}
+	return d, nil
+}

@@ -1,0 +1,282 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/noise"
+	"quantumjoin/internal/service"
+)
+
+// testEncoding builds a small valid encoding shared by the wrapper tests.
+func testEncoding(t *testing.T) *core.Encoding {
+	t.Helper()
+	q := &join.Query{
+		Relations: []join.Relation{
+			{Name: "R", Card: 100},
+			{Name: "S", Card: 1000},
+			{Name: "T", Card: 50},
+		},
+		Predicates: []join.Predicate{
+			{R1: 0, R2: 1, Sel: 0.01},
+			{R1: 1, R2: 2, Sel: 0.1},
+		},
+	}
+	enc, err := core.Encode(q, core.Options{Thresholds: core.DefaultThresholds(q, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// scriptBackend returns canned results: each Solve pops the next entry of
+// script (an error, or nil for a valid decoded order) and counts calls.
+type scriptBackend struct {
+	name   string
+	script []error // nil entry = success
+	calls  atomic.Int64
+	good   *core.Decoded
+	delay  time.Duration
+}
+
+func (s *scriptBackend) Name() string { return s.name }
+
+func (s *scriptBackend) Solve(ctx context.Context, enc *core.Encoding, p service.Params) (*core.Decoded, error) {
+	n := int(s.calls.Add(1)) - 1
+	if s.delay > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(s.delay):
+		}
+	}
+	if n < len(s.script) && s.script[n] != nil {
+		return nil, s.script[n]
+	}
+	if s.good != nil {
+		return s.good, nil
+	}
+	d := enc.Decode(mustOrderState(enc))
+	return &d, nil
+}
+
+// mustOrderState encodes the identity order into a full QUBO assignment.
+func mustOrderState(enc *core.Encoding) []bool {
+	order := make(join.Order, enc.Query.NumRelations())
+	for i := range order {
+		order[i] = i
+	}
+	dec, err := enc.EncodeOrder(order)
+	if err != nil {
+		panic(err)
+	}
+	full, err := enc.CompleteSlacks(dec)
+	if err != nil {
+		panic(err)
+	}
+	return full
+}
+
+// fates runs n seeded solves through the injector and records each
+// request's outcome kind ("ok" for success).
+func fates(t *testing.T, be service.Backend, n int) []string {
+	t.Helper()
+	enc := testEncoding(t)
+	out := make([]string, n)
+	for i := range out {
+		_, err := be.Solve(context.Background(), enc, service.Params{Seed: int64(i)})
+		switch {
+		case err == nil:
+			out[i] = "ok"
+		default:
+			var fe *Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("seed %d: unclassified error %v", i, err)
+			}
+			out[i] = fe.Kind.String()
+		}
+	}
+	return out
+}
+
+// TestInjectorDeterministic pins the core chaos-testing property: a
+// request's fault fate is a pure function of (injector seed, request
+// seed), independent of call order or interleaving.
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := InjectorConfig{RejectProb: 0.3, AbortProb: 0.1, CorruptProb: 0.1, Seed: 42}
+	a := fates(t, Inject(&scriptBackend{name: "qpu"}, cfg), 64)
+	b := fates(t, Inject(&scriptBackend{name: "qpu"}, cfg), 64)
+	rejected := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d: fate %q vs %q across identical injectors", i, a[i], b[i])
+		}
+		if a[i] == KindRejected.String() {
+			rejected++
+		}
+	}
+	if rejected == 0 || rejected == len(a) {
+		t.Errorf("rejection count %d/%d does not reflect a 0.3 probability", rejected, len(a))
+	}
+	// A different injector seed must reshuffle the fates.
+	cfg.Seed = 43
+	c := fates(t, Inject(&scriptBackend{name: "qpu"}, cfg), 64)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("changing the injector seed left every fate unchanged")
+	}
+}
+
+func TestInjectorQueueTimeout(t *testing.T) {
+	be := Inject(&scriptBackend{name: "qpu"}, InjectorConfig{
+		Seed:   7,
+		Access: noise.AccessModel{QueueWaitNs: float64(time.Hour)},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := be.Solve(ctx, testEncoding(t), service.Params{Seed: 1})
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Kind != KindQueueTimeout {
+		t.Fatalf("err = %v, want queue-timeout fault", err)
+	}
+	if !errors.Is(err, service.ErrUnavailable) {
+		t.Error("fault does not unwrap to service.ErrUnavailable")
+	}
+	// The queue estimator bounces the job up front instead of sleeping out
+	// the deadline.
+	if elapsed := time.Since(start); elapsed > 15*time.Millisecond {
+		t.Errorf("queue timeout burned %v of budget", elapsed)
+	}
+}
+
+func TestInjectorCalibrationBlackout(t *testing.T) {
+	now := time.Unix(0, 0)
+	be := Inject(&scriptBackend{name: "qpu"}, InjectorConfig{
+		Seed:              1,
+		CalibrationPeriod: 100 * time.Millisecond,
+		CalibrationWindow: 10 * time.Millisecond,
+		Now:               func() time.Time { return now },
+	})
+	enc := testEncoding(t)
+	_, err := be.Solve(context.Background(), enc, service.Params{Seed: 1})
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Kind != KindCalibration {
+		t.Fatalf("inside window: err = %v, want calibration fault", err)
+	}
+	now = now.Add(50 * time.Millisecond) // outside the blackout window
+	if _, err := be.Solve(context.Background(), enc, service.Params{Seed: 1}); err != nil {
+		t.Fatalf("outside window: %v", err)
+	}
+}
+
+func TestInjectorCorruptionCaughtByRetryVetting(t *testing.T) {
+	enc := testEncoding(t)
+	inner := &scriptBackend{name: "qpu"}
+	be := WithRetry(Inject(inner, InjectorConfig{CorruptProb: 1, Seed: 3}), RetryPolicy{MaxAttempts: 3})
+	d, err := be.Solve(context.Background(), enc, service.Params{Seed: 5})
+	if err != nil {
+		// All attempts corrupted: acceptable, but the error must be the
+		// classified corruption fault, never a bad plan.
+		var fe *Error
+		if !errors.As(err, &fe) || fe.Kind != KindCorrupted {
+			t.Fatalf("err = %v, want corrupted fault", err)
+		}
+		return
+	}
+	if !d.Valid || !d.Order.IsPermutation(enc.Query.NumRelations()) {
+		t.Fatalf("retry wrapper returned structurally invalid order %v", d.Order)
+	}
+}
+
+func TestRetryRecoversFromTransientFaults(t *testing.T) {
+	inner := &scriptBackend{name: "qpu", script: []error{
+		&Error{Kind: KindRejected, Backend: "qpu"},
+		&Error{Kind: KindAborted, Backend: "qpu"},
+		nil,
+	}}
+	m := service.NewMetrics()
+	be := WithRetry(inner, RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, Metrics: m})
+	d, err := be.Solve(context.Background(), testEncoding(t), service.Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Valid {
+		t.Fatal("recovered solve returned invalid order")
+	}
+	if got := inner.calls.Load(); got != 3 {
+		t.Errorf("inner calls = %d, want 3", got)
+	}
+	if got := m.Snapshot(nil).Backends["qpu"].Retries; got != 2 {
+		t.Errorf("retry counter = %d, want 2", got)
+	}
+}
+
+func TestRetryDoesNotRetryNonRetryableErrors(t *testing.T) {
+	boom := errors.New("config error")
+	inner := &scriptBackend{name: "qpu", script: []error{boom, boom, boom}}
+	be := WithRetry(inner, RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond})
+	_, err := be.Solve(context.Background(), testEncoding(t), service.Params{Seed: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the backend error", err)
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Errorf("inner calls = %d, want 1 (no retries)", got)
+	}
+}
+
+// TestRetryRespectsDeadlineBudget pins the tentpole guarantee: the retry
+// loop never overshoots the request deadline — backoffs that do not fit
+// the remaining budget end the loop instead of sleeping through it.
+func TestRetryRespectsDeadlineBudget(t *testing.T) {
+	alwaysFail := make([]error, 64)
+	for i := range alwaysFail {
+		alwaysFail[i] = &Error{Kind: KindRejected, Backend: "qpu"}
+	}
+	inner := &scriptBackend{name: "qpu", script: alwaysFail}
+	be := WithRetry(inner, RetryPolicy{
+		MaxAttempts: 64,
+		BaseDelay:   20 * time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+	})
+	deadline := 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	_, err := be.Solve(ctx, testEncoding(t), service.Params{Seed: 1})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("always-failing backend reported success")
+	}
+	if elapsed > deadline+25*time.Millisecond {
+		t.Errorf("retry loop overshot the %v deadline by %v", deadline, elapsed-deadline)
+	}
+	if calls := inner.calls.Load(); calls >= 64 {
+		t.Errorf("retry loop ran all %d attempts despite the deadline", calls)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	if !Retryable(&Error{Kind: KindAborted, Backend: "qpu"}) {
+		t.Error("classified fault not retryable")
+	}
+	if Retryable(errors.New("boom")) {
+		t.Error("plain error retryable")
+	}
+	if Retryable(context.DeadlineExceeded) {
+		t.Error("deadline retryable")
+	}
+	if Retryable(ErrBreakerOpen) {
+		t.Error("open breaker retryable: retry storms ahoy")
+	}
+}

@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/service"
+)
+
+// RetryPolicy tunes the retry wrapper. The zero value selects the
+// defaults: 4 attempts, 2ms base delay doubling to a 100ms cap, and ±50%
+// jitter.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts, first try included.
+	MaxAttempts int
+	// BaseDelay is the pre-jitter backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// Multiplier is the per-retry growth factor.
+	Multiplier float64
+	// JitterFrac spreads each delay uniformly over
+	// [1-JitterFrac, 1+JitterFrac] × nominal, decorrelating retry storms.
+	JitterFrac float64
+	// MinBudget is the smallest remaining deadline worth another attempt;
+	// below it the wrapper returns the last error instead of launching a
+	// solve it cannot finish (default 2ms).
+	MinBudget time.Duration
+	// Seed drives jitter (deterministic per wrapper).
+	Seed int64
+	// Metrics, when non-nil, receives RecordRetry per re-attempt under
+	// the wrapped backend's name.
+	Metrics *service.Metrics
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 2 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.JitterFrac <= 0 || p.JitterFrac > 1 {
+		p.JitterFrac = 0.5
+	}
+	if p.MinBudget <= 0 {
+		p.MinBudget = 2 * time.Millisecond
+	}
+	return p
+}
+
+// retryBackend retries retryable faults within the deadline budget.
+type retryBackend struct {
+	inner  service.Backend
+	policy RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// WithRetry wraps backend with deadline-budgeted retries: retryable faults
+// (see Retryable) and structurally invalid results are re-attempted with
+// jittered exponential backoff, each attempt under a fresh salted seed so
+// a failed embedding or unlucky sample path is not replayed verbatim. The
+// wrapper never overshoots the request's context deadline: a backoff that
+// does not fit the remaining budget ends the retry loop immediately.
+func WithRetry(backend service.Backend, policy RetryPolicy) service.Backend {
+	policy = policy.withDefaults()
+	return &retryBackend{
+		inner:  backend,
+		policy: policy,
+		rng:    rand.New(rand.NewSource(mix(policy.Seed, 0x7e77))),
+	}
+}
+
+// Name implements service.Backend.
+func (r *retryBackend) Name() string { return r.inner.Name() }
+
+// jitter scales d uniformly into [1-J, 1+J]·d under the wrapper's rng.
+func (r *retryBackend) jitter(d time.Duration) time.Duration {
+	r.mu.Lock()
+	f := 1 - r.policy.JitterFrac + 2*r.policy.JitterFrac*r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// Solve implements service.Backend.
+func (r *retryBackend) Solve(ctx context.Context, enc *core.Encoding, p service.Params) (*core.Decoded, error) {
+	delay := r.policy.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if r.policy.Metrics != nil {
+				r.policy.Metrics.Backend(r.Name()).RecordRetry()
+			}
+			// Salt the solver seed so the retry explores a different
+			// embedding / sample path instead of replaying the failure.
+			p.Seed = mix(p.Seed, int64(attempt))
+		}
+		d, err := r.inner.Solve(ctx, enc, p)
+		if err == nil {
+			// Vet structure here so silent corruption counts as a
+			// retryable fault rather than surviving to the caller.
+			if d != nil && d.Valid && d.Order.IsPermutation(enc.Query.NumRelations()) {
+				return d, nil
+			}
+			err = &Error{Kind: KindCorrupted, Backend: r.Name()}
+		}
+		lastErr = err
+		if !Retryable(err) || ctx.Err() != nil {
+			return nil, err
+		}
+		if attempt == r.policy.MaxAttempts-1 {
+			break
+		}
+		// Spend the backoff only if the remaining budget still admits a
+		// meaningful attempt afterwards — never overshoot the deadline.
+		sleep := r.jitter(delay)
+		if deadline, ok := ctx.Deadline(); ok {
+			if time.Until(deadline) < sleep+r.policy.MinBudget {
+				return nil, fmt.Errorf("faults: retry budget exhausted after %d attempts: %w", attempt+1, lastErr)
+			}
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			// Wrap the context error so deadlines keep mapping to 504.
+			return nil, fmt.Errorf("faults: cancelled between retries (last failure: %v): %w", lastErr, ctx.Err())
+		case <-timer.C:
+		}
+		delay = time.Duration(float64(delay) * r.policy.Multiplier)
+		if delay > r.policy.MaxDelay {
+			delay = r.policy.MaxDelay
+		}
+	}
+	return nil, fmt.Errorf("faults: %d attempts failed: %w", r.policy.MaxAttempts, lastErr)
+}

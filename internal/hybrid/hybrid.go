@@ -139,15 +139,15 @@ func (b *Backend) Orchestrate(ctx context.Context, enc *core.Encoding, p service
 	if strategy == "" {
 		strategy = b.cfg.Strategy
 	}
-	portfolio, err := b.portfolio(p)
+	portfolio, skippedOpen, err := b.portfolio(p)
 	if err != nil {
 		return nil, err
 	}
 	switch strategy {
 	case StrategyRace:
-		return b.race(ctx, enc, p, portfolio)
+		return b.race(ctx, enc, p, portfolio, skippedOpen)
 	case StrategyStaged:
-		return b.staged(ctx, enc, p, portfolio)
+		return b.staged(ctx, enc, p, portfolio, skippedOpen)
 	default:
 		return nil, fmt.Errorf("hybrid: unknown strategy %q (have: race, staged): %w",
 			strategy, service.ErrBadRequest)
@@ -158,31 +158,45 @@ func (b *Backend) Orchestrate(ctx context.Context, enc *core.Encoding, p service
 // registry. Unknown names are client errors; the hybrid backend itself is
 // rejected to keep orchestration non-recursive. A default portfolio is
 // silently filtered to registered backends so a slim registry still works.
-func (b *Backend) portfolio(p service.Params) ([]string, error) {
+//
+// Backends whose circuit breaker reports open (see service.HealthReporter)
+// are skipped — launching a racer that is guaranteed to fast-fail wastes a
+// goroutine and pollutes the loss statistics — and the skip count is
+// returned so the strategies can distinguish "no such backends" (a client
+// error) from "all backends tripped" (transient unavailability, 503).
+// Half-open backends stay in: portfolio traffic is how they get probed
+// back to health.
+func (b *Backend) portfolio(p service.Params) ([]string, int, error) {
 	names := p.Hybrid.Portfolio
 	explicit := len(names) > 0
 	if !explicit {
 		names = b.cfg.Portfolio
 	}
 	var out []string
+	skippedOpen := 0
 	for _, name := range names {
 		if name == Name {
-			return nil, fmt.Errorf("hybrid: portfolio must not include %q itself: %w",
+			return nil, 0, fmt.Errorf("hybrid: portfolio must not include %q itself: %w",
 				Name, service.ErrBadRequest)
 		}
-		if _, ok := b.cfg.Registry.Get(name); !ok {
+		be, ok := b.cfg.Registry.Get(name)
+		if !ok {
 			if explicit {
-				return nil, fmt.Errorf("hybrid: unknown portfolio backend %q: %w",
+				return nil, 0, fmt.Errorf("hybrid: unknown portfolio backend %q: %w",
 					name, service.ErrBadRequest)
 			}
 			continue
 		}
+		if hr, ok := be.(service.HealthReporter); ok && hr.Health().State == service.HealthOpen {
+			skippedOpen++
+			continue
+		}
 		out = append(out, name)
 	}
-	if explicit && len(out) == 0 {
-		return nil, fmt.Errorf("hybrid: empty portfolio: %w", service.ErrBadRequest)
+	if explicit && len(out) == 0 && skippedOpen == 0 {
+		return nil, 0, fmt.Errorf("hybrid: empty portfolio: %w", service.ErrBadRequest)
 	}
-	return out, nil
+	return out, skippedOpen, nil
 }
 
 // subParams derives the parameters passed to a portfolio backend: the

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"quantumjoin/internal/core"
+	"quantumjoin/internal/faults"
 	"quantumjoin/internal/service"
 )
 
@@ -22,28 +23,55 @@ const raceDrainGrace = 250 * time.Millisecond
 // the rest. Per-backend budgets are the full remaining deadline: racing
 // trades compute for latency, so every racer gets the whole window and the
 // first valid answer ends it.
-func (b *Backend) race(ctx context.Context, enc *core.Encoding, p service.Params, portfolio []string) (*Outcome, error) {
+//
+// A racer that dies of a transient QPU fault (mid-run abort, rejection,
+// failed embedding — see faults.Retryable) is relaunched once on a salted
+// seed while the race is undecided and deadline budget remains: on
+// unreliable hardware an abort says nothing about the instance, only about
+// that attempt.
+func (b *Backend) race(ctx context.Context, enc *core.Encoding, p service.Params, portfolio []string, skippedOpen int) (*Outcome, error) {
 	if len(portfolio) == 0 {
+		if skippedOpen > 0 {
+			return nil, fmt.Errorf("hybrid: all %d portfolio backends have open circuit breakers: %w",
+				skippedOpen, service.ErrUnavailable)
+		}
 		return nil, fmt.Errorf("hybrid: race strategy needs a non-empty portfolio: %w", service.ErrBadRequest)
 	}
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	results := make(chan Candidate, len(portfolio))
-	for _, name := range portfolio {
+	// Buffered for every racer plus one relaunch each, so a straggler's
+	// send never blocks even after the race is abandoned.
+	results := make(chan Candidate, 2*len(portfolio))
+	launch := func(name string, p service.Params) {
 		be, _ := b.cfg.Registry.Get(name) // presence checked by portfolio()
-		go func(name string, be service.Backend) {
+		go func() {
 			start := time.Now()
 			d, err := be.Solve(raceCtx, enc, subParams(p, nil))
 			results <- vet(enc, name, d, err, time.Since(start))
-		}(name, be)
+		}()
+	}
+	for _, name := range portfolio {
+		launch(name, p)
 	}
 
+	expected := len(portfolio)
+	relaunched := make(map[string]bool, len(portfolio))
 	var candidates []Candidate
 	won := false
-	for len(candidates) < len(portfolio) {
+	for len(candidates) < expected {
 		c := <-results
 		candidates = append(candidates, c)
+		if !won && c.Decoded == nil && !relaunched[c.Backend] && b.reRace(raceCtx, c.Err) {
+			relaunched[c.Backend] = true
+			expected++
+			pp := p
+			// Salt the seed so the relaunch explores a fresh embedding and
+			// sample path instead of replaying the doomed attempt.
+			pp.Seed = p.Seed ^ (int64(len(candidates)) * 0x5deece66d)
+			launch(c.Backend, pp)
+			continue
+		}
 		if c.Decoded != nil && !won {
 			won = true
 			cancel()
@@ -51,7 +79,7 @@ func (b *Backend) race(ctx context.Context, enc *core.Encoding, p service.Params
 			// only within the grace window — a loser stuck in a non-
 			// interruptible section must not delay the winning answer.
 			grace := time.NewTimer(raceDrainGrace)
-			for len(candidates) < len(portfolio) {
+			for len(candidates) < expected {
 				select {
 				case c := <-results:
 					candidates = append(candidates, c)
@@ -63,4 +91,11 @@ func (b *Backend) race(ctx context.Context, enc *core.Encoding, p service.Params
 		}
 	}
 	return b.arbitrate(ctx, StrategyRace, candidates)
+}
+
+// reRace reports whether a failed racer is worth one relaunch: its failure
+// is a transient fault, the race is still live, and enough deadline budget
+// remains for a fresh attempt.
+func (b *Backend) reRace(ctx context.Context, err error) bool {
+	return faults.Retryable(err) && ctx.Err() == nil && b.budgetLeft(ctx)
 }

@@ -1,0 +1,159 @@
+package hybrid
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/faults"
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/service"
+)
+
+// flakyBackend fails its first failures calls with a transient fault, then
+// returns the identity-order plan.
+type flakyBackend struct {
+	name     string
+	failures int
+	calls    atomic.Int64
+}
+
+func (f *flakyBackend) Name() string { return f.name }
+
+func (f *flakyBackend) Solve(ctx context.Context, enc *core.Encoding, p service.Params) (*core.Decoded, error) {
+	n := f.calls.Add(1)
+	if int(n) <= f.failures {
+		return nil, &faults.Error{Kind: faults.KindAborted, Backend: f.name}
+	}
+	order := make(join.Order, enc.Query.NumRelations())
+	for i := range order {
+		order[i] = i
+	}
+	return &core.Decoded{Valid: true, Order: order, Cost: enc.Query.Cost(order)}, nil
+}
+
+// TestRaceReRacesOnTransientFault: a racer killed by a mid-run abort is
+// relaunched on a salted seed while the race is undecided, so a single
+// transient fault does not cost the request its only backend.
+func TestRaceReRacesOnTransientFault(t *testing.T) {
+	flaky := &flakyBackend{name: "flaky", failures: 1}
+	reg := service.NewRegistry()
+	if err := reg.Register(flaky); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Registry: reg, Strategy: StrategyRace, Portfolio: []string{"flaky"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, enc := cliqueInstance(t, 5, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	d, err := b.Solve(ctx, enc, service.Params{Seed: 9})
+	if err != nil {
+		t.Fatalf("race with one transient abort failed: %v", err)
+	}
+	if !d.Valid || !d.Order.IsPermutation(q.NumRelations()) {
+		t.Fatalf("invalid result %+v", d)
+	}
+	if got := flaky.calls.Load(); got != 2 {
+		t.Errorf("backend calls = %d, want 2 (original + one relaunch)", got)
+	}
+}
+
+// TestRaceRelaunchesEachBackendAtMostOnce: a persistently aborting backend
+// is relaunched exactly once, not looped on until the deadline.
+func TestRaceRelaunchesEachBackendAtMostOnce(t *testing.T) {
+	flaky := &flakyBackend{name: "flaky", failures: 1 << 30}
+	reg := service.NewRegistry()
+	if err := reg.Register(flaky); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Registry: reg, Strategy: StrategyRace, Portfolio: []string{"flaky"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, enc := cliqueInstance(t, 5, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := b.Solve(ctx, enc, service.Params{Seed: 9}); err == nil {
+		t.Fatal("always-aborting backend produced a result")
+	}
+	if got := flaky.calls.Load(); got != 2 {
+		t.Errorf("backend calls = %d, want 2 (original + one relaunch)", got)
+	}
+}
+
+// tripBreaker wraps be in a breaker and feeds it failures until it opens.
+func tripBreaker(t *testing.T, be service.Backend, enc *core.Encoding) service.Backend {
+	t.Helper()
+	wrapped := faults.WithBreaker(be, faults.BreakerConfig{ConsecutiveFailures: 1, OpenFor: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done()
+	// A blown deadline counts as a backend failure and trips the
+	// one-failure breaker.
+	_, _ = wrapped.Solve(ctx, enc, service.Params{})
+	if h := wrapped.(service.HealthReporter).Health(); h.State != service.HealthOpen {
+		t.Fatalf("breaker did not trip: %+v", h)
+	}
+	return wrapped
+}
+
+// TestPortfolioSkipsOpenBreakers: an open backend is never launched; the
+// race proceeds on the healthy remainder.
+func TestPortfolioSkipsOpenBreakers(t *testing.T) {
+	_, enc := cliqueInstance(t, 5, 1)
+	broken := &flakyBackend{name: "qpu", failures: 1 << 30}
+	reg := service.NewRegistry()
+	if err := reg.Register(tripBreaker(t, broken, enc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(service.NewDPBackend()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Registry: reg, Strategy: StrategyRace, Portfolio: []string{"qpu", "dp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	callsBefore := broken.calls.Load()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	out, err := b.Orchestrate(ctx, enc, service.Params{Seed: 3, Hybrid: service.HybridParams{
+		Strategy: StrategyRace, Portfolio: []string{"qpu", "dp"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != "dp" {
+		t.Errorf("winner = %q, want dp", out.Winner)
+	}
+	if broken.calls.Load() != callsBefore {
+		t.Error("open-breaker backend was launched")
+	}
+}
+
+// TestAllBreakersOpenIsUnavailable: when every portfolio backend is
+// tripped, the race maps to transient unavailability (503), never a client
+// error or a 500.
+func TestAllBreakersOpenIsUnavailable(t *testing.T) {
+	_, enc := cliqueInstance(t, 5, 1)
+	broken := &flakyBackend{name: "qpu", failures: 1 << 30}
+	reg := service.NewRegistry()
+	if err := reg.Register(tripBreaker(t, broken, enc)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Registry: reg, Strategy: StrategyRace, Portfolio: []string{"qpu"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Solve(context.Background(), enc, service.Params{Seed: 3})
+	if !errors.Is(err, service.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if errors.Is(err, service.ErrBadRequest) {
+		t.Error("all-open portfolio misclassified as a client error")
+	}
+}

@@ -2,6 +2,7 @@ package hybrid
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"quantumjoin/internal/core"
@@ -20,7 +21,10 @@ var classicalStage = []string{"greedy", "dp"}
 // enough deadline remains — the quantum-simulated portfolio launches warm-
 // started from that incumbent, improving the answer anytime until the
 // deadline. The final plan is never worse than the classical incumbent.
-func (b *Backend) staged(ctx context.Context, enc *core.Encoding, p service.Params, portfolio []string) (*Outcome, error) {
+// Open-breaker backends were already filtered from the portfolio; the
+// classical stage keeps working regardless, so tripped quantum backends
+// degrade quality, never availability.
+func (b *Backend) staged(ctx context.Context, enc *core.Encoding, p service.Params, portfolio []string, skippedOpen int) (*Outcome, error) {
 	var candidates []Candidate
 	var incumbent *Candidate
 
@@ -76,6 +80,12 @@ func (b *Backend) staged(ctx context.Context, enc *core.Encoding, p service.Para
 				break collect
 			}
 		}
+	}
+	if len(candidates) == 0 && skippedOpen > 0 {
+		// Slim registry without classical backends and every quantum
+		// backend tripped: transient unavailability, not a client error.
+		return nil, fmt.Errorf("hybrid: all %d portfolio backends have open circuit breakers: %w",
+			skippedOpen, service.ErrUnavailable)
 	}
 	return b.arbitrate(ctx, StrategyStaged, candidates)
 }

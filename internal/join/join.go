@@ -75,6 +75,16 @@ func (q *Query) Validate() error {
 			return fmt.Errorf("join: predicate %d has selectivity %v outside (0, 1]", i, p.Sel)
 		}
 	}
+	// Selectivities are <= 1, so the product of all base cardinalities
+	// bounds every intermediate SetCard; if it overflows float64, linear
+	// cost arithmetic breaks down (Inf comparisons) before any solver runs.
+	logCard := 0.0
+	for t := range q.Relations {
+		logCard += q.LogCard(t)
+	}
+	if logCard > math.Log10(math.MaxFloat64) {
+		return fmt.Errorf("join: cardinality product 1e%.0f overflows float64 cost arithmetic", logCard)
+	}
 	return nil
 }
 

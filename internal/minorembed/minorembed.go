@@ -14,12 +14,20 @@
 package minorembed
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"quantumjoin/internal/topology"
 )
+
+// ErrNoEmbedding marks an exhausted attempt budget: the heuristic ran all
+// its tries without finding a valid embedding. On real hardware this is a
+// transient per-seed outcome — a retry with a different seed may succeed —
+// so resilience layers classify errors wrapping it as retryable faults.
+var ErrNoEmbedding = errors.New("minorembed: no embedding found")
 
 // Embedding maps each logical variable to its chain of physical qubits.
 type Embedding struct {
@@ -140,10 +148,19 @@ type Options struct {
 
 // Embed finds a minor embedding of the source adjacency structure (as
 // produced by qubo.AdjacencyLists) into the target hardware graph. It
-// returns an error when no valid embedding is found within the configured
-// tries — on real hardware this is the point where a problem stops being
-// solvable at all (Figure 3's size frontier).
+// returns an error wrapping ErrNoEmbedding when no valid embedding is
+// found within the configured tries — on real hardware this is the point
+// where a problem stops being solvable at all (Figure 3's size frontier).
 func Embed(source [][]int, target *topology.Graph, opts Options) (*Embedding, error) {
+	return EmbedContext(context.Background(), source, target, opts)
+}
+
+// EmbedContext is Embed with cancellation: the context is polled before
+// every restart and every refinement round, so a cancelled request (e.g. a
+// race loser or an expired deadline) stops burning CPU on Dijkstra sweeps
+// instead of finishing its attempt budget. On expiry it returns the best
+// embedding found so far, or the context error when there is none.
+func EmbedContext(ctx context.Context, source [][]int, target *topology.Graph, opts Options) (*Embedding, error) {
 	if opts.Tries <= 0 {
 		opts.Tries = 8
 	}
@@ -164,7 +181,13 @@ func Embed(source [][]int, target *topology.Graph, opts Options) (*Embedding, er
 		improve = 1
 	}
 	for try := 0; try < opts.Tries; try++ {
-		emb := attempt(source, target, opts.InnerRounds, rng)
+		if err := ctx.Err(); err != nil {
+			if best != nil {
+				return best, nil
+			}
+			return nil, fmt.Errorf("minorembed: cancelled after %d/%d tries: %w", try, opts.Tries, err)
+		}
+		emb := attempt(ctx, source, target, opts.InnerRounds, rng)
 		if emb != nil && emb.Validate(source, target) == nil {
 			if best == nil || emb.PhysicalQubits() < best.PhysicalQubits() {
 				best = emb
@@ -180,8 +203,11 @@ func Embed(source [][]int, target *topology.Graph, opts Options) (*Embedding, er
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("minorembed: no embedding found for %d variables into %q (%d qubits) after %d tries",
-			n, target.Name, target.N(), opts.Tries)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("minorembed: cancelled before any embedding was found: %w", err)
+		}
+		return nil, fmt.Errorf("%w for %d variables into %q (%d qubits) after %d tries",
+			ErrNoEmbedding, n, target.Name, target.N(), opts.Tries)
 	}
 	return best, nil
 }
@@ -198,8 +224,6 @@ type state struct {
 	penalty float64
 }
 
-// attempt runs one randomized embedding construction followed by
-// refinement; returns nil on failure.
 func (s *state) clearChain(v int) {
 	for _, q := range s.chains[v] {
 		s.usage[q]--
@@ -207,7 +231,9 @@ func (s *state) clearChain(v int) {
 	s.chains[v] = nil
 }
 
-func attempt(source [][]int, target *topology.Graph, rounds int, rng *rand.Rand) *Embedding {
+// attempt runs one randomized embedding construction followed by
+// refinement; returns nil on failure or when ctx is cancelled mid-attempt.
+func attempt(ctx context.Context, source [][]int, target *topology.Graph, rounds int, rng *rand.Rand) *Embedding {
 	n := len(source)
 	s := &state{
 		source:  source,
@@ -235,6 +261,11 @@ func attempt(source [][]int, target *topology.Graph, rounds int, rng *rand.Rand)
 		}
 	}
 	for _, v := range order {
+		// Each placement runs one Dijkstra sweep per embedded neighbour;
+		// polling here keeps cancellation latency to a single placement.
+		if ctx.Err() != nil {
+			return nil
+		}
 		if !s.embedVariable(v) {
 			return nil
 		}
@@ -256,6 +287,9 @@ func attempt(source [][]int, target *topology.Graph, rounds int, rng *rand.Rand)
 	for round := 0; round < rounds; round++ {
 		if bestOver == 0 {
 			break
+		}
+		if ctx.Err() != nil {
+			return nil
 		}
 		// A mild penalty ramp squeezes congestion out over the rounds
 		// without forcing huge detour chains early.
@@ -283,6 +317,9 @@ func attempt(source [][]int, target *topology.Graph, rounds int, rng *rand.Rand)
 			if !congested[v] && rng.Float64() > 0.35 {
 				continue
 			}
+			if ctx.Err() != nil {
+				return nil
+			}
 			s.clearChain(v)
 			if !s.embedVariable(v) {
 				return nil
@@ -304,6 +341,10 @@ func attempt(source [][]int, target *topology.Graph, rounds int, rng *rand.Rand)
 	// Chain shrinking: one more pass of re-embedding typically shortens
 	// chains now that congestion is resolved.
 	for _, v := range rng.Perm(n) {
+		if ctx.Err() != nil {
+			// The embedding is already valid; stop polishing mid-pass.
+			break
+		}
 		old := append([]int(nil), s.chains[v]...)
 		s.clearChain(v)
 		ok := s.embedVariable(v) && len(s.chains[v]) <= len(old)

@@ -1,5 +1,7 @@
 package noise
 
+import "math/rand"
+
 // AccessModel captures how a QPU is reached from the query optimiser —
 // the paper's closing argument (§8, Figure 1): QPUs accessed via cloud
 // services pay network round trips and queueing that can eliminate any
@@ -36,6 +38,20 @@ func LocalCoprocessor() AccessModel {
 		QueueWaitNs: 0,
 		DispatchNs:  50e3,
 	}
+}
+
+// SampleOverheadNs draws one job's access overhead: the fixed round trip
+// and dispatch cost plus an exponentially distributed queue wait with mean
+// QueueWaitNs. Time-shared queues are well modelled as M/M/1-ish waits —
+// mostly short, occasionally far above the mean — which is exactly the
+// tail that breaks tight optimiser deadlines (§8). Deterministic for a
+// seeded rng, which the fault-injection layer relies on.
+func (m AccessModel) SampleOverheadNs(rng *rand.Rand) float64 {
+	wait := 0.0
+	if m.QueueWaitNs > 0 {
+		wait = m.QueueWaitNs * rng.ExpFloat64()
+	}
+	return m.RoundTripNs + m.DispatchNs + wait
 }
 
 // JobTimeNs is the end-to-end latency of one optimisation job whose pure

@@ -72,6 +72,38 @@ type Backend interface {
 	Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error)
 }
 
+// Health states reported by HealthReporter backends (the circuit-breaker
+// wrapper in internal/faults). The strings appear verbatim in /healthz.
+const (
+	HealthOK       = "ok"        // closed breaker: traffic flows
+	HealthOpen     = "open"      // tripped: requests fast-fail
+	HealthHalfOpen = "half-open" // probing: limited trial traffic
+)
+
+// BackendHealth is one backend's resilience state as surfaced on /healthz
+// and /metrics.
+type BackendHealth struct {
+	// State is HealthOK, HealthOpen, or HealthHalfOpen.
+	State string `json:"state"`
+	// ConsecutiveFailures is the current run of failed solves.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// ErrorRate is the failure fraction over the breaker's sliding window
+	// (0 when the window is empty).
+	ErrorRate float64 `json:"error_rate"`
+	// Trips counts transitions into the open state since startup
+	// (closed→open and a failed half-open probe alike).
+	Trips int64 `json:"trips"`
+}
+
+// HealthReporter is implemented by backends that track their own health —
+// notably the circuit-breaker wrapper in internal/faults. The service
+// surfaces reported health on /healthz and /metrics, and the hybrid
+// orchestrator skips backends reporting HealthOpen when assembling a
+// portfolio.
+type HealthReporter interface {
+	Health() BackendHealth
+}
+
 // Registry is a thread-safe name → Backend map.
 type Registry struct {
 	mu       sync.RWMutex
@@ -93,6 +125,21 @@ func (r *Registry) Register(b Backend) error {
 	defer r.mu.Unlock()
 	if _, dup := r.backends[name]; dup {
 		return fmt.Errorf("service: backend %q already registered", name)
+	}
+	r.backends[name] = b
+	return nil
+}
+
+// Replace swaps the backend registered under b.Name() for b, failing when
+// no backend of that name exists. cmd/qjoind uses it to wrap registered
+// backends with resilience layers (fault injection, retries, circuit
+// breakers) without re-plumbing their construction.
+func (r *Registry) Replace(b Backend) error {
+	name := b.Name()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.backends[name]; !ok {
+		return fmt.Errorf("service: cannot replace unregistered backend %q", name)
 	}
 	r.backends[name] = b
 	return nil

@@ -1,0 +1,427 @@
+// Chaos tests live in an external test package: they wire internal/faults
+// wrappers around service backends, and faults itself imports service.
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/faults"
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/service"
+)
+
+// catalogBody is a 5-relation chain in the HTTP catalog schema.
+const catalogBody = `{
+  "relations": [
+    {"name": "a", "cardinality": 100},
+    {"name": "b", "cardinality": 2000},
+    {"name": "c", "cardinality": 50},
+    {"name": "d", "cardinality": 7000},
+    {"name": "e", "cardinality": 300}
+  ],
+  "predicates": [
+    {"left": "a", "right": "b", "selectivity": 0.01},
+    {"left": "b", "right": "c", "selectivity": 0.05},
+    {"left": "c", "right": "d", "selectivity": 0.002},
+    {"left": "d", "right": "e", "selectivity": 0.1}
+  ]
+}`
+
+// settleGoroutines polls until the goroutine count returns to (near) base.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+3 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Errorf("goroutine leak: %d running, base was %d\n%s",
+		runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+}
+
+// resilientChaosService assembles the full production stack with a
+// fault-injected dp backend: Inject → WithRetry → WithBreaker → pool with
+// shedding → classical degradation.
+func resilientChaosService(t *testing.T, faultRate float64, workers int) *service.Service {
+	t.Helper()
+	reg := service.NewRegistry()
+	for _, b := range []service.Backend{service.NewDPBackend(), service.NewGreedyBackend()} {
+		if err := reg.Register(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc := service.New(reg, service.Config{
+		Workers:        workers,
+		QueueDepth:     2 * workers,
+		DefaultBackend: "dp",
+		Shed:           true,
+		Degrade:        true,
+	})
+	be, _ := reg.Get("dp")
+	be = faults.Inject(be, faults.InjectorConfig{
+		RejectProb:  faultRate / 3,
+		AbortProb:   faultRate / 3,
+		CorruptProb: faultRate / 3,
+		Seed:        1,
+		Metrics:     svc.Metrics(),
+	})
+	be = faults.WithRetry(be, faults.RetryPolicy{Seed: 1, Metrics: svc.Metrics()})
+	be = faults.WithBreaker(be, faults.BreakerConfig{OpenFor: 50 * time.Millisecond})
+	if err := reg.Replace(be); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestChaosHTTPAvailability is the acceptance-criteria chaos test: 200
+// seeded requests through the full HTTP stack against a 30%-fault backend
+// with 250ms deadlines must produce ≥ 99% HTTP 200s carrying structurally
+// valid join orders; the remainder must be 503 load sheds — never a 500 —
+// and no goroutines may leak. The fault schedule is a pure function of the
+// injector seed and the request seeds, so the run is reproducible.
+func TestChaosHTTPAvailability(t *testing.T) {
+	base := runtime.NumGoroutine()
+	svc := resilientChaosService(t, 0.30, 8)
+	srv := httptest.NewServer(service.NewHandler(svc))
+	client := srv.Client()
+
+	const requests = 200
+	const concurrency = 16
+	type outcome struct {
+		status int
+		body   []byte
+	}
+	outcomes := make([]outcome, requests)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				body, err := json.Marshal(service.OptimizeRequest{
+					Query:     json.RawMessage(catalogBody),
+					Seed:      int64(i),
+					TimeoutMs: 250,
+				})
+				if err != nil {
+					t.Error(err)
+					continue
+				}
+				resp, err := client.Post(srv.URL+"/v1/optimize", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("request %d: %v", i, err)
+					continue
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				outcomes[i] = outcome{status: resp.StatusCode, body: data}
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	oks, sheds := 0, 0
+	for i, o := range outcomes {
+		switch o.status {
+		case http.StatusOK:
+			oks++
+			var r service.OptimizeResponse
+			if err := json.Unmarshal(o.body, &r); err != nil {
+				t.Fatalf("request %d: undecodable 200 body: %v", i, err)
+			}
+			if !validOrder(r.Order, []string{"a", "b", "c", "d", "e"}) {
+				t.Errorf("request %d: invalid join order %v", i, r.Order)
+			}
+		case http.StatusServiceUnavailable:
+			sheds++
+		default:
+			t.Errorf("request %d: status %d (body %s), want 200 or 503", i, o.status, o.body)
+		}
+	}
+	if oks < requests*99/100 {
+		t.Errorf("availability %d/%d below 99%%", oks, requests)
+	}
+	t.Logf("chaos run: %d 200s, %d 503s", oks, sheds)
+
+	srv.Close()
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	settleGoroutines(t, base)
+}
+
+// validOrder reports whether order is a permutation of want.
+func validOrder(order, want []string) bool {
+	if len(order) != len(want) {
+		return false
+	}
+	seen := make(map[string]bool, len(want))
+	for _, name := range want {
+		seen[name] = false
+	}
+	for _, name := range order {
+		used, known := seen[name]
+		if !known || used {
+			return false
+		}
+		seen[name] = true
+	}
+	return true
+}
+
+// slowBackend holds each solve for its delay (or the context, whichever
+// ends first) — saturation fuel for the shedding test.
+type slowBackend struct{ delay time.Duration }
+
+func (s slowBackend) Name() string { return "slow" }
+
+func (s slowBackend) Solve(ctx context.Context, enc *core.Encoding, p service.Params) (*core.Decoded, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-time.After(s.delay):
+	}
+	order := make(join.Order, enc.Query.NumRelations())
+	for i := range order {
+		order[i] = i
+	}
+	return &core.Decoded{Valid: true, Order: order, Cost: enc.Query.Cost(order)}, nil
+}
+
+// TestConcurrentLoadShedding: with one worker, a one-slot queue, and a
+// burst of concurrent requests, the service must shed the overflow as 503
+// + Retry-After immediately — never block callers to their deadlines, and
+// never return any other failure mode.
+func TestConcurrentLoadShedding(t *testing.T) {
+	base := runtime.NumGoroutine()
+	reg := service.NewRegistry()
+	if err := reg.Register(slowBackend{delay: 100 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(reg, service.Config{
+		Workers:        1,
+		QueueDepth:     1,
+		DefaultBackend: "slow",
+		Shed:           true,
+		Degrade:        true,
+	})
+	srv := httptest.NewServer(service.NewHandler(svc))
+	client := srv.Client()
+
+	const burst = 20
+	statuses := make([]int, burst)
+	retryAfter := make([]string, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(service.OptimizeRequest{
+				Query:     json.RawMessage(catalogBody),
+				Seed:      int64(i),
+				TimeoutMs: 2000,
+			})
+			resp, err := client.Post(srv.URL+"/v1/optimize", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+
+	oks, sheds := 0, 0
+	for i, s := range statuses {
+		switch s {
+		case http.StatusOK:
+			oks++
+		case http.StatusServiceUnavailable:
+			sheds++
+			if retryAfter[i] == "" {
+				t.Errorf("request %d: 503 without Retry-After", i)
+			}
+		default:
+			t.Errorf("request %d: status %d, want 200 or 503", i, s)
+		}
+	}
+	if oks == 0 {
+		t.Error("burst produced no successes")
+	}
+	if sheds == 0 {
+		t.Error("20-deep burst on a 1-worker/1-slot pool shed nothing")
+	}
+	snap := svc.MetricsSnapshot()
+	if snap.Requests.Shed != int64(sheds) {
+		t.Errorf("shed counter = %d, HTTP 503s = %d", snap.Requests.Shed, sheds)
+	}
+
+	srv.Close()
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	settleGoroutines(t, base)
+}
+
+// panicBackend panics on every solve.
+type panicBackend struct{}
+
+func (panicBackend) Name() string { return "panic" }
+
+func (panicBackend) Solve(ctx context.Context, enc *core.Encoding, p service.Params) (*core.Decoded, error) {
+	panic("backend exploded")
+}
+
+// TestPanickingBackendDegradesNotCrashes: a panicking backend costs its
+// request nothing but quality — the daemon survives, the response comes
+// from the classical fallback with degraded: true, and the panic and
+// degradation are both counted.
+func TestPanickingBackendDegradesNotCrashes(t *testing.T) {
+	reg := service.NewRegistry()
+	if err := reg.Register(panicBackend{}); err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(reg, service.Config{Workers: 2, DefaultBackend: "panic", Degrade: true})
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(service.NewHandler(svc))
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := srv.Client().Post(srv.URL+"/v1/optimize", "application/json",
+			bytes.NewReader(fmt.Appendf(nil, `{"query": %s, "seed": %d}`, catalogBody, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d (body %s), want 200 via degradation", i, resp.StatusCode, data)
+		}
+		var r service.OptimizeResponse
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatal(err)
+		}
+		if !r.Degraded || r.DegradedReason == "" {
+			t.Errorf("request %d: response not marked degraded: %+v", i, r)
+		}
+		if !validOrder(r.Order, []string{"a", "b", "c", "d", "e"}) {
+			t.Errorf("request %d: invalid degraded order %v", i, r.Order)
+		}
+	}
+	snap := svc.MetricsSnapshot()
+	if snap.Requests.Panics == 0 || snap.Requests.Degraded == 0 {
+		t.Errorf("panic/degrade counters = %d/%d, want both > 0",
+			snap.Requests.Panics, snap.Requests.Degraded)
+	}
+}
+
+// TestPanickingBackendWithoutDegradeIs500NotCrash: with degradation off,
+// the panic still must not kill the daemon — the request fails cleanly and
+// the next one is served.
+func TestPanickingBackendWithoutDegradeIs500NotCrash(t *testing.T) {
+	reg := service.NewRegistry()
+	if err := reg.Register(panicBackend{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(service.NewGreedyBackend()); err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(reg, service.Config{Workers: 1, DefaultBackend: "panic"})
+	defer svc.Close(context.Background())
+
+	q, err := join.ReadCatalog(bytes.NewReader([]byte(catalogBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Optimize(context.Background(), &service.Request{Query: q}); err == nil {
+		t.Fatal("panicking backend reported success with degradation off")
+	}
+	// The pool worker survived: a follow-up request on another backend
+	// still runs.
+	if _, err := svc.Optimize(context.Background(), &service.Request{Query: q, Backend: "greedy"}); err != nil {
+		t.Fatalf("daemon did not survive the panic: %v", err)
+	}
+}
+
+// TestBreakerSurfacesInHealthAndMetrics: trip the dp breaker through real
+// traffic and watch it appear on /healthz and /metrics like an operator
+// would.
+func TestBreakerSurfacesInHealthAndMetrics(t *testing.T) {
+	reg := service.NewRegistry()
+	if err := reg.Register(service.NewDPBackend()); err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(reg, service.Config{Workers: 2, DefaultBackend: "dp", Degrade: true})
+	defer svc.Close(context.Background())
+	be, _ := reg.Get("dp")
+	be = faults.WithBreaker(faults.Inject(be, faults.InjectorConfig{RejectProb: 1, Seed: 1}),
+		faults.BreakerConfig{ConsecutiveFailures: 3, OpenFor: time.Hour})
+	if err := reg.Replace(be); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.NewHandler(svc))
+	defer srv.Close()
+
+	for i := 0; i < 5; i++ {
+		resp, err := srv.Client().Post(srv.URL+"/v1/optimize", "application/json",
+			bytes.NewReader(fmt.Appendf(nil, `{"query": %s, "seed": %d}`, catalogBody, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		// Degradation keeps every request a 200 while the breaker trips
+		// underneath.
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200", i, resp.StatusCode)
+		}
+	}
+
+	var health struct {
+		Status string                           `json:"status"`
+		Health map[string]service.BackendHealth `json:"health"`
+	}
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d: liveness must hold while degraded", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" {
+		t.Errorf("/healthz status = %q, want degraded", health.Status)
+	}
+	if h := health.Health["dp"]; h.State != service.HealthOpen || h.Trips == 0 {
+		t.Errorf("/healthz dp health = %+v, want open with trips", h)
+	}
+	snap := svc.MetricsSnapshot()
+	if b := snap.Backends["dp"]; b.Breaker == nil || b.Breaker.State != service.HealthOpen {
+		t.Errorf("/metrics dp breaker = %+v, want open", snap.Backends["dp"].Breaker)
+	}
+}

@@ -1,0 +1,64 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"quantumjoin/internal/service"
+)
+
+// FuzzOptimizeRequest throws arbitrary bytes at the /v1/optimize JSON
+// decoder. The contract under test: malformed, hostile, or merely weird
+// bodies must come back as 4xx — never a 5xx, never a handler panic. The
+// seed corpus (plus the checked-in files under
+// testdata/fuzz/FuzzOptimizeRequest) covers the decoder's edge cases:
+// truncated JSON, unknown fields, wrong types, self-joins, negative
+// cardinalities, duplicate relations, and absent predicates.
+func FuzzOptimizeRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{`,
+		`null`,
+		`[]`,
+		`"query"`,
+		`{"query": null}`,
+		`{"query": {}}`,
+		`{"query": {"relations": [], "predicates": []}}`,
+		`{"query": {"relations": [{"name": "a", "cardinality": 10}], "predicates": []}, "timeout_ms": -5}`,
+		`{"query": {"relations": [{"name": "a", "cardinality": -1}], "predicates": []}}`,
+		`{"query": {"relations": [{"name": "a", "cardinality": 10}, {"name": "a", "cardinality": 20}], "predicates": []}}`,
+		`{"query": {"relations": [{"name": "a", "cardinality": 10}], "predicates": [{"left": "a", "right": "a", "selectivity": 0.5}]}}`,
+		`{"query": {"relations": [{"name": "a", "cardinality": 10}, {"name": "b", "cardinality": 20}], "predicates": [{"left": "a", "right": "z", "selectivity": 0.5}]}}`,
+		`{"backend": "no-such-backend", "query": {"relations": [{"name": "a", "cardinality": 10}, {"name": "b", "cardinality": 20}], "predicates": [{"left": "a", "right": "b", "selectivity": 0.5}]}}`,
+		`{"query": {"relations": [{"name": "a", "cardinality": 10}, {"name": "b", "cardinality": 20}], "predicates": [{"left": "a", "right": "b", "selectivity": 0.5}]}, "reads": -3, "seed": -9223372036854775808}`,
+		`{"unknown_field": 1, "query": {"relations": [{"name": "a", "cardinality": 10}], "predicates": []}}`,
+		`{"query": {"relations": [{"name": "a", "cardinality": 1e308}, {"name": "b", "cardinality": 1e308}], "predicates": [{"left": "a", "right": "b", "selectivity": 1e-308}]}}`,
+		`{"query": {"relations": [{"name": "a", "cardinality": 10}, {"name": "b", "cardinality": 20}], "predicates": [{"left": "a", "right": "b", "selectivity": 0.5}]}, "thresholds": -1, "omega": -100}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	// One service for the whole fuzz run, greedy-only so accepted inputs
+	// solve in microseconds.
+	reg := service.NewRegistry()
+	if err := reg.Register(service.NewGreedyBackend()); err != nil {
+		f.Fatal(err)
+	}
+	svc := service.New(reg, service.Config{Workers: 2, DefaultBackend: "greedy"})
+	f.Cleanup(func() { svc.Close(context.Background()) })
+	handler := service.NewHandler(svc)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/optimize", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req) // a panic here fails the fuzz run
+		if rec.Code >= 500 {
+			t.Fatalf("body %q: status %d, want < 500", body, rec.Code)
+		}
+	})
+}

@@ -38,17 +38,22 @@ type OptimizeRequest struct {
 	HedgeMs      int             `json:"hedge_ms,omitempty"`
 }
 
-// OptimizeResponse is the POST /v1/optimize result.
+// OptimizeResponse is the POST /v1/optimize result. Degraded reports that
+// the selected backend failed and the plan came from the classical
+// fallback instead (Backend then names the fallback solver);
+// DegradedReason carries the original failure for observability.
 type OptimizeResponse struct {
-	Backend       string   `json:"backend"`
-	Order         []string `json:"order"`
-	Tree          string   `json:"tree"`
-	Cost          float64  `json:"cost"`
-	OptimalCost   float64  `json:"optimal_cost,omitempty"`
-	Optimal       bool     `json:"optimal"`
-	LogicalQubits int      `json:"logical_qubits"`
-	CacheHit      bool     `json:"cache_hit"`
-	ElapsedMs     float64  `json:"elapsed_ms"`
+	Backend        string   `json:"backend"`
+	Order          []string `json:"order"`
+	Tree           string   `json:"tree"`
+	Cost           float64  `json:"cost"`
+	OptimalCost    float64  `json:"optimal_cost,omitempty"`
+	Optimal        bool     `json:"optimal"`
+	LogicalQubits  int      `json:"logical_qubits"`
+	CacheHit       bool     `json:"cache_hit"`
+	Degraded       bool     `json:"degraded"`
+	DegradedReason string   `json:"degraded_reason,omitempty"`
+	ElapsedMs      float64  `json:"elapsed_ms"`
 }
 
 type errorResponse struct {
@@ -79,9 +84,20 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		health := s.Health()
+		status := "ok"
+		for _, h := range health {
+			if h.State != HealthOK {
+				status = "degraded"
+				break
+			}
+		}
+		// Liveness stays 200 even when breakers are open: the daemon is
+		// up and still answers every request via the classical fallback.
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status":   "ok",
+			"status":   status,
 			"backends": len(s.Backends()),
+			"health":   health,
 		})
 	})
 	return mux
@@ -141,15 +157,17 @@ func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		names[i] = q.Relations[t].Name
 	}
 	writeJSON(w, http.StatusOK, OptimizeResponse{
-		Backend:       resp.Backend,
-		Order:         names,
-		Tree:          resp.Tree,
-		Cost:          resp.Cost,
-		OptimalCost:   resp.OptimalCost,
-		Optimal:       resp.Optimal,
-		LogicalQubits: resp.LogicalQubits,
-		CacheHit:      resp.CacheHit,
-		ElapsedMs:     float64(resp.Elapsed) / float64(time.Millisecond),
+		Backend:        resp.Backend,
+		Order:          names,
+		Tree:           resp.Tree,
+		Cost:           resp.Cost,
+		OptimalCost:    resp.OptimalCost,
+		Optimal:        resp.Optimal,
+		LogicalQubits:  resp.LogicalQubits,
+		CacheHit:       resp.CacheHit,
+		Degraded:       resp.Degraded,
+		DegradedReason: resp.DegradedReason,
+		ElapsedMs:      float64(resp.Elapsed) / float64(time.Millisecond),
 	})
 }
 
@@ -158,7 +176,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrShutdown):
+	case errors.Is(err, ErrUnavailable), errors.Is(err, ErrShutdown):
+		// Load shed or open breaker: try again shortly (Retry-After set).
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -177,5 +196,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusServiceUnavailable {
+		// Load sheds and open breakers are transient by construction;
+		// tell well-behaved clients when to come back.
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, errorResponse{Error: msg})
 }

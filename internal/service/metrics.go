@@ -82,6 +82,8 @@ type BackendMetrics struct {
 	errors   atomic.Int64
 	wins     atomic.Int64
 	losses   atomic.Int64
+	retries  atomic.Int64
+	faults   atomic.Int64
 	lat      *histogram
 }
 
@@ -102,6 +104,14 @@ func (b *BackendMetrics) RecordWin() { b.wins.Add(1) }
 // (or failed to) but another backend's answer was selected.
 func (b *BackendMetrics) RecordLoss() { b.losses.Add(1) }
 
+// RecordRetry counts one retried solve attempt (the resilience wrapper in
+// internal/faults calls this per re-attempt, not per request).
+func (b *BackendMetrics) RecordRetry() { b.retries.Add(1) }
+
+// RecordFault counts one fault observed from (or injected into) this
+// backend — rejected jobs, queue timeouts, aborts, corrupted results.
+func (b *BackendMetrics) RecordFault() { b.faults.Add(1) }
+
 // Metrics is the service-wide observability state. All recording paths are
 // atomic; Snapshot is safe to call concurrently with traffic.
 type Metrics struct {
@@ -110,6 +120,9 @@ type Metrics struct {
 	requests atomic.Int64
 	errors   atomic.Int64
 	inFlight atomic.Int64
+	sheds    atomic.Int64
+	degrades atomic.Int64
+	panics   atomic.Int64
 
 	mu       sync.RWMutex
 	backends map[string]*BackendMetrics
@@ -138,20 +151,31 @@ func (m *Metrics) Backend(name string) *BackendMetrics {
 }
 
 // BackendSnapshot summarises one backend. Wins and Losses count hybrid
-// arbitration outcomes and stay zero for backends never raced.
+// arbitration outcomes and stay zero for backends never raced; Retries and
+// Faults stay zero for backends without a resilience wrapper; Breaker is
+// present only for backends reporting health (circuit-breaker wrapped).
 type BackendSnapshot struct {
 	Requests int64           `json:"requests"`
 	Errors   int64           `json:"errors"`
 	Wins     int64           `json:"wins,omitempty"`
 	Losses   int64           `json:"losses,omitempty"`
+	Retries  int64           `json:"retries,omitempty"`
+	Faults   int64           `json:"faults,omitempty"`
+	Breaker  *BackendHealth  `json:"breaker,omitempty"`
 	Latency  LatencySnapshot `json:"latency"`
 }
 
-// RequestsSnapshot summarises service-wide request counters.
+// RequestsSnapshot summarises service-wide request counters. Shed counts
+// load-shed rejections (503), Degraded counts requests answered by the
+// classical fallback after their backend failed, Panics counts recovered
+// worker/backend panics.
 type RequestsSnapshot struct {
 	Total    int64 `json:"total"`
 	Errors   int64 `json:"errors"`
 	InFlight int64 `json:"in_flight"`
+	Shed     int64 `json:"shed"`
+	Degraded int64 `json:"degraded"`
+	Panics   int64 `json:"panics"`
 }
 
 // Snapshot is the full /metrics payload.
@@ -176,6 +200,9 @@ func (m *Metrics) Snapshot(cache *EncodingCache) Snapshot {
 			Total:    m.requests.Load(),
 			Errors:   m.errors.Load(),
 			InFlight: m.inFlight.Load(),
+			Shed:     m.sheds.Load(),
+			Degraded: m.degrades.Load(),
+			Panics:   m.panics.Load(),
 		},
 		Backends: make(map[string]BackendSnapshot),
 	}
@@ -191,6 +218,8 @@ func (m *Metrics) Snapshot(cache *EncodingCache) Snapshot {
 			Errors:   b.errors.Load(),
 			Wins:     b.wins.Load(),
 			Losses:   b.losses.Load(),
+			Retries:  b.retries.Load(),
+			Faults:   b.faults.Load(),
 			Latency:  b.lat.snapshot(),
 		}
 	}

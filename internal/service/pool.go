@@ -12,6 +12,19 @@ import (
 // shutdown has begun.
 var ErrShutdown = errors.New("service: shutting down")
 
+// ErrUnavailable marks transient unavailability — queue saturation or an
+// open circuit breaker. The HTTP layer maps it to 503 with a Retry-After
+// header: the request was fine, the server just cannot take it right now.
+var ErrUnavailable = errors.New("service: temporarily unavailable")
+
+// ErrOverloaded is the load-shedding error: the worker pool's bounded
+// queue is full and the service chose to reject rather than buffer.
+var ErrOverloaded = fmt.Errorf("service: request queue saturated: %w", ErrUnavailable)
+
+// ErrPanic marks a recovered panic in a worker or backend; the request
+// that triggered it fails (or degrades), the daemon survives.
+var ErrPanic = errors.New("service: recovered panic")
+
 // Pool is a bounded worker pool: a fixed number of workers consume a
 // bounded job queue, so at most `workers` solves run concurrently and at
 // most `queue` requests wait; everything beyond that blocks in Run until
@@ -27,10 +40,11 @@ type Pool struct {
 }
 
 type poolJob struct {
-	ctx     context.Context
-	run     func(context.Context)
-	done    chan struct{}
-	skipped bool // job expired in the queue and never ran
+	ctx      context.Context
+	run      func(context.Context)
+	done     chan struct{}
+	skipped  bool // job expired in the queue and never ran
+	panicked any  // recovered panic value from run, nil when clean
 }
 
 // NewPool starts a pool with the given worker count (default: GOMAXPROCS)
@@ -75,6 +89,14 @@ func (p *Pool) worker() {
 
 func (j *poolJob) handle() {
 	defer close(j.done)
+	// A panicking job must not take its worker down with it: the pool is
+	// fixed-size, so a lost worker is permanent capacity loss and enough
+	// of them deadlocks the daemon. Recover, report, keep serving.
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicked = r
+		}
+	}()
 	if j.ctx.Err() != nil {
 		j.skipped = true
 		return
@@ -86,6 +108,19 @@ func (j *poolJob) handle() {
 // the context expired while queued). f must honour its context so that
 // deadlines bound the wait here.
 func (p *Pool) Run(ctx context.Context, f func(context.Context)) error {
+	return p.enqueue(ctx, f, false)
+}
+
+// TryRun is Run with load shedding instead of backpressure: when the
+// bounded queue is full it returns ErrOverloaded immediately rather than
+// blocking the caller until its deadline. Under saturation this converts
+// doomed slow requests into instant 503s the client can retry elsewhere —
+// the admission-control half of the resilience story.
+func (p *Pool) TryRun(ctx context.Context, f func(context.Context)) error {
+	return p.enqueue(ctx, f, true)
+}
+
+func (p *Pool) enqueue(ctx context.Context, f func(context.Context), shed bool) error {
 	p.mu.RLock()
 	if p.shut {
 		p.mu.RUnlock()
@@ -93,10 +128,18 @@ func (p *Pool) Run(ctx context.Context, f func(context.Context)) error {
 	}
 	j := &poolJob{ctx: ctx, run: f, done: make(chan struct{})}
 	var enqueueErr error
-	select {
-	case p.jobs <- j:
-	case <-ctx.Done():
-		enqueueErr = fmt.Errorf("service: request expired before a worker was available: %w", ctx.Err())
+	if shed {
+		select {
+		case p.jobs <- j:
+		default:
+			enqueueErr = ErrOverloaded
+		}
+	} else {
+		select {
+		case p.jobs <- j:
+		case <-ctx.Done():
+			enqueueErr = fmt.Errorf("service: request expired before a worker was available: %w", ctx.Err())
+		}
 	}
 	p.mu.RUnlock()
 	if enqueueErr != nil {
@@ -105,6 +148,9 @@ func (p *Pool) Run(ctx context.Context, f func(context.Context)) error {
 	<-j.done
 	if j.skipped {
 		return fmt.Errorf("service: request expired in queue: %w", j.ctx.Err())
+	}
+	if j.panicked != nil {
+		return fmt.Errorf("service: worker recovered panic: %v: %w", j.panicked, ErrPanic)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"quantumjoin/internal/classical"
+	"quantumjoin/internal/core"
 	"quantumjoin/internal/join"
 )
 
@@ -35,6 +36,18 @@ type Config struct {
 	// include the classically computed optimal cost (default 16; 0 keeps
 	// the default, negative disables the comparison).
 	CompareRelations int
+	// Shed selects load shedding over backpressure: when the worker
+	// pool's bounded queue is full, requests are rejected immediately
+	// with ErrOverloaded (HTTP 503 + Retry-After) instead of blocking
+	// until their deadline. cmd/qjoind enables it by default.
+	Shed bool
+	// Degrade enables the last-resort classical fallback: when the
+	// selected backend fails (fault, panic, deadline, invalid result),
+	// the service answers with the greedy — or, within budget, the exact
+	// DP — plan and marks the response Degraded instead of erroring.
+	// Client errors (ErrBadRequest) never degrade. cmd/qjoind enables it
+	// by default; the zero value keeps the strict fail-fast behaviour.
+	Degrade bool
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +122,12 @@ type Response struct {
 	LogicalQubits int
 	// CacheHit reports whether the encoding came from the cache.
 	CacheHit bool
+	// Degraded reports that the selected backend failed and the order
+	// came from the classical fallback path instead; Backend then names
+	// the fallback solver ("greedy" or "dp") and DegradedReason carries
+	// the original failure.
+	Degraded       bool
+	DegradedReason string
 	// Elapsed is the end-to-end service time including queueing.
 	Elapsed time.Duration
 }
@@ -116,8 +135,34 @@ type Response struct {
 // Backends lists the registered backend names.
 func (s *Service) Backends() []string { return s.reg.Names() }
 
-// MetricsSnapshot captures the current observability counters.
-func (s *Service) MetricsSnapshot() Snapshot { return s.metrics.Snapshot(s.cache) }
+// MetricsSnapshot captures the current observability counters, including
+// the breaker state of every health-reporting backend.
+func (s *Service) MetricsSnapshot() Snapshot {
+	snap := s.metrics.Snapshot(s.cache)
+	for name, h := range s.Health() {
+		hh := h
+		b := snap.Backends[name] // zero value when the backend never solved
+		b.Breaker = &hh
+		snap.Backends[name] = b
+	}
+	return snap
+}
+
+// Health reports the resilience state of every registered backend that
+// tracks one (see HealthReporter); backends without a breaker are absent.
+func (s *Service) Health() map[string]BackendHealth {
+	out := make(map[string]BackendHealth)
+	for _, name := range s.reg.Names() {
+		b, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		if hr, ok := b.(HealthReporter); ok {
+			out[name] = hr.Health()
+		}
+	}
+	return out
+}
 
 // Metrics exposes the live metrics registry so out-of-package backends
 // (the hybrid orchestrator) can record per-backend arbitration outcomes.
@@ -142,6 +187,9 @@ func (s *Service) Optimize(ctx context.Context, req *Request) (*Response, error)
 	resp, err := s.optimize(ctx, req, start)
 	if err != nil {
 		s.metrics.errors.Add(1)
+		if errors.Is(err, ErrOverloaded) {
+			s.metrics.sheds.Add(1)
+		}
 		return nil, err
 	}
 	return resp, nil
@@ -174,11 +222,18 @@ func (s *Service) optimize(ctx context.Context, req *Request, start time.Time) (
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
+	run := s.pool.Run
+	if s.cfg.Shed {
+		run = s.pool.TryRun
+	}
 	var resp *Response
 	var solveErr error
-	if err := s.pool.Run(ctx, func(ctx context.Context) {
+	if err := run(ctx, func(ctx context.Context) {
 		resp, solveErr = s.solve(ctx, backend, req)
 	}); err != nil {
+		if errors.Is(err, ErrPanic) {
+			s.metrics.panics.Add(1)
+		}
 		return nil, err
 	}
 	if solveErr != nil {
@@ -188,8 +243,9 @@ func (s *Service) optimize(ctx context.Context, req *Request, start time.Time) (
 	return resp, nil
 }
 
-// solve runs on a pool worker: encoding (cached), backend solve, and
-// mapping the canonical-labelled result back into the request's indexing.
+// solve runs on a pool worker: encoding (cached), panic-guarded backend
+// solve, result vetting, optional classical degradation, and mapping the
+// canonical-labelled result back into the request's indexing.
 func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Response, error) {
 	enc, perm, hit, err := s.cache.Encoding(req.Query, req.Spec)
 	if err != nil {
@@ -198,10 +254,29 @@ func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Re
 
 	bm := s.metrics.Backend(backend.Name())
 	solveStart := time.Now()
-	d, err := backend.Solve(ctx, enc, req.Params)
+	d, err := s.safeSolve(ctx, backend, enc, req.Params)
+	if err == nil {
+		// Never trust a backend's result structurally: an unreliable QPU
+		// (or a fault injector standing in for one) can return corrupted
+		// solutions with a straight face. An invalid order is a backend
+		// failure like any other — eligible for degradation, never served.
+		err = vetDecoded(enc, backend.Name(), d)
+	}
 	bm.Observe(time.Since(solveStart), err)
+
+	producer := backend.Name()
+	degraded := false
+	reason := ""
 	if err != nil {
-		return nil, err
+		if !s.cfg.Degrade || errors.Is(err, ErrBadRequest) {
+			return nil, err
+		}
+		d, producer = s.fallback(ctx, enc)
+		degraded, reason = true, err.Error()
+		s.metrics.degrades.Add(1)
+		if errors.Is(err, ErrPanic) {
+			s.metrics.panics.Add(1)
+		}
 	}
 
 	// The backend solved the canonical instance; translate the order back
@@ -216,12 +291,17 @@ func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Re
 	}
 
 	resp := &Response{
-		Backend:       backend.Name(),
-		Order:         order,
-		Tree:          req.Query.Tree(order),
-		Cost:          d.Cost,
-		LogicalQubits: enc.NumQubits(),
-		CacheHit:      hit,
+		Backend: producer,
+		Order:   order,
+		Tree:    req.Query.Tree(order),
+		// Re-score by true plan cost in the request's own labelling: a
+		// backend reporting a stale or energy-based cost cannot lie its
+		// way into the response.
+		Cost:           req.Query.Cost(order),
+		LogicalQubits:  enc.NumQubits(),
+		CacheHit:       hit,
+		Degraded:       degraded,
+		DegradedReason: reason,
 	}
 	if n := req.Query.NumRelations(); s.cfg.CompareRelations > 0 && n <= s.cfg.CompareRelations {
 		if opt, err := classical.Optimal(req.Query); err == nil {
@@ -230,4 +310,48 @@ func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Re
 		}
 	}
 	return resp, nil
+}
+
+// safeSolve invokes the backend with panic containment: one misbehaving
+// backend must degrade its own request, never crash the daemon or leak a
+// pool worker.
+func (s *Service) safeSolve(ctx context.Context, backend Backend, enc *core.Encoding, p Params) (d *core.Decoded, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d = nil
+			err = fmt.Errorf("service: backend %q panicked: %v: %w", backend.Name(), r, ErrPanic)
+		}
+	}()
+	return backend.Solve(ctx, enc, p)
+}
+
+// vetDecoded checks that a backend result is a structurally valid join
+// order for the encoded query.
+func vetDecoded(enc *core.Encoding, backend string, d *core.Decoded) error {
+	if d == nil || !d.Valid {
+		return fmt.Errorf("service: backend %q returned no valid join order", backend)
+	}
+	if n := enc.Query.NumRelations(); !d.Order.IsPermutation(n) {
+		return fmt.Errorf("service: backend %q returned order %v, not a permutation of %d relations",
+			backend, d.Order, n)
+	}
+	return nil
+}
+
+// fallback is the last-resort classical path: the exact DP plan when the
+// instance is small and deadline budget remains, the greedy plan
+// otherwise. Greedy is pure microsecond-scale compute and needs no
+// context, so it succeeds even when the deadline is already blown — the
+// degraded answer is always available.
+func (s *Service) fallback(ctx context.Context, enc *core.Encoding) (*core.Decoded, string) {
+	n := enc.Query.NumRelations()
+	if s.cfg.CompareRelations > 0 && n <= s.cfg.CompareRelations {
+		if deadline, ok := ctx.Deadline(); !ok || time.Until(deadline) > 10*time.Millisecond {
+			if res, err := classical.OptimalContext(ctx, enc.Query); err == nil {
+				return &core.Decoded{Valid: true, Order: res.Order, Cost: res.Cost}, "dp"
+			}
+		}
+	}
+	res := classical.Greedy(enc.Query)
+	return &core.Decoded{Valid: true, Order: res.Order, Cost: res.Cost}, "greedy"
 }

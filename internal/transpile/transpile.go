@@ -11,6 +11,7 @@
 package transpile
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -69,6 +70,14 @@ type Result struct {
 
 // Transpile maps the circuit onto the device graph.
 func Transpile(c *circuit.Circuit, g *topology.Graph, opts Options) (*Result, error) {
+	return TranspileContext(context.Background(), c, g, opts)
+}
+
+// TranspileContext is Transpile with cancellation: the routing loop polls
+// the context between gates and between SWAP insertions, so a cancelled
+// request (a race loser, an expired deadline) stops burning CPU instead of
+// routing the rest of the circuit.
+func TranspileContext(ctx context.Context, c *circuit.Circuit, g *topology.Graph, opts Options) (*Result, error) {
 	if c.NumQubits > g.N() {
 		return nil, fmt.Errorf("transpile: circuit needs %d qubits, device has %d", c.NumQubits, g.N())
 	}
@@ -85,7 +94,10 @@ func Transpile(c *circuit.Circuit, g *topology.Graph, opts Options) (*Result, er
 	}
 	dist := g.AllPairsDistances()
 
-	routed, final, swaps := route(c, g, dist, layout, opts.Router, rng)
+	routed, final, swaps, err := route(ctx, c, g, dist, layout, opts.Router, rng)
+	if err != nil {
+		return nil, err
+	}
 	rebased, err := Rebase(routed, opts.GateSet)
 	if err != nil {
 		return nil, err
@@ -146,8 +158,9 @@ func bfsLayout(g *topology.Graph, n int, rng *rand.Rand) []int {
 
 // route inserts SWAPs so every two-qubit gate acts on adjacent physical
 // qubits. Returns the routed circuit over physical indices, the final
-// layout, and the number of swaps inserted.
-func route(c *circuit.Circuit, g *topology.Graph, dist [][]int, initial []int, r Router, rng *rand.Rand) (*circuit.Circuit, []int, int) {
+// layout, and the number of swaps inserted; cancellation aborts the loop
+// with the context error.
+func route(ctx context.Context, c *circuit.Circuit, g *topology.Graph, dist [][]int, initial []int, r Router, rng *rand.Rand) (*circuit.Circuit, []int, int, error) {
 	l2p := append([]int(nil), initial...)
 	p2l := make(map[int]int, len(l2p))
 	for l, p := range l2p {
@@ -198,6 +211,9 @@ func route(c *circuit.Circuit, g *topology.Graph, dist [][]int, initial []int, r
 	}
 
 	for _, gate := range c.Gates {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, 0, fmt.Errorf("transpile: routing cancelled after %d gates: %w", len(out.Gates), err)
+		}
 		if !gate.Kind.IsTwoQubit() {
 			out.Append(circuit.G1(gate.Kind, l2p[gate.Q0], gate.Param))
 			continue
@@ -205,6 +221,9 @@ func route(c *circuit.Circuit, g *topology.Graph, dist [][]int, initial []int, r
 		stall := 0
 		bestDist := dist[l2p[gate.Q0]][l2p[gate.Q1]]
 		for dist[l2p[gate.Q0]][l2p[gate.Q1]] > 1 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, 0, fmt.Errorf("transpile: routing cancelled mid-gate after %d swaps: %w", swaps, err)
+			}
 			switch {
 			case r == RouterBasic || stall >= 2:
 				basicStep(gate.Q0, gate.Q1)
@@ -267,5 +286,5 @@ func route(c *circuit.Circuit, g *topology.Graph, dist [][]int, initial []int, r
 		out.Append(circuit.G2(gate.Kind, l2p[gate.Q0], l2p[gate.Q1], gate.Param))
 		fi++
 	}
-	return out, l2p, swaps
+	return out, l2p, swaps, nil
 }
