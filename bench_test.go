@@ -14,6 +14,7 @@ import (
 
 	"quantumjoin/internal/experiments"
 	"quantumjoin/internal/join"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/service"
 )
 
@@ -268,6 +269,27 @@ func BenchmarkServiceOptimize(b *testing.B) {
 			}
 			if !resp.CacheHit {
 				b.Fatal("warm request missed the encoding cache")
+			}
+		}
+	})
+	// The traced variant runs the same warm path with a tracer at full
+	// sampling — the worst observability case. cmd/obsbench compares the
+	// two and enforces the overhead budget from DESIGN.md.
+	b.Run("warm-cache-traced", func(b *testing.B) {
+		tracer := obs.NewTracer(obs.Options{Capacity: 64, SampleRate: 1})
+		reg := service.NewRegistry()
+		if err := reg.Register(service.NewGreedyBackend()); err != nil {
+			b.Fatal(err)
+		}
+		tsvc := service.New(reg, service.Config{Workers: 2, DefaultBackend: "greedy", Tracer: tracer})
+		defer tsvc.Close(context.Background())
+		if _, err := tsvc.Optimize(context.Background(), req()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tsvc.Optimize(context.Background(), req()); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

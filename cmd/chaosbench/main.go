@@ -50,7 +50,7 @@ type RatePoint struct {
 	Availability float64 `json:"availability"` // HTTP 200 fraction
 	InvalidPlans int     `json:"invalid_plans"`
 	Degraded     int     `json:"degraded"`
-	// Counters pulled from /metrics after the run.
+	// Counters pulled from /metrics.json after the run.
 	Retries      int64 `json:"retries"`
 	Faults       int64 `json:"faults"`
 	BreakerTrips int64 `json:"breaker_trips"`
@@ -237,9 +237,9 @@ func runPoint(backend string, queries []json.RawMessage, rate float64, requests,
 	point.P95Ms = percentile(latencies, 0.95)
 
 	// Server-side counters: retries, injected faults, sheds, and breaker
-	// trips, scraped from /metrics like an operator would.
+	// trips, scraped from /metrics.json like an operator would.
 	var snap service.Snapshot
-	if err := getJSON(client, srv.URL+"/metrics", &snap); err != nil {
+	if err := getJSON(client, srv.URL+"/metrics.json", &snap); err != nil {
 		return RatePoint{}, err
 	}
 	point.Shed = snap.Requests.Shed

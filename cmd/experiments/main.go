@@ -3,29 +3,70 @@
 //
 // Usage:
 //
-//	experiments [-full] [-seed N] [-run table1,figure2,table2,timing,figure3,table3,figure4,figure5]
+//	experiments [-full] [-seed N] [-run table1,figure2,table2,timing,figure3,table3,figure4,figure5] [-timings FILE]
 //
 // The default -run=all executes everything with the quick configuration;
 // -full switches to paper-scale dimensions (hours of single-core time —
-// budget accordingly).
+// budget accordingly). With -timings FILE, every experiment runs under an
+// internal/obs tracer and the per-stage span breakdown (encode, transpile,
+// solve, embed: count and total milliseconds per experiment) is written to
+// FILE as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"quantumjoin/internal/experiments"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/textplot"
 	"quantumjoin/internal/transpile"
 )
+
+// stageAgg accumulates the spans of one stage (span name) within one
+// experiment.
+type stageAgg struct {
+	Count   int     `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+}
+
+// stepTimings is the per-experiment entry of the -timings JSON: wall time
+// of the whole step plus the per-stage span totals recorded by the tracer.
+type stepTimings struct {
+	WallMs float64              `json:"wall_ms"`
+	Stages map[string]*stageAgg `json:"stages"`
+}
+
+// collectStages folds a span subtree into the stage map. The experiment
+// root span (named after the step: figure2, table3, ...) is a grouping
+// wrapper, not a stage, so it contributes only its descendants; any
+// other span — including standalone roots of wrapperless experiments,
+// e.g. timing's bare encode spans — is a stage.
+func collectStages(m map[string]*stageAgg, s obs.SpanSnapshot, wrapper string) {
+	if s.Name != wrapper {
+		a := m[s.Name]
+		if a == nil {
+			a = &stageAgg{}
+			m[s.Name] = a
+		}
+		a.Count++
+		a.TotalMs += s.DurationMs
+	}
+	for _, c := range s.Children {
+		collectStages(m, c, "")
+	}
+}
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale dimensions instead of the quick configuration")
 	seed := flag.Int64("seed", 1, "master random seed")
 	run := flag.String("run", "all", "comma-separated experiments to run")
+	timings := flag.String("timings", "", "write per-stage timing breakdowns (JSON) to this file")
 	flag.Parse()
 
 	cfg := experiments.Quick()
@@ -41,15 +82,36 @@ func main() {
 	want := func(name string) bool { return selected["all"] || selected[name] }
 
 	ran := 0
+	allTimings := map[string]*stepTimings{}
 	step := func(name string, f func() error) {
 		if !want(name) {
 			return
 		}
 		ran++
+		var agg *stepTimings
+		if *timings != "" {
+			// The sink sees every finished root trace regardless of
+			// sampling, so a tiny store suffices; the mutex covers roots
+			// finishing on worker goroutines (e.g. timing's bare encodes).
+			agg = &stepTimings{Stages: map[string]*stageAgg{}}
+			var mu sync.Mutex
+			tr := obs.NewTracer(obs.Options{Capacity: 4})
+			tr.SetSink(func(t obs.TraceSnapshot) {
+				mu.Lock()
+				defer mu.Unlock()
+				collectStages(agg.Stages, t.Root, name)
+			})
+			cfg.Tracer = tr
+		}
 		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
+		}
+		if agg != nil {
+			agg.WallMs = float64(time.Since(start)) / float64(time.Millisecond)
+			allTimings[name] = agg
+			cfg.Tracer = nil
 		}
 		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -204,5 +266,17 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched -run=%q\n", *run)
 		os.Exit(2)
+	}
+	if *timings != "" {
+		buf, err := json.MarshalIndent(allTimings, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "timings: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*timings, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "timings: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("per-stage timings written to %s\n", *timings)
 	}
 }

@@ -1,0 +1,177 @@
+// Command obsbench measures the observability tax: the qjoind warm-path
+// optimize round-trip (the BenchmarkServiceOptimize/warm-cache shape —
+// cached QUBO encoding, cheap greedy backend, so per-request service
+// overhead dominates) is benchmarked with tracing off, with a tracer at
+// full sampling, and with the production default sample rate. The run
+// fails (exit 1) when the fully-traced path exceeds -max-overhead over
+// the untraced one, which is how CI pins the overhead budget documented
+// in DESIGN.md.
+//
+// Results are written as JSON (-o, default BENCH_obs.json):
+//
+//	{
+//	  "ns_per_op_off": ...,      // tracer disabled
+//	  "ns_per_op_sampled": ...,  // SampleRate 0.05
+//	  "ns_per_op_traced": ...,   // SampleRate 1, every span recorded
+//	  "overhead_traced": 0.041,  // fraction over off
+//	  "max_overhead": 0.10,
+//	  "pass": true
+//	}
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/obs"
+	"quantumjoin/internal/service"
+)
+
+// Result is the BENCH_obs.json schema.
+type Result struct {
+	Iterations      int     `json:"iterations"` // of the traced run
+	NsPerOpOff      float64 `json:"ns_per_op_off"`
+	NsPerOpSampled  float64 `json:"ns_per_op_sampled"`
+	NsPerOpTraced   float64 `json:"ns_per_op_traced"`
+	OverheadSampled float64 `json:"overhead_sampled"`
+	OverheadTraced  float64 `json:"overhead_traced"`
+	MaxOverhead     float64 `json:"max_overhead"`
+	Pass            bool    `json:"pass"`
+}
+
+// median returns the middle value of xs (mean of the two middle values
+// for even lengths). xs is sorted in place.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// chainQuery is the 7-relation chain BenchmarkServiceOptimize uses.
+func chainQuery() *join.Query {
+	const n = 7
+	q := &join.Query{Relations: make([]join.Relation, n)}
+	for i := range q.Relations {
+		q.Relations[i] = join.Relation{Name: fmt.Sprintf("r%d", i), Card: float64(10 * (i + 1))}
+		if i > 0 {
+			q.Predicates = append(q.Predicates, join.Predicate{R1: i - 1, R2: i, Sel: 0.1})
+		}
+	}
+	return q
+}
+
+// warmBench returns a benchmark over the warm optimize path with the
+// given tracer (nil = tracing disabled).
+func warmBench(tracer *obs.Tracer) (func(b *testing.B), func()) {
+	reg := service.NewRegistry()
+	if err := reg.Register(service.NewGreedyBackend()); err != nil {
+		panic(err)
+	}
+	svc := service.New(reg, service.Config{Workers: 2, DefaultBackend: "greedy", Tracer: tracer})
+	q := chainQuery()
+	req := func() *service.Request {
+		return &service.Request{Query: q, Spec: service.EncodeSpec{Thresholds: 3}}
+	}
+	if _, err := svc.Optimize(context.Background(), req()); err != nil {
+		panic(err)
+	}
+	bench := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Optimize(context.Background(), req()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return bench, func() { svc.Close(context.Background()) }
+}
+
+func main() {
+	maxOverhead := flag.Float64("max-overhead", 0.10, "fail when the fully-traced warm path exceeds this fractional overhead")
+	sampleRate := flag.Float64("sample-rate", 0.05, "production sample rate measured as the middle configuration")
+	rounds := flag.Int("rounds", 5, "benchmark repetitions per configuration (fastest wins)")
+	out := flag.String("o", "BENCH_obs.json", "result file")
+	flag.Parse()
+
+	// Measurement methodology: the host is noisy (shared CPU, frequency
+	// drift, heap growth over the run), so absolute ns/op numbers from
+	// back-to-back blocks are not comparable. Each round measures all
+	// three configurations adjacently and the overhead estimate is the
+	// median of the per-round paired ratios — drift moves both sides of a
+	// ratio together and the median rejects outlier rounds. The starting
+	// configuration rotates each round so no configuration systematically
+	// enjoys the quietest (earliest) slot.
+	configs := []struct {
+		name   string
+		tracer *obs.Tracer
+	}{
+		{"off", nil},
+		{"sampled", obs.NewTracer(obs.Options{Capacity: 256, SampleRate: *sampleRate})},
+		{"traced", obs.NewTracer(obs.Options{Capacity: 256, SampleRate: 1})},
+	}
+	iterations := make([]int, len(configs))
+	benches := make([]func(b *testing.B), len(configs))
+	for i, c := range configs {
+		bench, closeSvc := warmBench(c.tracer)
+		defer closeSvc()
+		benches[i] = bench
+	}
+	perRound := make([][]float64, len(configs))
+	for round := 0; round < *rounds; round++ {
+		for k := range configs {
+			i := (round + k) % len(configs)
+			runtime.GC()
+			r := testing.Benchmark(benches[i])
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			fmt.Fprintf(os.Stderr, "obsbench: round %d %-7s %.0f ns/op (%d iters)\n", round+1, configs[i].name, ns, r.N)
+			perRound[i] = append(perRound[i], ns)
+			iterations[i] = r.N
+		}
+	}
+	ratios := func(i int) []float64 {
+		rs := make([]float64, *rounds)
+		for r := range rs {
+			rs[r] = perRound[i][r] / perRound[0][r]
+		}
+		return rs
+	}
+	off := median(perRound[0])
+
+	res := Result{
+		Iterations:      iterations[2],
+		NsPerOpOff:      off,
+		NsPerOpSampled:  off * median(ratios(1)),
+		NsPerOpTraced:   off * median(ratios(2)),
+		OverheadSampled: median(ratios(1)) - 1,
+		OverheadTraced:  median(ratios(2)) - 1,
+		MaxOverhead:     *maxOverhead,
+	}
+	res.Pass = res.OverheadTraced <= *maxOverhead
+
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsbench:", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "obsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "obsbench: overhead traced %.1f%% / sampled %.1f%% (budget %.0f%%) -> %s\n",
+		100*res.OverheadTraced, 100*res.OverheadSampled, 100**maxOverhead, *out)
+	if !res.Pass {
+		fmt.Fprintf(os.Stderr, "obsbench: FAIL: traced overhead %.1f%% exceeds budget %.0f%%\n",
+			100*res.OverheadTraced, 100**maxOverhead)
+		os.Exit(1)
+	}
+}

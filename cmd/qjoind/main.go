@@ -9,11 +9,20 @@
 //
 // Endpoints:
 //
-//	POST /v1/optimize  — optimise one query (see README for the schema)
-//	GET  /v1/backends  — list registered backends
-//	GET  /metrics      — JSON counters, per-backend latency percentiles,
-//	                     encoding-cache hit rate, and breaker states
-//	GET  /healthz      — liveness probe with per-backend breaker health
+//	POST /v1/optimize   — optimise one query (see README for the schema)
+//	GET  /v1/backends   — list registered backends
+//	GET  /metrics       — Prometheus text exposition of all counters,
+//	                      latency histograms, cache and breaker state
+//	GET  /metrics.json  — the same observability state as one JSON document
+//	GET  /debug/traces  — recent request traces (?id=, ?format=flame)
+//	GET  /debug/pprof/* — runtime profiles (only with -pprof)
+//	GET  /healthz       — liveness probe with per-backend breaker health
+//
+// Every request is tagged with a request ID (inbound X-Request-ID or
+// generated), echoed in the response header, stamped on every structured
+// log line, and usable as /debug/traces?id= to pull the request's trace.
+// The -trace-sample rate bounds tracing overhead; errored and slow
+// requests are always traced regardless of the rate.
 //
 // The daemon treats solver backends as unreliable co-processors (the
 // paper's §8 co-design argument): each backend named by -resilient-backends
@@ -35,7 +44,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +54,7 @@ import (
 	"quantumjoin/internal/faults"
 	"quantumjoin/internal/hybrid"
 	"quantumjoin/internal/noise"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/service"
 )
 
@@ -85,7 +94,25 @@ func main() {
 	chaosCalibPeriod := flag.Duration("chaos-calib-period", 0, "inject faults: recalibration blackout period (0 disables)")
 	chaosCalibWindow := flag.Duration("chaos-calib-window", 0, "inject faults: blackout length at the start of each period")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault model")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/* and record per-span allocation/CPU deltas")
+	traceSample := flag.Float64("trace-sample", 0.05, "fraction of healthy requests to trace (0..1); errors and slow requests are always traced")
+	traceCapacity := flag.Int("trace-capacity", 256, "stored trace ring size for /debug/traces")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	flag.Parse()
+
+	if *traceSample < 0 || *traceSample > 1 {
+		usageError(fmt.Sprintf("-trace-sample %v out of range [0, 1]", *traceSample))
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		usageError(err.Error())
+	}
+	tracer := obs.NewTracer(obs.Options{
+		Capacity:   *traceCapacity,
+		SampleRate: *traceSample,
+		Profile:    *pprofOn,
+	})
 
 	reg := service.DefaultRegistry(service.RegistryConfig{
 		PegasusM:      *pegasusM,
@@ -100,6 +127,9 @@ func main() {
 		DefaultBackend: *defaultBackend,
 		Shed:           *shed,
 		Degrade:        *degrade,
+		Tracer:         tracer,
+		Logger:         logger,
+		Pprof:          *pprofOn,
 	})
 
 	// Resilience stack, inner to outer: fault injection (chaos drills
@@ -139,8 +169,9 @@ func main() {
 		}
 	}
 	if chaos {
-		log.Printf("qjoind: CHAOS MODE: injecting faults (rate %.2f, queue %s, seed %d) into %s",
-			*chaosRate, *chaosQueue, *chaosSeed, *resilient)
+		logger.Warn("CHAOS MODE: injecting faults",
+			"rate", *chaosRate, "queue", chaosQueue.String(),
+			"seed", *chaosSeed, "backends", *resilient)
 	}
 
 	// The hybrid orchestrator sits on top of the registry it races, so it
@@ -170,13 +201,16 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("qjoind: listening on %s (backends: %s)", *addr, strings.Join(svc.Backends(), ", "))
+		logger.Info("listening",
+			"addr", *addr,
+			"backends", strings.Join(svc.Backends(), ", "),
+			"pprof", *pprofOn, "trace_sample", *traceSample)
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case <-ctx.Done():
-		log.Printf("qjoind: signal received, draining (grace %s)", *grace)
+		logger.Info("signal received, draining", "grace", grace.String())
 	case err := <-errc:
 		fail(fmt.Errorf("qjoind: serve: %w", err))
 	}
@@ -184,15 +218,23 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("qjoind: http shutdown: %v", err)
+		logger.Error("http shutdown", "error", err)
 	}
 	if err := svc.Close(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("qjoind: service shutdown: %v", err)
+		logger.Error("service shutdown", "error", err)
 	}
-	log.Printf("qjoind: bye")
+	logger.Info("bye")
 }
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// usageError reports a bad flag value the way the flag package does:
+// message, usage text, exit status 2.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "qjoind: "+msg)
+	flag.Usage()
+	os.Exit(2)
 }

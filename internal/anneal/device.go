@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"quantumjoin/internal/minorembed"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/qubo"
 	"quantumjoin/internal/topology"
 )
@@ -173,8 +174,23 @@ func (d *Device) SampleEmbedded(q *qubo.QUBO, emb *minorembed.Embedding, reads i
 }
 
 // SampleEmbeddedContext is SampleEmbedded with cancellation (see
-// SampleContext for the semantics).
+// SampleContext for the semantics). When the context carries an obs span
+// the read loop runs under an "anneal.sample" child span recording the
+// read/sweep budget and the chain-break fraction.
 func (d *Device) SampleEmbeddedContext(ctx context.Context, q *qubo.QUBO, emb *minorembed.Embedding, reads int, annealTimeMicros float64, seed int64) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "anneal.sample")
+	span.SetAttr("reads", reads)
+	res, err := d.sampleEmbeddedContext(ctx, q, emb, reads, annealTimeMicros, seed)
+	if res != nil {
+		span.SetAttr("sweeps", int(annealTimeMicros*d.SweepsPerMicrosecond))
+		span.SetAttr("chain_break_fraction", res.ChainBreakFraction)
+		span.SetAttr("physical_qubits", res.PhysicalQubits)
+	}
+	span.End(err)
+	return res, err
+}
+
+func (d *Device) sampleEmbeddedContext(ctx context.Context, q *qubo.QUBO, emb *minorembed.Embedding, reads int, annealTimeMicros float64, seed int64) (*Result, error) {
 	physical, chainOf, err := d.buildPhysical(q, emb)
 	if err != nil {
 		return nil, err

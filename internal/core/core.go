@@ -15,12 +15,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"quantumjoin/internal/join"
 	"quantumjoin/internal/linprog"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/qubo"
 )
 
@@ -146,6 +148,14 @@ func (e *Encoding) TIOVar(t, j int) int { return e.tio[t][j] }
 // NaN/Inf statistics — are rejected with a descriptive error rather than
 // silently producing degenerate or NaN QUBO coefficients.
 func Encode(q *join.Query, opts Options) (*Encoding, error) {
+	return EncodeContext(context.Background(), q, opts)
+}
+
+// EncodeContext is Encode with per-stage tracing: when ctx carries an
+// active obs span, the MILP construction, BILP slack discretisation, and
+// QUBO penalty conversion each get a child span recording the model size
+// they produced (variables, constraints, qubits).
+func EncodeContext(ctx context.Context, q *join.Query, opts Options) (*Encoding, error) {
 	if q == nil {
 		return nil, fmt.Errorf("core: cannot encode nil query")
 	}
@@ -166,10 +176,23 @@ func Encode(q *join.Query, opts Options) (*Encoding, error) {
 	}
 
 	e := &Encoding{Query: q, Opts: opts}
-	if err := e.buildMILP(); err != nil {
+	_, milpSpan := obs.StartSpan(ctx, "encode.milp")
+	err := e.buildMILP()
+	if err == nil {
+		milpSpan.SetAttr("vars", e.MILP.NumVars())
+		milpSpan.SetAttr("constraints", len(e.MILP.Cons))
+	}
+	milpSpan.End(err)
+	if err != nil {
 		return nil, err
 	}
+
+	_, bilpSpan := obs.StartSpan(ctx, "encode.bilp")
 	eq, err := e.MILP.ToEquality(opts.Omega)
+	if err == nil {
+		bilpSpan.SetAttr("vars", eq.NumVars())
+	}
+	bilpSpan.End(err)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +205,13 @@ func Encode(q *join.Query, opts Options) (*Encoding, error) {
 		a = eq.PenaltyWeight(opts.Omega, opts.PenaltyEps) * b
 	}
 	e.PenaltyA, e.PenaltyB = a, b
+
+	_, quboSpan := obs.StartSpan(ctx, "encode.qubo")
 	qb, err := eq.ToQUBO(a, b, opts.Omega)
+	if err == nil {
+		quboSpan.SetAttr("qubits", qb.N())
+	}
+	quboSpan.End(err)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 	"quantumjoin/internal/anneal"
 	"quantumjoin/internal/core"
 	"quantumjoin/internal/join"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/querygen"
 	"quantumjoin/internal/topology"
 )
@@ -67,6 +69,12 @@ type Config struct {
 	// Figure 5: relation counts and densities swept.
 	CoDesignRelations []int
 	CoDesignDensities []float64
+
+	// Tracer, when non-nil, records per-stage spans (encode, transpile,
+	// solve, embed) under one root span per experiment. cmd/experiments
+	// aggregates the spans via the tracer's sink into the -timings JSON;
+	// a nil tracer costs nothing.
+	Tracer *obs.Tracer
 
 	pegasus *topology.Graph
 }
@@ -136,24 +144,36 @@ func (c *Config) AnnealDevice() *anneal.Device {
 	return d
 }
 
+// traceCtx returns a context armed with the configured tracer (the plain
+// background context when tracing is off); instrumented experiments
+// derive their root span from it.
+func (c Config) traceCtx() context.Context {
+	return obs.NewContext(context.Background(), c.Tracer)
+}
+
 // paperEncoding builds the canonical §4.1 instance: three relations of
 // cardinality 10, 0–3 predicates of selectivity 0.1, one threshold θ = 10,
 // discretisation precision 10^-decimals. Qubits: 18 + 3·predicates
-// + 3·decimals.
-func paperEncoding(predicates, decimals int) (*core.Encoding, error) {
+// + 3·decimals. The encoding runs under an "encode" span in the trace
+// carried by ctx.
+func paperEncoding(ctx context.Context, predicates, decimals int) (*core.Encoding, error) {
 	q, err := querygen.PaperInstance(predicates)
 	if err != nil {
 		return nil, err
 	}
-	return core.Encode(q, core.Options{
+	ectx, span := obs.StartSpan(ctx, "encode")
+	enc, err := core.EncodeContext(ectx, q, core.Options{
 		Thresholds: []float64{10},
 		Omega:      math.Pow(10, -float64(decimals)),
 	})
+	span.End(err)
+	return enc, err
 }
 
 // randomInstance draws a random integer-log query and encodes it with one
-// threshold at ω = 1 (the §4.1 experimental setting).
-func randomInstance(relations int, graph querygen.GraphType, thresholds int, omega float64, rng *rand.Rand) (*join.Query, *core.Encoding, error) {
+// threshold at ω = 1 (the §4.1 experimental setting), under an "encode"
+// span in the trace carried by ctx.
+func randomInstance(ctx context.Context, relations int, graph querygen.GraphType, thresholds int, omega float64, rng *rand.Rand) (*join.Query, *core.Encoding, error) {
 	q, err := querygen.Generate(querygen.Config{
 		Relations:  relations,
 		Graph:      graph,
@@ -164,10 +184,12 @@ func randomInstance(relations int, graph querygen.GraphType, thresholds int, ome
 	if err != nil {
 		return nil, nil, err
 	}
-	enc, err := core.Encode(q, core.Options{
+	ectx, span := obs.StartSpan(ctx, "encode")
+	enc, err := core.EncodeContext(ectx, q, core.Options{
 		Thresholds: core.DefaultThresholds(q, thresholds),
 		Omega:      omega,
 	})
+	span.End(err)
 	if err != nil {
 		return nil, nil, err
 	}

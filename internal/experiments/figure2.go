@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"quantumjoin/internal/noise"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/qaoa"
 	"quantumjoin/internal/stats"
 	"quantumjoin/internal/topology"
@@ -34,6 +36,13 @@ type Figure2Result struct {
 // on the 27-qubit Falcon topology; the right panel compares predicate
 // scenarios between Falcon (Auckland) and Eagle (Washington).
 func RunFigure2(cfg Config) (*Figure2Result, error) {
+	ctx, root := obs.StartSpan(cfg.traceCtx(), "figure2")
+	res, err := runFigure2(ctx, cfg)
+	root.End(err)
+	return res, err
+}
+
+func runFigure2(ctx context.Context, cfg Config) (*Figure2Result, error) {
 	falcon := topology.Falcon27()
 	eagle := topology.Eagle127()
 	auckland := noise.Auckland()
@@ -41,7 +50,7 @@ func RunFigure2(cfg Config) (*Figure2Result, error) {
 	res := &Figure2Result{}
 
 	measure := func(predicates, decimals int, dev *topology.Graph, cal noise.Calibration, panel, label string) error {
-		enc, err := paperEncoding(predicates, decimals)
+		enc, err := paperEncoding(ctx, predicates, decimals)
 		if err != nil {
 			return err
 		}
@@ -54,11 +63,13 @@ func RunFigure2(cfg Config) (*Figure2Result, error) {
 		// to the serial order.
 		ds := make([]float64, cfg.TranspileRuns)
 		if err := cfg.forEach(cfg.TranspileRuns, func(run int) error {
+			_, span := obs.StartSpan(ctx, "transpile")
 			tr, err := transpile.Transpile(logical, dev, transpile.Options{
 				GateSet: transpile.IBMNative,
 				Router:  transpile.RouterLookahead,
 				Seed:    cfg.Seed + int64(run)*7919,
 			})
+			span.End(err)
 			if err != nil {
 				return err
 			}

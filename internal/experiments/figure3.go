@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"math/rand"
 
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/querygen"
 )
 
@@ -34,10 +36,17 @@ type Figure3Result struct {
 // the bottom panel fixes the relations and sweeps the threshold count for
 // ω ∈ {1, 0.01, 0.0001}, locating the feasibility frontier.
 func RunFigure3(cfg Config) (*Figure3Result, error) {
+	ctx, root := obs.StartSpan(cfg.traceCtx(), "figure3")
+	res, err := runFigure3(ctx, cfg)
+	root.End(err)
+	return res, err
+}
+
+func runFigure3(ctx context.Context, cfg Config) (*Figure3Result, error) {
 	dev := cfg.AnnealDevice()
 
 	embed := func(rng *rand.Rand, panel string, g querygen.GraphType, relations, thresholds int, omega float64) (Figure3Row, error) {
-		_, enc, err := randomInstance(relations, g, thresholds, omega, rng)
+		_, enc, err := randomInstance(ctx, relations, g, thresholds, omega, rng)
 		if err != nil {
 			return Figure3Row{}, err
 		}
@@ -46,7 +55,12 @@ func RunFigure3(cfg Config) (*Figure3Result, error) {
 			Thresholds: thresholds, Omega: omega,
 			LogicalQubits: enc.NumQubits(),
 		}
+		// A failed embedding is a frontier probe, not a fault: the span
+		// ends clean and the row records OK=false.
+		_, span := obs.StartSpan(ctx, "embed")
 		emb, err := dev.EmbedOnly(enc.QUBO, cfg.Seed+int64(relations*100+thresholds))
+		span.SetAttr("ok", err == nil)
+		span.End(nil)
 		if err == nil {
 			row.OK = true
 			row.PhysicalQubits = emb.PhysicalQubits()

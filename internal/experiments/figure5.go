@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/qaoa"
 	"quantumjoin/internal/querygen"
 	"quantumjoin/internal/stats"
@@ -36,6 +38,13 @@ type Figure5Result struct {
 // (d) the two routing heuristics. Instances use two threshold values and
 // ω = 1 as in §6.2.
 func RunFigure5(cfg Config) (*Figure5Result, error) {
+	ctx, root := obs.StartSpan(cfg.traceCtx(), "figure5")
+	res, err := runFigure5(ctx, cfg)
+	root.End(err)
+	return res, err
+}
+
+func runFigure5(ctx context.Context, cfg Config) (*Figure5Result, error) {
 	res := &Figure5Result{}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for _, n := range cfg.CoDesignRelations {
@@ -43,7 +52,7 @@ func RunFigure5(cfg Config) (*Figure5Result, error) {
 		if n >= 3 {
 			g = querygen.Cycle
 		}
-		_, enc, err := randomInstance(n, g, 2, 1, rng)
+		_, enc, err := randomInstance(ctx, n, g, 2, 1, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -80,11 +89,13 @@ func RunFigure5(cfg Config) (*Figure5Result, error) {
 						// fan them out and collect by index.
 						ds := make([]float64, cfg.TranspileRuns)
 						if err := cfg.forEach(cfg.TranspileRuns, func(run int) error {
+							_, span := obs.StartSpan(ctx, "transpile")
 							tr, err := transpile.Transpile(logical, dev, transpile.Options{
 								GateSet: set,
 								Router:  router,
 								Seed:    cfg.Seed + int64(run)*6007,
 							})
+							span.End(err)
 							if err != nil {
 								return err
 							}

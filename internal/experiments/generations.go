@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
 	"quantumjoin/internal/minorembed"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/querygen"
 	"quantumjoin/internal/topology"
 )
@@ -37,6 +39,13 @@ type GenerationsResult struct {
 // quantifying the §7 observation that hardware generations matter as
 // much as algorithms.
 func RunGenerations(cfg Config) (*GenerationsResult, error) {
+	ctx, root := obs.StartSpan(cfg.traceCtx(), "generations")
+	res, err := runGenerations(ctx, cfg)
+	root.End(err)
+	return res, err
+}
+
+func runGenerations(ctx context.Context, cfg Config) (*GenerationsResult, error) {
 	// Size-match the two graphs: Chimera C(m,m,4) has 8m² qubits,
 	// Pegasus P(m') has ~24m'(m'-1); pick shapes near the configured
 	// Pegasus size.
@@ -49,22 +58,28 @@ func RunGenerations(cfg Config) (*GenerationsResult, error) {
 	res := &GenerationsResult{ChimeraName: chimera.Name, PegasusName: pegasus.Name}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for _, n := range cfg.EmbedRelations {
-		_, enc, err := randomInstance(n, querygen.Chain, 1, 1, rng)
+		_, enc, err := randomInstance(ctx, n, querygen.Chain, 1, 1, rng)
 		if err != nil {
 			return nil, err
 		}
 		row := GenerationsRow{Relations: n, LogicalQubits: enc.NumQubits()}
 		adj := enc.QUBO.AdjacencyLists()
+		_, cspan := obs.StartSpan(ctx, "embed")
+		cspan.SetAttr("target", chimera.Name)
 		if emb, err := minorembed.Embed(adj, chimera, minorembed.Options{Tries: 8, Seed: cfg.Seed}); err == nil {
 			row.ChimeraOK = true
 			row.ChimeraQubits = emb.PhysicalQubits()
 			row.ChimeraChain = emb.MaxChainLength()
 		}
+		cspan.End(nil)
+		_, pspan := obs.StartSpan(ctx, "embed")
+		pspan.SetAttr("target", pegasus.Name)
 		if emb, err := minorembed.Embed(adj, pegasus, minorembed.Options{Tries: 8, Seed: cfg.Seed}); err == nil {
 			row.PegasusOK = true
 			row.PegasusQubits = emb.PhysicalQubits()
 			row.PegasusChain = emb.MaxChainLength()
 		}
+		pspan.End(nil)
 		res.Rows = append(res.Rows, row)
 		if !row.ChimeraOK && !row.PegasusOK {
 			break // both generations hit their frontier

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
 	"quantumjoin/internal/noise"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/qaoa"
 	"quantumjoin/internal/qsim"
 	"quantumjoin/internal/topology"
@@ -36,6 +38,13 @@ type Table2Result struct {
 // AQGD) with the configured iteration counts, sampling cfg.QAOAShots
 // noisy shots on the simulated Auckland device, post-processed per §3.5.
 func RunTable2(cfg Config) (*Table2Result, error) {
+	ctx, root := obs.StartSpan(cfg.traceCtx(), "table2")
+	res, err := runTable2(ctx, cfg)
+	root.End(err)
+	return res, err
+}
+
+func runTable2(ctx context.Context, cfg Config) (*Table2Result, error) {
 	falcon := topology.Falcon27()
 	cal := noise.Auckland()
 	// Each (predicates, iterations) cell is independent: its RNG is seeded
@@ -51,7 +60,7 @@ func RunTable2(cfg Config) (*Table2Result, error) {
 	rows := make([]Table2Row, len(cells))
 	err := cfg.forEach(len(cells), func(i int) error {
 		p, iters := cells[i].p, cells[i].iters
-		enc, err := paperEncoding(p, 0)
+		enc, err := paperEncoding(ctx, p, 0)
 		if err != nil {
 			return err
 		}
@@ -66,17 +75,22 @@ func RunTable2(cfg Config) (*Table2Result, error) {
 		params.Gammas[0] = 0.35
 		params.Betas[0] = 0.6
 		logical := qaoa.BuildCircuit(enc.QUBO, params)
+		_, tspan := obs.StartSpan(ctx, "transpile")
 		tr, err := transpile.Transpile(logical, falcon, transpile.Options{
 			GateSet: transpile.IBMNative,
 			Router:  transpile.RouterLookahead,
 			Seed:    cfg.Seed,
 		})
+		tspan.End(err)
 		if err != nil {
 			return err
 		}
 		row.Lambda = cal.Lambda(tr.Circuit)
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*101 + int64(iters)))
+		_, sspan := obs.StartSpan(ctx, "solve")
+		sspan.SetAttr("backend", "qaoa")
 		out, err := qaoa.Run(enc.QUBO, 1, qaoa.AQGD{Iterations: iters}, cfg.QAOAShots, &cal, tr.Circuit, rng)
+		sspan.End(err)
 		if err != nil {
 			return err
 		}
@@ -143,12 +157,13 @@ type TimingResult struct {
 // RunTiming reproduces the §4.2.1 numbers: t_s (pure sampling) versus
 // t_qpu (total QPU time) for the smallest and largest Table 2 scenarios.
 func RunTiming(cfg Config) (*TimingResult, error) {
+	ctx := cfg.traceCtx()
 	falcon := topology.Falcon27()
 	cal := noise.Auckland()
 	tm := noise.DefaultTimingModel()
 	res := &TimingResult{}
 	for _, p := range []int{0, 3} {
-		enc, err := paperEncoding(p, 0)
+		enc, err := paperEncoding(ctx, p, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
 	"quantumjoin/internal/core"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/querygen"
 )
 
@@ -35,6 +37,13 @@ type Table3Result struct {
 // random instances. Star queries over three relations coincide with chain
 // queries, so that cell is marked not applicable (the paper prints "-").
 func RunTable3(cfg Config) (*Table3Result, error) {
+	ctx, root := obs.StartSpan(cfg.traceCtx(), "table3")
+	res, err := runTable3(ctx, cfg)
+	root.End(err)
+	return res, err
+}
+
+func runTable3(ctx context.Context, cfg Config) (*Table3Result, error) {
 	dev := cfg.AnnealDevice()
 	res := &Table3Result{}
 	for _, g := range []querygen.GraphType{querygen.Chain, querygen.Star, querygen.Cycle} {
@@ -48,7 +57,7 @@ func RunTable3(cfg Config) (*Table3Result, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(n)*1000 + int64(g)))
 			encs := make([]*core.Encoding, 0, cfg.AnnealInstances)
 			for i := 0; i < cfg.AnnealInstances; i++ {
-				_, enc, err := randomInstance(n, g, 1, 1, rng)
+				_, enc, err := randomInstance(ctx, n, g, 1, 1, rng)
 				if err != nil {
 					return nil, err
 				}
@@ -60,7 +69,10 @@ func RunTable3(cfg Config) (*Table3Result, error) {
 					Instances: cfg.AnnealInstances, Reads: cfg.AnnealReads,
 				}
 				for i, enc := range encs {
+					_, span := obs.StartSpan(ctx, "solve")
+					span.SetAttr("backend", "anneal")
 					out, err := dev.Sample(enc.QUBO, cfg.AnnealReads, at, cfg.Seed+int64(i))
+					span.End(err)
 					if err != nil {
 						// Embedding failure counts as a zero-quality run,
 						// mirroring hardware infeasibility.

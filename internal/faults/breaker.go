@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"quantumjoin/internal/core"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/service"
 )
 
@@ -75,6 +76,18 @@ const (
 	stateHalfOpen
 )
 
+// stateName maps a breaker state to its log/metrics label.
+func stateName(s int) string {
+	switch s {
+	case stateOpen:
+		return service.HealthOpen
+	case stateHalfOpen:
+		return service.HealthHalfOpen
+	default:
+		return service.HealthOK
+	}
+}
+
 // breaker is the three-state circuit breaker. All state transitions happen
 // under mu; Solve holds the lock only around admission and bookkeeping,
 // never across the inner solve.
@@ -123,7 +136,10 @@ func (b *breaker) Solve(ctx context.Context, enc *core.Encoding, p service.Param
 		return nil, fmt.Errorf("faults: backend %q: %w", b.Name(), err)
 	}
 	d, err := b.inner.Solve(ctx, enc, p)
-	b.observe(err)
+	if from, to, changed := b.observe(err); changed {
+		obs.Logger(ctx).WarnContext(ctx, "circuit breaker state change",
+			"backend", b.Name(), "from", stateName(from), "to", stateName(to))
+	}
 	return d, err
 }
 
@@ -154,16 +170,22 @@ func (b *breaker) admit() error {
 	}
 }
 
-// observe folds one solve outcome into the breaker state. Caller
+// observe folds one solve outcome into the breaker state and reports any
+// state transition it caused, so the caller can log it. Caller
 // cancellation is neutral — a race loser or a client walking away says
 // nothing about the backend's health — but a blown deadline counts as a
 // failure: the backend did not answer within the budget it was given.
-func (b *breaker) observe(err error) {
+func (b *breaker) observe(err error) (from, to int, changed bool) {
 	neutral := errors.Is(err, context.Canceled)
 	failure := err != nil && !neutral
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	from = b.state
+	defer func() {
+		to = b.state
+		changed = to != from
+	}()
 	switch b.state {
 	case stateHalfOpen:
 		b.probing = false
@@ -198,6 +220,7 @@ func (b *breaker) observe(err error) {
 		}
 	default: // stateOpen: a straggler admitted earlier; its outcome is stale.
 	}
+	return
 }
 
 // trip moves the breaker to open (from closed or half-open).

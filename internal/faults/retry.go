@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"quantumjoin/internal/core"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/service"
 )
 
@@ -103,6 +104,9 @@ func (r *retryBackend) Solve(ctx context.Context, enc *core.Encoding, p service.
 			if r.policy.Metrics != nil {
 				r.policy.Metrics.Backend(r.Name()).RecordRetry()
 			}
+			obs.Logger(ctx).WarnContext(ctx, "retrying backend solve",
+				"backend", r.Name(), "attempt", attempt+1,
+				"max_attempts", r.policy.MaxAttempts, "error", fmt.Sprint(lastErr))
 			// Salt the solver seed so the retry explores a different
 			// embedding / sample path instead of replaying the failure.
 			p.Seed = mix(p.Seed, int64(attempt))

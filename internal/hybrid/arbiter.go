@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"quantumjoin/internal/core"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/service"
 )
 
@@ -74,6 +75,17 @@ func (b *Backend) arbitrate(ctx context.Context, strategy string, candidates []C
 				bm.RecordLoss()
 			}
 		}
+	}
+	if best >= 0 {
+		if span := obs.ActiveSpan(ctx); span != nil {
+			span.SetAttr("hybrid_winner", candidates[best].Backend)
+			span.SetAttr("hybrid_candidates", len(candidates))
+		}
+		obs.Logger(ctx).DebugContext(ctx, "hybrid arbitration",
+			"strategy", strategy,
+			"winner", candidates[best].Backend,
+			"cost", candidates[best].Cost,
+			"candidates", len(candidates))
 	}
 	if best < 0 {
 		if err := ctx.Err(); err != nil {

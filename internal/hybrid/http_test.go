@@ -104,8 +104,8 @@ func TestHTTPHybridEndToEnd(t *testing.T) {
 		t.Errorf("invalid strategy: status %d, want 400", resp.StatusCode)
 	}
 
-	// /metrics must expose hybrid requests and arbitration outcomes.
-	mresp, err := http.Get(ts.URL + "/metrics")
+	// /metrics.json must expose hybrid requests and arbitration outcomes.
+	mresp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

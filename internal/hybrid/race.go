@@ -2,11 +2,13 @@ package hybrid
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"quantumjoin/internal/core"
 	"quantumjoin/internal/faults"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/service"
 )
 
@@ -45,10 +47,18 @@ func (b *Backend) race(ctx context.Context, enc *core.Encoding, p service.Params
 	results := make(chan Candidate, 2*len(portfolio))
 	launch := func(name string, p service.Params) {
 		be, _ := b.cfg.Registry.Get(name) // presence checked by portfolio()
+		// The racer's span is a child of the request's solve span; the
+		// goroutine owns it and ends it exactly once, win or lose — a
+		// cancelled loser past the drain grace still closes its span, and
+		// read-time trace snapshots pick that up.
+		spanCtx, span := obs.StartSpan(raceCtx, "racer."+name)
 		go func() {
 			start := time.Now()
-			d, err := be.Solve(raceCtx, enc, subParams(p, nil))
-			results <- vet(enc, name, d, err, time.Since(start))
+			d, err := be.Solve(spanCtx, enc, subParams(p, nil))
+			c := vet(enc, name, d, err, time.Since(start))
+			span.SetAttr("valid", c.Decoded != nil)
+			endRacerSpan(span, ctx, raceCtx, err)
+			results <- c
 		}()
 	}
 	for _, name := range portfolio {
@@ -98,4 +108,28 @@ func (b *Backend) race(ctx context.Context, enc *core.Encoding, p service.Params
 // remains for a fresh attempt.
 func (b *Backend) reRace(ctx context.Context, err error) bool {
 	return faults.Retryable(err) && ctx.Err() == nil && b.budgetLeft(ctx)
+}
+
+// endRacerSpan closes a portfolio racer's span, recording why a loser
+// stopped: the race was decided (lost_race), the request deadline hit, or
+// the client went away. Cancellation is an outcome, not a failure — only
+// a genuine backend error (while the race was still live) marks the span
+// errored, so healthy races stay subject to probabilistic sampling.
+func endRacerSpan(span *obs.Span, outer, race context.Context, err error) {
+	if race.Err() != nil {
+		reason := "lost_race"
+		switch {
+		case errors.Is(outer.Err(), context.DeadlineExceeded):
+			reason = "deadline"
+		case errors.Is(outer.Err(), context.Canceled):
+			reason = "client_cancelled"
+		}
+		span.SetAttr("cancel_reason", reason)
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End(nil)
+		return
+	}
+	span.End(err)
 }

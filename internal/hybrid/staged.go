@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"quantumjoin/internal/core"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/service"
 )
 
@@ -43,9 +44,12 @@ func (b *Backend) staged(ctx context.Context, enc *core.Encoding, p service.Para
 		if ctx.Err() != nil {
 			break
 		}
+		clCtx, clSpan := obs.StartSpan(ctx, "classical."+name)
 		start := time.Now()
-		d, err := be.Solve(ctx, enc, subParams(p, nil))
+		d, err := be.Solve(clCtx, enc, subParams(p, nil))
 		c := vet(enc, name, d, err, time.Since(start))
+		clSpan.SetAttr("valid", c.Decoded != nil)
+		clSpan.End(err)
 		candidates = append(candidates, c)
 		if c.Decoded != nil && (incumbent == nil || c.Cost < incumbent.Cost) {
 			cc := c
@@ -61,10 +65,18 @@ func (b *Backend) staged(ctx context.Context, enc *core.Encoding, p service.Para
 		results := make(chan Candidate, len(portfolio))
 		for _, name := range portfolio {
 			be, _ := b.cfg.Registry.Get(name)
+			spanCtx, span := obs.StartSpan(ctx, "racer."+name)
+			span.SetAttr("warm_start", warm != nil)
 			go func(name string, be service.Backend) {
 				start := time.Now()
-				d, err := be.Solve(ctx, enc, subParams(p, warm))
-				results <- vet(enc, name, d, err, time.Since(start))
+				d, err := be.Solve(spanCtx, enc, subParams(p, warm))
+				c := vet(enc, name, d, err, time.Since(start))
+				span.SetAttr("valid", c.Decoded != nil)
+				// The staged portfolio has no private race context: the
+				// request context both cancels stragglers and carries the
+				// deadline, so it plays both roles here.
+				endRacerSpan(span, ctx, ctx, err)
+				results <- c
 			}(name, be)
 		}
 		// Anytime collection: candidates are folded in as they finish,

@@ -1,0 +1,203 @@
+package hybrid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"quantumjoin/internal/obs"
+	"quantumjoin/internal/service"
+)
+
+// findSpan walks a snapshot tree depth-first for the first span named name.
+func findSpan(s *obs.SpanSnapshot, name string) *obs.SpanSnapshot {
+	if s.Name == name {
+		return s
+	}
+	for i := range s.Children {
+		if found := findSpan(&s.Children[i], name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// openSpans counts spans still marked open in a snapshot tree.
+func openSpans(s *obs.SpanSnapshot) int {
+	n := 0
+	if s.Open {
+		n++
+	}
+	for i := range s.Children {
+		n += openSpans(&s.Children[i])
+	}
+	return n
+}
+
+// TestHybridTraceEndToEnd is the tracing acceptance path: one
+// POST /v1/optimize with the hybrid race strategy must yield a stored
+// trace — addressable by the response's X-Request-ID — whose tree carries
+// the encode stages, one child span per portfolio racer (with a
+// cancellation reason on the loser), and the decode stage.
+func TestHybridTraceEndToEnd(t *testing.T) {
+	reg := testRegistry(t)
+	if err := reg.Register(&slowBackend{}); err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(obs.Options{Capacity: 32, SampleRate: 1})
+	svc := service.New(reg, service.Config{Workers: 2, DefaultBackend: "dp", Tracer: tracer})
+	hb, err := New(Config{Registry: reg, Metrics: svc.Metrics()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(hb); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer func() {
+		ts.Close()
+		svc.Close(context.Background())
+	}()
+
+	raw, _ := json.Marshal(map[string]any{
+		"backend": "hybrid", "query": json.RawMessage(chainCatalog),
+		"strategy": "race", "portfolio": []string{"greedy", "slow"},
+		"thresholds": 2, "reads": 4, "seed": 11, "timeout_ms": 10000,
+	})
+	resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize: status %d", resp.StatusCode)
+	}
+	rid := resp.Header.Get("X-Request-ID")
+	if rid == "" {
+		t.Fatal("response carries no X-Request-ID")
+	}
+
+	tresp, err := http.Get(ts.URL + "/debug/traces?id=" + rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces?id=%s: status %d", rid, tresp.StatusCode)
+	}
+	var payload struct {
+		Traces []obs.TraceSnapshot `json:"traces"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Traces) != 1 {
+		t.Fatalf("got %d traces for id %s, want 1", len(payload.Traces), rid)
+	}
+	trace := payload.Traces[0]
+	if trace.TraceID != rid {
+		t.Errorf("trace id = %q, want the request id %q", trace.TraceID, rid)
+	}
+	root := &trace.Root
+	if root.Name != "optimize" {
+		t.Errorf("root span = %q, want optimize", root.Name)
+	}
+
+	// Encode stages (cold cache: the full MILP → BILP → QUBO chain ran).
+	for _, name := range []string{"encode", "encode.milp", "encode.bilp", "encode.qubo"} {
+		if findSpan(root, name) == nil {
+			t.Errorf("trace is missing span %q", name)
+		}
+	}
+	// One child span per racer, under the solve span.
+	solve := findSpan(root, "solve")
+	if solve == nil {
+		t.Fatal("trace is missing the solve span")
+	}
+	if findSpan(solve, "racer.greedy") == nil {
+		t.Error("trace is missing racer.greedy")
+	}
+	loser := findSpan(solve, "racer.slow")
+	if loser == nil {
+		t.Fatal("trace is missing racer.slow")
+	}
+	if reason, ok := loser.Attrs["cancel_reason"]; !ok || reason != "lost_race" {
+		t.Errorf("loser cancel_reason = %v, want lost_race (attrs %v)", reason, loser.Attrs)
+	}
+	if findSpan(root, "decode") == nil {
+		t.Error("trace is missing the decode span")
+	}
+	if n := openSpans(root); n != 0 {
+		t.Errorf("%d spans still open in the stored trace, want 0", n)
+	}
+}
+
+// TestRaceLoserSpansCloseExactlyOnce pins the racer span lifecycle under
+// -race: a cancelled loser's goroutine must close its span exactly once —
+// no span left open, no goroutine leaked — and record why it stopped.
+func TestRaceLoserSpansCloseExactlyOnce(t *testing.T) {
+	base := runtime.NumGoroutine()
+	reg := testRegistry(t)
+	released := make(chan struct{})
+	if err := reg.Register(&slowBackend{released: released}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(obs.Options{Capacity: 8, SampleRate: 1})
+
+	_, enc := cliqueInstance(t, 6, 3)
+	ctx := obs.NewContext(context.Background(), tracer)
+	ctx, root := tracer.Start(ctx, "test-root")
+	out, err := b.Orchestrate(ctx, enc, service.Params{
+		Reads: 4, Seed: 3,
+		Hybrid: service.HybridParams{Strategy: StrategyRace, Portfolio: []string{"greedy", "slow"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != "greedy" {
+		t.Errorf("winner = %q, want greedy (slow never answers)", out.Winner)
+	}
+	select {
+	case <-released:
+	case <-time.After(3 * time.Second):
+		t.Fatal("slow racer never observed cancellation")
+	}
+	// The loser closes its span before reporting its candidate, and the
+	// race drains reported losers before arbitrating — so by now every
+	// racer span under the root must be closed.
+	if n := root.OpenSpans(); n != 1 { // only the still-running root itself
+		t.Errorf("open spans under root = %d, want 1 (the root)", n)
+	}
+	root.End(nil)
+
+	trace, ok := tracer.Find(root.TraceID())
+	if !ok {
+		t.Fatal("trace was not stored despite SampleRate 1")
+	}
+	loser := findSpan(&trace.Root, "racer.slow")
+	if loser == nil {
+		t.Fatal("stored trace is missing racer.slow")
+	}
+	if loser.Open {
+		t.Error("loser span still open in stored trace")
+	}
+	if reason := loser.Attrs["cancel_reason"]; reason != "lost_race" {
+		t.Errorf("loser cancel_reason = %v, want lost_race", reason)
+	}
+	if loser.Error != "" {
+		t.Errorf("cancelled loser marked errored (%q); cancellation is an outcome, not a failure", loser.Error)
+	}
+	if n := openSpans(&trace.Root); n != 0 {
+		t.Errorf("%d spans still open in the stored trace, want 0", n)
+	}
+	settleGoroutines(t, base)
+}

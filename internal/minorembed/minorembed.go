@@ -20,6 +20,7 @@ import (
 	"math"
 	"math/rand"
 
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/topology"
 )
 
@@ -161,6 +162,17 @@ func Embed(source [][]int, target *topology.Graph, opts Options) (*Embedding, er
 // instead of finishing its attempt budget. On expiry it returns the best
 // embedding found so far, or the context error when there is none.
 func EmbedContext(ctx context.Context, source [][]int, target *topology.Graph, opts Options) (*Embedding, error) {
+	ctx, span := obs.StartSpan(ctx, "minorembed.embed")
+	span.SetAttr("vars", len(source))
+	emb, err := embedContext(ctx, source, target, opts)
+	if emb != nil {
+		span.SetAttr("physical_qubits", emb.PhysicalQubits())
+	}
+	span.End(err)
+	return emb, err
+}
+
+func embedContext(ctx context.Context, source [][]int, target *topology.Graph, opts Options) (*Embedding, error) {
 	if opts.Tries <= 0 {
 		opts.Tries = 8
 	}

@@ -1,0 +1,15 @@
+//go:build linux
+
+package obs
+
+import "syscall"
+
+// processCPUMicros returns the process's cumulative CPU time (user +
+// system) in microseconds via getrusage.
+func processCPUMicros() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Sec*1e6 + ru.Utime.Usec + ru.Stime.Sec*1e6 + ru.Stime.Usec
+}

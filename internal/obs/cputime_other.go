@@ -1,0 +1,7 @@
+//go:build !linux
+
+package obs
+
+// processCPUMicros has no portable stdlib implementation off Linux;
+// span CPU deltas report zero there (wall time is always recorded).
+func processCPUMicros() int64 { return 0 }

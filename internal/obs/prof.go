@@ -1,0 +1,23 @@
+package obs
+
+import "runtime/metrics"
+
+// profCounters is the process-wide counter pair sampled at span start
+// and end when Options.Profile is on. Deltas are approximate under
+// concurrency (both counters are process-global); they answer "is this
+// stage allocation-heavy / CPU-bound" rather than attributing bytes
+// exactly.
+type profCounters struct {
+	allocBytes uint64 // cumulative heap allocation
+	cpuMicros  int64  // process CPU time (user+sys), 0 where unsupported
+}
+
+func readProfCounters() profCounters {
+	sample := [1]metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(sample[:])
+	var alloc uint64
+	if sample[0].Value.Kind() == metrics.KindUint64 {
+		alloc = sample[0].Value.Uint64()
+	}
+	return profCounters{allocBytes: alloc, cpuMicros: processCPUMicros()}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter emits Prometheus text exposition format 0.0.4: HELP/TYPE
+// headers, label escaping, +Inf bucket bounds. It is a formatting
+// helper, not a metrics registry — callers (internal/service) walk their
+// own counters and write families in one pass per scrape.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w. Write errors are latched; check Err once done.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Family writes the # HELP and # TYPE headers for a metric family.
+// typ is counter, gauge, histogram, or summary.
+func (p *PromWriter) Family(name, help, typ string) {
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample writes one sample line: name{labels} value. Labels are emitted
+// in sorted key order so output is deterministic and testable.
+func (p *PromWriter) Sample(name string, labels map[string]string, value float64) {
+	p.printf("%s%s %s\n", name, formatLabels(labels), formatValue(value))
+}
+
+// Histogram writes a full cumulative histogram family for one label set:
+// _bucket lines with cumulative counts per le bound (ending at +Inf),
+// then _sum and _count. bounds and counts are parallel; counts[i] is the
+// count in (bounds[i-1], bounds[i]], and overflow is the count above the
+// last bound.
+func (p *PromWriter) Histogram(name string, labels map[string]string, bounds []float64, counts []int64, overflow int64, sum float64) {
+	cum := int64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		p.printf("%s_bucket%s %d\n", name, formatLabels(withLE(labels, formatValue(b))), cum)
+	}
+	cum += overflow
+	p.printf("%s_bucket%s %d\n", name, formatLabels(withLE(labels, "+Inf")), cum)
+	p.printf("%s_sum%s %s\n", name, formatLabels(labels), formatValue(sum))
+	p.printf("%s_count%s %d\n", name, formatLabels(labels), cum)
+}
+
+func withLE(labels map[string]string, le string) map[string]string {
+	out := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		out[k] = v
+	}
+	out["le"] = le
+	return out
+}
+
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range sortedLabelKeys(labels) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func sortedLabelKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedKeys sorts the keys of an attribute map (shared with render.go).
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// escapeLabelValue escapes per the exposition format: backslash, quote,
+// and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// escapeHelp escapes HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// formatValue renders a sample value; infinities use the +Inf/-Inf
+// spelling the format requires.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

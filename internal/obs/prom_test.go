@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPromWriterFormat(t *testing.T) {
+	var buf strings.Builder
+	p := NewPromWriter(&buf)
+	p.Family("qjoind_requests_total", "Total requests.", "counter")
+	p.Sample("qjoind_requests_total", map[string]string{"backend": "anneal"}, 17)
+	p.Sample("qjoind_up", nil, 1)
+	p.Sample("qjoind_weird", map[string]string{"v": "a\"b\\c\nd"}, math.Inf(1))
+	p.Histogram("qjoind_latency_seconds", map[string]string{"backend": "dp"},
+		[]float64{0.001, 0.01}, []int64{3, 2}, 1, 0.123)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP qjoind_requests_total Total requests.",
+		"# TYPE qjoind_requests_total counter",
+		`qjoind_requests_total{backend="anneal"} 17`,
+		"qjoind_up 1",
+		`qjoind_weird{v="a\"b\\c\nd"} +Inf`,
+		`qjoind_latency_seconds_bucket{backend="dp",le="0.001"} 3`,
+		`qjoind_latency_seconds_bucket{backend="dp",le="0.01"} 5`,
+		`qjoind_latency_seconds_bucket{backend="dp",le="+Inf"} 6`,
+		`qjoind_latency_seconds_sum{backend="dp"} 0.123`,
+		`qjoind_latency_seconds_count{backend="dp"} 6`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromLabelOrderDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	NewPromWriter(&a).Sample("m", map[string]string{"z": "1", "a": "2", "m": "3"}, 1)
+	NewPromWriter(&b).Sample("m", map[string]string{"m": "3", "a": "2", "z": "1"}, 1)
+	if a.String() != b.String() {
+		t.Fatalf("label order nondeterministic: %q vs %q", a.String(), b.String())
+	}
+	if !strings.HasPrefix(a.String(), `m{a="2",m="3",z="1"}`) {
+		t.Fatalf("labels not sorted: %q", a.String())
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"quantumjoin/internal/textplot"
+)
+
+// RenderFlame writes a flame-style text rendering of the trace: one bar
+// per span on the trace's time axis, children indented under parents,
+// with per-span durations, errors, and interesting attributes listed
+// below the chart. This is what /debug/traces?format=flame serves.
+func RenderFlame(w io.Writer, t TraceSnapshot, width int) {
+	var rows []textplot.SpanBar
+	collectBars(t.Root, 0, &rows)
+	title := fmt.Sprintf("trace %s  %.3fms  (kept: %s)", t.TraceID, t.DurationMs, t.Kept)
+	textplot.RenderSpans(w, title, rows, width)
+	fmt.Fprintln(w)
+	writeSpanDetails(w, t.Root, 0)
+}
+
+func collectBars(s SpanSnapshot, depth int, rows *[]textplot.SpanBar) {
+	*rows = append(*rows, textplot.SpanBar{
+		Label: s.Name,
+		Depth: depth,
+		Start: s.OffsetMs,
+		End:   s.OffsetMs + s.DurationMs,
+	})
+	for _, c := range s.Children {
+		collectBars(c, depth+1, rows)
+	}
+}
+
+func writeSpanDetails(w io.Writer, s SpanSnapshot, depth int) {
+	fmt.Fprintf(w, "%*s%s  %.3fms", 2*depth, "", s.Name, s.DurationMs)
+	if s.Open {
+		fmt.Fprint(w, "  [open]")
+	}
+	if s.Error != "" {
+		fmt.Fprintf(w, "  error=%q", s.Error)
+	}
+	for _, k := range sortedKeys(s.Attrs) {
+		fmt.Fprintf(w, "  %s=%v", k, s.Attrs[k])
+	}
+	if s.AllocBytes != 0 {
+		fmt.Fprintf(w, "  alloc=%dB", s.AllocBytes)
+	}
+	if s.CPUMicros != 0 {
+		fmt.Fprintf(w, "  cpu=%dµs", s.CPUMicros)
+	}
+	fmt.Fprintln(w)
+	for _, c := range s.Children {
+		writeSpanDetails(w, c, depth+1)
+	}
+}

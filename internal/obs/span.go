@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed operation in a trace. Spans form a tree under a root
+// span created by (*Tracer).Start; children are created by StartSpan on a
+// context carrying the parent. All methods are safe for concurrent use
+// and safe on a nil receiver, so instrumentation sites never branch on
+// whether tracing is enabled.
+type Span struct {
+	tracer  *Tracer
+	root    *Span // the trace's root span (self for roots)
+	traceID string
+	name    string
+	isRoot  bool
+
+	// start is the trace's wall-clock origin, set on the root only. Child
+	// spans record startOff/endOff as monotonic offsets from it: reading
+	// the monotonic clock (time.Since) is nearly half the cost of
+	// time.Now on the hot path, and offsets are what snapshots report
+	// anyway.
+	start    time.Time
+	startOff time.Duration
+
+	// prof, non-nil only when the tracer profiles, holds the counters
+	// sampled at span start; a pointer so unprofiled spans (the common
+	// case) don't carry or zero the extra words.
+	prof *profCounters
+
+	// errored is set (on the root) by any span in the trace ending with a
+	// non-nil error, so the tail sampler's error check is one atomic load
+	// instead of a locked tree walk.
+	errored atomic.Bool
+
+	mu         sync.Mutex
+	endOff     time.Duration
+	ended      bool
+	err        error
+	attrs      []attrKV
+	children   []*Span
+	keptReason string
+
+	allocBytes int64
+	cpuMicros  int64
+
+	// Inline backing for attrs and children: pipeline spans carry a
+	// handful of each, so the common case costs zero extra allocations
+	// (append falls back to the heap only past the inline capacity).
+	attrsBuf [3]attrKV
+	childBuf [4]*Span
+}
+
+// spanCtx is a context node and the span it carries, as one heap object:
+// deriving a child context per span is half the tracing allocation cost,
+// so the span is embedded in its own context.WithValue equivalent.
+type spanCtx struct {
+	context.Context // parent
+	span            Span
+}
+
+func (c *spanCtx) Value(key any) any {
+	if key == spanKey {
+		return &c.span
+	}
+	return c.Context.Value(key)
+}
+
+// startChild opens a child span under s.
+func (s *Span) startChild(ctx context.Context, name string) (context.Context, *Span) {
+	if s == nil {
+		return ctx, nil
+	}
+	sc := &spanCtx{Context: ctx}
+	c := &sc.span
+	c.tracer = s.tracer
+	c.root = s.root
+	c.traceID = s.traceID
+	c.name = name
+	c.startOff = time.Since(s.root.start)
+	if s.tracer.opts.Profile {
+		p := readProfCounters()
+		c.prof = &p
+	}
+	s.mu.Lock()
+	if s.children == nil {
+		s.children = s.childBuf[:0]
+	}
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return sc, c
+}
+
+// attrKV is one span attribute. Attributes live in a small slice rather
+// than a map: spans carry a handful at most, and the linear scan is
+// cheaper than a map allocation on the request hot path.
+type attrKV struct {
+	key string
+	val any
+}
+
+// SetAttr records a key/value attribute on the span. Values should be
+// JSON-encodable; later writes to the same key overwrite.
+func (s *Span) SetAttr(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i].val = v
+			s.mu.Unlock()
+			return
+		}
+	}
+	if s.attrs == nil {
+		s.attrs = s.attrsBuf[:0]
+	}
+	s.attrs = append(s.attrs, attrKV{key: key, val: v})
+	s.mu.Unlock()
+}
+
+// End closes the span, recording err (nil for success). Exactly the
+// first call wins; later calls are no-ops, so deferred Ends compose with
+// explicit early Ends. Ending a root span runs the tracer's sampling
+// policy and, when kept, publishes the trace to the store.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	off := time.Since(s.root.start)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.endOff = off
+	s.err = err
+	if s.prof != nil {
+		after := readProfCounters()
+		s.allocBytes = int64(after.allocBytes - s.prof.allocBytes)
+		s.cpuMicros = after.cpuMicros - s.prof.cpuMicros
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.root.errored.Store(true)
+	}
+	if s.isRoot {
+		s.tracer.finish(s)
+	}
+}
+
+// Err returns the error recorded at End (nil before End or on success).
+func (s *Span) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// TraceID returns the span's trace/request ID ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// duration is the span's wall time: end-start once ended, time-so-far
+// while still open.
+func (s *Span) duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durationLocked()
+}
+
+func (s *Span) durationLocked() time.Duration {
+	if s.ended {
+		return s.endOff - s.startOff
+	}
+	return time.Since(s.root.start) - s.startOff
+}
+
+// TraceSnapshot is the immutable, JSON-ready view of one trace.
+type TraceSnapshot struct {
+	TraceID    string       `json:"trace_id"`
+	Start      time.Time    `json:"start"`
+	DurationMs float64      `json:"duration_ms"`
+	Kept       string       `json:"kept,omitempty"` // error | slow | sampled
+	Root       SpanSnapshot `json:"root"`
+}
+
+// SpanSnapshot is the immutable view of one span within a trace.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	OffsetMs   float64        `json:"offset_ms"` // from trace start
+	DurationMs float64        `json:"duration_ms"`
+	Open       bool           `json:"open,omitempty"` // still running at snapshot time
+	Error      string         `json:"error,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	AllocBytes int64          `json:"alloc_bytes,omitempty"`
+	CPUMicros  int64          `json:"cpu_micros,omitempty"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Trace snapshots the whole tree under the (root) span. Snapshots are
+// taken at read time, so a racer span that ended after its trace was
+// stored appears closed here.
+func (s *Span) Trace() TraceSnapshot {
+	if s == nil {
+		return TraceSnapshot{}
+	}
+	s.mu.Lock()
+	reason := s.keptReason
+	s.mu.Unlock()
+	return TraceSnapshot{
+		TraceID:    s.traceID,
+		Start:      s.root.start,
+		DurationMs: float64(s.duration()) / float64(time.Millisecond),
+		Kept:       reason,
+		Root:       s.snapshot(),
+	}
+}
+
+// snapshot captures the span subtree; offsets are relative to the trace
+// start.
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	snap := SpanSnapshot{
+		Name:       s.name,
+		OffsetMs:   float64(s.startOff) / float64(time.Millisecond),
+		DurationMs: float64(s.durationLocked()) / float64(time.Millisecond),
+		Open:       !s.ended,
+		AllocBytes: s.allocBytes,
+		CPUMicros:  s.cpuMicros,
+	}
+	if s.err != nil {
+		snap.Error = s.err.Error()
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			snap.Attrs[a.key] = a.val
+		}
+	}
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		snap.Children = append(snap.Children, c.snapshot())
+	}
+	return snap
+}
+
+// OpenSpans counts spans in the tree not yet ended — the leak check used
+// by the cancellation tests.
+func (s *Span) OpenSpans() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	n := 0
+	if !s.ended {
+		n = 1
+	}
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		n += c.OpenSpans()
+	}
+	return n
+}

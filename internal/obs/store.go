@@ -1,0 +1,45 @@
+package obs
+
+import "sync/atomic"
+
+// ringStore is a lock-free bounded buffer of sampled root spans: writers
+// claim a slot with one atomic add and store the root pointer; readers
+// load each slot. Overwrites discard the oldest trace — the store is a
+// flight recorder, not an archive. Snapshots of the span trees happen at
+// read time (Span has its own fine-grained lock), so a trace stored while
+// a straggler racer span was still open renders closed once that span
+// ends.
+type ringStore struct {
+	slots []atomic.Pointer[Span]
+	next  atomic.Uint64
+}
+
+func newRingStore(capacity int) *ringStore {
+	return &ringStore{slots: make([]atomic.Pointer[Span], capacity)}
+}
+
+func (r *ringStore) add(root *Span) {
+	i := (r.next.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[i].Store(root)
+}
+
+// all returns the stored roots, most recent first.
+func (r *ringStore) all() []*Span {
+	n := r.next.Load()
+	out := make([]*Span, 0, len(r.slots))
+	cap64 := uint64(len(r.slots))
+	seen := make(map[*Span]bool, len(r.slots))
+	// Walk backwards from the most recently claimed slot. Slots may lag
+	// their claim (claim and store are two operations), so skip nils and
+	// de-duplicate in case of wrap-around races.
+	for k := uint64(0); k < cap64; k++ {
+		i := (n - 1 - k + cap64*2) % cap64
+		s := r.slots[i].Load()
+		if s == nil || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	return out
+}

@@ -14,6 +14,7 @@ import (
 
 	"quantumjoin/internal/circuit"
 	"quantumjoin/internal/noise"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/qsim"
 	"quantumjoin/internal/qubo"
 )
@@ -307,14 +308,22 @@ func RunContext(ctx context.Context, q *qubo.QUBO, p int, opt Optimizer, shots i
 		start.Gammas[i] = 0.01
 		start.Betas[i] = math.Pi / 8
 	}
+	_, optSpan := obs.StartSpan(ctx, "qaoa.optimize")
+	optSpan.SetAttr("layers", p)
+	optSpan.SetAttr("optimizer", opt.Name())
 	best, val, err := opt.Optimize(start, eval)
+	optSpan.SetAttr("evaluations", evals)
+	optSpan.End(err)
 	if err != nil {
 		return Result{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, fmt.Errorf("qaoa: cancelled before sampling: %w", err)
 	}
+	_, sampleSpan := obs.StartSpan(ctx, "qaoa.sample")
+	sampleSpan.SetAttr("shots", shots)
 	samples, err := ex.Sample(best, shots, rng)
+	sampleSpan.End(err)
 	if err != nil {
 		return Result{}, err
 	}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"quantumjoin/internal/obs"
 )
 
 // tabuCtxCheckIters is the flip interval at which SolveContext polls the
@@ -74,6 +76,8 @@ func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) 
 		if err := ctx.Err(); err != nil {
 			return best, fmt.Errorf("qubo: tabu search interrupted after %d/%d restarts: %w", r, restarts, err)
 		}
+		_, restartSpan := obs.StartSpan(ctx, "tabu.restart")
+		restartSpan.SetAttr("restart", r)
 		x := make([]bool, n)
 		if r == 0 && len(ts.InitialState) == n {
 			copy(x, ts.InitialState)
@@ -108,6 +112,7 @@ func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) 
 			if it%tabuCtxCheckIters == 0 {
 				if err := ctx.Err(); err != nil {
 					fold(localBest, localBestX)
+					restartSpan.End(err)
 					return best, fmt.Errorf("qubo: tabu search interrupted at restart %d/%d, flip %d/%d: %w", r, restarts, it, maxIters, err)
 				}
 			}
@@ -143,6 +148,8 @@ func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) 
 			}
 		}
 		fold(localBest, localBestX)
+		restartSpan.SetAttr("local_best", localBest)
+		restartSpan.End(nil)
 	}
 	return best, nil
 }

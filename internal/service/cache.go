@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -13,6 +14,7 @@ import (
 
 	"quantumjoin/internal/core"
 	"quantumjoin/internal/join"
+	"quantumjoin/internal/obs"
 )
 
 // EncodeSpec pins down every encoding-relevant request option; together
@@ -216,6 +218,15 @@ func NewEncodingCache(capacity int) *EncodingCache {
 // encode twice; the last insert wins, which is harmless because all
 // canonical encodings for a key are identical.
 func (c *EncodingCache) Encoding(q *join.Query, spec EncodeSpec) (enc *core.Encoding, perm []int, hit bool, err error) {
+	return c.EncodingContext(context.Background(), q, spec)
+}
+
+// EncodingContext is Encoding with tracing: a cache miss opens an
+// "encode" span (with the MILP/BILP/QUBO stage spans as children) in the
+// trace carried by ctx. A hit opens no span — nothing was encoded, and a
+// nanosecond map lookup as a span would be pure trace noise; the hit is
+// visible as the root span's cache_hit attribute instead.
+func (c *EncodingCache) EncodingContext(ctx context.Context, q *join.Query, spec EncodeSpec) (enc *core.Encoding, perm []int, hit bool, err error) {
 	spec = spec.withDefaults()
 	key, perm := Fingerprint(q, spec)
 	if enc, ok := c.get(key); ok {
@@ -223,15 +234,19 @@ func (c *EncodingCache) Encoding(q *join.Query, spec EncodeSpec) (enc *core.Enco
 		return enc, perm, true, nil
 	}
 	c.misses.Add(1)
+	ectx, span := obs.StartSpan(ctx, "encode")
 	cq := canonicalize(q, perm)
-	enc, err = core.Encode(cq, core.Options{
+	enc, err = core.EncodeContext(ectx, cq, core.Options{
 		Thresholds:   core.DefaultThresholds(cq, spec.Thresholds),
 		Omega:        spec.Omega,
 		LogObjective: spec.LogObjective,
 	})
 	if err != nil {
+		span.End(err)
 		return nil, nil, false, err
 	}
+	span.SetAttr("qubits", enc.NumQubits())
+	span.End(nil)
 	c.put(key, enc)
 	return enc, perm, false, nil
 }

@@ -18,6 +18,7 @@ import (
 	"quantumjoin/internal/core"
 	"quantumjoin/internal/faults"
 	"quantumjoin/internal/join"
+	"quantumjoin/internal/obs"
 	"quantumjoin/internal/service"
 )
 
@@ -276,6 +277,110 @@ func TestConcurrentLoadShedding(t *testing.T) {
 	snap := svc.MetricsSnapshot()
 	if snap.Requests.Shed != int64(sheds) {
 		t.Errorf("shed counter = %d, HTTP 503s = %d", snap.Requests.Shed, sheds)
+	}
+
+	srv.Close()
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestChaos503sCarryResolvableTraceIDs: under shed-heavy load with an
+// all-but-zero sample rate, every 503 must come back with an X-Request-ID
+// that resolves to a stored trace at /debug/traces?id= — load sheds end
+// the root span with an error, and errored traces bypass probabilistic
+// sampling. This is the operator's contract: any failed request in hand
+// can be explained after the fact.
+func TestChaos503sCarryResolvableTraceIDs(t *testing.T) {
+	base := runtime.NumGoroutine()
+	reg := service.NewRegistry()
+	if err := reg.Register(slowBackend{delay: 100 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	// SampleRate ~0: only the always-on policy (errors, slow requests)
+	// stores anything, so a resolvable 503 proves the error path, not luck.
+	tracer := obs.NewTracer(obs.Options{Capacity: 64, SampleRate: 1e-9})
+	svc := service.New(reg, service.Config{
+		Workers:        1,
+		QueueDepth:     1,
+		DefaultBackend: "slow",
+		Shed:           true,
+		Tracer:         tracer,
+	})
+	srv := httptest.NewServer(service.NewHandler(svc))
+	client := srv.Client()
+
+	const burst = 20
+	type shed struct {
+		id   string
+		body string
+	}
+	results := make([]shed, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(service.OptimizeRequest{
+				Query:     json.RawMessage(catalogBody),
+				Seed:      int64(i),
+				TimeoutMs: 2000,
+			})
+			resp, err := client.Post(srv.URL+"/v1/optimize", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				results[i] = shed{id: resp.Header.Get("X-Request-ID"), body: string(raw)}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	sheds := 0
+	for i, r := range results {
+		if r.id == "" && r.body == "" {
+			continue // not a 503
+		}
+		sheds++
+		if r.id == "" {
+			t.Errorf("request %d: 503 without X-Request-ID", i)
+			continue
+		}
+		// The error body repeats the ID so log lines and responses join up.
+		var e struct {
+			RequestID string `json:"request_id"`
+		}
+		if err := json.Unmarshal([]byte(r.body), &e); err != nil || e.RequestID != r.id {
+			t.Errorf("request %d: 503 body %q does not carry request_id %q", i, r.body, r.id)
+		}
+		resp, err := client.Get(srv.URL + "/debug/traces?id=" + r.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("request %d: 503 id %q does not resolve to a trace (status %d)", i, r.id, resp.StatusCode)
+			continue
+		}
+		var payload struct {
+			Traces []obs.TraceSnapshot `json:"traces"`
+		}
+		if err := json.Unmarshal(raw, &payload); err != nil || len(payload.Traces) != 1 {
+			t.Errorf("request %d: bad trace payload for id %q: %v", i, r.id, err)
+			continue
+		}
+		if got := payload.Traces[0]; got.TraceID != r.id || got.Kept != "error" {
+			t.Errorf("request %d: trace %q kept=%q, want the shed stored as an error trace", i, got.TraceID, got.Kept)
+		}
+	}
+	if sheds == 0 {
+		t.Fatal("burst produced no 503s; the test needs sheds to assert on")
 	}
 
 	srv.Close()

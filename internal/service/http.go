@@ -6,9 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"quantumjoin/internal/join"
+	"quantumjoin/internal/obs"
 )
 
 // OptimizeRequest is the POST /v1/optimize body. Query uses the join
@@ -57,32 +59,59 @@ type OptimizeResponse struct {
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // NewHandler exposes the service as an HTTP/JSON API:
 //
-//	POST /v1/optimize  — run one optimisation job
-//	GET  /v1/backends  — list registered backends
-//	GET  /metrics      — JSON observability snapshot
-//	GET  /healthz      — liveness probe
+//	POST /v1/optimize   — run one optimisation job
+//	GET  /v1/backends   — list registered backends
+//	GET  /metrics       — Prometheus text exposition
+//	GET  /metrics.json  — JSON observability snapshot
+//	GET  /debug/traces  — recent request traces (JSON; ?id=, ?format=flame)
+//	GET  /debug/pprof/* — runtime profiles (only with Config.Pprof)
+//	GET  /healthz       — liveness probe
+//
+// Every request gets a request ID (an inbound X-Request-ID is adopted,
+// otherwise one is generated), echoed as the X-Request-ID response
+// header, attached to the context for structured logs and traces, and
+// included in error bodies — a 503's ID resolves to its stored trace at
+// /debug/traces?id=.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/optimize", s.handleOptimize)
 	mux.HandleFunc("/v1/backends", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			writeError(r.Context(), w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"backends": s.Backends()})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			writeError(r.Context(), w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = s.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(r.Context(), w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
 		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 	})
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		health := s.Health()
 		status := "ok"
@@ -100,37 +129,118 @@ func NewHandler(s *Service) http.Handler {
 			"health":   health,
 		})
 	})
-	return mux
+	return s.withRequestID(mux)
+}
+
+// withRequestID is the outermost middleware: request-ID minting and
+// propagation, logger injection, and one structured access-log line per
+// request.
+func (s *Service) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		ctx := obs.WithRequestID(r.Context(), id)
+		if s.cfg.Logger != nil {
+			ctx = obs.WithLogger(ctx, s.cfg.Logger)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.InfoContext(ctx, "request",
+				"method", r.Method, "path", r.URL.Path,
+				"status", sw.status,
+				"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond))
+		}
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// handleTraces serves the tracer's ring buffer: all recent traces as
+// JSON, one trace by ?id= (404 when unknown or expired), and a
+// flame-style text rendering with ?format=flame.
+func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(r.Context(), w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	tracer := s.cfg.Tracer
+	if tracer == nil {
+		writeError(r.Context(), w, http.StatusNotFound, "tracing is not enabled")
+		return
+	}
+	var traces []obs.TraceSnapshot
+	if id := r.URL.Query().Get("id"); id != "" {
+		t, ok := tracer.Find(id)
+		if !ok {
+			writeError(r.Context(), w, http.StatusNotFound, "no stored trace with id "+id)
+			return
+		}
+		traces = []obs.TraceSnapshot{t}
+	} else {
+		traces = tracer.Snapshots()
+	}
+	if r.URL.Query().Get("format") == "flame" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		for _, t := range traces {
+			obs.RenderFlame(w, t, 72)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces": traces,
+		"stats":  tracer.Stats(),
+	})
 }
 
 func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(ctx, w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var body OptimizeRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		writeError(ctx, w, http.StatusBadRequest, "invalid request body: "+err.Error())
 		return
 	}
 	if len(body.Query) == 0 {
-		writeError(w, http.StatusBadRequest, `missing "query"`)
+		writeError(ctx, w, http.StatusBadRequest, `missing "query"`)
 		return
 	}
 	q, err := join.ReadCatalog(bytes.NewReader(body.Query))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid query: "+err.Error())
+		writeError(ctx, w, http.StatusBadRequest, "invalid query: "+err.Error())
 		return
 	}
 	if body.TimeoutMs < 0 {
-		writeError(w, http.StatusBadRequest, `"timeout_ms" must be >= 0 (0 or absent selects the server default)`)
+		writeError(ctx, w, http.StatusBadRequest, `"timeout_ms" must be >= 0 (0 or absent selects the server default)`)
 		return
+	}
+	backend := body.Backend
+	if qp := r.URL.Query().Get("backend"); qp != "" {
+		// The query parameter wins over the body so operators can steer a
+		// canned request at another backend without editing the payload.
+		backend = qp
 	}
 	req := &Request{
 		Query:   q,
-		Backend: body.Backend,
+		Backend: backend,
 		Spec: EncodeSpec{
 			Thresholds:   body.Thresholds,
 			Omega:        body.Omega,
@@ -147,9 +257,9 @@ func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		},
 		Timeout: time.Duration(body.TimeoutMs) * time.Millisecond,
 	}
-	resp, err := s.Optimize(r.Context(), req)
+	resp, err := s.Optimize(ctx, req)
 	if err != nil {
-		writeError(w, statusFor(err), err.Error())
+		writeError(ctx, w, statusFor(err), err.Error())
 		return
 	}
 	names := make([]string, len(resp.Order))
@@ -195,11 +305,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
+func writeError(ctx context.Context, w http.ResponseWriter, status int, msg string) {
 	if status == http.StatusServiceUnavailable {
 		// Load sheds and open breakers are transient by construction;
 		// tell well-behaved clients when to come back.
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, status, errorResponse{Error: msg})
+	writeJSON(w, status, errorResponse{Error: msg, RequestID: obs.RequestID(ctx)})
 }

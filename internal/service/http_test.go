@@ -253,7 +253,7 @@ func TestHTTPConcurrentRequestsAndMetrics(t *testing.T) {
 		t.Error(err)
 	}
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ type histogram struct {
 	counts    []atomic.Int64 // len(latencyBucketMs)+1, last = overflow
 	sumMicros atomic.Int64
 	count     atomic.Int64
+	maxMicros atomic.Int64 // largest single observation
 }
 
 func newHistogram() *histogram {
@@ -28,13 +29,22 @@ func (h *histogram) observe(d time.Duration) {
 		i++
 	}
 	h.counts[i].Add(1)
-	h.sumMicros.Add(d.Microseconds())
+	us := d.Microseconds()
+	h.sumMicros.Add(us)
 	h.count.Add(1)
+	for {
+		cur := h.maxMicros.Load()
+		if us <= cur || h.maxMicros.CompareAndSwap(cur, us) {
+			break
+		}
+	}
 }
 
 // quantile estimates the q-quantile (0 < q < 1) in milliseconds by linear
-// interpolation within the containing bucket; observations in the overflow
-// bucket report the last bound (a lower bound on the truth).
+// interpolation within the containing bucket. Quantiles landing in the
+// overflow (+Inf) bucket interpolate between the last finite bound and
+// the largest observation seen, instead of reporting the raw bucket edge
+// (which under-reported arbitrarily badly for heavy upper tails).
 func (h *histogram) quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -52,7 +62,21 @@ func (h *histogram) quantile(q float64) float64 {
 		cum += n
 		lower = bound
 	}
-	return latencyBucketMs[len(latencyBucketMs)-1]
+	n := float64(h.counts[len(latencyBucketMs)].Load())
+	maxMs := float64(h.maxMicros.Load()) / 1000
+	if n == 0 || maxMs <= lower {
+		// Nothing overflowed (or the max itself sits at the edge): the
+		// last finite bound is the best statement the histogram can make.
+		return lower
+	}
+	frac := (target - cum) / n
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return lower + frac*(maxMs-lower)
 }
 
 // LatencySnapshot summarises one histogram.
@@ -178,7 +202,7 @@ type RequestsSnapshot struct {
 	Panics   int64 `json:"panics"`
 }
 
-// Snapshot is the full /metrics payload.
+// Snapshot is the full /metrics.json payload.
 type Snapshot struct {
 	UptimeSeconds float64                    `json:"uptime_seconds"`
 	Requests      RequestsSnapshot           `json:"requests"`

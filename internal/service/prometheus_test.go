@@ -1,0 +1,358 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"quantumjoin/internal/obs"
+)
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromText is a strict parser for the Prometheus text exposition
+// format 0.0.4 — enough of it to fail the test on anything a real scraper
+// would reject: malformed names, unquoted or unescaped label values,
+// unparsable sample values, TYPE lines after samples of their family, or
+// duplicate (name, labels) series.
+func parsePromText(t *testing.T, body string) (samples []promSample, types map[string]string) {
+	t.Helper()
+	types = make(map[string]string)
+	helps := make(map[string]string)
+	seen := make(map[string]bool)
+	sampled := make(map[string]bool) // family base name → sample emitted
+
+	sc := bufio.NewScanner(strings.NewReader(body))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(text, "# HELP "), " ", 2)
+			if len(parts) != 2 || !promNameRe.MatchString(parts[0]) {
+				t.Fatalf("line %d: malformed HELP: %q", line, text)
+			}
+			helps[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(text, "# TYPE "))
+			if len(parts) != 2 || !promNameRe.MatchString(parts[0]) {
+				t.Fatalf("line %d: malformed TYPE: %q", line, text)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: invalid metric type %q", line, parts[1])
+			}
+			if sampled[parts[0]] {
+				t.Fatalf("line %d: TYPE for %q after its samples", line, parts[0])
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // other comments are legal
+		}
+		s := parsePromSample(t, line, text)
+		samples = append(samples, s)
+		sampled[promFamilyOf(s.name)] = true
+		key := s.name + labelKey(s.labels)
+		if seen[key] {
+			t.Fatalf("line %d: duplicate series %s", line, key)
+		}
+		seen[key] = true
+		if _, ok := types[promFamilyOf(s.name)]; !ok {
+			t.Errorf("line %d: sample %q has no TYPE", line, s.name)
+		}
+		if _, ok := helps[promFamilyOf(s.name)]; !ok {
+			t.Errorf("line %d: sample %q has no HELP", line, s.name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples, types
+}
+
+// promFamilyOf strips the histogram sample suffixes back to the family
+// name declared by TYPE.
+func promFamilyOf(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suffix); base != name {
+			return base
+		}
+	}
+	return name
+}
+
+func labelKey(labels map[string]string) string {
+	parts := make([]string, 0, len(labels))
+	for k, v := range labels {
+		parts = append(parts, k+"="+v)
+	}
+	// Order-insensitive key: good enough for duplicate detection here.
+	for i := range parts {
+		for j := i + 1; j < len(parts); j++ {
+			if parts[j] < parts[i] {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func parsePromSample(t *testing.T, line int, text string) promSample {
+	t.Helper()
+	s := promSample{labels: make(map[string]string)}
+	rest := text
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		t.Fatalf("line %d: no value separator: %q", line, text)
+	} else {
+		s.name = rest[:i]
+		rest = rest[i:]
+	}
+	if !promNameRe.MatchString(s.name) {
+		t.Fatalf("line %d: invalid metric name %q", line, s.name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			t.Fatalf("line %d: unterminated label set: %q", line, text)
+		}
+		for _, pair := range splitLabelPairs(t, line, rest[1:end]) {
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				t.Fatalf("line %d: malformed label pair %q", line, pair)
+			}
+			k, quoted := pair[:eq], pair[eq+1:]
+			if !promLabelRe.MatchString(k) {
+				t.Fatalf("line %d: invalid label name %q", line, k)
+			}
+			if len(quoted) < 2 || quoted[0] != '"' || quoted[len(quoted)-1] != '"' {
+				t.Fatalf("line %d: label value not quoted: %q", line, pair)
+			}
+			v, err := unescapePromLabel(quoted[1 : len(quoted)-1])
+			if err != nil {
+				t.Fatalf("line %d: bad escape in %q: %v", line, pair, err)
+			}
+			s.labels[k] = v
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		t.Fatalf("line %d: expected value [timestamp], got %q", line, rest)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		t.Fatalf("line %d: bad value %q: %v", line, fields[0], err)
+	}
+	s.value = v
+	return s
+}
+
+// splitLabelPairs splits k="v",k2="v2" on commas outside quotes.
+func splitLabelPairs(t *testing.T, line int, s string) []string {
+	t.Helper()
+	if s == "" {
+		return nil
+	}
+	var pairs []string
+	inQuote, escaped, start := false, false, 0
+	for i, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+		case r == '\\':
+			escaped = true
+		case r == '"':
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			pairs = append(pairs, s[start:i])
+			start = i + 1
+		}
+	}
+	if inQuote {
+		t.Fatalf("line %d: unterminated quote in labels %q", line, s)
+	}
+	return append(pairs, s[start:])
+}
+
+func unescapePromLabel(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("trailing backslash")
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// TestMetricsEndpointIsValidPrometheus drives real traffic through the
+// service and asserts the /metrics output survives a strict parse of the
+// text exposition format, with the families and invariants a scraper
+// relies on: cumulative histogram buckets ending at +Inf, _count matching
+// the +Inf bucket, and the core request counters present and consistent.
+func TestMetricsEndpointIsValidPrometheus(t *testing.T) {
+	svc, ts := newTestServer(t)
+	_ = svc
+	for i := 0; i < 3; i++ {
+		resp, body := postOptimize(t, ts.URL, map[string]any{
+			"backend": "dp", "query": json.RawMessage(pairCatalog),
+			"seed": i, "timeout_ms": 30000,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("optimize: status %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parsePromText(t, string(raw))
+
+	byName := make(map[string][]promSample)
+	for _, s := range samples {
+		byName[s.name] = append(byName[s.name], s)
+	}
+
+	if got := byName["qjoind_requests_total"]; len(got) != 1 || got[0].value != 3 {
+		t.Errorf("qjoind_requests_total = %+v, want single sample of 3", got)
+	}
+	if types["qjoind_requests_total"] != "counter" {
+		t.Errorf("qjoind_requests_total TYPE = %q, want counter", types["qjoind_requests_total"])
+	}
+	if types["qjoind_backend_latency_seconds"] != "histogram" {
+		t.Errorf("latency TYPE = %q, want histogram", types["qjoind_backend_latency_seconds"])
+	}
+
+	// Histogram invariants for the backend that served the traffic.
+	var buckets []promSample
+	for _, s := range byName["qjoind_backend_latency_seconds_bucket"] {
+		if s.labels["backend"] == "dp" {
+			buckets = append(buckets, s)
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no latency buckets for backend dp")
+	}
+	last := buckets[len(buckets)-1]
+	if last.labels["le"] != "+Inf" {
+		t.Errorf("terminal bucket le = %q, want +Inf", last.labels["le"])
+	}
+	prev := -1.0
+	prevLE := math.Inf(-1)
+	for _, b := range buckets {
+		le, err := parsePromValue(b.labels["le"])
+		if err != nil {
+			t.Fatalf("bad le %q: %v", b.labels["le"], err)
+		}
+		if le <= prevLE {
+			t.Errorf("le bounds not increasing: %v after %v", le, prevLE)
+		}
+		if b.value < prev {
+			t.Errorf("bucket counts not cumulative: %v (le=%v) after %v", b.value, le, prev)
+		}
+		prev, prevLE = b.value, le
+	}
+	var count float64
+	for _, s := range byName["qjoind_backend_latency_seconds_count"] {
+		if s.labels["backend"] == "dp" {
+			count = s.value
+		}
+	}
+	if count != last.value {
+		t.Errorf("_count = %v, +Inf bucket = %v; must match", count, last.value)
+	}
+	if count != 3 {
+		t.Errorf("_count = %v, want 3 observations", count)
+	}
+}
+
+// TestMetricsIncludesTracerThroughput: with a tracer configured, /metrics
+// carries the tracer counters too.
+func TestMetricsIncludesTracerThroughput(t *testing.T) {
+	reg := DefaultRegistry(RegistryConfig{PegasusM: 3, QAOAIterations: 2})
+	tracer := obs.NewTracer(obs.Options{Capacity: 8, SampleRate: 1})
+	svc := New(reg, Config{Workers: 2, DefaultBackend: "dp", Tracer: tracer})
+	defer svc.Close(context.Background())
+
+	if _, err := svc.Optimize(context.Background(), &Request{Query: pairQuery(), Backend: "dp"}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := svc.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := parsePromText(t, sb.String())
+	found := false
+	for _, s := range samples {
+		if s.name == "qjoind_traces_started_total" {
+			found = true
+			if s.value < 1 {
+				t.Errorf("qjoind_traces_started_total = %v, want >= 1", s.value)
+			}
+		}
+	}
+	if !found {
+		t.Error("qjoind_traces_started_total missing with tracer configured")
+	}
+}

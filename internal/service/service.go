@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
 	"time"
 
 	"quantumjoin/internal/classical"
 	"quantumjoin/internal/core"
 	"quantumjoin/internal/join"
+	"quantumjoin/internal/obs"
 )
 
 // ErrBadRequest marks client errors (invalid query, unknown backend,
@@ -48,6 +50,17 @@ type Config struct {
 	// Client errors (ErrBadRequest) never degrade. cmd/qjoind enables it
 	// by default; the zero value keeps the strict fail-fast behaviour.
 	Degrade bool
+	// Tracer, when non-nil, traces every request: a root "optimize" span
+	// with encode/solve/decode children (and deeper backend-specific
+	// spans), tail-sampled into the tracer's ring buffer and served at
+	// /debug/traces. Nil disables tracing at near-zero cost.
+	Tracer *obs.Tracer
+	// Logger receives structured request/degradation/resilience logs with
+	// request IDs injected from the context. Nil discards.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the service's
+	// HTTP handler. Off by default: profiling endpoints are opt-in.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -177,21 +190,37 @@ func (s *Service) Close(ctx context.Context) error {
 	return s.pool.Shutdown(ctx)
 }
 
-// Optimize runs one request through the pool under its deadline.
+// Optimize runs one request through the pool under its deadline. When
+// the service has a tracer, the whole request runs under a root
+// "optimize" span — errors (including sheds) end the span in error, so
+// the tail sampler always keeps their traces.
 func (s *Service) Optimize(ctx context.Context, req *Request) (*Response, error) {
 	start := time.Now()
 	s.metrics.requests.Add(1)
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
 
+	ctx, span := s.cfg.Tracer.Start(ctx, "optimize")
+	if req != nil && req.Backend != "" {
+		span.SetAttr("backend", req.Backend)
+	}
+
 	resp, err := s.optimize(ctx, req, start)
 	if err != nil {
 		s.metrics.errors.Add(1)
 		if errors.Is(err, ErrOverloaded) {
 			s.metrics.sheds.Add(1)
+			span.SetAttr("shed", true)
 		}
+		span.End(err)
 		return nil, err
 	}
+	span.SetAttr("producer", resp.Backend)
+	span.SetAttr("cost", resp.Cost)
+	if resp.Degraded {
+		span.SetAttr("degraded", true)
+	}
+	span.End(nil)
 	return resp, nil
 }
 
@@ -247,14 +276,19 @@ func (s *Service) optimize(ctx context.Context, req *Request, start time.Time) (
 // solve, result vetting, optional classical degradation, and mapping the
 // canonical-labelled result back into the request's indexing.
 func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Response, error) {
-	enc, perm, hit, err := s.cache.Encoding(req.Query, req.Spec)
+	// On a miss the cache opens the "encode" span; a hit is recorded as
+	// an attribute on the active (root) span rather than a noise span.
+	enc, perm, hit, err := s.cache.EncodingContext(ctx, req.Query, req.Spec)
+	obs.ActiveSpan(ctx).SetAttr("cache_hit", hit)
 	if err != nil {
 		return nil, fmt.Errorf("service: encoding failed: %v: %w", err, ErrBadRequest)
 	}
 
 	bm := s.metrics.Backend(backend.Name())
+	solveCtx, solveSpan := obs.StartSpan(ctx, "solve")
+	solveSpan.SetAttr("backend", backend.Name())
 	solveStart := time.Now()
-	d, err := s.safeSolve(ctx, backend, enc, req.Params)
+	d, err := s.safeSolve(solveCtx, backend, enc, req.Params)
 	if err == nil {
 		// Never trust a backend's result structurally: an unreliable QPU
 		// (or a fault injector standing in for one) can return corrupted
@@ -263,6 +297,7 @@ func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Re
 		err = vetDecoded(enc, backend.Name(), d)
 	}
 	bm.Observe(time.Since(solveStart), err)
+	solveSpan.End(err)
 
 	producer := backend.Name()
 	degraded := false
@@ -271,16 +306,22 @@ func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Re
 		if !s.cfg.Degrade || errors.Is(err, ErrBadRequest) {
 			return nil, err
 		}
-		d, producer = s.fallback(ctx, enc)
+		fbCtx, fbSpan := obs.StartSpan(ctx, "degrade")
+		d, producer = s.fallback(fbCtx, enc)
+		fbSpan.SetAttr("fallback", producer)
+		fbSpan.End(nil)
 		degraded, reason = true, err.Error()
 		s.metrics.degrades.Add(1)
 		if errors.Is(err, ErrPanic) {
 			s.metrics.panics.Add(1)
 		}
+		obs.Logger(ctx).WarnContext(ctx, "backend failed, degrading to classical plan",
+			"backend", backend.Name(), "fallback", producer, "error", reason)
 	}
 
 	// The backend solved the canonical instance; translate the order back
 	// into the request's relation indexing (costs are label-invariant).
+	_, decodeSpan := obs.StartSpan(ctx, "decode")
 	inv := make([]int, len(perm))
 	for orig, canon := range perm {
 		inv[canon] = orig
@@ -309,6 +350,7 @@ func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Re
 			resp.Optimal = resp.Cost <= opt.Cost*(1+1e-9)+1e-12
 		}
 	}
+	decodeSpan.End(nil)
 	return resp, nil
 }
 

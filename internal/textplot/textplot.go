@@ -69,6 +69,68 @@ func RenderBoxplots(w io.Writer, title string, rows []Boxplot, width int) {
 	fmt.Fprintf(w, "%-*s  %-*.4g%*.4g\n", labelW, "", width/2, lo, width-width/2, hi)
 }
 
+// SpanBar is one row of a flame-style span chart: a labelled horizontal
+// bar spanning [Start, End) on a shared time axis, indented by Depth.
+type SpanBar struct {
+	Label      string
+	Depth      int
+	Start, End float64
+}
+
+// RenderSpans draws a trace as a flame-style chart — one bar per span,
+// children indented under their parent, all on the trace's time axis:
+//
+//	optimize        │██████████████████████████│
+//	  encode        │██                        │
+//	  solve         │   ███████████████████    │
+//
+// Rows are drawn in the order given (callers emit depth-first so the
+// indentation reads as a tree).
+func RenderSpans(w io.Writer, title string, rows []SpanBar, width int) {
+	if width < 20 {
+		width = 60
+	}
+	if len(rows) == 0 {
+		return
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for _, r := range rows {
+		lo = math.Min(lo, r.Start)
+		hi = math.Max(hi, r.End)
+		if n := len(r.Label) + 2*r.Depth; n > labelW {
+			labelW = n
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	scale := func(v float64) int {
+		p := int(float64(width) * (v - lo) / span)
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	fmt.Fprintln(w, title)
+	for _, r := range rows {
+		line := make([]rune, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for i := scale(r.Start); i <= scale(r.End); i++ {
+			line[i] = '█'
+		}
+		label := strings.Repeat("  ", r.Depth) + r.Label
+		fmt.Fprintf(w, "%-*s │%s│\n", labelW, label, string(line))
+	}
+	fmt.Fprintf(w, "%-*s  %-*.4g%*.4g\n", labelW, "", width/2, lo, width-width/2, hi)
+}
+
 // Series is one labelled curve for a line chart.
 type Series struct {
 	Label string
