@@ -1,0 +1,582 @@
+// Command loadgen drives a qjoind cluster hard and writes a benchmark
+// report (BENCH_cluster.json). The run has three phases:
+//
+//  1. sequential — -seq individual POST /v1/optimize requests spread over
+//     -c workers and all -targets round-robin;
+//  2. batch — -batch-requests items posted as /v1/optimize/batch
+//     envelopes of -batch-size;
+//  3. coalesce — -coalesce bursts of -coalesce-width byte-identical
+//     concurrent requests, which the owning node must collapse into one
+//     solve each.
+//
+// Queries are deterministic (-seed): -shapes distinct chain queries over
+// -relations relations with log-uniform cardinalities. Every latency is
+// recorded exactly (no reservoir), so the reported p50/p99 are true
+// quantiles. Before and after the run the tool scrapes GET /v1/cluster on
+// every target and reports the counter deltas (forwards, coalesced
+// solves, batch splits) alongside the latency numbers.
+//
+// Gates (exit 1 when violated): -min-2xx success ratio, zero 5xx,
+// -require-forwards (the fleet actually forwarded), -require-coalesce
+// (the singleflight actually collapsed bursts).
+//
+// With -profile the tool additionally measures per-query service rate of
+// the batch endpoint against the sequential endpoint on the same
+// workload, using the BENCH_obs methodology: -rounds interleaved rounds,
+// rotating which mode runs first, reporting the median of per-round
+// paired ratios (drift moves both sides of a ratio together; the median
+// rejects outlier rounds), plus a fixed-bucket latency histogram.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quantumjoin/internal/cluster"
+)
+
+// Report is the BENCH_cluster.json schema.
+type Report struct {
+	Targets        []string       `json:"targets"`
+	TotalRequests  int64          `json:"total_requests"`
+	TotalItems     int64          `json:"total_items"`
+	ElapsedSeconds float64        `json:"elapsed_seconds"`
+	ThroughputQPS  float64        `json:"throughput_qps"`
+	Sequential     *PhaseReport   `json:"sequential,omitempty"`
+	Batch          *PhaseReport   `json:"batch,omitempty"`
+	Coalesce       *PhaseReport   `json:"coalesce,omitempty"`
+	Status         StatusCounts   `json:"status"`
+	Cluster        ClusterDeltas  `json:"cluster"`
+	Profile        *ProfileReport `json:"profile,omitempty"`
+	Gates          Gates          `json:"gates"`
+	Pass           bool           `json:"pass"`
+}
+
+// PhaseReport summarises one load phase. Requests counts HTTP round
+// trips; Items counts optimisation jobs (for the batch phase one request
+// carries many items). Latency quantiles are per HTTP round trip.
+type PhaseReport struct {
+	Requests       int64   `json:"requests"`
+	Items          int64   `json:"items"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	ThroughputQPS  float64 `json:"throughput_qps"` // items per second
+	P50Ms          float64 `json:"p50_ms"`
+	P90Ms          float64 `json:"p90_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MaxMs          float64 `json:"max_ms"`
+}
+
+// StatusCounts aggregates response classes over the whole run.
+type StatusCounts struct {
+	OK2xx     int64 `json:"2xx"`
+	Client4xx int64 `json:"4xx"`
+	Server5xx int64 `json:"5xx"`
+	Transport int64 `json:"transport_errors"`
+}
+
+// ClusterDeltas is the sum over all targets of the /v1/cluster counter
+// movement during the run.
+type ClusterDeltas struct {
+	RoutedLocal    int64 `json:"routed_local"`
+	Forwards       int64 `json:"forwards"`
+	ForwardErrors  int64 `json:"forward_errors"`
+	ForcedLocal    int64 `json:"forced_local"`
+	CoalesceJoined int64 `json:"coalesce_joined"`
+	BatchSplits    int64 `json:"batch_splits"`
+	BatchForwards  int64 `json:"batch_forwards"`
+	BatchFallbacks int64 `json:"batch_fallbacks"`
+}
+
+// ProfileReport is the -profile output: the batch endpoint's per-query
+// advantage over the sequential endpoint on the same workload, plus the
+// run's latency histogram.
+type ProfileReport struct {
+	Rounds             int            `json:"rounds"`
+	QueriesPerRound    int            `json:"queries_per_round"`
+	NsPerQuerySeq      float64        `json:"ns_per_query_sequential"`
+	NsPerQueryBatch    float64        `json:"ns_per_query_batch"`
+	BatchSpeedup       float64        `json:"batch_speedup"` // median of per-round seq/batch ratios
+	LatencyHistogramMs []HistogramBin `json:"latency_histogram_ms"`
+	PerRoundSpeedups   []float64      `json:"per_round_speedups"`
+}
+
+// HistogramBin is one cumulative latency bucket (Prometheus-style le;
+// the overflow bucket is "+Inf").
+type HistogramBin struct {
+	LeMs  string `json:"le_ms"`
+	Count int64  `json:"count"`
+}
+
+// Gates records which hard checks were armed and whether each held.
+type Gates struct {
+	Min2xxRatio     float64 `json:"min_2xx_ratio"`
+	Got2xxRatio     float64 `json:"got_2xx_ratio"`
+	OK2xx           bool    `json:"ok_2xx"`
+	Zero5xx         bool    `json:"zero_5xx"`
+	RequireForwards bool    `json:"require_forwards"`
+	ForwardsSeen    bool    `json:"forwards_seen"`
+	RequireCoalesce bool    `json:"require_coalesce"`
+	CoalesceSeen    bool    `json:"coalesce_seen"`
+}
+
+// workload is the deterministic query corpus: one optimize body and one
+// batch item per shape, identical bytes on every use so coalescing and
+// cross-node cache keys behave as in production.
+type workload struct {
+	bodies [][]byte // full /v1/optimize bodies
+	items  []string // raw items for batch envelopes
+}
+
+func buildWorkload(shapes, relations int, backend string, seed int64) *workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &workload{}
+	for s := 0; s < shapes; s++ {
+		var rels, preds []string
+		for i := 0; i < relations; i++ {
+			// Log-uniform cardinalities in [10, 1e5): the cost landscape
+			// varies enough that join order actually matters.
+			card := math.Exp(rng.Float64()*math.Log(1e4)) * 10
+			rels = append(rels, fmt.Sprintf(`{"name": "r%d", "cardinality": %.0f}`, i, card))
+			if i > 0 {
+				sel := math.Exp(rng.Float64() * math.Log(1e-3)) // (0.001, 1]
+				preds = append(preds, fmt.Sprintf(`{"left": "r%d", "right": "r%d", "selectivity": %.6f}`, i-1, i, sel))
+			}
+		}
+		// A third of the shapes get one extra edge so not everything is a
+		// pure chain.
+		if relations > 2 && s%3 == 0 {
+			a := rng.Intn(relations - 2)
+			b := a + 2 + rng.Intn(relations-a-2)
+			preds = append(preds, fmt.Sprintf(`{"left": "r%d", "right": "r%d", "selectivity": %.6f}`, a, b, 0.01))
+		}
+		query := fmt.Sprintf(`{"relations": [%s], "predicates": [%s]}`,
+			strings.Join(rels, ", "), strings.Join(preds, ", "))
+		item := fmt.Sprintf(`{"query": %s, "seed": 7`, query)
+		if backend != "" {
+			item += fmt.Sprintf(`, "backend": %q`, backend)
+		}
+		item += `}`
+		w.items = append(w.items, item)
+		w.bodies = append(w.bodies, []byte(item))
+	}
+	return w
+}
+
+// collector accumulates per-request latencies and status classes from
+// many workers.
+type collector struct {
+	mu        sync.Mutex
+	latencies []float64 // ms per HTTP round trip
+	status    StatusCounts
+}
+
+func (c *collector) record(ms float64, status int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.latencies = append(c.latencies, ms)
+	switch {
+	case err != nil:
+		c.status.Transport++
+	case status >= 500:
+		c.status.Server5xx++
+	case status >= 400:
+		c.status.Client4xx++
+	default:
+		c.status.OK2xx++
+	}
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func (c *collector) phase(items int64, elapsed time.Duration) *PhaseReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sorted := append([]float64(nil), c.latencies...)
+	sort.Float64s(sorted)
+	p := &PhaseReport{
+		Requests:       int64(len(c.latencies)),
+		Items:          items,
+		ElapsedSeconds: elapsed.Seconds(),
+		P50Ms:          quantile(sorted, 0.50),
+		P90Ms:          quantile(sorted, 0.90),
+		P99Ms:          quantile(sorted, 0.99),
+	}
+	if len(sorted) > 0 {
+		p.MaxMs = sorted[len(sorted)-1]
+	}
+	if elapsed > 0 {
+		p.ThroughputQPS = float64(items) / elapsed.Seconds()
+	}
+	return p
+}
+
+// post issues one POST and records it; the body is discarded after a full
+// read so connections are reused.
+func post(client *http.Client, url string, body []byte, c *collector) (status int) {
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		c.record(ms, 0, err)
+		return 0
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	c.record(ms, resp.StatusCode, nil)
+	return resp.StatusCode
+}
+
+// runWorkers fans n jobs over c workers; job i calls fn(i).
+func runWorkers(n, c int, fn func(i int)) time.Duration {
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// scrape reads one target's cluster counters (zero value when the target
+// does not expose /v1/cluster, e.g. a non-clustered daemon).
+func scrape(client *http.Client, target string) cluster.Counters {
+	resp, err := client.Get(target + "/v1/cluster")
+	if err != nil {
+		return cluster.Counters{}
+	}
+	defer resp.Body.Close()
+	var status cluster.StatusResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&status) != nil {
+		return cluster.Counters{}
+	}
+	return status.Counters
+}
+
+func scrapeAll(client *http.Client, targets []string) map[string]cluster.Counters {
+	out := make(map[string]cluster.Counters, len(targets))
+	for _, t := range targets {
+		out[t] = scrape(client, t)
+	}
+	return out
+}
+
+func deltas(before, after map[string]cluster.Counters) ClusterDeltas {
+	var d ClusterDeltas
+	for t, b := range before {
+		a := after[t]
+		d.RoutedLocal += a.RoutedLocal - b.RoutedLocal
+		d.Forwards += a.Forwards - b.Forwards
+		d.ForwardErrors += a.ForwardErrors - b.ForwardErrors
+		d.ForcedLocal += a.ForcedLocal - b.ForcedLocal
+		d.CoalesceJoined += a.CoalesceJoined - b.CoalesceJoined
+		d.BatchSplits += a.BatchSplits - b.BatchSplits
+		d.BatchForwards += a.BatchForwards - b.BatchForwards
+		d.BatchFallbacks += a.BatchFallbacks - b.BatchFallbacks
+	}
+	return d
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+var histogramBoundsMs = []float64{0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+func histogram(latencies []float64) []HistogramBin {
+	bins := make([]HistogramBin, len(histogramBoundsMs)+1)
+	counts := make([]int64, len(histogramBoundsMs)+1)
+	for _, ms := range latencies {
+		i := sort.SearchFloat64s(histogramBoundsMs, ms)
+		counts[i]++
+	}
+	var cum int64
+	for i, b := range histogramBoundsMs {
+		cum += counts[i]
+		bins[i] = HistogramBin{LeMs: strconv.FormatFloat(b, 'g', -1, 64), Count: cum}
+	}
+	bins[len(histogramBoundsMs)] = HistogramBin{LeMs: "+Inf", Count: cum + counts[len(histogramBoundsMs)]}
+	return bins
+}
+
+func main() {
+	targetsFlag := flag.String("targets", "http://127.0.0.1:8077", "comma-separated qjoind base URLs")
+	seq := flag.Int("seq", 2000, "sequential phase: individual /v1/optimize requests")
+	batchRequests := flag.Int("batch-requests", 8000, "batch phase: total items sent through /v1/optimize/batch")
+	batchSize := flag.Int("batch-size", 50, "batch phase: items per envelope")
+	coalesceBursts := flag.Int("coalesce", 20, "coalesce phase: number of identical-request bursts")
+	coalesceWidth := flag.Int("coalesce-width", 32, "coalesce phase: concurrent identical requests per burst")
+	concurrency := flag.Int("c", 32, "worker goroutines for the sequential and batch phases")
+	shapes := flag.Int("shapes", 64, "distinct query shapes in the workload")
+	relations := flag.Int("relations", 6, "relations per query")
+	backend := flag.String("backend", "", "backend to request (empty = server default)")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	profile := flag.Bool("profile", false, "measure batch vs sequential per-query service rate (paired rounds)")
+	rounds := flag.Int("rounds", 5, "profile rounds (median of paired per-round ratios)")
+	profileQueries := flag.Int("profile-queries", 2000, "queries per profile round and mode")
+	out := flag.String("o", "BENCH_cluster.json", "report file")
+	min2xx := flag.Float64("min-2xx", 0.99, "fail unless at least this fraction of requests got 2xx")
+	requireForwards := flag.Bool("require-forwards", false, "fail unless the cluster forwarded at least one request")
+	requireCoalesce := flag.Bool("require-coalesce", false, "fail unless at least one request was coalesced")
+	requestTimeout := flag.Duration("request-timeout", 60*time.Second, "client-side timeout per HTTP request")
+	flag.Parse()
+
+	targets := strings.Split(*targetsFlag, ",")
+	for i := range targets {
+		targets[i] = strings.TrimSpace(strings.TrimSuffix(targets[i], "/"))
+	}
+	if len(targets) == 0 || targets[0] == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: no targets")
+		os.Exit(2)
+	}
+	w := buildWorkload(*shapes, *relations, *backend, *seed)
+	client := &http.Client{
+		Timeout: *requestTimeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * *concurrency,
+			MaxIdleConnsPerHost: 2 * *concurrency,
+		},
+	}
+
+	report := Report{Targets: targets, Gates: Gates{
+		Min2xxRatio:     *min2xx,
+		RequireForwards: *requireForwards,
+		RequireCoalesce: *requireCoalesce,
+	}}
+	before := scrapeAll(client, targets)
+	runStart := time.Now()
+	all := &collector{}
+	merge := func(c *collector) {
+		all.mu.Lock()
+		defer all.mu.Unlock()
+		all.latencies = append(all.latencies, c.latencies...)
+		all.status.OK2xx += c.status.OK2xx
+		all.status.Client4xx += c.status.Client4xx
+		all.status.Server5xx += c.status.Server5xx
+		all.status.Transport += c.status.Transport
+	}
+
+	// Phase 1: sequential.
+	if *seq > 0 {
+		c := &collector{}
+		elapsed := runWorkers(*seq, *concurrency, func(i int) {
+			post(client, targets[i%len(targets)]+"/v1/optimize", w.bodies[i%len(w.bodies)], c)
+		})
+		report.Sequential = c.phase(int64(*seq), elapsed)
+		report.TotalRequests += int64(*seq)
+		report.TotalItems += int64(*seq)
+		merge(c)
+		fmt.Fprintf(os.Stderr, "loadgen: sequential %d reqs in %.1fs (%.0f qps, p99 %.1fms)\n",
+			*seq, elapsed.Seconds(), report.Sequential.ThroughputQPS, report.Sequential.P99Ms)
+	}
+
+	// Phase 2: batch envelopes.
+	if *batchRequests > 0 && *batchSize > 0 {
+		envelopes := (*batchRequests + *batchSize - 1) / *batchSize
+		rng := rand.New(rand.NewSource(*seed + 1))
+		bodies := make([][]byte, envelopes)
+		remaining := *batchRequests
+		for e := range bodies {
+			n := *batchSize
+			if n > remaining {
+				n = remaining
+			}
+			remaining -= n
+			items := make([]string, n)
+			for j := range items {
+				items[j] = w.items[rng.Intn(len(w.items))]
+			}
+			bodies[e] = []byte(`{"requests": [` + strings.Join(items, ", ") + `]}`)
+		}
+		c := &collector{}
+		elapsed := runWorkers(envelopes, *concurrency, func(i int) {
+			post(client, targets[i%len(targets)]+"/v1/optimize/batch", bodies[i], c)
+		})
+		report.Batch = c.phase(int64(*batchRequests), elapsed)
+		report.TotalRequests += int64(envelopes)
+		report.TotalItems += int64(*batchRequests)
+		merge(c)
+		fmt.Fprintf(os.Stderr, "loadgen: batch %d items / %d envelopes in %.1fs (%.0f items/s, envelope p99 %.1fms)\n",
+			*batchRequests, envelopes, elapsed.Seconds(), report.Batch.ThroughputQPS, report.Batch.P99Ms)
+	}
+
+	// Phase 3: coalesce bursts — width identical bodies in flight at once
+	// against one target each.
+	if *coalesceBursts > 0 && *coalesceWidth > 0 {
+		c := &collector{}
+		start := time.Now()
+		for b := 0; b < *coalesceBursts; b++ {
+			body := w.bodies[b%len(w.bodies)]
+			target := targets[b%len(targets)] + "/v1/optimize"
+			var wg sync.WaitGroup
+			for k := 0; k < *coalesceWidth; k++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					post(client, target, body, c)
+				}()
+			}
+			wg.Wait()
+		}
+		elapsed := time.Since(start)
+		n := int64(*coalesceBursts) * int64(*coalesceWidth)
+		report.Coalesce = c.phase(n, elapsed)
+		report.TotalRequests += n
+		report.TotalItems += n
+		merge(c)
+		fmt.Fprintf(os.Stderr, "loadgen: coalesce %d bursts x %d in %.1fs (p99 %.1fms)\n",
+			*coalesceBursts, *coalesceWidth, elapsed.Seconds(), report.Coalesce.P99Ms)
+	}
+
+	report.ElapsedSeconds = time.Since(runStart).Seconds()
+	if report.ElapsedSeconds > 0 {
+		report.ThroughputQPS = float64(report.TotalItems) / report.ElapsedSeconds
+	}
+	report.Status = all.status
+	report.Cluster = deltas(before, scrapeAll(client, targets))
+
+	// Profile: paired sequential-vs-batch rounds on the same workload.
+	if *profile {
+		report.Profile = runProfile(client, targets, w, *profileQueries, *batchSize, *rounds, *concurrency, *seed, all)
+	}
+
+	// Gates.
+	total := float64(report.Status.OK2xx + report.Status.Client4xx + report.Status.Server5xx + report.Status.Transport)
+	if total > 0 {
+		report.Gates.Got2xxRatio = float64(report.Status.OK2xx) / total
+	}
+	report.Gates.OK2xx = report.Gates.Got2xxRatio >= *min2xx
+	report.Gates.Zero5xx = report.Status.Server5xx == 0
+	report.Gates.ForwardsSeen = report.Cluster.Forwards+report.Cluster.BatchForwards > 0
+	report.Gates.CoalesceSeen = report.Cluster.CoalesceJoined > 0
+	report.Pass = report.Gates.OK2xx && report.Gates.Zero5xx &&
+		(!*requireForwards || report.Gates.ForwardsSeen) &&
+		(!*requireCoalesce || report.Gates.CoalesceSeen)
+
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests / %d items in %.1fs (%.0f items/s), 2xx %.3f, forwards %d, coalesced %d -> %s\n",
+		report.TotalRequests, report.TotalItems, report.ElapsedSeconds, report.ThroughputQPS,
+		report.Gates.Got2xxRatio, report.Cluster.Forwards, report.Cluster.CoalesceJoined, *out)
+	if !report.Pass {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: gates %+v\n", report.Gates)
+		os.Exit(1)
+	}
+}
+
+// runProfile measures the per-query service rate of the batch endpoint
+// against the sequential endpoint on an identical query list, in
+// interleaved rounds with rotating start order.
+func runProfile(client *http.Client, targets []string, w *workload, queries, batchSize, rounds, concurrency int, seed int64, all *collector) *ProfileReport {
+	rng := rand.New(rand.NewSource(seed + 2))
+	idx := make([]int, queries)
+	for i := range idx {
+		idx[i] = rng.Intn(len(w.items))
+	}
+	envelopes := (queries + batchSize - 1) / batchSize
+	batchBodies := make([][]byte, envelopes)
+	for e := range batchBodies {
+		lo, hi := e*batchSize, (e+1)*batchSize
+		if hi > queries {
+			hi = queries
+		}
+		items := make([]string, 0, hi-lo)
+		for _, k := range idx[lo:hi] {
+			items = append(items, w.items[k])
+		}
+		batchBodies[e] = []byte(`{"requests": [` + strings.Join(items, ", ") + `]}`)
+	}
+
+	runSeq := func() float64 {
+		c := &collector{}
+		elapsed := runWorkers(queries, concurrency, func(i int) {
+			post(client, targets[i%len(targets)]+"/v1/optimize", w.bodies[idx[i]], c)
+		})
+		return float64(elapsed.Nanoseconds()) / float64(queries)
+	}
+	runBatch := func() float64 {
+		c := &collector{}
+		elapsed := runWorkers(envelopes, concurrency, func(i int) {
+			post(client, targets[i%len(targets)]+"/v1/optimize/batch", batchBodies[i], c)
+		})
+		return float64(elapsed.Nanoseconds()) / float64(queries)
+	}
+
+	seqNs := make([]float64, rounds)
+	batchNs := make([]float64, rounds)
+	for r := 0; r < rounds; r++ {
+		// Rotate which mode runs first so neither systematically enjoys
+		// the quieter slot.
+		if r%2 == 0 {
+			seqNs[r] = runSeq()
+			batchNs[r] = runBatch()
+		} else {
+			batchNs[r] = runBatch()
+			seqNs[r] = runSeq()
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: profile round %d: seq %.0f ns/q, batch %.0f ns/q (x%.2f)\n",
+			r+1, seqNs[r], batchNs[r], seqNs[r]/batchNs[r])
+	}
+	speedups := make([]float64, rounds)
+	for r := range speedups {
+		speedups[r] = seqNs[r] / batchNs[r]
+	}
+	all.mu.Lock()
+	hist := histogram(all.latencies)
+	all.mu.Unlock()
+	return &ProfileReport{
+		Rounds:             rounds,
+		QueriesPerRound:    queries,
+		NsPerQuerySeq:      median(seqNs),
+		NsPerQueryBatch:    median(seqNs) / median(speedups),
+		BatchSpeedup:       median(speedups),
+		LatencyHistogramMs: hist,
+		PerRoundSpeedups:   speedups,
+	}
+}

@@ -9,8 +9,12 @@
 //
 // Endpoints:
 //
-//	POST /v1/optimize   — optimise one query (see README for the schema)
+//	POST /v1/optimize       — optimise one query (see README for the schema)
+//	POST /v1/optimize/batch — optimise many queries in one envelope, with
+//	                          deduplication and batched backend solves
 //	GET  /v1/backends   — list registered backends
+//	GET  /v1/cluster    — cluster membership, peer health, routing counters
+//	                      (only with -self/-peers)
 //	GET  /metrics       — Prometheus text exposition of all counters,
 //	                      latency histograms, cache and breaker state
 //	GET  /metrics.json  — the same observability state as one JSON document
@@ -34,6 +38,15 @@
 // (rejections, aborts, result corruption, queue waits, calibration
 // blackouts) underneath the resilience stack for drills and benchmarks.
 //
+// With -self and -peers the daemon joins a static fleet: every node
+// derives the same consistent-hash ring from the peer list, keyed by the
+// permutation-invariant query fingerprint, so any node can forward a
+// request to the node owning its encoding-cache entry (at most
+// -forward-hops hops; X-Served-By names the solver). Concurrent identical
+// requests coalesce into one solve, batch envelopes are split across
+// owners, and peer health is polled over /healthz so traffic routes
+// around down nodes.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops,
 // queued requests drain, and in-flight solves finish (bounded by the
 // shutdown grace period).
@@ -51,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"quantumjoin/internal/cluster"
 	"quantumjoin/internal/faults"
 	"quantumjoin/internal/hybrid"
 	"quantumjoin/internal/noise"
@@ -99,6 +113,12 @@ func main() {
 	traceCapacity := flag.Int("trace-capacity", 256, "stored trace ring size for /debug/traces")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	logFormat := flag.String("log-format", "text", "log encoding: text or json")
+	self := flag.String("self", "", "cluster: this node's base URL as listed in -peers (empty disables clustering)")
+	peers := flag.String("peers", "", "cluster: comma-separated base URLs of every cluster member, including -self")
+	vnodes := flag.Int("vnodes", cluster.DefaultVirtualNodes, "cluster: virtual nodes per member on the consistent-hash ring")
+	forwardHops := flag.Int("forward-hops", 1, "cluster: max forwards per request before it must be served locally")
+	gossipInterval := flag.Duration("gossip-interval", 2*time.Second, "cluster: peer health polling period")
+	peerDownAfter := flag.Int("peer-down-after", 2, "cluster: consecutive probe/forward failures that mark a peer down")
 	flag.Parse()
 
 	if *traceSample < 0 || *traceSample > 1 {
@@ -190,9 +210,40 @@ func main() {
 		fail(fmt.Errorf("qjoind: %w", err))
 	}
 
+	// Clustering wraps the service handler with the consistent-hash
+	// forwarding proxy: requests whose WL-hash key another node owns are
+	// forwarded there (sticky encoding caches), identical concurrent
+	// requests coalesce into one solve, and batch envelopes are split by
+	// owner. A single-node deployment skips the wrapper entirely.
+	handler := http.Handler(service.NewHandler(svc))
+	if *self != "" {
+		node, err := cluster.NewNode(handler, cluster.NodeConfig{
+			Self:         *self,
+			Peers:        splitList(*peers),
+			VirtualNodes: *vnodes,
+			MaxHops:      *forwardHops,
+			Gossip: cluster.GossipConfig{
+				Interval:  *gossipInterval,
+				DownAfter: *peerDownAfter,
+			},
+			Tracer: tracer,
+			Logger: logger,
+		})
+		if err != nil {
+			fail(fmt.Errorf("qjoind: %w", err))
+		}
+		node.Start()
+		defer node.Stop()
+		handler = node
+		logger.Info("clustering enabled",
+			"self", *self, "peers", *peers, "vnodes", *vnodes, "max_hops", *forwardHops)
+	} else if *peers != "" {
+		usageError("-peers requires -self")
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

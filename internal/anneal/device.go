@@ -180,7 +180,7 @@ func (d *Device) SampleEmbedded(q *qubo.QUBO, emb *minorembed.Embedding, reads i
 func (d *Device) SampleEmbeddedContext(ctx context.Context, q *qubo.QUBO, emb *minorembed.Embedding, reads int, annealTimeMicros float64, seed int64) (*Result, error) {
 	ctx, span := obs.StartSpan(ctx, "anneal.sample")
 	span.SetAttr("reads", reads)
-	res, err := d.sampleEmbeddedContext(ctx, q, emb, reads, annealTimeMicros, seed)
+	res, err := d.sampleEmbeddedContext(ctx, q, emb, reads, annealTimeMicros, seed, nil)
 	if res != nil {
 		span.SetAttr("sweeps", int(annealTimeMicros*d.SweepsPerMicrosecond))
 		span.SetAttr("chain_break_fraction", res.ChainBreakFraction)
@@ -190,7 +190,11 @@ func (d *Device) SampleEmbeddedContext(ctx context.Context, q *qubo.QUBO, emb *m
 	return res, err
 }
 
-func (d *Device) sampleEmbeddedContext(ctx context.Context, q *qubo.QUBO, emb *minorembed.Embedding, reads int, annealTimeMicros float64, seed int64) (*Result, error) {
+// sampleEmbeddedContext runs the read loop. scratch, when non-nil, is a
+// reusable perturbation buffer (structurally a copy of the physical
+// problem) that replaces the per-read Copy allocation — the batch fast
+// path passes one scratch per job and amortises it across all reads.
+func (d *Device) sampleEmbeddedContext(ctx context.Context, q *qubo.QUBO, emb *minorembed.Embedding, reads int, annealTimeMicros float64, seed int64, scratch *scratchPool) (*Result, error) {
 	physical, chainOf, err := d.buildPhysical(q, emb)
 	if err != nil {
 		return nil, err
@@ -242,7 +246,11 @@ func (d *Device) sampleEmbeddedContext(ctx context.Context, q *qubo.QUBO, emb *m
 		}
 		prob := physical
 		if d.SigmaH > 0 || d.SigmaJ > 0 {
-			prob = physical.Copy()
+			if scratch != nil {
+				prob = scratch.perturbCopy(physical)
+			} else {
+				prob = physical.Copy()
+			}
 			prob.Perturb(d.SigmaH, d.SigmaJ, rng)
 		}
 		var gauge GaugeTransform

@@ -114,6 +114,25 @@ func (p *IsingProblem) Copy() *IsingProblem {
 	return c
 }
 
+// CopyInto overwrites dst with p's coefficients without allocating. dst
+// must have been created as a Copy of p (same spin count and adjacency
+// structure); only the field, coupling, and constant values are refreshed.
+// This is the per-read reset of the batch sampling fast path, replacing a
+// full Copy per read with a value refresh of a reused scratch problem.
+func (p *IsingProblem) CopyInto(dst *IsingProblem) {
+	if dst.N() != p.N() {
+		panic(fmt.Sprintf("anneal: CopyInto size mismatch: %d != %d spins", dst.N(), p.N()))
+	}
+	copy(dst.H, p.H)
+	dst.Const = p.Const
+	for i := range p.Adj {
+		if len(dst.Adj[i]) != len(p.Adj[i]) {
+			panic(fmt.Sprintf("anneal: CopyInto adjacency mismatch on spin %d", i))
+		}
+		copy(dst.Adj[i], p.Adj[i])
+	}
+}
+
 // Perturb adds independent Gaussian noise to every field (sigmaH) and
 // every coupling (sigmaJ) — D-Wave's integrated control errors (ICE).
 // Couplings are stored twice (once per endpoint); both copies receive the

@@ -1,0 +1,465 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quantumjoin/internal/classical"
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/service"
+)
+
+// testBackend is a fast deterministic backend; when block is set, solves
+// park on it so tests can control exactly when the solve completes.
+type testBackend struct {
+	calls atomic.Int64
+	block chan struct{}
+}
+
+func (b *testBackend) Name() string { return "test" }
+
+func (b *testBackend) Solve(ctx context.Context, enc *core.Encoding, p service.Params) (*core.Decoded, error) {
+	b.calls.Add(1)
+	if b.block != nil {
+		select {
+		case <-b.block:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	res := classical.Greedy(enc.Query)
+	return &core.Decoded{Valid: true, Order: res.Order, Cost: res.Cost}, nil
+}
+
+type testCluster struct {
+	urls     []string
+	nodes    []*Node
+	servers  []*http.Server
+	backends []*testBackend
+}
+
+// startCluster boots n qjoind nodes on loopback, each wrapped in a
+// cluster Node over the same peer list. Gossip polling is not started;
+// tests that need it call Start on a node themselves.
+func startCluster(t *testing.T, n int, configure func(i int, nc *NodeConfig, b *testBackend)) *testCluster {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+	tc := &testCluster{urls: urls}
+	for i := range listeners {
+		backend := &testBackend{}
+		reg := service.NewRegistry()
+		if err := reg.Register(backend); err != nil {
+			t.Fatal(err)
+		}
+		svc := service.New(reg, service.Config{Workers: 4, DefaultBackend: "test"})
+		nc := NodeConfig{
+			Self:   urls[i],
+			Peers:  urls,
+			Gossip: GossipConfig{Interval: 50 * time.Millisecond, Timeout: time.Second, DownAfter: 1},
+		}
+		if configure != nil {
+			configure(i, &nc, backend)
+		}
+		node, err := NewNode(service.NewHandler(svc), nc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: node}
+		go func(l net.Listener) { _ = srv.Serve(l) }(listeners[i])
+		tc.nodes = append(tc.nodes, node)
+		tc.servers = append(tc.servers, srv)
+		tc.backends = append(tc.backends, backend)
+		t.Cleanup(func() {
+			_ = srv.Close()
+			svc.Close(context.Background())
+		})
+	}
+	return tc
+}
+
+// catalogFor builds a 3-relation chain catalog whose fingerprint varies
+// with card, plus the equivalent join.Query for ring lookups.
+func catalogFor(card int) (string, *join.Query) {
+	catalog := fmt.Sprintf(`{
+		"relations": [
+			{"name": "a", "cardinality": %d},
+			{"name": "b", "cardinality": 500},
+			{"name": "c", "cardinality": 2000}
+		],
+		"predicates": [
+			{"left": "a", "right": "b", "selectivity": 0.05},
+			{"left": "b", "right": "c", "selectivity": 0.01}
+		]
+	}`, card)
+	q := &join.Query{
+		Relations: []join.Relation{
+			{Name: "a", Card: float64(card)},
+			{Name: "b", Card: 500},
+			{Name: "c", Card: 2000},
+		},
+		Predicates: []join.Predicate{
+			{R1: 0, R2: 1, Sel: 0.05},
+			{R1: 1, R2: 2, Sel: 0.01},
+		},
+	}
+	return catalog, q
+}
+
+// catalogOwnedBy searches for a catalog whose routing key lands on owner.
+func catalogOwnedBy(t *testing.T, r *Ring, owner string, from int) (string, int) {
+	t.Helper()
+	for card := from; card < from+5000; card++ {
+		_, q := catalogFor(card)
+		key, _ := service.Fingerprint(q, service.EncodeSpec{})
+		if r.Owner(key) == owner {
+			catalog, _ := catalogFor(card)
+			return catalog, card
+		}
+	}
+	t.Fatalf("no catalog found owned by %s", owner)
+	return "", 0
+}
+
+func postJSON(t *testing.T, url string, body string, header map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestClusterForwardsToOwner(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	ring := tc.nodes[0].Ring()
+
+	// A request owned by node 1 posted to node 0 must be answered by
+	// node 1.
+	catalog, _ := catalogOwnedBy(t, ring, tc.urls[1], 10)
+	resp, raw := postJSON(t, tc.urls[0]+"/v1/optimize", `{"query": `+catalog+`}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get(HeaderServedBy); got != tc.urls[1] {
+		t.Errorf("served by %q, want owner %s", got, tc.urls[1])
+	}
+	var out service.OptimizeResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.CacheKey == "" || len(out.Order) != 3 {
+		t.Errorf("forwarded response incomplete: %s", raw)
+	}
+	if c := tc.nodes[0].Counters(); c.Forwards != 1 || c.RoutedLocal != 0 {
+		t.Errorf("sender counters = %+v, want exactly one forward", c)
+	}
+	if c := tc.nodes[1].Counters(); c.RoutedLocal != 1 {
+		t.Errorf("owner counters = %+v, want one local serve", c)
+	}
+
+	// The same request posted directly to its owner stays local.
+	resp, raw = postJSON(t, tc.urls[1]+"/v1/optimize", `{"query": `+catalog+`}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get(HeaderServedBy); got != tc.urls[1] {
+		t.Errorf("direct request served by %q, want %s", got, tc.urls[1])
+	}
+	if c := tc.nodes[1].Counters(); c.Forwards != 0 {
+		t.Errorf("owner forwarded its own key: %+v", c)
+	}
+}
+
+func TestClusterHopLimit(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	catalog, _ := catalogOwnedBy(t, tc.nodes[0].Ring(), tc.urls[1], 10)
+
+	// A request that already travelled MaxHops is served where it lands,
+	// owner or not — this is the loop bound.
+	resp, raw := postJSON(t, tc.urls[0]+"/v1/optimize", `{"query": `+catalog+`}`,
+		map[string]string{HeaderForwardHops: "1", HeaderForwardedNode: tc.urls[2]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get(HeaderServedBy); got != tc.urls[0] {
+		t.Errorf("hop-limited request served by %q, want local %s", got, tc.urls[0])
+	}
+	c := tc.nodes[0].Counters()
+	if c.ForcedLocal != 1 || c.Forwards != 0 {
+		t.Errorf("counters = %+v, want one forced-local serve and no forward", c)
+	}
+}
+
+func TestClusterMalformedBodiesPassThrough(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	for _, body := range []string{`{`, `{"unknown_field": 1}`, `{"backend": "test"}`} {
+		resp, raw := postJSON(t, tc.urls[0]+"/v1/optimize", body, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d (%s), want 400 from the inner handler", body, resp.StatusCode, raw)
+		}
+		if got := resp.Header.Get(HeaderServedBy); got != tc.urls[0] {
+			t.Errorf("body %q served by %q, want local passthrough", body, got)
+		}
+	}
+}
+
+func TestClusterBatchSplit(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	ring := tc.nodes[0].Ring()
+
+	// Two items per owner plus one invalid item that must fail alone.
+	var items []string
+	from := 10
+	for _, owner := range tc.urls {
+		for j := 0; j < 2; j++ {
+			catalog, card := catalogOwnedBy(t, ring, owner, from)
+			from = card + 1
+			items = append(items, `{"query": `+catalog+`}`)
+		}
+	}
+	items = append(items, `{"backend": "test"}`) // no query
+	body := `{"requests": [` + joinStrings(items, ",") + `]}`
+
+	resp, raw := postJSON(t, tc.urls[0]+"/v1/optimize/batch", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get(HeaderServedBy); got != tc.urls[0] {
+		t.Errorf("batch served by %q, want the splitting node", got)
+	}
+	var out service.BatchResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Items != 7 || len(out.Results) != 7 {
+		t.Fatalf("items=%d results=%d, want 7", out.Items, len(out.Results))
+	}
+	for i, res := range out.Results[:6] {
+		if res.Response == nil || len(res.Response.Order) != 3 {
+			t.Errorf("item %d failed: %+v", i, res)
+		}
+	}
+	if bad := out.Results[6]; bad.Response != nil || bad.Status != http.StatusBadRequest {
+		t.Errorf("invalid item = %+v, want a per-item 400", bad)
+	}
+	c := tc.nodes[0].Counters()
+	if c.BatchSplits != 1 || c.BatchForwards != 2 || c.BatchFallbacks != 0 {
+		t.Errorf("counters = %+v, want 1 split and 2 forwarded sub-batches", c)
+	}
+	// Each peer must have solved its own share.
+	for i := 1; i < 3; i++ {
+		if got := tc.backends[i].calls.Load(); got != 2 {
+			t.Errorf("node %d solved %d instances, want its 2 owned items", i, got)
+		}
+	}
+}
+
+func joinStrings(items []string, sep string) string {
+	var b bytes.Buffer
+	for i, s := range items {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+func TestClusterPeerDownFallsBackLocally(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	catalog, _ := catalogOwnedBy(t, tc.nodes[0].Ring(), tc.urls[1], 10)
+
+	// Kill the owner.
+	_ = tc.servers[1].Close()
+
+	// First request: the forward fails at the transport and the sender
+	// solves locally.
+	resp, raw := postJSON(t, tc.urls[0]+"/v1/optimize", `{"query": `+catalog+`}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get(HeaderServedBy); got != tc.urls[0] {
+		t.Errorf("served by %q, want local fallback on %s", got, tc.urls[0])
+	}
+	c := tc.nodes[0].Counters()
+	if c.ForwardErrors != 1 || c.RoutedLocal != 1 {
+		t.Fatalf("counters after dead forward = %+v", c)
+	}
+
+	// The failure marked the peer down (DownAfter=1), so the second
+	// request reroutes on the ring without attempting the forward.
+	resp, raw = postJSON(t, tc.urls[0]+"/v1/optimize", `{"query": `+catalog+`}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	c = tc.nodes[0].Counters()
+	if c.ForwardErrors != 1 || c.RoutedLocal != 2 || c.Forwards != 0 {
+		t.Errorf("counters after reroute = %+v, want no second forward attempt", c)
+	}
+	if tc.nodes[0].gossip.Healthy(tc.urls[1]) {
+		t.Error("dead peer still reported healthy")
+	}
+}
+
+func TestClusterCoalescingEndToEnd(t *testing.T) {
+	const n = 8
+	release := make(chan struct{})
+	tc := startCluster(t, 1, func(i int, nc *NodeConfig, b *testBackend) {
+		b.block = release
+	})
+	catalog, _ := catalogFor(42)
+	body := `{"query": ` + catalog + `}`
+
+	type result struct {
+		status    int
+		raw       []byte
+		requestID string
+		coalesced bool
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, raw := postJSON(t, tc.urls[0]+"/v1/optimize", body, nil)
+			results[i] = result{resp.StatusCode, raw, resp.Header.Get("X-Request-ID"), resp.Header.Get(HeaderCoalesced) != ""}
+		}(i)
+	}
+
+	// Wait until the leader is parked in the backend and the other n-1
+	// requests have joined its flight, then release the solve.
+	g := tc.nodes[0].flights
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		g.mu.Lock()
+		var parked int32 = -1
+		for _, f := range g.inflight {
+			parked = f.waiters.Load()
+		}
+		flights := len(g.inflight)
+		g.mu.Unlock()
+		if flights == 1 && parked >= n-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flights=%d waiters=%d, want 1 flight with %d waiters", flights, parked, n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := tc.backends[0].calls.Load(); got != 1 {
+		t.Fatalf("backend solved %d times for %d identical concurrent requests, want 1", got, n)
+	}
+	coalesced := 0
+	for i, res := range results {
+		if res.status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, res.status, res.raw)
+		}
+		if !bytes.Equal(res.raw, results[0].raw) {
+			t.Errorf("request %d body differs from the shared response", i)
+		}
+		if res.requestID != results[0].requestID {
+			t.Errorf("request %d has request ID %q, want the shared trace %q", i, res.requestID, results[0].requestID)
+		}
+		if res.coalesced {
+			coalesced++
+		}
+	}
+	if coalesced != n-1 {
+		t.Errorf("%d responses marked coalesced, want %d", coalesced, n-1)
+	}
+	c := tc.nodes[0].Counters()
+	if c.CoalesceLeaders != 1 || c.CoalesceJoined != n-1 {
+		t.Errorf("counters = %+v, want 1 leader and %d joined", c, n-1)
+	}
+}
+
+func TestClusterStatusAndMetrics(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	tc.nodes[0].Start()
+	defer tc.nodes[0].Stop()
+
+	// Gossip must converge on both peers being healthy.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		peers := tc.nodes[0].gossip.Snapshot()
+		ok := len(peers) == 2
+		for _, p := range peers {
+			if !p.Healthy || p.Status != "ok" {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gossip never converged: %+v", peers)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(tc.urls[0] + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Self != tc.urls[0] || len(status.Nodes) != 3 || len(status.Peers) != 2 {
+		t.Errorf("cluster status = %+v", status)
+	}
+
+	mresp, err := http.Get(tc.urls[0] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, _ := io.ReadAll(mresp.Body)
+	for _, family := range []string{
+		"qjoind_cluster_forwards_total",
+		"qjoind_cluster_coalesce_joined_total",
+		"qjoind_cluster_peer_up",
+		"qjoind_requests_total", // the inner exposition must survive the append
+	} {
+		if !bytes.Contains(raw, []byte(family)) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"quantumjoin/internal/service"
+)
+
+// GossipConfig tunes peer health polling. The zero value selects the
+// defaults noted per field.
+type GossipConfig struct {
+	// Interval is the polling period per peer (default 2s).
+	Interval time.Duration
+	// Timeout bounds one /healthz probe (default 2s).
+	Timeout time.Duration
+	// DownAfter is how many consecutive probe failures mark a peer down
+	// (default 2 — a single lost packet should not trigger a fleet-wide
+	// ownership reshuffle).
+	DownAfter int
+	// Client issues the probes (default: a dedicated client with Timeout).
+	Client *http.Client
+}
+
+func (c GossipConfig) withDefaults() GossipConfig {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 2
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.Timeout}
+	}
+	return c
+}
+
+// PeerHealth is one peer's last observed health, as reported on
+// /v1/cluster.
+type PeerHealth struct {
+	Node string `json:"node"`
+	// Healthy is the routing verdict: fewer than DownAfter consecutive
+	// probe failures.
+	Healthy bool `json:"healthy"`
+	// Status is the peer's own /healthz verdict ("ok" or "degraded" —
+	// a degraded peer still serves, via its classical fallback).
+	Status string `json:"status,omitempty"`
+	// ConsecutiveFailures counts probe failures since the last success.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Backends carries the peer's per-backend breaker state (including
+	// StateAgeSeconds) from its last successful probe.
+	Backends map[string]service.BackendHealth `json:"backends,omitempty"`
+}
+
+type peerState struct {
+	failures int
+	status   string
+	backends map[string]service.BackendHealth
+}
+
+// Gossip tracks peer liveness over the fleet's existing /healthz
+// endpoints: a background loop probes every peer each Interval, and the
+// forwarding path feeds its own outcomes in via ReportFailure /
+// ReportSuccess, so a dead peer is routed around within one round trip
+// even between polls. "Gossip" is deliberately modest here — with a
+// static peer list every node probes every other node directly; there is
+// no epidemic relay to converge.
+type Gossip struct {
+	self  string
+	peers []string
+	cfg   GossipConfig
+
+	mu    sync.Mutex
+	state map[string]*peerState
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewGossip builds (but does not start) a health tracker for the given
+// peer base URLs; self is excluded from probing and always healthy.
+func NewGossip(self string, peers []string, cfg GossipConfig) *Gossip {
+	g := &Gossip{
+		self:  self,
+		cfg:   cfg.withDefaults(),
+		state: make(map[string]*peerState),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, p := range peers {
+		if p == self {
+			continue
+		}
+		g.peers = append(g.peers, p)
+		g.state[p] = &peerState{}
+	}
+	return g
+}
+
+// Start launches the polling loop (one immediate round, then every
+// Interval). Stop it with Stop.
+func (g *Gossip) Start() {
+	go func() {
+		defer close(g.done)
+		g.pollAll()
+		t := time.NewTicker(g.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-g.stop:
+				return
+			case <-t.C:
+				g.pollAll()
+			}
+		}
+	}()
+}
+
+// Stop terminates the polling loop and waits for it to exit.
+func (g *Gossip) Stop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	<-g.done
+}
+
+func (g *Gossip) pollAll() {
+	for _, p := range g.peers {
+		select {
+		case <-g.stop:
+			return
+		default:
+		}
+		g.poll(p)
+	}
+}
+
+// healthzBody is the subset of the qjoind /healthz payload gossip reads.
+type healthzBody struct {
+	Status string                           `json:"status"`
+	Health map[string]service.BackendHealth `json:"health"`
+}
+
+func (g *Gossip) poll(peer string) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		g.ReportFailure(peer)
+		return
+	}
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		g.ReportFailure(peer)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		g.ReportFailure(peer)
+		return
+	}
+	var body healthzBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		g.ReportFailure(peer)
+		return
+	}
+	g.mu.Lock()
+	if st := g.state[peer]; st != nil {
+		st.failures = 0
+		st.status = body.Status
+		st.backends = body.Health
+	}
+	g.mu.Unlock()
+}
+
+// ReportFailure records one failed interaction with peer (probe or
+// forward); DownAfter consecutive failures mark it down.
+func (g *Gossip) ReportFailure(peer string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if st := g.state[peer]; st != nil {
+		st.failures++
+	}
+}
+
+// ReportSuccess records one successful interaction with peer, resetting
+// its failure run (the next poll refreshes the detailed health).
+func (g *Gossip) ReportSuccess(peer string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if st := g.state[peer]; st != nil {
+		st.failures = 0
+	}
+}
+
+// Healthy reports whether node should receive forwarded traffic. Self and
+// unknown nodes are always healthy (an unknown node means the ring and
+// the gossip peer list disagree — routing to it is the caller's best
+// guess, and refusing would turn a config skew into an outage).
+func (g *Gossip) Healthy(node string) bool {
+	if node == g.self {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.state[node]
+	if st == nil {
+		return true
+	}
+	return st.failures < g.cfg.DownAfter
+}
+
+// Snapshot returns the current view of every peer, sorted by node name
+// (the peer list is constructed sorted).
+func (g *Gossip) Snapshot() []PeerHealth {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]PeerHealth, 0, len(g.peers))
+	for _, p := range g.peers {
+		st := g.state[p]
+		out = append(out, PeerHealth{
+			Node:                p,
+			Healthy:             st.failures < g.cfg.DownAfter,
+			Status:              st.status,
+			ConsecutiveFailures: st.failures,
+			Backends:            st.backends,
+		})
+	}
+	return out
+}
+
+// String implements fmt.Stringer for logs.
+func (g *Gossip) String() string {
+	return fmt.Sprintf("gossip(self=%s, peers=%d)", g.self, len(g.peers))
+}

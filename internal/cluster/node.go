@@ -1,0 +1,628 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quantumjoin/internal/faults"
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/obs"
+	"quantumjoin/internal/service"
+)
+
+// Cluster routing headers.
+const (
+	// HeaderForwardedNode names the node that forwarded the request.
+	HeaderForwardedNode = "X-Forwarded-Node"
+	// HeaderForwardHops counts how many times the request has been
+	// forwarded; at or beyond NodeConfig.MaxHops the receiver must serve
+	// locally, which bounds any routing loop a ring disagreement could
+	// otherwise create.
+	HeaderForwardHops = "X-Forward-Hops"
+	// HeaderServedBy names the node that actually solved the request.
+	HeaderServedBy = "X-Served-By"
+	// HeaderCoalesced marks a response that was copied from a concurrent
+	// identical request's solve rather than solved separately.
+	HeaderCoalesced = "X-Coalesced"
+)
+
+const (
+	maxOptimizeBody = 1 << 20
+	maxBatchBody    = 1 << 24
+)
+
+// NodeConfig configures one cluster member.
+type NodeConfig struct {
+	// Self is this node's base URL as it appears in Peers (required).
+	Self string
+	// Peers is the static list of all cluster members' base URLs,
+	// including Self (required, and identical on every node).
+	Peers []string
+	// VirtualNodes per peer on the ring (0 selects DefaultVirtualNodes).
+	VirtualNodes int
+	// MaxHops bounds forwarding: a request with X-Forward-Hops >= MaxHops
+	// is served locally (0 selects 1 — at most one forward, which is all a
+	// consistent ring ever needs).
+	MaxHops int
+	// Gossip tunes peer health polling.
+	Gossip GossipConfig
+	// Client issues forwards (default: a fresh client; the request's own
+	// context bounds each forward).
+	Client *http.Client
+	// Tracer, when set, records a cluster.route root span per routed
+	// request; pass the same tracer as the wrapped service so the
+	// service's optimize span nests inside it.
+	Tracer *obs.Tracer
+	// Logger, when set, receives forward-failure warnings.
+	Logger *slog.Logger
+}
+
+// Counters is a point-in-time snapshot of a node's routing counters.
+type Counters struct {
+	// RoutedLocal counts optimize requests served by this node (as owner,
+	// by hop limit, or by peer-failure fallback).
+	RoutedLocal int64 `json:"routed_local"`
+	// Forwards counts optimize requests forwarded to their owner.
+	Forwards int64 `json:"forwards"`
+	// ForwardErrors counts forwards that failed at the transport and fell
+	// back to a local solve.
+	ForwardErrors int64 `json:"forward_errors"`
+	// ForcedLocal counts requests served locally because the hop limit
+	// was reached even though another node owned the key.
+	ForcedLocal int64 `json:"forced_local"`
+	// CoalesceLeaders counts local solves that led a singleflight.
+	CoalesceLeaders int64 `json:"coalesce_leaders"`
+	// CoalesceJoined counts requests answered from a concurrent identical
+	// request's solve — each is one solve the fleet did not repeat.
+	CoalesceJoined int64 `json:"coalesce_joined"`
+	// BatchSplits counts batch envelopes split across owners.
+	BatchSplits int64 `json:"batch_splits"`
+	// BatchForwards counts sub-batches forwarded to peers.
+	BatchForwards int64 `json:"batch_forwards"`
+	// BatchFallbacks counts sub-batches solved locally after their
+	// owner's forward failed.
+	BatchFallbacks int64 `json:"batch_fallbacks"`
+}
+
+type nodeCounters struct {
+	routedLocal     atomic.Int64
+	forwards        atomic.Int64
+	forwardErrors   atomic.Int64
+	forcedLocal     atomic.Int64
+	coalesceLeaders atomic.Int64
+	coalesceJoined  atomic.Int64
+	batchSplits     atomic.Int64
+	batchForwards   atomic.Int64
+	batchFallbacks  atomic.Int64
+}
+
+func (c *nodeCounters) snapshot() Counters {
+	return Counters{
+		RoutedLocal:     c.routedLocal.Load(),
+		Forwards:        c.forwards.Load(),
+		ForwardErrors:   c.forwardErrors.Load(),
+		ForcedLocal:     c.forcedLocal.Load(),
+		CoalesceLeaders: c.coalesceLeaders.Load(),
+		CoalesceJoined:  c.coalesceJoined.Load(),
+		BatchSplits:     c.batchSplits.Load(),
+		BatchForwards:   c.batchForwards.Load(),
+		BatchFallbacks:  c.batchFallbacks.Load(),
+	}
+}
+
+// StatusResponse is the GET /v1/cluster body.
+type StatusResponse struct {
+	Self         string       `json:"self"`
+	Nodes        []string     `json:"nodes"`
+	VirtualNodes int          `json:"virtual_nodes"`
+	MaxHops      int          `json:"max_hops"`
+	Peers        []PeerHealth `json:"peers"`
+	Counters     Counters     `json:"counters"`
+}
+
+// Node is the cluster HTTP layer wrapped around one qjoind handler. It
+// owns the routing decision for POST /v1/optimize (forward to the ring
+// owner or solve locally under singleflight coalescing), splits POST
+// /v1/optimize/batch envelopes by owner, serves GET /v1/cluster, and
+// appends cluster counter families to GET /metrics. Every other route
+// passes straight through to the inner handler.
+type Node struct {
+	cfg      NodeConfig
+	inner    http.Handler
+	ring     *Ring
+	gossip   *Gossip
+	flights  *Group
+	client   *http.Client
+	vnodes   int
+	counters nodeCounters
+}
+
+// NewNode wraps inner (a service handler from service.NewHandler) with
+// cluster routing. Call Start to begin peer health polling and Stop on
+// shutdown.
+func NewNode(inner http.Handler, cfg NodeConfig) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: NodeConfig.Self is required")
+	}
+	found := false
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list", cfg.Self)
+	}
+	vnodes := cfg.VirtualNodes
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	ring, err := NewRing(cfg.Peers, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Node{
+		cfg:     cfg,
+		inner:   inner,
+		ring:    ring,
+		gossip:  NewGossip(cfg.Self, cfg.Peers, cfg.Gossip),
+		flights: NewGroup(),
+		client:  client,
+		vnodes:  vnodes,
+	}, nil
+}
+
+// Start launches peer health polling.
+func (n *Node) Start() { n.gossip.Start() }
+
+// Stop terminates peer health polling.
+func (n *Node) Stop() { n.gossip.Stop() }
+
+// Ring exposes the node's consistent-hash ring (for tooling and tests).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Counters returns a snapshot of the routing counters.
+func (n *Node) Counters() Counters { return n.counters.snapshot() }
+
+// ServeHTTP implements http.Handler.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/v1/optimize" && r.Method == http.MethodPost:
+		n.handleOptimize(w, r)
+	case r.URL.Path == "/v1/optimize/batch" && r.Method == http.MethodPost:
+		n.handleBatch(w, r)
+	case r.URL.Path == "/v1/cluster" && r.Method == http.MethodGet:
+		n.handleStatus(w, r)
+	case r.URL.Path == "/metrics" && r.Method == http.MethodGet:
+		n.handleMetrics(w, r)
+	default:
+		n.inner.ServeHTTP(w, r)
+	}
+}
+
+func (n *Node) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxOptimizeBody))
+	if err != nil {
+		writeNodeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+
+	// Parse just enough to route. Anything the inner handler would reject
+	// (strict fields, bad query) is passed through untouched so the error
+	// contract is byte-identical with and without clustering.
+	var opt service.OptimizeRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&opt); err != nil || len(opt.Query) == 0 {
+		n.serveLocal(w, r, "")
+		return
+	}
+	q, err := join.ReadCatalog(bytes.NewReader(opt.Query))
+	if err != nil {
+		n.serveLocal(w, r, "")
+		return
+	}
+	if qp := r.URL.Query().Get("backend"); qp != "" {
+		opt.Backend = qp
+	}
+	key, _ := service.Fingerprint(q, service.EncodeSpec{
+		Thresholds:   opt.Thresholds,
+		Omega:        opt.Omega,
+		LogObjective: opt.LogObjective,
+	})
+
+	// Mint the request ID here (adopting an inbound one) so the routing
+	// span, the forwarded request, and the inner service trace all share
+	// it — one ID resolves the whole cross-node story.
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = obs.NewRequestID()
+		r.Header.Set("X-Request-ID", id)
+	}
+	ctx := obs.WithRequestID(r.Context(), id)
+	ctx, span := n.cfg.Tracer.Start(ctx, "cluster.route")
+	defer span.End(nil)
+	span.SetAttr("cache_key", key)
+	r = r.WithContext(ctx)
+
+	hops := forwardHops(r)
+	owner := n.ring.OwnerHealthy(key, n.gossip.Healthy)
+	span.SetAttr("owner", owner)
+	if owner != n.cfg.Self {
+		if hops >= n.cfg.MaxHops {
+			// Ring disagreement (version skew, all-unhealthy fallback):
+			// solving locally is always correct, just cache-colder.
+			n.counters.forcedLocal.Add(1)
+			span.SetAttr("forced_local", true)
+		} else if n.forward(w, r, owner, body, hops) {
+			n.counters.forwards.Add(1)
+			span.SetAttr("forwarded", true)
+			return
+		} else {
+			n.counters.forwardErrors.Add(1)
+			span.SetAttr("forward_failed", true)
+		}
+	}
+	n.serveLocal(w, r, coalesceKey(key, &opt))
+}
+
+// coalesceKey identifies solves that would be bit-identical: same
+// canonical instance and spec (the fingerprint), same backend, and same
+// solver parameters. Requests that differ only by relation labelling
+// coalesce; requests with different seeds or budgets never do.
+func coalesceKey(fingerprint string, opt *service.OptimizeRequest) string {
+	return fmt.Sprintf("%s|%s|%d|%d|%d|%s|%s|%d",
+		fingerprint, opt.Backend, opt.Reads, opt.Seed, opt.TimeoutMs,
+		opt.Strategy, strings.Join(opt.Portfolio, ","), opt.HedgeMs)
+}
+
+// forwardHops reads the hop counter (absent or malformed reads as 0).
+func forwardHops(r *http.Request) int {
+	h, err := strconv.Atoi(r.Header.Get(HeaderForwardHops))
+	if err != nil || h < 0 {
+		return 0
+	}
+	return h
+}
+
+// forward relays the request to owner and copies the answer back verbatim
+// (whatever its status — the owner's 4xx/5xx is the caller's 4xx/5xx).
+// It returns false on transport failure, in which case nothing has been
+// written and the caller falls back to a local solve.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte, hops int) bool {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", r.Header.Get("X-Request-ID"))
+	req.Header.Set(HeaderForwardedNode, n.cfg.Self)
+	req.Header.Set(HeaderForwardHops, strconv.Itoa(hops+1))
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.gossip.ReportFailure(owner)
+		n.logForwardFailure(r, owner, err)
+		return false
+	}
+	defer resp.Body.Close()
+	n.gossip.ReportSuccess(owner)
+	h := w.Header()
+	for k, vs := range resp.Header {
+		h[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+func (n *Node) logForwardFailure(r *http.Request, owner string, err error) {
+	if n.cfg.Logger == nil {
+		return
+	}
+	fault := &faults.Error{Kind: faults.KindPeerUnreachable, Backend: owner}
+	n.cfg.Logger.WarnContext(r.Context(), "cluster forward failed, solving locally",
+		"peer", owner, "fault", fault.Kind.String(), "error", err)
+}
+
+// serveLocal answers the request on this node, coalescing with concurrent
+// identical requests when key is non-empty.
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, key string) {
+	n.counters.routedLocal.Add(1)
+	w.Header().Set(HeaderServedBy, n.cfg.Self)
+	if key == "" {
+		n.inner.ServeHTTP(w, r)
+		return
+	}
+	leader, err := n.flights.Do(key, w, r, n.inner)
+	if err != nil {
+		// Only this waiter's client went away; the shared solve continues
+		// for everyone else. 499 is the de-facto client-closed status.
+		writeNodeError(w, 499, "request cancelled while waiting for coalesced solve")
+		return
+	}
+	if leader {
+		n.counters.coalesceLeaders.Add(1)
+	} else {
+		n.counters.coalesceJoined.Add(1)
+	}
+}
+
+func (n *Node) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	if err != nil {
+		writeNodeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+
+	var env service.BatchRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil || len(env.Requests) == 0 {
+		// Malformed or empty: pass through for the inner handler's 400.
+		n.serveLocal(w, r, "")
+		return
+	}
+	hops := forwardHops(r)
+	if hops >= n.cfg.MaxHops || len(n.ring.Nodes()) == 1 {
+		n.serveLocal(w, r, "")
+		return
+	}
+
+	// Partition items by ring owner. Items the router cannot fingerprint
+	// (empty or invalid query) stay local; the inner handler reports their
+	// per-item errors.
+	groups := make(map[string][]int)
+	order := make([]string, 0, 4)
+	for i := range env.Requests {
+		owner := n.cfg.Self
+		if len(env.Requests[i].Query) > 0 {
+			if q, err := join.ReadCatalog(bytes.NewReader(env.Requests[i].Query)); err == nil {
+				key, _ := service.Fingerprint(q, service.EncodeSpec{
+					Thresholds:   env.Requests[i].Thresholds,
+					Omega:        env.Requests[i].Omega,
+					LogObjective: env.Requests[i].LogObjective,
+				})
+				owner = n.ring.OwnerHealthy(key, n.gossip.Healthy)
+			}
+		}
+		if _, ok := groups[owner]; !ok {
+			order = append(order, owner)
+		}
+		groups[owner] = append(groups[owner], i)
+	}
+	if len(groups) == 1 && groups[n.cfg.Self] != nil {
+		n.serveLocal(w, r, "")
+		return
+	}
+
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = obs.NewRequestID()
+		r.Header.Set("X-Request-ID", id)
+	}
+	ctx := obs.WithRequestID(r.Context(), id)
+	ctx, span := n.cfg.Tracer.Start(ctx, "cluster.batch_split")
+	defer span.End(nil)
+	span.SetAttr("items", len(env.Requests))
+	span.SetAttr("owners", len(groups))
+	r = r.WithContext(ctx)
+
+	n.counters.batchSplits.Add(1)
+	start := time.Now()
+	results := make([]service.BatchItemResult, len(env.Requests))
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		unique int
+	)
+	for _, owner := range order {
+		idxs := groups[owner]
+		sub := service.BatchRequest{TimeoutMs: env.TimeoutMs, Requests: make([]service.OptimizeRequest, len(idxs))}
+		for j, i := range idxs {
+			sub.Requests[j] = env.Requests[i]
+		}
+		wg.Add(1)
+		go func(owner string, idxs []int, sub service.BatchRequest) {
+			defer wg.Done()
+			resp := n.solveSubBatch(r, owner, &sub, hops)
+			mu.Lock()
+			defer mu.Unlock()
+			unique += resp.Unique
+			for j, i := range idxs {
+				if j < len(resp.Results) {
+					results[i] = resp.Results[j]
+				}
+			}
+		}(owner, idxs, sub)
+	}
+	wg.Wait()
+
+	// Mirror the inner handler's envelope contract: when every item was
+	// rejected by overload/shutdown, surface it as the envelope status.
+	allRejected := len(results) > 0
+	for i := range results {
+		if results[i].Response != nil || results[i].Status != http.StatusServiceUnavailable {
+			allRejected = false
+			break
+		}
+	}
+	if allRejected {
+		w.Header().Set("Retry-After", "1")
+		writeNodeError(w, http.StatusServiceUnavailable, results[0].Error)
+		return
+	}
+	w.Header().Set(HeaderServedBy, n.cfg.Self)
+	writeNodeJSON(w, http.StatusOK, service.BatchResponse{
+		Results:   results,
+		Items:     len(env.Requests),
+		Unique:    unique,
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// solveSubBatch runs one owner's share of a split envelope: forwarded to
+// the owner when remote (falling back to a local solve on any failure),
+// solved through the inner handler when local.
+func (n *Node) solveSubBatch(r *http.Request, owner string, sub *service.BatchRequest, hops int) service.BatchResponse {
+	raw, err := json.Marshal(sub)
+	if err != nil {
+		return subBatchFailure(len(sub.Requests), http.StatusInternalServerError, err.Error())
+	}
+	if owner != n.cfg.Self {
+		if resp, ok := n.forwardSubBatch(r, owner, raw); ok {
+			n.counters.batchForwards.Add(1)
+			return resp
+		}
+		n.counters.batchFallbacks.Add(1)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, "/v1/optimize/batch", bytes.NewReader(raw))
+	if err != nil {
+		return subBatchFailure(len(sub.Requests), http.StatusInternalServerError, err.Error())
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", r.Header.Get("X-Request-ID"))
+	rec := newRecorder()
+	n.inner.ServeHTTP(rec, req)
+	var out service.BatchResponse
+	if err := json.Unmarshal(rec.body.Bytes(), &out); err != nil || rec.status != http.StatusOK {
+		msg := errorMessage(rec.body.Bytes())
+		return subBatchFailure(len(sub.Requests), rec.status, msg)
+	}
+	return out
+}
+
+// forwardSubBatch relays a sub-envelope to its owner; ok=false means the
+// caller should solve it locally instead.
+func (n *Node) forwardSubBatch(r *http.Request, owner string, raw []byte) (service.BatchResponse, bool) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+"/v1/optimize/batch", bytes.NewReader(raw))
+	if err != nil {
+		return service.BatchResponse{}, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", r.Header.Get("X-Request-ID"))
+	req.Header.Set(HeaderForwardedNode, n.cfg.Self)
+	req.Header.Set(HeaderForwardHops, strconv.Itoa(forwardHops(r)+1))
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.gossip.ReportFailure(owner)
+		n.logForwardFailure(r, owner, err)
+		return service.BatchResponse{}, false
+	}
+	defer resp.Body.Close()
+	n.gossip.ReportSuccess(owner)
+	if resp.StatusCode != http.StatusOK {
+		// The owner answered but refused the envelope (e.g. shedding
+		// load); our local pool may still have room.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return service.BatchResponse{}, false
+	}
+	var out service.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return service.BatchResponse{}, false
+	}
+	return out, true
+}
+
+// subBatchFailure marks every item of a sub-envelope failed with the same
+// status and message.
+func subBatchFailure(items, status int, msg string) service.BatchResponse {
+	if status == 0 {
+		status = http.StatusInternalServerError
+	}
+	out := service.BatchResponse{Results: make([]service.BatchItemResult, items), Items: items}
+	for i := range out.Results {
+		out.Results[i] = service.BatchItemResult{Error: msg, Status: status}
+	}
+	return out
+}
+
+// errorMessage extracts {"error": ...} from an inner error body, falling
+// back to the raw text.
+func errorMessage(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeNodeJSON(w, http.StatusOK, StatusResponse{
+		Self:         n.cfg.Self,
+		Nodes:        n.ring.Nodes(),
+		VirtualNodes: n.vnodes,
+		MaxHops:      n.cfg.MaxHops,
+		Peers:        n.gossip.Snapshot(),
+		Counters:     n.counters.snapshot(),
+	})
+}
+
+// handleMetrics serves the inner Prometheus exposition and appends the
+// qjoind_cluster_* families.
+func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rec := newRecorder()
+	n.inner.ServeHTTP(rec, r)
+	h := w.Header()
+	for k, vs := range rec.header {
+		h[k] = vs
+	}
+	w.WriteHeader(rec.status)
+	_, _ = w.Write(rec.body.Bytes())
+	if rec.status != http.StatusOK {
+		return
+	}
+	c := n.counters.snapshot()
+	p := obs.NewPromWriter(w)
+	counter := func(name, help string, v int64) {
+		p.Family(name, help, "counter")
+		p.Sample(name, nil, float64(v))
+	}
+	counter("qjoind_cluster_routed_local_total", "Optimize requests served by this node.", c.RoutedLocal)
+	counter("qjoind_cluster_forwards_total", "Optimize requests forwarded to their ring owner.", c.Forwards)
+	counter("qjoind_cluster_forward_errors_total", "Forwards that failed and fell back to a local solve.", c.ForwardErrors)
+	counter("qjoind_cluster_forced_local_total", "Requests served locally because the hop limit was reached.", c.ForcedLocal)
+	counter("qjoind_cluster_coalesce_leaders_total", "Local solves that led a singleflight.", c.CoalesceLeaders)
+	counter("qjoind_cluster_coalesce_joined_total", "Requests answered from a coalesced concurrent solve.", c.CoalesceJoined)
+	counter("qjoind_cluster_batch_splits_total", "Batch envelopes split across ring owners.", c.BatchSplits)
+	counter("qjoind_cluster_batch_forwards_total", "Sub-batches forwarded to peer nodes.", c.BatchForwards)
+	counter("qjoind_cluster_batch_fallbacks_total", "Sub-batches solved locally after a failed forward.", c.BatchFallbacks)
+	p.Family("qjoind_cluster_peer_up", "Peer routability as seen by this node (1 = healthy).", "gauge")
+	for _, peer := range n.gossip.Snapshot() {
+		up := 0.0
+		if peer.Healthy {
+			up = 1.0
+		}
+		p.Sample("qjoind_cluster_peer_up", map[string]string{"peer": peer.Node}, up)
+	}
+}
+
+func writeNodeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeNodeError(w http.ResponseWriter, status int, msg string) {
+	writeNodeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,140 @@
+// Package cluster turns a set of independent qjoind daemons into one
+// sharded serving fleet. Requests are routed by the permutation-invariant
+// WL-hash cache key (service.Fingerprint): every node builds the same
+// consistent-hash ring from the same static peer list, so any node can
+// compute the owner of any request and forward it there — the owner's
+// encoding cache accumulates exactly the key range it owns, multiplying
+// the fleet-wide cache hit rate instead of duplicating every encoding on
+// every node.
+//
+// The pieces, each usable alone:
+//
+//   - Ring: consistent hashing with virtual nodes over the peer list.
+//   - Gossip: peer health polling over the existing /healthz endpoint
+//     (including per-backend breaker state), so the ring routes around
+//     sick nodes.
+//   - Group: singleflight request coalescing — concurrent identical
+//     requests on one node share a single solve and a single trace.
+//   - Node: the HTTP layer tying them together — an optimize-aware
+//     forwarding proxy with hop-limit protection, the batch splitter, and
+//     the /v1/cluster status endpoint.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// owned by a physical node.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring with virtual nodes. All nodes
+// construct identical rings from identical peer lists (the input order is
+// normalised), so routing decisions agree fleet-wide without coordination.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+// DefaultVirtualNodes is the per-node virtual node count: enough that a
+// 3–5 node ring balances within a few percent, small enough that ring
+// construction and lookup stay trivial.
+const DefaultVirtualNodes = 64
+
+// NewRing builds a ring over the given node names (typically base URLs)
+// with vnodes virtual nodes each (0 selects DefaultVirtualNodes).
+// Duplicate names are collapsed; the node list is sorted before hashing
+// so every peer derives the same ring regardless of flag order.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node name")
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, points: make([]ringPoint, 0, len(uniq)*vnodes)}
+	for _, n := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Equal hashes (vanishingly rare): break by node so the order is
+		// still deterministic across peers.
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// hash64 is 64-bit FNV-1a: stable across processes and platforms, which
+// is the property the ring needs (every peer must agree), and fast enough
+// that lookup cost is dominated by the binary search.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Nodes returns the distinct node names on the ring, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner returns the node owning key: the first virtual node clockwise
+// from the key's hash.
+func (r *Ring) Owner(key string) string {
+	return r.points[r.successor(hash64(key))].node
+}
+
+// successor returns the index of the first point with hash >= h, wrapping
+// to 0 past the end.
+func (r *Ring) successor(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// OwnerHealthy walks the ring clockwise from key and returns the first
+// distinct node that healthy reports true for. When every node is
+// unhealthy it falls back to the primary owner — routing into a sick
+// node beats routing nowhere, and the caller's local-fallback path still
+// guards the request.
+func (r *Ring) OwnerHealthy(key string, healthy func(node string) bool) string {
+	start := r.successor(hash64(key))
+	primary := r.points[start].node
+	if healthy == nil {
+		return primary
+	}
+	tried := make(map[string]bool, len(r.nodes))
+	for i := 0; i < len(r.points) && len(tried) < len(r.nodes); i++ {
+		n := r.points[(start+i)%len(r.points)].node
+		if tried[n] {
+			continue
+		}
+		tried[n] = true
+		if healthy(n) {
+			return n
+		}
+	}
+	return primary
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://127.0.0.1:%d", 9100+i)
+	}
+	return out
+}
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	nodes := testNodes(4)
+	shuffled := []string{nodes[2], nodes[0], nodes[3], nodes[1]}
+	a, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q owned by %s on one ring, %s on the other", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingOwnerStableUnderMembershipChange(t *testing.T) {
+	// Consistent hashing's defining property: adding one node moves only
+	// ~1/n of the keys, everything else keeps its owner.
+	small, err := NewRing(testNodes(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing(testNodes(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 5000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if small.Owner(key) != big.Owner(key) {
+			moved++
+		}
+	}
+	// Expect ~keys/5 moves; allow a wide band.
+	if moved < keys/10 || moved > keys/2 {
+		t.Errorf("adding a 5th node moved %d/%d keys, want roughly %d", moved, keys, keys/5)
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	nodes := testNodes(4)
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, n := range nodes {
+		// With 64 virtual nodes the shares wobble around the fair 25%;
+		// the test only guards against starvation and domination.
+		share := float64(counts[n]) / keys
+		if share < 0.05 || share > 0.55 {
+			t.Errorf("node %s owns %.1f%% of keys, want a roughly balanced share", n, 100*share)
+		}
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty node name accepted")
+	}
+	r, err := NewRing([]string{"a", "a", "a"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Nodes(); len(got) != 1 {
+		t.Errorf("duplicates not collapsed: %v", got)
+	}
+}
+
+func TestOwnerHealthySkipsUnhealthy(t *testing.T) {
+	nodes := testNodes(3)
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "some-query-fingerprint"
+	primary := r.Owner(key)
+
+	// Primary healthy: no rerouting.
+	if got := r.OwnerHealthy(key, func(string) bool { return true }); got != primary {
+		t.Errorf("all-healthy owner = %s, want primary %s", got, primary)
+	}
+	// Primary down: the key moves to a different, healthy node, and the
+	// choice is deterministic.
+	down := map[string]bool{primary: true}
+	healthy := func(n string) bool { return !down[n] }
+	alt := r.OwnerHealthy(key, healthy)
+	if alt == primary {
+		t.Fatalf("unhealthy primary %s still owns the key", primary)
+	}
+	if again := r.OwnerHealthy(key, healthy); again != alt {
+		t.Errorf("failover owner flapped: %s then %s", alt, again)
+	}
+	// Everything down: fall back to the primary rather than nowhere.
+	if got := r.OwnerHealthy(key, func(string) bool { return false }); got != primary {
+		t.Errorf("all-down owner = %s, want primary %s", got, primary)
+	}
+	// Nil health predicate: primary.
+	if got := r.OwnerHealthy(key, nil); got != primary {
+		t.Errorf("nil-predicate owner = %s, want primary %s", got, primary)
+	}
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// recorder is a minimal in-process http.ResponseWriter capturing status,
+// headers, and body (net/http/httptest is not imported outside tests —
+// it registers command-line flags as a side effect).
+type recorder struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder {
+	return &recorder{status: http.StatusOK, header: make(http.Header)}
+}
+
+func (r *recorder) Header() http.Header         { return r.header }
+func (r *recorder) WriteHeader(status int)      { r.status = status }
+func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+
+// flight is one in-progress coalesced request: the leader fills status,
+// header, and body, then closes done.
+type flight struct {
+	done chan struct{}
+	// waiters counts arrivals that joined this flight (incremented under
+	// the group mutex, so tests can deterministically wait for N waiters
+	// to be parked before releasing the leader).
+	waiters atomic.Int32
+	status  int
+	header  http.Header
+	body    []byte
+}
+
+// Group coalesces concurrent identical HTTP requests: the first arrival
+// for a key becomes the leader and runs the inner handler once; arrivals
+// while the leader is in flight block and receive a verbatim copy of the
+// leader's response. There is deliberately no reference counting or
+// leader cancellation: the shared solve runs on a context detached from
+// the leader's client (context.WithoutCancel), so one waiter — or even
+// the leader — walking away never cancels work other waiters depend on.
+// The service's own default timeout still bounds the solve.
+type Group struct {
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+// NewGroup returns an empty singleflight group.
+func NewGroup() *Group {
+	return &Group{inflight: make(map[string]*flight)}
+}
+
+// Do serves r under the coalescing key: as leader it invokes inner and
+// returns the recorded response with leader=true; as a waiter it blocks
+// until the leader finishes (or r's context expires, which fails only
+// this waiter) and returns the shared response with leader=false.
+func (g *Group) Do(key string, w http.ResponseWriter, r *http.Request, inner http.Handler) (leader bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.inflight[key]; ok {
+		f.waiters.Add(1)
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			w.Header().Set(HeaderCoalesced, "1")
+			copyResponse(w, f.status, f.header, f.body)
+			return false, nil
+		case <-r.Context().Done():
+			return false, r.Context().Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.inflight[key] = f
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.inflight, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+
+	// The leader's solve is detached from its own client connection: if
+	// the leader disconnects mid-solve, the waiters still get an answer.
+	rec := newRecorder()
+	inner.ServeHTTP(rec, r.WithContext(context.WithoutCancel(r.Context())))
+	f.status = rec.status
+	f.header = rec.header
+	f.body = rec.body.Bytes()
+
+	copyResponse(w, f.status, f.header, f.body)
+	return true, nil
+}
+
+func copyResponse(w http.ResponseWriter, status int, header http.Header, body []byte) {
+	h := w.Header()
+	for k, vs := range header {
+		h[k] = vs
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}

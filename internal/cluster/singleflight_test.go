@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitForWaiters blocks until the flight registered under key has at
+// least n parked waiters (the counter is bumped under the group mutex, so
+// once observed the waiters are committed to the waiter path).
+func waitForWaiters(t *testing.T, g *Group, key string, n int32) *flight {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		g.mu.Lock()
+		f := g.inflight[key]
+		g.mu.Unlock()
+		if f != nil && f.waiters.Load() >= n {
+			return f
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("flight %q never reached %d waiters", key, n)
+	return nil
+}
+
+// TestGroupCoalesces drives N concurrent identical requests through one
+// Group: exactly one inner invocation, one leader, N-1 waiters, and N
+// byte-identical responses (run under -race).
+func TestGroupCoalesces(t *testing.T) {
+	const n = 8
+	var (
+		calls   atomic.Int64
+		release = make(chan struct{})
+	)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-release
+		w.Header().Set("X-Test", "shared")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"answer":42}`))
+	})
+
+	g := NewGroup()
+	type result struct {
+		leader bool
+		err    error
+		status int
+		body   string
+		coal   string
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest(http.MethodPost, "/v1/optimize", nil)
+			leader, err := g.Do("k", rec, req, inner)
+			results[i] = result{leader, err, rec.Code, rec.Body.String(), rec.Header().Get(HeaderCoalesced)}
+		}(i)
+	}
+	waitForWaiters(t, g, "k", n-1)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("inner handler ran %d times for %d identical requests, want 1", got, n)
+	}
+	leaders, joined := 0, 0
+	for i, res := range results {
+		if res.err != nil {
+			t.Fatalf("request %d failed: %v", i, res.err)
+		}
+		if res.leader {
+			leaders++
+			if res.coal != "" {
+				t.Errorf("leader %d marked coalesced", i)
+			}
+		} else {
+			joined++
+			if res.coal != "1" {
+				t.Errorf("waiter %d missing %s header", i, HeaderCoalesced)
+			}
+		}
+		if res.status != http.StatusOK || res.body != `{"answer":42}` {
+			t.Errorf("request %d got status=%d body=%q, want the shared response", i, res.status, res.body)
+		}
+	}
+	if leaders != 1 || joined != n-1 {
+		t.Errorf("leaders=%d joined=%d, want 1 and %d", leaders, joined, n-1)
+	}
+
+	// The flight must be gone: a later identical request leads its own solve.
+	g.mu.Lock()
+	left := len(g.inflight)
+	g.mu.Unlock()
+	if left != 0 {
+		t.Errorf("%d flights still registered after completion", left)
+	}
+}
+
+// TestGroupWaiterCancellation checks that one waiter giving up fails only
+// that waiter: the shared solve keeps running on its detached context and
+// the remaining waiter still receives the answer.
+func TestGroupWaiterCancellation(t *testing.T) {
+	var (
+		calls      atomic.Int64
+		release    = make(chan struct{})
+		innerCtxOK atomic.Bool
+	)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-release
+		// The leader runs detached: even though waiters have cancelled by
+		// now, the solve's own context must still be alive.
+		innerCtxOK.Store(r.Context().Err() == nil)
+		_, _ = w.Write([]byte("ok"))
+	})
+
+	g := NewGroup()
+	var wg sync.WaitGroup
+
+	// Leader.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/optimize", nil)
+		if leader, err := g.Do("k", rec, req, inner); !leader || err != nil {
+			t.Errorf("leader: leader=%v err=%v", leader, err)
+		}
+	}()
+	waitForWaiters(t, g, "k", 0) // flight registered
+
+	// A waiter that will cancel.
+	cancelCtx, cancel := context.WithCancel(context.Background())
+	cancelled := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/optimize", nil).WithContext(cancelCtx)
+		_, err := g.Do("k", rec, req, inner)
+		cancelled <- err
+	}()
+
+	// A waiter that stays.
+	stayRec := httptest.NewRecorder()
+	stayed := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req := httptest.NewRequest(http.MethodPost, "/v1/optimize", nil)
+		_, err := g.Do("k", stayRec, req, inner)
+		stayed <- err
+	}()
+
+	waitForWaiters(t, g, "k", 2)
+	cancel()
+	if err := <-cancelled; err != context.Canceled {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	// The shared solve must still be in flight after the cancellation.
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("inner handler ran %d times, want 1", got)
+	}
+	close(release)
+	if err := <-stayed; err != nil {
+		t.Fatalf("remaining waiter failed: %v", err)
+	}
+	wg.Wait()
+	if stayRec.Body.String() != "ok" {
+		t.Errorf("remaining waiter got body %q, want the shared response", stayRec.Body.String())
+	}
+	if !innerCtxOK.Load() {
+		t.Error("leader's context was cancelled by a waiter's departure")
+	}
+}
+
+// TestGroupDistinctKeysDoNotCoalesce runs two different keys concurrently
+// and expects two inner invocations.
+func TestGroupDistinctKeysDoNotCoalesce(t *testing.T) {
+	var calls atomic.Int64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		_, _ = w.Write([]byte("ok"))
+	})
+	g := NewGroup()
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest(http.MethodPost, "/v1/optimize", nil)
+			if _, err := g.Do(key, rec, req, inner); err != nil {
+				t.Errorf("key %s: %v", key, err)
+			}
+		}(key)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 2 {
+		t.Errorf("inner handler ran %d times for 2 distinct keys, want 2", got)
+	}
+}

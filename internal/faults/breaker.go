@@ -105,6 +105,11 @@ type breaker struct {
 	probing     bool // a half-open probe is in flight
 	successes   int  // consecutive successful probes (half-open state)
 	trips       int64
+	// lastTransition is when the breaker last changed state (construction
+	// counts as entering closed); Health surfaces its age so operators —
+	// and the cluster gossip layer — can tell a freshly-tripped breaker
+	// from one that has been open for minutes.
+	lastTransition time.Time
 }
 
 // WithBreaker wraps backend with a three-state circuit breaker: after
@@ -121,9 +126,10 @@ type breaker struct {
 func WithBreaker(backend service.Backend, cfg BreakerConfig) service.Backend {
 	cfg = cfg.withDefaults()
 	return &breaker{
-		inner:  backend,
-		cfg:    cfg,
-		window: make([]bool, cfg.Window),
+		inner:          backend,
+		cfg:            cfg,
+		window:         make([]bool, cfg.Window),
+		lastTransition: cfg.Now(),
 	}
 }
 
@@ -158,6 +164,7 @@ func (b *breaker) admit() error {
 		b.state = stateHalfOpen
 		b.successes = 0
 		b.probing = false
+		b.lastTransition = b.cfg.Now()
 		fallthrough
 	default: // stateHalfOpen
 		if b.probing {
@@ -227,6 +234,7 @@ func (b *breaker) observe(err error) (from, to int, changed bool) {
 func (b *breaker) trip() {
 	b.state = stateOpen
 	b.openedAt = b.cfg.Now()
+	b.lastTransition = b.openedAt
 	b.trips++
 }
 
@@ -237,6 +245,7 @@ func (b *breaker) reset() {
 	b.wcount = 0
 	b.widx = 0
 	b.successes = 0
+	b.lastTransition = b.cfg.Now()
 }
 
 // errorRateLocked is the failure fraction over the occupied window; the
@@ -275,5 +284,6 @@ func (b *breaker) Health() service.BackendHealth {
 		ConsecutiveFailures: b.consecutive,
 		ErrorRate:           b.errorRateLocked(),
 		Trips:               b.trips,
+		StateAgeSeconds:     b.cfg.Now().Sub(b.lastTransition).Seconds(),
 	}
 }

@@ -210,3 +210,46 @@ func TestBreakerConcurrentHalfOpenAdmitsOneProbe(t *testing.T) {
 		t.Errorf("outcomes: %d ok / %d fast-fail, want 1/7", oks, opens)
 	}
 }
+
+// TestBreakerStateAge pins the /healthz state-age satellite: the age is
+// seconds since the last state transition under the breaker's own clock,
+// and every transition (trip, open→half-open advance, close) resets it.
+func TestBreakerStateAge(t *testing.T) {
+	enc := testEncoding(t)
+	fail := &Error{Kind: KindRejected, Backend: "qpu"}
+	inner := &scriptBackend{name: "qpu", script: []error{fail, fail}}
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	be := WithBreaker(inner, BreakerConfig{
+		ConsecutiveFailures: 2,
+		OpenFor:             10 * time.Second,
+		HalfOpenSuccesses:   1,
+		Now:                 clock.Now,
+	})
+	hr := be.(service.HealthReporter)
+
+	// Freshly constructed: closed since "now", age grows with the clock.
+	clock.Advance(3 * time.Second)
+	if h := hr.Health(); h.State != service.HealthOK || h.StateAgeSeconds != 3 {
+		t.Fatalf("fresh breaker health = %+v, want ok with age 3s", h)
+	}
+
+	// Trip it: age restarts from the trip instant.
+	for i := 0; i < 2; i++ {
+		_, _ = be.Solve(context.Background(), enc, service.Params{Seed: int64(i)})
+	}
+	clock.Advance(4 * time.Second)
+	if h := hr.Health(); h.State != service.HealthOpen || h.StateAgeSeconds != 4 {
+		t.Fatalf("after trip health = %+v, want open with age 4s", h)
+	}
+
+	// Past OpenFor the displayed state is half-open; a successful probe
+	// (script exhausted) closes it and resets the age again.
+	clock.Advance(7 * time.Second)
+	if _, err := be.Solve(context.Background(), enc, service.Params{Seed: 9}); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	clock.Advance(2 * time.Second)
+	if h := hr.Health(); h.State != service.HealthOK || h.StateAgeSeconds != 2 {
+		t.Fatalf("after recovery health = %+v, want ok with age 2s", h)
+	}
+}

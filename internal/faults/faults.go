@@ -55,6 +55,10 @@ const (
 	// KindCorrupted: the job "succeeded" but the returned solution failed
 	// structural validation downstream (readout bit flips).
 	KindCorrupted
+	// KindPeerUnreachable: a cluster peer that owns the request's cache key
+	// could not be reached (connection refused, timeout, 5xx); the sender
+	// falls back to solving locally and routes around the peer.
+	KindPeerUnreachable
 )
 
 // String implements fmt.Stringer.
@@ -70,6 +74,8 @@ func (k Kind) String() string {
 		return "aborted"
 	case KindCorrupted:
 		return "corrupted"
+	case KindPeerUnreachable:
+		return "peer-unreachable"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

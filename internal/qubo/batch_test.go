@@ -1,0 +1,74 @@
+package qubo
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestTabuBatchMatchesSingle pins the batch fast path to the standalone
+// solver: same seeds must give bit-identical assignments and values, so the
+// shared-arena reuse cannot leak state between instances or restarts.
+func TestTabuBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	jobs := make([]TabuJob, 0, 12)
+	for i := 0; i < 12; i++ {
+		n := 8 + rng.Intn(24) // mixed sizes exercise the arena resizing
+		jobs = append(jobs, TabuJob{
+			Q:      randomQUBO(rng, n, 0.4),
+			Search: TabuSearch{Restarts: 3},
+			Seed:   int64(1000 + i),
+		})
+	}
+	sols, errs := SolveTabuBatchContext(context.Background(), jobs)
+	for i, job := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("job %d: unexpected error %v", i, errs[i])
+		}
+		want, err := job.Search.SolveContext(context.Background(), job.Q, rand.New(rand.NewSource(job.Seed)))
+		if err != nil {
+			t.Fatalf("job %d: single solve: %v", i, err)
+		}
+		if sols[i].Value != want.Value {
+			t.Fatalf("job %d: batch value %v != single value %v", i, sols[i].Value, want.Value)
+		}
+		if len(sols[i].Assignment) != len(want.Assignment) {
+			t.Fatalf("job %d: assignment length mismatch", i)
+		}
+		for k := range want.Assignment {
+			if sols[i].Assignment[k] != want.Assignment[k] {
+				t.Fatalf("job %d: assignment differs at variable %d", i, k)
+			}
+		}
+	}
+}
+
+// TestTabuBatchCancellation: once the context expires, remaining instances
+// fail fast with the context error rather than burning the caller's time.
+func TestTabuBatchCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	jobs := make([]TabuJob, 6)
+	for i := range jobs {
+		jobs[i] = TabuJob{
+			Q:      randomQUBO(rng, 40, 0.5),
+			Search: TabuSearch{Restarts: 50, MaxIters: 1 << 20},
+			Seed:   int64(i),
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, errs := SolveTabuBatchContext(ctx, jobs)
+	sawErr := false
+	for _, err := range errs {
+		if err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("expected at least one instance to be interrupted by the deadline")
+	}
+	if errs[len(errs)-1] == nil {
+		t.Fatal("last instance should have failed fast after the deadline expired")
+	}
+}

@@ -32,6 +32,30 @@ type TabuSearch struct {
 	InitialState []bool
 }
 
+// tabuArena holds the per-solve scratch state (assignment, flip deltas,
+// tabu clocks) sized to the largest instance it has seen. A single solve
+// reuses it across restarts; SolveTabuBatchContext reuses one arena across
+// every instance of the batch, which is where the batch fast path saves
+// its allocations.
+type tabuArena struct {
+	x, localBestX []bool
+	delta         []float64
+	tabuUntil     []int
+}
+
+func (a *tabuArena) ensure(n int) {
+	if cap(a.x) < n {
+		a.x = make([]bool, n)
+		a.localBestX = make([]bool, n)
+		a.delta = make([]float64, n)
+		a.tabuUntil = make([]int, n)
+	}
+	a.x = a.x[:n]
+	a.localBestX = a.localBestX[:n]
+	a.delta = a.delta[:n]
+	a.tabuUntil = a.tabuUntil[:n]
+}
+
 // Solve runs the search and returns the best assignment found.
 func (ts TabuSearch) Solve(q *QUBO, rng *rand.Rand) Solution {
 	sol, _ := ts.SolveContext(context.Background(), q, rng)
@@ -43,6 +67,10 @@ func (ts TabuSearch) Solve(q *QUBO, rng *rand.Rand) Solution {
 // search stops early and returns the best assignment found so far together
 // with the context error wrapped in partial-progress information.
 func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) (Solution, error) {
+	return ts.solveContext(ctx, q, rng, &tabuArena{})
+}
+
+func (ts TabuSearch) solveContext(ctx context.Context, q *QUBO, rng *rand.Rand, ar *tabuArena) (Solution, error) {
 	n := q.N()
 	if n == 0 {
 		return Solution{Assignment: nil, Value: q.Offset}, nil
@@ -59,6 +87,7 @@ func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) 
 	if restarts <= 0 {
 		restarts = 4
 	}
+	ar.ensure(n)
 
 	// The CSR view makes the per-flip neighbourhood scans (delta init and
 	// incremental updates) map-free.
@@ -78,7 +107,7 @@ func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) 
 		}
 		_, restartSpan := obs.StartSpan(ctx, "tabu.restart")
 		restartSpan.SetAttr("restart", r)
-		x := make([]bool, n)
+		x := ar.x
 		if r == 0 && len(ts.InitialState) == n {
 			copy(x, ts.InitialState)
 		} else {
@@ -87,7 +116,7 @@ func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) 
 			}
 		}
 		// delta[i] = change in objective when flipping variable i.
-		delta := make([]float64, n)
+		delta := ar.delta
 		val := q.Value(x)
 		recompute := func(i int) {
 			d := q.Linear(i)
@@ -105,9 +134,13 @@ func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) 
 		for i := 0; i < n; i++ {
 			recompute(i)
 		}
-		tabuUntil := make([]int, n)
+		tabuUntil := ar.tabuUntil
+		for i := range tabuUntil {
+			tabuUntil[i] = 0
+		}
 		localBest := val
-		localBestX := append([]bool(nil), x...)
+		localBestX := ar.localBestX
+		copy(localBestX, x)
 		for it := 0; it < maxIters; it++ {
 			if it%tabuCtxCheckIters == 0 {
 				if err := ctx.Err(); err != nil {
@@ -152,4 +185,39 @@ func (ts TabuSearch) SolveContext(ctx context.Context, q *QUBO, rng *rand.Rand) 
 		restartSpan.End(nil)
 	}
 	return best, nil
+}
+
+// TabuJob is one instance of a batch tabu solve: the QUBO, the search
+// parameters, and the seed of the instance's private RNG stream (equal
+// seeds reproduce the single-instance SolveContext result exactly).
+type TabuJob struct {
+	Q      *QUBO
+	Search TabuSearch
+	Seed   int64
+}
+
+// SolveTabuBatchContext sweeps many QUBO instances through tabu search in
+// one array pass: the scratch buffers (assignment, flip deltas, tabu
+// clocks, local-best copy) are allocated once at the batch's maximum
+// instance size and reused across every restart of every instance, instead
+// of being reallocated per restart as the standalone path does. Results
+// are bit-identical to calling SolveContext per job with the same seed.
+//
+// Returned slices are index-aligned with jobs; errs[i] is non-nil when
+// instance i was interrupted (its Solution still carries partial progress,
+// as in SolveContext). Once the context expires, all remaining instances
+// fail fast with the context error.
+func SolveTabuBatchContext(ctx context.Context, jobs []TabuJob) ([]Solution, []error) {
+	sols := make([]Solution, len(jobs))
+	errs := make([]error, len(jobs))
+	ar := &tabuArena{}
+	for i, job := range jobs {
+		if err := ctx.Err(); err != nil {
+			errs[i] = fmt.Errorf("qubo: tabu batch interrupted before instance %d/%d: %w", i, len(jobs), err)
+			continue
+		}
+		rng := rand.New(rand.NewSource(job.Seed))
+		sols[i], errs[i] = job.Search.solveContext(ctx, job.Q, rng, ar)
+	}
+	return sols, errs
 }

@@ -72,6 +72,18 @@ type Backend interface {
 	Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error)
 }
 
+// BatchSolver is implemented by backends with an amortised many-instance
+// fast path (shared scratch buffers, one array pass over the jobs). The
+// batch endpoint calls SolveBatch with the deduplicated instances of one
+// envelope; backends without it are solved per instance. Both returned
+// slices are index-aligned with encs, and results must be identical to
+// calling Solve per instance with the same Params — the batch path is an
+// allocation optimisation, never a semantic change.
+type BatchSolver interface {
+	Backend
+	SolveBatch(ctx context.Context, encs []*core.Encoding, ps []Params) ([]*core.Decoded, []error)
+}
+
 // Health states reported by HealthReporter backends (the circuit-breaker
 // wrapper in internal/faults). The strings appear verbatim in /healthz.
 const (
@@ -93,6 +105,11 @@ type BackendHealth struct {
 	// Trips counts transitions into the open state since startup
 	// (closed→open and a failed half-open probe alike).
 	Trips int64 `json:"trips"`
+	// StateAgeSeconds is how long the breaker has been in its current
+	// state (seconds since the last state transition). A large age on an
+	// open breaker means the backend has been sick for a while; cluster
+	// peers use it to distinguish a blip from a persistent outage.
+	StateAgeSeconds float64 `json:"state_age_seconds"`
 }
 
 // HealthReporter is implemented by backends that track their own health —

@@ -1,0 +1,268 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/obs"
+)
+
+// BatchStats summarises one batch envelope: how many items it carried and
+// how many deduplicated canonical instances were actually solved.
+type BatchStats struct {
+	Items  int `json:"items"`
+	Unique int `json:"unique"`
+}
+
+// batchGroup is one deduplicated canonical instance: every member request
+// shares the same cache key, backend, and solver params, so one solve
+// serves them all. Members keep their own relation permutation — two
+// queries that are relabellings of each other share the canonical solve
+// but decode back into their own indexing.
+type batchGroup struct {
+	name    string
+	backend Backend
+	enc     *core.Encoding
+	key     string
+	params  Params
+	members []batchMember
+
+	d   *core.Decoded
+	err error
+}
+
+type batchMember struct {
+	idx  int
+	perm []int
+	hit  bool
+}
+
+// OptimizeBatch runs a whole envelope of requests as one unit of work:
+// one envelope-level deadline (per-item timeouts are ignored), one worker
+// pool slot, identical items deduplicated into a single solve, and
+// backends with a BatchSolver fast path invoked once for all their
+// instances. Items fail independently — the returned slices are
+// index-aligned with reqs, and exactly one of resps[i]/errs[i] is non-nil
+// per item. The whole envelope is rejected (every item erroring
+// identically) only when the pool itself refuses the slot.
+func (s *Service) OptimizeBatch(ctx context.Context, reqs []*Request, timeout time.Duration) ([]*Response, []error, BatchStats) {
+	start := time.Now()
+	stats := BatchStats{Items: len(reqs)}
+	resps := make([]*Response, len(reqs))
+	errs := make([]error, len(reqs))
+	if len(reqs) == 0 {
+		return resps, errs, stats
+	}
+	// Each item counts as a request in the service-wide counters so the
+	// sequential and batch paths are comparable on /metrics.
+	s.metrics.batchEnvelopes.Add(1)
+	s.metrics.batchItems.Add(int64(len(reqs)))
+	s.metrics.requests.Add(int64(len(reqs)))
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	ctx, span := s.cfg.Tracer.Start(ctx, "optimize.batch")
+	span.SetAttr("items", len(reqs))
+
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	run := s.pool.Run
+	if s.cfg.Shed {
+		run = s.pool.TryRun
+	}
+	if err := run(ctx, func(ctx context.Context) {
+		stats.Unique = s.solveBatch(ctx, reqs, resps, errs)
+	}); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.metrics.sheds.Add(1)
+			span.SetAttr("shed", true)
+		}
+		if errors.Is(err, ErrPanic) {
+			s.metrics.panics.Add(1)
+		}
+		for i := range errs {
+			if errs[i] == nil && resps[i] == nil {
+				errs[i] = err
+			}
+		}
+	}
+
+	nerr := 0
+	var firstErr error
+	for _, e := range errs {
+		if e != nil {
+			nerr++
+			if firstErr == nil {
+				firstErr = e
+			}
+		}
+	}
+	s.metrics.errors.Add(int64(nerr))
+	s.metrics.batchUnique.Add(int64(stats.Unique))
+	elapsed := time.Since(start)
+	for _, r := range resps {
+		if r != nil {
+			r.Elapsed = elapsed
+		}
+	}
+	span.SetAttr("unique", stats.Unique)
+	span.SetAttr("item_errors", nerr)
+	if nerr == len(reqs) {
+		// A fully failed envelope is an error trace; partial failures are
+		// kept visible via the item_errors attribute instead.
+		span.End(firstErr)
+	} else {
+		span.End(nil)
+	}
+	return resps, errs, stats
+}
+
+// solveBatch runs on a pool worker: per-item validation and (cached)
+// encoding, deduplication into canonical groups, grouped solving with the
+// BatchSolver fast path where available, and per-member finishing. It
+// returns the number of deduplicated groups solved.
+func (s *Service) solveBatch(ctx context.Context, reqs []*Request, resps []*Response, errs []error) int {
+	var groups []*batchGroup
+	byKey := make(map[string]*batchGroup)
+	for i, req := range reqs {
+		if req == nil || req.Query == nil {
+			errs[i] = fmt.Errorf("service: batch item %d has no query: %w", i, ErrBadRequest)
+			continue
+		}
+		if err := req.Query.Validate(); err != nil {
+			errs[i] = fmt.Errorf("service: batch item %d: invalid query: %v: %w", i, err, ErrBadRequest)
+			continue
+		}
+		name := req.Backend
+		if name == "" {
+			name = s.cfg.DefaultBackend
+		}
+		backend, ok := s.reg.Get(name)
+		if !ok {
+			errs[i] = fmt.Errorf("service: batch item %d: unknown backend %q (have: %s): %w",
+				i, name, strings.Join(s.reg.Names(), ", "), ErrBadRequest)
+			continue
+		}
+		enc, key, perm, hit, err := s.cache.EncodingContext(ctx, req.Query, req.Spec)
+		if err != nil {
+			errs[i] = fmt.Errorf("service: batch item %d: encoding failed: %v: %w", i, err, ErrBadRequest)
+			continue
+		}
+		// Warm-started and hybrid-tuned items are never deduplicated:
+		// their extra inputs are not part of the group key.
+		p := req.Params
+		gk := fmt.Sprintf("!%d", i)
+		if len(p.InitialState) == 0 && p.Hybrid.Strategy == "" && len(p.Hybrid.Portfolio) == 0 && p.Hybrid.HedgeDelay == 0 {
+			gk = fmt.Sprintf("%s|%s|%d|%d", key, name, p.Reads, p.Seed)
+		}
+		g := byKey[gk]
+		if g == nil {
+			g = &batchGroup{name: name, backend: backend, enc: enc, key: key, params: p}
+			byKey[gk] = g
+			groups = append(groups, g)
+		}
+		g.members = append(g.members, batchMember{idx: i, perm: perm, hit: hit})
+	}
+
+	// Partition groups by backend in first-appearance order, so a batch
+	// spanning several backends still makes one fast-path call each.
+	var order []string
+	perBackend := make(map[string][]*batchGroup)
+	for _, g := range groups {
+		if _, ok := perBackend[g.name]; !ok {
+			order = append(order, g.name)
+		}
+		perBackend[g.name] = append(perBackend[g.name], g)
+	}
+
+	for _, name := range order {
+		gs := perBackend[name]
+		bm := s.metrics.Backend(name)
+		if bs, ok := gs[0].backend.(BatchSolver); ok {
+			encs := make([]*core.Encoding, len(gs))
+			ps := make([]Params, len(gs))
+			for gi, g := range gs {
+				encs[gi] = g.enc
+				ps[gi] = g.params
+			}
+			solveCtx, span := obs.StartSpan(ctx, "solve.batch")
+			span.SetAttr("backend", name)
+			span.SetAttr("instances", len(gs))
+			solveStart := time.Now()
+			ds, berrs := s.safeSolveBatch(solveCtx, bs, encs, ps)
+			// Per-instance latency is the amortised share of the batched
+			// call — the histogram then reflects per-query service rate.
+			per := time.Since(solveStart) / time.Duration(len(gs))
+			for gi, g := range gs {
+				err := berrs[gi]
+				if err == nil {
+					err = vetDecoded(g.enc, name, ds[gi])
+				}
+				bm.Observe(per, err)
+				g.d, g.err = ds[gi], err
+			}
+			span.End(nil)
+		} else {
+			for _, g := range gs {
+				solveCtx, span := obs.StartSpan(ctx, "solve")
+				span.SetAttr("backend", name)
+				solveStart := time.Now()
+				d, err := s.safeSolve(solveCtx, g.backend, g.enc, g.params)
+				if err == nil {
+					err = vetDecoded(g.enc, name, d)
+				}
+				bm.Observe(time.Since(solveStart), err)
+				span.End(err)
+				g.d, g.err = d, err
+			}
+		}
+	}
+
+	for _, g := range groups {
+		for _, m := range g.members {
+			resp, err := s.finish(ctx, reqs[m.idx], g.name, g.enc, g.key, m.perm, m.hit, g.d, g.err)
+			if err != nil {
+				errs[m.idx] = err
+			} else {
+				resps[m.idx] = resp
+			}
+		}
+	}
+	return len(groups)
+}
+
+// safeSolveBatch invokes a BatchSolver with the same panic containment as
+// safeSolve, and normalises a misbehaving implementation's slice lengths.
+func (s *Service) safeSolveBatch(ctx context.Context, bs BatchSolver, encs []*core.Encoding, ps []Params) (ds []*core.Decoded, errs []error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ds = make([]*core.Decoded, len(encs))
+			errs = make([]error, len(encs))
+			for i := range errs {
+				errs[i] = fmt.Errorf("service: backend %q panicked in batch: %v: %w", bs.Name(), r, ErrPanic)
+			}
+		}
+	}()
+	ds, errs = bs.SolveBatch(ctx, encs, ps)
+	if len(ds) != len(encs) || len(errs) != len(encs) {
+		err := fmt.Errorf("service: backend %q returned %d results / %d errors for %d batch instances",
+			bs.Name(), len(ds), len(errs), len(encs))
+		ds = make([]*core.Decoded, len(encs))
+		errs = make([]error, len(encs))
+		for i := range errs {
+			errs[i] = err
+		}
+	}
+	return ds, errs
+}

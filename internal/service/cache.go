@@ -212,12 +212,13 @@ func NewEncodingCache(capacity int) *EncodingCache {
 }
 
 // Encoding returns the encoding of the canonical form of q under spec,
-// building and inserting it on a miss, along with the relation permutation
-// (perm[original] = canonical) needed to map decoded orders back, and
-// whether the call was a cache hit. Concurrent misses on the same key may
-// encode twice; the last insert wins, which is harmless because all
-// canonical encodings for a key are identical.
-func (c *EncodingCache) Encoding(q *join.Query, spec EncodeSpec) (enc *core.Encoding, perm []int, hit bool, err error) {
+// building and inserting it on a miss, along with the cache key (the
+// WL-hash fingerprint, also the cluster routing key), the relation
+// permutation (perm[original] = canonical) needed to map decoded orders
+// back, and whether the call was a cache hit. Concurrent misses on the
+// same key may encode twice; the last insert wins, which is harmless
+// because all canonical encodings for a key are identical.
+func (c *EncodingCache) Encoding(q *join.Query, spec EncodeSpec) (enc *core.Encoding, key string, perm []int, hit bool, err error) {
 	return c.EncodingContext(context.Background(), q, spec)
 }
 
@@ -226,12 +227,12 @@ func (c *EncodingCache) Encoding(q *join.Query, spec EncodeSpec) (enc *core.Enco
 // trace carried by ctx. A hit opens no span — nothing was encoded, and a
 // nanosecond map lookup as a span would be pure trace noise; the hit is
 // visible as the root span's cache_hit attribute instead.
-func (c *EncodingCache) EncodingContext(ctx context.Context, q *join.Query, spec EncodeSpec) (enc *core.Encoding, perm []int, hit bool, err error) {
+func (c *EncodingCache) EncodingContext(ctx context.Context, q *join.Query, spec EncodeSpec) (enc *core.Encoding, key string, perm []int, hit bool, err error) {
 	spec = spec.withDefaults()
-	key, perm := Fingerprint(q, spec)
+	key, perm = Fingerprint(q, spec)
 	if enc, ok := c.get(key); ok {
 		c.hits.Add(1)
-		return enc, perm, true, nil
+		return enc, key, perm, true, nil
 	}
 	c.misses.Add(1)
 	ectx, span := obs.StartSpan(ctx, "encode")
@@ -243,12 +244,12 @@ func (c *EncodingCache) EncodingContext(ctx context.Context, q *join.Query, spec
 	})
 	if err != nil {
 		span.End(err)
-		return nil, nil, false, err
+		return nil, key, nil, false, err
 	}
 	span.SetAttr("qubits", enc.NumQubits())
 	span.End(nil)
 	c.put(key, enc)
-	return enc, perm, false, nil
+	return enc, key, perm, false, nil
 }
 
 func (c *EncodingCache) get(key string) (*core.Encoding, bool) {

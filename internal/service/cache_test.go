@@ -97,14 +97,14 @@ func TestFingerprintDistinguishes(t *testing.T) {
 func TestEncodingCacheHitMissAndPermutation(t *testing.T) {
 	c := NewEncodingCache(8)
 	q := chainQuery()
-	enc1, _, hit, err := c.Encoding(q, EncodeSpec{Thresholds: 1})
+	enc1, _, _, hit, err := c.Encoding(q, EncodeSpec{Thresholds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hit {
 		t.Error("first lookup reported a cache hit")
 	}
-	enc2, perm, hit, err := c.Encoding(permuted(q, []int{3, 1, 0, 2}), EncodeSpec{Thresholds: 1})
+	enc2, _, perm, hit, err := c.Encoding(permuted(q, []int{3, 1, 0, 2}), EncodeSpec{Thresholds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestEncodingCacheLRUEviction(t *testing.T) {
 	queries[1].Relations[0].Card = 20
 	queries[2].Relations[0].Card = 30
 	for _, q := range queries {
-		if _, _, _, err := c.Encoding(q, EncodeSpec{Thresholds: 1}); err != nil {
+		if _, _, _, _, err := c.Encoding(q, EncodeSpec{Thresholds: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -142,10 +142,10 @@ func TestEncodingCacheLRUEviction(t *testing.T) {
 		t.Fatalf("cache size = %d after 3 inserts into capacity 2", got)
 	}
 	// The oldest entry (queries[0]) must have been evicted.
-	if _, _, hit, _ := c.Encoding(queries[0], EncodeSpec{Thresholds: 1}); hit {
+	if _, _, _, hit, _ := c.Encoding(queries[0], EncodeSpec{Thresholds: 1}); hit {
 		t.Error("evicted entry reported a cache hit")
 	}
-	if _, _, hit, _ := c.Encoding(queries[2], EncodeSpec{Thresholds: 1}); !hit {
+	if _, _, _, hit, _ := c.Encoding(queries[2], EncodeSpec{Thresholds: 1}); !hit {
 		t.Error("recently used entry was evicted")
 	}
 }
@@ -173,7 +173,7 @@ func TestEncodingCacheConcurrentEviction(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				q := queries[(g*perG+i)%shapes]
-				enc, _, _, err := c.Encoding(q, EncodeSpec{Thresholds: 1})
+				enc, _, _, _, err := c.Encoding(q, EncodeSpec{Thresholds: 1})
 				if err != nil {
 					t.Errorf("encoding failed: %v", err)
 					return
@@ -206,11 +206,11 @@ func TestEncodingCacheConcurrentEviction(t *testing.T) {
 	// Post-churn determinism: with no concurrent evictors, a back-to-back
 	// repeat of the same shape must hit and bump the hit counter by one.
 	// (During the churn phase cyclic LRU access may legitimately never hit.)
-	if _, _, _, err := c.Encoding(queries[0], EncodeSpec{Thresholds: 1}); err != nil {
+	if _, _, _, _, err := c.Encoding(queries[0], EncodeSpec{Thresholds: 1}); err != nil {
 		t.Fatal(err)
 	}
 	before := c.Stats().Hits // after priming: the priming lookup itself may hit
-	if _, _, hit, err := c.Encoding(queries[0], EncodeSpec{Thresholds: 1}); err != nil || !hit {
+	if _, _, _, hit, err := c.Encoding(queries[0], EncodeSpec{Thresholds: 1}); err != nil || !hit {
 		t.Errorf("repeat lookup hit=%v err=%v, want a hit", hit, err)
 	}
 	if after := c.Stats().Hits; after != before+1 {

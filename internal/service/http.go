@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"time"
@@ -52,6 +53,7 @@ type OptimizeResponse struct {
 	OptimalCost    float64  `json:"optimal_cost,omitempty"`
 	Optimal        bool     `json:"optimal"`
 	LogicalQubits  int      `json:"logical_qubits"`
+	CacheKey       string   `json:"cache_key"`
 	CacheHit       bool     `json:"cache_hit"`
 	Degraded       bool     `json:"degraded"`
 	DegradedReason string   `json:"degraded_reason,omitempty"`
@@ -81,6 +83,7 @@ type errorResponse struct {
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	mux.HandleFunc("/v1/optimize/batch", s.handleOptimizeBatch)
 	mux.HandleFunc("/v1/backends", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(r.Context(), w, http.StatusMethodNotAllowed, "GET only")
@@ -206,41 +209,23 @@ func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	ctx := r.Context()
-	if r.Method != http.MethodPost {
-		writeError(ctx, w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var body OptimizeRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&body); err != nil {
-		writeError(ctx, w, http.StatusBadRequest, "invalid request body: "+err.Error())
-		return
-	}
+// toRequest turns one decoded OptimizeRequest body into a service Request,
+// returning a client-facing message on validation failure. It is shared by
+// the single and batch handlers.
+func toRequest(body *OptimizeRequest) (*Request, string) {
 	if len(body.Query) == 0 {
-		writeError(ctx, w, http.StatusBadRequest, `missing "query"`)
-		return
+		return nil, `missing "query"`
 	}
 	q, err := join.ReadCatalog(bytes.NewReader(body.Query))
 	if err != nil {
-		writeError(ctx, w, http.StatusBadRequest, "invalid query: "+err.Error())
-		return
+		return nil, "invalid query: " + err.Error()
 	}
 	if body.TimeoutMs < 0 {
-		writeError(ctx, w, http.StatusBadRequest, `"timeout_ms" must be >= 0 (0 or absent selects the server default)`)
-		return
+		return nil, `"timeout_ms" must be >= 0 (0 or absent selects the server default)`
 	}
-	backend := body.Backend
-	if qp := r.URL.Query().Get("backend"); qp != "" {
-		// The query parameter wins over the body so operators can steer a
-		// canned request at another backend without editing the payload.
-		backend = qp
-	}
-	req := &Request{
+	return &Request{
 		Query:   q,
-		Backend: backend,
+		Backend: body.Backend,
 		Spec: EncodeSpec{
 			Thresholds:   body.Thresholds,
 			Omega:        body.Omega,
@@ -256,17 +241,17 @@ func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			},
 		},
 		Timeout: time.Duration(body.TimeoutMs) * time.Millisecond,
-	}
-	resp, err := s.Optimize(ctx, req)
-	if err != nil {
-		writeError(ctx, w, statusFor(err), err.Error())
-		return
-	}
+	}, ""
+}
+
+// toHTTPResponse renders a service Response over the request's own
+// relation names.
+func toHTTPResponse(req *Request, resp *Response) OptimizeResponse {
 	names := make([]string, len(resp.Order))
 	for i, t := range resp.Order {
-		names[i] = q.Relations[t].Name
+		names[i] = req.Query.Relations[t].Name
 	}
-	writeJSON(w, http.StatusOK, OptimizeResponse{
+	return OptimizeResponse{
 		Backend:        resp.Backend,
 		Order:          names,
 		Tree:           resp.Tree,
@@ -274,11 +259,147 @@ func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		OptimalCost:    resp.OptimalCost,
 		Optimal:        resp.Optimal,
 		LogicalQubits:  resp.LogicalQubits,
+		CacheKey:       resp.CacheKey,
 		CacheHit:       resp.CacheHit,
 		Degraded:       resp.Degraded,
 		DegradedReason: resp.DegradedReason,
 		ElapsedMs:      float64(resp.Elapsed) / float64(time.Millisecond),
-	})
+	}
+}
+
+func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if r.Method != http.MethodPost {
+		writeError(ctx, w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var body OptimizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(ctx, w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	if qp := r.URL.Query().Get("backend"); qp != "" {
+		// The query parameter wins over the body so operators can steer a
+		// canned request at another backend without editing the payload.
+		body.Backend = qp
+	}
+	req, msg := toRequest(&body)
+	if msg != "" {
+		writeError(ctx, w, http.StatusBadRequest, msg)
+		return
+	}
+	resp, err := s.Optimize(ctx, req)
+	if err != nil {
+		writeError(ctx, w, statusFor(err), err.Error())
+		return
+	}
+	// The cache key doubles as the cluster routing key; exposing it as a
+	// header lets clients and proxies verify sticky routing cheaply.
+	w.Header().Set("X-Cache-Key", resp.CacheKey)
+	writeJSON(w, http.StatusOK, toHTTPResponse(req, resp))
+}
+
+// maxBatchItems caps one /v1/optimize/batch envelope; larger envelopes are
+// rejected with 400 rather than silently truncated.
+const maxBatchItems = 1024
+
+// BatchRequest is the POST /v1/optimize/batch body: one deadline for the
+// whole envelope plus the individual jobs. Per-item timeout_ms values are
+// ignored — the envelope deadline governs (absent or 0 selects the server
+// default, clamped to the configured maximum).
+type BatchRequest struct {
+	TimeoutMs int               `json:"timeout_ms,omitempty"`
+	Requests  []OptimizeRequest `json:"requests"`
+}
+
+// BatchItemResult is one item's outcome: exactly one of Response or Error
+// is set. Status carries the HTTP status the item would have received on
+// the single endpoint (the envelope itself is 200 whenever it was solved,
+// even with item failures).
+type BatchItemResult struct {
+	Response *OptimizeResponse `json:"response,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Status   int               `json:"status,omitempty"`
+}
+
+// BatchResponse is the POST /v1/optimize/batch result.
+type BatchResponse struct {
+	Results   []BatchItemResult `json:"results"`
+	Items     int               `json:"items"`
+	Unique    int               `json:"unique"`
+	ElapsedMs float64           `json:"elapsed_ms"`
+}
+
+func (s *Service) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if r.Method != http.MethodPost {
+		writeError(ctx, w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	start := time.Now()
+	var body BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<24))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(ctx, w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	if len(body.Requests) == 0 {
+		writeError(ctx, w, http.StatusBadRequest, `missing "requests"`)
+		return
+	}
+	if len(body.Requests) > maxBatchItems {
+		writeError(ctx, w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d items exceeds the maximum of %d", len(body.Requests), maxBatchItems))
+		return
+	}
+	if body.TimeoutMs < 0 {
+		writeError(ctx, w, http.StatusBadRequest, `"timeout_ms" must be >= 0 (0 or absent selects the server default)`)
+		return
+	}
+
+	reqs := make([]*Request, len(body.Requests))
+	msgs := make([]string, len(body.Requests))
+	for i := range body.Requests {
+		reqs[i], msgs[i] = toRequest(&body.Requests[i])
+	}
+	resps, errs, stats := s.OptimizeBatch(ctx, reqs, time.Duration(body.TimeoutMs)*time.Millisecond)
+
+	out := BatchResponse{
+		Results: make([]BatchItemResult, len(body.Requests)),
+		Items:   stats.Items,
+		Unique:  stats.Unique,
+	}
+	envelopeStatus := http.StatusOK
+	allRejected := true
+	for i := range out.Results {
+		switch {
+		case msgs[i] != "":
+			out.Results[i] = BatchItemResult{Error: msgs[i], Status: http.StatusBadRequest}
+		case errs[i] != nil:
+			st := statusFor(errs[i])
+			out.Results[i] = BatchItemResult{Error: errs[i].Error(), Status: st}
+			// A pool-level rejection fails every item identically; surface
+			// it as the envelope status so clients can back off.
+			if errors.Is(errs[i], ErrOverloaded) || errors.Is(errs[i], ErrShutdown) {
+				envelopeStatus = st
+			} else {
+				allRejected = false
+			}
+		default:
+			hr := toHTTPResponse(reqs[i], resps[i])
+			out.Results[i] = BatchItemResult{Response: &hr}
+			allRejected = false
+		}
+	}
+	if envelopeStatus != http.StatusOK && allRejected {
+		writeError(ctx, w, envelopeStatus, out.Results[0].Error)
+		return
+	}
+	out.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, out)
 }
 
 // statusFor maps service errors onto HTTP status codes.

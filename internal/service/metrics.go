@@ -148,6 +148,10 @@ type Metrics struct {
 	degrades atomic.Int64
 	panics   atomic.Int64
 
+	batchEnvelopes atomic.Int64 // /v1/optimize/batch envelopes accepted
+	batchItems     atomic.Int64 // items across all envelopes
+	batchUnique    atomic.Int64 // deduplicated instances actually solved
+
 	mu       sync.RWMutex
 	backends map[string]*BackendMetrics
 }
@@ -202,10 +206,20 @@ type RequestsSnapshot struct {
 	Panics   int64 `json:"panics"`
 }
 
+// BatchSnapshot summarises the batch endpoint: envelopes accepted, items
+// across them, and the deduplicated instance count actually solved (the
+// gap between Items and Unique is work the dedup pass saved).
+type BatchSnapshot struct {
+	Envelopes int64 `json:"envelopes"`
+	Items     int64 `json:"items"`
+	Unique    int64 `json:"unique"`
+}
+
 // Snapshot is the full /metrics.json payload.
 type Snapshot struct {
 	UptimeSeconds float64                    `json:"uptime_seconds"`
 	Requests      RequestsSnapshot           `json:"requests"`
+	Batch         BatchSnapshot              `json:"batch"`
 	Cache         CacheSnapshot              `json:"cache"`
 	Backends      map[string]BackendSnapshot `json:"backends"`
 }
@@ -227,6 +241,11 @@ func (m *Metrics) Snapshot(cache *EncodingCache) Snapshot {
 			Shed:     m.sheds.Load(),
 			Degraded: m.degrades.Load(),
 			Panics:   m.panics.Load(),
+		},
+		Batch: BatchSnapshot{
+			Envelopes: m.batchEnvelopes.Load(),
+			Items:     m.batchItems.Load(),
+			Unique:    m.batchUnique.Load(),
 		},
 		Backends: make(map[string]BackendSnapshot),
 	}

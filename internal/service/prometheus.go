@@ -37,6 +37,13 @@ func (s *Service) WritePrometheus(w io.Writer) error {
 	p.Family("qjoind_panics_recovered_total", "Backend/worker panics recovered.", "counter")
 	p.Sample("qjoind_panics_recovered_total", nil, float64(m.panics.Load()))
 
+	p.Family("qjoind_batch_envelopes_total", "Batch envelopes accepted on /v1/optimize/batch.", "counter")
+	p.Sample("qjoind_batch_envelopes_total", nil, float64(m.batchEnvelopes.Load()))
+	p.Family("qjoind_batch_items_total", "Items across all batch envelopes.", "counter")
+	p.Sample("qjoind_batch_items_total", nil, float64(m.batchItems.Load()))
+	p.Family("qjoind_batch_unique_total", "Deduplicated batch instances actually solved.", "counter")
+	p.Sample("qjoind_batch_unique_total", nil, float64(m.batchUnique.Load()))
+
 	cs := s.cache.Stats()
 	p.Family("qjoind_encoding_cache_hits_total", "Encoding cache hits.", "counter")
 	p.Sample("qjoind_encoding_cache_hits_total", nil, float64(cs.Hits))
@@ -115,6 +122,10 @@ func (s *Service) WritePrometheus(w io.Writer) error {
 		p.Family("qjoind_backend_breaker_trips_total", "Breaker transitions into the open state.", "counter")
 		for _, name := range hnames {
 			p.Sample("qjoind_backend_breaker_trips_total", map[string]string{"backend": name}, float64(health[name].Trips))
+		}
+		p.Family("qjoind_backend_breaker_state_age_seconds", "Seconds since the breaker's last state transition.", "gauge")
+		for _, name := range hnames {
+			p.Sample("qjoind_backend_breaker_state_age_seconds", map[string]string{"backend": name}, health[name].StateAgeSeconds)
 		}
 	}
 

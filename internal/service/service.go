@@ -133,6 +133,11 @@ type Response struct {
 	Optimal     bool
 	// LogicalQubits is the QUBO encoding size.
 	LogicalQubits int
+	// CacheKey is the permutation-invariant WL-hash fingerprint of (query
+	// shape, encoding options) — the encoding-cache key and the cluster
+	// routing key. Clients can use it to pre-group requests for
+	// /v1/optimize/batch or to verify sticky routing.
+	CacheKey string
 	// CacheHit reports whether the encoding came from the cache.
 	CacheHit bool
 	// Degraded reports that the selected backend failed and the order
@@ -278,7 +283,7 @@ func (s *Service) optimize(ctx context.Context, req *Request, start time.Time) (
 func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Response, error) {
 	// On a miss the cache opens the "encode" span; a hit is recorded as
 	// an attribute on the active (root) span rather than a noise span.
-	enc, perm, hit, err := s.cache.EncodingContext(ctx, req.Query, req.Spec)
+	enc, key, perm, hit, err := s.cache.EncodingContext(ctx, req.Query, req.Spec)
 	obs.ActiveSpan(ctx).SetAttr("cache_hit", hit)
 	if err != nil {
 		return nil, fmt.Errorf("service: encoding failed: %v: %w", err, ErrBadRequest)
@@ -299,7 +304,18 @@ func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Re
 	bm.Observe(time.Since(solveStart), err)
 	solveSpan.End(err)
 
-	producer := backend.Name()
+	return s.finish(ctx, req, backend.Name(), enc, key, perm, hit, d, err)
+}
+
+// finish turns one (possibly failed) backend outcome into a Response:
+// classical degradation when enabled, translation of the canonical-
+// labelled order back into the request's own relation indexing, true-cost
+// re-scoring, and the optional optimal-cost comparison. It is shared by
+// the single-request path and the batch path — in a batch, one solve of a
+// deduplicated canonical instance is finished once per member request,
+// each with its own permutation.
+func (s *Service) finish(ctx context.Context, req *Request, backendName string, enc *core.Encoding, key string, perm []int, hit bool, d *core.Decoded, err error) (*Response, error) {
+	producer := backendName
 	degraded := false
 	reason := ""
 	if err != nil {
@@ -316,7 +332,7 @@ func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Re
 			s.metrics.panics.Add(1)
 		}
 		obs.Logger(ctx).WarnContext(ctx, "backend failed, degrading to classical plan",
-			"backend", backend.Name(), "fallback", producer, "error", reason)
+			"backend", backendName, "fallback", producer, "error", reason)
 	}
 
 	// The backend solved the canonical instance; translate the order back
@@ -340,6 +356,7 @@ func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Re
 		// way into the response.
 		Cost:           req.Query.Cost(order),
 		LogicalQubits:  enc.NumQubits(),
+		CacheKey:       key,
 		CacheHit:       hit,
 		Degraded:       degraded,
 		DegradedReason: reason,
