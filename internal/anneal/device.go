@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"quantumjoin/internal/minorembed"
 	"quantumjoin/internal/obs"
@@ -52,6 +53,16 @@ type Device struct {
 	// Devices are shared across requests; callers warm-starting a single
 	// solve should set this on a shallow copy of the device.
 	InitialState []bool
+	// BatchReads, when > 1, groups that many reads into one interleaved
+	// replica sweep (AnnealBatchContext): the problem arrays are walked once
+	// per sweep for the whole group instead of once per read. Each read then
+	// draws from its own salted RNG stream — a different (equally valid)
+	// sample set than the sequential mode's single shared stream, which is
+	// why the default 0 keeps the legacy sequential loop and its pinned
+	// experiment outputs. Gauge averaging and custom sampler factories that
+	// produce types other than SimulatedAnnealer/PathIntegralAnnealer fall
+	// back to sequential reads.
+	BatchReads int
 }
 
 // Annealer produces one spin configuration per read.
@@ -239,6 +250,11 @@ func (d *Device) sampleEmbeddedContext(ctx context.Context, q *qubo.QUBO, emb *m
 		PhysicalQubits:   emb.PhysicalQubits(),
 		AnnealTimeMicros: annealTimeMicros,
 	}
+	if d.BatchReads > 1 && !d.GaugeAveraging {
+		if done, err := d.sampleReadsBatched(ctx, q, emb, physical, chainOf, physInit, sampler, reads, seed, res); done {
+			return res, err
+		}
+	}
 	breaks, total := 0, 0
 	for r := 0; r < reads; r++ {
 		if err := ctx.Err(); err != nil {
@@ -310,6 +326,126 @@ func (d *Device) sampleEmbeddedContext(ctx context.Context, q *qubo.QUBO, emb *m
 	return res, nil
 }
 
+// readSeed derives the independent RNG stream of read r in batched mode
+// (sequential mode shares one seed ^ 0x5eed stream across all reads).
+func readSeed(seed int64, r int) int64 {
+	return seed ^ 0x5eed ^ int64(uint64(r+1)*0x9e3779b97f4a7c15)
+}
+
+// sampleReadsBatched runs the read loop in groups of BatchReads interleaved
+// replicas. Reported done=false means the sampler type has no batched
+// implementation and the caller should fall back to the sequential loop.
+// Outputs are invariant to the group size: read r's RNG stream, ICE
+// perturbation, and unembedding tie-breaks depend only on (seed, r).
+func (d *Device) sampleReadsBatched(ctx context.Context, q *qubo.QUBO, emb *minorembed.Embedding, physical *IsingProblem, chainOf map[int]physQubit, physInit []int8, sampler Annealer, reads int, seed int64, res *Result) (bool, error) {
+	type batchAnnealer interface {
+		AnnealBatchContext(ctx context.Context, probs []*IsingProblem, rngs []*rand.Rand) ([][]int8, error)
+	}
+	var runGroup func(probs []*IsingProblem, rngs []*rand.Rand) ([][]int8, error)
+	switch sam := sampler.(type) {
+	case SimulatedAnnealer:
+		sam.InitialState = physInit
+		runGroup = func(probs []*IsingProblem, rngs []*rand.Rand) ([][]int8, error) {
+			return sam.AnnealBatchContext(ctx, probs, rngs)
+		}
+	case PathIntegralAnnealer:
+		sam.InitialState = physInit
+		runGroup = func(probs []*IsingProblem, rngs []*rand.Rand) ([][]int8, error) {
+			return sam.AnnealBatchContext(ctx, probs, rngs)
+		}
+	default:
+		if ba, ok := sampler.(batchAnnealer); ok {
+			ws, warm := sampler.(WarmStarter)
+			runGroup = func(probs []*IsingProblem, rngs []*rand.Rand) ([][]int8, error) {
+				if physInit != nil && warm {
+					if wba, ok := ws.WarmStart(physInit).(batchAnnealer); ok {
+						return wba.AnnealBatchContext(ctx, probs, rngs)
+					}
+				}
+				return ba.AnnealBatchContext(ctx, probs, rngs)
+			}
+		} else {
+			return false, nil
+		}
+	}
+	noisy := d.SigmaH > 0 || d.SigmaJ > 0
+	group := d.BatchReads
+	if group > reads {
+		group = reads
+	}
+	var scratch []*IsingProblem
+	if noisy {
+		scratch = make([]*IsingProblem, group)
+		for j := range scratch {
+			scratch[j] = physical.Copy()
+		}
+	}
+	rngs := make([]*rand.Rand, group)
+	probs := make([]*IsingProblem, group)
+	breaks, total := 0, 0
+	fail := func(completed int, err error) (bool, error) {
+		if total > 0 {
+			res.ChainBreakFraction = float64(breaks) / float64(total)
+		}
+		return true, fmt.Errorf("anneal: sampling interrupted after %d/%d reads: %w", completed, reads, err)
+	}
+	for base := 0; base < reads; base += group {
+		if err := ctx.Err(); err != nil {
+			return fail(base, err)
+		}
+		cnt := group
+		if base+cnt > reads {
+			cnt = reads - base
+		}
+		for j := 0; j < cnt; j++ {
+			rngs[j] = rand.New(rand.NewSource(readSeed(seed, base+j)))
+			if noisy {
+				physical.CopyInto(scratch[j])
+				scratch[j].Perturb(d.SigmaH, d.SigmaJ, rngs[j])
+				probs[j] = scratch[j]
+			}
+		}
+		var spins [][]int8
+		var err error
+		if noisy {
+			spins, err = runGroup(probs[:cnt], rngs[:cnt])
+		} else {
+			shared := [1]*IsingProblem{physical}
+			spins, err = runGroup(shared[:], rngs[:cnt])
+		}
+		if err != nil {
+			return fail(base, err)
+		}
+		for j := 0; j < cnt; j++ {
+			rng := rngs[j]
+			x := make([]bool, q.N())
+			for v, chain := range emb.Chains {
+				up := 0
+				for _, pq := range chain {
+					if spins[j][chainOf[pq].spinIndex] > 0 {
+						up++
+					}
+				}
+				if up*2 > len(chain) {
+					x[v] = true
+				} else if up*2 == len(chain) {
+					x[v] = rng.Intn(2) == 0
+				}
+				if up != 0 && up != len(chain) {
+					breaks++
+				}
+				total++
+			}
+			res.Assignments = append(res.Assignments, x)
+			res.Energies = append(res.Energies, q.Value(x))
+		}
+	}
+	if total > 0 {
+		res.ChainBreakFraction = float64(breaks) / float64(total)
+	}
+	return true, nil
+}
+
 type physQubit struct {
 	spinIndex int
 	variable  int
@@ -360,8 +496,24 @@ func (d *Device) buildPhysical(q *qubo.QUBO, emb *minorembed.Embedding) (*IsingP
 			p.H[chainOf[pq].spinIndex] += share
 		}
 	}
-	// Logical couplings split across available physical couplers.
-	for pair, j := range logical.J {
+	// Logical couplings split across available physical couplers. Iterate
+	// in sorted pair order, not map order: adjacency-list order determines
+	// both Perturb's noise-to-coupling mapping and float accumulation
+	// order, so the physical problem must come out bit-identical every
+	// time the same QUBO is built (repeated Sample calls at one seed, and
+	// the batched-read group-size invariance, rely on it).
+	pairs := make([]qubo.Pair, 0, len(logical.J))
+	for pair := range logical.J {
+		pairs = append(pairs, pair)
+	}
+	slices.SortFunc(pairs, func(a, b qubo.Pair) int {
+		if a.I != b.I {
+			return a.I - b.I
+		}
+		return a.J - b.J
+	})
+	for _, pair := range pairs {
+		j := logical.J[pair]
 		var couplers [][2]int
 		inB := make(map[int]bool)
 		for _, pq := range emb.Chains[pair.J] {

@@ -1,0 +1,298 @@
+package anneal
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Batched multi-seed reads: instead of re-walking the problem arrays once
+// per read, a whole group of independent reads ("replicas") advances
+// through one interleaved sweep. Spins are stored replica-strided
+// (spins[i*R+r] is spin i of replica r), so each spin's fields and
+// adjacency list are read once per sweep for the entire group — the strided
+// pass that makes multi-restart sampling memory-bound on the problem, not
+// on the restart count.
+//
+// Each replica owns its RNG and consumes it in exactly the order a solo
+// AnnealContext read would (initial spins, then per sweep per spin a single
+// uniform when the flip is uphill), so batched reads are bit-identical to
+// sequential reads with the same per-read RNGs.
+
+// checkBatchProblems validates the shared-or-per-replica problem slice and
+// returns the spin count.
+func checkBatchProblems(probs []*IsingProblem, nReplicas int) (int, error) {
+	if nReplicas == 0 {
+		return 0, fmt.Errorf("anneal: batched read group is empty")
+	}
+	if len(probs) != 1 && len(probs) != nReplicas {
+		return 0, fmt.Errorf("anneal: %d problems for %d replicas (want 1 shared or one per replica)", len(probs), nReplicas)
+	}
+	n := probs[0].N()
+	for _, p := range probs[1:] {
+		if p.N() != n {
+			return 0, fmt.Errorf("anneal: batched problems disagree on spin count: %d != %d", p.N(), n)
+		}
+	}
+	return n, nil
+}
+
+// unstride copies a replica-strided spin buffer into one slice per replica.
+func unstride(spins []int8, n, nReplicas int) [][]int8 {
+	out := make([][]int8, nReplicas)
+	for r := range out {
+		s := make([]int8, n)
+		for i := 0; i < n; i++ {
+			s[i] = spins[i*nReplicas+r]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// AnnealBatchContext runs len(rngs) independent reads through one
+// interleaved sweep. probs carries either a single problem shared by every
+// replica or one (e.g. ICE-perturbed) problem per replica. Replica r's
+// result is bit-identical to a solo AnnealContext read on probs[min(r,
+// len(probs)-1)] with rngs[r]. On context expiry the whole group stops,
+// returning the spin configurations reached so far with the wrapped error.
+func (sa SimulatedAnnealer) AnnealBatchContext(ctx context.Context, probs []*IsingProblem, rngs []*rand.Rand) ([][]int8, error) {
+	R := len(rngs)
+	n, err := checkBatchProblems(probs, R)
+	if err != nil {
+		return nil, err
+	}
+	if sa.Sweeps <= 0 {
+		sa.Sweeps = 64
+	}
+	if sa.BetaMin == 0 {
+		sa.BetaMin = 0.1
+	}
+	if sa.BetaMax == 0 {
+		sa.BetaMax = 10
+	}
+	shared := len(probs) == 1
+	probFor := func(r int) *IsingProblem {
+		if shared {
+			return probs[0]
+		}
+		return probs[r]
+	}
+	spins := make([]int8, n*R)
+	// Initial draws per replica in replica order: each rng sees exactly the
+	// sequence its solo read would.
+	for r := 0; r < R; r++ {
+		if len(sa.InitialState) == n {
+			for i := 0; i < n; i++ {
+				spins[i*R+r] = sa.InitialState[i]
+			}
+			continue
+		}
+		rng := rngs[r]
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				spins[i*R+r] = 1
+			} else {
+				spins[i*R+r] = -1
+			}
+		}
+	}
+	local := make([]float64, n*R)
+	for r := 0; r < R; r++ {
+		p := probFor(r)
+		for i := 0; i < n; i++ {
+			f := p.H[i]
+			for _, c := range p.Adj[i] {
+				f += c.J * float64(spins[c.To*R+r])
+			}
+			local[i*R+r] = f
+		}
+	}
+	ratio := math.Pow(sa.BetaMax/sa.BetaMin, 1/math.Max(1, float64(sa.Sweeps-1)))
+	beta := sa.BetaMin
+	for sweep := 0; sweep < sa.Sweeps; sweep++ {
+		if sweep%ctxCheckSweeps == 0 {
+			if err := ctx.Err(); err != nil {
+				return unstride(spins, n, R), fmt.Errorf("anneal: batched reads interrupted after %d/%d sweeps: %w", sweep, sa.Sweeps, err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			base := i * R
+			sharedAdj := probs[0].Adj[i]
+			for r := 0; r < R; r++ {
+				adj := sharedAdj
+				if !shared {
+					adj = probs[r].Adj[i]
+				}
+				s := float64(spins[base+r])
+				dE := -2 * s * local[base+r]
+				if dE <= 0 || rngs[r].Float64() < math.Exp(-beta*dE) {
+					spins[base+r] = -spins[base+r]
+					for _, c := range adj {
+						local[c.To*R+r] -= 2 * c.J * s
+					}
+				}
+			}
+		}
+		beta *= ratio
+	}
+	return unstride(spins, n, R), nil
+}
+
+// energyStrided is IsingProblem.Energy over one replica of a strided spin
+// buffer, summing in the same order so energies compare bit-identically.
+func energyStrided(p *IsingProblem, spins []int8, r, R int) float64 {
+	e := p.Const
+	for i, h := range p.H {
+		e += h * float64(spins[i*R+r])
+	}
+	for i, nbrs := range p.Adj {
+		for _, c := range nbrs {
+			if c.To > i {
+				e += c.J * float64(spins[i*R+r]) * float64(spins[c.To*R+r])
+			}
+		}
+	}
+	return e
+}
+
+// AnnealBatchContext runs len(rngs) independent PIMC reads through one
+// interleaved sweep over all Trotter slices; see
+// SimulatedAnnealer.AnnealBatchContext for the problem-sharing and
+// bit-identity contract.
+func (pa PathIntegralAnnealer) AnnealBatchContext(ctx context.Context, probs []*IsingProblem, rngs []*rand.Rand) ([][]int8, error) {
+	R := len(rngs)
+	n, err := checkBatchProblems(probs, R)
+	if err != nil {
+		return nil, err
+	}
+	if pa.Slices <= 0 {
+		pa.Slices = 8
+	}
+	if pa.Sweeps <= 0 {
+		pa.Sweeps = 64
+	}
+	if pa.Gamma0 == 0 {
+		if pa.InitialState != nil {
+			pa.Gamma0 = 0.5
+		} else {
+			pa.Gamma0 = 3
+		}
+	}
+	if pa.Beta == 0 {
+		if pa.InitialState != nil {
+			pa.Beta = 32
+		} else {
+			pa.Beta = 8
+		}
+	}
+	shared := len(probs) == 1
+	probFor := func(r int) *IsingProblem {
+		if shared {
+			return probs[0]
+		}
+		return probs[r]
+	}
+	P := pa.Slices
+	betaSlice := pa.Beta / float64(P)
+
+	spins := make([][]int8, P)
+	for k := range spins {
+		spins[k] = make([]int8, n*R)
+	}
+	// A solo read draws its replicas slice by slice; keep that (k, i) order
+	// per rng.
+	for r := 0; r < R; r++ {
+		if len(pa.InitialState) == n {
+			for k := 0; k < P; k++ {
+				for i := 0; i < n; i++ {
+					spins[k][i*R+r] = pa.InitialState[i]
+				}
+			}
+			continue
+		}
+		rng := rngs[r]
+		for k := 0; k < P; k++ {
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					spins[k][i*R+r] = 1
+				} else {
+					spins[k][i*R+r] = -1
+				}
+			}
+		}
+	}
+	local := make([][]float64, P)
+	for k := range local {
+		local[k] = make([]float64, n*R)
+		for r := 0; r < R; r++ {
+			p := probFor(r)
+			for i := 0; i < n; i++ {
+				f := p.H[i]
+				for _, c := range p.Adj[i] {
+					f += c.J * float64(spins[k][c.To*R+r])
+				}
+				local[k][i*R+r] = f
+			}
+		}
+	}
+
+	bestReplicas := func() [][]int8 {
+		out := make([][]int8, R)
+		for r := 0; r < R; r++ {
+			p := probFor(r)
+			bestK := 0
+			bestE := energyStrided(p, spins[0], r, R)
+			for k := 1; k < P; k++ {
+				if e := energyStrided(p, spins[k], r, R); e < bestE {
+					bestE = e
+					bestK = k
+				}
+			}
+			s := make([]int8, n)
+			for i := 0; i < n; i++ {
+				s[i] = spins[bestK][i*R+r]
+			}
+			out[r] = s
+		}
+		return out
+	}
+
+	for sweep := 0; sweep < pa.Sweeps; sweep++ {
+		if sweep%ctxCheckSweeps == 0 {
+			if err := ctx.Err(); err != nil {
+				return bestReplicas(), fmt.Errorf("anneal: batched PIMC reads interrupted after %d/%d sweeps: %w", sweep, pa.Sweeps, err)
+			}
+		}
+		frac := float64(sweep) / math.Max(1, float64(pa.Sweeps-1))
+		gamma := pa.Gamma0 * (1 - frac)
+		if gamma < 1e-3 {
+			gamma = 1e-3
+		}
+		jPerp := -0.5 / betaSlice * math.Log(math.Tanh(betaSlice*gamma))
+		for k := 0; k < P; k++ {
+			up := (k + 1) % P
+			down := (k - 1 + P) % P
+			for i := 0; i < n; i++ {
+				base := i * R
+				sharedAdj := probs[0].Adj[i]
+				for r := 0; r < R; r++ {
+					adj := sharedAdj
+					if !shared {
+						adj = probs[r].Adj[i]
+					}
+					s := float64(spins[k][base+r])
+					dE := -2 * s * (local[k][base+r] + jPerp*(float64(spins[up][base+r])+float64(spins[down][base+r])))
+					if dE <= 0 || rngs[r].Float64() < math.Exp(-betaSlice*dE) {
+						spins[k][base+r] = -spins[k][base+r]
+						for _, c := range adj {
+							local[k][c.To*R+r] -= 2 * c.J * s
+						}
+					}
+				}
+			}
+		}
+	}
+	return bestReplicas(), nil
+}

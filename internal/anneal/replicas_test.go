@@ -1,0 +1,257 @@
+package anneal
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomIsing builds a random dense-ish Ising problem for equivalence tests.
+func randomIsing(rng *rand.Rand, n int) *IsingProblem {
+	p := NewIsingProblem(n)
+	for i := 0; i < n; i++ {
+		p.H[i] = rng.NormFloat64()
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				p.AddCoupling(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return p
+}
+
+func seedRngs(seeds ...int64) []*rand.Rand {
+	rngs := make([]*rand.Rand, len(seeds))
+	for i, s := range seeds {
+		rngs[i] = rand.New(rand.NewSource(s))
+	}
+	return rngs
+}
+
+// TestSABatchMatchesSequential pins the batched-read contract: replica r of
+// AnnealBatchContext must be spin-for-spin identical to a solo AnnealContext
+// read with the same RNG, for both a shared problem and per-replica
+// (ICE-style perturbed) problem copies, and under a warm start.
+func TestSABatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4401))
+	p := randomIsing(rng, 12)
+	seeds := []int64{1, 7, 42, 1001}
+
+	perReplica := make([]*IsingProblem, len(seeds))
+	for r := range perReplica {
+		c := p.Copy()
+		c.Perturb(0.05, 0.05, rand.New(rand.NewSource(int64(r)+500)))
+		perReplica[r] = c
+	}
+	warm := make([]int8, p.N())
+	for i := range warm {
+		if i%2 == 0 {
+			warm[i] = 1
+		} else {
+			warm[i] = -1
+		}
+	}
+
+	cases := []struct {
+		name  string
+		sa    SimulatedAnnealer
+		probs []*IsingProblem
+	}{
+		{"shared", SimulatedAnnealer{Sweeps: 48}, []*IsingProblem{p}},
+		{"per-replica", SimulatedAnnealer{Sweeps: 48}, perReplica},
+		{"warm-start", SimulatedAnnealer{Sweeps: 48, InitialState: warm}, []*IsingProblem{p}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batch, err := tc.sa.AnnealBatchContext(context.Background(), tc.probs, seedRngs(seeds...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r, seed := range seeds {
+				prob := tc.probs[0]
+				if len(tc.probs) > 1 {
+					prob = tc.probs[r]
+				}
+				solo, err := tc.sa.AnnealContext(context.Background(), prob, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range solo {
+					if batch[r][i] != solo[i] {
+						t.Fatalf("replica=%d spin=%d: batched %d != solo %d", r, i, batch[r][i], solo[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPIMCBatchMatchesSequential is the PIMC counterpart of the SA
+// equivalence test, covering the multi-slice RNG draw order and the
+// best-replica selection.
+func TestPIMCBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4402))
+	p := randomIsing(rng, 10)
+	seeds := []int64{2, 13, 77}
+
+	perReplica := make([]*IsingProblem, len(seeds))
+	for r := range perReplica {
+		c := p.Copy()
+		c.Perturb(0.05, 0.05, rand.New(rand.NewSource(int64(r)+900)))
+		perReplica[r] = c
+	}
+	warm := make([]int8, p.N())
+	for i := range warm {
+		warm[i] = 1
+	}
+
+	cases := []struct {
+		name  string
+		pa    PathIntegralAnnealer
+		probs []*IsingProblem
+	}{
+		{"shared", PathIntegralAnnealer{Sweeps: 32, Slices: 4}, []*IsingProblem{p}},
+		{"per-replica", PathIntegralAnnealer{Sweeps: 32, Slices: 4}, perReplica},
+		{"warm-start", PathIntegralAnnealer{Sweeps: 32, Slices: 4, InitialState: warm}, []*IsingProblem{p}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batch, err := tc.pa.AnnealBatchContext(context.Background(), tc.probs, seedRngs(seeds...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r, seed := range seeds {
+				prob := tc.probs[0]
+				if len(tc.probs) > 1 {
+					prob = tc.probs[r]
+				}
+				solo, err := tc.pa.AnnealContext(context.Background(), prob, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range solo {
+					if batch[r][i] != solo[i] {
+						t.Fatalf("replica=%d spin=%d: batched %d != solo %d", r, i, batch[r][i], solo[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchProblemValidation covers the shared-or-per-replica problem slice
+// contract.
+func TestBatchProblemValidation(t *testing.T) {
+	p3 := NewIsingProblem(3)
+	p4 := NewIsingProblem(4)
+	sa := SimulatedAnnealer{Sweeps: 4}
+	if _, err := sa.AnnealBatchContext(context.Background(), []*IsingProblem{p3}, nil); err == nil {
+		t.Fatal("empty read group accepted")
+	}
+	if _, err := sa.AnnealBatchContext(context.Background(), []*IsingProblem{p3, p3}, seedRngs(1, 2, 3)); err == nil {
+		t.Fatal("2 problems for 3 replicas accepted")
+	}
+	if _, err := sa.AnnealBatchContext(context.Background(), []*IsingProblem{p3, p4, p3}, seedRngs(1, 2, 3)); err == nil {
+		t.Fatal("mismatched spin counts accepted")
+	}
+	if _, err := sa.AnnealBatchContext(context.Background(), []*IsingProblem{p3}, seedRngs(1, 2, 3)); err != nil {
+		t.Fatalf("valid shared-problem group rejected: %v", err)
+	}
+}
+
+// TestBatchContextCancellation checks the whole group stops with partial
+// results and a wrapped context error.
+func TestBatchContextCancellation(t *testing.T) {
+	p := randomIsing(rand.New(rand.NewSource(4403)), 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sa := SimulatedAnnealer{Sweeps: 1000}
+	got, err := sa.AnnealBatchContext(ctx, []*IsingProblem{p}, seedRngs(5, 6))
+	if err == nil {
+		t.Fatal("cancelled batch returned no error")
+	}
+	if len(got) != 2 || len(got[0]) != p.N() {
+		t.Fatalf("cancelled batch returned malformed partial results: %d groups", len(got))
+	}
+}
+
+// TestDeviceBatchReadsGroupSizeInvariant pins the batched device contract:
+// read r depends only on (seed, r), so changing the group size must not
+// change any sample. ICE noise is left at device defaults so the perturbed
+// per-replica path is exercised.
+func TestDeviceBatchReadsGroupSizeInvariant(t *testing.T) {
+	q := smallQUBO()
+	run := func(batch int) *Result {
+		d := testDevice()
+		d.SigmaH, d.SigmaJ = 0.02, 0.015
+		d.BatchReads = batch
+		res, err := d.Sample(q, 40, 20, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	small, large := run(4), run(64)
+	if len(small.Assignments) != 40 || len(large.Assignments) != 40 {
+		t.Fatalf("read counts wrong: %d/%d", len(small.Assignments), len(large.Assignments))
+	}
+	for r := range small.Assignments {
+		if small.Energies[r] != large.Energies[r] {
+			t.Fatalf("read=%d: energy %v (batch 4) != %v (batch 64)", r, small.Energies[r], large.Energies[r])
+		}
+		for i := range small.Assignments[r] {
+			if small.Assignments[r][i] != large.Assignments[r][i] {
+				t.Fatalf("read=%d bit=%d: assignment differs across group sizes", r, i)
+			}
+		}
+	}
+	if small.ChainBreakFraction != large.ChainBreakFraction {
+		t.Fatalf("chain break fraction %v != %v across group sizes", small.ChainBreakFraction, large.ChainBreakFraction)
+	}
+}
+
+// TestDeviceBatchReadsFindOptimum checks batched sampling still solves the
+// toy problem and that logical energies match the assignments.
+func TestDeviceBatchReadsFindOptimum(t *testing.T) {
+	d := testDevice()
+	d.BatchReads = 16
+	q := smallQUBO()
+	res, err := d.Sample(q, 50, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for i, x := range res.Assignments {
+		if v := q.Value(x); math.Abs(v-res.Energies[i]) > 1e-9 {
+			t.Fatal("energy mismatch with assignment")
+		} else if v < best {
+			best = v
+		}
+	}
+	if best > -2+1e-9 {
+		t.Fatalf("batched noiseless annealer best energy %v, want -2", best)
+	}
+}
+
+// TestDeviceBatchReadsGaugeFallback ensures gauge averaging transparently
+// falls back to the sequential read loop (batched mode would change its
+// sample stream) and still produces valid output.
+func TestDeviceBatchReadsGaugeFallback(t *testing.T) {
+	d := testDevice()
+	d.BatchReads = 16
+	d.GaugeAveraging = true
+	q := smallQUBO()
+	res, err := d.Sample(q, 12, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 12 {
+		t.Fatalf("gauge fallback returned %d reads, want 12", len(res.Assignments))
+	}
+	for i, x := range res.Assignments {
+		if v := q.Value(x); math.Abs(v-res.Energies[i]) > 1e-9 {
+			t.Fatal("energy mismatch with assignment")
+		}
+	}
+}

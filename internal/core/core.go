@@ -19,7 +19,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
+	"quantumjoin/internal/classical"
 	"quantumjoin/internal/join"
 	"quantumjoin/internal/linprog"
 	"quantumjoin/internal/obs"
@@ -127,6 +129,11 @@ type Encoding struct {
 
 	tii [][]int // tii[t][j] -> variable index
 	tio [][]int // tio[t][j] -> variable index
+
+	// Cached classical optimum of Query (see Optimal in decode.go).
+	optOnce sync.Once
+	optRes  classical.Result
+	optErr  error
 }
 
 // NumQubits returns the number of logical qubits the encoding needs (one

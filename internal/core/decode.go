@@ -179,11 +179,125 @@ func (e *Encoding) BestValid(samples [][]bool) (best Decoded, valid int, ok bool
 	return best, valid, ok
 }
 
+// Decoder decodes samples without per-call allocations: the per-decode
+// scratch (used marks, inner picks, order buffers) lives on the Decoder
+// and is reused across calls, growing only when a larger encoding shows
+// up. A Decoder is not safe for concurrent use; pool instances instead of
+// sharing one. The zero value is ready to use.
+type Decoder struct {
+	used  []bool
+	inner []int
+	cur   Decoded // scratch for the candidate being decoded
+}
+
+// grow sizes the scratch for an encoding with T relations and J joins.
+func (dec *Decoder) grow(t, j int) {
+	if cap(dec.used) < t {
+		dec.used = make([]bool, t)
+	}
+	dec.used = dec.used[:t]
+	for i := range dec.used {
+		dec.used[i] = false
+	}
+	if cap(dec.inner) < j {
+		dec.inner = make([]int, j)
+	}
+	dec.inner = dec.inner[:j]
+}
+
+// DecodeInto is Encoding.Decode writing its result into *d, reusing
+// d.Order's backing array when it has capacity. On invalid samples d is
+// reset to the zero Decoded (with Energy, like Decode).
+func (dec *Decoder) DecodeInto(e *Encoding, x []bool, d *Decoded) {
+	if len(x) < e.NumDecisionVars() {
+		panic(fmt.Sprintf("core: assignment has %d variables, need at least %d", len(x), e.NumDecisionVars()))
+	}
+	d.Valid = false
+	d.Order = d.Order[:0]
+	d.Cost = 0
+	d.Energy = 0
+	if len(x) == e.QUBO.N() {
+		d.Energy = e.QUBO.Value(x)
+	}
+	T := e.Query.NumRelations()
+	J := e.Query.NumJoins()
+	dec.grow(T, J)
+	for j := 0; j < J; j++ {
+		dec.inner[j] = -1
+		for t := 0; t < T; t++ {
+			if !x[e.tii[t][j]] {
+				continue
+			}
+			if dec.inner[j] >= 0 {
+				return // ambiguous: two inner relations for one join
+			}
+			dec.inner[j] = t
+		}
+		if dec.inner[j] < 0 || dec.used[dec.inner[j]] {
+			return // missing or repeated inner relation
+		}
+		dec.used[dec.inner[j]] = true
+	}
+	first := -1
+	for t := 0; t < T; t++ {
+		if !dec.used[t] {
+			first = t
+			break
+		}
+	}
+	if first < 0 {
+		return
+	}
+	d.Order = append(d.Order, first)
+	for _, t := range dec.inner {
+		d.Order = append(d.Order, t)
+	}
+	d.Valid = true
+	d.Cost = e.Query.Cost(d.Order)
+}
+
+// BestValidInto is BestValid with Decoder scratch reuse: *best receives
+// the cheapest valid decode (its Order backing array is reused). ok is
+// false — and *best is left untouched — when no sample is valid.
+func (dec *Decoder) BestValidInto(e *Encoding, samples [][]bool, best *Decoded) (valid int, ok bool) {
+	for _, s := range samples {
+		dec.DecodeInto(e, s, &dec.cur)
+		if !dec.cur.Valid {
+			continue
+		}
+		valid++
+		if !ok || dec.cur.Cost < best.Cost {
+			// Swap buffers instead of copying: cur's order becomes the
+			// best, and best's old backing array is recycled as scratch.
+			dec.cur, *best = *best, dec.cur
+			ok = true
+		}
+	}
+	return valid, ok
+}
+
+// Optimal returns the classical DP optimum of the encoded query, computed
+// at most once per encoding and cached for its lifetime. An encoding held
+// in the service's LRU cache therefore pays for the exponential DP once
+// per query shape, not once per request; since plan costs are invariant
+// under relation relabelling, the cached cost is also the optimum of every
+// query that canonicalises to this encoding.
+func (e *Encoding) Optimal() (classical.Result, error) {
+	e.optOnce.Do(func() {
+		e.optRes, e.optErr = classical.Optimal(e.Query)
+	})
+	return e.optRes, e.optErr
+}
+
 // IsOptimal reports whether a decoded solution attains the classical
-// optimum of the underlying query.
+// optimum of the underlying query (cached, see Optimal).
 func (e *Encoding) IsOptimal(d Decoded) (bool, error) {
 	if !d.Valid {
 		return false, nil
 	}
-	return classical.IsOptimal(e.Query, d.Cost)
+	opt, err := e.Optimal()
+	if err != nil {
+		return false, err
+	}
+	return d.Cost <= opt.Cost*(1+1e-9)+1e-12, nil
 }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/classical"
+	"quantumjoin/internal/querygen"
+)
+
+// TestDecoderMatchesDecode pins the zero-alloc decoder against the
+// allocating reference on valid orders, random (mostly invalid) samples,
+// and reuse across encodings of different sizes.
+func TestDecoderMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var dec Decoder
+	for _, preds := range []int{0, 2} {
+		q, err := querygen.PaperInstance(preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Encode(q, paperOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples := make([][]bool, 0, 40)
+		for s := 0; s < 32; s++ {
+			x := make([]bool, e.QUBO.N())
+			for i := range x {
+				x[i] = rng.Intn(2) == 0
+			}
+			samples = append(samples, x)
+		}
+		// Mix in valid encodings so the best-tracking path is exercised.
+		for _, o := range [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}} {
+			x, err := e.EncodeOrder(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples = append(samples, x)
+		}
+		var got Decoded
+		for si, x := range samples {
+			want := e.Decode(x)
+			dec.DecodeInto(e, x, &got)
+			if got.Valid != want.Valid || got.Cost != want.Cost || got.Energy != want.Energy {
+				t.Fatalf("preds=%d sample=%d: DecodeInto %+v != Decode %+v", preds, si, got, want)
+			}
+			if want.Valid {
+				if len(got.Order) != len(want.Order) {
+					t.Fatalf("preds=%d sample=%d: order lengths differ", preds, si)
+				}
+				for i := range want.Order {
+					if got.Order[i] != want.Order[i] {
+						t.Fatalf("preds=%d sample=%d: orders differ at %d", preds, si, i)
+					}
+				}
+			}
+		}
+		wantBest, wantValid, wantOK := e.BestValid(samples)
+		var gotBest Decoded
+		gotValid, gotOK := dec.BestValidInto(e, samples, &gotBest)
+		if gotValid != wantValid || gotOK != wantOK {
+			t.Fatalf("preds=%d: BestValidInto (%d,%v) != BestValid (%d,%v)", preds, gotValid, gotOK, wantValid, wantOK)
+		}
+		if wantOK {
+			if gotBest.Cost != wantBest.Cost || len(gotBest.Order) != len(wantBest.Order) {
+				t.Fatalf("preds=%d: best %+v != %+v", preds, gotBest, wantBest)
+			}
+			for i := range wantBest.Order {
+				if gotBest.Order[i] != wantBest.Order[i] {
+					t.Fatalf("preds=%d: best orders differ at %d", preds, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodingOptimalCached checks the cached DP optimum agrees with a
+// direct classical solve and that IsOptimal routes through it.
+func TestEncodingOptimalCached(t *testing.T) {
+	q, err := querygen.PaperInstance(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Encode(q, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := classical.Optimal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := e.Optimal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost != want.Cost {
+			t.Fatalf("cached optimal cost %v != %v", got.Cost, want.Cost)
+		}
+	}
+	ok, err := e.IsOptimal(Decoded{Valid: true, Cost: want.Cost})
+	if err != nil || !ok {
+		t.Fatalf("optimal cost not recognised: ok=%v err=%v", ok, err)
+	}
+	ok, err = e.IsOptimal(Decoded{Valid: true, Cost: want.Cost * (1 + 1e-3)})
+	if err != nil || ok {
+		t.Fatalf("clearly suboptimal cost recognised as optimal: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestDecoderZeroAllocSteadyState asserts the warm decode path allocates
+// nothing once the scratch has grown to the encoding's size.
+func TestDecoderZeroAllocSteadyState(t *testing.T) {
+	q, err := querygen.PaperInstance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Encode(q, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.EncodeOrder([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]bool, e.QUBO.N())
+	copy(full, x)
+	// Warm the QUBO's term views outside the measured region.
+	_ = e.QUBO.Value(full)
+	var dec Decoder
+	var d Decoded
+	dec.DecodeInto(e, full, &d)
+	allocs := testing.AllocsPerRun(100, func() {
+		dec.DecodeInto(e, full, &d)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm DecodeInto allocates %v per run, want 0", allocs)
+	}
+	if !d.Valid || math.IsNaN(d.Cost) {
+		t.Fatal("warm decode produced invalid result")
+	}
+}

@@ -139,6 +139,18 @@ func (o Order) IsPermutation(n int) bool {
 	if len(o) != n {
 		return false
 	}
+	if n <= 64 {
+		// Allocation-free fast path; every query this package can cost
+		// has at most 64 relations (set cardinalities use uint64 masks).
+		var seen uint64
+		for _, t := range o {
+			if t < 0 || t >= n || seen&(1<<uint(t)) != 0 {
+				return false
+			}
+			seen |= 1 << uint(t)
+		}
+		return true
+	}
 	seen := make([]bool, n)
 	for _, t := range o {
 		if t < 0 || t >= n || seen[t] {

@@ -124,6 +124,41 @@ func (s *Span) SetAttr(key string, v any) {
 	s.mu.Unlock()
 }
 
+// SetAttrStr is SetAttr for string values with the interface boxing
+// moved behind the nil check: when tracing is disabled (nil span) the
+// call costs nothing, where SetAttr would heap-box its value at every
+// call site regardless. Use on allocation-sensitive hot paths.
+func (s *Span) SetAttrStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, v)
+}
+
+// SetAttrBool is SetAttrStr for bools.
+func (s *Span) SetAttrBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, v)
+}
+
+// SetAttrInt is SetAttrStr for ints.
+func (s *Span) SetAttrInt(key string, v int) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, v)
+}
+
+// SetAttrFloat is SetAttrStr for float64s.
+func (s *Span) SetAttrFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, v)
+}
+
 // End closes the span, recording err (nil for success). Exactly the
 // first call wins; later calls are no-ops, so deferred Ends compose with
 // explicit early Ends. Ending a root span runs the tracer's sampling

@@ -1,0 +1,166 @@
+package qaoa
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantumjoin/internal/qsim"
+	"quantumjoin/internal/qubo"
+)
+
+// randomQUBO builds a dense-ish random problem at QAOA service scale.
+func randomQUBO(rng *rand.Rand, n int) *qubo.QUBO {
+	q := qubo.New(n)
+	for i := 0; i < n; i++ {
+		q.AddLinear(i, rng.NormFloat64())
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				q.AddQuad(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return q
+}
+
+// qaoaExpectationBound pins the allowed complex64-vs-complex128 deviation
+// of a QAOA expectation, and qaoaEnergyBound the deviation of the mean
+// sampled energy, both relative to the QUBO's energy scale. float32
+// amplitude storage perturbs each probability by ~1e-7; summed against
+// O(1) cost coefficients over 2^10 basis states the observed expectation
+// drift is ~1e-6, and sampling shifts only the shots whose uniforms
+// straddle a perturbed cumulative boundary. A real kernel bug (wrong
+// phase, swapped pair) shows up at 1e-1.
+const (
+	qaoaExpectationBound = 1e-4
+	qaoaEnergyBound      = 5e-3
+)
+
+// TestComplex64ExpectationWithinBound is the tentpole error-bound test:
+// QAOA expectations and mean sampled energies evaluated on the complex64
+// backend must stay within the pinned bound of the complex128 ground truth
+// across random problems and parameter settings.
+func TestComplex64ExpectationWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(8101))
+	for trial := 0; trial < 4; trial++ {
+		q := randomQUBO(rng, 10)
+		scale := 1.0
+		for b := uint64(0); b < 1<<10; b++ {
+			if v := math.Abs(q.ValueBits(b)); v > scale {
+				scale = v
+			}
+		}
+		ref := &Executor{QUBO: q}
+		fast := &Executor{QUBO: q, Precision: qsim.Complex64}
+		for pi := 0; pi < 3; pi++ {
+			params := NewParams(1)
+			params.Gammas[0] = rng.Float64()
+			params.Betas[0] = rng.Float64() * math.Pi
+			eRef, err := ref.Expectation(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eFast, err := fast.Expectation(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(eFast-eRef) / scale; d > qaoaExpectationBound {
+				t.Fatalf("trial=%d params=%d: complex64 expectation off by %g×scale (bound %g)", trial, pi, d, qaoaExpectationBound)
+			}
+			const shots = 4096
+			sRef, err := ref.Sample(params, shots, rand.New(rand.NewSource(int64(trial*10+pi))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sFast, err := fast.Sample(params, shots, rand.New(rand.NewSource(int64(trial*10+pi))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean := func(es []float64) float64 {
+				m := 0.0
+				for _, e := range es {
+					m += e
+				}
+				return m / float64(len(es))
+			}
+			dm := math.Abs(mean(ref.ScoreSamples(sRef))-mean(fast.ScoreSamples(sFast))) / scale
+			if dm > qaoaEnergyBound {
+				t.Fatalf("trial=%d params=%d: complex64 mean sampled energy off by %g×scale (bound %g)", trial, pi, dm, qaoaEnergyBound)
+			}
+		}
+		ref.Close()
+		fast.Close()
+	}
+}
+
+// TestProgramRewriteMatchesRebuild pins the cached-skeleton fast path: an
+// executor that rewrites angles in place must produce bit-identical
+// expectations to executing a freshly built circuit on a fresh state.
+func TestProgramRewriteMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(8202))
+	q := randomQUBO(rng, 8)
+	ex := &Executor{QUBO: q}
+	defer ex.Close()
+	tab := q.CostTable()
+	for trial := 0; trial < 5; trial++ {
+		params := NewParams(2)
+		for i := range params.Gammas {
+			params.Gammas[i] = rng.NormFloat64()
+			params.Betas[i] = rng.NormFloat64()
+		}
+		got, err := ex.Expectation(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := qsim.NewState(q.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(BuildCircuit(q, params)); err != nil {
+			t.Fatal(err)
+		}
+		want := s.ExpectationTable(tab)
+		if got != want {
+			t.Fatalf("trial=%d: rewritten program expectation %v != rebuilt circuit %v (must be bit-identical)", trial, got, want)
+		}
+	}
+}
+
+// TestRunSeedsContextMatchesRunContext pins the batched multi-seed run
+// against solo runs: same params, expectation, samples, and energies per
+// seed.
+func TestRunSeedsContextMatchesRunContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(8303))
+	q := randomQUBO(rng, 6)
+	opt := AQGD{Iterations: 4}
+	seeds := []int64{3, 17, 99}
+	rngs := make([]*rand.Rand, len(seeds))
+	for i, s := range seeds {
+		rngs[i] = rand.New(rand.NewSource(s))
+	}
+	batch, err := RunSeedsContext(context.Background(), q, RunOptions{Layers: 1, Optimizer: opt, Shots: 128}, rngs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeds {
+		solo, err := RunContext(context.Background(), q, 1, opt, 128, nil, nil, rand.New(rand.NewSource(s)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Expectation != solo.Expectation || batch[i].Evaluations != solo.Evaluations {
+			t.Fatalf("seed=%d: batched run diverges on expectation/evals", s)
+		}
+		if len(batch[i].Samples) != len(solo.Samples) {
+			t.Fatalf("seed=%d: sample count %d != %d", s, len(batch[i].Samples), len(solo.Samples))
+		}
+		for k := range solo.Samples {
+			if batch[i].Samples[k] != solo.Samples[k] {
+				t.Fatalf("seed=%d shot=%d: batched sample %d != solo %d", s, k, batch[i].Samples[k], solo.Samples[k])
+			}
+			if batch[i].Energies[k] != solo.Energies[k] {
+				t.Fatalf("seed=%d shot=%d: batched energy %v != solo %v", s, k, batch[i].Energies[k], solo.Energies[k])
+			}
+		}
+	}
+}

@@ -90,6 +90,75 @@ func sortedPairs(is *qubo.Ising) []qubo.Pair {
 	return tmp.QuadTerms()
 }
 
+// program is a compiled circuit skeleton: the gate list of BuildCircuit
+// whose structure depends only on the QUBO and the layer count, never on
+// (γ, β). Per evaluation the variational angles are rewritten in place —
+// gate i's Param is factor[i] times its layer's γ or β — instead of
+// re-deriving the Ising form, re-sorting couplings, and re-allocating the
+// whole circuit on every optimiser step.
+type program struct {
+	circ   *circuit.Circuit
+	layers int
+	factor []float64 // 2h for RZ, 2J for RZZ, 2 for RX; 0 marks fixed gates
+	layer  []int
+	gamma  []bool // γ (cost) vs β (mixer)
+}
+
+// ensureProgram builds (or rebuilds, if the layer count changed) the cached
+// program for the executor's QUBO.
+func (ex *Executor) ensureProgram(p int) *program {
+	if ex.prog != nil && ex.prog.layers == p {
+		return ex.prog
+	}
+	c := BuildCircuit(ex.QUBO, NewParams(p))
+	is := ex.QUBO.ToIsing()
+	pr := &program{
+		circ:   c,
+		layers: p,
+		factor: make([]float64, len(c.Gates)),
+		layer:  make([]int, len(c.Gates)),
+		gamma:  make([]bool, len(c.Gates)),
+	}
+	n := ex.QUBO.N()
+	rx := 0 // n mixer gates per layer: rx/n is the current layer index
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case circuit.RZ:
+			pr.factor[i] = 2 * is.H[g.Q0]
+			pr.layer[i] = rx / n
+			pr.gamma[i] = true
+		case circuit.RZZ:
+			pr.factor[i] = 2 * is.J[qubo.Pair{I: g.Q0, J: g.Q1}]
+			pr.layer[i] = rx / n
+			pr.gamma[i] = true
+		case circuit.RX:
+			pr.factor[i] = 2
+			pr.layer[i] = rx / n
+			rx++
+		}
+	}
+	ex.prog = pr
+	return pr
+}
+
+// rewrite sets the variational angles. factor·angle multiplies in the same
+// order as BuildCircuit's 2·angle·coeff up to commutativity of one rounding
+// step, so rewritten circuits are bit-identical to freshly built ones.
+func (pr *program) rewrite(params Params) {
+	gs := pr.circ.Gates
+	for i := range gs {
+		f := pr.factor[i]
+		if f == 0 {
+			continue
+		}
+		ang := params.Betas[pr.layer[i]]
+		if pr.gamma[i] {
+			ang = params.Gammas[pr.layer[i]]
+		}
+		gs[i].Param = f * ang
+	}
+}
+
 // Executor evaluates QAOA circuits on the statevector simulator, with an
 // optional noise calibration that degrades both the optimiser's signal and
 // the final samples exactly as the paper's hardware runs experienced.
@@ -104,10 +173,15 @@ type Executor struct {
 	// iterations; above the cap Expectation falls back to evaluating the
 	// QUBO per basis state. 0 selects qsim.MaxQubits.
 	CostTableMaxQubits int
+	// Precision selects the statevector storage width. The default,
+	// qsim.Complex128, is the ground truth; qsim.Complex64 halves kernel
+	// memory traffic within the error bound pinned by the precision tests.
+	Precision qsim.Precision
 
 	transpiled *circuit.Circuit
 	uniformE   float64
 	haveUnifE  bool
+	prog       *program
 
 	// state is the pooled statevector reused across the optimiser's energy
 	// evaluations (Reset between runs); costTable caches the dense QUBO
@@ -150,9 +224,14 @@ func (ex *Executor) SetTranspiled(c *circuit.Circuit) { ex.transpiled = c }
 // run executes the circuit for the given parameters and returns the
 // executor's pooled state (valid until the next run or Close).
 func (ex *Executor) run(params Params) (*qsim.State, error) {
-	c := BuildCircuit(ex.QUBO, params)
+	pr := ex.ensureProgram(params.P())
+	pr.rewrite(params)
+	if ex.state != nil && ex.state.Precision() != ex.Precision {
+		ex.state.Release()
+		ex.state = nil
+	}
 	if ex.state == nil {
-		s, err := qsim.Acquire(ex.QUBO.N())
+		s, err := qsim.AcquireWith(ex.QUBO.N(), ex.Precision)
 		if err != nil {
 			return nil, err
 		}
@@ -160,20 +239,23 @@ func (ex *Executor) run(params Params) (*qsim.State, error) {
 	} else {
 		ex.state.Reset()
 	}
-	if err := ex.state.Run(c); err != nil {
+	if err := ex.state.Run(pr.circ); err != nil {
 		return nil, err
 	}
 	return ex.state, nil
 }
 
-// lambda returns the depolarising weight for the current noise setting.
+// lambda returns the depolarising weight for the current noise setting. It
+// is always called after run(params), so the cached program already holds
+// this evaluation's angles (Lambda only reads gate counts and durations
+// anyway).
 func (ex *Executor) lambda(params Params) float64 {
 	if ex.Noise == nil {
 		return 0
 	}
 	c := ex.transpiled
 	if c == nil {
-		c = BuildCircuit(ex.QUBO, params)
+		c = ex.ensureProgram(params.P()).circ
 	}
 	return ex.Noise.Lambda(c)
 }
@@ -241,6 +323,39 @@ func (ex *Executor) Sample(params Params, shots int, rng *rand.Rand) ([]uint64, 
 	}), nil
 }
 
+// SampleSeeds measures the optimised circuit for every rng at once: one
+// circuit execution and one batched cumulative scan (qsim.SampleBatch)
+// serve all seeds, instead of re-walking the 2^n amplitudes per restart.
+// Stream k is bit-identical to Sample(params, shots, rngs[k]), including
+// the noise model's per-rng draws.
+func (ex *Executor) SampleSeeds(params Params, shots int, rngs []*rand.Rand) ([][]uint64, error) {
+	s, err := ex.run(params)
+	if err != nil {
+		return nil, err
+	}
+	ideal := s.SampleBatch(rngs, shots)
+	l := ex.lambda(params)
+	ro := 0.0
+	if ex.Noise != nil {
+		ro = ex.Noise.ReadoutError
+	}
+	if l == 0 && ro == 0 {
+		return ideal, nil
+	}
+	out := make([][]uint64, len(rngs))
+	for r, rng := range rngs {
+		k := 0
+		seq := ideal[r]
+		sampler := noise.Sampler{Lambda: l, ReadoutError: ro, NumQubits: ex.QUBO.N()}
+		out[r] = sampler.Sample(rng, shots, func() uint64 {
+			b := seq[k%len(seq)]
+			k++
+			return b
+		})
+	}
+	return out, nil
+}
+
 // ScoreSamples returns the QUBO cost of each sampled basis state, reusing
 // the cached dense cost table when one is available.
 func (ex *Executor) ScoreSamples(samples []uint64) []float64 {
@@ -286,13 +401,44 @@ func Run(q *qubo.QUBO, p int, opt Optimizer, shots int, cal *noise.Calibration, 
 // RunContext is Run with cancellation checked before every optimiser
 // energy evaluation, so long hybrid loops respect request deadlines.
 func RunContext(ctx context.Context, q *qubo.QUBO, p int, opt Optimizer, shots int, cal *noise.Calibration, transpiled *circuit.Circuit, rng *rand.Rand) (Result, error) {
-	if p < 1 {
-		return Result{}, fmt.Errorf("qaoa: layer count p must be >= 1, got %d", p)
+	o := RunOptions{Layers: p, Optimizer: opt, Shots: shots, Noise: cal, Transpiled: transpiled}
+	rngs := [1]*rand.Rand{rng}
+	rs, err := RunSeedsContext(ctx, q, o, rngs[:])
+	if err != nil {
+		return Result{}, err
 	}
-	ex := &Executor{QUBO: q, Noise: cal}
+	return rs[0], nil
+}
+
+// RunOptions collects the knobs of a hybrid run, so callers that only tune
+// some of them (precision, batched seeds) don't grow the positional
+// RunContext signature.
+type RunOptions struct {
+	Layers     int
+	Optimizer  Optimizer
+	Shots      int
+	Noise      *noise.Calibration
+	Transpiled *circuit.Circuit
+	// Precision selects the statevector width (default qsim.Complex128).
+	Precision qsim.Precision
+}
+
+// RunSeedsContext runs the hybrid loop once — the classical optimiser is
+// deterministic, so one (γ, β) tune serves every restart — then samples all
+// rngs through one batched scan of the final state. Element k equals the
+// Result of a solo RunContext with rngs[k] bit for bit; the shared Params
+// slices are owned by the call and must be treated as read-only.
+func RunSeedsContext(ctx context.Context, q *qubo.QUBO, o RunOptions, rngs []*rand.Rand) ([]Result, error) {
+	if o.Layers < 1 {
+		return nil, fmt.Errorf("qaoa: layer count p must be >= 1, got %d", o.Layers)
+	}
+	if len(rngs) == 0 {
+		return nil, fmt.Errorf("qaoa: no sampling seeds supplied")
+	}
+	ex := &Executor{QUBO: q, Noise: o.Noise, Precision: o.Precision}
 	defer ex.Close()
-	if transpiled != nil {
-		ex.SetTranspiled(transpiled)
+	if o.Transpiled != nil {
+		ex.SetTranspiled(o.Transpiled)
 	}
 	evals := 0
 	eval := func(par Params) (float64, error) {
@@ -302,36 +448,41 @@ func RunContext(ctx context.Context, q *qubo.QUBO, p int, opt Optimizer, shots i
 		evals++
 		return ex.Expectation(par)
 	}
-	start := NewParams(p)
-	for i := 0; i < p; i++ {
+	start := NewParams(o.Layers)
+	for i := 0; i < o.Layers; i++ {
 		// Small symmetric starting angles; the landscape at 0 is flat.
 		start.Gammas[i] = 0.01
 		start.Betas[i] = math.Pi / 8
 	}
 	_, optSpan := obs.StartSpan(ctx, "qaoa.optimize")
-	optSpan.SetAttr("layers", p)
-	optSpan.SetAttr("optimizer", opt.Name())
-	best, val, err := opt.Optimize(start, eval)
+	optSpan.SetAttr("layers", o.Layers)
+	optSpan.SetAttr("optimizer", o.Optimizer.Name())
+	best, val, err := o.Optimizer.Optimize(start, eval)
 	optSpan.SetAttr("evaluations", evals)
 	optSpan.End(err)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return Result{}, fmt.Errorf("qaoa: cancelled before sampling: %w", err)
+		return nil, fmt.Errorf("qaoa: cancelled before sampling: %w", err)
 	}
 	_, sampleSpan := obs.StartSpan(ctx, "qaoa.sample")
-	sampleSpan.SetAttr("shots", shots)
-	samples, err := ex.Sample(best, shots, rng)
+	sampleSpan.SetAttr("shots", o.Shots)
+	sampleSpan.SetAttr("seeds", len(rngs))
+	samples, err := ex.SampleSeeds(best, o.Shots, rngs)
 	sampleSpan.End(err)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	return Result{
-		Params:      best,
-		Expectation: val,
-		Evaluations: evals,
-		Samples:     samples,
-		Energies:    ex.ScoreSamples(samples),
-	}, nil
+	out := make([]Result, len(rngs))
+	for r := range out {
+		out[r] = Result{
+			Params:      best,
+			Expectation: val,
+			Evaluations: evals,
+			Samples:     samples[r],
+			Energies:    ex.ScoreSamples(samples[r]),
+		}
+	}
+	return out, nil
 }

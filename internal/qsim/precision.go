@@ -1,0 +1,46 @@
+package qsim
+
+import "fmt"
+
+// Precision selects the amplitude storage width of a State. Complex128 is
+// the ground truth the equivalence tests compare against; Complex64 halves
+// the memory traffic of every kernel sweep — the dominant cost of dense
+// simulation — at the price of float32 rounding. Gate parameters and
+// reductions (Norm, ExpectationTable, Sample cumulative scan) are always
+// computed in float64, so the only error source is amplitude storage.
+type Precision uint8
+
+const (
+	// Complex128 stores amplitudes as float64 pairs (the default).
+	Complex128 Precision = iota
+	// Complex64 stores amplitudes as float32 pairs.
+	Complex64
+
+	numPrecisions = 2
+)
+
+// String names the precision the way the -precision flags spell it.
+func (p Precision) String() string {
+	switch p {
+	case Complex128:
+		return "complex128"
+	case Complex64:
+		return "complex64"
+	default:
+		return fmt.Sprintf("Precision(%d)", uint8(p))
+	}
+}
+
+// ParsePrecision maps flag spellings to a Precision. The empty string
+// selects the Complex128 default so callers can thread an unset flag
+// straight through.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "complex128", "c128", "128":
+		return Complex128, nil
+	case "complex64", "c64", "64":
+		return Complex64, nil
+	default:
+		return Complex128, fmt.Errorf("qsim: unknown precision %q (want complex64 or complex128)", s)
+	}
+}

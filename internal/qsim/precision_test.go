@@ -1,0 +1,236 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// narrowInto copies a complex128 state's amplitudes into a complex64 state,
+// rounding each component to float32 — the starting point for precision
+// comparisons on dense input.
+func narrowInto(dst *State, src *State) {
+	for i, a := range src.amps {
+		dst.amps64[i] = complex64(a)
+	}
+}
+
+// complex64ProbBound is the pinned per-basis probability deviation between
+// the complex64 backend and the complex128 ground truth after a ~40-gate
+// random circuit. float32 machine epsilon is ~1.2e-7 per amplitude; error
+// compounds roughly with circuit depth, and the observed maximum across the
+// seeds below is ~2e-6. The bound leaves an order of magnitude of headroom
+// without ever tolerating a wrong kernel (a real bug shows up at 1e-1).
+const complex64ProbBound = 5e-5
+
+// TestComplex64KernelsTrackReference runs random circuits at both
+// precisions from the same (narrowed) dense state and pins the maximum
+// per-basis probability deviation and the diagonal-expectation deviation.
+func TestComplex64KernelsTrackReference(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		prev := SetWorkers(workers)
+		rng := rand.New(rand.NewSource(int64(7101 + workers)))
+		for trial := 0; trial < 6; trial++ {
+			n := 2 + rng.Intn(9)
+			c := randomCircuit(rng, n, 40)
+			ref, _ := NewState(n)
+			randomizeState(rng, ref)
+			got, _ := NewStateWith(n, Complex64)
+			narrowInto(got, ref)
+			if err := ref.Run(c); err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Run(c); err != nil {
+				t.Fatal(err)
+			}
+			maxD := 0.0
+			for i := range ref.amps {
+				if d := math.Abs(got.Probability(uint64(i)) - ref.Probability(uint64(i))); d > maxD {
+					maxD = d
+				}
+			}
+			if maxD > complex64ProbBound {
+				t.Fatalf("workers=%d trial=%d n=%d: complex64 probabilities deviate by %g > %g",
+					workers, trial, n, maxD, complex64ProbBound)
+			}
+			table := make([]float64, 1<<uint(n))
+			for i := range table {
+				table[i] = rng.NormFloat64()
+			}
+			eRef := ref.ExpectationTable(table)
+			eGot := got.ExpectationTable(table)
+			if d := math.Abs(eGot - eRef); d > complex64ProbBound*float64(len(table)) {
+				t.Fatalf("workers=%d trial=%d n=%d: complex64 expectation deviates by %g", workers, trial, n, d)
+			}
+			if math.Abs(got.Norm()-1) > 1e-4 {
+				t.Fatalf("complex64 norm drifted to %v", got.Norm())
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+// TestPoolPrecisionIsolation is the regression test for cross-precision
+// pool reuse: releasing a state at one precision and acquiring the same
+// qubit count at the other must never hand back the stale-width buffer.
+func TestPoolPrecisionIsolation(t *testing.T) {
+	const n = 7
+	wide, err := Acquire(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide.Release()
+	narrow, err := AcquireWith(n, Complex64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Precision() != Complex64 || len(narrow.amps64) != 1<<n || narrow.amps != nil {
+		t.Fatalf("AcquireWith(Complex64) after a Complex128 release returned a stale-width state: prec=%v len128=%d len64=%d",
+			narrow.Precision(), len(narrow.amps), len(narrow.amps64))
+	}
+	if narrow.Probability(0) != 1 {
+		t.Fatal("acquired complex64 state not |0...0⟩")
+	}
+	narrow.Release()
+	wide2, err := Acquire(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wide2.Release()
+	if wide2.Precision() != Complex128 || len(wide2.amps) != 1<<n || wide2.amps64 != nil {
+		t.Fatalf("Acquire(Complex128) after a Complex64 release returned a stale-width state: prec=%v len128=%d len64=%d",
+			wide2.Precision(), len(wide2.amps), len(wide2.amps64))
+	}
+	if wide2.Probability(0) != 1 {
+		t.Fatal("recycled complex128 state not |0...0⟩")
+	}
+}
+
+// TestSampleBatchMatchesSample pins the batched scan's bit-identity
+// contract at both precisions: SampleBatch over k seeds must emit exactly
+// the sequences k solo Sample calls would, including the rounding-tail
+// argmax snapshot and the per-rng shuffle.
+func TestSampleBatchMatchesSample(t *testing.T) {
+	for _, prec := range []Precision{Complex128, Complex64} {
+		rng := rand.New(rand.NewSource(7202))
+		n := 9
+		ref, _ := NewState(n)
+		randomizeState(rng, ref)
+		s, _ := NewStateWith(n, prec)
+		if prec == Complex64 {
+			narrowInto(s, ref)
+		} else {
+			copy(s.amps, ref.amps)
+		}
+		seeds := []int64{1, 42, 7, 1e9}
+		shots := 64
+		batchRngs := make([]*rand.Rand, len(seeds))
+		for i, seed := range seeds {
+			batchRngs[i] = rand.New(rand.NewSource(seed))
+		}
+		got := s.SampleBatch(batchRngs, shots)
+		for i, seed := range seeds {
+			want := s.Sample(rand.New(rand.NewSource(seed)), shots)
+			if len(got[i]) != len(want) {
+				t.Fatalf("prec=%v seed=%d: batch emitted %d shots, solo %d", prec, seed, len(got[i]), len(want))
+			}
+			for k := range want {
+				if got[i][k] != want[k] {
+					t.Fatalf("prec=%v seed=%d shot=%d: batch %d != solo %d", prec, seed, k, got[i][k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestSampleBatchTailArgmax extends the rounding-tail golden to the batched
+// scan: on a deliberately unnormalised state, every stream's leftover shots
+// must land on the argmax state seen up to where that stream stopped.
+func TestSampleBatchTailArgmax(t *testing.T) {
+	for _, prec := range []Precision{Complex128, Complex64} {
+		n := 3
+		s, _ := NewStateWith(n, prec)
+		set := func(i uint64, p float64) {
+			if prec == Complex64 {
+				s.amps64[i] = complex64(complex(math.Sqrt(p), 0))
+			} else {
+				s.amps[i] = complex(math.Sqrt(p), 0)
+			}
+		}
+		set(0, 0)
+		set(1, 0.1)
+		set(2, 0.3)
+		set(5, 0.1)
+		shots := 2000
+		rngs := []*rand.Rand{rand.New(rand.NewSource(606)), rand.New(rand.NewSource(607))}
+		outs := s.SampleBatch(rngs, shots)
+		last := s.size() - 1
+		for r, out := range outs {
+			counts := map[uint64]int{}
+			for _, b := range out {
+				counts[b]++
+			}
+			if counts[last] != 0 {
+				t.Fatalf("prec=%v stream=%d: %d leftover shots on last basis index", prec, r, counts[last])
+			}
+			if counts[2] < shots/2 {
+				t.Fatalf("prec=%v stream=%d: argmax state got %d/%d shots", prec, r, counts[2], shots)
+			}
+			if counts[1]+counts[2]+counts[5] != shots {
+				t.Fatalf("prec=%v stream=%d: shots outside support: %v", prec, r, counts)
+			}
+		}
+	}
+}
+
+// TestExpectationTableDeterministicComplex64 extends the fixed-chunk
+// determinism golden to the narrowed backend: results must be bit-identical
+// across worker counts.
+func TestExpectationTableDeterministicComplex64(t *testing.T) {
+	rng := rand.New(rand.NewSource(7303))
+	n := 15
+	ref, _ := NewState(n)
+	randomizeState(rng, ref)
+	s, _ := NewStateWith(n, Complex64)
+	narrowInto(s, ref)
+	table := make([]float64, 1<<uint(n))
+	for i := range table {
+		table[i] = rng.NormFloat64()
+	}
+	var first float64
+	for i, workers := range []int{1, 2, 3, 8} {
+		prev := SetWorkers(workers)
+		got := s.ExpectationTable(table)
+		SetWorkers(prev)
+		if i == 0 {
+			first = got
+		} else if got != first {
+			t.Fatalf("workers=%d: complex64 expectation %v != workers=1 result %v (must be bit-identical)", workers, got, first)
+		}
+	}
+}
+
+// TestParsePrecision pins the flag spellings.
+func TestParsePrecision(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Precision
+		ok   bool
+	}{
+		{"", Complex128, true},
+		{"complex128", Complex128, true},
+		{"c128", Complex128, true},
+		{"complex64", Complex64, true},
+		{"c64", Complex64, true},
+		{"64", Complex64, true},
+		{"float32", Complex128, false},
+	} {
+		got, err := ParsePrecision(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Fatalf("ParsePrecision(%q) = %v, %v; want %v ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if Complex64.String() != "complex64" || Complex128.String() != "complex128" {
+		t.Fatal("Precision.String spelling drifted from the flag vocabulary")
+	}
+}

@@ -19,31 +19,57 @@ import (
 const MaxQubits = 27
 
 // State is an n-qubit statevector. Basis state indices use qubit 0 as the
-// least significant bit.
+// least significant bit. Exactly one of amps/amps64 is populated, selected
+// by prec.
 type State struct {
-	n    int
-	amps []complex128
+	n      int
+	prec   Precision
+	amps   []complex128
+	amps64 []complex64
 }
 
 func errQubitCount(n int) error {
 	return fmt.Errorf("qsim: qubit count %d outside [1, %d]", n, MaxQubits)
 }
 
-// NewState allocates |0...0⟩ over n qubits.
+// NewState allocates |0...0⟩ over n qubits at Complex128 precision.
 func NewState(n int) (*State, error) {
+	return NewStateWith(n, Complex128)
+}
+
+// NewStateWith allocates |0...0⟩ over n qubits at the given precision.
+func NewStateWith(n int, p Precision) (*State, error) {
 	if n < 1 || n > MaxQubits {
 		return nil, errQubitCount(n)
 	}
-	s := &State{n: n, amps: make([]complex128, 1<<uint(n))}
-	s.amps[0] = 1
+	s := &State{n: n, prec: p}
+	if p == Complex64 {
+		s.amps64 = make([]complex64, 1<<uint(n))
+		s.amps64[0] = 1
+	} else {
+		s.amps = make([]complex128, 1<<uint(n))
+		s.amps[0] = 1
+	}
 	return s, nil
 }
 
 // NumQubits returns the number of qubits.
 func (s *State) NumQubits() int { return s.n }
 
-// Amplitude returns the amplitude of a basis state.
-func (s *State) Amplitude(basis uint64) complex128 { return s.amps[basis] }
+// Precision returns the amplitude storage width.
+func (s *State) Precision() Precision { return s.prec }
+
+// size returns the number of amplitudes, independent of precision.
+func (s *State) size() uint64 { return uint64(1) << uint(s.n) }
+
+// Amplitude returns the amplitude of a basis state (widened to complex128
+// on a Complex64 state).
+func (s *State) Amplitude(basis uint64) complex128 {
+	if s.prec == Complex64 {
+		return complex128(s.amps64[basis])
+	}
+	return s.amps[basis]
+}
 
 // apply1Q applies a 2x2 unitary to qubit q. The sweep enumerates only the
 // 2^(n-1) indices whose q-th bit is clear (each visit updates the |0⟩/|1⟩
@@ -85,6 +111,9 @@ func (s *State) phase2Q(q0, q1 int, d [4]complex128) {
 
 // ApplyGate applies one gate.
 func (s *State) ApplyGate(g circuit.Gate) error {
+	if s.prec == Complex64 {
+		return s.applyGate64(g)
+	}
 	switch g.Kind {
 	case circuit.H:
 		h := complex(1/math.Sqrt2, 0)
@@ -189,7 +218,12 @@ func (s *State) Run(c *circuit.Circuit) error {
 				j++
 			}
 			if j-i >= 2 {
-				s.applyDiagFused(compileDiag(gs[i:j]))
+				ops := compileDiag(gs[i:j])
+				if s.prec == Complex64 {
+					s.applyDiagFused64(ops)
+				} else {
+					s.applyDiagFused(ops)
+				}
 				i = j
 				continue
 			}
@@ -202,9 +236,17 @@ func (s *State) Run(c *circuit.Circuit) error {
 	return nil
 }
 
-// Norm returns the state norm (should remain 1 up to rounding).
+// Norm returns the state norm (should remain 1 up to rounding). The sum of
+// squares accumulates in float64 at either precision.
 func (s *State) Norm() float64 {
 	t := 0.0
+	if s.prec == Complex64 {
+		for _, a := range s.amps64 {
+			re, im := float64(real(a)), float64(imag(a))
+			t += re*re + im*im
+		}
+		return math.Sqrt(t)
+	}
 	for _, a := range s.amps {
 		t += real(a)*real(a) + imag(a)*imag(a)
 	}
@@ -213,6 +255,11 @@ func (s *State) Norm() float64 {
 
 // Probability returns |⟨basis|ψ⟩|².
 func (s *State) Probability(basis uint64) float64 {
+	if s.prec == Complex64 {
+		a := s.amps64[basis]
+		re, im := float64(real(a)), float64(imag(a))
+		return re*re + im*im
+	}
 	a := s.amps[basis]
 	return real(a)*real(a) + imag(a)*imag(a)
 }
@@ -222,6 +269,15 @@ func (s *State) Probability(basis uint64) float64 {
 // Hamiltonians.
 func (s *State) ExpectationDiag(f func(basis uint64) float64) float64 {
 	e := 0.0
+	if s.prec == Complex64 {
+		for i, a := range s.amps64 {
+			re, im := float64(real(a)), float64(imag(a))
+			if p := re*re + im*im; p > 0 {
+				e += p * f(uint64(i))
+			}
+		}
+		return e
+	}
 	for i, a := range s.amps {
 		p := real(a)*real(a) + imag(a)*imag(a)
 		if p > 0 {
@@ -243,29 +299,51 @@ const expectationChunkBits = 14
 // per-amplitude Hamiltonian evaluation. Deterministic regardless of the
 // kernel worker setting.
 func (s *State) ExpectationTable(table []float64) float64 {
-	if len(table) != len(s.amps) {
-		panic(fmt.Sprintf("qsim: table length %d != state size %d", len(table), len(s.amps)))
+	total := s.size()
+	if uint64(len(table)) != total {
+		panic(fmt.Sprintf("qsim: table length %d != state size %d", len(table), total))
 	}
-	amps := s.amps
-	total := uint64(len(amps))
 	nChunks := (total + (1 << expectationChunkBits) - 1) >> expectationChunkBits
 	partial := make([]float64, nChunks)
-	parRangeMin(nChunks, 2, func(clo, chi uint64) {
-		for c := clo; c < chi; c++ {
-			lo := c << expectationChunkBits
-			hi := lo + (1 << expectationChunkBits)
-			if hi > total {
-				hi = total
+	if s.prec == Complex64 {
+		// Same fixed chunk structure as the complex128 path; per-chunk sums
+		// accumulate in float64 so narrowing only affects amplitude storage.
+		amps := s.amps64
+		parRangeMin(nChunks, 2, func(clo, chi uint64) {
+			for c := clo; c < chi; c++ {
+				lo := c << expectationChunkBits
+				hi := lo + (1 << expectationChunkBits)
+				if hi > total {
+					hi = total
+				}
+				e := 0.0
+				for i := lo; i < hi; i++ {
+					a := amps[i]
+					re, im := float64(real(a)), float64(imag(a))
+					e += (re*re + im*im) * table[i]
+				}
+				partial[c] = e
 			}
-			e := 0.0
-			for i := lo; i < hi; i++ {
-				a := amps[i]
-				p := real(a)*real(a) + imag(a)*imag(a)
-				e += p * table[i]
+		})
+	} else {
+		amps := s.amps
+		parRangeMin(nChunks, 2, func(clo, chi uint64) {
+			for c := clo; c < chi; c++ {
+				lo := c << expectationChunkBits
+				hi := lo + (1 << expectationChunkBits)
+				if hi > total {
+					hi = total
+				}
+				e := 0.0
+				for i := lo; i < hi; i++ {
+					a := amps[i]
+					p := real(a)*real(a) + imag(a)*imag(a)
+					e += p * table[i]
+				}
+				partial[c] = e
 			}
-			partial[c] = e
-		}
-	})
+		})
+	}
 	e := 0.0
 	for _, p := range partial {
 		e += p
@@ -277,37 +355,99 @@ func (s *State) ExpectationTable(table []float64) float64 {
 // sorted uniforms and a single pass over the amplitudes, avoiding a
 // cumulative array (important at 2^27 amplitudes).
 func (s *State) Sample(rng *rand.Rand, shots int) []uint64 {
-	us := make([]float64, shots)
-	for i := range us {
-		us[i] = rng.Float64()
+	rngs := [1]*rand.Rand{rng}
+	return s.sampleStreams(rngs[:], shots)[0]
+}
+
+// SampleBatch draws shots basis states for every rng in one shared pass
+// over the amplitudes — the multi-seed fast path for batched solves, where
+// per-restart re-walks of the state would otherwise dominate. Stream k's
+// output is bit-identical to s.Sample(rngs[k], shots) run on its own: each
+// rng's draw order (shots uniforms, then the shuffle) is unchanged, the
+// cumulative scan sums probabilities in the same index order, and the
+// rounding-tail argmax is snapshotted at the index where that stream's
+// scan would have stopped.
+func (s *State) SampleBatch(rngs []*rand.Rand, shots int) [][]uint64 {
+	return s.sampleStreams(rngs, shots)
+}
+
+// sampleStreams is the shared cumulative scan behind Sample/SampleBatch.
+func (s *State) sampleStreams(rngs []*rand.Rand, shots int) [][]uint64 {
+	nStreams := len(rngs)
+	us := make([][]float64, nStreams)
+	outs := make([][]uint64, nStreams)
+	for r, rng := range rngs {
+		u := make([]float64, shots)
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		sort.Float64s(u)
+		us[r] = u
+		outs[r] = make([]uint64, 0, shots)
 	}
-	sort.Float64s(us)
-	out := make([]uint64, 0, shots)
+	// tails[r] records the running argmax at the moment stream r consumed
+	// its last uniform — exactly the value a solo Sample would have seen at
+	// its early break.
+	tails := make([]uint64, nStreams)
+	live := make([]bool, nStreams)
+	for r := range live {
+		live[r] = true
+	}
+	remaining := nStreams
 	acc := 0.0
-	k := 0
 	maxI, maxP := uint64(0), -1.0
-	for i, a := range s.amps {
-		p := real(a)*real(a) + imag(a)*imag(a)
+	scan := func(i uint64, p float64) bool {
 		if p > maxP {
-			maxI, maxP = uint64(i), p
+			maxI, maxP = i, p
 		}
 		acc += p
-		for k < shots && us[k] <= acc {
-			out = append(out, uint64(i))
-			k++
+		for r := 0; r < nStreams; r++ {
+			if !live[r] {
+				continue
+			}
+			u := us[r]
+			k := len(outs[r])
+			for k < shots && u[k] <= acc {
+				outs[r] = append(outs[r], i)
+				k++
+			}
+			if k == shots {
+				live[r] = false
+				tails[r] = maxI
+				remaining--
+			}
 		}
-		if k == shots {
-			break
+		return remaining == 0
+	}
+	if s.prec == Complex64 {
+		for i, a := range s.amps64 {
+			re, im := float64(real(a)), float64(imag(a))
+			if scan(uint64(i), re*re+im*im) {
+				break
+			}
+		}
+	} else {
+		for i, a := range s.amps {
+			if scan(uint64(i), real(a)*real(a)+imag(a)*imag(a)) {
+				break
+			}
 		}
 	}
-	// Rounding may leave a few shots unassigned; give them the most likely
-	// state seen so far rather than the arbitrary last basis index.
-	for len(out) < shots {
-		out = append(out, maxI)
+	for r, out := range outs {
+		// Rounding may leave a few shots unassigned; give them the most
+		// likely state seen so far rather than the arbitrary last index.
+		tail := tails[r]
+		if live[r] {
+			tail = maxI
+		}
+		for len(out) < shots {
+			out = append(out, tail)
+		}
+		// Restore randomness of order (callers may subsample).
+		rngs[r].Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		outs[r] = out
 	}
-	// Restore randomness of order (callers may subsample).
-	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
-	return out
+	return outs
 }
 
 // BitsOf unpacks a sampled basis state into a boolean assignment of n

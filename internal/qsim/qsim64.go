@@ -1,0 +1,154 @@
+package qsim
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"quantumjoin/internal/circuit"
+)
+
+// Complex64 kernels: structurally identical to the complex128 sweeps in
+// qsim.go (same bit-expansion enumeration, same worker sharding), but over
+// float32 amplitude pairs — half the memory traffic on kernels that are
+// memory-bound from ~2^16 amplitudes up. Gate matrices and fused diagonal
+// angles are computed in float64 and narrowed once per gate, not per
+// amplitude, so storage width is the only precision loss.
+
+// to64 narrows a 2x2 unitary computed in float64.
+func to64(u [2][2]complex128) [2][2]complex64 {
+	return [2][2]complex64{
+		{complex64(u[0][0]), complex64(u[0][1])},
+		{complex64(u[1][0]), complex64(u[1][1])},
+	}
+}
+
+// apply1Q64 applies a 2x2 unitary to qubit q (complex64 backing).
+func (s *State) apply1Q64(q int, u [2][2]complex64) {
+	bit := uint64(1) << uint(q)
+	amps := s.amps64
+	parRange(uint64(len(amps))>>1, func(lo, hi uint64) {
+		for k := lo; k < hi; k++ {
+			i := expandBit(k, bit)
+			j := i | bit
+			a0, a1 := amps[i], amps[j]
+			amps[i] = u[0][0]*a0 + u[0][1]*a1
+			amps[j] = u[1][0]*a0 + u[1][1]*a1
+		}
+	})
+}
+
+// phase2Q64 multiplies amplitudes by basis-dependent phases for a diagonal
+// two-qubit gate (complex64 backing).
+func (s *State) phase2Q64(q0, q1 int, d [4]complex64) {
+	b0 := uint64(1) << uint(q0)
+	b1 := uint64(1) << uint(q1)
+	loM, hiM := sortMasks(b0, b1)
+	amps := s.amps64
+	parRange(uint64(len(amps))>>2, func(lo, hi uint64) {
+		for k := lo; k < hi; k++ {
+			i00 := expandBits2(k, loM, hiM)
+			amps[i00] *= d[0]
+			amps[i00|b0] *= d[1]
+			amps[i00|b1] *= d[2]
+			amps[i00|b0|b1] *= d[3]
+		}
+	})
+}
+
+// applyGate64 mirrors ApplyGate's switch over the complex64 kernels.
+func (s *State) applyGate64(g circuit.Gate) error {
+	switch g.Kind {
+	case circuit.H:
+		h := complex(1/math.Sqrt2, 0)
+		s.apply1Q64(g.Q0, to64([2][2]complex128{{h, h}, {h, -h}}))
+	case circuit.X:
+		s.apply1Q64(g.Q0, [2][2]complex64{{0, 1}, {1, 0}})
+	case circuit.SX:
+		p := complex(0.5, 0.5)
+		m := complex(0.5, -0.5)
+		s.apply1Q64(g.Q0, to64([2][2]complex128{{p, m}, {m, p}}))
+	case circuit.RX:
+		c := complex(math.Cos(g.Param/2), 0)
+		si := complex(0, -math.Sin(g.Param/2))
+		s.apply1Q64(g.Q0, to64([2][2]complex128{{c, si}, {si, c}}))
+	case circuit.RY:
+		c := complex(math.Cos(g.Param/2), 0)
+		si := complex(math.Sin(g.Param/2), 0)
+		s.apply1Q64(g.Q0, to64([2][2]complex128{{c, -si}, {si, c}}))
+	case circuit.RZ:
+		em := cmplx.Exp(complex(0, -g.Param/2))
+		ep := cmplx.Exp(complex(0, g.Param/2))
+		s.apply1Q64(g.Q0, to64([2][2]complex128{{em, 0}, {0, ep}}))
+	case circuit.CX:
+		ctrl := uint64(1) << uint(g.Q0)
+		tgt := uint64(1) << uint(g.Q1)
+		loM, hiM := sortMasks(ctrl, tgt)
+		amps := s.amps64
+		parRange(uint64(len(amps))>>2, func(lo, hi uint64) {
+			for k := lo; k < hi; k++ {
+				i := expandBits2(k, loM, hiM) | ctrl
+				j := i | tgt
+				amps[i], amps[j] = amps[j], amps[i]
+			}
+		})
+	case circuit.CZ:
+		s.phase2Q64(g.Q0, g.Q1, [4]complex64{1, 1, 1, -1})
+	case circuit.SWAP:
+		a := uint64(1) << uint(g.Q0)
+		b := uint64(1) << uint(g.Q1)
+		loM, hiM := sortMasks(a, b)
+		amps := s.amps64
+		parRange(uint64(len(amps))>>2, func(lo, hi uint64) {
+			for k := lo; k < hi; k++ {
+				base := expandBits2(k, loM, hiM)
+				i := base | a
+				j := base | b
+				amps[i], amps[j] = amps[j], amps[i]
+			}
+		})
+	case circuit.RZZ:
+		em := cmplx.Exp(complex(0, -g.Param/2))
+		ep := cmplx.Exp(complex(0, g.Param/2))
+		e64, p64 := complex64(em), complex64(ep)
+		s.phase2Q64(g.Q0, g.Q1, [4]complex64{e64, p64, p64, e64})
+	case circuit.XX:
+		c := complex64(complex(math.Cos(g.Param/2), 0))
+		si := complex64(complex(0, -math.Sin(g.Param/2)))
+		b0 := uint64(1) << uint(g.Q0)
+		b1 := uint64(1) << uint(g.Q1)
+		loM, hiM := sortMasks(b0, b1)
+		amps := s.amps64
+		parRange(uint64(len(amps))>>2, func(lo, hi uint64) {
+			for k := lo; k < hi; k++ {
+				i00 := expandBits2(k, loM, hiM)
+				i01, i10, i11 := i00|b0, i00|b1, i00|b0|b1
+				a00, a01, a10, a11 := amps[i00], amps[i01], amps[i10], amps[i11]
+				amps[i00] = c*a00 + si*a11
+				amps[i11] = c*a11 + si*a00
+				amps[i01] = c*a01 + si*a10
+				amps[i10] = c*a10 + si*a01
+			}
+		})
+	default:
+		return errUnsupported(g)
+	}
+	return nil
+}
+
+// applyDiagFused64 is applyDiagFused over complex64 backing. The per-basis
+// angle still accumulates in float64; only the final phase multiply is
+// narrowed.
+func (s *State) applyDiagFused64(ops []diagOp) {
+	amps := s.amps64
+	parRange(uint64(len(amps)), func(lo, hi uint64) {
+		for i := lo; i < hi; i++ {
+			ang := 0.0
+			for _, op := range ops {
+				ang += op.th[bits.OnesCount64(i&op.mask)&1]
+			}
+			sin, cos := math.Sincos(ang)
+			amps[i] *= complex(float32(cos), float32(sin))
+		}
+	})
+}

@@ -8,6 +8,7 @@ package qsim
 // sweep all 2^n amplitudes with per-index branching.
 
 import (
+	"fmt"
 	"math"
 	"math/cmplx"
 
@@ -47,8 +48,13 @@ func (s *State) phase2QRef(q0, q1 int, d [4]complex128) {
 	}
 }
 
-// ApplyGateRef applies one gate through the reference kernels.
+// ApplyGateRef applies one gate through the reference kernels. The
+// reference path is complex128-only: it is the ground truth the narrowed
+// backend is measured against, so it never narrows itself.
 func (s *State) ApplyGateRef(g circuit.Gate) error {
+	if s.prec != Complex128 {
+		return fmt.Errorf("qsim: reference kernels require Complex128, state is %v", s.prec)
+	}
 	switch g.Kind {
 	case circuit.H:
 		h := complex(1/math.Sqrt2, 0)

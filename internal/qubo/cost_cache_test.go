@@ -1,0 +1,44 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCostTableCachedAndInvalidated pins the cost-table cache contract:
+// repeated calls share one table, and every mutation path — AddLinear,
+// AddQuad, direct Offset writes — yields fresh correct values.
+func TestCostTableCachedAndInvalidated(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	q := New(6)
+	for i := 0; i < 6; i++ {
+		q.AddLinear(i, rng.NormFloat64())
+		for j := i + 1; j < 6; j++ {
+			q.AddQuad(i, j, rng.NormFloat64())
+		}
+	}
+	check := func(stage string) []float64 {
+		tab := q.CostTable()
+		for b := uint64(0); b < 1<<6; b++ {
+			if want := q.ValueBits(b); math.Abs(tab[b]-want) > 1e-9 {
+				t.Fatalf("%s: table[%d] = %v, ValueBits = %v", stage, b, tab[b], want)
+			}
+		}
+		return tab
+	}
+	t1 := check("initial")
+	t2 := check("repeat")
+	if &t1[0] != &t2[0] {
+		t.Fatal("repeated CostTable calls did not share the cached table")
+	}
+
+	q.AddLinear(2, 0.5)
+	check("after AddLinear")
+	q.AddQuad(0, 3, -0.25)
+	check("after AddQuad")
+	q.Offset += 1.5
+	check("after Offset change")
+	q.Offset -= 1.5
+	check("after Offset restore")
+}

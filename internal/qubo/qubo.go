@@ -35,6 +35,12 @@ type QUBO struct {
 	// truth; AddQuad invalidates the views.
 	viewsMu  sync.Mutex
 	viewsPtr atomic.Pointer[quadViews]
+
+	// Lazily built dense cost table (see CostTable in terms.go), cached
+	// for small problems and invalidated by any coefficient mutation. The
+	// entry remembers the Offset it was built at, since Offset is a public
+	// field mutable without going through a method.
+	costPtr atomic.Pointer[costCache]
 }
 
 // New creates a QUBO over n binary variables.
@@ -51,6 +57,7 @@ func (q *QUBO) N() int { return q.n }
 // AddLinear adds w to the linear coefficient of variable i.
 func (q *QUBO) AddLinear(i int, w float64) {
 	q.linear[i] += w
+	q.costPtr.Store(nil)
 }
 
 // Linear returns the linear coefficient of variable i.

@@ -126,14 +126,31 @@ func (q *QUBO) Terms() []Term { return q.views().terms }
 // CSR returns the cached compressed-sparse-row neighbourhood view.
 func (q *QUBO) CSR() *CSR { return q.views().csr }
 
-// invalidateViews drops the cached read-side views after a mutation.
-func (q *QUBO) invalidateViews() { q.viewsPtr.Store(nil) }
+// invalidateViews drops the cached read-side views (and the cost table,
+// which depends on the same coefficients) after a mutation.
+func (q *QUBO) invalidateViews() {
+	q.viewsPtr.Store(nil)
+	q.costPtr.Store(nil)
+}
 
 // costTableChunkBits sizes the aligned blocks the dense cost table is
 // filled in; each block is seeded with one direct evaluation and extended
 // by single-bit-flip deltas, and blocks are independent, so the fill
 // parallelises across them.
 const costTableChunkBits = 12
+
+// costCacheMaxBits caps the problem size whose cost table is kept alive
+// by the cache (2^20 entries → 8 MiB); larger tables are rebuilt per call
+// rather than pinned in memory.
+const costCacheMaxBits = 20
+
+// costCache is one published cost table together with the Offset it was
+// built at (Offset is a public field, so it can change without a
+// mutation-method hook; a stale offset is detected at lookup).
+type costCache struct {
+	offset float64
+	table  []float64
+}
 
 // CostTable returns the dense diagonal t with t[b] = ValueBits(b) for
 // every assignment b in [0, 2^n) — the cost Hamiltonian's diagonal, which
@@ -142,7 +159,29 @@ const costTableChunkBits = 12
 // i derives from the entry with i's lowest set bit cleared by adding that
 // variable's linear coefficient plus its couplings to the bits that remain
 // set, read from the CSR view. Memory is 8·2^n bytes (20 qubits → 8 MiB).
+//
+// For problems up to costCacheMaxBits variables the table is cached on the
+// QUBO and shared between callers — repeated expectation evaluations on the
+// same problem (the QAOA optimisation loop, warm service requests) pay for
+// the fill once. The returned slice is read-only; callers must not modify
+// it. Coefficient mutations (AddLinear, AddQuad) and Offset changes
+// invalidate the cache.
 func (q *QUBO) CostTable() []float64 {
+	cacheable := q.n <= costCacheMaxBits
+	if cacheable {
+		if c := q.costPtr.Load(); c != nil && c.offset == q.Offset {
+			return c.table
+		}
+	}
+	t := q.buildCostTable()
+	if cacheable {
+		q.costPtr.Store(&costCache{offset: q.Offset, table: t})
+	}
+	return t
+}
+
+// buildCostTable fills a fresh table (see CostTable for the scheme).
+func (q *QUBO) buildCostTable() []float64 {
 	n := q.n
 	if n > 63 {
 		panic(fmt.Sprintf("qubo: CostTable needs n <= 63, got %d", n))

@@ -1,0 +1,160 @@
+//go:build !race
+
+// The race detector instruments allocations, so AllocsPerRun reports
+// nonzero under -race; these assertions only run in normal test builds.
+
+package service
+
+import (
+	"context"
+	"testing"
+
+	"quantumjoin/internal/core"
+)
+
+// allocStub is a Backend + BatchSolver that performs zero allocations per
+// solve: it hands back the same preallocated Decoded (and, for batches,
+// reused result slices) every time. With the backend out of the picture,
+// AllocsPerRun measures only the service scaffolding — fingerprinting,
+// cache lookup, dedup, decode, and response assembly.
+type allocStub struct {
+	d  *core.Decoded
+	ds []*core.Decoded
+	es []error
+}
+
+func (b *allocStub) Name() string { return "stub" }
+
+func (b *allocStub) Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error) {
+	return b.d, nil
+}
+
+func (b *allocStub) SolveBatch(ctx context.Context, encs []*core.Encoding, ps []Params) ([]*core.Decoded, []error) {
+	if cap(b.ds) < len(encs) {
+		b.ds = make([]*core.Decoded, len(encs))
+		b.es = make([]error, len(encs))
+	}
+	b.ds = b.ds[:len(encs)]
+	b.es = b.es[:len(encs)]
+	for i := range b.ds {
+		b.ds[i] = b.d
+		b.es[i] = nil
+	}
+	return b.ds, b.es
+}
+
+// allocService builds a service with the stub registered and no tracer or
+// logger — the configuration of a throughput-focused deployment.
+func allocService(t *testing.T) (*Service, *allocStub) {
+	t.Helper()
+	stub := &allocStub{d: &core.Decoded{Valid: true, Order: []int{0, 1, 2, 3}, Cost: 1}}
+	reg := NewRegistry()
+	if err := reg.Register(stub); err != nil {
+		t.Fatal(err)
+	}
+	return New(reg, Config{CompareRelations: -1}), stub
+}
+
+// TestSolveIntoZeroAllocWarm pins the tentpole guarantee: once the
+// encoding cache and scratch pools are warm, a Lean request through the
+// solve path allocates nothing.
+func TestSolveIntoZeroAllocWarm(t *testing.T) {
+	s, stub := allocService(t)
+	req := &Request{Query: chainQuery(), Backend: "stub", Lean: true}
+	resp := &Response{}
+	ctx := context.Background()
+
+	// One cold pass populates the encoding cache, the scratch pool, and
+	// the per-backend metrics entry.
+	if err := s.solveInto(ctx, stub, req, resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheKey == "" {
+		t.Fatal("expected cache key")
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		if err := s.solveInto(ctx, stub, req, resp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm solveInto allocates %.1f objects per run, want 0", avg)
+	}
+	if !resp.CacheHit || len(resp.Order) != 4 {
+		t.Fatalf("warm response malformed: hit=%v order=%v", resp.CacheHit, resp.Order)
+	}
+}
+
+// TestSolveBatchZeroAllocWarm is the batch-path counterpart: a warm
+// envelope of familiar shapes — including duplicates that dedup into one
+// group — runs through solveBatch without allocating, provided the caller
+// recycles its request/response/error slices (as the benchmark driver and
+// any steady-state batch client would).
+func TestSolveBatchZeroAllocWarm(t *testing.T) {
+	s, _ := allocService(t)
+	ctx := context.Background()
+
+	qa, qb := chainQuery(), chainQuery()
+	qb.Relations[2].Card = 777 // second distinct shape
+	reqs := []*Request{
+		{Query: qa, Backend: "stub", Lean: true},
+		{Query: qb, Backend: "stub", Lean: true},
+		{Query: qa, Backend: "stub", Lean: true}, // dedups with item 0
+	}
+	resps := make([]*Response, len(reqs))
+	for i := range resps {
+		resps[i] = &Response{}
+	}
+	errs := make([]error, len(reqs))
+
+	run := func() int {
+		for i := range errs {
+			errs[i] = nil
+		}
+		n := s.solveBatch(ctx, reqs, resps, errs)
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("item %d: %v", i, err)
+			}
+			if resps[i] == nil {
+				t.Fatalf("item %d: nil response", i)
+			}
+		}
+		return n
+	}
+
+	if got := run(); got != 2 {
+		t.Fatalf("cold batch solved %d unique groups, want 2", got)
+	}
+	avg := testing.AllocsPerRun(200, func() { run() })
+	if avg != 0 {
+		t.Fatalf("warm solveBatch allocates %.1f objects per run, want 0", avg)
+	}
+	if !resps[0].CacheHit || resps[0].CacheKey != resps[2].CacheKey {
+		t.Fatalf("dedup members disagree: %+v vs %+v", resps[0], resps[2])
+	}
+	if resps[1].CacheKey == resps[0].CacheKey {
+		t.Fatal("distinct shapes share a cache key")
+	}
+}
+
+// TestPoolRunZeroAllocWarm covers the worker-pool hop: enqueueing a job
+// and waiting for completion reuses pooled job shells.
+func TestPoolRunZeroAllocWarm(t *testing.T) {
+	p := NewPool(2, 4)
+	defer p.Shutdown(context.Background())
+	ctx := context.Background()
+	f := func(context.Context) {}
+	if err := p.Run(ctx, f); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := p.Run(ctx, f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm Pool.Run allocates %.1f objects per run, want 0", avg)
+	}
+}

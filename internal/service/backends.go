@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"quantumjoin/internal/anneal"
 	"quantumjoin/internal/classical"
@@ -26,6 +27,10 @@ type RegistryConfig struct {
 	QAOALayers int
 	// QAOAIterations is the classical optimiser budget (default 8).
 	QAOAIterations int
+	// QAOAPrecision selects the statevector width of the qaoa backend
+	// (default qsim.Complex128; qsim.Complex64 halves simulator memory
+	// traffic within the error bound pinned by the qaoa precision tests).
+	QAOAPrecision qsim.Precision
 }
 
 func (c RegistryConfig) withDefaults() RegistryConfig {
@@ -53,7 +58,7 @@ func DefaultRegistry(cfg RegistryConfig) *Registry {
 	for _, b := range []Backend{
 		NewAnnealBackend(cfg.PegasusM),
 		NewTabuBackend(),
-		NewQAOABackend(cfg.MaxQAOAQubits, cfg.QAOALayers, cfg.QAOAIterations),
+		qaoaBackend{maxQubits: cfg.MaxQAOAQubits, layers: cfg.QAOALayers, iterations: cfg.QAOAIterations, precision: cfg.QAOAPrecision},
 		NewMILPBackend(),
 		NewDPBackend(),
 		NewGreedyBackend(),
@@ -66,21 +71,19 @@ func DefaultRegistry(cfg RegistryConfig) *Registry {
 	return r
 }
 
+// decoderPool recycles decode scratch across backend solves: decoding a
+// few hundred samples per request used to allocate an order slice per
+// valid sample; with pooled core.Decoders only the single returned
+// Decoded escapes.
+var decoderPool = sync.Pool{New: func() any { return new(core.Decoder) }}
+
 // bestValid decodes every sample and returns the cheapest valid join
 // order, mirroring the §3.5 post-processing.
 func bestValid(enc *core.Encoding, assignments [][]bool) (*core.Decoded, error) {
-	var best *core.Decoded
-	for _, x := range assignments {
-		d := enc.Decode(x)
-		if !d.Valid {
-			continue
-		}
-		if best == nil || d.Cost < best.Cost {
-			dd := d
-			best = &dd
-		}
-	}
-	if best == nil {
+	dec := decoderPool.Get().(*core.Decoder)
+	defer decoderPool.Put(dec)
+	best := new(core.Decoded)
+	if _, ok := dec.BestValidInto(enc, assignments, best); !ok {
 		return nil, fmt.Errorf("service: no valid join order among %d samples", len(assignments))
 	}
 	return best, nil
@@ -94,13 +97,17 @@ type annealBackend struct {
 }
 
 // NewAnnealBackend builds the quantum-annealing backend on a Pegasus graph
-// of the given size (0 selects the default 6).
+// of the given size (0 selects the default 6). Service reads run in
+// batched replica groups: 32 interleaved reads per sweep keeps the strided
+// state resident while amortising the problem-array walk.
 func NewAnnealBackend(pegasusM int) Backend {
 	if pegasusM <= 0 {
 		pegasusM = 6
 	}
 	g, _ := topology.Pegasus(pegasusM)
-	return &annealBackend{dev: anneal.NewDevice(g)}
+	dev := anneal.NewDevice(g)
+	dev.BatchReads = 32
+	return &annealBackend{dev: dev}
 }
 
 func (b *annealBackend) Name() string { return "anneal" }
@@ -213,15 +220,33 @@ type qaoaBackend struct {
 	maxQubits  int
 	layers     int
 	iterations int
+	precision  qsim.Precision
 }
 
 // NewQAOABackend builds the QAOA backend with the given statevector cap,
-// circuit depth p, and classical optimiser budget.
+// circuit depth p, and classical optimiser budget (Complex128 precision).
 func NewQAOABackend(maxQubits, layers, iterations int) Backend {
 	return qaoaBackend{maxQubits: maxQubits, layers: layers, iterations: iterations}
 }
 
 func (qaoaBackend) Name() string { return "qaoa" }
+
+func (b qaoaBackend) options(shots int) qaoa.RunOptions {
+	return qaoa.RunOptions{
+		Layers:    b.layers,
+		Optimizer: qaoa.AQGD{Iterations: b.iterations},
+		Shots:     shots,
+		Precision: b.precision,
+	}
+}
+
+func (b qaoaBackend) decodeBest(enc *core.Encoding, out qaoa.Result) (*core.Decoded, error) {
+	assignments := make([][]bool, len(out.Samples))
+	for i, basis := range out.Samples {
+		assignments[i] = qsim.BitsOf(basis, enc.QUBO.N())
+	}
+	return bestValid(enc, assignments)
+}
 
 func (b qaoaBackend) Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error) {
 	if n := enc.NumQubits(); n > b.maxQubits {
@@ -231,18 +256,63 @@ func (b qaoaBackend) Solve(ctx context.Context, enc *core.Encoding, p Params) (*
 	if shots <= 0 {
 		shots = 256
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
-	// RunContext checks the deadline before every optimiser energy
+	rngs := [1]*rand.Rand{rand.New(rand.NewSource(p.Seed))}
+	// RunSeedsContext checks the deadline before every optimiser energy
 	// evaluation and reuses a pooled statevector buffer across them.
-	out, err := qaoa.RunContext(ctx, enc.QUBO, b.layers, qaoa.AQGD{Iterations: b.iterations}, shots, nil, nil, rng)
+	outs, err := qaoa.RunSeedsContext(ctx, enc.QUBO, b.options(shots), rngs[:])
 	if err != nil {
 		return nil, err
 	}
-	assignments := make([][]bool, len(out.Samples))
-	for i, basis := range out.Samples {
-		assignments[i] = qsim.BitsOf(basis, enc.QUBO.N())
+	return b.decodeBest(enc, outs[0])
+}
+
+// SolveBatch implements BatchSolver: instances sharing an encoding and a
+// shot budget are optimised once (the classical tuner is deterministic and
+// seed-independent) and sampled for all their seeds in one batched scan of
+// the final statevector via qaoa.RunSeedsContext. Results are bit-identical
+// to per-instance Solve.
+func (b qaoaBackend) SolveBatch(ctx context.Context, encs []*core.Encoding, ps []Params) ([]*core.Decoded, []error) {
+	ds := make([]*core.Decoded, len(encs))
+	errs := make([]error, len(encs))
+	type groupKey struct {
+		enc   *core.Encoding
+		shots int
 	}
-	return bestValid(enc, assignments)
+	order := make([]groupKey, 0, len(encs))
+	members := make(map[groupKey][]int, len(encs))
+	for i, enc := range encs {
+		if n := enc.NumQubits(); n > b.maxQubits {
+			errs[i] = fmt.Errorf("service: qaoa backend: %d logical qubits exceed the statevector budget of %d: %w", n, b.maxQubits, ErrBadRequest)
+			continue
+		}
+		shots := ps[i].Reads
+		if shots <= 0 {
+			shots = 256
+		}
+		gk := groupKey{enc: enc, shots: shots}
+		if _, ok := members[gk]; !ok {
+			order = append(order, gk)
+		}
+		members[gk] = append(members[gk], i)
+	}
+	for _, gk := range order {
+		idxs := members[gk]
+		rngs := make([]*rand.Rand, len(idxs))
+		for r, i := range idxs {
+			rngs[r] = rand.New(rand.NewSource(ps[i].Seed))
+		}
+		outs, err := qaoa.RunSeedsContext(ctx, gk.enc.QUBO, b.options(gk.shots), rngs)
+		if err != nil {
+			for _, i := range idxs {
+				errs[i] = err
+			}
+			continue
+		}
+		for r, i := range idxs {
+			ds[i], errs[i] = b.decodeBest(gk.enc, outs[r])
+		}
+	}
+	return ds, errs
 }
 
 // milpBackend solves the BILP model exactly with the built-in

@@ -35,10 +35,66 @@ type batchGroup struct {
 	err error
 }
 
+// batchMember references its permutation as an offset into the batch
+// scratch's shared perm arena (a direct slice would be invalidated when
+// the arena grows).
 type batchMember struct {
-	idx  int
-	perm []int
-	hit  bool
+	idx     int
+	permOff int
+	permLen int
+	hit     bool
+}
+
+// groupKey is the comparable dedup key of one batch item: cache key (an
+// interned string from the encoding cache), backend, and the params that
+// change a solve's output. solo is 0 for dedupable items and index+1 for
+// items that must solve alone (warm starts, hybrid tuning), making their
+// keys unique. A struct key replaces the fmt.Sprintf string the dedup map
+// used to allocate per item.
+type groupKey struct {
+	key   string
+	name  string
+	reads int
+	seed  int64
+	solo  int
+}
+
+// batchScratch is the reusable working set of one solveBatch call,
+// cycled through Service.batchScratch.
+type batchScratch struct {
+	sc        reqScratch
+	groups    []batchGroup
+	byKey     map[groupKey]int
+	permArena []int
+	done      []bool
+	gidx      []int
+	encs      []*core.Encoding
+	ps        []Params
+}
+
+func (b *batchScratch) reset() {
+	b.groups = b.groups[:0]
+	if b.byKey == nil {
+		b.byKey = make(map[groupKey]int)
+	} else {
+		clear(b.byKey)
+	}
+	b.permArena = b.permArena[:0]
+}
+
+// addGroup appends a group slot, recycling the backing entry (and its
+// members capacity) when one exists from an earlier batch.
+func (b *batchScratch) addGroup(name string, backend Backend, enc *core.Encoding, key string, p Params) int {
+	if len(b.groups) < cap(b.groups) {
+		b.groups = b.groups[:len(b.groups)+1]
+	} else {
+		b.groups = append(b.groups, batchGroup{})
+	}
+	g := &b.groups[len(b.groups)-1]
+	g.name, g.backend, g.enc, g.key, g.params = name, backend, enc, key, p
+	g.members = g.members[:0]
+	g.d, g.err = nil, nil
+	return len(b.groups) - 1
 }
 
 // OptimizeBatch runs a whole envelope of requests as one unit of work:
@@ -131,10 +187,15 @@ func (s *Service) OptimizeBatch(ctx context.Context, reqs []*Request, timeout ti
 // solveBatch runs on a pool worker: per-item validation and (cached)
 // encoding, deduplication into canonical groups, grouped solving with the
 // BatchSolver fast path where available, and per-member finishing. It
-// returns the number of deduplicated groups solved.
+// returns the number of deduplicated groups solved. All working storage
+// comes from the service's batchScratch pool, and entries of resps that
+// already hold a Response are filled in place — a warm batch of familiar
+// shapes allocates nothing in this scaffolding.
 func (s *Service) solveBatch(ctx context.Context, reqs []*Request, resps []*Response, errs []error) int {
-	var groups []*batchGroup
-	byKey := make(map[string]*batchGroup)
+	b := s.batch.Get().(*batchScratch)
+	defer s.batch.Put(b)
+	b.reset()
+
 	for i, req := range reqs {
 		if req == nil || req.Query == nil {
 			errs[i] = fmt.Errorf("service: batch item %d has no query: %w", i, ErrBadRequest)
@@ -154,69 +215,84 @@ func (s *Service) solveBatch(ctx context.Context, reqs []*Request, resps []*Resp
 				i, name, strings.Join(s.reg.Names(), ", "), ErrBadRequest)
 			continue
 		}
-		enc, key, perm, hit, err := s.cache.EncodingContext(ctx, req.Query, req.Spec)
+		enc, key, perm, hit, err := s.cache.encodingScratch(ctx, req.Query, req.Spec, &b.sc.fp)
 		if err != nil {
 			errs[i] = fmt.Errorf("service: batch item %d: encoding failed: %v: %w", i, err, ErrBadRequest)
 			continue
 		}
+		// perm aliases the fingerprinter's buffer, which the next item
+		// overwrites; park it in the shared arena (members store offsets —
+		// arena growth would invalidate direct slices).
+		permOff := len(b.permArena)
+		b.permArena = append(b.permArena, perm...)
 		// Warm-started and hybrid-tuned items are never deduplicated:
 		// their extra inputs are not part of the group key.
 		p := req.Params
-		gk := fmt.Sprintf("!%d", i)
-		if len(p.InitialState) == 0 && p.Hybrid.Strategy == "" && len(p.Hybrid.Portfolio) == 0 && p.Hybrid.HedgeDelay == 0 {
-			gk = fmt.Sprintf("%s|%s|%d|%d", key, name, p.Reads, p.Seed)
+		gk := groupKey{key: key, name: name, reads: p.Reads, seed: p.Seed}
+		if len(p.InitialState) != 0 || p.Hybrid.Strategy != "" || len(p.Hybrid.Portfolio) != 0 || p.Hybrid.HedgeDelay != 0 {
+			gk = groupKey{solo: i + 1}
 		}
-		g := byKey[gk]
-		if g == nil {
-			g = &batchGroup{name: name, backend: backend, enc: enc, key: key, params: p}
-			byKey[gk] = g
-			groups = append(groups, g)
+		gi, ok := b.byKey[gk]
+		if !ok {
+			gi = b.addGroup(name, backend, enc, key, p)
+			b.byKey[gk] = gi
 		}
-		g.members = append(g.members, batchMember{idx: i, perm: perm, hit: hit})
+		g := &b.groups[gi]
+		g.members = append(g.members, batchMember{idx: i, permOff: permOff, permLen: len(perm), hit: hit})
 	}
 
-	// Partition groups by backend in first-appearance order, so a batch
-	// spanning several backends still makes one fast-path call each.
-	var order []string
-	perBackend := make(map[string][]*batchGroup)
-	for _, g := range groups {
-		if _, ok := perBackend[g.name]; !ok {
-			order = append(order, g.name)
-		}
-		perBackend[g.name] = append(perBackend[g.name], g)
+	// Process groups backend by backend in first-appearance order, so a
+	// batch spanning several backends still makes one fast-path call each.
+	if cap(b.done) < len(b.groups) {
+		b.done = make([]bool, len(b.groups))
 	}
-
-	for _, name := range order {
-		gs := perBackend[name]
+	b.done = b.done[:len(b.groups)]
+	for i := range b.done {
+		b.done[i] = false
+	}
+	for first := range b.groups {
+		if b.done[first] {
+			continue
+		}
+		name := b.groups[first].name
+		b.gidx = b.gidx[:0]
+		for gj := first; gj < len(b.groups); gj++ {
+			if !b.done[gj] && b.groups[gj].name == name {
+				b.done[gj] = true
+				b.gidx = append(b.gidx, gj)
+			}
+		}
 		bm := s.metrics.Backend(name)
-		if bs, ok := gs[0].backend.(BatchSolver); ok {
-			encs := make([]*core.Encoding, len(gs))
-			ps := make([]Params, len(gs))
-			for gi, g := range gs {
-				encs[gi] = g.enc
-				ps[gi] = g.params
+		if bsv, ok := b.groups[first].backend.(BatchSolver); ok {
+			b.encs = b.encs[:0]
+			b.ps = b.ps[:0]
+			for _, gj := range b.gidx {
+				b.encs = append(b.encs, b.groups[gj].enc)
+				b.ps = append(b.ps, b.groups[gj].params)
 			}
 			solveCtx, span := obs.StartSpan(ctx, "solve.batch")
-			span.SetAttr("backend", name)
-			span.SetAttr("instances", len(gs))
+			span.SetAttrStr("backend", name)
+			span.SetAttrInt("instances", len(b.gidx))
 			solveStart := time.Now()
-			ds, berrs := s.safeSolveBatch(solveCtx, bs, encs, ps)
+			ds, berrs := s.safeSolveBatch(solveCtx, bsv, b.encs, b.ps)
 			// Per-instance latency is the amortised share of the batched
 			// call — the histogram then reflects per-query service rate.
-			per := time.Since(solveStart) / time.Duration(len(gs))
-			for gi, g := range gs {
-				err := berrs[gi]
+			per := time.Since(solveStart) / time.Duration(len(b.gidx))
+			for k, gj := range b.gidx {
+				g := &b.groups[gj]
+				err := berrs[k]
 				if err == nil {
-					err = vetDecoded(g.enc, name, ds[gi])
+					err = vetDecoded(g.enc, name, ds[k])
 				}
 				bm.Observe(per, err)
-				g.d, g.err = ds[gi], err
+				g.d, g.err = ds[k], err
 			}
 			span.End(nil)
 		} else {
-			for _, g := range gs {
+			for _, gj := range b.gidx {
+				g := &b.groups[gj]
 				solveCtx, span := obs.StartSpan(ctx, "solve")
-				span.SetAttr("backend", name)
+				span.SetAttrStr("backend", name)
 				solveStart := time.Now()
 				d, err := s.safeSolve(solveCtx, g.backend, g.enc, g.params)
 				if err == nil {
@@ -229,17 +305,23 @@ func (s *Service) solveBatch(ctx context.Context, reqs []*Request, resps []*Resp
 		}
 	}
 
-	for _, g := range groups {
+	for gi := range b.groups {
+		g := &b.groups[gi]
 		for _, m := range g.members {
-			resp, err := s.finish(ctx, reqs[m.idx], g.name, g.enc, g.key, m.perm, m.hit, g.d, g.err)
-			if err != nil {
+			perm := b.permArena[m.permOff : m.permOff+m.permLen]
+			resp := resps[m.idx]
+			if resp == nil {
+				resp = &Response{}
+			}
+			if err := s.finishInto(ctx, reqs[m.idx], g.name, g.enc, g.key, perm, m.hit, g.d, g.err, &b.sc, resp); err != nil {
 				errs[m.idx] = err
+				resps[m.idx] = nil
 			} else {
 				resps[m.idx] = resp
 			}
 		}
 	}
-	return len(groups)
+	return len(b.groups)
 }
 
 // safeSolveBatch invokes a BatchSolver with the same panic containment as

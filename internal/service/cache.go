@@ -8,7 +8,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -53,6 +53,47 @@ func mix64(a, b uint64) uint64 {
 	return x
 }
 
+// fpEdge is one predicate endpoint in the fingerprinter's flat adjacency.
+type fpEdge struct {
+	sel uint64
+	to  int32
+}
+
+// fingerprinter computes cache fingerprints with reusable scratch: all
+// working storage (colour refinement buffers, canonical predicate list,
+// serialisation bytes) lives on the struct and is grown once, so a warm
+// fingerprint of a familiar query shape allocates nothing. Not safe for
+// concurrent use; pool instances (see fpPool) instead of sharing one.
+type fingerprinter struct {
+	edgeOff []int32
+	edges   []fpEdge
+	colors  []uint64
+	next    []uint64
+	sig     []uint64
+	idx     []int
+	perm    []int
+	preds   []join.Predicate
+	buf     []byte
+}
+
+// fpPool backs the exported Fingerprint helper and any caller without a
+// request-scoped fingerprinter.
+var fpPool = sync.Pool{New: func() any { return new(fingerprinter) }}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
 // canonicalPerm computes a relabelling of the query's relations that is
 // invariant under permutations of the relation list, via Weisfeiler-Leman
 // colour refinement: a relation's colour starts from its cardinality and
@@ -60,59 +101,141 @@ func mix64(a, b uint64) uint64 {
 // neighbour colour) pairs. Relations left indistinguishable after n rounds
 // (automorphic twins) are tie-broken by original index, which still
 // serialises to the same canonical form. perm[original] = canonical index.
-func canonicalPerm(q *join.Query) []int {
+// The returned slice aliases fp.perm and is valid until the next call.
+func (fp *fingerprinter) canonicalPerm(q *join.Query) []int {
 	n := q.NumRelations()
-	type edge struct {
-		sel uint64
-		to  int
+	// Flat CSR adjacency of the predicate graph, counting-sort style.
+	if cap(fp.edgeOff) < n+1 {
+		fp.edgeOff = make([]int32, n+1)
 	}
-	adj := make([][]edge, n)
+	fp.edgeOff = fp.edgeOff[:n+1]
+	for i := range fp.edgeOff {
+		fp.edgeOff[i] = 0
+	}
+	for _, p := range q.Predicates {
+		fp.edgeOff[p.R1+1]++
+		fp.edgeOff[p.R2+1]++
+	}
+	for i := 0; i < n; i++ {
+		fp.edgeOff[i+1] += fp.edgeOff[i]
+	}
+	ne := int(fp.edgeOff[n])
+	if cap(fp.edges) < ne {
+		fp.edges = make([]fpEdge, ne)
+	}
+	fp.edges = fp.edges[:ne]
+	if cap(fp.next) < n {
+		fp.next = make([]uint64, n)
+	}
+	fill := fp.next[:n] // reuse as the insertion cursor before refinement
+	for i := 0; i < n; i++ {
+		fill[i] = uint64(fp.edgeOff[i])
+	}
 	for _, p := range q.Predicates {
 		sb := math.Float64bits(p.Sel)
-		adj[p.R1] = append(adj[p.R1], edge{sb, p.R2})
-		adj[p.R2] = append(adj[p.R2], edge{sb, p.R1})
+		fp.edges[fill[p.R1]] = fpEdge{sb, int32(p.R2)}
+		fill[p.R1]++
+		fp.edges[fill[p.R2]] = fpEdge{sb, int32(p.R1)}
+		fill[p.R2]++
 	}
-	colors := make([]uint64, n)
-	for i := range colors {
-		colors[i] = mix64(0x517cc1b727220a95, math.Float64bits(q.Relations[i].Card))
+
+	fp.colors = growU64(fp.colors, n)
+	for i := range fp.colors {
+		fp.colors[i] = mix64(0x517cc1b727220a95, math.Float64bits(q.Relations[i].Card))
 	}
-	next := make([]uint64, n)
-	var sig []uint64
+	fp.next = growU64(fp.next, n)
 	for round := 0; round < n; round++ {
-		for i := range colors {
-			sig = sig[:0]
-			for _, e := range adj[i] {
-				sig = append(sig, mix64(e.sel, colors[e.to]))
+		for i := range fp.colors {
+			fp.sig = fp.sig[:0]
+			for _, e := range fp.edges[fp.edgeOff[i]:fp.edgeOff[i+1]] {
+				fp.sig = append(fp.sig, mix64(e.sel, fp.colors[e.to]))
 			}
-			sort.Slice(sig, func(a, b int) bool { return sig[a] < sig[b] })
-			h := colors[i]
-			for _, v := range sig {
+			slices.Sort(fp.sig)
+			h := fp.colors[i]
+			for _, v := range fp.sig {
 				h = mix64(h, v)
 			}
-			next[i] = h
+			fp.next[i] = h
 		}
-		copy(colors, next)
+		copy(fp.colors, fp.next)
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	fp.idx = growInts(fp.idx, n)
+	for i := range fp.idx {
+		fp.idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
+	colors := fp.colors
+	// slices.SortFunc (generic) instead of sort.Slice: the latter boxes the
+	// slice into an interface and heap-allocates its closure on every call,
+	// which would break the zero-alloc warm path.
+	slices.SortFunc(fp.idx, func(ia, ib int) int {
 		if colors[ia] != colors[ib] {
-			return colors[ia] < colors[ib]
+			if colors[ia] < colors[ib] {
+				return -1
+			}
+			return 1
 		}
 		ca, cb := math.Float64bits(q.Relations[ia].Card), math.Float64bits(q.Relations[ib].Card)
 		if ca != cb {
-			return ca < cb
+			if ca < cb {
+				return -1
+			}
+			return 1
 		}
-		return ia < ib
+		return ia - ib
 	})
-	perm := make([]int, n)
-	for rank, orig := range idx {
-		perm[orig] = rank
+	fp.perm = growInts(fp.perm, n)
+	for rank, orig := range fp.idx {
+		fp.perm[orig] = rank
 	}
-	return perm
+	return fp.perm
+}
+
+// sum computes the cache fingerprint of (query shape, spec), returning
+// the raw SHA-256 and the canonicalising permutation (aliasing fp.perm).
+// The serialisation matches what canonicalize would produce, built
+// directly from the original query plus the permutation so no canonical
+// query is materialised on this path.
+func (fp *fingerprinter) sum(q *join.Query, spec EncodeSpec) (sum [32]byte, perm []int) {
+	spec = spec.withDefaults()
+	perm = fp.canonicalPerm(q)
+
+	if cap(fp.preds) < len(q.Predicates) {
+		fp.preds = make([]join.Predicate, len(q.Predicates))
+	}
+	fp.preds = fp.preds[:len(q.Predicates)]
+	for k, p := range q.Predicates {
+		a, b := perm[p.R1], perm[p.R2]
+		if a > b {
+			a, b = b, a
+		}
+		fp.preds[k] = join.Predicate{R1: a, R2: b, Sel: p.Sel}
+	}
+	preds := fp.preds
+	slices.SortFunc(preds, cmpPredicates)
+
+	fp.buf = fp.buf[:0]
+	w := func(v uint64) {
+		fp.buf = binary.LittleEndian.AppendUint64(fp.buf, v)
+	}
+	w(uint64(len(q.Relations)))
+	// Cards in canonical order: relation at canonical rank r is idx[r].
+	for _, orig := range fp.idx {
+		w(math.Float64bits(q.Relations[orig].Card))
+	}
+	w(uint64(len(preds)))
+	for _, p := range preds {
+		w(uint64(p.R1))
+		w(uint64(p.R2))
+		w(math.Float64bits(p.Sel))
+	}
+	w(uint64(spec.Thresholds))
+	w(math.Float64bits(spec.Omega))
+	if spec.LogObjective {
+		w(1)
+	} else {
+		w(0)
+	}
+	return sha256.Sum256(fp.buf), perm
 }
 
 // canonicalize relabels the query so that original relation i sits at
@@ -131,17 +254,30 @@ func canonicalize(q *join.Query, perm []int) *join.Query {
 		}
 		preds[k] = join.Predicate{R1: a, R2: b, Sel: p.Sel}
 	}
-	sort.Slice(preds, func(i, j int) bool {
-		if preds[i].R1 != preds[j].R1 {
-			return preds[i].R1 < preds[j].R1
-		}
-		if preds[i].R2 != preds[j].R2 {
-			return preds[i].R2 < preds[j].R2
-		}
-		return math.Float64bits(preds[i].Sel) < math.Float64bits(preds[j].Sel)
-	})
+	slices.SortFunc(preds, cmpPredicates)
 	cq.Predicates = preds
 	return cq
+}
+
+// cmpPredicates is the canonical predicate order: by endpoints, then by the
+// raw bit pattern of the selectivity (a total order even for NaNs). Shared
+// by the fingerprint serialisation and canonicalize so the hashed and the
+// encoded predicate lists always agree.
+func cmpPredicates(a, b join.Predicate) int {
+	if a.R1 != b.R1 {
+		return a.R1 - b.R1
+	}
+	if a.R2 != b.R2 {
+		return a.R2 - b.R2
+	}
+	sa, sb := math.Float64bits(a.Sel), math.Float64bits(b.Sel)
+	switch {
+	case sa < sb:
+		return -1
+	case sa > sb:
+		return 1
+	}
+	return 0
 }
 
 // Fingerprint returns the cache key for (query shape, encoding options)
@@ -150,33 +286,11 @@ func canonicalize(q *join.Query, perm []int) *join.Query {
 // (up to SHA-256 collisions) identical canonical instances, so a cached
 // encoding is always valid for every query that hits it.
 func Fingerprint(q *join.Query, spec EncodeSpec) (key string, perm []int) {
-	spec = spec.withDefaults()
-	perm = canonicalPerm(q)
-	cq := canonicalize(q, perm)
-	h := sha256.New()
-	buf := make([]byte, 8)
-	w := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf, v)
-		h.Write(buf)
-	}
-	w(uint64(len(cq.Relations)))
-	for _, r := range cq.Relations {
-		w(math.Float64bits(r.Card))
-	}
-	w(uint64(len(cq.Predicates)))
-	for _, p := range cq.Predicates {
-		w(uint64(p.R1))
-		w(uint64(p.R2))
-		w(math.Float64bits(p.Sel))
-	}
-	w(uint64(spec.Thresholds))
-	w(math.Float64bits(spec.Omega))
-	if spec.LogObjective {
-		w(1)
-	} else {
-		w(0)
-	}
-	return hex.EncodeToString(h.Sum(nil)), perm
+	fp := fpPool.Get().(*fingerprinter)
+	sum, p := fp.sum(q, spec)
+	perm = append([]int(nil), p...)
+	fpPool.Put(fp)
+	return hex.EncodeToString(sum[:]), perm
 }
 
 // EncodingCache is a thread-safe LRU cache of QUBO encodings keyed by
@@ -187,15 +301,19 @@ type EncodingCache struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
+	items    map[[32]byte]*list.Element
 
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
+// cacheEntry stores the raw fingerprint alongside its hex form: lookups
+// key on the raw sum (no per-request hex encoding), and a hit hands back
+// the one hex string allocated at insert time.
 type cacheEntry struct {
-	key string
-	enc *core.Encoding
+	sum    [32]byte
+	hexKey string
+	enc    *core.Encoding
 }
 
 // NewEncodingCache returns a cache holding up to capacity encodings
@@ -207,7 +325,7 @@ func NewEncodingCache(capacity int) *EncodingCache {
 	return &EncodingCache{
 		capacity: capacity,
 		ll:       list.New(),
-		items:    make(map[string]*list.Element),
+		items:    make(map[[32]byte]*list.Element),
 	}
 }
 
@@ -228,13 +346,29 @@ func (c *EncodingCache) Encoding(q *join.Query, spec EncodeSpec) (enc *core.Enco
 // nanosecond map lookup as a span would be pure trace noise; the hit is
 // visible as the root span's cache_hit attribute instead.
 func (c *EncodingCache) EncodingContext(ctx context.Context, q *join.Query, spec EncodeSpec) (enc *core.Encoding, key string, perm []int, hit bool, err error) {
+	fp := fpPool.Get().(*fingerprinter)
+	enc, key, p, hit, err := c.encodingScratch(ctx, q, spec, fp)
+	if p != nil {
+		perm = append([]int(nil), p...)
+	}
+	fpPool.Put(fp)
+	return enc, key, perm, hit, err
+}
+
+// encodingScratch is the allocation-free core of EncodingContext: the
+// fingerprint runs in fp's reusable buffers, the lookup keys on the raw
+// SHA-256 (no hex encoding), and a hit returns the entry's interned hex
+// key. The returned perm aliases fp.perm — valid only until fp's next
+// use, so request-scoped callers must hold their own fingerprinter.
+func (c *EncodingCache) encodingScratch(ctx context.Context, q *join.Query, spec EncodeSpec, fp *fingerprinter) (enc *core.Encoding, key string, perm []int, hit bool, err error) {
 	spec = spec.withDefaults()
-	key, perm = Fingerprint(q, spec)
-	if enc, ok := c.get(key); ok {
+	sum, perm := fp.sum(q, spec)
+	if enc, key, ok := c.get(sum); ok {
 		c.hits.Add(1)
 		return enc, key, perm, true, nil
 	}
 	c.misses.Add(1)
+	key = hex.EncodeToString(sum[:])
 	ectx, span := obs.StartSpan(ctx, "encode")
 	cq := canonicalize(q, perm)
 	enc, err = core.EncodeContext(ectx, cq, core.Options{
@@ -248,34 +382,35 @@ func (c *EncodingCache) EncodingContext(ctx context.Context, q *join.Query, spec
 	}
 	span.SetAttr("qubits", enc.NumQubits())
 	span.End(nil)
-	c.put(key, enc)
+	c.put(sum, key, enc)
 	return enc, key, perm, false, nil
 }
 
-func (c *EncodingCache) get(key string) (*core.Encoding, bool) {
+func (c *EncodingCache) get(sum [32]byte) (*core.Encoding, string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	el, ok := c.items[sum]
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).enc, true
+	e := el.Value.(*cacheEntry)
+	return e.enc, e.hexKey, true
 }
 
-func (c *EncodingCache) put(key string, enc *core.Encoding) {
+func (c *EncodingCache) put(sum [32]byte, hexKey string, enc *core.Encoding) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	if el, ok := c.items[sum]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).enc = enc
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, enc: enc})
+	c.items[sum] = c.ll.PushFront(&cacheEntry{sum: sum, hexKey: hexKey, enc: enc})
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		delete(c.items, oldest.Value.(*cacheEntry).sum)
 	}
 }
 
@@ -317,5 +452,5 @@ func (c *EncodingCache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
-	c.items = make(map[string]*list.Element)
+	c.items = make(map[[32]byte]*list.Element)
 }

@@ -27,6 +27,10 @@ import (
 // is "race" or "staged", Portfolio lists backend names to orchestrate, and
 // HedgeMs is the staged strategy's hedge delay in milliseconds (0 default,
 // negative launches quantum stages immediately).
+//
+// Lean trims the response for throughput-sensitive callers: the rendered
+// join tree and the optimal-cost comparison (a classical DP per unseen
+// query shape) are skipped, keeping the warm path allocation-free.
 type OptimizeRequest struct {
 	Backend      string          `json:"backend,omitempty"`
 	Query        json.RawMessage `json:"query"`
@@ -39,6 +43,7 @@ type OptimizeRequest struct {
 	Strategy     string          `json:"strategy,omitempty"`
 	Portfolio    []string        `json:"portfolio,omitempty"`
 	HedgeMs      int             `json:"hedge_ms,omitempty"`
+	Lean         bool            `json:"lean,omitempty"`
 }
 
 // OptimizeResponse is the POST /v1/optimize result. Degraded reports that
@@ -241,6 +246,7 @@ func toRequest(body *OptimizeRequest) (*Request, string) {
 			},
 		},
 		Timeout: time.Duration(body.TimeoutMs) * time.Millisecond,
+		Lean:    body.Lean,
 	}, ""
 }
 

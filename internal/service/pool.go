@@ -42,9 +42,17 @@ type Pool struct {
 type poolJob struct {
 	ctx      context.Context
 	run      func(context.Context)
-	done     chan struct{}
-	skipped  bool // job expired in the queue and never ran
-	panicked any  // recovered panic value from run, nil when clean
+	done     chan struct{} // buffered(1); handle sends, enqueue receives
+	skipped  bool          // job expired in the queue and never ran
+	panicked any           // recovered panic value from run, nil when clean
+}
+
+// jobPool recycles poolJob shells (with their done channels) across
+// requests. Safe because every enqueued job is handled exactly once —
+// workers drain the queue before exiting — and the enqueuer always
+// receives the completion signal before returning the job to the pool.
+var jobPool = sync.Pool{
+	New: func() any { return &poolJob{done: make(chan struct{}, 1)} },
 }
 
 // NewPool starts a pool with the given worker count (default: GOMAXPROCS)
@@ -88,7 +96,7 @@ func (p *Pool) worker() {
 }
 
 func (j *poolJob) handle() {
-	defer close(j.done)
+	defer func() { j.done <- struct{}{} }()
 	// A panicking job must not take its worker down with it: the pool is
 	// fixed-size, so a lost worker is permanent capacity loss and enough
 	// of them deadlocks the daemon. Recover, report, keep serving.
@@ -126,31 +134,43 @@ func (p *Pool) enqueue(ctx context.Context, f func(context.Context), shed bool) 
 		p.mu.RUnlock()
 		return ErrShutdown
 	}
-	j := &poolJob{ctx: ctx, run: f, done: make(chan struct{})}
+	j := jobPool.Get().(*poolJob)
+	j.ctx, j.run, j.skipped, j.panicked = ctx, f, false, nil
 	var enqueueErr error
+	enqueued := true
 	if shed {
 		select {
 		case p.jobs <- j:
 		default:
 			enqueueErr = ErrOverloaded
+			enqueued = false
 		}
 	} else {
 		select {
 		case p.jobs <- j:
 		case <-ctx.Done():
 			enqueueErr = fmt.Errorf("service: request expired before a worker was available: %w", ctx.Err())
+			enqueued = false
 		}
 	}
 	p.mu.RUnlock()
 	if enqueueErr != nil {
+		if !enqueued {
+			j.ctx, j.run = nil, nil
+			jobPool.Put(j)
+		}
 		return enqueueErr
 	}
 	<-j.done
-	if j.skipped {
-		return fmt.Errorf("service: request expired in queue: %w", j.ctx.Err())
+	skipped, panicked := j.skipped, j.panicked
+	ctxErr := j.ctx.Err()
+	j.ctx, j.run, j.panicked = nil, nil, nil
+	jobPool.Put(j)
+	if skipped {
+		return fmt.Errorf("service: request expired in queue: %w", ctxErr)
 	}
-	if j.panicked != nil {
-		return fmt.Errorf("service: worker recovered panic: %v: %w", j.panicked, ErrPanic)
+	if panicked != nil {
+		return fmt.Errorf("service: worker recovered panic: %v: %w", panicked, ErrPanic)
 	}
 	return nil
 }

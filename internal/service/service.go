@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"strings"
+	"sync"
 	"time"
 
 	"quantumjoin/internal/classical"
@@ -87,18 +88,33 @@ type Service struct {
 	cache   *EncodingCache
 	pool    *Pool
 	metrics *Metrics
+	scratch sync.Pool // *reqScratch, reused across requests
+	batch   sync.Pool // *batchScratch, reused across batch envelopes
+}
+
+// reqScratch is the per-request working storage of the warm optimize
+// path: fingerprint buffers, the inverse permutation, and decode scratch.
+// Instances cycle through Service.scratch so a steady stream of
+// same-shaped requests reuses the same allocations.
+type reqScratch struct {
+	fp  fingerprinter
+	inv []int
+	dec core.Decoder
 }
 
 // New assembles a service over the given backend registry.
 func New(reg *Registry, cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:     cfg,
 		reg:     reg,
 		cache:   NewEncodingCache(cfg.CacheSize),
 		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
 		metrics: NewMetrics(),
 	}
+	s.scratch.New = func() any { return new(reqScratch) }
+	s.batch.New = func() any { return new(batchScratch) }
+	return s
 }
 
 // Request is one optimisation job.
@@ -114,6 +130,11 @@ type Request struct {
 	// Timeout is the per-request deadline; 0 selects the default, and
 	// values above Config.MaxTimeout are clamped to it.
 	Timeout time.Duration
+	// Lean trims the response for latency-critical callers: the rendered
+	// Tree string and the classical optimal-cost comparison are skipped
+	// (Tree is empty, OptimalCost/Optimal are zero). The order, cost, and
+	// cache metadata are unaffected.
+	Lean bool
 }
 
 // Response is the outcome of one optimisation job.
@@ -281,17 +302,33 @@ func (s *Service) optimize(ctx context.Context, req *Request, start time.Time) (
 // solve, result vetting, optional classical degradation, and mapping the
 // canonical-labelled result back into the request's indexing.
 func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Response, error) {
+	resp := &Response{}
+	if err := s.solveInto(ctx, backend, req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// solveInto is solve writing into a caller-owned Response: the warm path
+// (cache hit, healthy backend, Lean request, tracing off) performs zero
+// allocations beyond whatever the backend itself does — fingerprint and
+// decode scratch comes from the service's reqScratch pool and the
+// response's slices are reused in place.
+func (s *Service) solveInto(ctx context.Context, backend Backend, req *Request, resp *Response) error {
+	sc := s.scratch.Get().(*reqScratch)
+	defer s.scratch.Put(sc)
+
 	// On a miss the cache opens the "encode" span; a hit is recorded as
 	// an attribute on the active (root) span rather than a noise span.
-	enc, key, perm, hit, err := s.cache.EncodingContext(ctx, req.Query, req.Spec)
-	obs.ActiveSpan(ctx).SetAttr("cache_hit", hit)
+	enc, key, perm, hit, err := s.cache.encodingScratch(ctx, req.Query, req.Spec, &sc.fp)
+	obs.ActiveSpan(ctx).SetAttrBool("cache_hit", hit)
 	if err != nil {
-		return nil, fmt.Errorf("service: encoding failed: %v: %w", err, ErrBadRequest)
+		return fmt.Errorf("service: encoding failed: %v: %w", err, ErrBadRequest)
 	}
 
 	bm := s.metrics.Backend(backend.Name())
 	solveCtx, solveSpan := obs.StartSpan(ctx, "solve")
-	solveSpan.SetAttr("backend", backend.Name())
+	solveSpan.SetAttrStr("backend", backend.Name())
 	solveStart := time.Now()
 	d, err := s.safeSolve(solveCtx, backend, enc, req.Params)
 	if err == nil {
@@ -304,27 +341,29 @@ func (s *Service) solve(ctx context.Context, backend Backend, req *Request) (*Re
 	bm.Observe(time.Since(solveStart), err)
 	solveSpan.End(err)
 
-	return s.finish(ctx, req, backend.Name(), enc, key, perm, hit, d, err)
+	return s.finishInto(ctx, req, backend.Name(), enc, key, perm, hit, d, err, sc, resp)
 }
 
-// finish turns one (possibly failed) backend outcome into a Response:
+// finishInto turns one (possibly failed) backend outcome into a Response:
 // classical degradation when enabled, translation of the canonical-
 // labelled order back into the request's own relation indexing, true-cost
 // re-scoring, and the optional optimal-cost comparison. It is shared by
 // the single-request path and the batch path — in a batch, one solve of a
 // deduplicated canonical instance is finished once per member request,
-// each with its own permutation.
-func (s *Service) finish(ctx context.Context, req *Request, backendName string, enc *core.Encoding, key string, perm []int, hit bool, d *core.Decoded, err error) (*Response, error) {
+// each with its own permutation. Every Response field is (re)assigned, so
+// a recycled Response never leaks stale state; resp.Order's backing array
+// is reused in place.
+func (s *Service) finishInto(ctx context.Context, req *Request, backendName string, enc *core.Encoding, key string, perm []int, hit bool, d *core.Decoded, err error, sc *reqScratch, resp *Response) error {
 	producer := backendName
 	degraded := false
 	reason := ""
 	if err != nil {
 		if !s.cfg.Degrade || errors.Is(err, ErrBadRequest) {
-			return nil, err
+			return err
 		}
 		fbCtx, fbSpan := obs.StartSpan(ctx, "degrade")
 		d, producer = s.fallback(fbCtx, enc)
-		fbSpan.SetAttr("fallback", producer)
+		fbSpan.SetAttrStr("fallback", producer)
 		fbSpan.End(nil)
 		degraded, reason = true, err.Error()
 		s.metrics.degrades.Add(1)
@@ -338,37 +377,44 @@ func (s *Service) finish(ctx context.Context, req *Request, backendName string, 
 	// The backend solved the canonical instance; translate the order back
 	// into the request's relation indexing (costs are label-invariant).
 	_, decodeSpan := obs.StartSpan(ctx, "decode")
-	inv := make([]int, len(perm))
+	sc.inv = growInts(sc.inv, len(perm))
 	for orig, canon := range perm {
-		inv[canon] = orig
+		sc.inv[canon] = orig
 	}
-	order := make(join.Order, len(d.Order))
-	for i, canon := range d.Order {
-		order[i] = inv[canon]
+	order := resp.Order[:0]
+	for _, canon := range d.Order {
+		order = append(order, sc.inv[canon])
 	}
 
-	resp := &Response{
-		Backend: producer,
-		Order:   order,
-		Tree:    req.Query.Tree(order),
-		// Re-score by true plan cost in the request's own labelling: a
-		// backend reporting a stale or energy-based cost cannot lie its
-		// way into the response.
-		Cost:           req.Query.Cost(order),
-		LogicalQubits:  enc.NumQubits(),
-		CacheKey:       key,
-		CacheHit:       hit,
-		Degraded:       degraded,
-		DegradedReason: reason,
+	resp.Backend = producer
+	resp.Order = order
+	resp.Tree = ""
+	if !req.Lean {
+		resp.Tree = req.Query.Tree(order)
 	}
-	if n := req.Query.NumRelations(); s.cfg.CompareRelations > 0 && n <= s.cfg.CompareRelations {
-		if opt, err := classical.Optimal(req.Query); err == nil {
+	// Re-score by true plan cost in the request's own labelling: a
+	// backend reporting a stale or energy-based cost cannot lie its way
+	// into the response.
+	resp.Cost = req.Query.Cost(order)
+	resp.OptimalCost = 0
+	resp.Optimal = false
+	resp.LogicalQubits = enc.NumQubits()
+	resp.CacheKey = key
+	resp.CacheHit = hit
+	resp.Degraded = degraded
+	resp.DegradedReason = reason
+	resp.Elapsed = 0
+	if n := req.Query.NumRelations(); !req.Lean && s.cfg.CompareRelations > 0 && n <= s.cfg.CompareRelations {
+		// The optimum of the canonical instance, computed once per cached
+		// encoding (plan costs are invariant under relation relabelling),
+		// replaces the per-request DP solve this comparison used to cost.
+		if opt, err := enc.Optimal(); err == nil {
 			resp.OptimalCost = opt.Cost
 			resp.Optimal = resp.Cost <= opt.Cost*(1+1e-9)+1e-12
 		}
 	}
 	decodeSpan.End(nil)
-	return resp, nil
+	return nil
 }
 
 // safeSolve invokes the backend with panic containment: one misbehaving
