@@ -2,9 +2,12 @@
 // are QUBO-encoded (with an LRU encoding cache keyed by a canonical hash
 // of the query graph) and solved on a registered backend — the simulated
 // quantum annealer, tabu search, QAOA simulation, the exact MILP solver,
-// the classical DP/greedy baselines, or the hybrid orchestrator (which
+// the classical DP/greedy baselines, the hybrid orchestrator (which
 // races or stages the other backends under the request deadline and
-// arbitrates by true plan cost) — under bounded concurrency and
+// arbitrates by true plan cost), or the decomposition backend (which
+// partitions join graphs past the monolithic encoding limit into
+// QUBO-sized parts, solves each on the portfolio, and stitches the
+// per-part orders classically) — under bounded concurrency and
 // per-request deadlines.
 //
 // Endpoints:
@@ -65,6 +68,7 @@ import (
 	"time"
 
 	"quantumjoin/internal/cluster"
+	"quantumjoin/internal/decomp"
 	"quantumjoin/internal/faults"
 	"quantumjoin/internal/hybrid"
 	"quantumjoin/internal/noise"
@@ -98,6 +102,9 @@ func main() {
 	hybridStrategy := flag.String("hybrid-strategy", "staged", "default hybrid strategy: race or staged")
 	hybridPortfolio := flag.String("hybrid-portfolio", "anneal,tabu,qaoa", "default hybrid portfolio (comma-separated backend names)")
 	hybridHedge := flag.Duration("hybrid-hedge", 25*time.Millisecond, "default hedge delay before the hybrid quantum stage")
+	decompBudget := flag.Int("decomp-part-budget", 12, "decomp: default relations per partition part (requests override with part_budget)")
+	decompSubsolver := flag.String("decomp-subsolver", "", "decomp: solve every part on this named backend instead of hybrid orchestration")
+	decompStandard := flag.Bool("decomp-standard-parts", false, "decomp: encode parts with the standard (non-compact) QUBO encoding")
 	grace := flag.Duration("grace", 30*time.Second, "graceful shutdown budget")
 	shed := flag.Bool("shed", true, "reject with 503 + Retry-After when the request queue is full (false = block until deadline)")
 	degrade := flag.Bool("degrade", true, "answer with the classical planner (degraded: true) when the selected backend fails")
@@ -214,6 +221,27 @@ func main() {
 		fail(fmt.Errorf("qjoind: %w", err))
 	}
 	if err := reg.Register(hb); err != nil {
+		fail(fmt.Errorf("qjoind: %w", err))
+	}
+
+	// The decomposition backend scales past the monolithic encoding limit:
+	// it partitions the join graph into QUBO-sized parts, solves each part
+	// on the portfolio (or a single named subsolver), and stitches the
+	// per-part orders classically. Like hybrid, it sits on top of the
+	// registry and registers last.
+	db, err := decomp.New(decomp.Config{
+		Registry:      reg,
+		Metrics:       svc.Metrics(),
+		PartBudget:    *decompBudget,
+		Subsolver:     *decompSubsolver,
+		Portfolio:     splitList(*hybridPortfolio),
+		HedgeDelay:    *hybridHedge,
+		StandardParts: *decompStandard,
+	})
+	if err != nil {
+		fail(fmt.Errorf("qjoind: %w", err))
+	}
+	if err := reg.Register(db); err != nil {
 		fail(fmt.Errorf("qjoind: %w", err))
 	}
 

@@ -94,6 +94,15 @@ type Options struct {
 	// PenaltyA and PenaltyB override the automatically derived penalty
 	// weights when non-zero.
 	PenaltyA, PenaltyB float64
+	// Compact selects the reduced-variable encoding after Nayak et al.:
+	// the outer-operand variables tio[t][j] for j > 0 are eliminated by
+	// substituting the recursion tio[t][j] = tio[t][0] + Σ_{j'<j} tii[t][j'],
+	// which drops T·(J−1) decision variables and all J·T recursion equality
+	// constraints. Operand disjointness collapses to one constraint per
+	// relation (tio[t][0] + Σ_j tii[t][j] <= 1). Decoding is unchanged (it
+	// reads only tii), and valid orders reach exactly zero penalty residual
+	// just like the standard encoding. Incompatible with Original.
+	Compact bool
 }
 
 func (o Options) withDefaults() Options {
@@ -147,8 +156,18 @@ func (e *Encoding) NumDecisionVars() int { return len(e.Infos) }
 // TIIVar returns the BILP variable index of tii[t][j].
 func (e *Encoding) TIIVar(t, j int) int { return e.tii[t][j] }
 
-// TIOVar returns the BILP variable index of tio[t][j].
+// TIOVar returns the BILP variable index of tio[t][j]. The compact
+// encoding only materialises tio[t][0] (later outer memberships are prefix
+// sums over tii); asking for j > 0 there panics.
 func (e *Encoding) TIOVar(t, j int) int { return e.tio[t][j] }
+
+// MaxMonolithicRelations caps the relation count of a single monolithic
+// QUBO encoding. Constraint lengths grow linearly and the squared penalty
+// terms quadratically with the relation count, so beyond this point one
+// giant QUBO is slower to build than it is useful to solve. Larger queries
+// go through graph-partition decomposition instead (the decomp backend),
+// which solves QUBO-sized parts and stitches the per-part orders.
+const MaxMonolithicRelations = 32
 
 // Encode builds the QUBO encoding for the query under the given options.
 // Invalid instances — selectivities outside (0, 1], cardinalities below 1,
@@ -169,7 +188,13 @@ func EncodeContext(ctx context.Context, q *join.Query, opts Options) (*Encoding,
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("core: cannot encode invalid query: %w", err)
 	}
+	if n := q.NumRelations(); n > MaxMonolithicRelations {
+		return nil, fmt.Errorf("core: %d relations exceeds the %d-relation monolithic encoding limit; use the decomp backend, which partitions the join graph into QUBO-sized parts and stitches the per-part orders", n, MaxMonolithicRelations)
+	}
 	opts = opts.withDefaults()
+	if opts.Compact && opts.Original {
+		return nil, fmt.Errorf("core: Compact and Original encodings are mutually exclusive (the compact substitution presumes the pruned model)")
+	}
 	if len(opts.Thresholds) == 0 {
 		return nil, fmt.Errorf("core: at least one threshold value is required")
 	}
@@ -241,15 +266,39 @@ func (e *Encoding) buildMILP() error {
 		return v
 	}
 
+	// The compact encoding keeps only tio[t][0] and substitutes
+	// tio[t][j] = tio[t][0] + Σ_{j'<j} tii[t][j'] everywhere else; see
+	// outerTerms below and the Options.Compact doc.
+	outerJoins := J
+	if e.Opts.Compact {
+		outerJoins = 1
+	}
 	e.tio = make([][]int, T)
 	e.tii = make([][]int, T)
 	for t := 0; t < T; t++ {
-		e.tio[t] = make([]int, J)
+		e.tio[t] = make([]int, outerJoins)
 		e.tii[t] = make([]int, J)
 		for j := 0; j < J; j++ {
-			e.tio[t][j] = addVar(VarInfo{Kind: TIO, T: t, J: j}, fmt.Sprintf("tio[%d][%d]", t, j))
+			// Keep the standard model's interleaved variable order exactly
+			// as before the compact variant existed: seeded stochastic
+			// solvers are sensitive to variable indexing.
+			if j < outerJoins {
+				e.tio[t][j] = addVar(VarInfo{Kind: TIO, T: t, J: j}, fmt.Sprintf("tio[%d][%d]", t, j))
+			}
 			e.tii[t][j] = addVar(VarInfo{Kind: TII, T: t, J: j}, fmt.Sprintf("tii[%d][%d]", t, j))
 		}
+	}
+	// outerTerms appends coef·tio[t][j] to dst: one variable in the
+	// standard model, the prefix expansion in the compact model.
+	outerTerms := func(dst []linprog.Term, t, j int, coef float64) []linprog.Term {
+		if !e.Opts.Compact {
+			return append(dst, linprog.Term{Var: e.tio[t][j], Coef: coef})
+		}
+		dst = append(dst, linprog.Term{Var: e.tio[t][0], Coef: coef})
+		for jj := 0; jj < j; jj++ {
+			dst = append(dst, linprog.Term{Var: e.tii[t][jj], Coef: coef})
+		}
+		return dst
 	}
 	// Threshold constraints are discretised at precision ω; snap log10 θ_r
 	// onto the ω grid up front so that valid solutions reach exactly zero
@@ -308,22 +357,30 @@ func (e *Encoding) buildMILP() error {
 		}
 		m.AddConstraint(c)
 	}
-	// Outer operand recursion (Eq. 3): tio[t][j] = tii[t][j-1] + tio[t][j-1].
-	for j := 1; j < J; j++ {
-		for t := 0; t < T; t++ {
-			m.AddConstraint(linprog.Constraint{
-				Name:  fmt.Sprintf("recur[%d][%d]", t, j),
-				Sense: linprog.EQ, RHS: 0,
-				Terms: []linprog.Term{
-					{Var: e.tio[t][j], Coef: 1},
-					{Var: e.tii[t][j-1], Coef: -1},
-					{Var: e.tio[t][j-1], Coef: -1},
-				},
-			})
+	if !e.Opts.Compact {
+		// Outer operand recursion (Eq. 3): tio[t][j] = tii[t][j-1] + tio[t][j-1].
+		// The compact encoding has no recursion constraints: the recursion
+		// is substituted into every tio[t][j] occurrence instead.
+		for j := 1; j < J; j++ {
+			for t := 0; t < T; t++ {
+				m.AddConstraint(linprog.Constraint{
+					Name:  fmt.Sprintf("recur[%d][%d]", t, j),
+					Sense: linprog.EQ, RHS: 0,
+					Terms: []linprog.Term{
+						{Var: e.tio[t][j], Coef: 1},
+						{Var: e.tii[t][j-1], Coef: -1},
+						{Var: e.tio[t][j-1], Coef: -1},
+					},
+				})
+			}
 		}
 	}
 	// Operand disjointness (Eq. 4): pruned model needs it only for the final
-	// join; the original model carries it for every join.
+	// join; the original model carries it for every join. Under the compact
+	// substitution the final-join form expands to
+	// tio[t][0] + Σ_j tii[t][j] <= 1 — each relation appears at most once
+	// across the first outer leaf and all inner leaves, which together with
+	// one-inner/one-outer forces exactly once (a permutation).
 	disjointJoins := []int{J - 1}
 	if e.Opts.Original {
 		disjointJoins = disjointJoins[:0]
@@ -333,28 +390,29 @@ func (e *Encoding) buildMILP() error {
 	}
 	for _, j := range disjointJoins {
 		for t := 0; t < T; t++ {
-			m.AddConstraint(linprog.Constraint{
+			c := linprog.Constraint{
 				Name:  fmt.Sprintf("disjoint[%d][%d]", t, j),
 				Sense: linprog.LE, RHS: 1, SlackBound: 1, Integral: true,
-				Terms: []linprog.Term{
-					{Var: e.tio[t][j], Coef: 1},
-					{Var: e.tii[t][j], Coef: 1},
-				},
-			})
+			}
+			c.Terms = outerTerms(c.Terms, t, j, 1)
+			c.Terms = append(c.Terms, linprog.Term{Var: e.tii[t][j], Coef: 1})
+			m.AddConstraint(c)
 		}
 	}
 	// Predicate applicability (Eq. 5): pao[p][j] <= tio of both endpoints.
+	// (Compact: the slack bound 1 covers every feasible assignment — the
+	// expanded tio value is 0 or 1 there by disjointness; infeasible
+	// assignments just accrue extra penalty.)
 	for p := 0; p < P; p++ {
 		for j := paoStart; j < J; j++ {
 			for _, endpoint := range []int{q.Predicates[p].R1, q.Predicates[p].R2} {
-				m.AddConstraint(linprog.Constraint{
+				c := linprog.Constraint{
 					Name:  fmt.Sprintf("pao[%d][%d]<=tio[%d]", p, j, endpoint),
 					Sense: linprog.LE, RHS: 0, SlackBound: 1, Integral: true,
-					Terms: []linprog.Term{
-						{Var: pao[p][j], Coef: 1},
-						{Var: e.tio[endpoint][j], Coef: -1},
-					},
-				})
+					Terms: []linprog.Term{{Var: pao[p][j], Coef: 1}},
+				}
+				c.Terms = outerTerms(c.Terms, endpoint, j, -1)
+				m.AddConstraint(c)
 			}
 		}
 	}
@@ -382,7 +440,7 @@ func (e *Encoding) buildMILP() error {
 			}
 			for t := 0; t < T; t++ {
 				if lc := q.LogCard(t); lc != 0 {
-					c.Terms = append(c.Terms, linprog.Term{Var: e.tio[t][j], Coef: lc})
+					c.Terms = outerTerms(c.Terms, t, j, lc)
 				}
 			}
 			for p := 0; p < P; p++ {

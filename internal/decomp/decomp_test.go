@@ -1,0 +1,288 @@
+package decomp
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"quantumjoin/internal/classical"
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/querygen"
+	"quantumjoin/internal/service"
+)
+
+func genQuery(t testing.TB, n int, g querygen.GraphType, seed int64) *join.Query {
+	t.Helper()
+	q, err := querygen.Generate(querygen.Config{Relations: n, Graph: g},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+var shapes = []querygen.GraphType{querygen.Chain, querygen.Star, querygen.Clique, querygen.Tree}
+
+// connected reports whether the part is connected over the query's
+// part-internal predicate edges.
+func connected(q *join.Query, part []int) bool {
+	if len(part) <= 1 {
+		return true
+	}
+	in := make(map[int]bool, len(part))
+	for _, v := range part {
+		in[v] = true
+	}
+	adj := make(map[int][]int)
+	for _, p := range q.Predicates {
+		if in[p.R1] && in[p.R2] {
+			adj[p.R1] = append(adj[p.R1], p.R2)
+			adj[p.R2] = append(adj[p.R2], p.R1)
+		}
+	}
+	seen := map[int]bool{part[0]: true}
+	stack := []int{part[0]}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return len(seen) == len(part)
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	for _, g := range shapes {
+		for _, n := range []int{12, 30, 47, 60} {
+			for _, budget := range []int{4, 10, 16} {
+				q := genQuery(t, n, g, int64(n*100+budget))
+				p, err := PartitionQuery(q, budget)
+				if err != nil {
+					t.Fatalf("%v n=%d budget=%d: %v", g, n, budget, err)
+				}
+				seen := make([]bool, n)
+				for pi, part := range p.Parts {
+					if len(part) == 0 || len(part) > budget {
+						t.Fatalf("%v n=%d budget=%d: part %d has %d relations", g, n, budget, pi, len(part))
+					}
+					for _, v := range part {
+						if seen[v] {
+							t.Fatalf("%v n=%d: relation %d in two parts", g, n, v)
+						}
+						seen[v] = true
+						if p.PartOf[v] != pi {
+							t.Fatalf("%v n=%d: PartOf[%d]=%d, want %d", g, n, v, p.PartOf[v], pi)
+						}
+					}
+					if !connected(q, part) {
+						t.Fatalf("%v n=%d budget=%d: part %d %v is disconnected", g, n, budget, pi, part)
+					}
+				}
+				for v, ok := range seen {
+					if !ok {
+						t.Fatalf("%v n=%d: relation %d unassigned", g, n, v)
+					}
+				}
+				// Deterministic: same query and budget, same partition.
+				p2, err := PartitionQuery(q, budget)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(p.Parts, p2.Parts) {
+					t.Fatalf("%v n=%d budget=%d: partition not deterministic", g, n, budget)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	q := genQuery(t, 8, querygen.Chain, 1)
+	if _, err := PartitionQuery(q, 0); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+	if _, err := PartitionQuery(&join.Query{}, 4); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+func TestContractComposites(t *testing.T) {
+	q := genQuery(t, 24, querygen.Tree, 7)
+	p, err := PartitionQuery(q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := contract(q, p.Parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq.NumRelations() != len(p.Parts) {
+		t.Fatalf("contracted to %d relations, want %d parts", cq.NumRelations(), len(p.Parts))
+	}
+	for i, r := range cq.Relations {
+		if r.Card < 1 {
+			t.Fatalf("composite %d has cardinality %v < 1", i, r.Card)
+		}
+	}
+	// A tree stays a tree under contraction of connected parts: exactly
+	// parts-1 cross edges.
+	if len(cq.Predicates) != len(p.Parts)-1 {
+		t.Fatalf("contracted tree has %d predicates, want %d", len(cq.Predicates), len(p.Parts)-1)
+	}
+}
+
+func testBackend(t testing.TB, cfg Config) *Backend {
+	t.Helper()
+	r := service.NewRegistry()
+	for _, be := range []service.Backend{
+		service.NewDPBackend(),
+		service.NewGreedyBackend(),
+		service.NewTabuBackend(),
+	} {
+		if err := r.Register(be); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg.Registry = r
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStitchedPlansValidAndNeverWorseThanGreedy is the subsystem's core
+// property: across graph shapes, sizes well past the monolithic limit, and
+// seeds, the decomposed plan is a valid permutation whose true cost never
+// exceeds the global greedy plan's.
+func TestStitchedPlansValidAndNeverWorseThanGreedy(t *testing.T) {
+	b := testBackend(t, Config{Subsolver: "tabu", PartBudget: 7})
+	for _, g := range shapes {
+		for _, n := range []int{20, 34, 41} {
+			for seed := int64(0); seed < 2; seed++ {
+				q := genQuery(t, n, g, seed*1000+int64(n))
+				res, err := b.SolveQuery(context.Background(), q, service.EncodeSpec{},
+					service.Params{Reads: 3, Seed: seed})
+				if err != nil {
+					t.Fatalf("%v n=%d seed=%d: %v", g, n, seed, err)
+				}
+				if !res.Decoded.Order.IsPermutation(n) {
+					t.Fatalf("%v n=%d seed=%d: order %v is not a permutation", g, n, seed, res.Decoded.Order)
+				}
+				greedy := classical.Greedy(q)
+				if res.Decoded.Cost > greedy.Cost*(1+1e-12) {
+					t.Fatalf("%v n=%d seed=%d: decomp cost %g worse than greedy %g",
+						g, n, seed, res.Decoded.Cost, greedy.Cost)
+				}
+				if got := q.Cost(res.Decoded.Order); got != res.Decoded.Cost {
+					t.Fatalf("%v n=%d seed=%d: reported cost %g != recomputed %g", g, n, seed, res.Decoded.Cost, got)
+				}
+				if n > core.MaxMonolithicRelations && res.LogicalQubits == 0 {
+					t.Fatalf("%v n=%d: no part went through a QUBO encoding", g, n)
+				}
+			}
+		}
+	}
+}
+
+// TestSolvesBeyondMonolithicLimit pins the headline capability: a query the
+// monolithic encoder rejects outright is solved end-to-end by decomp.
+func TestSolvesBeyondMonolithicLimit(t *testing.T) {
+	n := 40
+	q := genQuery(t, n, querygen.Chain, 9)
+	if _, err := core.Encode(q, core.Options{Thresholds: core.DefaultThresholds(q, 3)}); err == nil {
+		t.Fatalf("monolithic encode of %d relations unexpectedly succeeded", n)
+	}
+	b := testBackend(t, Config{Subsolver: "tabu", PartBudget: 10})
+	res, err := b.SolveQuery(context.Background(), q, service.EncodeSpec{}, service.Params{Reads: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decoded.Valid || !res.Decoded.Order.IsPermutation(n) {
+		t.Fatalf("invalid decomposed plan: %+v", res.Decoded)
+	}
+	if res.LogicalQubits == 0 {
+		t.Fatal("expected a nonzero aggregate qubit count")
+	}
+}
+
+// TestPartBudgetOverride checks Params.Decomp.PartBudget steers the
+// partitioner per request.
+func TestPartBudgetOverride(t *testing.T) {
+	q := genQuery(t, 36, querygen.Chain, 3)
+	p, err := PartitionQuery(q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range p.Parts {
+		if len(part) > 6 {
+			t.Fatalf("part exceeds budget: %v", part)
+		}
+	}
+	p2, err := PartitionQuery(q, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Parts) >= len(p.Parts) {
+		t.Fatalf("larger budget produced %d parts, smaller produced %d", len(p2.Parts), len(p.Parts))
+	}
+}
+
+// TestSolveOnEncoding exercises the plain service.Backend entry point: a
+// monolithic-sized encoding is still solved via decomposition, and the
+// decoded order must be valid for the encoding's query.
+func TestSolveOnEncoding(t *testing.T) {
+	q := genQuery(t, 12, querygen.Star, 5)
+	enc, err := core.Encode(q, core.Options{Thresholds: core.DefaultThresholds(q, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBackend(t, Config{Subsolver: "tabu", PartBudget: 5})
+	d, err := b.Solve(context.Background(), enc, service.Params{Reads: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Valid || !d.Order.IsPermutation(12) {
+		t.Fatalf("invalid decoded plan: %+v", d)
+	}
+	if greedy := classical.Greedy(q); d.Cost > greedy.Cost*(1+1e-12) {
+		t.Fatalf("cost %g worse than greedy %g", d.Cost, greedy.Cost)
+	}
+}
+
+// TestHybridSubsolvePath runs the default (no named subsolver) hybrid
+// orchestration per part with hedging disabled for test speed.
+func TestHybridSubsolvePath(t *testing.T) {
+	q := genQuery(t, 24, querygen.Tree, 11)
+	b := testBackend(t, Config{PartBudget: 8, HedgeDelay: -1})
+	res, err := b.SolveQuery(context.Background(), q, service.EncodeSpec{}, service.Params{Reads: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decoded.Order.IsPermutation(24) {
+		t.Fatalf("order %v is not a permutation", res.Decoded.Order)
+	}
+	if greedy := classical.Greedy(q); res.Decoded.Cost > greedy.Cost*(1+1e-12) {
+		t.Fatalf("cost %g worse than greedy %g", res.Decoded.Cost, greedy.Cost)
+	}
+}
+
+// TestUnknownSubsolverDegradesClassically: a misconfigured subsolver name
+// must not fail the query — every part falls back to its classical floor.
+func TestUnknownSubsolverDegradesClassically(t *testing.T) {
+	q := genQuery(t, 20, querygen.Chain, 6)
+	b := testBackend(t, Config{Subsolver: "no-such-backend"})
+	res, err := b.SolveQuery(context.Background(), q, service.EncodeSpec{}, service.Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decoded.Order.IsPermutation(20) {
+		t.Fatalf("order %v is not a permutation", res.Decoded.Order)
+	}
+}

@@ -38,6 +38,13 @@ type Query struct {
 	Predicates []Predicate
 }
 
+// MaxRelations is the hard relation-count ceiling for a single Query: set
+// cardinalities, DP bitsets, and the permutation fast path all use uint64
+// masks indexed by relation. Larger join graphs must be split first (see
+// internal/decomp, which partitions the join graph and stitches per-part
+// orders).
+const MaxRelations = 64
+
 // NumRelations returns the number of base relations T.
 func (q *Query) NumRelations() int { return len(q.Relations) }
 
@@ -58,6 +65,9 @@ func (q *Query) NumPredicates() int { return len(q.Predicates) }
 func (q *Query) Validate() error {
 	if len(q.Relations) < 2 {
 		return errors.New("join: query needs at least two relations")
+	}
+	if len(q.Relations) > MaxRelations {
+		return fmt.Errorf("join: %d relations exceeds the %d-relation limit of the uint64 set masks; partition the join graph instead (the decomp backend splits large graphs into QUBO-sized parts and stitches the per-part orders)", len(q.Relations), MaxRelations)
 	}
 	for i, r := range q.Relations {
 		if r.Card < 1 || math.IsNaN(r.Card) || math.IsInf(r.Card, 0) {

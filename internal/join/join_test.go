@@ -2,6 +2,7 @@ package join
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -36,6 +37,26 @@ func TestValidate(t *testing.T) {
 		if err := b.Validate(); err == nil {
 			t.Errorf("bad query %d accepted", i)
 		}
+	}
+	// Relation counts above MaxRelations must be rejected with a pointer at
+	// the decomposition path, not silently miscost via overflowed masks.
+	big := &Query{Relations: make([]Relation, MaxRelations+1)}
+	for i := range big.Relations {
+		big.Relations[i] = Relation{Card: 2}
+	}
+	err := big.Validate()
+	if err == nil {
+		t.Fatalf("query with %d relations accepted", len(big.Relations))
+	}
+	if !strings.Contains(err.Error(), "decomp") {
+		t.Errorf("oversize error should point at the decomp backend, got: %v", err)
+	}
+	atLimit := &Query{Relations: make([]Relation, MaxRelations)}
+	for i := range atLimit.Relations {
+		atLimit.Relations[i] = Relation{Card: 2}
+	}
+	if err := atLimit.Validate(); err != nil {
+		t.Errorf("query at the %d-relation limit rejected: %v", MaxRelations, err)
 	}
 }
 

@@ -1,8 +1,10 @@
 // Package querygen generates random join ordering instances following the
 // methodology of Steinbrunn et al. (as used via Trummer's query optimizer
 // library in the paper's §4.1): queries with a chosen query-graph type
-// (chain, star, cycle, clique), cardinalities drawn log-uniformly, and
-// selectivities drawn log-uniformly from (0, 1].
+// (chain, star, cycle, clique, tree), cardinalities drawn log-uniformly
+// (optionally skewed toward small relations with a heavy tail), and
+// selectivities drawn log-uniformly from (0, 1] (optionally correlated
+// with the joined cardinalities as foreign-key joins).
 //
 // The paper's QPU experiments use the IntegerLog option: integer base-10
 // logarithmic cardinalities and selectivities, which avoids discretisation
@@ -31,6 +33,11 @@ const (
 	Cycle
 	// Clique connects every pair of relations.
 	Clique
+	// Tree connects relation i (i >= 1) to a uniformly random earlier
+	// relation, producing a random recursive tree: the connected acyclic
+	// middle ground between chain (depth n) and star (depth 1) that large
+	// analytical schemas tend to resemble.
+	Tree
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +51,8 @@ func (g GraphType) String() string {
 		return "cycle"
 	case Clique:
 		return "clique"
+	case Tree:
+		return "tree"
 	default:
 		return fmt.Sprintf("GraphType(%d)", int(g))
 	}
@@ -53,7 +62,7 @@ func (g GraphType) String() string {
 // for n relations.
 func (g GraphType) NumPredicates(n int) int {
 	switch g {
-	case Chain, Star:
+	case Chain, Star, Tree:
 		return n - 1
 	case Cycle:
 		return n
@@ -78,6 +87,17 @@ type Config struct {
 	// MinLogSel/MaxLogSel bound -log10 of selectivities.
 	// Defaults: 0 and 2 (1 .. 0.01).
 	MinLogSel, MaxLogSel float64
+	// Skew in [0, 1) tilts the cardinality distribution: 0 keeps the
+	// log-uniform draw, larger values concentrate mass near MinLogCard
+	// with a heavy tail toward MaxLogCard (the u^(1/(1−Skew)) transform) —
+	// the "few huge fact tables, many small dimensions" shape of real
+	// analytical schemas.
+	Skew float64
+	// Correlation in [0, 1] is the probability that a predicate is
+	// foreign-key-like: its selectivity becomes 1/max(card(R1), card(R2))
+	// (the textbook FK-join estimate) instead of an independent log-uniform
+	// draw, correlating selectivities with the cardinalities they join.
+	Correlation float64
 }
 
 func (c Config) withDefaults() Config {
@@ -100,9 +120,19 @@ func Generate(cfg Config, rng *rand.Rand) (*join.Query, error) {
 	if cfg.Graph == Cycle && n < 3 {
 		return nil, fmt.Errorf("querygen: cycle query needs at least 3 relations, got %d", n)
 	}
+	if cfg.Skew < 0 || cfg.Skew >= 1 {
+		return nil, fmt.Errorf("querygen: skew %v outside [0, 1)", cfg.Skew)
+	}
+	if cfg.Correlation < 0 || cfg.Correlation > 1 {
+		return nil, fmt.Errorf("querygen: correlation %v outside [0, 1]", cfg.Correlation)
+	}
 	q := &join.Query{}
 	for i := 0; i < n; i++ {
-		lc := cfg.MinLogCard + rng.Float64()*(cfg.MaxLogCard-cfg.MinLogCard)
+		u := rng.Float64()
+		if cfg.Skew > 0 {
+			u = math.Pow(u, 1/(1-cfg.Skew))
+		}
+		lc := cfg.MinLogCard + u*(cfg.MaxLogCard-cfg.MinLogCard)
 		if cfg.IntegerLog {
 			lc = math.Round(lc)
 		}
@@ -111,7 +141,13 @@ func Generate(cfg Config, rng *rand.Rand) (*join.Query, error) {
 			Card: math.Pow(10, lc),
 		})
 	}
-	sel := func() float64 {
+	sel := func(a, b int) float64 {
+		if cfg.Correlation > 0 && rng.Float64() < cfg.Correlation {
+			// Foreign-key join: each row of the smaller side matches its
+			// one parent — selectivity 1/max(card_a, card_b). Integer-log
+			// cards keep this on the integer-log grid automatically.
+			return 1 / math.Max(q.Relations[a].Card, q.Relations[b].Card)
+		}
 		ls := cfg.MinLogSel + rng.Float64()*(cfg.MaxLogSel-cfg.MinLogSel)
 		if cfg.IntegerLog {
 			ls = math.Round(ls)
@@ -119,7 +155,7 @@ func Generate(cfg Config, rng *rand.Rand) (*join.Query, error) {
 		return math.Pow(10, -ls)
 	}
 	addPred := func(a, b int) {
-		q.Predicates = append(q.Predicates, join.Predicate{R1: a, R2: b, Sel: sel()})
+		q.Predicates = append(q.Predicates, join.Predicate{R1: a, R2: b, Sel: sel(a, b)})
 	}
 	switch cfg.Graph {
 	case Chain:
@@ -140,6 +176,10 @@ func Generate(cfg Config, rng *rand.Rand) (*join.Query, error) {
 			for j := i + 1; j < n; j++ {
 				addPred(i, j)
 			}
+		}
+	case Tree:
+		for i := 1; i < n; i++ {
+			addPred(rng.Intn(i), i)
 		}
 	default:
 		return nil, fmt.Errorf("querygen: unknown graph type %v", cfg.Graph)

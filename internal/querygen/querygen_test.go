@@ -8,7 +8,7 @@ import (
 
 func TestGraphShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	for _, g := range []GraphType{Chain, Star, Cycle, Clique} {
+	for _, g := range []GraphType{Chain, Star, Cycle, Clique, Tree} {
 		for n := 3; n <= 8; n++ {
 			q, err := Generate(Config{Relations: n, Graph: g}, rng)
 			if err != nil {
@@ -92,6 +92,97 @@ func TestGenerateErrors(t *testing.T) {
 	if _, err := Generate(Config{Relations: 3, Graph: GraphType(99)}, rng); err == nil {
 		t.Error("accepted unknown graph type")
 	}
+	if _, err := Generate(Config{Relations: 3, Skew: 1}, rng); err == nil {
+		t.Error("accepted skew 1")
+	}
+	if _, err := Generate(Config{Relations: 3, Skew: -0.1}, rng); err == nil {
+		t.Error("accepted negative skew")
+	}
+	if _, err := Generate(Config{Relations: 3, Correlation: 1.5}, rng); err == nil {
+		t.Error("accepted correlation > 1")
+	}
+}
+
+// Tree graphs must be connected and acyclic: n-1 predicates, every
+// relation reachable from relation 0.
+func TestTreeConnectedAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for n := 3; n <= 40; n += 7 {
+		q, err := Generate(Config{Relations: n, Graph: Tree}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.NumPredicates() != n-1 {
+			t.Fatalf("n=%d: %d predicates, want %d", n, q.NumPredicates(), n-1)
+		}
+		adj := make([][]int, n)
+		for _, p := range q.Predicates {
+			adj[p.R1] = append(adj[p.R1], p.R2)
+			adj[p.R2] = append(adj[p.R2], p.R1)
+		}
+		seen := make([]bool, n)
+		stack := []int{0}
+		seen[0] = true
+		count := 1
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					count++
+					stack = append(stack, w)
+				}
+			}
+		}
+		if count != n {
+			t.Errorf("n=%d: only %d relations reachable", n, count)
+		}
+	}
+}
+
+// Skewed draws stay within bounds and concentrate mass near MinLogCard:
+// with heavy skew the median log-cardinality must sit in the lower half
+// of the range.
+func TestSkewConcentratesLow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q, err := Generate(Config{Relations: 60, Graph: Chain, Skew: 0.8, MinLogCard: 1, MaxLogCard: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []float64
+	for i := range q.Relations {
+		lc := q.LogCard(i)
+		if lc < 1-1e-9 || lc > 5+1e-9 {
+			t.Fatalf("relation %d: log card %v outside [1,5]", i, lc)
+		}
+		logs = append(logs, lc)
+	}
+	below := 0
+	for _, lc := range logs {
+		if lc < 3 {
+			below++
+		}
+	}
+	if below <= len(logs)/2 {
+		t.Errorf("skew 0.8: only %d/%d relations below the range midpoint", below, len(logs))
+	}
+}
+
+// Full correlation makes every predicate a foreign-key join: selectivity
+// exactly 1/max of the endpoint cardinalities.
+func TestCorrelationForeignKeySelectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	q, err := Generate(Config{Relations: 12, Graph: Tree, Correlation: 1, IntegerLog: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range q.Predicates {
+		want := 1 / math.Max(q.Relations[p.R1].Card, q.Relations[p.R2].Card)
+		if p.Sel != want {
+			t.Errorf("predicate %d: sel %v, want FK estimate %v", i, p.Sel, want)
+		}
+	}
 }
 
 func TestPaperInstanceQubitLadderPreconditions(t *testing.T) {
@@ -118,7 +209,7 @@ func TestPaperInstanceQubitLadderPreconditions(t *testing.T) {
 }
 
 func TestGraphTypeString(t *testing.T) {
-	cases := map[GraphType]string{Chain: "chain", Star: "star", Cycle: "cycle", Clique: "clique"}
+	cases := map[GraphType]string{Chain: "chain", Star: "star", Cycle: "cycle", Clique: "clique", Tree: "tree"}
 	for g, want := range cases {
 		if g.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(g), g.String(), want)

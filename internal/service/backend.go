@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"quantumjoin/internal/core"
+	"quantumjoin/internal/join"
 )
 
 // Params are the per-request solver knobs common to all backends.
@@ -41,6 +42,16 @@ type Params struct {
 	// Hybrid tunes the hybrid orchestration backend; other backends
 	// ignore it.
 	Hybrid HybridParams
+	// Decomp tunes the decomposition backend; other backends ignore it.
+	Decomp DecompParams
+}
+
+// DecompParams tune the graph-partition decomposition backend. The zero
+// value picks the backend's defaults.
+type DecompParams struct {
+	// PartBudget caps the relations per partition part (each part becomes
+	// one QUBO-sized subproblem). Zero selects the backend default.
+	PartBudget int
 }
 
 // HybridParams select and tune a hybrid orchestration strategy. The zero
@@ -70,6 +81,26 @@ type Backend interface {
 	// Solve returns the best valid decoded join order the backend found,
 	// or an error (wrapping ctx.Err() on expiry) when none was found.
 	Solve(ctx context.Context, enc *core.Encoding, p Params) (*core.Decoded, error)
+}
+
+// QueryResult is the outcome of a QueryBackend solve: the decoded plan in
+// the query's own relation indexing plus the aggregate encoding size the
+// backend actually built (for decomposition: the sum over per-part QUBOs).
+type QueryResult struct {
+	Decoded       core.Decoded
+	LogicalQubits int
+}
+
+// QueryBackend is implemented by backends that plan directly over the join
+// query instead of a monolithic QUBO encoding — the decomposition backend,
+// which partitions graphs far above the monolithic encoding limit and
+// builds its own per-part encodings. The service routes requests for such
+// backends around the encoding cache entirely: no monolithic encode is
+// attempted (it would be rejected above core.MaxMonolithicRelations), and
+// the query is passed in its original relation indexing.
+type QueryBackend interface {
+	Backend
+	SolveQuery(ctx context.Context, q *join.Query, spec EncodeSpec, p Params) (*QueryResult, error)
 }
 
 // BatchSolver is implemented by backends with an amortised many-instance

@@ -196,6 +196,7 @@ func (s *Service) solveBatch(ctx context.Context, reqs []*Request, resps []*Resp
 	defer s.batch.Put(b)
 	b.reset()
 
+	soloQuery := 0
 	for i, req := range reqs {
 		if req == nil || req.Query == nil {
 			errs[i] = fmt.Errorf("service: batch item %d has no query: %w", i, ErrBadRequest)
@@ -213,6 +214,24 @@ func (s *Service) solveBatch(ctx context.Context, reqs []*Request, resps []*Resp
 		if !ok {
 			errs[i] = fmt.Errorf("service: batch item %d: unknown backend %q (have: %s): %w",
 				i, name, strings.Join(s.reg.Names(), ", "), ErrBadRequest)
+			continue
+		}
+		// Query-level backends (decomposition) bypass the monolithic
+		// encode and solve each item solo: their instances cannot be
+		// deduplicated by canonical encoding (no canonicalisation runs),
+		// and per-part solving is already batched internally.
+		if qb, ok := backend.(QueryBackend); ok {
+			resp := resps[i]
+			if resp == nil {
+				resp = &Response{}
+			}
+			if err := s.solveQueryInto(ctx, qb, req, &b.sc, resp); err != nil {
+				errs[i] = err
+				resps[i] = nil
+			} else {
+				resps[i] = resp
+			}
+			soloQuery++
 			continue
 		}
 		enc, key, perm, hit, err := s.cache.encodingScratch(ctx, req.Query, req.Spec, &b.sc.fp)
@@ -282,7 +301,7 @@ func (s *Service) solveBatch(ctx context.Context, reqs []*Request, resps []*Resp
 				g := &b.groups[gj]
 				err := berrs[k]
 				if err == nil {
-					err = vetDecoded(g.enc, name, ds[k])
+					err = vetDecoded(g.enc.Query.NumRelations(), name, ds[k])
 				}
 				bm.Observe(per, err)
 				g.d, g.err = ds[k], err
@@ -296,7 +315,7 @@ func (s *Service) solveBatch(ctx context.Context, reqs []*Request, resps []*Resp
 				solveStart := time.Now()
 				d, err := s.safeSolve(solveCtx, g.backend, g.enc, g.params)
 				if err == nil {
-					err = vetDecoded(g.enc, name, d)
+					err = vetDecoded(g.enc.Query.NumRelations(), name, d)
 				}
 				bm.Observe(time.Since(solveStart), err)
 				span.End(err)
@@ -321,7 +340,7 @@ func (s *Service) solveBatch(ctx context.Context, reqs []*Request, resps []*Resp
 			}
 		}
 	}
-	return len(b.groups)
+	return len(b.groups) + soloQuery
 }
 
 // safeSolveBatch invokes a BatchSolver with the same panic containment as

@@ -27,6 +27,10 @@ type EncodeSpec struct {
 	Omega float64
 	// LogObjective selects the log-cost ablation of the objective.
 	LogObjective bool
+	// Compact selects the reduced-variable encoding (core.Options.Compact):
+	// tio[t][j>0] eliminated by prefix substitution over tii, dropping
+	// T·(J−1) decision qubits per instance.
+	Compact bool
 }
 
 func (s EncodeSpec) withDefaults() EncodeSpec {
@@ -230,11 +234,14 @@ func (fp *fingerprinter) sum(q *join.Query, spec EncodeSpec) (sum [32]byte, perm
 	}
 	w(uint64(spec.Thresholds))
 	w(math.Float64bits(spec.Omega))
+	var flags uint64
 	if spec.LogObjective {
-		w(1)
-	} else {
-		w(0)
+		flags |= 1
 	}
+	if spec.Compact {
+		flags |= 2
+	}
+	w(flags)
 	return sha256.Sum256(fp.buf), perm
 }
 
@@ -375,6 +382,7 @@ func (c *EncodingCache) encodingScratch(ctx context.Context, q *join.Query, spec
 		Thresholds:   core.DefaultThresholds(cq, spec.Thresholds),
 		Omega:        spec.Omega,
 		LogObjective: spec.LogObjective,
+		Compact:      spec.Compact,
 	})
 	if err != nil {
 		span.End(err)

@@ -37,13 +37,19 @@ type OptimizeRequest struct {
 	Thresholds   int             `json:"thresholds,omitempty"`
 	Omega        float64         `json:"omega,omitempty"`
 	LogObjective bool            `json:"log_objective,omitempty"`
-	Reads        int             `json:"reads,omitempty"`
-	Seed         int64           `json:"seed,omitempty"`
-	TimeoutMs    int             `json:"timeout_ms,omitempty"`
-	Strategy     string          `json:"strategy,omitempty"`
-	Portfolio    []string        `json:"portfolio,omitempty"`
-	HedgeMs      int             `json:"hedge_ms,omitempty"`
-	Lean         bool            `json:"lean,omitempty"`
+	// Compact selects the reduced-variable QUBO encoding (fewer qubits
+	// per instance; see core.Options.Compact).
+	Compact bool  `json:"compact,omitempty"`
+	Reads   int   `json:"reads,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+	// PartBudget caps relations per partition part on the decomp backend
+	// (0 selects the backend default); other backends ignore it.
+	PartBudget int      `json:"part_budget,omitempty"`
+	TimeoutMs  int      `json:"timeout_ms,omitempty"`
+	Strategy   string   `json:"strategy,omitempty"`
+	Portfolio  []string `json:"portfolio,omitempty"`
+	HedgeMs    int      `json:"hedge_ms,omitempty"`
+	Lean       bool     `json:"lean,omitempty"`
 }
 
 // OptimizeResponse is the POST /v1/optimize result. Degraded reports that
@@ -235,6 +241,7 @@ func toRequest(body *OptimizeRequest) (*Request, string) {
 			Thresholds:   body.Thresholds,
 			Omega:        body.Omega,
 			LogObjective: body.LogObjective,
+			Compact:      body.Compact,
 		},
 		Params: Params{
 			Reads: body.Reads,
@@ -244,6 +251,7 @@ func toRequest(body *OptimizeRequest) (*Request, string) {
 				Portfolio:  body.Portfolio,
 				HedgeDelay: time.Duration(body.HedgeMs) * time.Millisecond,
 			},
+			Decomp: DecompParams{PartBudget: body.PartBudget},
 		},
 		Timeout: time.Duration(body.TimeoutMs) * time.Millisecond,
 		Lean:    body.Lean,

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -318,6 +319,14 @@ func (s *Service) solveInto(ctx context.Context, backend Backend, req *Request, 
 	sc := s.scratch.Get().(*reqScratch)
 	defer s.scratch.Put(sc)
 
+	// Query-level backends (decomposition) plan over the join graph
+	// directly and build their own per-part encodings; routing them
+	// through the monolithic encode would be wasted work at best and a
+	// hard error above core.MaxMonolithicRelations.
+	if qb, ok := backend.(QueryBackend); ok {
+		return s.solveQueryInto(ctx, qb, req, sc, resp)
+	}
+
 	// On a miss the cache opens the "encode" span; a hit is recorded as
 	// an attribute on the active (root) span rather than a noise span.
 	enc, key, perm, hit, err := s.cache.encodingScratch(ctx, req.Query, req.Spec, &sc.fp)
@@ -336,7 +345,7 @@ func (s *Service) solveInto(ctx context.Context, backend Backend, req *Request, 
 		// (or a fault injector standing in for one) can return corrupted
 		// solutions with a straight face. An invalid order is a backend
 		// failure like any other — eligible for degradation, never served.
-		err = vetDecoded(enc, backend.Name(), d)
+		err = vetDecoded(enc.Query.NumRelations(), backend.Name(), d)
 	}
 	bm.Observe(time.Since(solveStart), err)
 	solveSpan.End(err)
@@ -362,7 +371,7 @@ func (s *Service) finishInto(ctx context.Context, req *Request, backendName stri
 			return err
 		}
 		fbCtx, fbSpan := obs.StartSpan(ctx, "degrade")
-		d, producer = s.fallback(fbCtx, enc)
+		d, producer = s.fallback(fbCtx, enc.Query)
 		fbSpan.SetAttrStr("fallback", producer)
 		fbSpan.End(nil)
 		degraded, reason = true, err.Error()
@@ -431,12 +440,12 @@ func (s *Service) safeSolve(ctx context.Context, backend Backend, enc *core.Enco
 }
 
 // vetDecoded checks that a backend result is a structurally valid join
-// order for the encoded query.
-func vetDecoded(enc *core.Encoding, backend string, d *core.Decoded) error {
+// order over n relations.
+func vetDecoded(n int, backend string, d *core.Decoded) error {
 	if d == nil || !d.Valid {
 		return fmt.Errorf("service: backend %q returned no valid join order", backend)
 	}
-	if n := enc.Query.NumRelations(); !d.Order.IsPermutation(n) {
+	if !d.Order.IsPermutation(n) {
 		return fmt.Errorf("service: backend %q returned order %v, not a permutation of %d relations",
 			backend, d.Order, n)
 	}
@@ -448,15 +457,96 @@ func vetDecoded(enc *core.Encoding, backend string, d *core.Decoded) error {
 // otherwise. Greedy is pure microsecond-scale compute and needs no
 // context, so it succeeds even when the deadline is already blown — the
 // degraded answer is always available.
-func (s *Service) fallback(ctx context.Context, enc *core.Encoding) (*core.Decoded, string) {
-	n := enc.Query.NumRelations()
+func (s *Service) fallback(ctx context.Context, q *join.Query) (*core.Decoded, string) {
+	n := q.NumRelations()
 	if s.cfg.CompareRelations > 0 && n <= s.cfg.CompareRelations {
 		if deadline, ok := ctx.Deadline(); !ok || time.Until(deadline) > 10*time.Millisecond {
-			if res, err := classical.OptimalContext(ctx, enc.Query); err == nil {
+			if res, err := classical.OptimalContext(ctx, q); err == nil {
 				return &core.Decoded{Valid: true, Order: res.Order, Cost: res.Cost}, "dp"
 			}
 		}
 	}
-	res := classical.Greedy(enc.Query)
+	res := classical.Greedy(q)
 	return &core.Decoded{Valid: true, Order: res.Order, Cost: res.Cost}, "greedy"
+}
+
+// solveQueryInto serves a QueryBackend request. The WL fingerprint is
+// still computed — it is the response CacheKey and the cluster routing
+// key — but no monolithic encoding is built or cached: the backend owns
+// its own (per-part) encodings, and its order comes back in the request's
+// own relation indexing, so no permutation translation happens either.
+func (s *Service) solveQueryInto(ctx context.Context, backend QueryBackend, req *Request, sc *reqScratch, resp *Response) error {
+	sum, _ := sc.fp.sum(req.Query, req.Spec)
+	key := hex.EncodeToString(sum[:])
+	obs.ActiveSpan(ctx).SetAttrBool("cache_hit", false)
+
+	bm := s.metrics.Backend(backend.Name())
+	solveCtx, solveSpan := obs.StartSpan(ctx, "solve")
+	solveSpan.SetAttrStr("backend", backend.Name())
+	solveStart := time.Now()
+	qr, err := s.safeSolveQuery(solveCtx, backend, req)
+	var d *core.Decoded
+	qubits := 0
+	if err == nil {
+		d = &qr.Decoded
+		qubits = qr.LogicalQubits
+		err = vetDecoded(req.Query.NumRelations(), backend.Name(), d)
+	}
+	bm.Observe(time.Since(solveStart), err)
+	solveSpan.End(err)
+
+	producer := backend.Name()
+	degraded := false
+	reason := ""
+	if err != nil {
+		if !s.cfg.Degrade || errors.Is(err, ErrBadRequest) {
+			return err
+		}
+		fbCtx, fbSpan := obs.StartSpan(ctx, "degrade")
+		d, producer = s.fallback(fbCtx, req.Query)
+		fbSpan.SetAttrStr("fallback", producer)
+		fbSpan.End(nil)
+		degraded, reason = true, err.Error()
+		s.metrics.degrades.Add(1)
+		if errors.Is(err, ErrPanic) {
+			s.metrics.panics.Add(1)
+		}
+		obs.Logger(ctx).WarnContext(ctx, "backend failed, degrading to classical plan",
+			"backend", backend.Name(), "fallback", producer, "error", reason)
+	}
+
+	resp.Backend = producer
+	resp.Order = append(resp.Order[:0], d.Order...)
+	resp.Tree = ""
+	if !req.Lean {
+		resp.Tree = req.Query.Tree(resp.Order)
+	}
+	resp.Cost = req.Query.Cost(resp.Order)
+	resp.OptimalCost = 0
+	resp.Optimal = false
+	resp.LogicalQubits = qubits
+	resp.CacheKey = key
+	resp.CacheHit = false
+	resp.Degraded = degraded
+	resp.DegradedReason = reason
+	resp.Elapsed = 0
+	if n := req.Query.NumRelations(); !req.Lean && s.cfg.CompareRelations > 0 && n <= s.cfg.CompareRelations {
+		if opt, err := classical.OptimalContext(ctx, req.Query); err == nil {
+			resp.OptimalCost = opt.Cost
+			resp.Optimal = resp.Cost <= opt.Cost*(1+1e-9)+1e-12
+		}
+	}
+	return nil
+}
+
+// safeSolveQuery is safeSolve for query-level backends: panic containment
+// around SolveQuery.
+func (s *Service) safeSolveQuery(ctx context.Context, backend QueryBackend, req *Request) (qr *QueryResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			qr = nil
+			err = fmt.Errorf("service: backend %q panicked: %v: %w", backend.Name(), r, ErrPanic)
+		}
+	}()
+	return backend.SolveQuery(ctx, req.Query, req.Spec, req.Params)
 }
