@@ -1,0 +1,231 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"quantumjoin/internal/cluster"
+	"quantumjoin/internal/faults"
+	"quantumjoin/internal/service"
+)
+
+// ClusterPoint is the -cluster section of the report: one seeded fleet
+// chaos run — three nodes under load from one client-facing node, with a
+// mid-run kill, a mid-run graceful drain, and a faulty interconnect — and
+// the availability that survived it.
+type ClusterPoint struct {
+	Nodes        int     `json:"nodes"`
+	Replicas     int     `json:"replicas"`
+	HedgeAfterMs float64 `json:"hedge_after_ms"`
+	NetFaultRate float64 `json:"net_fault_rate"`
+	Requests     int     `json:"requests"`
+	HTTP2xx      int     `json:"http_2xx"`
+	HTTP4xx      int     `json:"http_4xx"`
+	HTTP5xx      int     `json:"http_5xx"`
+	Transport    int     `json:"transport_errors"`
+	Availability float64 `json:"availability"` // 2xx fraction
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	KilledAt     int     `json:"killed_at"`  // request index when node 1 was killed
+	DrainedAt    int     `json:"drained_at"` // request index when node 2 began draining
+	DrainOK      bool    `json:"drain_ok"`
+	// Routing counters summed over the fleet after the run.
+	Forwards      int64 `json:"forwards"`
+	ForwardErrors int64 `json:"forward_errors"`
+	Hedges        int64 `json:"hedges"`
+	HedgeWins     int64 `json:"hedge_wins"`
+	WarmPushes    int64 `json:"warm_pushes"`
+	WarmsReceived int64 `json:"warms_received"`
+	// Gates.
+	MinAvailability float64 `json:"min_availability"`
+	MaxP99Ms        float64 `json:"max_p99_ms,omitempty"`
+	Pass            bool    `json:"pass"`
+}
+
+// clusterNode bundles one fleet member's moving parts for teardown.
+type clusterNode struct {
+	svc  *service.Service
+	node *cluster.Node
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// runCluster boots an in-process three-node fleet with replicated
+// ownership, hedged forwarding, and a seeded faulty interconnect, then
+// drives the full request schedule at node 0 while node 1 is killed
+// (listener closed, no warning) at one third of the schedule and node 2
+// is gracefully drained at two thirds. The run gates on availability:
+// the client must keep seeing 2xx answers — hedges absorbing the kill,
+// the drain handing off cleanly — despite a third of the fleet dying and
+// another third leaving mid-run.
+func runCluster(backend string, queries []json.RawMessage, requests, concurrency int, deadline time.Duration, seed int64, netFaultRate, minAvailability, maxP99 float64) (*ClusterPoint, error) {
+	const nNodes = 3
+	hedgeAfter := 25 * time.Millisecond
+
+	// Listeners first: every node needs the full peer URL list up front.
+	urls := make([]string, nNodes)
+	lns := make([]net.Listener, nNodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("chaosbench: listen: %w", err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+
+	nodes := make([]*clusterNode, nNodes)
+	for i := range nodes {
+		reg := service.DefaultRegistry(service.RegistryConfig{PegasusM: 3})
+		svc := service.New(reg, service.Config{
+			Workers:        concurrency,
+			QueueDepth:     4 * concurrency,
+			DefaultBackend: backend,
+			Degrade:        true,
+		})
+		// Every forward, warm push, and leave announcement crosses the
+		// seeded faulty interconnect; gossip probes use a clean client so
+		// the health view degrades only from real (injected) data-path
+		// failures.
+		transport := faults.NewFaultyTransport(nil, faults.NetworkConfig{
+			DropProb:    netFaultRate / 2,
+			ResetProb:   netFaultRate / 2,
+			DropTimeout: deadline,
+			Self:        urls[i],
+			Seed:        seed + int64(i),
+		})
+		node, err := cluster.NewNode(service.NewHandler(svc), cluster.NodeConfig{
+			Self:       urls[i],
+			Peers:      urls,
+			Replicas:   2,
+			HedgeAfter: hedgeAfter,
+			Client:     &http.Client{Transport: transport},
+			Gossip: cluster.GossipConfig{
+				Interval:  50 * time.Millisecond,
+				Timeout:   time.Second,
+				DownAfter: 2,
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaosbench: node %d: %w", i, err)
+		}
+		node.Start()
+		srv := &http.Server{Handler: node}
+		go func() { _ = srv.Serve(lns[i]) }()
+		nodes[i] = &clusterNode{svc: svc, node: node, srv: srv, ln: lns[i]}
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.node.Stop()
+			_ = n.srv.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = n.svc.Close(ctx)
+			cancel()
+		}
+	}()
+
+	point := &ClusterPoint{
+		Nodes:           nNodes,
+		Replicas:        2,
+		HedgeAfterMs:    float64(hedgeAfter) / float64(time.Millisecond),
+		NetFaultRate:    netFaultRate,
+		Requests:        requests,
+		KilledAt:        requests / 3,
+		DrainedAt:       2 * requests / 3,
+		DrainOK:         true,
+		MinAvailability: minAvailability,
+		MaxP99Ms:        maxP99,
+	}
+
+	client := &http.Client{Timeout: deadline + 5*time.Second}
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		drainWG   sync.WaitGroup
+		drainErr  error
+	)
+	kill := func() {
+		// An abrupt loss: the listener closes with no goodbye; in-flight
+		// forwards to it fail at the transport and must fail over.
+		_ = nodes[1].srv.Close()
+	}
+	drain := func() {
+		drainWG.Add(1)
+		go func() {
+			defer drainWG.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			err := nodes[2].node.Drain(ctx)
+			_ = nodes[2].srv.Close()
+			mu.Lock()
+			drainErr = err
+			mu.Unlock()
+		}()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				status, _, elapsed, err := fire(client, urls[0], queries[i%len(queries)], deadline, seed+int64(i))
+				mu.Lock()
+				switch {
+				case err != nil:
+					point.Transport++
+				case status >= 500:
+					point.HTTP5xx++
+				case status >= 400:
+					point.HTTP4xx++
+				case status >= 200 && status < 300:
+					point.HTTP2xx++
+				}
+				if err == nil {
+					latencies = append(latencies, float64(elapsed)/float64(time.Millisecond))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		if i == point.KilledAt {
+			kill()
+		}
+		if i == point.DrainedAt {
+			drain()
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	drainWG.Wait()
+
+	point.Availability = float64(point.HTTP2xx) / float64(requests)
+	point.P50Ms = percentile(latencies, 0.50)
+	point.P99Ms = percentile(latencies, 0.99)
+	if drainErr != nil {
+		point.DrainOK = false
+	}
+	for _, n := range nodes {
+		c := n.node.Counters()
+		point.Forwards += c.Forwards
+		point.ForwardErrors += c.ForwardErrors
+		point.Hedges += c.Hedges
+		point.HedgeWins += c.HedgeWins
+		point.WarmPushes += c.WarmPushes
+		point.WarmsReceived += c.WarmsReceived
+	}
+
+	point.Pass = point.Availability >= minAvailability &&
+		point.HTTP5xx == 0 &&
+		point.DrainOK &&
+		(maxP99 <= 0 || point.P99Ms <= maxP99)
+	return point, nil
+}

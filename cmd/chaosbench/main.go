@@ -11,6 +11,16 @@
 // The fault schedule is a pure function of -seed: two runs with the same
 // flags see identical rejections, aborts, and corruptions, so a regression
 // in the resilience stack shows up as a diff, not as noise.
+//
+// With -cluster the tool additionally boots an in-process three-node
+// fleet (replica factor 2, hedged forwarding, a seeded faulty
+// interconnect dropping and resetting -net-fault-rate of inter-node
+// calls), drives the schedule at one node while another is killed at one
+// third of the run and a third gracefully drained at two thirds, and
+// gates the result: availability at least -min-availability (2xx
+// fraction), zero 5xx, drain completed, p99 within -max-p99 when set.
+// The -rates ladder may be empty ("") when -cluster is the only mode
+// wanted; gate violations exit 1.
 package main
 
 import (
@@ -64,15 +74,16 @@ type RatePoint struct {
 
 // Report is the emitted JSON document.
 type Report struct {
-	GoMaxProcs  int         `json:"go_max_procs"`
-	GoVersion   string      `json:"go_version"`
-	Backend     string      `json:"backend"`
-	Relations   int         `json:"relations"`
-	Requests    int         `json:"requests"`
-	Concurrency int         `json:"concurrency"`
-	DeadlineMs  int         `json:"deadline_ms"`
-	Seed        int64       `json:"seed"`
-	Points      []RatePoint `json:"points"`
+	GoMaxProcs  int           `json:"go_max_procs"`
+	GoVersion   string        `json:"go_version"`
+	Backend     string        `json:"backend"`
+	Relations   int           `json:"relations"`
+	Requests    int           `json:"requests"`
+	Concurrency int           `json:"concurrency"`
+	DeadlineMs  int           `json:"deadline_ms"`
+	Seed        int64         `json:"seed"`
+	Points      []RatePoint   `json:"points,omitempty"`
+	Cluster     *ClusterPoint `json:"cluster,omitempty"`
 }
 
 func main() {
@@ -83,12 +94,22 @@ func main() {
 	concurrency := flag.Int("c", 8, "concurrent clients")
 	deadline := flag.Duration("deadline", 250*time.Millisecond, "per-request deadline")
 	seed := flag.Int64("seed", 1, "seed for queries and the fault schedule")
-	ratesFlag := flag.String("rates", "0,0.1,0.2,0.3,0.5", "comma-separated injected failure rates")
+	ratesFlag := flag.String("rates", "0,0.1,0.2,0.3,0.5", "comma-separated injected failure rates (empty skips the ladder, valid only with -cluster)")
+	clusterMode := flag.Bool("cluster", false, "also run the three-node fleet chaos point: kill + drain + faulty interconnect under load")
+	netFaultRate := flag.Float64("net-fault-rate", 0.1, "cluster: fraction of inter-node calls that drop (hang) or reset, split evenly")
+	minAvailability := flag.Float64("min-availability", 0.999, "cluster: fail unless at least this fraction of requests got 2xx")
+	maxP99 := flag.Float64("max-p99", 0, "cluster: fail if the p99 latency exceeds this many milliseconds (0 disables)")
 	flag.Parse()
 
-	rates, err := parseRates(*ratesFlag)
-	if err != nil {
-		fail(err)
+	var rates []float64
+	var err error
+	if strings.TrimSpace(*ratesFlag) != "" {
+		rates, err = parseRates(*ratesFlag)
+		if err != nil {
+			fail(err)
+		}
+	} else if !*clusterMode {
+		fail(fmt.Errorf("chaosbench: no failure rates given (empty -rates requires -cluster)"))
 	}
 	queries, err := makeQueries(*relations, *seed)
 	if err != nil {
@@ -116,6 +137,21 @@ func main() {
 			point.Degraded, point.MeanCostRatio, point.P95Ms)
 	}
 
+	gatesFailed := false
+	if *clusterMode {
+		point, err := runCluster(*backend, queries, *requests, *concurrency, *deadline, *seed, *netFaultRate, *minAvailability, *maxP99)
+		if err != nil {
+			fail(err)
+		}
+		report.Cluster = point
+		fmt.Printf("cluster: availability %.4f (%d/%d 2xx, %d 5xx, %d transport), p99 %.1fms, hedges %d (won %d), forwards %d, warm pushes %d, drain ok %v -> pass %v\n",
+			point.Availability, point.HTTP2xx, point.Requests, point.HTTP5xx, point.Transport,
+			point.P99Ms, point.Hedges, point.HedgeWins, point.Forwards, point.WarmPushes, point.DrainOK, point.Pass)
+		if !point.Pass {
+			gatesFailed = true
+		}
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fail(err)
@@ -124,6 +160,10 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	if gatesFailed {
+		fail(fmt.Errorf("chaosbench: cluster gates failed (availability %.4f >= %.4f? 5xx=%d, drain ok %v, p99 %.1fms)",
+			report.Cluster.Availability, *minAvailability, report.Cluster.HTTP5xx, report.Cluster.DrainOK, report.Cluster.P99Ms))
+	}
 }
 
 // runPoint assembles a fresh resilient service, fires the seeded request

@@ -1,5 +1,5 @@
 // Command loadgen drives a qjoind cluster hard and writes a benchmark
-// report (BENCH_cluster.json). The run has three phases:
+// report (BENCH_cluster.json). The run has four phases:
 //
 //  1. sequential — -seq individual POST /v1/optimize requests spread over
 //     -c workers and all -targets round-robin;
@@ -7,7 +7,12 @@
 //     envelopes of -batch-size;
 //  3. coalesce — -coalesce bursts of -coalesce-width byte-identical
 //     concurrent requests, which the owning node must collapse into one
-//     solve each.
+//     solve each;
+//  4. chaos — -chaos requests driven only at the surviving
+//     -chaos-targets while an external harness kills or drains the other
+//     fleet members (optionally POSTing /v1/drain to -chaos-drain at the
+//     halfway mark); its latencies and statuses fold into the run-wide
+//     gates, so this is where availability under churn is judged.
 //
 // Queries are deterministic (-seed): -shapes distinct chain queries over
 // -relations relations with log-uniform cardinalities. Every latency is
@@ -17,8 +22,9 @@
 // solves, batch splits) alongside the latency numbers.
 //
 // Gates (exit 1 when violated): -min-2xx success ratio, zero 5xx,
-// -require-forwards (the fleet actually forwarded), -require-coalesce
-// (the singleflight actually collapsed bursts).
+// -max-p99 whole-run latency bound, -require-forwards (the fleet actually
+// forwarded), -require-coalesce (the singleflight actually collapsed
+// bursts).
 //
 // With -profile the tool additionally measures per-query service rate of
 // the batch endpoint against the sequential endpoint on the same
@@ -58,6 +64,7 @@ type Report struct {
 	Sequential     *PhaseReport   `json:"sequential,omitempty"`
 	Batch          *PhaseReport   `json:"batch,omitempty"`
 	Coalesce       *PhaseReport   `json:"coalesce,omitempty"`
+	Chaos          *PhaseReport   `json:"chaos,omitempty"`
 	Status         StatusCounts   `json:"status"`
 	Cluster        ClusterDeltas  `json:"cluster"`
 	Profile        *ProfileReport `json:"profile,omitempty"`
@@ -98,6 +105,10 @@ type ClusterDeltas struct {
 	BatchSplits    int64 `json:"batch_splits"`
 	BatchForwards  int64 `json:"batch_forwards"`
 	BatchFallbacks int64 `json:"batch_fallbacks"`
+	Hedges         int64 `json:"hedges"`
+	HedgeWins      int64 `json:"hedge_wins"`
+	WarmPushes     int64 `json:"warm_pushes"`
+	WarmsReceived  int64 `json:"warms_received"`
 }
 
 // ProfileReport is the -profile output: the batch endpoint's per-query
@@ -130,6 +141,21 @@ type Gates struct {
 	ForwardsSeen    bool    `json:"forwards_seen"`
 	RequireCoalesce bool    `json:"require_coalesce"`
 	CoalesceSeen    bool    `json:"coalesce_seen"`
+	MaxP99Ms        float64 `json:"max_p99_ms,omitempty"`
+	GotP99Ms        float64 `json:"got_p99_ms"`
+	OKP99           bool    `json:"ok_p99"`
+}
+
+// splitList parses a comma-separated list of base URLs, trimming
+// whitespace and trailing slashes and dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSuffix(strings.TrimSpace(p), "/"); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // workload is the deterministic query corpus: one optimize body and one
@@ -267,33 +293,39 @@ func runWorkers(n, c int, fn func(i int)) time.Duration {
 	return time.Since(start)
 }
 
-// scrape reads one target's cluster counters (zero value when the target
-// does not expose /v1/cluster, e.g. a non-clustered daemon).
-func scrape(client *http.Client, target string) cluster.Counters {
+// scrape reads one target's cluster counters; ok is false when the
+// target is unreachable or does not expose /v1/cluster (e.g. a
+// non-clustered daemon, or a node killed during a chaos phase).
+func scrape(client *http.Client, target string) (cluster.Counters, bool) {
 	resp, err := client.Get(target + "/v1/cluster")
 	if err != nil {
-		return cluster.Counters{}
+		return cluster.Counters{}, false
 	}
 	defer resp.Body.Close()
 	var status cluster.StatusResponse
 	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&status) != nil {
-		return cluster.Counters{}
+		return cluster.Counters{}, false
 	}
-	return status.Counters
+	return status.Counters, true
 }
 
 func scrapeAll(client *http.Client, targets []string) map[string]cluster.Counters {
 	out := make(map[string]cluster.Counters, len(targets))
 	for _, t := range targets {
-		out[t] = scrape(client, t)
+		if c, ok := scrape(client, t); ok {
+			out[t] = c
+		}
 	}
 	return out
 }
 
+// deltas sums counter movement over the targets still answering at the
+// end of the run; nodes killed or drained mid-run drop out rather than
+// contributing bogus negative deltas.
 func deltas(before, after map[string]cluster.Counters) ClusterDeltas {
 	var d ClusterDeltas
-	for t, b := range before {
-		a := after[t]
+	for t, a := range after {
+		b := before[t]
 		d.RoutedLocal += a.RoutedLocal - b.RoutedLocal
 		d.Forwards += a.Forwards - b.Forwards
 		d.ForwardErrors += a.ForwardErrors - b.ForwardErrors
@@ -302,6 +334,10 @@ func deltas(before, after map[string]cluster.Counters) ClusterDeltas {
 		d.BatchSplits += a.BatchSplits - b.BatchSplits
 		d.BatchForwards += a.BatchForwards - b.BatchForwards
 		d.BatchFallbacks += a.BatchFallbacks - b.BatchFallbacks
+		d.Hedges += a.Hedges - b.Hedges
+		d.HedgeWins += a.HedgeWins - b.HedgeWins
+		d.WarmPushes += a.WarmPushes - b.WarmPushes
+		d.WarmsReceived += a.WarmsReceived - b.WarmsReceived
 	}
 	return d
 }
@@ -357,12 +393,13 @@ func main() {
 	requireForwards := flag.Bool("require-forwards", false, "fail unless the cluster forwarded at least one request")
 	requireCoalesce := flag.Bool("require-coalesce", false, "fail unless at least one request was coalesced")
 	requestTimeout := flag.Duration("request-timeout", 60*time.Second, "client-side timeout per HTTP request")
+	chaosReqs := flag.Int("chaos", 0, "chaos phase: /v1/optimize requests driven at the surviving -chaos-targets while nodes are killed/drained externally (0 disables)")
+	chaosTargets := flag.String("chaos-targets", "", "chaos phase: comma-separated base URLs that survive the chaos (default: the first -targets entry)")
+	chaosDrain := flag.String("chaos-drain", "", "chaos phase: POST /v1/drain to this base URL halfway through the phase")
+	maxP99 := flag.Float64("max-p99", 0, "fail if the whole-run p99 latency exceeds this many milliseconds (0 disables)")
 	flag.Parse()
 
-	targets := strings.Split(*targetsFlag, ",")
-	for i := range targets {
-		targets[i] = strings.TrimSpace(strings.TrimSuffix(targets[i], "/"))
-	}
+	targets := splitList(*targetsFlag)
 	if len(targets) == 0 || targets[0] == "" {
 		fmt.Fprintln(os.Stderr, "loadgen: no targets")
 		os.Exit(2)
@@ -466,6 +503,42 @@ func main() {
 			*coalesceBursts, *coalesceWidth, elapsed.Seconds(), report.Coalesce.P99Ms)
 	}
 
+	// Phase 4: chaos — drive only the surviving targets while an external
+	// harness (CI, chaosbench) kills or drains the rest; optionally trigger
+	// one graceful drain ourselves at the halfway mark. The phase's numbers
+	// fold into the run-wide gates, so availability under fleet churn is
+	// what -min-2xx and -max-p99 judge.
+	if *chaosReqs > 0 {
+		survivors := targets[:1]
+		if *chaosTargets != "" {
+			survivors = splitList(*chaosTargets)
+		}
+		c := &collector{}
+		var drainOnce sync.Once
+		half := *chaosReqs / 2
+		elapsed := runWorkers(*chaosReqs, *concurrency, func(i int) {
+			if *chaosDrain != "" && i >= half {
+				drainOnce.Do(func() {
+					resp, err := client.Post(*chaosDrain+"/v1/drain", "application/json", nil)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "loadgen: chaos: drain request to %s failed: %v\n", *chaosDrain, err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					fmt.Fprintf(os.Stderr, "loadgen: chaos: drain requested on %s (status %d)\n", *chaosDrain, resp.StatusCode)
+				})
+			}
+			post(client, survivors[i%len(survivors)]+"/v1/optimize", w.bodies[i%len(w.bodies)], c)
+		})
+		report.Chaos = c.phase(int64(*chaosReqs), elapsed)
+		report.TotalRequests += int64(*chaosReqs)
+		report.TotalItems += int64(*chaosReqs)
+		merge(c)
+		fmt.Fprintf(os.Stderr, "loadgen: chaos %d reqs over %d survivors in %.1fs (p99 %.1fms)\n",
+			*chaosReqs, len(survivors), elapsed.Seconds(), report.Chaos.P99Ms)
+	}
+
 	report.ElapsedSeconds = time.Since(runStart).Seconds()
 	if report.ElapsedSeconds > 0 {
 		report.ThroughputQPS = float64(report.TotalItems) / report.ElapsedSeconds
@@ -487,7 +560,14 @@ func main() {
 	report.Gates.Zero5xx = report.Status.Server5xx == 0
 	report.Gates.ForwardsSeen = report.Cluster.Forwards+report.Cluster.BatchForwards > 0
 	report.Gates.CoalesceSeen = report.Cluster.CoalesceJoined > 0
-	report.Pass = report.Gates.OK2xx && report.Gates.Zero5xx &&
+	all.mu.Lock()
+	overall := append([]float64(nil), all.latencies...)
+	all.mu.Unlock()
+	sort.Float64s(overall)
+	report.Gates.MaxP99Ms = *maxP99
+	report.Gates.GotP99Ms = quantile(overall, 0.99)
+	report.Gates.OKP99 = *maxP99 <= 0 || report.Gates.GotP99Ms <= *maxP99
+	report.Pass = report.Gates.OK2xx && report.Gates.Zero5xx && report.Gates.OKP99 &&
 		(!*requireForwards || report.Gates.ForwardsSeen) &&
 		(!*requireCoalesce || report.Gates.CoalesceSeen)
 

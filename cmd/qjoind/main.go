@@ -128,6 +128,14 @@ func main() {
 	forwardHops := flag.Int("forward-hops", 1, "cluster: max forwards per request before it must be served locally")
 	gossipInterval := flag.Duration("gossip-interval", 2*time.Second, "cluster: peer health polling period")
 	peerDownAfter := flag.Int("peer-down-after", 2, "cluster: consecutive probe/forward failures that mark a peer down")
+	replicas := flag.Int("replicas", cluster.DefaultReplicas, "cluster: replica ownership factor R — each fingerprint gets a primary plus R-1 warm secondaries (1 disables replication)")
+	hedgeAfter := flag.Duration("hedge-after", cluster.DefaultHedgeAfter, "cluster: wait this long on a replica before hedging the forward to the next one (negative disables timed hedging)")
+	drainTimeout := flag.Duration("drain-timeout", 20*time.Second, "cluster: bound on waiting for in-flight solves after SIGTERM or /v1/drain before the listener closes")
+	chaosNetDrop := flag.Float64("chaos-net-drop", 0, "inject network faults: probability a forward hangs until its context expires")
+	chaosNetReset := flag.Float64("chaos-net-reset", 0, "inject network faults: probability a forward fails immediately with a reset")
+	chaosNetLatency := flag.Duration("chaos-net-latency", 0, "inject network faults: mean added latency per forward (exponential)")
+	chaosNetPartition := flag.String("chaos-net-partition", "", `inject network faults: one-way cuts as "from->to" pairs, comma-separated (empty from = any sender)`)
+	chaosNetSeed := flag.Int64("chaos-net-seed", 1, "seed for the deterministic network fault model")
 	flag.Parse()
 
 	if *traceSample < 0 || *traceSample > 1 {
@@ -251,16 +259,45 @@ func main() {
 	// requests coalesce into one solve, and batch envelopes are split by
 	// owner. A single-node deployment skips the wrapper entirely.
 	handler := http.Handler(service.NewHandler(svc))
+	var node *cluster.Node
 	if *self != "" {
-		node, err := cluster.NewNode(handler, cluster.NodeConfig{
+		// An optional deterministic fault layer under the cluster
+		// transport: drops hang until the forward's context expires (so
+		// hedging gets exercised), resets fail fast, partitions cut named
+		// sender->receiver pairs one way.
+		var client *http.Client
+		netChaos := *chaosNetDrop > 0 || *chaosNetReset > 0 || *chaosNetLatency > 0 || *chaosNetPartition != ""
+		if netChaos {
+			parts, err := faults.ParsePartitions(*chaosNetPartition)
+			if err != nil {
+				usageError(err.Error())
+			}
+			client = &http.Client{Transport: faults.NewFaultyTransport(nil, faults.NetworkConfig{
+				DropProb:   *chaosNetDrop,
+				ResetProb:  *chaosNetReset,
+				Latency:    *chaosNetLatency,
+				Partitions: parts,
+				Self:       *self,
+				Seed:       *chaosNetSeed,
+			})}
+			logger.Warn("NETWORK CHAOS: injecting interconnect faults",
+				"drop", *chaosNetDrop, "reset", *chaosNetReset,
+				"latency", chaosNetLatency.String(), "partitions", *chaosNetPartition,
+				"seed", *chaosNetSeed)
+		}
+		var err error
+		node, err = cluster.NewNode(handler, cluster.NodeConfig{
 			Self:         *self,
 			Peers:        splitList(*peers),
 			VirtualNodes: *vnodes,
 			MaxHops:      *forwardHops,
+			Replicas:     *replicas,
+			HedgeAfter:   *hedgeAfter,
 			Gossip: cluster.GossipConfig{
 				Interval:  *gossipInterval,
 				DownAfter: *peerDownAfter,
 			},
+			Client: client,
 			Tracer: tracer,
 			Logger: logger,
 		})
@@ -271,7 +308,8 @@ func main() {
 		defer node.Stop()
 		handler = node
 		logger.Info("clustering enabled",
-			"self", *self, "peers", *peers, "vnodes", *vnodes, "max_hops", *forwardHops)
+			"self", *self, "peers", *peers, "vnodes", *vnodes, "max_hops", *forwardHops,
+			"replicas", *replicas, "hedge_after", hedgeAfter.String())
 	} else if *peers != "" {
 		usageError("-peers requires -self")
 	}
@@ -294,11 +332,32 @@ func main() {
 		errc <- srv.ListenAndServe()
 	}()
 
+	// A /v1/drain request is equivalent to SIGTERM: both flip the node to
+	// draining and begin shutdown. drainRequested is nil (never fires) on
+	// single-node deployments.
+	var drainRequested <-chan struct{}
+	if node != nil {
+		drainRequested = node.DrainRequested()
+	}
+
 	select {
 	case <-ctx.Done():
 		logger.Info("signal received, draining", "grace", grace.String())
+	case <-drainRequested:
+		logger.Info("drain requested over HTTP, draining", "grace", grace.String())
 	case err := <-errc:
 		fail(fmt.Errorf("qjoind: serve: %w", err))
+	}
+
+	// Drain the cluster layer first: announce departure to peers, answer
+	// "draining" on /healthz so they stop routing new work here, and let
+	// in-flight and coalesced solves finish before the listener closes.
+	if node != nil {
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := node.Drain(drainCtx); err != nil {
+			logger.Error("cluster drain", "error", err)
+		}
+		cancel()
 	}
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)

@@ -1,0 +1,506 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quantumjoin/internal/service"
+)
+
+func TestRingReplicas(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c"}
+	ring, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		reps := ring.Replicas(key, 2)
+		if len(reps) != 2 {
+			t.Fatalf("key %q: %d replicas, want 2", key, len(reps))
+		}
+		if reps[0] != ring.Owner(key) {
+			t.Errorf("key %q: primary %q != Owner %q", key, reps[0], ring.Owner(key))
+		}
+		if reps[0] == reps[1] {
+			t.Errorf("key %q: duplicate replica %q", key, reps[0])
+		}
+		if one := ring.Replicas(key, 1); len(one) != 1 || one[0] != ring.Owner(key) {
+			t.Errorf("key %q: Replicas(1) = %v, want just the owner", key, one)
+		}
+		all := ring.Replicas(key, 99)
+		if len(all) != len(nodes) {
+			t.Errorf("key %q: Replicas(99) returned %d nodes, want the clamp to %d", key, len(all), len(nodes))
+		}
+	}
+
+	// Every node must derive the identical replica set from the same peers.
+	ring2, err := NewRing([]string{"http://c", "http://a", "http://b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("agree-%d", i)
+		a, b := ring.Replicas(key, 2), ring2.Replicas(key, 2)
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("key %q: rings disagree on replicas: %v vs %v", key, a, b)
+		}
+	}
+}
+
+func TestRingReplicasHealthyReorders(t *testing.T) {
+	ring, err := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "some-key"
+	reps := ring.Replicas(key, 2)
+
+	// Primary unhealthy: the secondary moves first; the set is unchanged
+	// (those are the nodes holding the key warm).
+	got := ring.ReplicasHealthy(key, 2, func(n string) bool { return n != reps[0] })
+	if got[0] != reps[1] || got[1] != reps[0] {
+		t.Errorf("ReplicasHealthy = %v, want secondary-first reorder of %v", got, reps)
+	}
+
+	// All healthy and all unhealthy both preserve the walk order.
+	if got := ring.ReplicasHealthy(key, 2, func(string) bool { return true }); got[0] != reps[0] || got[1] != reps[1] {
+		t.Errorf("all-healthy order = %v, want %v", got, reps)
+	}
+	if got := ring.ReplicasHealthy(key, 2, func(string) bool { return false }); got[0] != reps[0] || got[1] != reps[1] {
+		t.Errorf("all-unhealthy order = %v, want %v", got, reps)
+	}
+}
+
+func TestGossipFlapDamping(t *testing.T) {
+	const peer = "http://peer"
+	g := NewGossip("self", []string{"self", peer}, GossipConfig{DownAfter: 2})
+
+	if !g.Healthy(peer) {
+		t.Fatal("fresh peer not healthy")
+	}
+	// DownAfter consecutive failures always trip the threshold.
+	g.ReportFailure(peer)
+	if !g.Healthy(peer) {
+		t.Fatal("one failure tripped DownAfter=2")
+	}
+	g.ReportFailure(peer)
+	if g.Healthy(peer) {
+		t.Fatal("two consecutive failures did not trip DownAfter=2")
+	}
+	// A genuinely recovering peer is readmitted after one clean probe
+	// (score 2 decays to 1.5 < 2).
+	g.ReportSuccess(peer)
+	if !g.Healthy(peer) {
+		t.Fatal("recovering peer not readmitted")
+	}
+
+	// A flapping peer (strict fail/success alternation) accumulates
+	// suspicion: after a few cycles it is down even right after a success
+	// — that is the damping that keeps it from thrashing the ring.
+	g2 := NewGossip("self", []string{peer}, GossipConfig{DownAfter: 2})
+	for i := 0; i < 8; i++ {
+		g2.ReportFailure(peer)
+		g2.ReportSuccess(peer)
+	}
+	if g2.Healthy(peer) {
+		t.Fatal("flapping peer reported healthy right after its latest success")
+	}
+	// Only a run of consecutive successes decays it back below threshold.
+	g2.ReportSuccess(peer)
+	g2.ReportSuccess(peer)
+	g2.ReportSuccess(peer)
+	if !g2.Healthy(peer) {
+		t.Fatal("peer not readmitted after a clean success run")
+	}
+
+	// The score is capped: a long outage cannot demand an unbounded
+	// number of clean probes before readmission.
+	g3 := NewGossip("self", []string{peer}, GossipConfig{DownAfter: 2})
+	for i := 0; i < 1000; i++ {
+		g3.ReportFailure(peer)
+	}
+	if s := g3.Snapshot(); s[0].Suspicion > suspicionCap {
+		t.Fatalf("suspicion %v exceeds cap %v", s[0].Suspicion, suspicionCap)
+	}
+	for i := 0; i < 6; i++ {
+		g3.ReportSuccess(peer)
+	}
+	if !g3.Healthy(peer) {
+		t.Fatal("peer not readmitted after outage plus clean run")
+	}
+}
+
+func TestGossipSnapshotSortedAndMarkLeft(t *testing.T) {
+	self := "http://self"
+	peers := []string{"http://zebra", self, "http://alpha", "http://mike", "http://alpha"}
+	g := NewGossip(self, peers, GossipConfig{})
+	snap := g.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("%d peers in snapshot, want 3 (self and duplicates excluded)", len(snap))
+	}
+	if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i].Node < snap[j].Node }) {
+		t.Errorf("snapshot not sorted: %+v", snap)
+	}
+
+	g.MarkLeft("http://mike")
+	if g.Healthy("http://mike") {
+		t.Error("departed peer still routable")
+	}
+	for _, p := range g.Snapshot() {
+		if p.Node == "http://mike" && (!p.Draining || p.Healthy) {
+			t.Errorf("departed peer snapshot = %+v, want draining and unhealthy", p)
+		}
+	}
+}
+
+// replicaRoles resolves one catalog's fleet roles on a 3-node cluster:
+// the indices of its primary owner, its warm secondary, and the remaining
+// node to act as the client-facing sender. Deriving the roles from the
+// ring (rather than searching for a catalog that matches fixed roles)
+// keeps the tests independent of the randomly-assigned port layout.
+func replicaRoles(t *testing.T, tc *testCluster, card int) (catalog string, primary, secondary, sender int) {
+	t.Helper()
+	catalog, q := catalogFor(card)
+	key, _ := service.Fingerprint(q, service.EncodeSpec{})
+	reps := tc.nodes[0].Ring().Replicas(key, 2)
+	if len(reps) != 2 {
+		t.Fatalf("replica set %v, want 2 nodes", reps)
+	}
+	idx := func(u string) int {
+		for i, v := range tc.urls {
+			if v == u {
+				return i
+			}
+		}
+		t.Fatalf("replica %s is not a cluster member", u)
+		return -1
+	}
+	primary, secondary = idx(reps[0]), idx(reps[1])
+	for i := range tc.urls {
+		if i != primary && i != secondary {
+			return catalog, primary, secondary, i
+		}
+	}
+	t.Fatal("no third node left to send from")
+	return "", 0, 0, 0
+}
+
+func TestClusterHedgedForwardOnSlowPeer(t *testing.T) {
+	release := make([]chan struct{}, 3)
+	released := make([]bool, 3)
+	tc := startCluster(t, 3, func(i int, nc *NodeConfig, b *testBackend) {
+		nc.HedgeAfter = 20 * time.Millisecond
+		release[i] = make(chan struct{})
+		b.block = release[i]
+	})
+	defer func() {
+		for i := range release {
+			if !released[i] {
+				close(release[i])
+			}
+		}
+	}()
+
+	catalog, primary, secondary, sender := replicaRoles(t, tc, 42)
+	// Everyone but the primary solves instantly; the primary's solves
+	// park, so only the hedge can answer.
+	for i := range release {
+		if i != primary {
+			close(release[i])
+			released[i] = true
+		}
+	}
+
+	resp, raw := postJSON(t, tc.urls[sender]+"/v1/optimize", `{"query": `+catalog+`}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get(HeaderServedBy); got != tc.urls[secondary] {
+		t.Errorf("served by %q, want the hedged replica %s", got, tc.urls[secondary])
+	}
+	if got := resp.Header.Get(HeaderHedged); got != tc.urls[secondary] {
+		t.Errorf("X-Hedged = %q, want %s", got, tc.urls[secondary])
+	}
+	var out service.OptimizeResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Order) != 3 {
+		t.Errorf("hedged response incomplete: %s", raw)
+	}
+	c := tc.nodes[sender].Counters()
+	if c.Forwards != 1 || c.Hedges != 1 || c.HedgeWins != 1 {
+		t.Errorf("sender counters = %+v, want one hedge launched and won", c)
+	}
+}
+
+func TestForwardPropagatesClientHeadersAndRetryAfter(t *testing.T) {
+	// A stub peer that records the forwarded request's negotiation
+	// headers and answers a 503 with Retry-After, as a draining or
+	// shedding qjoind would.
+	stubL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubURL := "http://" + stubL.Addr().String()
+	var gotCT, gotAE atomic.Value
+	stub := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotCT.Store(r.Header.Get("Content-Type"))
+		gotAE.Store(r.Header.Get("Accept-Encoding"))
+		w.Header().Set("Retry-After", "7")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error": "shedding load"}`))
+	})}
+	go func() { _ = stub.Serve(stubL) }()
+	t.Cleanup(func() { _ = stub.Close() })
+
+	selfL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfURL := "http://" + selfL.Addr().String()
+	reg := service.NewRegistry()
+	if err := reg.Register(&testBackend{}); err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(reg, service.Config{Workers: 2, DefaultBackend: "test"})
+	node, err := NewNode(service.NewHandler(svc), NodeConfig{Self: selfURL, Peers: []string{selfURL, stubURL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: node}
+	go func() { _ = srv.Serve(selfL) }()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = svc.Close(context.Background())
+	})
+
+	catalog, _ := catalogOwnedBy(t, node.Ring(), stubURL, 10)
+	resp, raw := postJSON(t, selfURL+"/v1/optimize", `{"query": `+catalog+`}`, map[string]string{
+		"Content-Type":    "application/json; charset=utf-8",
+		"Accept-Encoding": "identity",
+	})
+
+	// The upstream's 503 and Retry-After must reach the client verbatim.
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want the forwarded 503", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want the upstream's 7", got)
+	}
+	// And the client's negotiation headers must reach the upstream verbatim.
+	if got := gotCT.Load(); got != "application/json; charset=utf-8" {
+		t.Errorf("forwarded Content-Type = %q, want the client's verbatim", got)
+	}
+	if got := gotAE.Load(); got != "identity" {
+		t.Errorf("forwarded Accept-Encoding = %q, want the client's verbatim", got)
+	}
+}
+
+func TestClusterDrainAnnouncesLeaveAndReroutes(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	catalog, _ := catalogOwnedBy(t, tc.nodes[0].Ring(), tc.urls[1], 10)
+
+	resp, raw := postJSON(t, tc.urls[1]+"/v1/drain", `{}`, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("drain status %d: %s", resp.StatusCode, raw)
+	}
+	if !tc.nodes[1].Draining() {
+		t.Fatal("node not draining after POST /v1/drain")
+	}
+
+	// The draining node's healthz answers "draining" (still 200: it is
+	// alive and finishing work).
+	hresp, err := http.Get(tc.urls[1] + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || health.Status != "draining" {
+		t.Fatalf("healthz = %d %q, want 200 \"draining\"", hresp.StatusCode, health.Status)
+	}
+
+	// The leave announcement reaches the peer without any gossip polling.
+	deadline := time.Now().Add(5 * time.Second)
+	for tc.nodes[0].Gossip().Healthy(tc.urls[1]) {
+		if time.Now().After(deadline) {
+			t.Fatal("peer never learned of the departure")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// New work owned by the draining node routes elsewhere — served
+	// locally by the receiving node, with no forward attempt.
+	before := tc.nodes[0].Counters()
+	resp, raw = postJSON(t, tc.urls[0]+"/v1/optimize", `{"query": `+catalog+`}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get(HeaderServedBy); got != tc.urls[0] {
+		t.Errorf("served by %q, want rerouted to %s", got, tc.urls[0])
+	}
+	after := tc.nodes[0].Counters()
+	if after.Forwards != before.Forwards || after.ForwardErrors != before.ForwardErrors {
+		t.Errorf("counters %+v -> %+v: the draining peer was still forwarded to", before, after)
+	}
+
+	// The draining node itself still answers work that reaches it
+	// directly (clients mid-flight), it just sheds its ownership.
+	resp, raw = postJSON(t, tc.urls[1]+"/v1/optimize", `{"query": `+catalog+`}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining node refused a direct request: %d %s", resp.StatusCode, raw)
+	}
+}
+
+func TestDrainCompletesCoalescedSolve(t *testing.T) {
+	const n = 4
+	release := make(chan struct{})
+	tc := startCluster(t, 1, func(i int, nc *NodeConfig, b *testBackend) {
+		b.block = release
+	})
+	catalog, _ := catalogFor(42)
+	body := `{"query": ` + catalog + `}`
+
+	type result struct {
+		status int
+		raw    []byte
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, raw := postJSON(t, tc.urls[0]+"/v1/optimize", body, nil)
+			results[i] = result{resp.StatusCode, raw}
+		}(i)
+	}
+
+	// Park the leader in the backend with n-1 waiters attached.
+	g := tc.nodes[0].flights
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		g.mu.Lock()
+		var parked int32 = -1
+		for _, f := range g.inflight {
+			parked = f.waiters.Load()
+		}
+		flights := len(g.inflight)
+		g.mu.Unlock()
+		if flights == 1 && parked >= n-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flights=%d waiters=%d, want 1 flight with %d waiters", flights, parked, n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// SIGTERM arrives: the drain must NOT complete while the coalesced
+	// solve (leader + waiters) is still in flight.
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- tc.nodes[0].Drain(ctx)
+	}()
+	select {
+	case err := <-drainDone:
+		t.Fatalf("drain returned (%v) while the coalesced solve was in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if !tc.nodes[0].Draining() {
+		t.Fatal("node not marked draining")
+	}
+
+	// Release the solve: every attached client gets its 200 — no 499
+	// storm — and only then does the drain complete.
+	close(release)
+	wg.Wait()
+	for i, res := range results {
+		if res.status != http.StatusOK {
+			t.Errorf("request %d: status %d (%s), want 200 through the drain", i, res.status, res.raw)
+		}
+	}
+	select {
+	case err := <-drainDone:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never completed after the solve finished")
+	}
+	if got := tc.backends[0].calls.Load(); got != 1 {
+		t.Errorf("backend solved %d times, want the single coalesced solve", got)
+	}
+}
+
+func TestWarmReplicaServesAfterPrimaryKill(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+
+	catalog, primary, secondary, sender := replicaRoles(t, tc, 42)
+	body := `{"query": ` + catalog + `}`
+
+	// First solve: the sender forwards to the primary, which encodes
+	// fresh (a miss) and pushes the encoding to its replica.
+	resp, raw := postJSON(t, tc.urls[sender]+"/v1/optimize", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get(HeaderServedBy); got != tc.urls[primary] {
+		t.Fatalf("served by %q, want primary %s", got, tc.urls[primary])
+	}
+	var first service.OptimizeResponse
+	if err := json.Unmarshal(raw, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first solve reported a cache hit; the warm-push premise is broken")
+	}
+
+	// The warm push is asynchronous; wait for the replica to accept it.
+	deadline := time.Now().Add(5 * time.Second)
+	for tc.nodes[secondary].Counters().WarmsReceived == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never received the warm push (primary counters: %+v)", tc.nodes[primary].Counters())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Kill the primary. The failover must land on the replica and be
+	// served from its pre-warmed encoding cache.
+	_ = tc.servers[primary].Close()
+	resp, raw = postJSON(t, tc.urls[sender]+"/v1/optimize", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-kill status %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get(HeaderServedBy); got != tc.urls[secondary] {
+		t.Fatalf("post-kill served by %q, want warm replica %s", got, tc.urls[secondary])
+	}
+	var second service.OptimizeResponse
+	if err := json.Unmarshal(raw, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Errorf("replica served the failed-over key cold (cache_hit=false); warm push did not take")
+	}
+	if second.CacheKey != first.CacheKey {
+		t.Errorf("cache key changed across failover: %q -> %q", first.CacheKey, second.CacheKey)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -18,9 +19,13 @@ type GossipConfig struct {
 	Interval time.Duration
 	// Timeout bounds one /healthz probe (default 2s).
 	Timeout time.Duration
-	// DownAfter is how many consecutive probe failures mark a peer down
+	// DownAfter is the suspicion threshold that marks a peer down
 	// (default 2 — a single lost packet should not trigger a fleet-wide
-	// ownership reshuffle).
+	// ownership reshuffle). Each failed probe or forward raises the
+	// peer's suspicion score by 1; each success decays it by a quarter,
+	// so DownAfter consecutive failures always trip it, and a flapping
+	// peer (alternating success/failure) accumulates score instead of
+	// bouncing in and out of the ring — see Healthy.
 	DownAfter int
 	// Client issues the probes (default: a dedicated client with Timeout).
 	Client *http.Client
@@ -42,18 +47,38 @@ func (c GossipConfig) withDefaults() GossipConfig {
 	return c
 }
 
+// suspicion tuning: every failure adds suspicionStep to a peer's score,
+// every success multiplies it by suspicionDecay, and the score is capped
+// at suspicionCap so a long outage cannot demand an unbounded run of
+// clean probes before the peer is routable again. A peer flapping
+// fail/success converges to step/(1-decay) = 4, which stays above any
+// sane DownAfter — flapping peers remain down until they string together
+// enough consecutive successes to decay below the threshold.
+const (
+	suspicionStep  = 1.0
+	suspicionDecay = 0.75
+	suspicionCap   = 8.0
+)
+
 // PeerHealth is one peer's last observed health, as reported on
 // /v1/cluster.
 type PeerHealth struct {
 	Node string `json:"node"`
-	// Healthy is the routing verdict: fewer than DownAfter consecutive
-	// probe failures.
+	// Healthy is the routing verdict: suspicion below DownAfter and not
+	// draining.
 	Healthy bool `json:"healthy"`
-	// Status is the peer's own /healthz verdict ("ok" or "degraded" —
-	// a degraded peer still serves, via its classical fallback).
+	// Status is the peer's own /healthz verdict ("ok", "degraded" — a
+	// degraded peer still serves via its classical fallback — or
+	// "draining": the peer is finishing in-flight work before leaving).
 	Status string `json:"status,omitempty"`
 	// ConsecutiveFailures counts probe failures since the last success.
 	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Suspicion is the flap-damped failure score behind Healthy.
+	Suspicion float64 `json:"suspicion"`
+	// Draining reports the peer announced it is leaving (via
+	// /v1/cluster/leave) or its /healthz answered "draining"; it receives
+	// no new routed work until a probe sees it healthy again.
+	Draining bool `json:"draining,omitempty"`
 	// Backends carries the peer's per-backend breaker state (including
 	// StateAgeSeconds) from its last successful probe.
 	Backends map[string]service.BackendHealth `json:"backends,omitempty"`
@@ -61,6 +86,8 @@ type PeerHealth struct {
 
 type peerState struct {
 	failures int
+	score    float64
+	draining bool
 	status   string
 	backends map[string]service.BackendHealth
 }
@@ -69,12 +96,17 @@ type peerState struct {
 // endpoints: a background loop probes every peer each Interval, and the
 // forwarding path feeds its own outcomes in via ReportFailure /
 // ReportSuccess, so a dead peer is routed around within one round trip
-// even between polls. "Gossip" is deliberately modest here — with a
-// static peer list every node probes every other node directly; there is
-// no epidemic relay to converge.
+// even between polls. Verdicts are flap-damped: failures raise a
+// suspicion score that successes only decay multiplicatively, so a peer
+// oscillating between reachable and unreachable stays routed-around
+// instead of thrashing the ring (see GossipConfig.DownAfter). A peer can
+// also announce departure (MarkLeft, fed by /v1/cluster/leave) and is
+// then drained of new work immediately, before any probe fails. "Gossip"
+// is deliberately modest here — with a static peer list every node probes
+// every other node directly; there is no epidemic relay to converge.
 type Gossip struct {
 	self  string
-	peers []string
+	peers []string // sorted at construction; Snapshot order follows it
 	cfg   GossipConfig
 
 	mu    sync.Mutex
@@ -86,7 +118,9 @@ type Gossip struct {
 }
 
 // NewGossip builds (but does not start) a health tracker for the given
-// peer base URLs; self is excluded from probing and always healthy.
+// peer base URLs; self is excluded from probing and always healthy. The
+// peer list is sorted so Snapshot (and thus /v1/cluster) is deterministic
+// regardless of flag order.
 func NewGossip(self string, peers []string, cfg GossipConfig) *Gossip {
 	g := &Gossip{
 		self:  self,
@@ -96,12 +130,13 @@ func NewGossip(self string, peers []string, cfg GossipConfig) *Gossip {
 		done:  make(chan struct{}),
 	}
 	for _, p := range peers {
-		if p == self {
+		if p == self || g.state[p] != nil {
 			continue
 		}
 		g.peers = append(g.peers, p)
 		g.state[p] = &peerState{}
 	}
+	sort.Strings(g.peers)
 	return g
 }
 
@@ -173,29 +208,54 @@ func (g *Gossip) poll(peer string) {
 	g.mu.Lock()
 	if st := g.state[peer]; st != nil {
 		st.failures = 0
+		st.score *= suspicionDecay
 		st.status = body.Status
 		st.backends = body.Health
+		// A probe is the authoritative word on draining: a peer
+		// answering "draining" is finishing up and must get no new work;
+		// any other healthy answer clears a stale leave announcement
+		// (e.g. the peer restarted).
+		st.draining = body.Status == "draining"
 	}
 	g.mu.Unlock()
 }
 
 // ReportFailure records one failed interaction with peer (probe or
-// forward); DownAfter consecutive failures mark it down.
+// forward), raising its suspicion score; DownAfter consecutive failures
+// always mark it down.
 func (g *Gossip) ReportFailure(peer string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if st := g.state[peer]; st != nil {
 		st.failures++
+		st.score += suspicionStep
+		if st.score > suspicionCap {
+			st.score = suspicionCap
+		}
 	}
 }
 
 // ReportSuccess records one successful interaction with peer, resetting
-// its failure run (the next poll refreshes the detailed health).
+// its failure run and decaying its suspicion (the next poll refreshes the
+// detailed health). Decay is multiplicative, not a reset: one lucky
+// round trip through a flapping link does not whitewash a failure streak.
 func (g *Gossip) ReportSuccess(peer string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if st := g.state[peer]; st != nil {
 		st.failures = 0
+		st.score *= suspicionDecay
+	}
+}
+
+// MarkLeft records that peer announced its departure (graceful drain):
+// it is immediately unroutable, without waiting for a probe to fail. A
+// later successful probe with a healthy status clears it.
+func (g *Gossip) MarkLeft(peer string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if st := g.state[peer]; st != nil {
+		st.draining = true
 	}
 }
 
@@ -213,11 +273,12 @@ func (g *Gossip) Healthy(node string) bool {
 	if st == nil {
 		return true
 	}
-	return st.failures < g.cfg.DownAfter
+	return !st.draining && st.score < float64(g.cfg.DownAfter)
 }
 
-// Snapshot returns the current view of every peer, sorted by node name
-// (the peer list is constructed sorted).
+// Snapshot returns the current view of every peer, in deterministic
+// sorted-by-node order (the peer list is sorted at construction), so
+// /v1/cluster output and tests are stable across map iteration.
 func (g *Gossip) Snapshot() []PeerHealth {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -226,9 +287,11 @@ func (g *Gossip) Snapshot() []PeerHealth {
 		st := g.state[p]
 		out = append(out, PeerHealth{
 			Node:                p,
-			Healthy:             st.failures < g.cfg.DownAfter,
+			Healthy:             !st.draining && st.score < float64(g.cfg.DownAfter),
 			Status:              st.status,
 			ConsecutiveFailures: st.failures,
+			Suspicion:           st.score,
+			Draining:            st.draining,
 			Backends:            st.backends,
 		})
 	}

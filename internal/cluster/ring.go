@@ -114,6 +114,71 @@ func (r *Ring) successor(h uint64) int {
 	return i
 }
 
+// DefaultReplicas is the default replica ownership factor: every key has
+// a primary owner plus one warm secondary, so losing any single node
+// leaves each fingerprint one warm cache to hedge or fail over to.
+const DefaultReplicas = 2
+
+// Replicas returns up to n distinct nodes owning key, in successor-walk
+// order starting at the primary owner (Replicas(key, 1)[0] == Owner(key)).
+// n is clamped to the node count; n <= 0 selects DefaultReplicas. All
+// peers derive identical replica sets, so the fleet agrees on which nodes
+// hold a fingerprint warm without coordination.
+func (r *Ring) Replicas(key string, n int) []string {
+	if n <= 0 {
+		n = DefaultReplicas
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	start := r.successor(hash64(key))
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		node := r.points[(start+i)%len(r.points)].node
+		if !contains(out, node) {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// ReplicasHealthy returns the key's n-replica set reordered healthy-first:
+// replicas that healthy reports true for keep their successor-walk order
+// and precede the unhealthy ones (which also keep theirs). The set itself
+// never changes with health — those are the nodes holding the fingerprint
+// warm — only the preference order does. With every replica unhealthy the
+// original walk order comes back and the caller's fallback path decides.
+func (r *Ring) ReplicasHealthy(key string, n int, healthy func(node string) bool) []string {
+	reps := r.Replicas(key, n)
+	if healthy == nil {
+		return reps
+	}
+	out := make([]string, 0, len(reps))
+	for _, node := range reps {
+		if healthy(node) {
+			out = append(out, node)
+		}
+	}
+	if len(out) == len(reps) || len(out) == 0 {
+		return reps
+	}
+	for _, node := range reps {
+		if !healthy(node) {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
 // OwnerHealthy walks the ring clockwise from key and returns the first
 // distinct node that healthy reports true for. When every node is
 // unhealthy it falls back to the primary owner — routing into a sick

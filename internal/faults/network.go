@@ -1,0 +1,189 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Partition is a one-way network cut: requests from node From to node To
+// fail (they hang like drops — a partition looks like packet loss, not a
+// polite reset). Nodes are named by base URL, matching the cluster peer
+// list. An empty From matches any sender, so a single config can express
+// "nobody reaches To".
+type Partition struct {
+	From string
+	To   string
+}
+
+// NetworkConfig tunes the faulty transport. All probabilities are per
+// request in [0,1]; the zero value injects nothing.
+type NetworkConfig struct {
+	// DropProb is the probability a request is silently dropped: it hangs
+	// until the request context expires or DropTimeout fires, whichever is
+	// first — exactly the failure mode that makes hedging worth having.
+	DropProb float64
+	// ResetProb is the probability the connection is reset immediately
+	// (connection-refused/RST analogue): the request fails fast.
+	ResetProb float64
+	// Latency, when positive, is the mean added one-way delay; per-request
+	// delays are sampled exponentially so the tail is realistic.
+	Latency time.Duration
+	// DropTimeout bounds how long a dropped request hangs when its context
+	// carries no deadline (default 2s).
+	DropTimeout time.Duration
+	// Partitions are static one-way cuts between named peers. Only entries
+	// whose From matches Self (or is empty) apply to this transport.
+	Partitions []Partition
+	// Self is this node's base URL, used to select applicable partitions.
+	Self string
+	// Seed drives every fault decision: request n's fate is a pure
+	// function of mix(Seed, n), deterministic under any concurrency
+	// interleaving (the arrival order of requests still decides which
+	// request gets which n).
+	Seed int64
+}
+
+// FaultyTransport is a deterministic seeded http.RoundTripper wrapper that
+// injects network faults between cluster peers: added latency, silent
+// drops, connection resets, and one-way partitions. It is the network
+// sibling of Inject — the QPU fault injector models the unreliable
+// co-processor, this models the unreliable fleet interconnect.
+type FaultyTransport struct {
+	inner http.RoundTripper
+	cfg   NetworkConfig
+	n     atomic.Int64
+
+	mu      sync.Mutex
+	blocked map[string]bool // dynamic one-way cuts from Self, by target base URL
+}
+
+// NewFaultyTransport wraps inner (nil selects http.DefaultTransport) with
+// the given fault model.
+func NewFaultyTransport(inner http.RoundTripper, cfg NetworkConfig) *FaultyTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if cfg.DropTimeout <= 0 {
+		cfg.DropTimeout = 2 * time.Second
+	}
+	t := &FaultyTransport{inner: inner, cfg: cfg, blocked: make(map[string]bool)}
+	for _, p := range cfg.Partitions {
+		if p.From == "" || p.From == cfg.Self {
+			t.blocked[baseURL(p.To)] = true
+		}
+	}
+	return t
+}
+
+// Block adds a dynamic one-way cut from this node to target (a peer base
+// URL), as chaosbench does mid-run. Unblock heals it.
+func (t *FaultyTransport) Block(target string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.blocked[baseURL(target)] = true
+}
+
+// Unblock heals a cut added by Block (or configured via Partitions).
+func (t *FaultyTransport) Unblock(target string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.blocked, baseURL(target))
+}
+
+func (t *FaultyTransport) isBlocked(target string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.blocked[target]
+}
+
+// baseURL normalises a peer name or request URL to scheme://host for
+// partition matching.
+func baseURL(u string) string {
+	if i := strings.Index(u, "://"); i >= 0 {
+		rest := u[i+3:]
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			return u[:i+3] + rest[:j]
+		}
+		return u
+	}
+	if j := strings.IndexByte(u, '/'); j >= 0 {
+		return u[:j]
+	}
+	return u
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	target := baseURL(req.URL.Scheme + "://" + req.URL.Host)
+	ctx := req.Context()
+
+	if t.isBlocked(target) {
+		// A partition is indistinguishable from loss: hang, don't reset.
+		return nil, t.hang(ctx, fmt.Errorf("faults: network partition %s -> %s (injected)", t.cfg.Self, target))
+	}
+
+	rng := rand.New(rand.NewSource(mix(t.cfg.Seed, t.n.Add(1))))
+
+	if rng.Float64() < t.cfg.ResetProb {
+		return nil, fmt.Errorf("faults: connection reset to %s (injected)", target)
+	}
+	if rng.Float64() < t.cfg.DropProb {
+		return nil, t.hang(ctx, fmt.Errorf("faults: request to %s dropped (injected)", target))
+	}
+	if t.cfg.Latency > 0 {
+		delay := time.Duration(rng.ExpFloat64() * float64(t.cfg.Latency))
+		if delay > 0 {
+			timer := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
+		}
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// hang blocks until the request context expires or DropTimeout fires,
+// then returns cause — the way a real drop surfaces as a client timeout
+// rather than an immediate error.
+func (t *FaultyTransport) hang(ctx context.Context, cause error) error {
+	timer := time.NewTimer(t.cfg.DropTimeout)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %w", cause, context.Cause(ctx))
+	case <-timer.C:
+		return cause
+	}
+}
+
+// ParsePartitions parses the -chaos-net-partition flag format: a
+// comma-separated list of "from->to" pairs of peer base URLs, with an
+// empty from ("->to") meaning any sender.
+func ParsePartitions(s string) ([]Partition, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Partition
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		from, to, ok := strings.Cut(part, "->")
+		if !ok || strings.TrimSpace(to) == "" {
+			return nil, fmt.Errorf("faults: bad partition %q (want from->to)", part)
+		}
+		out = append(out, Partition{From: strings.TrimSpace(from), To: strings.TrimSpace(to)})
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package faults
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultyTransportDeterministic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	outcomes := func() []bool {
+		tr := NewFaultyTransport(nil, NetworkConfig{ResetProb: 0.5, Seed: 42})
+		c := &http.Client{Transport: tr}
+		var out []bool
+		for i := 0; i < 64; i++ {
+			resp, err := c.Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			out = append(out, err == nil)
+		}
+		return out
+	}
+
+	a, b := outcomes(), outcomes()
+	okA := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: outcome differs across identically-seeded runs", i)
+		}
+		if a[i] {
+			okA++
+		}
+	}
+	if okA == 0 || okA == len(a) {
+		t.Fatalf("ResetProb=0.5 over %d requests produced %d successes; want a mix", len(a), okA)
+	}
+}
+
+func TestFaultyTransportDropHangsUntilContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	tr := NewFaultyTransport(nil, NetworkConfig{DropProb: 1, DropTimeout: 5 * time.Second, Seed: 7})
+	c := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+
+	start := time.Now()
+	_, err := c.Do(req)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	if elapsed < 40*time.Millisecond {
+		t.Fatalf("drop returned after %v; want it to hang until the 50ms context deadline", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("drop hung %v past the context deadline", elapsed)
+	}
+}
+
+func TestFaultyTransportPartitionOneWay(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	cfg := NetworkConfig{
+		Self:        "http://node-a",
+		Partitions:  []Partition{{From: "http://node-a", To: srv.URL}},
+		DropTimeout: 30 * time.Millisecond,
+	}
+	c := &http.Client{Transport: NewFaultyTransport(nil, cfg)}
+	if _, err := c.Get(srv.URL); err == nil {
+		t.Fatal("partitioned request succeeded")
+	} else if !strings.Contains(err.Error(), "partition") {
+		t.Fatalf("want partition error, got: %v", err)
+	}
+
+	// A partition whose From is a different node must not apply here.
+	other := NetworkConfig{
+		Self:       "http://node-b",
+		Partitions: []Partition{{From: "http://node-a", To: srv.URL}},
+	}
+	c2 := &http.Client{Transport: NewFaultyTransport(nil, other)}
+	resp, err := c2.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("unrelated partition blocked the request: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestFaultyTransportDynamicBlockUnblock(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	tr := NewFaultyTransport(nil, NetworkConfig{Self: "http://node-a", DropTimeout: 20 * time.Millisecond})
+	c := &http.Client{Transport: tr}
+
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("pre-block request failed: %v", err)
+	}
+	resp.Body.Close()
+
+	tr.Block(srv.URL)
+	if _, err := c.Get(srv.URL); err == nil {
+		t.Fatal("blocked request succeeded")
+	}
+
+	tr.Unblock(srv.URL)
+	resp, err = c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("post-unblock request failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestFaultyTransportLatency(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	tr := NewFaultyTransport(nil, NetworkConfig{Latency: 10 * time.Millisecond, Seed: 3})
+	c := &http.Client{Transport: tr}
+	start := time.Now()
+	const n = 20
+	for i := 0; i < n; i++ {
+		resp, err := c.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	// Mean 10ms over 20 requests: total added delay concentrates near
+	// 200ms; even a very unlucky seeded draw stays well above 50ms.
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("20 requests with 10ms mean injected latency took only %v", elapsed)
+	}
+}
+
+func TestParsePartitions(t *testing.T) {
+	got, err := ParsePartitions(" http://a->http://b , ->http://c ")
+	if err != nil {
+		t.Fatalf("ParsePartitions: %v", err)
+	}
+	want := []Partition{{From: "http://a", To: "http://b"}, {From: "", To: "http://c"}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d partitions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("partition %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if p, err := ParsePartitions(""); err != nil || p != nil {
+		t.Fatalf("empty spec: got %v, %v", p, err)
+	}
+	if _, err := ParsePartitions("nonsense"); err == nil {
+		t.Fatal("want error for spec without ->")
+	}
+}

@@ -62,3 +62,58 @@ func FuzzOptimizeRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBatchEnvelope is the batch-endpoint counterpart of
+// FuzzOptimizeRequest: arbitrary bytes against /v1/optimize/batch must
+// yield 4xx for malformed envelopes and 200 with per-item statuses for
+// well-formed ones — never a 5xx, never a panic. The envelope decoder has
+// its own failure modes beyond the single endpoint's: missing/empty/null
+// "requests", null items, negative envelope timeouts, oversized batches,
+// and unknown envelope-level fields.
+func FuzzBatchEnvelope(f *testing.F) {
+	valid := `{"query": {"relations": [{"name": "a", "cardinality": 10}, {"name": "b", "cardinality": 20}], "predicates": [{"left": "a", "right": "b", "selectivity": 0.5}]}}`
+	seeds := []string{
+		``,
+		`{`,
+		`null`,
+		`[]`,
+		`"requests"`,
+		`{}`,
+		`{"requests": null}`,
+		`{"requests": []}`,
+		`{"requests": {}}`,
+		`{"requests": [null]}`,
+		`{"requests": [{}]}`,
+		`{"requests": [{"query": null}]}`,
+		`{"requests": [` + valid + `]}`,
+		`{"requests": [` + valid + `, ` + valid + `]}`,
+		`{"requests": [` + valid + `, {"query": {"relations": [], "predicates": []}}]}`,
+		`{"requests": [{"query": {"relations": [{"name": "a", "cardinality": -1}], "predicates": []}}]}`,
+		`{"requests": [{"backend": "no-such-backend", "query": {"relations": [{"name": "a", "cardinality": 10}], "predicates": []}}]}`,
+		`{"timeout_ms": -1, "requests": [` + valid + `]}`,
+		`{"timeout_ms": 9999999999, "requests": [` + valid + `]}`,
+		`{"unknown_field": true, "requests": [` + valid + `]}`,
+		`{"requests": [{"query": {"relations": [{"name": "a", "cardinality": 10}], "predicates": [{"left": "a", "right": "a", "selectivity": 2}]}}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	reg := service.NewRegistry()
+	if err := reg.Register(service.NewGreedyBackend()); err != nil {
+		f.Fatal(err)
+	}
+	svc := service.New(reg, service.Config{Workers: 2, DefaultBackend: "greedy"})
+	f.Cleanup(func() { svc.Close(context.Background()) })
+	handler := service.NewHandler(svc)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/optimize/batch", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req) // a panic here fails the fuzz run
+		if rec.Code >= 500 {
+			t.Fatalf("body %q: status %d, want < 500", body, rec.Code)
+		}
+	})
+}

@@ -76,6 +76,19 @@ type errorResponse struct {
 	RequestID string `json:"request_id,omitempty"`
 }
 
+// Cache-warmth headers, read and set by the cluster layer.
+const (
+	// HeaderWarmOnly marks a POST /v1/optimize request that should only
+	// populate the encoding cache, not solve: the handler validates,
+	// encodes (or confirms the encoding is cached), and answers 204. The
+	// cluster layer uses it to push a primary owner's fresh encodings to
+	// the key's replicas so a failover lands on a warm cache.
+	HeaderWarmOnly = "X-Warm-Only"
+	// HeaderCacheHit reports whether a successful optimize answer came
+	// from the encoding cache ("1") or was encoded fresh ("0").
+	HeaderCacheHit = "X-Cache-Hit"
+)
+
 // NewHandler exposes the service as an HTTP/JSON API:
 //
 //	POST /v1/optimize   — run one optimisation job
@@ -304,6 +317,17 @@ func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeError(ctx, w, http.StatusBadRequest, msg)
 		return
 	}
+	if r.Header.Get(HeaderWarmOnly) != "" {
+		key, hit, err := s.Warm(ctx, req)
+		if err != nil {
+			writeError(ctx, w, statusFor(err), err.Error())
+			return
+		}
+		w.Header().Set("X-Cache-Key", key)
+		w.Header().Set(HeaderCacheHit, boolHeader(hit))
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
 	resp, err := s.Optimize(ctx, req)
 	if err != nil {
 		writeError(ctx, w, statusFor(err), err.Error())
@@ -312,6 +336,7 @@ func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// The cache key doubles as the cluster routing key; exposing it as a
 	// header lets clients and proxies verify sticky routing cheaply.
 	w.Header().Set("X-Cache-Key", resp.CacheKey)
+	w.Header().Set(HeaderCacheHit, boolHeader(resp.CacheHit))
 	writeJSON(w, http.StatusOK, toHTTPResponse(req, resp))
 }
 
@@ -432,6 +457,13 @@ func statusFor(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+func boolHeader(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

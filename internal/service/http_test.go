@@ -282,3 +282,62 @@ func TestHTTPConcurrentRequestsAndMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPWarmOnly: a request carrying X-Warm-Only populates the encoding
+// cache and returns 204 without solving; a later normal request for the
+// same catalog hits that warm entry.
+func TestHTTPWarmOnly(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	raw, err := json.Marshal(map[string]any{"query": json.RawMessage(pairCatalog)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/optimize", bytes.NewReader(raw))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderWarmOnly, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("warm-only status = %d, want 204", resp.StatusCode)
+	}
+	if resp.Header.Get(HeaderCacheHit) != "0" {
+		t.Errorf("first warm: %s = %q, want 0 (fresh encode)", HeaderCacheHit, resp.Header.Get(HeaderCacheHit))
+	}
+	key := resp.Header.Get("X-Cache-Key")
+	if key == "" {
+		t.Error("warm-only response missing X-Cache-Key")
+	}
+
+	// The warmed encoding must serve the real solve as a cache hit.
+	solveResp, body := postOptimize(t, ts.URL, map[string]any{"query": json.RawMessage(pairCatalog)})
+	if solveResp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d: %s", solveResp.StatusCode, body)
+	}
+	var out OptimizeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.CacheHit {
+		t.Error("solve after warm-only reported cache_hit=false")
+	}
+	if out.CacheKey != key {
+		t.Errorf("solve cache key %q != warmed key %q", out.CacheKey, key)
+	}
+
+	// Warming a malformed body is still a 400, not a panic or solve.
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/optimize", bytes.NewReader([]byte(`{"query": null}`)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderWarmOnly, "1")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("warm-only with null query: status %d, want 400", resp.StatusCode)
+	}
+}

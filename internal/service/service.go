@@ -217,6 +217,21 @@ func (s *Service) Close(ctx context.Context) error {
 	return s.pool.Shutdown(ctx)
 }
 
+// Warm validates req and populates the encoding cache without solving:
+// the cluster layer pushes a primary owner's fresh encodings to the key's
+// replicas this way, so a failover lands on a warm cache. It returns the
+// cache key and whether the encoding was already cached.
+func (s *Service) Warm(ctx context.Context, req *Request) (key string, hit bool, err error) {
+	if req == nil || req.Query == nil {
+		return "", false, fmt.Errorf("service: warm: missing query: %w", ErrBadRequest)
+	}
+	_, key, _, hit, err = s.cache.EncodingContext(ctx, req.Query, req.Spec)
+	if err != nil {
+		return "", false, fmt.Errorf("service: warm: encoding failed: %v: %w", err, ErrBadRequest)
+	}
+	return key, hit, nil
+}
+
 // Optimize runs one request through the pool under its deadline. When
 // the service has a tracer, the whole request runs under a root
 // "optimize" span — errors (including sheds) end the span in error, so
