@@ -53,6 +53,20 @@ type WorkloadCurve struct {
 	Points    []DeadlinePoint `json:"points"`
 }
 
+// MixedClassPoint summarises one deadline class of the shared
+// deadline-stratified workload (querygen.DeadlineStratified) under the
+// staged strategy. schedbench replays the identical preset through the
+// learned router, so routing results are comparable across benches.
+type MixedClassPoint struct {
+	Class         string  `json:"class"`
+	DeadlineMs    int     `json:"deadline_ms"`
+	Requests      int     `json:"requests"`
+	Valid         int     `json:"valid"`
+	MeanCostRatio float64 `json:"mean_cost_ratio"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+}
+
 // WarmStartCase compares cold and warm solver budgets needed to reach the
 // classical incumbent's energy on one join-ordering QUBO.
 type WarmStartCase struct {
@@ -67,13 +81,14 @@ type WarmStartCase struct {
 
 // Report is the emitted JSON document.
 type Report struct {
-	GoMaxProcs int             `json:"go_max_procs"`
-	NumCPU     int             `json:"num_cpu"`
-	GoVersion  string          `json:"go_version"`
-	Strategy   string          `json:"strategy"`
-	Portfolio  []string        `json:"portfolio"`
-	Curves     []WorkloadCurve `json:"deadline_curves"`
-	WarmStart  []WarmStartCase `json:"warm_start"`
+	GoMaxProcs int               `json:"go_max_procs"`
+	NumCPU     int               `json:"num_cpu"`
+	GoVersion  string            `json:"go_version"`
+	Strategy   string            `json:"strategy"`
+	Portfolio  []string          `json:"portfolio"`
+	Curves     []WorkloadCurve   `json:"deadline_curves"`
+	Mixed      []MixedClassPoint `json:"mixed_deadline"`
+	WarmStart  []WarmStartCase   `json:"warm_start"`
 }
 
 func main() {
@@ -81,6 +96,9 @@ func main() {
 	relations := flag.Int("relations", 18, "relations per generated query (deadline curves)")
 	warmRelations := flag.Int("warm-relations", 8, "relations for the warm-start cases")
 	samples := flag.Int("samples", 12, "requests per (workload, deadline) point")
+	mixedRelations := flag.Int("mixed-relations", 8, "relations for the mixed-deadline workload")
+	mixedPerCell := flag.Int("mixed-per-cell", 1, "instances per mixed-deadline workload cell")
+	mixedSeed := flag.Int64("mixed-seed", 1, "base seed of the mixed-deadline workload")
 	flag.Parse()
 
 	rep := Report{
@@ -159,6 +177,12 @@ func main() {
 		rep.Curves = append(rep.Curves, curve)
 	}
 
+	rep.Mixed = mixedDeadline(hb, *mixedRelations, *mixedPerCell, *mixedSeed)
+	for _, m := range rep.Mixed {
+		fmt.Printf("mixed %-6s deadline %4dms: valid %d/%d, mean ratio %.3f, p50 %.1fms, p99 %.1fms\n",
+			m.Class, m.DeadlineMs, m.Valid, m.Requests, m.MeanCostRatio, m.P50Ms, m.P99Ms)
+	}
+
 	for _, seed := range []int64{1, 2, 3} {
 		rep.WarmStart = append(rep.WarmStart,
 			warmTabuCase("clique", *warmRelations, seed),
@@ -182,6 +206,64 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// mixedDeadline runs the staged strategy over the shared deadline-
+// stratified preset and aggregates plan quality per deadline class.
+func mixedDeadline(hb *hybrid.Backend, relations, perCell int, seed int64) []MixedClassPoint {
+	items, err := querygen.DeadlineStratified(querygen.WorkloadConfig{
+		Relations: relations,
+		PerCell:   perCell,
+		Seed:      seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	order := []string{querygen.ClassTight, querygen.ClassMedium, querygen.ClassLoose}
+	byClass := map[string]*MixedClassPoint{}
+	latencies := map[string][]float64{}
+	ratios := map[string]float64{}
+	for _, it := range items {
+		pt := byClass[it.Class]
+		if pt == nil {
+			pt = &MixedClassPoint{Class: it.Class, DeadlineMs: int(it.Deadline / time.Millisecond)}
+			byClass[it.Class] = pt
+		}
+		enc, err := core.Encode(it.Query, core.Options{Thresholds: core.DefaultThresholds(it.Query, 2)})
+		if err != nil {
+			fail(err)
+		}
+		opt, err := classical.OptimalCost(it.Query)
+		if err != nil {
+			fail(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), it.Deadline)
+		start := time.Now()
+		d, err := hb.Solve(ctx, enc, service.Params{Reads: 8, Seed: it.Seed})
+		elapsed := time.Since(start)
+		cancel()
+		pt.Requests++
+		latencies[it.Class] = append(latencies[it.Class], float64(elapsed)/float64(time.Millisecond))
+		if err != nil || !d.Valid {
+			continue
+		}
+		pt.Valid++
+		ratios[it.Class] += it.Query.Cost(d.Order) / opt
+	}
+	var out []MixedClassPoint
+	for _, class := range order {
+		pt := byClass[class]
+		if pt == nil {
+			continue
+		}
+		if pt.Valid > 0 {
+			pt.MeanCostRatio = ratios[class] / float64(pt.Valid)
+		}
+		pt.P50Ms = percentile(latencies[class], 0.50)
+		pt.P99Ms = percentile(latencies[class], 0.99)
+		out = append(out, *pt)
+	}
+	return out
 }
 
 // instance generates a workload query, its encoding, and the DP optimum.

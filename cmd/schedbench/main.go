@@ -1,0 +1,467 @@
+// Command schedbench measures the learned router's decision quality
+// against the always-race baseline on the shared deadline-stratified
+// workload (querygen.DeadlineStratified). Results go to a JSON file
+// (default BENCH_sched.json).
+//
+// Method: every (item, arm) pair is solved ONCE against the real backend
+// under the item's deadline, producing an oracle table of (cost, valid,
+// elapsed) outcomes. Both policies are then replayed over that table —
+// the baseline invokes every arm on every request; the learned router
+// invokes only its decision's arms, feeding each arm's measured outcome
+// back as its reward. Replaying the same table keeps the comparison
+// apples-to-apples (identical solver outcomes for both policies) and
+// makes the routing layer's determinism checkable: two replays with the
+// same seed must produce bit-identical router states.
+//
+// The bench reports the plan-cost ratio (learned cost / always-race cost,
+// ≥ 1 by construction since the learned arm set is a subset), the backend
+// invocations saved, per-class and per-epoch breakdowns, mean regret
+// versus the DP optimum, and the results of the determinism and
+// persistence round-trip checks. -smoke shrinks the workload for CI;
+// -max-cost-ratio and -min-saving turn the headline numbers into gates.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"quantumjoin/internal/classical"
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/querygen"
+	"quantumjoin/internal/sched"
+	"quantumjoin/internal/service"
+)
+
+// armOutcome is one measured (item, arm) solve.
+type armOutcome struct {
+	Cost    float64 `json:"cost"`
+	Valid   bool    `json:"valid"`
+	Elapsed float64 `json:"elapsed_ms"`
+
+	elapsed time.Duration
+}
+
+// oracleItem is one workload item plus its measured per-arm outcomes.
+type oracleItem struct {
+	item querygen.WorkloadItem
+	opt  float64
+	arms map[string]armOutcome
+}
+
+// policyStats aggregates one routing policy's replay over the oracle.
+type policyStats struct {
+	Requests    int     `json:"requests"`
+	Invocations int     `json:"invocations"`
+	MeanCostOpt float64 `json:"mean_cost_vs_optimal"`
+	MeanRegret  float64 `json:"mean_regret"` // mean(cost/optimal - 1)
+
+	costSum   float64 // Σ cost_i / opt_i
+	perItem   []float64
+	perClass  map[string]*classAgg
+	direct    int
+	decisions int
+}
+
+type classAgg struct {
+	Requests    int     `json:"requests"`
+	Invocations int     `json:"invocations"`
+	CostRatio   float64 `json:"cost_ratio"` // learned/baseline, filled at comparison time
+	Direct      int     `json:"direct,omitempty"`
+
+	ratioSum float64
+}
+
+// epochStats is one learned epoch's summary.
+type epochStats struct {
+	Epoch       int     `json:"epoch"`
+	Invocations int     `json:"invocations"`
+	Direct      int     `json:"direct"`
+	Raced       int     `json:"raced"`
+	CostRatio   float64 `json:"cost_ratio"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	NumCPU    int      `json:"num_cpu"`
+	Arms      []string `json:"arms"`
+	Floor     string   `json:"floor"`
+	Relations int      `json:"relations"`
+	PerCell   int      `json:"per_cell"`
+	Epochs    int      `json:"epochs"`
+	Seed      int64    `json:"seed"`
+	Items     int      `json:"items"`
+
+	Baseline policyStats `json:"baseline"` // always-race, cost arbitration
+	Learned  policyStats `json:"learned"`
+
+	CostRatio        float64              `json:"cost_ratio"`        // learned cost / baseline cost
+	InvocationSaving float64              `json:"invocation_saving"` // 1 - learned/baseline invocations
+	DirectFraction   float64              `json:"direct_fraction"`
+	PerClass         map[string]*classAgg `json:"per_class"`
+	EpochCurve       []epochStats         `json:"epoch_curve"`
+	ArmPulls         map[string]int64     `json:"arm_pulls"`
+	ArmMeanReward    map[string]float64   `json:"arm_mean_reward"`
+
+	Deterministic        bool `json:"deterministic"`
+	PersistenceRoundTrip bool `json:"persistence_round_trip"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sched.json", "output file")
+	relations := flag.Int("relations", 8, "relations per generated query")
+	perCell := flag.Int("per-cell", 2, "instances per (shape, skew, deadline) workload cell")
+	epochs := flag.Int("epochs", 4, "learned-policy passes over the workload")
+	reads := flag.Int("reads", 16, "sampler reads per quantum-simulated solve")
+	seed := flag.Int64("seed", 1, "workload and router seed")
+	alpha := flag.Float64("alpha", 0, "router exploration width (0 = sched default)")
+	minPulls := flag.Int("min-pulls", 0, "router cold-start quota (0 = sched default)")
+	latencyWeight := flag.Float64("latency-weight", 0, "router latency penalty (0 = sched default)")
+	smoke := flag.Bool("smoke", false, "CI mode: per-cell 1, reads 8, fail on check regressions")
+	maxCostRatio := flag.Float64("max-cost-ratio", 0, "fail when learned/baseline cost ratio exceeds this (0 = no gate)")
+	minSaving := flag.Float64("min-saving", 0, "fail when invocation saving falls below this (0 = no gate)")
+	flag.Parse()
+
+	if *smoke {
+		*perCell = 1
+		*reads = 8
+	}
+
+	items, err := querygen.DeadlineStratified(querygen.WorkloadConfig{
+		Relations: *relations,
+		PerCell:   *perCell,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	reg := service.NewRegistry()
+	for _, b := range []service.Backend{
+		service.NewGreedyBackend(),
+		service.NewDPBackend(),
+		service.NewTabuBackend(),
+		service.NewAnnealBackend(2),
+	} {
+		if err := reg.Register(b); err != nil {
+			fail(err)
+		}
+	}
+	armSet := []string{"dp", "tabu", "anneal", "greedy"}
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Arms:      armSet,
+		Floor:     "greedy",
+		Relations: *relations,
+		PerCell:   *perCell,
+		Epochs:    *epochs,
+		Seed:      *seed,
+		Items:     len(items),
+	}
+
+	fmt.Printf("measuring %d items x %d arms...\n", len(items), len(armSet))
+	oracle := measure(reg, items, armSet, *reads)
+
+	routerCfg := sched.Config{
+		Arms:          []string{"dp", "tabu", "anneal"},
+		Floor:         "greedy",
+		Alpha:         *alpha,
+		MinPulls:      *minPulls,
+		LatencyWeight: *latencyWeight,
+		Seed:          *seed,
+	}
+
+	rep.Baseline = replayBaseline(oracle, armSet, *epochs)
+
+	router := newRouter(routerCfg)
+	rep.Learned, rep.EpochCurve = replayLearned(router, oracle, *epochs)
+
+	// Determinism: a second replay with a fresh identically-seeded router
+	// must produce the identical model state and identical totals.
+	router2 := newRouter(routerCfg)
+	learned2, _ := replayLearned(router2, oracle, *epochs)
+	rep.Deterministic = statesEqual(router, router2) &&
+		rep.Learned.Invocations == learned2.Invocations &&
+		rep.Learned.costSum == learned2.costSum
+
+	// Persistence: save -> load -> export must be bit-identical.
+	rep.PersistenceRoundTrip = roundTrip(router, routerCfg)
+
+	// Headline comparison.
+	rep.CostRatio = ratioOf(rep.Learned.perItem, rep.Baseline.perItem)
+	if rep.Baseline.Invocations > 0 {
+		rep.InvocationSaving = 1 - float64(rep.Learned.Invocations)/float64(rep.Baseline.Invocations)
+	}
+	if rep.Learned.decisions > 0 {
+		rep.DirectFraction = float64(rep.Learned.direct) / float64(rep.Learned.decisions)
+	}
+	rep.PerClass = comparePerClass(rep.Learned.perClass, rep.Baseline.perClass)
+
+	snap := router.Snapshot()
+	rep.ArmPulls = map[string]int64{}
+	rep.ArmMeanReward = map[string]float64{}
+	for name, m := range snap.Models {
+		rep.ArmPulls[name] = m.Pulls
+		rep.ArmMeanReward[name] = m.MeanReward
+	}
+
+	fmt.Printf("baseline: %d invocations, mean cost/opt %.4f\n",
+		rep.Baseline.Invocations, rep.Baseline.MeanCostOpt)
+	fmt.Printf("learned:  %d invocations, mean cost/opt %.4f, direct %.0f%%\n",
+		rep.Learned.Invocations, rep.Learned.MeanCostOpt, 100*rep.DirectFraction)
+	fmt.Printf("cost ratio %.4f, invocation saving %.1f%%, deterministic=%v, round-trip=%v\n",
+		rep.CostRatio, 100*rep.InvocationSaving, rep.Deterministic, rep.PersistenceRoundTrip)
+	for _, e := range rep.EpochCurve {
+		fmt.Printf("  epoch %d: %d invocations, %d direct / %d raced, cost ratio %.4f\n",
+			e.Epoch, e.Invocations, e.Direct, e.Raced, e.CostRatio)
+	}
+
+	writeReport(*out, &rep)
+
+	var failures []string
+	if *maxCostRatio > 0 && rep.CostRatio > *maxCostRatio {
+		failures = append(failures, fmt.Sprintf("cost ratio %.4f > gate %.4f", rep.CostRatio, *maxCostRatio))
+	}
+	if *minSaving > 0 && rep.InvocationSaving < *minSaving {
+		failures = append(failures, fmt.Sprintf("invocation saving %.3f < gate %.3f", rep.InvocationSaving, *minSaving))
+	}
+	if *smoke && !rep.Deterministic {
+		failures = append(failures, "learned replay is not deterministic under a fixed seed")
+	}
+	if *smoke && !rep.PersistenceRoundTrip {
+		failures = append(failures, "router state save/load round trip is not bit-identical")
+	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "schedbench: GATE FAILED:", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+func newRouter(cfg sched.Config) *sched.Router {
+	r, err := sched.NewRouter(cfg)
+	if err != nil {
+		fail(err)
+	}
+	return r
+}
+
+// measure solves every (item, arm) pair once under the item's deadline.
+func measure(reg *service.Registry, items []querygen.WorkloadItem, armSet []string, reads int) []oracleItem {
+	oracle := make([]oracleItem, 0, len(items))
+	for _, it := range items {
+		enc, err := core.Encode(it.Query, core.Options{Thresholds: core.DefaultThresholds(it.Query, 2)})
+		if err != nil {
+			fail(err)
+		}
+		opt, err := classical.OptimalCost(it.Query)
+		if err != nil {
+			fail(err)
+		}
+		oi := oracleItem{item: it, opt: opt, arms: make(map[string]armOutcome, len(armSet))}
+		for _, arm := range armSet {
+			be, ok := reg.Get(arm)
+			if !ok {
+				fail(fmt.Errorf("backend %q not registered", arm))
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), it.Deadline)
+			start := time.Now()
+			d, err := be.Solve(ctx, enc, service.Params{Reads: reads, Seed: it.Seed})
+			elapsed := time.Since(start)
+			cancel()
+			o := armOutcome{Elapsed: float64(elapsed) / float64(time.Millisecond), elapsed: elapsed}
+			if err == nil && d != nil && d.Valid && d.Order.IsPermutation(it.Query.NumRelations()) {
+				o.Valid = true
+				o.Cost = it.Query.Cost(d.Order)
+			}
+			oi.arms[arm] = o
+		}
+		oracle = append(oracle, oi)
+	}
+	return oracle
+}
+
+// replayBaseline replays the always-race policy: every arm invoked on
+// every request, cost arbitration over the valid outcomes. Repeated for
+// the same number of epochs as the learned pass so totals compare over
+// the identical request stream.
+func replayBaseline(oracle []oracleItem, armSet []string, epochs int) policyStats {
+	st := newPolicyStats()
+	for e := 0; e < epochs; e++ {
+		for _, oi := range oracle {
+			cost := bestCost(oi, armSet)
+			st.record(oi, cost, len(armSet))
+		}
+	}
+	st.finish()
+	return st
+}
+
+// replayLearned replays the learned policy with online updates: each
+// decision invokes only its arms, and every invoked arm's measured
+// outcome is fed back as a reward on the decision-time context.
+func replayLearned(router *sched.Router, oracle []oracleItem, epochs int) (policyStats, []epochStats) {
+	st := newPolicyStats()
+	var curve []epochStats
+	for e := 1; e <= epochs; e++ {
+		ep := epochStats{Epoch: e}
+		var ratioSum float64
+		for _, oi := range oracle {
+			d := router.Decide(oi.item.Query, sched.Context{Budget: oi.item.Deadline})
+			cost := bestCost(oi, d.Arms)
+			st.record(oi, cost, len(d.Arms))
+			st.decisions++
+			if d.Mode == sched.ModeDirect {
+				st.direct++
+				ep.Direct++
+				st.perClass[oi.item.Class].Direct++
+			} else {
+				ep.Raced++
+			}
+			ep.Invocations += len(d.Arms)
+			ratioSum += cost / bestCost(oi, router.Arms())
+			for _, arm := range d.Arms {
+				o := oi.arms[arm]
+				if o.Valid {
+					router.Update(&d, arm, router.Reward(cost, o.Cost, o.elapsed, oi.item.Deadline))
+				} else {
+					router.Update(&d, arm, 0)
+				}
+			}
+		}
+		ep.CostRatio = ratioSum / float64(len(oracle))
+		curve = append(curve, ep)
+	}
+	st.finish()
+	return st, curve
+}
+
+// bestCost is the cost arbitration over one item's invoked arm set: the
+// cheapest valid plan. The greedy floor is always valid, so every request
+// stream has an answer; math.Inf flags the (impossible) empty case.
+func bestCost(oi oracleItem, arms []string) float64 {
+	best := math.Inf(1)
+	for _, arm := range arms {
+		if o, ok := oi.arms[arm]; ok && o.Valid && o.Cost < best {
+			best = o.Cost
+		}
+	}
+	return best
+}
+
+func newPolicyStats() policyStats {
+	return policyStats{perClass: map[string]*classAgg{
+		querygen.ClassTight:  {},
+		querygen.ClassMedium: {},
+		querygen.ClassLoose:  {},
+	}}
+}
+
+func (st *policyStats) record(oi oracleItem, cost float64, invocations int) {
+	st.Requests++
+	st.Invocations += invocations
+	st.costSum += cost / oi.opt
+	st.perItem = append(st.perItem, cost)
+	ca := st.perClass[oi.item.Class]
+	ca.Requests++
+	ca.Invocations += invocations
+	ca.ratioSum += cost / oi.opt
+}
+
+func (st *policyStats) finish() {
+	if st.Requests > 0 {
+		st.MeanCostOpt = st.costSum / float64(st.Requests)
+		st.MeanRegret = st.MeanCostOpt - 1
+	}
+}
+
+// ratioOf is the mean per-request cost ratio between two aligned replays.
+func ratioOf(learned, baseline []float64) float64 {
+	if len(learned) != len(baseline) || len(learned) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for i := range learned {
+		sum += learned[i] / baseline[i]
+	}
+	return sum / float64(len(learned))
+}
+
+func comparePerClass(learned, baseline map[string]*classAgg) map[string]*classAgg {
+	out := make(map[string]*classAgg, len(learned))
+	for class, la := range learned {
+		ba := baseline[class]
+		agg := &classAgg{Requests: la.Requests, Invocations: la.Invocations, Direct: la.Direct}
+		if ba != nil && ba.ratioSum > 0 {
+			agg.CostRatio = la.ratioSum / ba.ratioSum
+		}
+		out[class] = agg
+	}
+	return out
+}
+
+// statesEqual compares two routers' exported model state bit-for-bit.
+func statesEqual(a, b *sched.Router) bool {
+	ja, err := json.Marshal(a.ExportState())
+	if err != nil {
+		return false
+	}
+	jb, err := json.Marshal(b.ExportState())
+	if err != nil {
+		return false
+	}
+	return bytes.Equal(ja, jb)
+}
+
+// roundTrip checks save -> load -> export is bit-identical to the source.
+func roundTrip(router *sched.Router, cfg sched.Config) bool {
+	dir, err := os.MkdirTemp("", "schedbench-*")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "sched.json")
+	if err := router.SaveFile(path); err != nil {
+		fail(err)
+	}
+	fresh := newRouter(cfg)
+	if loaded, err := fresh.LoadFile(path); err != nil || !loaded {
+		return false
+	}
+	return statesEqual(router, fresh)
+}
+
+func writeReport(path string, rep *Report) {
+	// Stable key order inside the curve keeps diffs reviewable.
+	sort.Slice(rep.EpochCurve, func(i, j int) bool { return rep.EpochCurve[i].Epoch < rep.EpochCurve[j].Epoch })
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "schedbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,308 @@
+package hybrid
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"quantumjoin/internal/core"
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/sched"
+	"quantumjoin/internal/service"
+)
+
+func testRouter(t *testing.T, arms ...string) *sched.Router {
+	t.Helper()
+	r, err := sched.NewRouter(sched.Config{Arms: arms, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// pretrain drives the router to a strong preference by replaying decide/
+// update rounds on the query with fixed per-arm rewards.
+func pretrain(r *sched.Router, q *join.Query, rewards map[string]float64, rounds int) {
+	for i := 0; i < rounds; i++ {
+		d := r.Decide(q, sched.Context{Budget: time.Second})
+		for _, arm := range d.Arms {
+			r.Update(&d, arm, rewards[arm])
+		}
+	}
+}
+
+func TestLearnedRequiresRouter(t *testing.T) {
+	b, err := New(Config{Registry: testRegistry(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, enc := cliqueInstance(t, 5, 21)
+	_, err = b.Orchestrate(context.Background(), enc, service.Params{
+		Hybrid: service.HybridParams{Strategy: StrategyLearned},
+	})
+	if !errors.Is(err, service.ErrBadRequest) {
+		t.Errorf("learned without router: err = %v, want ErrBadRequest", err)
+	}
+	// And a learned default strategy without a router must not construct.
+	if _, err := New(Config{Registry: testRegistry(t), Strategy: StrategyLearned}); err == nil {
+		t.Error("New accepted learned default strategy without a router")
+	}
+}
+
+// TestLearnedColdRacesFullSet: an untrained router must race every arm
+// (cold-start exploration) and the orchestration must return a valid plan
+// while feeding one reward update per invoked arm back into the model.
+func TestLearnedColdRacesFullSet(t *testing.T) {
+	reg := testRegistry(t)
+	router := testRouter(t, "dp", "tabu")
+	b, err := New(Config{Registry: reg, Router: router})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, enc := cliqueInstance(t, 6, 22)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := b.Orchestrate(ctx, enc, service.Params{
+		Reads:  20,
+		Seed:   22,
+		Hybrid: service.HybridParams{Strategy: StrategyLearned},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Best.Order.IsPermutation(q.NumRelations()) {
+		t.Fatalf("invalid result %+v", out.Best)
+	}
+	seen := map[string]bool{}
+	for _, c := range out.Candidates {
+		seen[c.Backend] = true
+	}
+	for _, arm := range []string{"dp", "tabu", "greedy"} {
+		if !seen[arm] {
+			t.Errorf("cold decision did not invoke %q: %v", arm, seen)
+		}
+	}
+	s := router.Snapshot()
+	if s.Counters.Decisions != 1 {
+		t.Errorf("decisions = %d, want 1", s.Counters.Decisions)
+	}
+	if s.Counters.Updates != int64(len(out.Candidates)) {
+		t.Errorf("updates = %d, want one per candidate (%d)", s.Counters.Updates, len(out.Candidates))
+	}
+}
+
+// TestLearnedDirectInvokesPredictedBestPlusFloor: once the model strongly
+// prefers one arm, the orchestration must invoke only that arm plus the
+// classical floor — the invocation saving the predict-then-race design
+// exists for.
+func TestLearnedDirectInvokesPredictedBestPlusFloor(t *testing.T) {
+	reg := testRegistry(t)
+	router := testRouter(t, "dp", "tabu")
+	b, err := New(Config{Registry: reg, Router: router})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, enc := cliqueInstance(t, 6, 23)
+	pretrain(router, q, map[string]float64{"dp": 1.0, "greedy": 0.4, "tabu": 0.1}, 15)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := b.Orchestrate(ctx, enc, service.Params{
+		Reads:  20,
+		Seed:   23,
+		Hybrid: service.HybridParams{Strategy: StrategyLearned},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Candidates) != 2 {
+		t.Fatalf("direct decision invoked %d backends %+v, want dp + greedy only",
+			len(out.Candidates), out.Candidates)
+	}
+	seen := map[string]bool{}
+	for _, c := range out.Candidates {
+		seen[c.Backend] = true
+	}
+	if !seen["dp"] || !seen["greedy"] {
+		t.Fatalf("direct candidates = %v, want dp + greedy", seen)
+	}
+	if out.Winner != "dp" && out.Winner != "greedy" {
+		t.Errorf("winner = %q, want a classical arm", out.Winner)
+	}
+	if !out.Best.Order.IsPermutation(q.NumRelations()) {
+		t.Fatalf("invalid result %+v", out.Best)
+	}
+}
+
+// TestLearnedForfeitRecordsDegraded is the satellite regression test: when
+// the predicted-best arm fails and the safety floor answers by forfeit,
+// the floor must record a degraded outcome, NOT an arbitration win — a
+// fallback winning because everything else broke must not poison the
+// win/loss statistics reward signals are derived from.
+func TestLearnedForfeitRecordsDegraded(t *testing.T) {
+	reg := service.NewRegistry()
+	if err := reg.Register(service.NewGreedyBackend()); err != nil {
+		t.Fatal(err)
+	}
+	probe := &probeBackend{} // always fails
+	if err := reg.Register(probe); err != nil {
+		t.Fatal(err)
+	}
+	m := service.NewMetrics()
+	router := testRouter(t, "probe")
+	b, err := New(Config{Registry: reg, Metrics: m, Router: router})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, enc := cliqueInstance(t, 6, 24)
+	// Teach the router to trust probe so the decision is direct-to-probe
+	// with greedy riding along purely as the safety arm.
+	pretrain(router, q, map[string]float64{"probe": 1.0, "greedy": 0.1}, 12)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := b.Orchestrate(ctx, enc, service.Params{
+		Seed:   24,
+		Hybrid: service.HybridParams{Strategy: StrategyLearned},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != "greedy" {
+		t.Fatalf("winner = %q, want the greedy safety arm after probe failed", out.Winner)
+	}
+	var fallbackSeen bool
+	for _, c := range out.Candidates {
+		if c.Backend == "greedy" && c.Fallback {
+			fallbackSeen = true
+		}
+	}
+	if !fallbackSeen {
+		t.Error("greedy candidate not marked Fallback despite riding along as safety arm")
+	}
+	gs, _ := m.ReadBackend("greedy")
+	if gs.Wins != 0 {
+		t.Errorf("greedy wins = %d, want 0 — a forfeit is not an arbitration win", gs.Wins)
+	}
+	if gs.Degraded != 1 {
+		t.Errorf("greedy degraded = %d, want 1", gs.Degraded)
+	}
+	ps, _ := m.ReadBackend("probe")
+	if ps.Losses != 1 {
+		t.Errorf("probe losses = %d, want 1", ps.Losses)
+	}
+}
+
+// TestArbiterForfeitAttribution pins the attribution rules at the arbiter
+// level: a fallback winning by forfeit records degraded; a fallback
+// beating a valid primary on cost records a genuine win.
+func TestArbiterForfeitAttribution(t *testing.T) {
+	// Any permutation works; arbitrate compares Candidate.Cost directly.
+	valid := func() *core.Decoded {
+		return &core.Decoded{Valid: true, Order: join.Order{0, 1, 2, 3}}
+	}
+
+	cases := []struct {
+		name       string
+		candidates []Candidate
+		wantWin    map[string]int64
+		wantDeg    map[string]int64
+	}{
+		{
+			name: "forfeit",
+			candidates: []Candidate{
+				{Backend: "tabu", Err: errors.New("boom")},
+				{Backend: "greedy", Decoded: valid(), Cost: 10, Fallback: true},
+			},
+			wantWin: map[string]int64{"greedy": 0, "tabu": 0},
+			wantDeg: map[string]int64{"greedy": 1, "tabu": 0},
+		},
+		{
+			name: "fallback beats valid primary on cost",
+			candidates: []Candidate{
+				{Backend: "tabu", Decoded: valid(), Cost: 20},
+				{Backend: "greedy", Decoded: valid(), Cost: 10, Fallback: true},
+			},
+			wantWin: map[string]int64{"greedy": 1, "tabu": 0},
+			wantDeg: map[string]int64{"greedy": 0, "tabu": 0},
+		},
+		{
+			name: "primary win unaffected",
+			candidates: []Candidate{
+				{Backend: "tabu", Decoded: valid(), Cost: 10},
+				{Backend: "greedy", Decoded: valid(), Cost: 20, Fallback: true},
+			},
+			wantWin: map[string]int64{"greedy": 0, "tabu": 1},
+			wantDeg: map[string]int64{"greedy": 0, "tabu": 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := service.NewMetrics()
+			b, err := New(Config{Registry: testRegistry(t), Metrics: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.arbitrate(context.Background(), StrategyLearned, tc.candidates); err != nil {
+				t.Fatal(err)
+			}
+			for name, want := range tc.wantWin {
+				if bs, _ := m.ReadBackend(name); bs.Wins != want {
+					t.Errorf("%s wins = %d, want %d", name, bs.Wins, want)
+				}
+			}
+			for name, want := range tc.wantDeg {
+				if bs, _ := m.ReadBackend(name); bs.Degraded != want {
+					t.Errorf("%s degraded = %d, want %d", name, bs.Degraded, want)
+				}
+			}
+		})
+	}
+}
+
+// TestLearnedSkipsOpenBreakerArm: an arm whose breaker reports open must
+// not be invoked, whatever the model thinks of it.
+func TestLearnedSkipsOpenBreakerArm(t *testing.T) {
+	reg := service.NewRegistry()
+	if err := reg.Register(service.NewGreedyBackend()); err != nil {
+		t.Fatal(err)
+	}
+	tripped := &trippedBackend{}
+	if err := reg.Register(tripped); err != nil {
+		t.Fatal(err)
+	}
+	router := testRouter(t, "tripped")
+	b, err := New(Config{Registry: reg, Router: router})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, enc := cliqueInstance(t, 5, 26)
+	out, err := b.Orchestrate(context.Background(), enc, service.Params{
+		Hybrid: service.HybridParams{Strategy: StrategyLearned},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range out.Candidates {
+		if c.Backend == "tripped" {
+			t.Fatal("open-breaker arm was invoked")
+		}
+	}
+	if out.Winner != "greedy" {
+		t.Errorf("winner = %q, want greedy", out.Winner)
+	}
+}
+
+// trippedBackend reports an open breaker and must never be asked to solve.
+type trippedBackend struct{}
+
+func (b *trippedBackend) Name() string { return "tripped" }
+
+func (b *trippedBackend) Solve(ctx context.Context, enc *core.Encoding, p service.Params) (*core.Decoded, error) {
+	return nil, errors.New("tripped: must not be called")
+}
+
+func (b *trippedBackend) Health() service.BackendHealth {
+	return service.BackendHealth{State: service.HealthOpen}
+}

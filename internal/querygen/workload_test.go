@@ -1,0 +1,97 @@
+package querygen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestDeadlineStratifiedDeterministic: the workload is a pure function of
+// the config — two calls must produce deeply equal items, and a different
+// base seed must produce different queries.
+func TestDeadlineStratifiedDeterministic(t *testing.T) {
+	cfg := WorkloadConfig{Seed: 7}
+	a, err := DeadlineStratified(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeadlineStratified(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different workloads")
+	}
+	c, err := DeadlineStratified(WorkloadConfig{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var differ bool
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Query, c[i].Query) {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Error("changing the base seed did not change any query")
+	}
+}
+
+// TestDeadlineStratifiedCoverage: every (shape, skew, class) cell is
+// present with PerCell replicas, deadlines match their class, and every
+// query is valid at the configured size.
+func TestDeadlineStratifiedCoverage(t *testing.T) {
+	cfg := WorkloadConfig{Relations: 6, PerCell: 2, Seed: 3}
+	items, err := DeadlineStratified(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * 2 * 3 * cfg.PerCell; len(items) != want {
+		t.Fatalf("len(items) = %d, want %d", len(items), want)
+	}
+	budgets := map[string]time.Duration{
+		ClassTight:  25 * time.Millisecond,
+		ClassMedium: 100 * time.Millisecond,
+		ClassLoose:  400 * time.Millisecond,
+	}
+	cells := map[string]int{}
+	for _, it := range items {
+		if it.Query.NumRelations() != cfg.Relations {
+			t.Fatalf("%s: %d relations, want %d", it.Name, it.Query.NumRelations(), cfg.Relations)
+		}
+		if err := it.Query.Validate(); err != nil {
+			t.Fatalf("%s: invalid query: %v", it.Name, err)
+		}
+		if it.Deadline != budgets[it.Class] {
+			t.Errorf("%s: deadline %v does not match class %q", it.Name, it.Deadline, it.Class)
+		}
+		cells[it.Graph.String()+"/"+it.Class]++
+	}
+	for _, g := range []string{"chain", "star", "clique", "tree"} {
+		for _, cl := range []string{ClassTight, ClassMedium, ClassLoose} {
+			if got := cells[g+"/"+cl]; got != 2*cfg.PerCell { // two skews per cell
+				t.Errorf("cell %s/%s has %d items, want %d", g, cl, got, 2*cfg.PerCell)
+			}
+		}
+	}
+}
+
+// TestDeadlineStratifiedBudgetOverrides: custom class budgets flow through.
+func TestDeadlineStratifiedBudgetOverrides(t *testing.T) {
+	items, err := DeadlineStratified(WorkloadConfig{
+		Relations: 4, PerCell: 1, Seed: 1,
+		Tight: time.Millisecond, Medium: 2 * time.Millisecond, Loose: 3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]time.Duration{
+		ClassTight: time.Millisecond, ClassMedium: 2 * time.Millisecond, ClassLoose: 3 * time.Millisecond,
+	}
+	for _, it := range items {
+		if it.Deadline != want[it.Class] {
+			t.Errorf("%s: deadline %v, want %v", it.Name, it.Deadline, want[it.Class])
+		}
+	}
+}

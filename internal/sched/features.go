@@ -1,0 +1,209 @@
+// Package sched closes the co-design loop the paper leaves open — *when*
+// is a quantum(-simulated) join-ordering solver worth invoking? — with a
+// learned scheduler: a contextual bandit (per-arm LinUCB linear models,
+// stdlib-only, deterministic) that maps request features (join-graph shape
+// statistics, cardinality spread, deadline budget, breaker states,
+// cache warmth, decomposition width) to a routing decision. When the model
+// is confident it routes straight to the predicted-best backend; when it
+// is uncertain it races a portfolio sized to the uncertainty — never the
+// whole registry by reflex, the way the always-race orchestrator does —
+// and the classical floor rides along as a safety arm so plan quality can
+// never regress versus greedy. Rewards flow back from the hybrid arbiter's
+// ground truth: true C_out cost ratio versus the best candidate plus a
+// deadline-consumption penalty.
+package sched
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/service"
+)
+
+// Feature-vector layout. The query-derived block (QueryDim slots) is a
+// function of the join graph alone and is permutation-invariant: two
+// queries identical up to a relabelling of their relation list (same WL
+// fingerprint) produce bit-identical feature blocks — every aggregate is
+// computed over sorted copies so float summation order cannot depend on
+// the labelling. The context block appends the request-time signals.
+const (
+	// QueryDim is the length of the query-derived feature block.
+	QueryDim = 11
+	// Dim is the full feature-vector length: the query block plus the
+	// deadline budget, cache-hit flag, decomposition part count, and the
+	// candidate arm's breaker state.
+	Dim = QueryDim + 4
+)
+
+// featureNames document the vector layout, index-aligned with Vector's
+// output; /v1/sched exposes them beside the learned weights.
+var featureNames = [Dim]string{
+	"bias",
+	"relations",
+	"density",
+	"max_degree",
+	"degree_stddev",
+	"leaf_fraction",
+	"card_spread",
+	"card_stddev",
+	"card_skew",
+	"sel_mean",
+	"sel_spread",
+	"deadline_budget",
+	"cache_hit",
+	"decomp_parts",
+	"arm_breaker",
+}
+
+// QueryFeatures extracts the permutation-invariant feature block of a join
+// query: relation count, join-graph shape statistics (density, maximum
+// degree, degree spread, leaf fraction — together separating chains, stars,
+// cliques, and trees), cardinality spread and skew, and selectivity
+// statistics. All values are scaled into roughly [0, 1] so one slot cannot
+// dominate the linear model numerically.
+func QueryFeatures(q *join.Query) [QueryDim]float64 {
+	var f [QueryDim]float64
+	n := q.NumRelations()
+	if n == 0 {
+		return f
+	}
+	nf := float64(n)
+
+	deg := make([]float64, n)
+	for _, p := range q.Predicates {
+		deg[p.R1]++
+		deg[p.R2]++
+	}
+	sort.Float64s(deg)
+	maxDeg := deg[n-1]
+	leaves := 0.0
+	for _, d := range deg {
+		if d == 1 {
+			leaves++
+		}
+	}
+
+	logCards := make([]float64, n)
+	for t := 0; t < n; t++ {
+		logCards[t] = q.LogCard(t)
+	}
+	sort.Float64s(logCards)
+
+	negLogSels := make([]float64, 0, len(q.Predicates))
+	for p := range q.Predicates {
+		negLogSels = append(negLogSels, -q.LogSel(p))
+	}
+	sort.Float64s(negLogSels)
+
+	f[0] = 1 // bias
+	f[1] = nf / 64
+	if n > 1 {
+		f[2] = float64(2*len(q.Predicates)) / (nf * (nf - 1)) // density
+		f[3] = maxDeg / (nf - 1)
+	}
+	f[4] = stddev(deg) / math.Max(1, nf-1)
+	f[5] = leaves / nf
+	f[6] = (logCards[n-1] - logCards[0]) / 10
+	f[7] = stddev(logCards) / 5
+	// Skew: mean minus median of the log-cardinalities — positive when a
+	// few huge relations pull the mean above the bulk.
+	f[8] = (mean(logCards) - median(logCards)) / 5
+	if len(negLogSels) > 0 {
+		f[9] = mean(negLogSels) / 5
+		f[10] = (negLogSels[len(negLogSels)-1] - negLogSels[0]) / 5
+	}
+	return f
+}
+
+// Context carries the request-time signals that are not a function of the
+// query graph.
+type Context struct {
+	// Budget is the remaining deadline at decision time (0 = no deadline).
+	Budget time.Duration
+	// CacheHit reports whether the request's encoding came from the cache.
+	CacheHit bool
+	// Parts is the decomposition part count (1 for a monolithic solve).
+	Parts int
+	// Breakers maps arm name to its reported health state
+	// (service.HealthOK and friends); absent arms count as healthy.
+	Breakers map[string]string
+	// Available restricts the decision to these arms (registered backends
+	// whose breakers are not open, size-gated where applicable). Empty
+	// means every configured arm is available.
+	Available []string
+}
+
+// Vector composes the full per-arm feature vector: the query block, the
+// log-scaled deadline budget, the cache-hit flag, the decomposition part
+// count, and the arm's breaker state (0 healthy, ½ half-open, 1 open).
+func Vector(qf [QueryDim]float64, c Context, arm string, dst []float64) []float64 {
+	dst = dst[:0]
+	dst = append(dst, qf[:]...)
+	budgetMs := float64(c.Budget) / float64(time.Millisecond)
+	if budgetMs < 0 {
+		budgetMs = 0
+	}
+	// log10(1+ms)/4: 0 for no budget, ~0.35 at 25ms, ~0.6 at 250ms, 1 at 10s.
+	dst = append(dst, math.Log10(1+budgetMs)/4)
+	dst = append(dst, b2f(c.CacheHit))
+	parts := c.Parts
+	if parts < 1 {
+		parts = 1
+	}
+	dst = append(dst, float64(parts-1)/8)
+	breaker := 0.0
+	switch c.Breakers[arm] {
+	case service.HealthHalfOpen:
+		breaker = 0.5
+	case service.HealthOpen:
+		breaker = 1
+	}
+	dst = append(dst, breaker)
+	return dst
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// mean of a sorted slice: summation order is fixed by the sort, so the
+// result is invariant under permutations of the original data.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/querygen"
+	"quantumjoin/internal/service"
+)
+
+// permuteQuery relabels the relations of q by perm (new index =
+// perm[old index]), remapping predicate endpoints accordingly: the same
+// join graph under a different labelling.
+func permuteQuery(q *join.Query, perm []int) *join.Query {
+	out := &join.Query{
+		Relations:  make([]join.Relation, len(q.Relations)),
+		Predicates: make([]join.Predicate, len(q.Predicates)),
+	}
+	for old, to := range perm {
+		out.Relations[to] = q.Relations[old]
+	}
+	for i, p := range q.Predicates {
+		out.Predicates[i] = join.Predicate{R1: perm[p.R1], R2: perm[p.R2], Sel: p.Sel}
+	}
+	return out
+}
+
+// TestQueryFeaturesPermutationInvariant property-tests feature extraction
+// against the WL fingerprint's permutation invariance: whenever two
+// queries are the same graph up to relation relabelling (same
+// service.Fingerprint key), their feature blocks must be bit-identical.
+func TestQueryFeaturesPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []querygen.GraphType{
+		querygen.Chain, querygen.Star, querygen.Cycle, querygen.Clique, querygen.Tree,
+	}
+	for trial := 0; trial < 200; trial++ {
+		shape := shapes[trial%len(shapes)]
+		n := 3 + rng.Intn(10)
+		q, err := querygen.Generate(querygen.Config{
+			Relations: n,
+			Graph:     shape,
+			Skew:      float64(trial%2) * 0.5,
+		}, rng)
+		if err != nil {
+			t.Fatalf("trial %d: generate: %v", trial, err)
+		}
+		perm := rng.Perm(n)
+		qp := permuteQuery(q, perm)
+
+		k1, _ := service.Fingerprint(q, service.EncodeSpec{})
+		k2, _ := service.Fingerprint(qp, service.EncodeSpec{})
+		if k1 != k2 {
+			t.Fatalf("trial %d (%v): WL fingerprint not permutation invariant; the property's premise broke", trial, shape)
+		}
+
+		f1 := QueryFeatures(q)
+		f2 := QueryFeatures(qp)
+		if f1 != f2 {
+			t.Fatalf("trial %d (%v, perm %v): features differ under relabelling:\n  %v\n  %v",
+				trial, shape, perm, f1, f2)
+		}
+	}
+}
+
+// TestQueryFeaturesSeparateShapes: the shape statistics must actually
+// separate the canonical graph families (otherwise the bandit cannot
+// condition on them).
+func TestQueryFeaturesSeparateShapes(t *testing.T) {
+	gen := func(g querygen.GraphType) [QueryDim]float64 {
+		q, err := querygen.Generate(querygen.Config{Relations: 8, Graph: g},
+			rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return QueryFeatures(q)
+	}
+	chain, star, clique := gen(querygen.Chain), gen(querygen.Star), gen(querygen.Clique)
+	if !(clique[2] > star[2] && clique[2] > chain[2]) {
+		t.Errorf("density should peak for clique: chain %v star %v clique %v", chain[2], star[2], clique[2])
+	}
+	if !(star[3] > chain[3]) {
+		t.Errorf("max degree should separate star from chain: star %v chain %v", star[3], chain[3])
+	}
+	if !(star[5] > chain[5]) {
+		t.Errorf("leaf fraction should separate star from chain: star %v chain %v", star[5], chain[5])
+	}
+}
+
+func TestQueryFeaturesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		q, err := querygen.Generate(querygen.Config{
+			Relations: 3 + rng.Intn(19),
+			Graph:     querygen.GraphType(rng.Intn(5)),
+			Skew:      0.8,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := QueryFeatures(q)
+		for i, v := range f {
+			if v < -1.5 || v > 1.5 {
+				t.Fatalf("feature %s = %v outside sane range for %d relations", featureNames[i], v, q.NumRelations())
+			}
+		}
+	}
+}
+
+func TestVectorContextBlock(t *testing.T) {
+	var qf [QueryDim]float64
+	qf[0] = 1
+	c := Context{
+		Budget:   250 * time.Millisecond,
+		CacheHit: true,
+		Parts:    3,
+		Breakers: map[string]string{"tabu": service.HealthOpen, "anneal": service.HealthHalfOpen},
+	}
+	x := Vector(qf, c, "tabu", nil)
+	if len(x) != Dim {
+		t.Fatalf("vector length %d, want %d", len(x), Dim)
+	}
+	if x[QueryDim] <= 0 || x[QueryDim] > 1 {
+		t.Errorf("budget feature %v outside (0, 1]", x[QueryDim])
+	}
+	if x[QueryDim+1] != 1 {
+		t.Errorf("cache-hit feature = %v, want 1", x[QueryDim+1])
+	}
+	if x[QueryDim+2] != 0.25 {
+		t.Errorf("parts feature = %v, want 0.25 for 3 parts", x[QueryDim+2])
+	}
+	if x[QueryDim+3] != 1 {
+		t.Errorf("breaker feature = %v, want 1 for open breaker", x[QueryDim+3])
+	}
+	if y := Vector(qf, c, "anneal", nil); y[QueryDim+3] != 0.5 {
+		t.Errorf("breaker feature = %v, want 0.5 for half-open breaker", y[QueryDim+3])
+	}
+	if y := Vector(qf, c, "greedy", nil); y[QueryDim+3] != 0 {
+		t.Errorf("breaker feature = %v, want 0 for healthy arm", y[QueryDim+3])
+	}
+	// Reuse: passing dst back must not change the result.
+	x2 := Vector(qf, c, "tabu", x)
+	for i := range x2 {
+		if x2[i] != x[i] {
+			t.Fatalf("dst reuse changed slot %d", i)
+		}
+	}
+}

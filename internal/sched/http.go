@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+
+	"quantumjoin/internal/obs"
+)
+
+// Handler serves the /v1/sched debug endpoint: the router's learned
+// weights (theta per arm, feature names index-aligned), per-arm pull
+// counts and mean rewards, decision counters, and — when a MetricsReader
+// is configured — the service's per-backend outcome snapshots.
+func (r *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// WriteProm appends the scheduler's metric families to a Prometheus
+// exposition: decision counts by mode, per-arm pull counts and cumulative
+// rewards, and model update/save counters. Designed to be registered as a
+// service prom collector so /metrics carries scheduler state alongside
+// the backend families.
+func (r *Router) WriteProm(p *obs.PromWriter) {
+	s := r.Snapshot()
+	p.Family("qjoind_sched_decisions_total", "Routing decisions made by the learned scheduler, by mode.", "counter")
+	p.Sample("qjoind_sched_decisions_total", map[string]string{"mode": ModeDirect}, float64(s.Counters.Direct))
+	p.Sample("qjoind_sched_decisions_total", map[string]string{"mode": ModeRace}, float64(s.Counters.Raced))
+	p.Family("qjoind_sched_updates_total", "Reward updates applied to the scheduler's arm models.", "counter")
+	p.Sample("qjoind_sched_updates_total", nil, float64(s.Counters.Updates))
+	p.Family("qjoind_sched_state_saves_total", "Successful scheduler state persists.", "counter")
+	p.Sample("qjoind_sched_state_saves_total", nil, float64(s.Counters.Saves))
+
+	arms := make([]string, 0, len(s.Models))
+	for name := range s.Models {
+		arms = append(arms, name)
+	}
+	sort.Strings(arms)
+	p.Family("qjoind_sched_arm_pulls_total", "Reward-bearing pulls per scheduler arm.", "counter")
+	for _, name := range arms {
+		p.Sample("qjoind_sched_arm_pulls_total", map[string]string{"arm": name}, float64(s.Models[name].Pulls))
+	}
+	p.Family("qjoind_sched_arm_mean_reward", "Mean observed reward per scheduler arm.", "gauge")
+	for _, name := range arms {
+		p.Sample("qjoind_sched_arm_mean_reward", map[string]string{"arm": name}, s.Models[name].MeanReward)
+	}
+}

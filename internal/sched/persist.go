@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// StateVersion is the persistence format version. Loading a file with a
+// different version fails loudly instead of silently misreading weights.
+const StateVersion = 1
+
+// State is the on-disk model: every number the router needs to resume
+// exactly where it left off. encoding/json round-trips float64 exactly
+// (shortest-representation encoding), and map keys marshal sorted, so
+// save → load → save produces byte-identical files.
+type State struct {
+	Version   int                  `json:"version"`
+	Dim       int                  `json:"dim"`
+	Alpha     float64              `json:"alpha"`
+	Lambda    float64              `json:"lambda"`
+	MinPulls  int                  `json:"min_pulls"`
+	Seed      int64                `json:"seed"`
+	Floor     string               `json:"floor"`
+	Arms      map[string]*armState `json:"arms"`
+	Decisions int64                `json:"decisions"`
+	Direct    int64                `json:"direct"`
+	Raced     int64                `json:"raced"`
+	Updates   int64                `json:"updates"`
+}
+
+type armState struct {
+	Pulls     int64       `json:"pulls"`
+	RewardSum float64     `json:"reward_sum"`
+	A         [][]float64 `json:"a"`
+	B         []float64   `json:"b"`
+}
+
+// ExportState snapshots the router's full learned state.
+func (r *Router) ExportState() *State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &State{
+		Version:   StateVersion,
+		Dim:       Dim,
+		Alpha:     r.cfg.Alpha,
+		Lambda:    r.cfg.Lambda,
+		MinPulls:  r.cfg.MinPulls,
+		Seed:      r.cfg.Seed,
+		Floor:     r.cfg.Floor,
+		Arms:      make(map[string]*armState, len(r.arms)),
+		Decisions: r.decisions.Load(),
+		Direct:    r.direct.Load(),
+		Raced:     r.raced.Load(),
+		Updates:   r.updates.Load(),
+	}
+	for name, m := range r.arms {
+		a := make([][]float64, len(m.A))
+		for i := range m.A {
+			a[i] = append([]float64(nil), m.A[i]...)
+		}
+		st.Arms[name] = &armState{
+			Pulls:     m.Pulls,
+			RewardSum: m.RewardSum,
+			A:         a,
+			B:         append([]float64(nil), m.B...),
+		}
+	}
+	return st
+}
+
+// ImportState replaces the router's learned state with a previously
+// exported one. Arms present on disk but absent from the configuration are
+// dropped; configured arms absent from disk keep their fresh model.
+func (r *Router) ImportState(st *State) error {
+	if st.Version != StateVersion {
+		return fmt.Errorf("sched: state version %d, want %d", st.Version, StateVersion)
+	}
+	if st.Dim != Dim {
+		return fmt.Errorf("sched: state dim %d, want %d (feature layout changed; discard the file)", st.Dim, Dim)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, as := range st.Arms {
+		m, ok := r.arms[name]
+		if !ok {
+			continue
+		}
+		if len(as.B) != Dim || len(as.A) != Dim {
+			return fmt.Errorf("sched: arm %q has malformed model", name)
+		}
+		for i := range as.A {
+			if len(as.A[i]) != Dim {
+				return fmt.Errorf("sched: arm %q has malformed model", name)
+			}
+			copy(m.A[i], as.A[i])
+		}
+		copy(m.B, as.B)
+		m.Pulls = as.Pulls
+		m.RewardSum = as.RewardSum
+	}
+	r.decisions.Store(st.Decisions)
+	r.direct.Store(st.Direct)
+	r.raced.Store(st.Raced)
+	r.updates.Store(st.Updates)
+	return nil
+}
+
+// SaveFile atomically persists the router's state as versioned JSON:
+// write to a temp file in the destination directory, fsync, rename. A
+// crash mid-save leaves the previous file intact.
+func (r *Router) SaveFile(path string) error {
+	st := r.ExportState()
+	data, err := json.MarshalIndent(st, "", " ")
+	if err != nil {
+		return fmt.Errorf("sched: marshal state: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".sched-*.json")
+	if err != nil {
+		return fmt.Errorf("sched: save state: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sched: save state: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sched: save state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sched: save state: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("sched: save state: %w", err)
+	}
+	r.saves.Add(1)
+	return nil
+}
+
+// LoadFile restores state saved by SaveFile. A missing file is not an
+// error — the router simply starts cold.
+func (r *Router) LoadFile(path string) (loaded bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("sched: load state: %w", err)
+	}
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		return false, fmt.Errorf("sched: load state %s: %w", path, err)
+	}
+	if err := r.ImportState(&st); err != nil {
+		return false, fmt.Errorf("sched: load state %s: %w", path, err)
+	}
+	return true, nil
+}

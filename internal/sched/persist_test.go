@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"quantumjoin/internal/querygen"
+)
+
+// train runs a deterministic decide/update schedule against r and returns
+// the decisions it made.
+func train(t *testing.T, r *Router, rounds int) []Decision {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	var out []Decision
+	for i := 0; i < rounds; i++ {
+		q := testQuery(t, querygen.GraphType(i%5), 4+i%5, int64(100+i))
+		c := Context{Budget: time.Duration(20+10*(i%3)) * time.Millisecond}
+		d := r.Decide(q, c)
+		out = append(out, d)
+		for _, arm := range d.Arms {
+			r.Update(&d, arm, float64(rng.Intn(100))/100)
+		}
+	}
+	return out
+}
+
+// TestSaveLoadRoundTripBitIdentical: save → load into a fresh router →
+// save again must produce byte-identical files, and the reloaded router
+// must make the identical decision sequence — the CI persistence gate.
+func TestSaveLoadRoundTripBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "sched1.json")
+	p2 := filepath.Join(dir, "sched2.json")
+
+	cfg := Config{Arms: []string{"dp", "tabu", "anneal"}, Seed: 7}
+	r1 := newTestRouter(t, cfg)
+	train(t, r1, 25)
+	if err := r1.SaveFile(p1); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := newTestRouter(t, cfg)
+	loaded, err := r2.LoadFile(p1)
+	if err != nil || !loaded {
+		t.Fatalf("load: loaded=%v err=%v", loaded, err)
+	}
+	if err := r2.SaveFile(p2); err != nil {
+		t.Fatal(err)
+	}
+
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("save → load → save is not byte-identical")
+	}
+
+	// Both routers must now agree on every future decision.
+	d1 := train(t, r1, 15)
+	d2 := train(t, r2, 15)
+	for i := range d1 {
+		if d1[i].Mode != d2[i].Mode || d1[i].Best != d2[i].Best ||
+			!reflect.DeepEqual(d1[i].Arms, d2[i].Arms) ||
+			d1[i].Confidence != d2[i].Confidence {
+			t.Fatalf("post-reload decision %d diverged:\n  %+v\n  %+v", i, d1[i], d2[i])
+		}
+	}
+}
+
+func TestLoadFileMissingIsCold(t *testing.T) {
+	r := newTestRouter(t, Config{})
+	loaded, err := r.LoadFile(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || loaded {
+		t.Fatalf("missing file: loaded=%v err=%v, want cold start without error", loaded, err)
+	}
+}
+
+func TestLoadFileRejectsWrongVersionAndDim(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sched.json")
+	r := newTestRouter(t, Config{})
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tamper := range []struct {
+		name, from, to string
+	}{
+		{"version", `"version": 1`, `"version": 99`},
+		{"dim", `"dim": 15`, `"dim": 4`},
+	} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := bytes.Replace(data, []byte(tamper.from), []byte(tamper.to), 1)
+		if bytes.Equal(bad, data) {
+			t.Fatalf("%s: tamper pattern %q not found in state file", tamper.name, tamper.from)
+		}
+		badPath := filepath.Join(dir, tamper.name+".json")
+		if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fresh := newTestRouter(t, Config{})
+		if _, err := fresh.LoadFile(badPath); err == nil {
+			t.Errorf("%s mismatch accepted", tamper.name)
+		}
+	}
+}
+
+// TestImportStateDropsUnknownArms: a state file from an older arm set must
+// not inject models for arms this router does not serve.
+func TestImportStateDropsUnknownArms(t *testing.T) {
+	r1, err := NewRouter(Config{Arms: []string{"dp", "legacy"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train(t, r1, 10)
+	st := r1.ExportState()
+
+	r2, err := NewRouter(Config{Arms: []string{"dp", "tabu"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	s := r2.Snapshot()
+	if _, ok := s.Models["legacy"]; ok {
+		t.Error("legacy arm model imported into a router that does not serve it")
+	}
+	if s.Models["dp"].Pulls == 0 {
+		t.Error("shared arm's pulls not imported")
+	}
+	if s.Models["tabu"].Pulls != 0 {
+		t.Error("fresh arm gained pulls from nowhere")
+	}
+}

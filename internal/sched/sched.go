@@ -1,0 +1,502 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/service"
+)
+
+// Decision modes.
+const (
+	// ModeDirect routes straight to the predicted-best arm (plus the
+	// classical floor as a safety arm).
+	ModeDirect = "direct"
+	// ModeRace races the plausibly-optimal arm set: every arm whose upper
+	// confidence bound still reaches the best arm's lower bound, plus any
+	// cold arm owed exploration pulls.
+	ModeRace = "race"
+)
+
+// Config tunes a Router. The zero value of every field selects a default.
+type Config struct {
+	// Arms are the backend names the router chooses between (required).
+	Arms []string
+	// Floor is the safety arm appended to every decision so plan quality
+	// never regresses versus the classical baseline (default "greedy").
+	// It does not count against MaxWidth.
+	Floor string
+	// Alpha scales the UCB exploration width (default 0.35). Larger values
+	// race longer before committing; 0 keeps the default (use a tiny
+	// positive value for pure exploitation).
+	Alpha float64
+	// Lambda is the ridge regularisation of each arm's linear model
+	// (default 1).
+	Lambda float64
+	// MinPulls is the cold-start quota: an arm pulled fewer times always
+	// joins the race, whatever its confidence bound (default 3).
+	MinPulls int
+	// MaxWidth caps the raced portfolio (default: all arms). The
+	// predicted-best arm and the floor always fit.
+	MaxWidth int
+	// LatencyWeight is the reward penalty per unit of deadline budget an
+	// arm consumed (default 0.3): among arms of equal plan quality the
+	// model learns to prefer the cheaper one.
+	LatencyWeight float64
+	// Seed feeds the deterministic tie-break hash; equal seeds give
+	// identical decision sequences for identical request sequences.
+	Seed int64
+	// Metrics, when non-nil, enriches the /v1/sched snapshot with the
+	// service's per-backend win/loss/latency state — consumed in-process
+	// through the typed reader, never by scraping Prometheus text.
+	Metrics service.MetricsReader
+}
+
+func (c Config) withDefaults() Config {
+	if c.Floor == "" {
+		c.Floor = "greedy"
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.35
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 1
+	}
+	if c.MinPulls == 0 {
+		c.MinPulls = 3
+	}
+	if c.MaxWidth == 0 {
+		c.MaxWidth = len(c.Arms)
+	}
+	if c.LatencyWeight == 0 {
+		c.LatencyWeight = 0.3
+	}
+	return c
+}
+
+// armModel is one arm's ridge-regression state: A = λI + Σ x xᵀ and
+// b = Σ r·x over the arm's pulls. The model mean is θ = A⁻¹b and the
+// LinUCB exploration width for context x is √(xᵀ A⁻¹ x).
+type armModel struct {
+	A         [][]float64
+	B         []float64
+	Pulls     int64
+	RewardSum float64
+}
+
+func newArmModel(dim int, lambda float64) *armModel {
+	m := &armModel{A: make([][]float64, dim), B: make([]float64, dim)}
+	for i := range m.A {
+		m.A[i] = make([]float64, dim)
+		m.A[i][i] = lambda
+	}
+	return m
+}
+
+func (m *armModel) update(x []float64, reward float64) {
+	for i := range x {
+		for j := range x {
+			m.A[i][j] += x[i] * x[j]
+		}
+		m.B[i] += reward * x[i]
+	}
+	m.Pulls++
+	m.RewardSum += reward
+}
+
+// theta solves A θ = b (Gaussian elimination with partial pivoting; the
+// matrix is symmetric positive definite by construction, so the solve
+// cannot fail). Dim is ~15, so the cubic cost is nanoseconds.
+func (m *armModel) theta() []float64 {
+	return solve(m.A, m.B)
+}
+
+// score returns the model mean θ·x and the exploration width √(xᵀA⁻¹x).
+func (m *armModel) score(x []float64) (mean, width float64) {
+	th := m.theta()
+	z := solve(m.A, x)
+	for i := range x {
+		mean += th[i] * x[i]
+		width += x[i] * z[i]
+	}
+	if width < 0 {
+		width = 0 // round-off guard; xᵀA⁻¹x ≥ 0 analytically
+	}
+	return mean, math.Sqrt(width)
+}
+
+// solve returns A⁻¹ v via Gaussian elimination with partial pivoting on a
+// copy of A. Deterministic: no map iteration, no randomness.
+func solve(a [][]float64, v []float64) []float64 {
+	n := len(v)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = v[i]
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		m[col], m[piv] = m[piv], m[col]
+		p := m[col][col]
+		if p == 0 {
+			continue // defensive: SPD matrices never hit this
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / p
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if m[i][i] != 0 {
+			out[i] = m[i][n] / m[i][i]
+		}
+	}
+	return out
+}
+
+// ArmScore is one arm's confidence interval inside a Decision.
+type ArmScore struct {
+	Arm   string  `json:"arm"`
+	Mean  float64 `json:"mean"`
+	Width float64 `json:"width"`
+	UCB   float64 `json:"ucb"`
+	LCB   float64 `json:"lcb"`
+	Pulls int64   `json:"pulls"`
+	Cold  bool    `json:"cold,omitempty"`
+}
+
+// Decision is one routing choice: the arms to invoke and why.
+type Decision struct {
+	// Mode is ModeDirect or ModeRace.
+	Mode string
+	// Arms are the backends to invoke, best-first; the floor arm is always
+	// present (last unless it is also the predicted best).
+	Arms []string
+	// Best is the predicted-best arm (highest UCB).
+	Best string
+	// Confidence is the router's belief that Best alone suffices, in
+	// [0, 1]: above ½ the best arm's lower bound clears the runner-up's
+	// upper bound.
+	Confidence float64
+	// Safety names the floor arm when it was appended purely as the
+	// safety arm (empty when the floor earned its slot on merit or is
+	// absent). Consumers use it to label the floor's result a degraded
+	// outcome — not an arbitration win — should it win only by forfeit.
+	Safety string
+	// Scores are the per-arm confidence intervals behind the choice.
+	Scores []ArmScore
+
+	vectors map[string][]float64 // decision-time feature vector per arm
+}
+
+// Vector returns the feature vector the decision scored arm with (nil for
+// arms outside the decision); Update consumes it so rewards are attributed
+// to the exact decision-time context.
+func (d *Decision) Vector(arm string) []float64 { return d.vectors[arm] }
+
+// Router is the learned scheduler. All methods are safe for concurrent
+// use; decisions and updates serialise on one mutex (the linear algebra is
+// nanoseconds next to any solver invocation).
+type Router struct {
+	mu   sync.Mutex
+	cfg  Config
+	arms map[string]*armModel
+
+	decisions atomic.Int64
+	direct    atomic.Int64
+	raced     atomic.Int64
+	updates   atomic.Int64
+	saves     atomic.Int64
+}
+
+// NewRouter builds a router over the configured arm set.
+func NewRouter(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Arms) == 0 {
+		return nil, fmt.Errorf("sched: config needs at least one arm")
+	}
+	seen := map[string]bool{}
+	for _, a := range cfg.Arms {
+		if a == "" {
+			return nil, fmt.Errorf("sched: empty arm name")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("sched: duplicate arm %q", a)
+		}
+		seen[a] = true
+	}
+	if !seen[cfg.Floor] {
+		cfg.Arms = append(append([]string(nil), cfg.Arms...), cfg.Floor)
+	}
+	r := &Router{cfg: cfg, arms: make(map[string]*armModel, len(cfg.Arms))}
+	for _, a := range cfg.Arms {
+		r.arms[a] = newArmModel(Dim, cfg.Lambda)
+	}
+	return r, nil
+}
+
+// Arms returns the configured arm names in configuration order.
+func (r *Router) Arms() []string { return append([]string(nil), r.cfg.Arms...) }
+
+// Floor returns the safety arm.
+func (r *Router) Floor() string { return r.cfg.Floor }
+
+// Decide scores every available arm against the request context and
+// returns the routing decision: the predicted-best arm alone (plus the
+// floor) when its lower confidence bound clears every rival's upper bound,
+// otherwise a race over the plausibly-optimal set — uncertainty-
+// proportional portfolio width. Cold arms (fewer than MinPulls pulls) are
+// always raced. Deterministic: equal models, query, and context give the
+// identical decision.
+func (r *Router) Decide(q *join.Query, c Context) Decision {
+	qf := QueryFeatures(q)
+	avail := c.Available
+	if len(avail) == 0 {
+		avail = r.cfg.Arms
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.decisions.Add(1)
+
+	scores := make([]ArmScore, 0, len(avail))
+	vectors := make(map[string][]float64, len(avail))
+	for _, arm := range avail {
+		m, ok := r.arms[arm]
+		if !ok {
+			continue // unknown arm: not modelled, not routed
+		}
+		x := Vector(qf, c, arm, nil)
+		vectors[arm] = x
+		mean, width := m.score(x)
+		w := r.cfg.Alpha * width
+		scores = append(scores, ArmScore{
+			Arm: arm, Mean: mean, Width: width,
+			UCB: mean + w, LCB: mean - w,
+			Pulls: m.Pulls, Cold: m.Pulls < int64(r.cfg.MinPulls),
+		})
+	}
+	if len(scores) == 0 {
+		// Nothing modelled: fall back to the floor alone.
+		x := Vector(qf, c, r.cfg.Floor, nil)
+		return Decision{
+			Mode: ModeDirect, Arms: []string{r.cfg.Floor}, Best: r.cfg.Floor,
+			Confidence: 0, vectors: map[string][]float64{r.cfg.Floor: x},
+		}
+	}
+
+	// Rank by UCB, ties broken by name so the ordering never depends on
+	// map iteration or input order.
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].UCB != scores[j].UCB {
+			return scores[i].UCB > scores[j].UCB
+		}
+		return scores[i].Arm < scores[j].Arm
+	})
+	best := scores[0]
+
+	// Plausible set: arms whose optimism still reaches the best arm's
+	// pessimism, plus cold arms owed exploration.
+	const eps = 1e-12
+	plausible := []ArmScore{best}
+	for _, s := range scores[1:] {
+		if s.Cold || s.UCB >= best.LCB-eps {
+			plausible = append(plausible, s)
+		}
+	}
+	// The width cap counts only non-floor arms: the floor is a safety arm,
+	// not portfolio budget.
+	if r.cfg.MaxWidth > 0 {
+		capped := plausible[:0:0]
+		nonFloor := 0
+		for _, s := range plausible {
+			if s.Arm == r.cfg.Floor {
+				capped = append(capped, s)
+				continue
+			}
+			if nonFloor < r.cfg.MaxWidth {
+				capped = append(capped, s)
+				nonFloor++
+			}
+		}
+		plausible = capped
+	}
+
+	d := Decision{Best: best.Arm, Scores: scores, vectors: vectors}
+	for _, s := range plausible {
+		d.Arms = append(d.Arms, s.Arm)
+	}
+	// The classical floor is the safety arm of every decision: appended
+	// outside the width cap, so quality never regresses versus greedy.
+	if !contains(d.Arms, r.cfg.Floor) {
+		if _, ok := r.arms[r.cfg.Floor]; ok {
+			d.Arms = append(d.Arms, r.cfg.Floor)
+			d.Safety = r.cfg.Floor
+			if _, ok := vectors[r.cfg.Floor]; !ok {
+				vectors[r.cfg.Floor] = Vector(qf, c, r.cfg.Floor, nil)
+			}
+		}
+	}
+	if len(plausible) == 1 {
+		d.Mode = ModeDirect
+		r.direct.Add(1)
+	} else {
+		d.Mode = ModeRace
+		r.raced.Add(1)
+	}
+	// Confidence: how far the best arm's pessimism clears the runner-up's
+	// optimism, centred at ½ (gap 0 = coin flip).
+	if len(scores) > 1 {
+		gap := best.LCB - scores[1].UCB
+		d.Confidence = clamp01(0.5 + gap/2)
+	} else {
+		d.Confidence = 1
+	}
+	return d
+}
+
+// Update feeds one arm's observed reward back into its model, using the
+// decision-time feature vector so the credit lands on the context that
+// caused the pull. Unknown arms and arms outside the decision are ignored.
+func (r *Router) Update(d *Decision, arm string, reward float64) {
+	x := d.Vector(arm)
+	if x == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.arms[arm]
+	if !ok {
+		return
+	}
+	m.update(x, reward)
+	r.updates.Add(1)
+}
+
+// Reward computes the router's reward for one pulled arm from the
+// arbiter's ground truth: bestCost/cost (true C_out plan-cost ratio versus
+// the incumbent — 1 when the arm produced the winning plan, less the worse
+// it did) minus the latency penalty for the fraction of the deadline
+// budget the arm consumed. Arms that failed or missed the deadline earn 0.
+func (r *Router) Reward(bestCost, cost float64, elapsed, budget time.Duration) float64 {
+	if cost <= 0 || bestCost <= 0 || math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return 0
+	}
+	q := bestCost / cost
+	if q > 1 {
+		q = 1
+	}
+	lat := 0.0
+	if budget > 0 {
+		lat = clamp01(float64(elapsed) / float64(budget))
+	}
+	return clamp01(q - r.cfg.LatencyWeight*lat)
+}
+
+// ArmState is one arm's learned state as exposed on /v1/sched.
+type ArmState struct {
+	Pulls      int64     `json:"pulls"`
+	MeanReward float64   `json:"mean_reward"`
+	Theta      []float64 `json:"theta"`
+}
+
+// SnapshotCounters aggregates the router's decision counters.
+type SnapshotCounters struct {
+	Decisions int64 `json:"decisions"`
+	Direct    int64 `json:"direct"`
+	Raced     int64 `json:"raced"`
+	Updates   int64 `json:"updates"`
+	Saves     int64 `json:"saves"`
+}
+
+// Snapshot is the /v1/sched payload: configuration, per-arm learned
+// weights and pull counts, decision counters, and — when a MetricsReader
+// is wired — the service's live per-backend outcome snapshots.
+type Snapshot struct {
+	Arms         []string                           `json:"arms"`
+	Floor        string                             `json:"floor"`
+	Alpha        float64                            `json:"alpha"`
+	MinPulls     int                                `json:"min_pulls"`
+	FeatureNames []string                           `json:"feature_names"`
+	Counters     SnapshotCounters                   `json:"counters"`
+	Models       map[string]ArmState                `json:"models"`
+	Backends     map[string]service.BackendSnapshot `json:"backends,omitempty"`
+}
+
+// Snapshot captures the router's current state for /v1/sched.
+func (r *Router) Snapshot() Snapshot {
+	r.mu.Lock()
+	models := make(map[string]ArmState, len(r.arms))
+	for name, m := range r.arms {
+		st := ArmState{Pulls: m.Pulls, Theta: m.theta()}
+		if m.Pulls > 0 {
+			st.MeanReward = m.RewardSum / float64(m.Pulls)
+		}
+		models[name] = st
+	}
+	arms := append([]string(nil), r.cfg.Arms...)
+	floor, alpha, minPulls := r.cfg.Floor, r.cfg.Alpha, r.cfg.MinPulls
+	mr := r.cfg.Metrics
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Arms: arms, Floor: floor, Alpha: alpha, MinPulls: minPulls,
+		FeatureNames: featureNames[:],
+		Counters: SnapshotCounters{
+			Decisions: r.decisions.Load(),
+			Direct:    r.direct.Load(),
+			Raced:     r.raced.Load(),
+			Updates:   r.updates.Load(),
+			Saves:     r.saves.Load(),
+		},
+		Models: models,
+	}
+	if mr != nil {
+		s.Backends = make(map[string]service.BackendSnapshot, len(arms))
+		for _, name := range arms {
+			if bs, ok := mr.ReadBackend(name); ok {
+				s.Backends[name] = bs
+			}
+		}
+	}
+	return s
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,219 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"quantumjoin/internal/join"
+	"quantumjoin/internal/querygen"
+)
+
+func testQuery(t *testing.T, g querygen.GraphType, n int, seed int64) *join.Query {
+	t.Helper()
+	q, err := querygen.Generate(querygen.Config{Relations: n, Graph: g},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func newTestRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	if cfg.Arms == nil {
+		cfg.Arms = []string{"dp", "tabu", "anneal"}
+	}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(Config{}); err == nil {
+		t.Error("empty arm set accepted")
+	}
+	if _, err := NewRouter(Config{Arms: []string{"dp", "dp"}}); err == nil {
+		t.Error("duplicate arm accepted")
+	}
+	r, err := NewRouter(Config{Arms: []string{"dp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The floor is implicitly added to the arm set when absent.
+	if got := r.Arms(); !reflect.DeepEqual(got, []string{"dp", "greedy"}) {
+		t.Errorf("arms = %v, want implicit greedy floor appended", got)
+	}
+}
+
+// TestColdStartRacesEverything: with no rewards recorded, every arm is
+// cold, so the decision must be a race over the full set plus the floor.
+func TestColdStartRacesEverything(t *testing.T) {
+	r := newTestRouter(t, Config{})
+	q := testQuery(t, querygen.Chain, 6, 1)
+	d := r.Decide(q, Context{Budget: 100 * time.Millisecond})
+	if d.Mode != ModeRace {
+		t.Fatalf("cold decision mode = %q, want race", d.Mode)
+	}
+	if len(d.Arms) != 4 {
+		t.Fatalf("cold decision arms = %v, want all 3 + floor", d.Arms)
+	}
+	if !contains(d.Arms, "greedy") {
+		t.Fatalf("decision %v is missing the classical floor", d.Arms)
+	}
+}
+
+// TestConvergesToDirect: feed one arm consistently high rewards and the
+// others low ones; after the cold-start quota the router must route direct
+// to the good arm (floor riding along) and report high confidence.
+func TestConvergesToDirect(t *testing.T) {
+	r := newTestRouter(t, Config{})
+	q := testQuery(t, querygen.Star, 7, 2)
+	c := Context{Budget: 100 * time.Millisecond}
+	for i := 0; i < 30; i++ {
+		d := r.Decide(q, c)
+		for _, arm := range d.Arms {
+			switch arm {
+			case "dp":
+				r.Update(&d, arm, 1.0)
+			case "greedy":
+				r.Update(&d, arm, 0.5)
+			default:
+				r.Update(&d, arm, 0.1)
+			}
+		}
+	}
+	d := r.Decide(q, c)
+	if d.Best != "dp" {
+		t.Fatalf("best arm = %q, want dp (scores %+v)", d.Best, d.Scores)
+	}
+	if d.Mode != ModeDirect {
+		t.Fatalf("mode = %q after 30 unambiguous rounds, want direct (scores %+v)", d.Mode, d.Scores)
+	}
+	if !reflect.DeepEqual(d.Arms, []string{"dp", "greedy"}) {
+		t.Fatalf("direct arms = %v, want predicted best + floor", d.Arms)
+	}
+	if d.Confidence <= 0.5 {
+		t.Errorf("confidence = %v, want > 0.5 once separated", d.Confidence)
+	}
+}
+
+// TestDecideDeterministic: two routers fed the identical decision/update
+// sequence must produce identical decisions at every step — the property
+// the persistence round-trip check and CI gate rely on.
+func TestDecideDeterministic(t *testing.T) {
+	run := func() []Decision {
+		r := newTestRouter(t, Config{Seed: 42})
+		rng := rand.New(rand.NewSource(9))
+		var out []Decision
+		for i := 0; i < 40; i++ {
+			q := testQuery(t, querygen.GraphType(i%5), 4+i%6, int64(i))
+			c := Context{Budget: time.Duration(10+i) * time.Millisecond, Parts: 1 + i%3}
+			d := r.Decide(q, c)
+			out = append(out, d)
+			for _, arm := range d.Arms {
+				r.Update(&d, arm, float64(rng.Intn(100))/100)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Mode != b[i].Mode || a[i].Best != b[i].Best ||
+			!reflect.DeepEqual(a[i].Arms, b[i].Arms) ||
+			a[i].Confidence != b[i].Confidence {
+			t.Fatalf("decision %d diverged:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMaxWidthCapsRace: the raced portfolio honours MaxWidth but the floor
+// still rides along.
+func TestMaxWidthCapsRace(t *testing.T) {
+	r := newTestRouter(t, Config{Arms: []string{"a", "b", "c", "d"}, MaxWidth: 2})
+	q := testQuery(t, querygen.Clique, 5, 3)
+	d := r.Decide(q, Context{})
+	if len(d.Arms) != 3 {
+		t.Fatalf("arms = %v, want 2 raced + floor", d.Arms)
+	}
+	if d.Arms[len(d.Arms)-1] != "greedy" {
+		t.Fatalf("arms = %v, want floor appended last", d.Arms)
+	}
+}
+
+// TestAvailableRestrictsArms: breakers/size gates shrink the candidate set
+// via Context.Available; unknown arms are ignored.
+func TestAvailableRestrictsArms(t *testing.T) {
+	r := newTestRouter(t, Config{})
+	q := testQuery(t, querygen.Tree, 6, 4)
+	d := r.Decide(q, Context{Available: []string{"tabu", "nonexistent"}})
+	if !reflect.DeepEqual(d.Arms, []string{"tabu", "greedy"}) {
+		t.Fatalf("arms = %v, want tabu + floor", d.Arms)
+	}
+	// Nothing available at all: the floor alone answers.
+	d = r.Decide(q, Context{Available: []string{"nonexistent"}})
+	if !reflect.DeepEqual(d.Arms, []string{"greedy"}) || d.Mode != ModeDirect {
+		t.Fatalf("decision %+v, want direct floor-only", d)
+	}
+}
+
+func TestRewardShape(t *testing.T) {
+	r := newTestRouter(t, Config{LatencyWeight: 0.3})
+	budget := 100 * time.Millisecond
+	if got := r.Reward(10, 10, 0, budget); got != 1 {
+		t.Errorf("winner with zero latency: reward %v, want 1", got)
+	}
+	if got := r.Reward(10, 20, 0, budget); got != 0.5 {
+		t.Errorf("2x worse plan: reward %v, want 0.5", got)
+	}
+	full := r.Reward(10, 10, budget, budget)
+	if math.Abs(full-0.7) > 1e-12 {
+		t.Errorf("winner consuming the whole budget: reward %v, want 0.7", full)
+	}
+	if got := r.Reward(10, 0, 0, budget); got != 0 {
+		t.Errorf("invalid cost: reward %v, want 0", got)
+	}
+	if got := r.Reward(1, 1e6, 2*budget, budget); got != 0 {
+		t.Errorf("bad plan over deadline: reward %v, want 0", got)
+	}
+}
+
+// TestUpdateIgnoresForeignArms: rewards for arms outside the decision (or
+// unknown to the router) must not corrupt any model.
+func TestUpdateIgnoresForeignArms(t *testing.T) {
+	r := newTestRouter(t, Config{})
+	q := testQuery(t, querygen.Chain, 5, 5)
+	d := r.Decide(q, Context{})
+	before := r.Snapshot()
+	r.Update(&d, "not-an-arm", 1)
+	after := r.Snapshot()
+	if !reflect.DeepEqual(before.Models, after.Models) {
+		t.Fatal("foreign-arm update changed a model")
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	r := newTestRouter(t, Config{})
+	q := testQuery(t, querygen.Star, 5, 6)
+	d := r.Decide(q, Context{})
+	for _, arm := range d.Arms {
+		r.Update(&d, arm, 0.7)
+	}
+	s := r.Snapshot()
+	if s.Counters.Decisions != 1 || s.Counters.Updates != int64(len(d.Arms)) {
+		t.Fatalf("counters %+v, want 1 decision and %d updates", s.Counters, len(d.Arms))
+	}
+	if len(s.FeatureNames) != Dim {
+		t.Fatalf("feature names %d, want %d", len(s.FeatureNames), Dim)
+	}
+	for _, arm := range d.Arms {
+		m := s.Models[arm]
+		if m.Pulls != 1 || len(m.Theta) != Dim {
+			t.Fatalf("arm %s state %+v, want 1 pull and %d-dim theta", arm, m, Dim)
+		}
+	}
+}

@@ -440,6 +440,22 @@ func TestPanickingBackendDegradesNotCrashes(t *testing.T) {
 		t.Errorf("panic/degrade counters = %d/%d, want both > 0",
 			snap.Requests.Panics, snap.Requests.Degraded)
 	}
+	// The fallback producer records degraded outcomes, never arbitration
+	// wins — a degradation must not look like a win in its statistics.
+	var degraded, wins int64
+	for name, bs := range snap.Backends {
+		if name == "panic" {
+			continue
+		}
+		degraded += bs.Degraded
+		wins += bs.Wins
+	}
+	if degraded != 3 {
+		t.Errorf("fallback degraded outcomes = %d, want 3", degraded)
+	}
+	if wins != 0 {
+		t.Errorf("fallback wins = %d, want 0 — degradations are not wins", wins)
+	}
 }
 
 // TestPanickingBackendWithoutDegradeIs500NotCrash: with degradation off,

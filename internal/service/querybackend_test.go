@@ -146,6 +146,11 @@ func TestQueryBackendFailureDegrades(t *testing.T) {
 	if !resp.Order.IsPermutation(q.NumRelations()) {
 		t.Errorf("degraded order %v is not a permutation", resp.Order)
 	}
+	// The fallback producer's degraded counter moved; its win count did not.
+	bs, ok := svc.Metrics().ReadBackend(resp.Backend)
+	if !ok || bs.Degraded != 1 || bs.Wins != 0 {
+		t.Errorf("fallback %q snapshot = %+v ok=%v, want degraded=1 wins=0", resp.Backend, bs, ok)
+	}
 }
 
 // TestBatchSolvesQueryBackendItemsSolo: batch envelopes route QueryBackend

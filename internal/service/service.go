@@ -91,6 +91,9 @@ type Service struct {
 	metrics *Metrics
 	scratch sync.Pool // *reqScratch, reused across requests
 	batch   sync.Pool // *batchScratch, reused across batch envelopes
+
+	collectorsMu   sync.RWMutex
+	promCollectors []func(*obs.PromWriter) // extra /metrics families (AddPromCollector)
 }
 
 // reqScratch is the per-request working storage of the warm optimize
@@ -354,7 +357,12 @@ func (s *Service) solveInto(ctx context.Context, backend Backend, req *Request, 
 	solveCtx, solveSpan := obs.StartSpan(ctx, "solve")
 	solveSpan.SetAttrStr("backend", backend.Name())
 	solveStart := time.Now()
-	d, err := s.safeSolve(solveCtx, backend, enc, req.Params)
+	// Thread the cache outcome into the solve parameters: the learned
+	// scheduler uses it as a routing feature (a warm encoding shifts the
+	// latency profile of every arm). Local copy — Params is a value struct.
+	ps := req.Params
+	ps.CacheHit = hit
+	d, err := s.safeSolve(solveCtx, backend, enc, ps)
 	if err == nil {
 		// Never trust a backend's result structurally: an unreliable QPU
 		// (or a fault injector standing in for one) can return corrupted
@@ -391,6 +399,9 @@ func (s *Service) finishInto(ctx context.Context, req *Request, backendName stri
 		fbSpan.End(nil)
 		degraded, reason = true, err.Error()
 		s.metrics.degrades.Add(1)
+		// A degraded outcome, not an arbitration win: the fallback answered
+		// only because the chosen backend failed.
+		s.metrics.Backend(producer).RecordDegraded()
 		if errors.Is(err, ErrPanic) {
 			s.metrics.panics.Add(1)
 		}
@@ -523,6 +534,7 @@ func (s *Service) solveQueryInto(ctx context.Context, backend QueryBackend, req 
 		fbSpan.End(nil)
 		degraded, reason = true, err.Error()
 		s.metrics.degrades.Add(1)
+		s.metrics.Backend(producer).RecordDegraded()
 		if errors.Is(err, ErrPanic) {
 			s.metrics.panics.Add(1)
 		}
